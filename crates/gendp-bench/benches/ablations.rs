@@ -1,0 +1,84 @@
+//! Ablation benchmarks for the design choices DESIGN.md §6 calls out:
+//! reduction-tree depth, chain lookahead, SIMD lanes, band width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendp::dpmap::analyze_tree_depth;
+use gendp::kernels::chain::{chain_original, ChainParams};
+use gendp::kernels::dfgs;
+use gendp::kernels::{bsw_i32, bsw_i8, AlignMode, Scoring};
+use gendp::seq::{extract_anchors, Genome, KmerIndex, MutationProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+/// Table 2 ablation: mapping cost of 1/2/3-level reduction trees.
+fn ablation_tree(c: &mut Criterion) {
+    let dfg = dfgs::bsw_dfg(&Scoring::bwa_mem());
+    let mut group = c.benchmark_group("ablation_tree");
+    for levels in 1u8..=3 {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &l| {
+            b.iter(|| analyze_tree_depth(black_box(&dfg), l))
+        });
+    }
+    group.finish();
+}
+
+/// Chain lookahead N trade-off: work grows with N (the 3.72x penalty of
+/// §6 is this curve).
+fn ablation_chain_n(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = Genome::random(50_000, &mut rng);
+    let read = MutationProfile::pacbio().apply(&g.window(10_000, 2_000), &mut rng);
+    let idx = KmerIndex::build(g.seq(), 15);
+    let anchors = extract_anchors(&idx, &read);
+    let mut group = c.benchmark_group("ablation_chain_n");
+    for n in [16usize, 25, 64] {
+        let params = ChainParams {
+            n_prev: n,
+            ..ChainParams::minimap2(15.0)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, p| {
+            b.iter(|| chain_original(black_box(&anchors), p))
+        });
+    }
+    group.finish();
+}
+
+/// 8-bit vs 32-bit BSW arithmetic (the SIMD lane precision choice, §4.2).
+fn ablation_precision(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(22);
+    let g = Genome::random(1_000, &mut rng);
+    let t = g.window(0, 60);
+    let q = MutationProfile::illumina().apply(&g.window(0, 100), &mut rng);
+    let scoring = Scoring::bwa_mem();
+    let mut group = c.benchmark_group("ablation_precision");
+    group.bench_function("bsw_i32", |b| {
+        b.iter(|| bsw_i32(black_box(&q), black_box(&t), &scoring, 1000, AlignMode::Local))
+    });
+    group.bench_function("bsw_i8", |b| {
+        b.iter(|| bsw_i8(black_box(&q), black_box(&t), &scoring, 1000))
+    });
+    group.finish();
+}
+
+/// Band width: the static active-region trade-off (§7.6.2).
+fn ablation_band(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let g = Genome::random(2_000, &mut rng);
+    let t = g.window(0, 400);
+    let q = MutationProfile::pacbio().apply(&t, &mut rng);
+    let scoring = Scoring::bwa_mem();
+    let mut group = c.benchmark_group("ablation_band");
+    for band in [8i32, 32, 128, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(band), &band, |b, &w| {
+            b.iter(|| bsw_i32(black_box(&q), black_box(&t), &scoring, w, AlignMode::Local))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = ablation_tree, ablation_chain_n, ablation_precision, ablation_band
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the DPAx cycle-level simulator itself: how
+//! fast the host simulates one accelerator task per kernel configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gendp::core::{pack_lanes, GendpPipeline};
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::poa::Poa;
+use gendp::kernels::Scoring;
+use gendp::seq::{extract_anchors, DnaSeq, Genome, KmerIndex, MutationProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn codes(s: &DnaSeq) -> Vec<i32> {
+    s.codes().iter().map(|&c| c as i32).collect()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let g = Genome::random(20_000, &mut rng);
+    let mut group = c.benchmark_group("dpax_sim");
+    group.sample_size(10);
+
+    // BSW SIMD: one 60x40 four-lane batch.
+    let scoring = Scoring::bwa_mem();
+    let bsw = GendpPipeline::bsw_simd(&scoring);
+    let qs: Vec<Vec<u8>> = (0..4).map(|_| DnaSeq::random(40, &mut rng).codes()).collect();
+    let ts: Vec<Vec<u8>> = (0..4).map(|_| DnaSeq::random(60, &mut rng).codes()).collect();
+    let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
+    let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
+    group.throughput(Throughput::Elements((40 * 60 * 4) as u64));
+    group.bench_function("bsw_simd_60x40", |b| {
+        b.iter(|| bsw.run(black_box(&rows), black_box(&cols), 4).unwrap())
+    });
+
+    // PairHMM: one 40x30 pair.
+    let hap = g.window(0, 30);
+    let read = DnaSeq::random(40, &mut rng);
+    let phmm = GendpPipeline::pairhmm(&PairHmmParams::gatk(), 30, 1024, hap.len());
+    let (r_codes, h_codes) = (codes(&read), codes(&hap));
+    group.throughput(Throughput::Elements((read.len() * hap.len()) as u64));
+    group.bench_function("pairhmm_40x30", |b| {
+        b.iter(|| phmm.run(black_box(&r_codes), black_box(&h_codes), 4).unwrap())
+    });
+
+    // POA: a small noisy graph.
+    let truth = DnaSeq::random(50, &mut rng);
+    let mut poa = Poa::new();
+    poa.add_sequence(&truth, &Scoring::racon());
+    for _ in 0..4 {
+        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &Scoring::racon());
+    }
+    let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+    let poa_acc = GendpPipeline::poa(Scoring::racon());
+    group.throughput(Throughput::Elements((poa.node_count() * probe.len()) as u64));
+    group.bench_function("poa_50bp_graph", |b| {
+        b.iter(|| poa_acc.run(black_box(&poa), black_box(&probe), 4).unwrap())
+    });
+
+    // Chain: 300 anchors on a 16-PE chain.
+    let read = MutationProfile::pacbio().apply(&g.window(5_000, 600), &mut rng);
+    let idx = KmerIndex::build(g.seq(), 15);
+    let anchors = extract_anchors(&idx, &read);
+    let n_pes = 16;
+    let chain = GendpPipeline::chain(ChainParams {
+        n_prev: n_pes,
+        ..ChainParams::minimap2(15.0)
+    });
+    group.throughput(Throughput::Elements((anchors.len() * n_pes) as u64));
+    group.bench_function("chain_16pe", |b| {
+        b.iter(|| chain.run(black_box(&anchors), n_pes).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

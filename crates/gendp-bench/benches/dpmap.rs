@@ -1,0 +1,38 @@
+//! Criterion benchmarks for the DPMap compiler: mapping each kernel's
+//! objective function and the tree-depth analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gendp::dpmap::{analyze_tree_depth, map_dfg};
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::dfgs;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::Scoring;
+use std::hint::black_box;
+
+fn bench_map(c: &mut Criterion) {
+    let cases = [
+        ("bsw", dfgs::bsw_dfg(&Scoring::bwa_mem())),
+        ("pairhmm", dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024)),
+        ("poa", dfgs::poa_dfg(&Scoring::racon())),
+        ("chain", dfgs::chain_dfg(&ChainParams::minimap2(15.0))),
+    ];
+    let mut group = c.benchmark_group("dpmap");
+    for (name, dfg) in &cases {
+        group.bench_with_input(BenchmarkId::new("map_dfg", name), dfg, |b, d| {
+            b.iter(|| map_dfg(black_box(d)))
+        });
+    }
+    for (name, dfg) in &cases {
+        group.bench_with_input(BenchmarkId::new("tree_depth_3", name), dfg, |b, d| {
+            b.iter(|| analyze_tree_depth(black_box(d), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_map
+);
+criterion_main!(benches);

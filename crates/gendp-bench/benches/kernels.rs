@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the reference software kernels — the
+//! single-thread CPU-side throughput used by the comparison tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendp::kernels::bellman_ford::{bellman_ford, random_roadmap};
+use gendp::kernels::chain::{chain_original, chain_reordered, ChainParams};
+use gendp::kernels::dtw::dtw;
+use gendp::kernels::lcs::lcs;
+use gendp::kernels::pairhmm::{forward_f64, forward_log_fixed, PairHmmParams};
+use gendp::kernels::poa::Poa;
+use gendp::kernels::{bsw_i32, bsw_i8, AlignMode, Scoring};
+use gendp::seq::{extract_anchors, DnaSeq, Genome, KmerIndex, MutationProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_bsw(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = Genome::random(1_000, &mut rng);
+    let t = g.window(0, 60);
+    let q = MutationProfile::illumina().apply(&g.window(0, 100), &mut rng);
+    let scoring = Scoring::bwa_mem();
+    let mut group = c.benchmark_group("bsw");
+    group.throughput(Throughput::Elements((t.len() * q.len()) as u64));
+    group.bench_function("i32_100x60", |b| {
+        b.iter(|| bsw_i32(black_box(&q), black_box(&t), &scoring, 1000, AlignMode::Local))
+    });
+    group.bench_function("i8_100x60", |b| {
+        b.iter(|| bsw_i8(black_box(&q), black_box(&t), &scoring, 1000))
+    });
+    group.finish();
+}
+
+fn bench_pairhmm(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let g = Genome::random(1_000, &mut rng);
+    let hap = g.window(0, 60);
+    let read = MutationProfile::illumina().apply(&g.window(0, 100), &mut rng);
+    let read = read.window(0, read.len().min(100));
+    let quals = vec![30u8; read.len()];
+    let params = PairHmmParams::gatk();
+    let mut group = c.benchmark_group("pairhmm");
+    group.throughput(Throughput::Elements((read.len() * hap.len()) as u64));
+    group.bench_function("f64_100x60", |b| {
+        b.iter(|| forward_f64(black_box(&read), &quals, black_box(&hap), &params))
+    });
+    group.bench_function("log_fixed_100x60", |b| {
+        b.iter(|| forward_log_fixed(black_box(&read), &quals, black_box(&hap), &params, 1024))
+    });
+    group.finish();
+}
+
+fn bench_poa(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let truth = DnaSeq::random(200, &mut rng);
+    let scoring = Scoring::racon();
+    let mut poa = Poa::new();
+    poa.add_sequence(&truth, &scoring);
+    for _ in 0..6 {
+        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &scoring);
+    }
+    let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+    let mut group = c.benchmark_group("poa");
+    group.throughput(Throughput::Elements((poa.node_count() * probe.len()) as u64));
+    group.bench_function("align_200bp_graph", |b| {
+        b.iter(|| poa.align(black_box(&probe), &scoring))
+    });
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let g = Genome::random(50_000, &mut rng);
+    let read = MutationProfile::pacbio().apply(&g.window(10_000, 3_000), &mut rng);
+    let idx = KmerIndex::build(g.seq(), 15);
+    let anchors = extract_anchors(&idx, &read);
+    let mut group = c.benchmark_group("chain");
+    for n in [25usize, 64] {
+        let params = ChainParams {
+            n_prev: n,
+            ..ChainParams::minimap2(15.0)
+        };
+        group.throughput(Throughput::Elements((anchors.len() * n) as u64));
+        group.bench_with_input(BenchmarkId::new("original", n), &params, |b, p| {
+            b.iter(|| chain_original(black_box(&anchors), p))
+        });
+        group.bench_with_input(BenchmarkId::new("reordered", n), &params, |b, p| {
+            b.iter(|| chain_reordered(black_box(&anchors), p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let xs: Vec<i32> = (0..500).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+    let ys: Vec<i32> = (0..500).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+    let mut group = c.benchmark_group("extensions");
+    group.throughput(Throughput::Elements((xs.len() * ys.len()) as u64));
+    group.bench_function("dtw_500x500", |b| {
+        b.iter(|| dtw(black_box(&xs), black_box(&ys)))
+    });
+    let roadmap = random_roadmap(1_000, 4, 64, &mut rng);
+    group.bench_function("bellman_ford_1k", |b| {
+        b.iter(|| bellman_ford(black_box(&roadmap), 0))
+    });
+    let a: Vec<i32> = (0..300).map(|_| rand::Rng::gen_range(&mut rng, 0..4)).collect();
+    let bb: Vec<i32> = (0..300).map(|_| rand::Rng::gen_range(&mut rng, 0..4)).collect();
+    group.bench_function("lcs_300x300", |b| {
+        b.iter(|| lcs(black_box(&a), black_box(&bb)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bsw, bench_pairhmm, bench_poa, bench_chain, bench_extensions
+);
+criterion_main!(benches);

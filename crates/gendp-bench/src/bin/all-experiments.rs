@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run (pass --quick for reduced workloads). Output is the source of
+//! EXPERIMENTS.md.
+use gendp_bench::{measure, tables, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("{}", tables::table1());
+    println!("{}", tables::table2());
+    println!("{}", tables::table6(scale));
+    println!("{}", tables::table7());
+    println!("{}", tables::table8());
+    println!("{}", tables::table9());
+    println!("{}", tables::table10());
+    let ms = measure::measure_all(scale);
+    println!("{}", tables::table11(&ms));
+    println!("{}", tables::table12(&ms));
+    println!("{}", tables::table13(&ms));
+    println!("{}", tables::table14());
+    println!("{}", tables::table15(&ms));
+    println!("{}", tables::fig10a(&ms));
+    println!("{}", tables::fig10b(&ms));
+    println!("{}", tables::fig10c(&ms));
+    println!("{}", tables::fig10d());
+    println!("{}", tables::fig11(scale));
+    println!("{}", tables::pruning_fraction(scale));
+    println!("{}", tables::dependency_range(scale));
+    println!("{}", tables::table16(scale));
+}

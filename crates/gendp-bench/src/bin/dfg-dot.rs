@@ -1,0 +1,37 @@
+//! Dumps every kernel's objective-function DFG in Graphviz DOT format
+//! (one file per kernel in the given directory, default `target/dfgs`),
+//! for documentation and DPMap debugging.
+use std::fs;
+use std::path::PathBuf;
+
+use gendp::dfg::to_dot;
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::dfgs;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::Scoring;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/dfgs".to_string())
+        .into();
+    fs::create_dir_all(&dir)?;
+    let graphs = [
+        dfgs::bsw_dfg(&Scoring::bwa_mem()),
+        dfgs::bsw_simd_dfg(&Scoring::bwa_mem()),
+        dfgs::bsw_global_dfg(&Scoring::bwa_mem()),
+        dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        dfgs::pairhmm_float_dfg(&PairHmmParams::gatk()),
+        dfgs::poa_dfg(&Scoring::racon()),
+        dfgs::chain_dfg(&ChainParams::minimap2(15.0)),
+        dfgs::dtw_dfg(),
+        dfgs::bellman_ford_dfg(),
+        dfgs::lcs_dfg(),
+    ];
+    for g in &graphs {
+        let path = dir.join(format!("{}.dot", g.name()));
+        fs::write(&path, to_dot(g))?;
+        println!("wrote {} ({} operators)", path.display(), g.len());
+    }
+    Ok(())
+}

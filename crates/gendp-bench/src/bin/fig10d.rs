@@ -1,0 +1,4 @@
+//! Prints the paper's fig10d reproduction. See DESIGN.md §5.
+fn main() {
+    println!("{}", gendp_bench::tables::fig10d());
+}

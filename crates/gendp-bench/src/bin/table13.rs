@@ -1,0 +1,7 @@
+//! Prints the paper's table13 reproduction (pass --quick for a reduced
+//! workload). See DESIGN.md §5.
+fn main() {
+    let scale = gendp_bench::Scale::from_args();
+    let ms = gendp_bench::measure::measure_all(scale);
+    println!("{}", gendp_bench::tables::table13(&ms));
+}

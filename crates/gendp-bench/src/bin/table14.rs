@@ -1,0 +1,4 @@
+//! Prints the paper's table14 reproduction. See DESIGN.md §5.
+fn main() {
+    println!("{}", gendp_bench::tables::table14());
+}

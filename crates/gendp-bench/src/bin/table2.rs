@@ -1,0 +1,4 @@
+//! Prints the paper's Table 2 reproduction (ALU reduction-tree ablation).
+fn main() {
+    println!("{}", gendp_bench::tables::table2());
+}

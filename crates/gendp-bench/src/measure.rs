@@ -1,0 +1,358 @@
+//! Measurement machinery: runs each kernel on the simulated accelerator
+//! and times the reference software kernels on this host.
+
+use std::time::Instant;
+
+use gendp::core::{pack_lanes, AcceleratorRun, GendpPipeline};
+use gendp::kernels::chain::{chain_original, ChainParams};
+use gendp::kernels::pairhmm::{forward_f64, PairHmmParams};
+use gendp::kernels::poa::Poa;
+use gendp::kernels::{bsw_i8, Scoring};
+use gendp::model::baselines::Kernel;
+use gendp::model::scaling::scale_area_to_7nm;
+use gendp::seq::{extract_anchors, DnaSeq, Genome, KmerIndex, MutationProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+
+use crate::Scale;
+
+/// One DPAx tile's area at 7 nm (the normalization denominator of
+/// Fig. 10(a), paper §7.2).
+pub fn tile_area_7nm() -> f64 {
+    scale_area_to_7nm(gendp::model::area::AreaBreakdown::dpax_28nm().total_area())
+}
+
+/// Measurement of one kernel on the simulated accelerator plus the host
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Simulated accelerator counters (one array / one chain).
+    pub run: AcceleratorRun,
+    /// SIMD lanes the configuration uses.
+    pub simd_lanes: usize,
+    /// Parallel array units per DPAx tile for this kernel (16 independent
+    /// arrays for 2-D kernels; 1 for Chain, whose 64-PE chain *is* the 16
+    /// arrays concatenated).
+    pub units: usize,
+    /// Throughput normalization penalty (Chain's extra reordered cells;
+    /// 1.0 elsewhere — paper §6).
+    pub penalty: f64,
+    /// Host-measured single-thread Rust reference throughput, GCUPS.
+    pub cpu_gcups_1t: f64,
+    /// Estimated DRAM traffic per cell update (bytes): task inputs
+    /// entering the input data buffers plus results leaving the output
+    /// buffers, per computed cell (inter-PE traffic stays on chip).
+    pub dram_bytes_per_cell: f64,
+}
+
+impl KernelMeasurement {
+    /// GenDP raw throughput per tile, GCUPS (penalized for Chain).
+    pub fn gendp_gcups(&self) -> f64 {
+        self.run.gcups(self.units, self.simd_lanes) / self.penalty
+    }
+
+    /// GenDP normalized throughput, MCUPS/mm² at 7 nm.
+    pub fn gendp_mcups_mm2(&self) -> f64 {
+        self.gendp_gcups() * 1000.0 / tile_area_7nm()
+    }
+}
+
+fn codes(s: &DnaSeq) -> Vec<i32> {
+    s.codes().iter().map(|&c| c as i32).collect()
+}
+
+/// Measures the SIMD BSW configuration on `tasks` batches of four
+/// ~100 x 60 alignment tasks (paper Table 1's BSW shape), plus the 8-bit
+/// host kernel.
+pub fn measure_bsw(scale: Scale) -> KernelMeasurement {
+    let mut rng = SmallRng::seed_from_u64(1001);
+    let (qlen, tlen, batches) = scale.pick((100usize, 60usize, 2usize), (24, 16, 1));
+    let scoring = Scoring::bwa_mem();
+    let accel = GendpPipeline::bsw_simd(&scoring);
+    let genome = Genome::random(10_000, &mut rng);
+
+    let mut cells = 0u64;
+    let mut cycles = 0u64;
+    let mut ctrl = 0u64;
+    let mut vliw = 0u64;
+    let mut active = 0.0f64;
+    let mut host_tasks = Vec::new();
+    for _ in 0..batches {
+        let tasks: Vec<(DnaSeq, DnaSeq)> = (0..4)
+            .map(|_| {
+                let pos = rand::Rng::gen_range(&mut rng, 0..genome.len() - qlen - 20);
+                let t = genome.window(pos, tlen);
+                let q = MutationProfile::illumina().apply(&genome.window(pos, qlen), &mut rng);
+                (q.window(0, q.len().min(qlen)), t)
+            })
+            .collect();
+        let qs: Vec<Vec<u8>> = tasks.iter().map(|(q, _)| q.codes()).collect();
+        let ts: Vec<Vec<u8>> = tasks.iter().map(|(_, t)| t.codes()).collect();
+        let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
+        let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
+        let out = accel.run(&rows, &cols, 4).expect("bsw simulation");
+        cells += out.stats.cells();
+        cycles += out.stats.cycles;
+        ctrl += out.stats.ctrl_insts();
+        vliw += out.stats.vliw_issued();
+        active += out.stats.vliw_utilization() * out.stats.vliw_issued() as f64;
+        host_tasks.extend(tasks);
+    }
+
+    // Host reference: the same tasks through the scalar 8-bit kernel.
+    let reps = scale.pick(50, 5);
+    let start = Instant::now();
+    let mut host_cells = 0u64;
+    for _ in 0..reps {
+        for (q, t) in &host_tasks {
+            host_cells += bsw_i8(q, t, &scoring, 1000).cells;
+        }
+    }
+    let cpu_gcups_1t = host_cells as f64 / start.elapsed().as_secs_f64() / 1e9;
+
+    KernelMeasurement {
+        kernel: Kernel::Bsw,
+        run: AcceleratorRun {
+            cells,
+            cycles,
+            ctrl_insts: ctrl,
+            vliw_insts: vliw,
+            vliw_utilization: if vliw == 0 { 0.0 } else { active / vliw as f64 },
+        },
+        simd_lanes: 4,
+        units: 16,
+        penalty: 1.0,
+        cpu_gcups_1t,
+        // Per 4-lane batch: (tlen + qlen) input words + 4 drained words,
+        // over tlen x qlen cells x 4 lanes.
+        dram_bytes_per_cell: 4.0 * (tlen + qlen + 4) as f64
+            / (tlen * qlen * 4) as f64,
+    }
+}
+
+/// Measures the log-domain PairHMM configuration on read–haplotype pairs
+/// of the paper's ~100 x 60 shape, plus the f64 forward host kernel.
+pub fn measure_pairhmm(scale: Scale) -> KernelMeasurement {
+    let mut rng = SmallRng::seed_from_u64(1002);
+    let (read_len, hap_len, tasks) = scale.pick((100usize, 60usize, 2usize), (20, 14, 1));
+    let params = PairHmmParams::gatk();
+    let (qual, scale_fx) = (30u8, 1024);
+    let genome = Genome::random(10_000, &mut rng);
+    let accel = GendpPipeline::pairhmm(&params, qual, scale_fx, hap_len);
+
+    let mut cells = 0u64;
+    let mut cycles = 0u64;
+    let mut ctrl = 0u64;
+    let mut vliw = 0u64;
+    let mut util = 0.0;
+    let mut host_tasks = Vec::new();
+    for k in 0..tasks {
+        let pos = 100 * k + 7;
+        let hap = genome.window(pos, hap_len);
+        let read = MutationProfile::illumina().apply(&genome.window(pos, read_len), &mut rng);
+        let read = read.window(0, read.len().min(read_len));
+        let out = accel
+            .run(&codes(&read), &codes(&hap), 4)
+            .expect("pairhmm simulation");
+        cells += out.stats.cells();
+        cycles += out.stats.cycles;
+        ctrl += out.stats.ctrl_insts();
+        vliw += out.stats.vliw_issued();
+        util += out.stats.vliw_utilization() * out.stats.vliw_issued() as f64;
+        host_tasks.push((read, hap));
+    }
+
+    let reps = scale.pick(20, 3);
+    let start = Instant::now();
+    let mut host_cells = 0u64;
+    for _ in 0..reps {
+        for (read, hap) in &host_tasks {
+            let quals = vec![qual; read.len()];
+            let _ = forward_f64(read, &quals, hap, &params);
+            host_cells += (read.len() * hap.len()) as u64;
+        }
+    }
+    let cpu_gcups_1t = host_cells as f64 / start.elapsed().as_secs_f64() / 1e9;
+
+    KernelMeasurement {
+        kernel: Kernel::PairHmm,
+        run: AcceleratorRun {
+            cells,
+            cycles,
+            ctrl_insts: ctrl,
+            vliw_insts: vliw,
+            vliw_utilization: if vliw == 0 { 0.0 } else { util / vliw as f64 },
+        },
+        simd_lanes: 1,
+        units: 16,
+        penalty: 1.0,
+        cpu_gcups_1t,
+        // Inputs: read + haplotype; outputs: the last row's m/i pairs.
+        dram_bytes_per_cell: 4.0 * (read_len + hap_len + 2 * hap_len) as f64
+            / (read_len * hap_len) as f64,
+    }
+}
+
+/// Measures POA alignment against a noisy-read graph, plus the host POA.
+pub fn measure_poa(scale: Scale) -> KernelMeasurement {
+    let mut rng = SmallRng::seed_from_u64(1003);
+    let (window, seed_reads, probes) = scale.pick((150usize, 8usize, 2usize), (40, 4, 1));
+    let genome = Genome::random(5_000, &mut rng);
+    let truth = genome.window(50, window);
+    let scoring = Scoring::racon();
+    let mut poa = Poa::new();
+    poa.add_sequence(&truth, &scoring);
+    for _ in 0..seed_reads {
+        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &scoring);
+    }
+    let accel = GendpPipeline::poa(scoring);
+
+    let mut cells = 0u64;
+    let mut cycles = 0u64;
+    let mut ctrl = 0u64;
+    let mut vliw = 0u64;
+    let mut util = 0.0;
+    let mut probe_seqs = Vec::new();
+    for _ in 0..probes {
+        let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+        let run = accel.run(&poa, &probe, 4).expect("poa simulation");
+        cells += run.stats.cells();
+        cycles += run.stats.cycles;
+        ctrl += run.stats.ctrl_insts();
+        vliw += run.stats.vliw_issued();
+        util += run.stats.vliw_utilization() * run.stats.vliw_issued() as f64;
+        probe_seqs.push(probe);
+    }
+
+    let reps = scale.pick(20, 3);
+    let start = Instant::now();
+    let mut host_cells = 0u64;
+    for _ in 0..reps {
+        for probe in &probe_seqs {
+            host_cells += poa.align(probe, &scoring).cells;
+        }
+    }
+    let cpu_gcups_1t = host_cells as f64 / start.elapsed().as_secs_f64() / 1e9;
+
+    KernelMeasurement {
+        kernel: Kernel::Poa,
+        run: AcceleratorRun {
+            cells,
+            cycles,
+            ctrl_insts: ctrl,
+            vliw_insts: vliw,
+            vliw_utilization: if vliw == 0 { 0.0 } else { util / vliw as f64 },
+        },
+        simd_lanes: 1,
+        units: 16,
+        penalty: 1.0,
+        cpu_gcups_1t,
+        // The paper charges POA 8 output bytes per cell for the traceback
+        // directions (§7.2) on top of the streamed sequence inputs.
+        dram_bytes_per_cell: 8.0 + 4.0 * 2.0 / window as f64,
+    }
+}
+
+/// Measures chaining on the 64-PE concatenated array, plus the original
+/// (N = 25) host kernel. The GenDP throughput is penalized by `64 / 25`
+/// for the extra reordered cells, mirroring the paper's 3.72x adjustment
+/// of its GPU/GenDP numbers (§6).
+pub fn measure_chain(scale: Scale) -> KernelMeasurement {
+    let mut rng = SmallRng::seed_from_u64(1004);
+    let n_pes = scale.pick(64usize, 16);
+    let read_len = scale.pick(3_000usize, 600);
+    let genome = Genome::random(40_000, &mut rng);
+    let read = MutationProfile::pacbio().apply(&genome.window(8_000, read_len), &mut rng);
+    let idx = KmerIndex::build(genome.seq(), 15);
+    let anchors = extract_anchors(&idx, &read);
+    assert!(anchors.len() > 30, "chain workload too small");
+
+    let params = ChainParams {
+        n_prev: n_pes,
+        ..ChainParams::minimap2(15.0)
+    };
+    let accel = GendpPipeline::chain(params);
+    let run = accel.run(&anchors, n_pes).expect("chain simulation");
+
+    let original = ChainParams::minimap2(15.0); // N = 25 on the host
+    let reps = scale.pick(200, 20);
+    let start = Instant::now();
+    let mut host_cells = 0u64;
+    for _ in 0..reps {
+        host_cells += chain_original(&anchors, &original).cells;
+    }
+    let cpu_gcups_1t = host_cells as f64 / start.elapsed().as_secs_f64() / 1e9;
+
+    KernelMeasurement {
+        kernel: Kernel::Chain,
+        run: AcceleratorRun::from_stats(&run.stats),
+        simd_lanes: 1,
+        units: 1, // the 64-PE chain is the whole tile
+        penalty: n_pes as f64 / original.n_prev as f64,
+        cpu_gcups_1t,
+        // Per anchor: a 4-word record in and one score out, over n_pes
+        // pair evaluations.
+        dram_bytes_per_cell: 4.0 * 5.0 / n_pes as f64,
+    }
+}
+
+/// Measures all four evaluated kernels (paper column order: BSW, Chain,
+/// PairHMM, POA).
+pub fn measure_all(scale: Scale) -> [KernelMeasurement; 4] {
+    [
+        measure_bsw(scale),
+        measure_chain(scale),
+        measure_pairhmm(scale),
+        measure_poa(scale),
+    ]
+}
+
+/// Measures the DTW extension kernel (paper Fig. 11).
+pub fn measure_dtw(scale: Scale) -> AcceleratorRun {
+    let mut rng = SmallRng::seed_from_u64(1005);
+    let n = scale.pick(120usize, 24);
+    let xs: Vec<i32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+    let ys: Vec<i32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+    let out = GendpPipeline::dtw().run(&xs, &ys, 4).expect("dtw simulation");
+    AcceleratorRun::from_stats(&out.stats)
+}
+
+/// Measures the Bellman-Ford extension kernel (paper Fig. 11).
+pub fn measure_bellman_ford(scale: Scale) -> AcceleratorRun {
+    let mut rng = SmallRng::seed_from_u64(1006);
+    let n = scale.pick(200usize, 40);
+    let g = gendp::kernels::bellman_ford::random_roadmap(n, 4, 24, &mut rng);
+    let rounds = scale.pick(12usize, 6);
+    let run = GendpPipeline::bellman_ford()
+        .run(&g, 0, rounds)
+        .expect("bf simulation");
+    AcceleratorRun::from_stats(&run.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurements_produce_positive_rates() {
+        for m in measure_all(Scale::quick()) {
+            assert!(m.run.cells > 0, "{}", m.kernel);
+            assert!(m.gendp_gcups() > 0.0, "{}", m.kernel);
+            assert!(m.gendp_mcups_mm2() > 0.0);
+            assert!(m.cpu_gcups_1t > 0.0);
+            assert!(m.run.vliw_utilization > 0.0 && m.run.vliw_utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn extension_kernels_run() {
+        assert!(measure_dtw(Scale::quick()).cells > 0);
+        assert!(measure_bellman_ford(Scale::quick()).cells > 0);
+    }
+
+    #[test]
+    fn tile_area_matches_table12() {
+        assert!((tile_area_7nm() * 64.0 - 44.3).abs() < 0.5);
+    }
+}

@@ -1,0 +1,823 @@
+//! Text renderers for every table and figure of the paper's evaluation.
+//!
+//! Convention: each artifact prints the paper's published value next to
+//! this reproduction's measured/modeled value, so EXPERIMENTS.md can
+//! record both.
+
+use std::fmt::Write as _;
+
+use gendp::dpmap::analyze_tree_depth;
+use gendp::kernels::chain::{map_read, ChainParams};
+use gendp::kernels::dfgs;
+use gendp::kernels::info::KERNELS;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::Scoring;
+use gendp::model::area::{AreaBreakdown, Component};
+use gendp::model::baselines::{Kernel, CPU_BASELINES, GPU_BASELINES, PAPER};
+use gendp::model::dram::DramModel;
+use gendp::model::power::PowerBreakdown;
+use gendp::model::scalability::{scale_tiles, GPU_RAW_GCUPS};
+use gendp::model::scalar_isa::{instructions_per_cell, ScalarIsa};
+use gendp::model::scaling::{scale_power_to_7nm, GPU_DIE_AREA_MM2};
+use gendp::model::softbrain::{softbrain_mappings, PAPER_OVERALL_SPEEDUP};
+use gendp::model::throughput::geomean;
+use gendp::model::tia::{estimate_tia, TiaPattern};
+use gendp::seq::{Genome, KmerIndex, LongReadProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+
+use crate::measure::{
+    measure_bellman_ford, measure_dtw, KernelMeasurement,
+};
+use crate::Scale;
+
+/// The four kernel DFGs in paper column order (BSW, Chain, PairHMM, POA).
+pub fn kernel_dfgs() -> [gendp::dfg::Dfg; 4] {
+    [
+        dfgs::bsw_dfg(&Scoring::bwa_mem()),
+        dfgs::chain_dfg(&ChainParams::minimap2(15.0)),
+        dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        dfgs::poa_dfg(&Scoring::racon()),
+    ]
+}
+
+/// Table 1: characteristics of the DP kernels.
+pub fn table1() -> String {
+    let mut s = String::from(
+        "Table 1: Characteristics of DP kernels\n\
+         kernel   | typical table | dependency                     | precision\n",
+    );
+    for k in KERNELS {
+        let table = if k.typical_table.1 == 1 {
+            format!("1D ~{}", k.typical_table.0)
+        } else {
+            format!("2D ~{}x{}", k.typical_table.0, k.typical_table.1)
+        };
+        let _ = writeln!(
+            s,
+            "{:8} | {:13} | {:30} | {}",
+            k.name, table, k.dependency.to_string(), k.precision
+        );
+    }
+    s.push_str("(pipeline time shares, paper §2.3: 31% / 70% / 47% / 75%)\n");
+    s
+}
+
+/// Table 2: RF accesses and CU utilization for 1/2/3-level ALU trees.
+pub fn table2() -> String {
+    let mut s = String::from(
+        "Table 2: ALU reduction trees with different levels\n\
+         kernel   lvl | RF writes/cell (paper) | CU util (paper)\n",
+    );
+    for (i, dfg) in kernel_dfgs().iter().enumerate() {
+        let name = Kernel::ALL[i].name();
+        for lvl in 1..=3u8 {
+            let st = analyze_tree_depth(dfg, lvl);
+            let _ = writeln!(
+                s,
+                "{:8} {lvl}   | {:3} ({:3})              | {:5.1}% ({:5.1}%)",
+                name,
+                st.rf_accesses(),
+                PAPER.rf_accesses[i][(lvl - 1) as usize],
+                100.0 * st.cu_utilization(),
+                100.0 * PAPER.cu_utilization[i][(lvl - 1) as usize],
+            );
+        }
+    }
+    s.push_str(
+        "(our DFGs are independent re-derivations of the objective functions;\n\
+         absolute operator counts differ from the authors', the 1>=2>=3 shape\n\
+         and the utilization decline are the reproduced claims)\n",
+    );
+    s
+}
+
+/// Table 6: chaining accuracy, original minimap2 (N=25) vs reordered
+/// (N=64), on simulated long reads against a repetitive genome.
+pub fn table6(scale: Scale) -> String {
+    let mut rng = SmallRng::seed_from_u64(2006);
+    let genome_len = scale.pick(200_000usize, 30_000);
+    let n_reads = scale.pick(300usize, 40);
+    let genome = Genome::random_with_repeats(genome_len, 12, 2_000, &mut rng);
+    let index = KmerIndex::build(genome.seq(), 15);
+    let profile = LongReadProfile {
+        min_len: 1_000,
+        max_len: 8_000,
+        ..LongReadProfile::pacbio()
+    };
+    let reads = profile.sample(&genome, n_reads, &mut rng);
+
+    let evaluate = |params: &ChainParams, reordered: bool| -> (f64, f64) {
+        let mut errors = 0usize;
+        let mut lowq = Vec::new();
+        for read in &reads {
+            match map_read(&index, &read.seq, params, reordered) {
+                None => errors += 1,
+                Some(m) => {
+                    let ok = (m.ref_start - read.true_pos as i32).abs() < 1_000;
+                    if !ok {
+                        errors += 1;
+                    }
+                    if m.mapq < 10 {
+                        lowq.push(ok);
+                    }
+                }
+            }
+        }
+        let err_rate = errors as f64 / reads.len() as f64;
+        let lowq_err = if lowq.is_empty() {
+            0.0
+        } else {
+            lowq.iter().filter(|&&ok| !ok).count() as f64 / lowq.len() as f64
+        };
+        let phred = if lowq_err <= 0.0 {
+            60.0
+        } else {
+            -10.0 * lowq_err.log10()
+        };
+        (err_rate, phred)
+    };
+
+    let (err_orig, phred_orig) = evaluate(&ChainParams::minimap2(15.0), false);
+    let (err_reord, phred_reord) = evaluate(&ChainParams::reordered(15.0), true);
+    let mut s = String::from("Table 6: Chain accuracy comparison\n");
+    let _ = writeln!(
+        s,
+        "                        | minimap2 (N=25)    | reordered (N=64)\n\
+         map failure or error   | {:.4}% ({:.4}%) | {:.4}% ({:.4}%)\n\
+         Phred of low-q (Q<10)  | {:.2} ({:.2})      | {:.2} ({:.2})",
+        100.0 * err_orig,
+        100.0 * PAPER.chain_accuracy.0,
+        100.0 * err_reord,
+        100.0 * PAPER.chain_accuracy.1,
+        phred_orig,
+        PAPER.chain_phred.0,
+        phred_reord,
+        PAPER.chain_phred.1,
+    );
+    let _ = writeln!(
+        s,
+        "({} simulated long reads on a {} bp repeat-seeded genome; the claim\n\
+         reproduced is that the two orders have equivalent accuracy: \
+         delta = {:+.4}%)",
+        reads.len(),
+        genome_len,
+        100.0 * (err_reord - err_orig)
+    );
+    s
+}
+
+/// Table 7: DPAx area and power breakdown (28 nm component model).
+pub fn table7() -> String {
+    let mut s = String::from("Table 7: Breakdown of area and power of DPAx ASIC (28 nm)\n");
+    let comps = [
+        Component::ComputeUnitArray,
+        Component::Decoder,
+        Component::RegisterFile,
+        Component::IntegerPe,
+        Component::IntegerPeArray,
+        Component::IntegerPeArrays,
+        Component::FloatPe,
+        Component::FloatPeArray,
+        Component::DataBuffer,
+        Component::InstructionBuffer,
+        Component::Scratchpad,
+        Component::Fifo,
+    ];
+    for c in comps {
+        let (a, p) = c.area_power_28nm();
+        let _ = writeln!(s, "{:28} | {:6.3} mm2 | {:6.3} W", c.name(), a, p);
+    }
+    let b = AreaBreakdown::dpax_28nm();
+    let _ = writeln!(
+        s,
+        "logic subtotal               | {:6.3} mm2 | {:6.3} W\n\
+         memory subtotal              | {:6.3} mm2 | {:6.3} W\n\
+         total                        | {:6.3} mm2 | {:6.3} W   (paper: 5.391 / 3.569)",
+        b.logic_area, b.logic_power, b.memory_area, b.memory_power, b.total_area(), b.total_power()
+    );
+    s
+}
+
+/// Table 8: DPAx + DRAM power split.
+pub fn table8() -> String {
+    let published = PowerBreakdown::dpax_28nm();
+    let modeled = PowerBreakdown::from_models(
+        &AreaBreakdown::dpax_28nm(),
+        &DramModel::ddr4_2400_8ch(),
+        33.0,
+    );
+    let mut s = String::from("Table 8: Breakdown of DPAx power (W)\n");
+    let _ = writeln!(
+        s,
+        "        | static | dynamic | total\n\
+         DPAx    | {:.3} ({:.3}) | {:.3} ({:.3}) | {:.3} ({:.3})\n\
+         DRAM    | {:.3} ({:.3}) | {:.3} ({:.3}) | {:.3}\n\
+         total   |        |         | {:.3} ({:.3})\n\
+         (modeled (published); DRAM at ~33 GB/s average demand)",
+        modeled.dpax_static,
+        published.dpax_static,
+        modeled.dpax_dynamic,
+        published.dpax_dynamic,
+        modeled.dpax_total(),
+        published.dpax_total(),
+        modeled.dram_static,
+        published.dram_static,
+        modeled.dram_dynamic,
+        published.dram_dynamic,
+        modeled.dram_static + modeled.dram_dynamic,
+        modeled.total(),
+        published.total(),
+    );
+    s
+}
+
+/// Table 9: SoftBrain mapping comparison.
+pub fn table9() -> String {
+    let mut s = String::from(
+        "Table 9: Benchmark implementation on SoftBrain\n\
+         kernel   | dim   | stages | padding | SIMD lanes(util) | eff cells/cyc | GenDP speedup (paper)\n",
+    );
+    for m in softbrain_mappings() {
+        let _ = writeln!(
+            s,
+            "{:8} | {:5} | {:6} | {:6.1}% | {:2} ({:5.1}%)      | {:6.2}        | {:.2}x",
+            m.kernel.name(),
+            m.dim.to_string(),
+            m.pipeline_stages,
+            100.0 * m.padding_overhead,
+            m.simd_lanes,
+            100.0 * m.simd_utilization,
+            m.effective_cells_per_cycle(),
+            m.paper_gendp_speedup,
+        );
+    }
+    let speeds: Vec<f64> = softbrain_mappings()
+        .iter()
+        .map(|m| m.paper_gendp_speedup)
+        .collect();
+    let _ = writeln!(
+        s,
+        "geomean speedup: {:.2}x (paper §7.3: {PAPER_OVERALL_SPEEDUP}x)",
+        geomean(&speeds)
+    );
+    s
+}
+
+/// Table 10: triggered instructions required on TIA.
+pub fn table10() -> String {
+    let mut s = String::from(
+        "Table 10: Triggered Instructions (TI) required on TIA\n\
+         kernel   | TIs est (paper) | PEs est (paper)\n",
+    );
+    for (i, dfg) in kernel_dfgs().iter().enumerate() {
+        let k = Kernel::ALL[i];
+        let e = estimate_tia(dfg, TiaPattern::for_kernel(k));
+        let _ = writeln!(
+            s,
+            "{:8} | {:3} ({:3})       | {:2} ({:2})",
+            k.name(),
+            e.tis,
+            PAPER.tia_tis[i],
+            e.pes,
+            PAPER.tia_pes[i],
+        );
+    }
+    s
+}
+
+/// Table 11: VLIW utilization, measured on the simulator.
+pub fn table11(ms: &[KernelMeasurement; 4]) -> String {
+    let mut s = String::from(
+        "Table 11: VLIW utilization\n\
+         kernel   | measured | paper\n",
+    );
+    for m in ms {
+        let i = Kernel::ALL.iter().position(|&k| k == m.kernel).expect("kernel");
+        let _ = writeln!(
+            s,
+            "{:8} | {:5.1}%   | {:5.1}%",
+            m.kernel.name(),
+            100.0 * m.run.vliw_utilization,
+            100.0 * PAPER.vliw_utilization[i],
+        );
+    }
+    s
+}
+
+/// Table 12: 64-tile scaling under the DRAM bandwidth ceiling.
+pub fn table12(ms: &[KernelMeasurement; 4]) -> String {
+    let dram = DramModel::ddr4_2400_8ch();
+    let mut s = String::from("Table 12: GenDP and GPU raw performance comparison\n");
+    let _ = writeln!(
+        s,
+        "                  | area (mm2) | raw perf (GCUPS) | speedup vs GPU\n\
+         NVIDIA A100 GPU  | {:8.1}   | {:8.1}         | 1x",
+        GPU_DIE_AREA_MM2, GPU_RAW_GCUPS,
+    );
+    // Per-kernel: one tile's sustained DRAM demand caps the tile count.
+    let _ = writeln!(
+        s,
+        "per-kernel scaling (measured per-tile GCUPS x bytes/cell -> GB/s -> tiles):"
+    );
+    let mut agg_gcups = 0.0;
+    for m in ms {
+        let bw = m.gendp_gcups() * m.dram_bytes_per_cell;
+        let r = scale_tiles(m.gendp_gcups(), m.dram_bytes_per_cell, &dram);
+        agg_gcups += r.gcups;
+        let _ = writeln!(
+            s,
+            "  {:8} | {:6.2} GCUPS/tile | {:5.2} B/cell | {:6.2} GB/s | {:2} tiles -> {:7.1} GCUPS ({:5.2}x GPU)",
+            m.kernel.name(),
+            m.gendp_gcups(),
+            m.dram_bytes_per_cell,
+            bw,
+            r.tiles,
+            r.gcups,
+            r.speedup_vs_gpu,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "mean per-kernel aggregate: {:.1} GCUPS at each kernel's own tile count",
+        agg_gcups / ms.len() as f64
+    );
+    let paper_point = scale_tiles(297.5 / 64.0, 0.5, &dram);
+    let _ = writeln!(
+        s,
+        "paper point: 64 tiles, 44.3 mm2, 297.5 GCUPS, 6.17x (check: {} tiles, {:.1} GCUPS, {:.2}x)\n\
+         (POA's 8 B/cell trace-back output makes it the bandwidth-bound\n\
+         kernel, matching §7.2's \"bottleneck ... is the memory accesses\")",
+        paper_point.tiles, paper_point.gcups, paper_point.speedup_vs_gpu,
+    );
+    s
+}
+
+/// Table 13: CPU baselines (paper platforms) plus this host's
+/// single-thread Rust reference measurement.
+pub fn table13(ms: &[KernelMeasurement; 4]) -> String {
+    let mut s = String::from(
+        "Table 13: CPU baselines (runtime in seconds on the paper's datasets)\n\
+         CPU                              | SIMD   | thr |    BSW |  Chain | PairHMM |   POA\n",
+    );
+    for r in CPU_BASELINES {
+        let _ = writeln!(
+            s,
+            "{:32} | {:6} | {:3} | {:6.4} | {:6.3} | {:7.3} | {:5.1}",
+            r.cpu, r.simd, r.threads, r.runtime_s[0], r.runtime_s[1], r.runtime_s[2], r.runtime_s[3]
+        );
+    }
+    let _ = writeln!(
+        s,
+        "this host (Rust scalar, 1 thread) GCUPS: BSW {:.3} | Chain {:.3} | PairHMM {:.3} | POA {:.3}\n\
+         (the paper's rows are recorded constants; AVX-512/CUDA binaries cannot run here — DESIGN.md §4)",
+        ms[0].cpu_gcups_1t, ms[1].cpu_gcups_1t, ms[2].cpu_gcups_1t, ms[3].cpu_gcups_1t
+    );
+    s
+}
+
+/// Table 14: GPU baselines (recorded constants).
+pub fn table14() -> String {
+    let mut s = String::from(
+        "Table 14: GPU baselines (runtime in seconds on the paper's datasets)\n\
+         GPU               | arch  | CUDA |   BSW |  Chain | PairHMM |   POA\n",
+    );
+    for r in GPU_BASELINES {
+        let _ = writeln!(
+            s,
+            "{:17} | {:5} | {:4} | {:5.3} | {:6.3} | {:7.3} | {:5.2}",
+            r.gpu, r.arch, r.cuda, r.runtime_s[0], r.runtime_s[1], r.runtime_s[2], r.runtime_s[3]
+        );
+    }
+    s
+}
+
+/// Table 15: GenDP speedups over the CPU and GPU baselines.
+pub fn table15(ms: &[KernelMeasurement; 4]) -> String {
+    let mut s = String::from(
+        "Table 15: GenDP speedup over CPU and GPU baselines (MCUPS/mm2, 7 nm)\n\
+         kernel   | CPU (paper) | GPU (paper) | GenDP meas (paper) | vs CPU (paper) | vs GPU (paper)\n",
+    );
+    for m in ms {
+        let i = Kernel::ALL.iter().position(|&k| k == m.kernel).expect("kernel");
+        let row = PAPER.table15_row(m.kernel);
+        let meas = m.gendp_mcups_mm2();
+        let _ = writeln!(
+            s,
+            "{:8} | {:7.1}     | {:7.1}     | {:8.0} ({:6.0})  | {:6.1}x ({:5.1}x) | {:6.1}x ({:5.1}x)",
+            m.kernel.name(),
+            row.cpu_mcups_mm2,
+            row.gpu_mcups_mm2,
+            meas,
+            row.gendp_mcups_mm2,
+            meas / row.cpu_mcups_mm2,
+            row.speedup_cpu,
+            meas / row.gpu_mcups_mm2,
+            row.speedup_gpu,
+        );
+        let _ = i;
+    }
+    s.push_str(
+        "(measured = cycle-level simulation at 2 GHz, one tile scaled per kernel\n\
+         configuration; CPU/GPU denominators are the paper's recorded baselines)\n",
+    );
+    s
+}
+
+/// Fig. 10(a): throughput/mm² vs CPU and GPU (geomeans).
+pub fn fig10a(ms: &[KernelMeasurement; 4]) -> String {
+    let mut vs_cpu = Vec::new();
+    let mut vs_gpu = Vec::new();
+    let mut s = String::from(
+        "Fig 10(a): normalized throughput/mm2 (MCUPS/mm2, 7 nm)\n\
+         kernel   | GenDP measured | speedup vs CPU | speedup vs GPU\n",
+    );
+    for m in ms {
+        let row = PAPER.table15_row(m.kernel);
+        let meas = m.gendp_mcups_mm2();
+        let c = meas / row.cpu_mcups_mm2;
+        let g = meas / row.gpu_mcups_mm2;
+        vs_cpu.push(c);
+        vs_gpu.push(g);
+        let _ = writeln!(
+            s,
+            "{:8} | {:12.0}   | {:8.1}x      | {:8.1}x",
+            m.kernel.name(),
+            meas,
+            c,
+            g
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geomean: vs CPU {:.1}x (paper {:.1}x) | vs GPU {:.1}x (paper {:.1}x)",
+        geomean(&vs_cpu),
+        PAPER.headline_speedups.0,
+        geomean(&vs_gpu),
+        PAPER.headline_speedups.1,
+    );
+    s
+}
+
+/// Fig. 10(b): throughput/W vs the GPU.
+pub fn fig10b(ms: &[KernelMeasurement; 4]) -> String {
+    // One tile at 7 nm plus its DRAM.
+    let tile_power = scale_power_to_7nm(PowerBreakdown::dpax_28nm().dpax_total()) + 1.091;
+    let gpu_tdp = 300.0;
+    let mut ratios = Vec::new();
+    let mut s = String::from(
+        "Fig 10(b): throughput/Watt vs GPU (GCUPS/W)\n\
+         kernel   | GenDP | GPU   | ratio\n",
+    );
+    for m in ms {
+        let row = PAPER.table15_row(m.kernel);
+        let gendp = m.gendp_gcups() / tile_power;
+        let gpu = row.gpu_gcups / gpu_tdp;
+        ratios.push(gendp / gpu);
+        let _ = writeln!(
+            s,
+            "{:8} | {:5.2} | {:5.3} | {:6.1}x",
+            m.kernel.name(),
+            gendp,
+            gpu,
+            gendp / gpu
+        );
+    }
+    let _ = writeln!(
+        s,
+        "geomean {:.1}x (paper: {:.1}x); tile power {:.2} W at 7 nm incl. DRAM",
+        geomean(&ratios),
+        PAPER.perf_per_watt_vs_gpu,
+        tile_power
+    );
+    s
+}
+
+/// Fig. 10(c): GenDP vs the custom ASIC accelerators.
+pub fn fig10c(ms: &[KernelMeasurement; 4]) -> String {
+    let mut s = String::from(
+        "Fig 10(c): GenDP vs custom genomics ASICs (MCUPS/mm2)\n\
+         kernel   | ASIC (paper)  | GenDP measured (paper) | slowdown\n",
+    );
+    let mut slowdowns = Vec::new();
+    for m in ms {
+        let row = PAPER.table15_row(m.kernel);
+        if let Some(asic) = row.asic_mcups_mm2 {
+            let meas = m.gendp_mcups_mm2();
+            let slow = asic / meas;
+            slowdowns.push(slow);
+            let _ = writeln!(
+                s,
+                "{:8} | {:8.0}      | {:8.0} ({:6.0})      | {:.2}x",
+                m.kernel.name(),
+                asic,
+                meas,
+                row.gendp_mcups_mm2,
+                slow
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "geomean slowdown {:.2}x (paper: {:.1}x) — the price of programmability (§7.3)",
+        geomean(&slowdowns),
+        PAPER.asic_slowdown_geomean
+    );
+    s
+}
+
+/// Fig. 10(d): compute instructions per cell, GenDP vs riscv64/x86-64.
+pub fn fig10d() -> String {
+    let mut s = String::from(
+        "Fig 10(d): instructions per cell update\n\
+         kernel   | GenDP VLIW | riscv64 | x86-64 | riscv/GenDP | x86/GenDP\n",
+    );
+    let mut red_r = Vec::new();
+    let mut red_x = Vec::new();
+    for (i, dfg) in kernel_dfgs().iter().enumerate() {
+        let gendp = gendp::dpmap::map_dfg(dfg).program.len() as u32;
+        let r = instructions_per_cell(dfg, ScalarIsa::Riscv64);
+        let x = instructions_per_cell(dfg, ScalarIsa::X8664);
+        red_r.push(r as f64 / gendp as f64);
+        red_x.push(x as f64 / gendp as f64);
+        let _ = writeln!(
+            s,
+            "{:8} | {:10} | {:7} | {:6} | {:9.1}x | {:8.1}x",
+            Kernel::ALL[i].name(),
+            gendp,
+            r,
+            x,
+            r as f64 / gendp as f64,
+            x as f64 / gendp as f64,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "average reduction: riscv64 {:.1}x (paper {:.1}x) | x86-64 {:.1}x (paper {:.1}x)",
+        red_r.iter().sum::<f64>() / 4.0,
+        PAPER.isa_reduction.0,
+        red_x.iter().sum::<f64>() / 4.0,
+        PAPER.isa_reduction.1,
+    );
+    s
+}
+
+/// Fig. 11: the DTW and Bellman-Ford extension kernels.
+pub fn fig11(scale: Scale) -> String {
+    let dtw = measure_dtw(scale);
+    let bf = measure_bellman_ford(scale);
+    let dtw_dfg = dfgs::dtw_dfg();
+    let bf_dfg = dfgs::bellman_ford_dfg();
+    let mut s = String::from(
+        "Fig 11: GenDP on the broader-field kernels (paper §7.6.5)\n\
+         kernel        | cells | cells/cyc | VLIW util | insts/cell | riscv64/GenDP | x86-64/GenDP\n",
+    );
+    for (name, run, dfg) in [("DTW", dtw, &dtw_dfg), ("Bellman-Ford", bf, &bf_dfg)] {
+        let gendp = gendp::dpmap::map_dfg(dfg).program.len() as u32;
+        let r = instructions_per_cell(dfg, ScalarIsa::Riscv64);
+        let x = instructions_per_cell(dfg, ScalarIsa::X8664);
+        let _ = writeln!(
+            s,
+            "{:13} | {:5} | {:9.3} | {:8.1}% | {:10.1} | {:12.1}x | {:11.1}x",
+            name,
+            run.cells,
+            run.cells_per_cycle(),
+            100.0 * run.vliw_utilization,
+            run.insts_per_cell(),
+            r as f64 / gendp as f64,
+            x as f64 / gendp as f64,
+        );
+    }
+    s.push_str(
+        "(both kernels run on the same framework unchanged: DTW via the 2-D\n\
+         wavefront mapping, Bellman-Ford from the scratchpad — §7.6)\n",
+    );
+    s
+}
+
+/// §6 analog: the pruning-based PairHMM scan covers 97.7% of the paper's
+/// workload; measure the active-cell fraction of our pruned forward scan
+/// on GATK-like read–haplotype pairs.
+pub fn pruning_fraction(scale: Scale) -> String {
+    use gendp::kernels::pairhmm::forward_pruned;
+    use gendp::seq::HaplotypeProfile;
+    let mut rng = SmallRng::seed_from_u64(2020);
+    let n_pairs = scale.pick(200usize, 20);
+    let genome = Genome::random(50_000, &mut rng);
+    let pairs = HaplotypeProfile::gatk_like().sample(&genome, n_pairs, &mut rng);
+    let params = PairHmmParams::gatk();
+    let mut total = 0u64;
+    let mut active = 0u64;
+    let mut max_rel_err = 0f64;
+    for p in &pairs {
+        let (pruned, st) = forward_pruned(
+            &p.read.seq,
+            &p.read.quals,
+            &p.haplotype,
+            &params,
+            1e-12,
+        );
+        let full = gendp::kernels::pairhmm::forward_f64(
+            &p.read.seq,
+            &p.read.quals,
+            &p.haplotype,
+            &params,
+        );
+        max_rel_err = max_rel_err.max(((pruned - full) / full).abs());
+        total += st.cells_total;
+        active += st.cells_active;
+    }
+    let mut s = String::from("Pruning-based PairHMM scan (paper §6)\n");
+    let _ = writeln!(
+        s,
+        "pairs: {}  cells: {}  active: {}  active fraction: {:.1}%",
+        pairs.len(),
+        total,
+        active,
+        100.0 * active as f64 / total as f64,
+    );
+    let _ = writeln!(
+        s,
+        "max relative log-likelihood error vs full forward: {max_rel_err:.2e}"
+    );
+    s.push_str(
+        "(the paper runs the scan phase - 97.7% of its workload - on DPAx and\n\
+         the remainder on the host; the measured fraction shows how much of\n\
+         the table the scan touches on GATK-like inputs)\n",
+    );
+    s
+}
+
+/// §7.6.1 analog: the distribution of POA dependency distances. The paper
+/// supports distances up to 128 rows on-chip and reports 2.4% of its
+/// workload exceeding that (executed on the host).
+pub fn dependency_range(scale: Scale) -> String {
+    use gendp::kernels::poa::Poa;
+    use gendp::seq::{MutationProfile, ReadGroupProfile};
+    let mut rng = SmallRng::seed_from_u64(2021);
+    let (window, groups) = scale.pick((400usize, 4usize), (80, 2));
+    let genome = Genome::random(20_000, &mut rng);
+    let profile = ReadGroupProfile {
+        window_len: window,
+        min_reads: 10,
+        max_reads: 16,
+        errors: MutationProfile::nanopore(),
+    };
+    let mut hist = [0u64; 4]; // 1, 2-16, 17-128, >128
+    for group in profile.sample(&genome, groups, &mut rng) {
+        let mut poa = Poa::new();
+        for (k, read) in group.reads.iter().enumerate() {
+            // Late reads occasionally carry a long deletion — the paper's
+            // stated source of ultra-long dependencies (§6, §7.6.1).
+            let read = if k + 2 >= group.reads.len() && read.len() > 250 {
+                let dlen = rand::Rng::gen_range(&mut rng, 150..280usize);
+                let at = rand::Rng::gen_range(&mut rng, 20..read.len() - dlen - 20);
+                let mut cut: Vec<gendp::seq::Base> = read.bases()[..at].to_vec();
+                cut.extend_from_slice(&read.bases()[at + dlen..]);
+                gendp::seq::DnaSeq::from(cut)
+            } else {
+                read.clone()
+            };
+            poa.add_sequence(&read, &Scoring::racon());
+        }
+        let order = poa.topological_order();
+        let rank = {
+            let mut r = vec![0usize; poa.node_count()];
+            for (k, &v) in order.iter().enumerate() {
+                r[v] = k;
+            }
+            r
+        };
+        for &v in &order {
+            for &(u, _) in poa.preds(v) {
+                let d = rank[v] - rank[u];
+                let bucket = match d {
+                    1 => 0,
+                    2..=16 => 1,
+                    17..=128 => 2,
+                    _ => 3,
+                };
+                hist[bucket] += 1;
+            }
+        }
+    }
+    let total: u64 = hist.iter().sum();
+    let pct = |k: usize| 100.0 * hist[k] as f64 / total.max(1) as f64;
+    let mut s = String::from("POA dependency-distance distribution (paper §7.6.1)\n");
+    let rows = [
+        ("1", 0usize),
+        ("2-16", 1),
+        ("17-128", 2),
+        (">128", 3),
+    ];
+    for (label, k) in rows {
+        let _ = writeln!(s, "row distance {:7}: {:7} ({:5.2}%)", label, hist[k], pct(k));
+    }
+    s.push_str(
+        "(paper: 2.4% of its POA workload exceeds distance 128 and runs on\n\
+         the host; on-chip support covers distances <= 128. Long deletions\n\
+         in late reads drive the tail; under linear-gap scoring, spurious\n\
+         matches inside deleted regions fragment very long bridges, so the\n\
+         measured tail sits almost entirely within the on-chip range.)\n",
+    );
+    s
+}
+
+/// Artifact-appendix Table 16 analog: simulated cells vs host wall time
+/// for each kernel configuration, showing how simulation cost scales.
+pub fn table16(scale: Scale) -> String {
+    use std::time::Instant;
+    let mut s = String::from(
+        "Table 16 (artifact appendix): simulation cost on this host
+         kernel   | simulated cells | sim cycles | host seconds | cells/s (host)
+",
+    );
+    type Measurer = Box<dyn Fn() -> crate::measure::KernelMeasurement>;
+    let runs: [(&str, Measurer); 4] = [
+        ("BSW", Box::new(move || crate::measure::measure_bsw(scale))),
+        ("Chain", Box::new(move || crate::measure::measure_chain(scale))),
+        ("PairHMM", Box::new(move || crate::measure::measure_pairhmm(scale))),
+        ("POA", Box::new(move || crate::measure::measure_poa(scale))),
+    ];
+    for (name, f) in runs {
+        let start = Instant::now();
+        let m = f();
+        let secs = start.elapsed().as_secs_f64();
+        let _ = writeln!(
+            s,
+            "{:8} | {:15} | {:10} | {:12.3} | {:10.0}",
+            name,
+            m.run.cells,
+            m.run.cycles,
+            secs,
+            m.run.cells as f64 / secs,
+        );
+    }
+    s.push_str(
+        "(the paper's full datasets need ~250 simulation hours on its simulator;
+         scale workloads with the same trade-off via --quick vs full runs)
+",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_all;
+
+    #[test]
+    fn static_tables_render() {
+        for t in [
+            table1(),
+            table2(),
+            table7(),
+            table8(),
+            table9(),
+            table10(),
+            table14(),
+            fig10d(),
+        ] {
+            assert!(t.lines().count() >= 4, "{t}");
+        }
+    }
+
+    #[test]
+    fn measured_tables_render_quick() {
+        let ms = measure_all(Scale::quick());
+        for t in [
+            table11(&ms),
+            table12(&ms),
+            table13(&ms),
+            table15(&ms),
+            fig10a(&ms),
+            fig10b(&ms),
+            fig10c(&ms),
+        ] {
+            assert!(t.lines().count() >= 4, "{t}");
+        }
+    }
+
+    #[test]
+    fn chain_accuracy_table_renders_quick() {
+        let t = table6(Scale::quick());
+        assert!(t.contains("minimap2"));
+        assert!(t.contains("reordered"));
+    }
+
+    #[test]
+    fn fig11_renders_quick() {
+        let t = fig11(Scale::quick());
+        assert!(t.contains("DTW"));
+        assert!(t.contains("Bellman-Ford"));
+    }
+
+    #[test]
+    fn extra_artifacts_render_quick() {
+        let p = pruning_fraction(Scale::quick());
+        assert!(p.contains("active fraction"));
+        let d = dependency_range(Scale::quick());
+        assert!(d.contains(">128"));
+        let t = table16(Scale::quick());
+        assert!(t.contains("cells/s"));
+    }
+}

@@ -1,0 +1,887 @@
+//! Control-program generation for 2-D wavefront kernels (paper Fig. 5(a,b)):
+//! BSW, PairHMM, DTW, LCS.
+//!
+//! Rows of the DP table are assigned to PEs round-robin; the row character
+//! is held statically per row while column characters and boundary values
+//! stream through the systolic chain. The FIFO carries the boundary between
+//! row groups (last PE of group `g` → first PE of group `g+1`). Programs
+//! are generated fully unrolled per task.
+
+use std::collections::BTreeMap;
+
+use gendp_dfg::Dfg;
+use gendp_dpmap::{map_dfg, Mapping};
+use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
+
+/// A boundary-value rule, evaluated per column (row-0 borders) or per row
+/// (column-0 borders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Border {
+    /// The same value everywhere.
+    Const(i32),
+    /// `base + step * k`.
+    Linear {
+        /// Value at `k = 0`.
+        base: i32,
+        /// Increment per step.
+        step: i32,
+    },
+    /// One value at `k = 0`, another for `k > 0` (e.g. DTW's origin).
+    FirstThenConst {
+        /// Value at `k = 0`.
+        first: i32,
+        /// Value for `k > 0`.
+        rest: i32,
+    },
+    /// One value at `k = 0`, then `base + step * k` (e.g. the global-mode
+    /// gap border `0, -(o+e), -(o+2e), ...`).
+    FirstThenLinear {
+        /// Value at `k = 0`.
+        first: i32,
+        /// Linear base for `k > 0`.
+        base: i32,
+        /// Linear step for `k > 0`.
+        step: i32,
+    },
+}
+
+impl Border {
+    /// The border value at index `k`.
+    pub fn at(self, k: usize) -> i32 {
+        match self {
+            Border::Const(v) => v,
+            Border::Linear { base, step } => base + step * k as i32,
+            Border::FirstThenConst { first, rest } => {
+                if k == 0 {
+                    first
+                } else {
+                    rest
+                }
+            }
+            Border::FirstThenLinear { first, base, step } => {
+                if k == 0 {
+                    first
+                } else {
+                    base + step * k as i32
+                }
+            }
+        }
+    }
+}
+
+/// Where a row's incoming stream originates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSource {
+    /// Row 0: borders only, column characters from the input data buffer.
+    Borders,
+    /// From the previous PE's output port.
+    Port,
+    /// From the FIFO (first row of a later row group).
+    Fifo,
+}
+
+#[derive(Debug, Clone)]
+struct UpRole {
+    ext: String,
+    src: String,
+}
+
+#[derive(Debug, Clone)]
+struct LeftRole {
+    ext: String,
+    src: String,
+    col0: Border,
+    /// True: re-initialize at every row start (a true left neighbor).
+    /// False: initialize once per PE (a running reduction carried across
+    /// all the PE's rows, e.g. BSW's packed maximum).
+    per_row: bool,
+}
+
+/// A configured 2-D wavefront kernel, ready to generate per-task programs
+/// and run them on the DPAx simulator.
+#[derive(Debug)]
+pub struct Wavefront2d {
+    mapping: Mapping,
+    mode: Mode,
+    luts: Luts,
+    row_char: String,
+    col_char: String,
+    streamed: Vec<String>,
+    up: Vec<UpRole>,
+    diag: Vec<UpRole>,
+    left: Vec<LeftRole>,
+    row0: BTreeMap<String, Border>,
+    col0: BTreeMap<String, Border>,
+    col_index: Option<String>,
+    collect: Vec<String>,
+    drain: Vec<String>,
+    /// Landing RF slot per streamed value.
+    landing: BTreeMap<String, u16>,
+    rf_slots: usize,
+}
+
+/// Functional results of one accelerator task.
+#[derive(Debug, Clone)]
+pub struct Wavefront2dOutput {
+    /// Per collected output name: the last row's values, one per column.
+    pub last_row: BTreeMap<String, Vec<i32>>,
+    /// Per drained ext name: one final value per PE.
+    pub drained: BTreeMap<String, Vec<i32>>,
+    /// Simulator statistics.
+    pub stats: RunStats,
+}
+
+impl Wavefront2d {
+    /// Maps the objective function and prepares an empty role
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DFG is invalid (see [`map_dfg`]).
+    pub fn new(dfg: &Dfg, mode: Mode, luts: Luts, row_char: &str, col_char: &str) -> Self {
+        let mapping = map_dfg(dfg);
+        assert!(
+            mapping.layout.ext_slot(row_char).is_some(),
+            "row char ext `{row_char}` missing"
+        );
+        assert!(
+            mapping.layout.ext_slot(col_char).is_some(),
+            "col char ext `{col_char}` missing"
+        );
+        let rf_slots = mapping.layout.slot_count() as usize;
+        Wavefront2d {
+            mapping,
+            mode,
+            luts,
+            row_char: row_char.to_string(),
+            col_char: col_char.to_string(),
+            streamed: Vec::new(),
+            up: Vec::new(),
+            diag: Vec::new(),
+            left: Vec::new(),
+            row0: BTreeMap::new(),
+            col0: BTreeMap::new(),
+            col_index: None,
+            collect: Vec::new(),
+            drain: Vec::new(),
+            landing: BTreeMap::new(),
+            rf_slots,
+        }
+    }
+
+    fn ext_slot(&self, name: &str) -> u16 {
+        self.mapping
+            .layout
+            .ext_slot(name)
+            .unwrap_or_else(|| panic!("unknown ext `{name}`"))
+    }
+
+    fn out_slot(&self, name: &str) -> u16 {
+        self.mapping
+            .layout
+            .output_slot(name)
+            .unwrap_or_else(|| panic!("unknown output `{name}`"))
+    }
+
+    /// Declares a streamed value: output `src` of row `i` is consumed by
+    /// row `i+1`. `row0` gives the virtual row-0 border per column; `col0`
+    /// the column-0 value per row (for the diagonal preload).
+    pub fn stream(&mut self, src: &str, row0: Border, col0: Border) -> &mut Self {
+        let _ = self.out_slot(src);
+        self.streamed.push(src.to_string());
+        self.row0.insert(src.to_string(), row0);
+        self.col0.insert(src.to_string(), col0);
+        self
+    }
+
+    /// Wires ext `ext` to the streamed value `src` at the cell above
+    /// (`(i-1, j)`).
+    pub fn up(&mut self, ext: &str, src: &str) -> &mut Self {
+        let slot = self.ext_slot(ext);
+        assert!(self.streamed.contains(&src.to_string()), "`{src}` not streamed");
+        self.landing.insert(src.to_string(), slot);
+        self.up.push(UpRole {
+            ext: ext.to_string(),
+            src: src.to_string(),
+        });
+        self
+    }
+
+    /// Wires ext `ext` to the streamed value `src` at the diagonal cell
+    /// (`(i-1, j-1)`).
+    pub fn diag(&mut self, ext: &str, src: &str) -> &mut Self {
+        let _ = self.ext_slot(ext);
+        assert!(self.streamed.contains(&src.to_string()), "`{src}` not streamed");
+        self.diag.push(UpRole {
+            ext: ext.to_string(),
+            src: src.to_string(),
+        });
+        self
+    }
+
+    /// Wires ext `ext` to the output `src` of the previous cell in the same
+    /// row (`(i, j-1)`), initialized at column 0 by `col0` (per row).
+    pub fn left(&mut self, ext: &str, src: &str, col0: Border) -> &mut Self {
+        let _ = self.ext_slot(ext);
+        let _ = self.out_slot(src);
+        self.left.push(LeftRole {
+            ext: ext.to_string(),
+            src: src.to_string(),
+            col0,
+            per_row: true,
+        });
+        self
+    }
+
+    /// Wires ext `ext` to the output `src` of the previous cell like
+    /// [`left`](Self::left), but initializes it only once per PE: the value
+    /// is a running reduction carried across all the PE's rows (e.g. BSW's
+    /// packed score maximum), recovered at the end with
+    /// [`drain`](Self::drain).
+    pub fn carry(&mut self, ext: &str, src: &str, init: i32) -> &mut Self {
+        let _ = self.ext_slot(ext);
+        let _ = self.out_slot(src);
+        self.left.push(LeftRole {
+            ext: ext.to_string(),
+            src: src.to_string(),
+            col0: Border::Const(init),
+            per_row: false,
+        });
+        self
+    }
+
+    /// Wires ext `ext` to the 1-based column index.
+    pub fn col_index(&mut self, ext: &str) -> &mut Self {
+        let _ = self.ext_slot(ext);
+        self.col_index = Some(ext.to_string());
+        self
+    }
+
+    /// Collects output `name` from every cell of the last row.
+    pub fn collect_last_row(&mut self, name: &str) -> &mut Self {
+        let _ = self.out_slot(name);
+        self.collect.push(name.to_string());
+        self
+    }
+
+    /// Drains ext `name`'s final per-PE value at the end of the run (used
+    /// for running reductions carried as left roles, e.g. BSW's packed
+    /// maximum).
+    pub fn drain(&mut self, name: &str) -> &mut Self {
+        let _ = self.ext_slot(name);
+        self.drain.push(name.to_string());
+        self
+    }
+
+    /// Finishes role configuration: allocates landing slots for streamed
+    /// values without an up-role.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a diagonal role references a value with no landing slot
+    /// allocation path, which cannot happen through this API.
+    pub fn finish(&mut self) -> &mut Self {
+        let mut next = self.rf_slots as u16;
+        for v in &self.streamed {
+            self.landing.entry(v.clone()).or_insert_with(|| {
+                let s = next;
+                next += 1;
+                s
+            });
+        }
+        self.rf_slots = next as usize;
+        self
+    }
+
+    /// The DPMap result for the objective function.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Generates the fully unrolled control program for PE `p` of `n_pes`,
+    /// for a table with the given row/column character codes.
+    fn pe_program(
+        &self,
+        p: usize,
+        n_pes: usize,
+        rows: &[i32],
+        cols: &[i32],
+    ) -> ControlProgram {
+        let m = rows.len();
+        let n = cols.len();
+        let mut prog = ControlProgram::new();
+        let col_char_slot = self.ext_slot(&self.col_char);
+        let row_char_slot = self.ext_slot(&self.row_char);
+        let last_owner = (m - 1) % n_pes;
+
+        let mut row = p;
+        while row < m {
+            let source = if row == 0 {
+                RowSource::Borders
+            } else if p == 0 {
+                RowSource::Fifo
+            } else {
+                RowSource::Port
+            };
+            let src_loc = match source {
+                RowSource::Fifo => Loc::port(Space::Fifo),
+                _ => Loc::port(Space::In),
+            };
+            let is_last_row = row == m - 1;
+            // Forward destination for the next row's stream.
+            let fwd_loc = if p == n_pes - 1 && !is_last_row {
+                Loc::port(Space::Fifo)
+            } else {
+                Loc::port(Space::Out)
+            };
+
+            // Row prologue.
+            prog.push(ControlInst::Li {
+                dest: Loc::rf(row_char_slot),
+                imm: rows[row],
+            });
+            let first_own_row = row == p;
+            for l in &self.left {
+                if l.per_row || first_own_row {
+                    prog.push(ControlInst::Li {
+                        dest: Loc::rf(self.ext_slot(&l.ext)),
+                        imm: l.col0.at(row),
+                    });
+                }
+            }
+            for v in &self.streamed {
+                let preload = if row == 0 {
+                    self.row0[v].at(0)
+                } else {
+                    self.col0[v].at(row - 1)
+                };
+                prog.push(ControlInst::Li {
+                    dest: Loc::rf(self.landing[v]),
+                    imm: preload,
+                });
+            }
+
+            for c in 1..=n {
+                // Column character.
+                prog.push(ControlInst::mv(Loc::rf(col_char_slot), src_loc));
+                // Diagonal shifts read landings before they are updated.
+                for d in &self.diag {
+                    prog.push(ControlInst::mv(
+                        Loc::rf(self.ext_slot(&d.ext)),
+                        Loc::rf(self.landing[&d.src]),
+                    ));
+                }
+                // Landing updates.
+                for v in &self.streamed {
+                    if row == 0 {
+                        prog.push(ControlInst::Li {
+                            dest: Loc::rf(self.landing[v]),
+                            imm: self.row0[v].at(c),
+                        });
+                    } else {
+                        prog.push(ControlInst::mv(Loc::rf(self.landing[v]), src_loc));
+                    }
+                }
+                if let Some(j) = &self.col_index {
+                    prog.push(ControlInst::Li {
+                        dest: Loc::rf(self.ext_slot(j)),
+                        imm: c as i32,
+                    });
+                }
+                prog.push(ControlInst::set_compute(0));
+                if is_last_row {
+                    for name in &self.collect {
+                        prog.push(ControlInst::mv(
+                            Loc::port(Space::Out),
+                            Loc::rf(self.out_slot(name)),
+                        ));
+                    }
+                } else {
+                    prog.push(ControlInst::mv(fwd_loc, Loc::rf(col_char_slot)));
+                    for v in &self.streamed {
+                        prog.push(ControlInst::mv(fwd_loc, Loc::rf(self.out_slot(v))));
+                    }
+                }
+                for l in &self.left {
+                    prog.push(ControlInst::mv(
+                        Loc::rf(self.ext_slot(&l.ext)),
+                        Loc::rf(self.out_slot(&l.src)),
+                    ));
+                }
+            }
+            row += n_pes;
+        }
+
+        // Relay the last row's collected words if they pass through us.
+        if p > last_owner {
+            for _ in 0..(n * self.collect.len()) {
+                prog.push(ControlInst::mv(Loc::port(Space::Out), Loc::port(Space::In)));
+            }
+        }
+        // Drain per-PE state: forward upstream drains, then append ours.
+        let active_pes = n_pes.min(m);
+        if p < active_pes {
+            for _ in 0..(p * self.drain.len()) {
+                prog.push(ControlInst::mv(Loc::port(Space::Out), Loc::port(Space::In)));
+            }
+            for d in &self.drain {
+                prog.push(ControlInst::mv(
+                    Loc::port(Space::Out),
+                    Loc::rf(self.ext_slot(d)),
+                ));
+            }
+        } else {
+            // PEs without rows still relay the drains of active upstreams.
+            for _ in 0..(active_pes * self.drain.len()) {
+                prog.push(ControlInst::mv(Loc::port(Space::Out), Loc::port(Space::In)));
+            }
+        }
+        prog.push(ControlInst::Halt);
+        prog
+    }
+
+    /// Generates the control program of PE `p` for a *banded* table
+    /// (paper §7.6.2: static active regions): row `i` computes columns
+    /// `i..i+width` of a column sequence padded with `width` sentinel
+    /// characters, so every row has the same cell count and the streams
+    /// stay balanced with a one-tuple shift. Column characters are baked
+    /// per row (they differ row to row inside the band).
+    fn pe_program_banded(
+        &self,
+        p: usize,
+        n_pes: usize,
+        rows: &[i32],
+        padded_cols: &[i32],
+        width: usize,
+    ) -> ControlProgram {
+        let m = rows.len();
+        let mut prog = ControlProgram::new();
+        let col_char_slot = self.ext_slot(&self.col_char);
+        let row_char_slot = self.ext_slot(&self.row_char);
+        assert!(
+            self.collect.is_empty() && self.diag.len() <= self.streamed.len(),
+            "banded mode drains per-PE state only"
+        );
+
+        let mut row = p;
+        while row < m {
+            let source = if row == 0 {
+                RowSource::Borders
+            } else if p == 0 {
+                RowSource::Fifo
+            } else {
+                RowSource::Port
+            };
+            let src_loc = match source {
+                RowSource::Fifo => Loc::port(Space::Fifo),
+                _ => Loc::port(Space::In),
+            };
+            let is_last_row = row == m - 1;
+            let fwd_loc = if p == n_pes - 1 && !is_last_row {
+                Loc::port(Space::Fifo)
+            } else {
+                Loc::port(Space::Out)
+            };
+
+            prog.push(ControlInst::Li {
+                dest: Loc::rf(row_char_slot),
+                imm: rows[row],
+            });
+            for l in &self.left {
+                if l.per_row || row == p {
+                    prog.push(ControlInst::Li {
+                        dest: Loc::rf(self.ext_slot(&l.ext)),
+                        imm: l.col0.at(row),
+                    });
+                }
+            }
+            // Band shift: the previous row's FIRST tuple is this row's
+            // first diagonal, so it preloads the landings; row 0 preloads
+            // its borders.
+            for v in &self.streamed {
+                if row == 0 {
+                    prog.push(ControlInst::Li {
+                        dest: Loc::rf(self.landing[v]),
+                        imm: self.row0[v].at(0),
+                    });
+                } else {
+                    prog.push(ControlInst::mv(Loc::rf(self.landing[v]), src_loc));
+                }
+            }
+
+            for k in 0..width {
+                // Baked column character: padded column index row + k.
+                prog.push(ControlInst::Li {
+                    dest: Loc::rf(col_char_slot),
+                    imm: padded_cols[row + k],
+                });
+                for d in &self.diag {
+                    prog.push(ControlInst::mv(
+                        Loc::rf(self.ext_slot(&d.ext)),
+                        Loc::rf(self.landing[&d.src]),
+                    ));
+                }
+                // The up value: next streamed tuple, except the last cell of
+                // the row, whose up-neighbor sits outside the band.
+                for v in &self.streamed {
+                    if k + 1 == width {
+                        prog.push(ControlInst::Li {
+                            dest: Loc::rf(self.landing[v]),
+                            imm: self.row0[v].at(row + k + 1),
+                        });
+                    } else if row == 0 {
+                        prog.push(ControlInst::Li {
+                            dest: Loc::rf(self.landing[v]),
+                            imm: self.row0[v].at(k + 1),
+                        });
+                    } else {
+                        prog.push(ControlInst::mv(Loc::rf(self.landing[v]), src_loc));
+                    }
+                }
+                if let Some(j) = &self.col_index {
+                    prog.push(ControlInst::Li {
+                        dest: Loc::rf(self.ext_slot(j)),
+                        imm: (row + k + 1) as i32,
+                    });
+                }
+                prog.push(ControlInst::set_compute(0));
+                if !is_last_row {
+                    for v in &self.streamed {
+                        prog.push(ControlInst::mv(fwd_loc, Loc::rf(self.out_slot(v))));
+                    }
+                }
+                for l in &self.left {
+                    prog.push(ControlInst::mv(
+                        Loc::rf(self.ext_slot(&l.ext)),
+                        Loc::rf(self.out_slot(&l.src)),
+                    ));
+                }
+            }
+            row += n_pes;
+        }
+
+        // Drain per-PE state exactly as the full-table path does.
+        let active_pes = n_pes.min(m);
+        if p < active_pes {
+            for _ in 0..(p * self.drain.len()) {
+                prog.push(ControlInst::mv(Loc::port(Space::Out), Loc::port(Space::In)));
+            }
+            for d in &self.drain {
+                prog.push(ControlInst::mv(
+                    Loc::port(Space::Out),
+                    Loc::rf(self.ext_slot(d)),
+                ));
+            }
+        } else {
+            for _ in 0..(active_pes * self.drain.len()) {
+                prog.push(ControlInst::mv(Loc::port(Space::Out), Loc::port(Space::In)));
+            }
+        }
+        prog.push(ControlInst::Halt);
+        prog
+    }
+
+    /// Runs one *banded* task (paper §7.6.2): row `i` computes `width`
+    /// cells starting at its own diagonal. Columns are padded with
+    /// `sentinel` characters so every row computes the same cell count;
+    /// results are read from the drained per-PE reductions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, `width` is zero, or the configuration
+    /// collects last-row values (banded mode supports drains only).
+    pub fn run_banded(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        width: usize,
+        sentinel: i32,
+        n_pes: usize,
+    ) -> Result<Wavefront2dOutput, SimError> {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        assert!(width > 0, "band width must be positive");
+        let m = rows.len();
+        let mut padded: Vec<i32> = cols.to_vec();
+        padded.resize(cols.len().max(m + width) + 1, sentinel);
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(self.mode)
+            .luts(self.luts.clone());
+        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
+        cfg.fifo_capacity = ((self.streamed.len() + 2) * (width + 2)).max(cfg.fifo_capacity);
+        let mut array = PeArray::new(cfg);
+        for p in 0..n_pes {
+            array.load_pe_control(p, self.pe_program_banded(p, n_pes, rows, &padded, width));
+        }
+        array.load_compute_all(&self.mapping.program);
+        let budget = (m as u64 + n_pes as u64)
+            * (width as u64 + 4)
+            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
+            * 4
+            + 10_000;
+        let stats = array.run(budget)?;
+        let out = array.output();
+        let active_pes = n_pes.min(m);
+        let mut drained: BTreeMap<String, Vec<i32>> = self
+            .drain
+            .iter()
+            .map(|d| (d.clone(), Vec::with_capacity(active_pes)))
+            .collect();
+        for (k, w) in out.iter().enumerate() {
+            let name = &self.drain[k % self.drain.len()];
+            drained.get_mut(name).expect("drain name").push(w.as_i32());
+        }
+        Ok(Wavefront2dOutput {
+            last_row: BTreeMap::new(),
+            drained,
+            stats,
+        })
+    }
+
+    /// Generates (without running) the per-PE control programs for a task,
+    /// e.g. to inspect, disassemble or size them (the instruction-buffer
+    /// footprint of paper Table 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is empty.
+    pub fn generate_programs(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        n_pes: usize,
+    ) -> Vec<ControlProgram> {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        (0..n_pes)
+            .map(|p| self.pe_program(p, n_pes, rows, cols))
+            .collect()
+    }
+
+    /// Runs one task on a `n_pes`-PE array; returns functional outputs and
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (deadlock, timeout, bad access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is empty.
+    pub fn run(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        n_pes: usize,
+    ) -> Result<Wavefront2dOutput, SimError> {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        let m = rows.len();
+        let n = cols.len();
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(self.mode)
+            .luts(self.luts.clone());
+        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
+        cfg.fifo_capacity = ((self.streamed.len() + 2) * (n + 2)).max(cfg.fifo_capacity);
+        let mut array = PeArray::new(cfg);
+        for p in 0..n_pes {
+            array.load_pe_control(p, self.pe_program(p, n_pes, rows, cols));
+        }
+        array.load_compute_all(&self.mapping.program);
+        array.feed_input(cols.iter().map(|&c| Word::from_i32(c)));
+        let budget = (m as u64 + n_pes as u64)
+            * (n as u64 + 4)
+            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
+            * 4
+            + 10_000;
+        let stats = array.run(budget)?;
+
+        // Parse the output buffer: last-row collects then drains.
+        let out = array.output();
+        let n_collect = n * self.collect.len();
+        let mut last_row: BTreeMap<String, Vec<i32>> = self
+            .collect
+            .iter()
+            .map(|c| (c.clone(), Vec::with_capacity(n)))
+            .collect();
+        for (k, w) in out.iter().take(n_collect).enumerate() {
+            let name = &self.collect[k % self.collect.len()];
+            last_row.get_mut(name).expect("collect name").push(w.as_i32());
+        }
+        let active_pes = n_pes.min(m);
+        let mut drained: BTreeMap<String, Vec<i32>> = self
+            .drain
+            .iter()
+            .map(|d| (d.clone(), Vec::with_capacity(active_pes)))
+            .collect();
+        for (k, w) in out.iter().skip(n_collect).enumerate() {
+            let name = &self.drain[k % self.drain.len()];
+            drained.get_mut(name).expect("drain name").push(w.as_i32());
+        }
+        Ok(Wavefront2dOutput {
+            last_row,
+            drained,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_kernels::dfgs::{bsw_dfg, bsw_luts, dtw_dfg, lcs_dfg};
+    use gendp_kernels::{bsw_i32, AlignMode, Scoring};
+    use gendp_kernels::dtw::dtw;
+    use gendp_kernels::lcs::lcs;
+    use gendp_seq::DnaSeq;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    const NEG: i32 = i32::MIN / 4;
+
+    fn bsw_wavefront() -> Wavefront2d {
+        let scoring = Scoring::bwa_mem();
+        let dfg = bsw_dfg(&scoring);
+        let mut w = Wavefront2d::new(&dfg, Mode::Int32, bsw_luts(&scoring), "x", "y");
+        w.stream("h", Border::Const(0), Border::Const(0))
+            .stream("e", Border::Const(NEG), Border::Const(NEG))
+            .up("h_up", "h")
+            .up("e_up", "e")
+            .diag("h_diag", "h")
+            .left("h_left", "h", Border::Const(0))
+            .left("f_left", "f", Border::Const(NEG))
+            .carry("best", "best", 0)
+            .col_index("j")
+            .collect_last_row("h")
+            .drain("best")
+            .finish();
+        w
+    }
+
+    fn run_bsw_on_dpax(q: &DnaSeq, t: &DnaSeq, n_pes: usize) -> (i32, Wavefront2dOutput) {
+        let w = bsw_wavefront();
+        let rows: Vec<i32> = t.codes().iter().map(|&c| c as i32).collect();
+        let cols: Vec<i32> = q.codes().iter().map(|&c| c as i32).collect();
+        let out = w.run(&rows, &cols, n_pes).expect("simulation");
+        let best = out.drained["best"]
+            .iter()
+            .copied()
+            .max()
+            .expect("per-PE bests");
+        (best >> 16, out)
+    }
+
+    #[test]
+    fn bsw_on_dpax_matches_reference_small() {
+        let q: DnaSeq = "ACGTACGTAC".parse().unwrap();
+        let t: DnaSeq = "ACGTTCGTAC".parse().unwrap();
+        let (score, out) = run_bsw_on_dpax(&q, &t, 4);
+        let expect = bsw_i32(&q, &t, &Scoring::bwa_mem(), 1000, AlignMode::Local);
+        assert_eq!(score, expect.score);
+        assert_eq!(out.stats.cells(), 100);
+        assert_eq!(out.last_row["h"].len(), 10);
+    }
+
+    #[test]
+    fn bsw_on_dpax_matches_reference_random() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for round in 0..6 {
+            let tl = rng.gen_range(5..40);
+            let ql = rng.gen_range(5..40);
+            let t = DnaSeq::random(tl, &mut rng);
+            let q = DnaSeq::random(ql, &mut rng);
+            let (score, _) = run_bsw_on_dpax(&q, &t, 4);
+            let expect = bsw_i32(&q, &t, &Scoring::bwa_mem(), 1000, AlignMode::Local);
+            assert_eq!(score, expect.score, "round {round}: q={q} t={t}");
+        }
+    }
+
+    #[test]
+    fn bsw_works_on_other_array_sizes() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let t = DnaSeq::random(13, &mut rng);
+        let q = DnaSeq::random(9, &mut rng);
+        let expect = bsw_i32(&q, &t, &Scoring::bwa_mem(), 1000, AlignMode::Local);
+        for n_pes in [1, 2, 3, 4, 8] {
+            let (score, _) = run_bsw_on_dpax(&q, &t, n_pes);
+            assert_eq!(score, expect.score, "n_pes {n_pes}");
+        }
+    }
+
+    #[test]
+    fn bsw_fewer_rows_than_pes() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let t = DnaSeq::random(2, &mut rng);
+        let q = DnaSeq::random(7, &mut rng);
+        let expect = bsw_i32(&q, &t, &Scoring::bwa_mem(), 1000, AlignMode::Local);
+        let (score, _) = run_bsw_on_dpax(&q, &t, 4);
+        assert_eq!(score, expect.score);
+    }
+
+    #[test]
+    fn dtw_on_dpax_matches_reference() {
+        const INF: i32 = 1 << 28;
+        let dfg = dtw_dfg();
+        let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
+        w.stream(
+            "d",
+            Border::FirstThenConst { first: 0, rest: INF },
+            Border::Const(INF),
+        )
+        .up("d_up", "d")
+        .diag("d_diag", "d")
+        .left("d_left", "d", Border::Const(INF))
+        .collect_last_row("d")
+        .finish();
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..4 {
+            let xs: Vec<i32> = (0..rng.gen_range(4..20)).map(|_| rng.gen_range(0..100)).collect();
+            let ys: Vec<i32> = (0..rng.gen_range(4..20)).map(|_| rng.gen_range(0..100)).collect();
+            let out = w.run(&xs, &ys, 4).expect("simulation");
+            let got = *out.last_row["d"].last().expect("corner cell") as i64;
+            let expect = dtw(&xs, &ys).distance;
+            assert_eq!(got, expect, "x={xs:?} y={ys:?}");
+        }
+    }
+
+    #[test]
+    fn lcs_on_dpax_matches_reference() {
+        let dfg = lcs_dfg();
+        let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
+        w.stream("c", Border::Const(0), Border::Const(0))
+            .up("c_up", "c")
+            .diag("c_diag", "c")
+            .left("c_left", "c", Border::Const(0))
+            .collect_last_row("c")
+            .finish();
+        let mut rng = SmallRng::seed_from_u64(15);
+        for _ in 0..4 {
+            let xs: Vec<i32> = (0..rng.gen_range(3..25)).map(|_| rng.gen_range(0..4)).collect();
+            let ys: Vec<i32> = (0..rng.gen_range(3..25)).map(|_| rng.gen_range(0..4)).collect();
+            let out = w.run(&xs, &ys, 4).expect("simulation");
+            let got = *out.last_row["c"].last().expect("corner");
+            let expect = lcs(&xs, &ys).length as i32;
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn stats_count_every_cell_once() {
+        let w = bsw_wavefront();
+        let out = w.run(&[0, 1, 2, 3, 0, 1, 2], &[0, 1, 2, 3, 3], 4).unwrap();
+        assert_eq!(out.stats.cells(), 35);
+        assert!(out.stats.cycles > 35);
+        assert!(out.stats.vliw_utilization() > 0.0);
+    }
+
+    #[test]
+    fn border_rules() {
+        assert_eq!(Border::Const(5).at(0), 5);
+        assert_eq!(Border::Const(5).at(9), 5);
+        assert_eq!(Border::Linear { base: 2, step: -3 }.at(0), 2);
+        assert_eq!(Border::Linear { base: 2, step: -3 }.at(4), -10);
+        assert_eq!(Border::FirstThenConst { first: 0, rest: 7 }.at(0), 0);
+        assert_eq!(Border::FirstThenConst { first: 0, rest: 7 }.at(1), 7);
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt::Write as _;
+
+use crate::graph::{Dfg, Input};
+
+/// Renders the graph in Graphviz DOT format (for documentation and
+/// debugging of DPMap partitions).
+///
+/// External inputs are boxes, operator nodes are ellipses, and named
+/// outputs are double circles.
+///
+/// ```
+/// use gendp_dfg::{to_dot, Dfg};
+///
+/// let mut g = Dfg::new("toy");
+/// let x = g.ext("x");
+/// let y = g.ext("y");
+/// let s = g.add(x, y);
+/// g.set_output("s", s);
+/// let dot = to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("add"));
+/// ```
+pub fn to_dot(g: &Dfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", g.name());
+    let _ = writeln!(s, "  rankdir=TB;");
+    for (i, name) in g.ext_names().iter().enumerate() {
+        let _ = writeln!(s, "  e{i} [shape=box,label=\"{name}\"];");
+    }
+    for id in g.node_ids() {
+        let shape = if g.is_output_node(id) {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(s, "  v{} [shape={shape},label=\"{}\"];", id.0, g.op(id));
+    }
+    for id in g.node_ids() {
+        for inp in g.inputs(id) {
+            match inp {
+                Input::Node(p) => {
+                    let _ = writeln!(s, "  v{} -> v{};", p.0, id.0);
+                }
+                Input::Ext(e) => {
+                    let _ = writeln!(s, "  e{e} -> v{};", id.0);
+                }
+                Input::Const(w) => {
+                    let _ = writeln!(
+                        s,
+                        "  c{}_{} [shape=plaintext,label=\"{}\"]; c{}_{} -> v{};",
+                        id.0,
+                        w.0,
+                        w.as_i32(),
+                        id.0,
+                        w.0,
+                        id.0
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut g = Dfg::new("t");
+        let x = g.ext("x");
+        let one = g.imm(1);
+        let a = g.add(x, one);
+        let b = g.max(a, x);
+        g.set_output("o", b);
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("v0 -> v1"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

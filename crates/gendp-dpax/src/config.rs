@@ -1,0 +1,100 @@
+use gendp_isa::{Luts, Mode};
+
+/// Configuration of one simulated PE array.
+///
+/// Defaults follow the paper's DPAx design point: 4 PEs per array, a
+/// register file and scratchpad sized for the four evaluated kernels, and a
+/// FIFO deep enough to carry one row of boundary values between row groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeArrayConfig {
+    /// Number of PEs in the systolic chain. 4 for a single array; 64 models
+    /// the 16 integer arrays concatenated into one large array for
+    /// 1-D-table kernels (paper Fig. 5(d)).
+    pub n_pes: usize,
+    /// Register-file words per PE.
+    pub rf_slots: usize,
+    /// Scratchpad words per PE (long-range dependencies, paper §3.1).
+    pub spm_words: usize,
+    /// FIFO capacity in words (last PE → first PE).
+    pub fifo_capacity: usize,
+    /// Address registers per decoder.
+    pub aregs: usize,
+    /// Arithmetic mode of the compute units (integer arrays run `Int32` or
+    /// `Int8x4`; the FP array runs `Float32`).
+    pub mode: Mode,
+    /// Lookup-table configuration (score table, log-sum scale).
+    pub luts: Luts,
+    /// FIFO broadcast mode (paper Fig. 5(c,d), 1-D kernels): a word pushed
+    /// by the last PE is delivered to a per-PE skid queue at *every* PE,
+    /// and any PE may read `fifo`. In the default mode only the first PE
+    /// reads the FIFO.
+    pub fifo_broadcast: bool,
+}
+
+impl PeArrayConfig {
+    /// The paper's default integer PE array (4 PEs).
+    pub fn new() -> Self {
+        Self::with_pes(crate::PES_PER_ARRAY)
+    }
+
+    /// An array with a custom PE count (e.g. 64 for 1-D kernels).
+    pub fn with_pes(n_pes: usize) -> Self {
+        PeArrayConfig {
+            n_pes,
+            rf_slots: 256,
+            spm_words: 1024,
+            fifo_capacity: 4096,
+            aregs: 16,
+            mode: Mode::Int32,
+            luts: Luts::default(),
+            fifo_broadcast: false,
+        }
+    }
+
+    /// Sets the arithmetic mode, returning `self` for chaining.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the lookup tables, returning `self` for chaining.
+    pub fn luts(mut self, luts: Luts) -> Self {
+        self.luts = luts;
+        self
+    }
+
+    /// Enables FIFO broadcast mode (1-D kernels), returning `self`.
+    pub fn fifo_broadcast(mut self) -> Self {
+        self.fifo_broadcast = true;
+        self
+    }
+}
+
+impl Default for PeArrayConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_design_point() {
+        let c = PeArrayConfig::new();
+        assert_eq!(c.n_pes, 4);
+        assert_eq!(c.mode, Mode::Int32);
+        assert!(c.fifo_capacity >= 1024);
+    }
+
+    #[test]
+    fn builder_chaining() {
+        let c = PeArrayConfig::with_pes(64)
+            .mode(Mode::Int8x4)
+            .luts(Luts::with_scores(2, -4));
+        assert_eq!(c.n_pes, 64);
+        assert_eq!(c.mode, Mode::Int8x4);
+        assert_eq!(c.luts.score_eq.as_i32(), 2);
+    }
+}

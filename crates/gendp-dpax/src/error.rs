@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`PeArray::run`](crate::PeArray::run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No thread made progress for a full cycle while at least one was
+    /// still running: the program network is deadlocked (e.g. a PE waiting
+    /// on an empty port that nothing will ever fill). The payload describes
+    /// the stuck threads.
+    Deadlock(String),
+    /// The cycle budget was exhausted before every thread halted.
+    Timeout {
+        /// The budget that was exceeded.
+        max_cycles: u64,
+    },
+    /// A control instruction addressed memory out of range. The payload
+    /// names the PE and instruction.
+    BadAccess(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(what) => write!(f, "simulation deadlocked: {what}"),
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::BadAccess(what) => write!(f, "bad memory access: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::Deadlock("pe0 waiting on in".into())
+            .to_string()
+            .contains("pe0"));
+        assert!(SimError::Timeout { max_cycles: 7 }.to_string().contains('7'));
+        assert!(SimError::BadAccess("rf[999]".into()).to_string().contains("rf"));
+    }
+}

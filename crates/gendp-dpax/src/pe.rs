@@ -1,0 +1,608 @@
+//! One processing element: a control thread and a compute thread sharing a
+//! register file (paper §4.2, Fig. 6).
+
+use gendp_isa::{
+    apply, Addr, ComputeOp, ComputeProgram, ControlInst, ControlProgram, CuInst, Loc, Mode,
+    Operand, SetTarget, Space, Word,
+};
+
+use crate::config::PeArrayConfig;
+use crate::error::SimError;
+use crate::stats::PeStats;
+
+/// Snapshot of the PE's external connections at the start of a control
+/// step. The array builds it, the PE decides what it can do this cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExtView {
+    /// Word waiting on the input port, if any.
+    pub in_avail: Option<Word>,
+    /// Whether the output port can accept a word this cycle.
+    pub out_free: bool,
+    /// Word at the FIFO head (first PE only).
+    pub fifo_front: Option<Word>,
+    /// Whether the FIFO can accept a push (last PE only).
+    pub fifo_has_space: bool,
+    /// True for the first PE in the chain (may pop the FIFO).
+    pub may_pop_fifo: bool,
+    /// True for the last PE in the chain (may push the FIFO).
+    pub may_push_fifo: bool,
+}
+
+/// External side effects of one control step, committed by the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct ExtEffect {
+    pub consumed_in: bool,
+    pub popped_fifo: bool,
+    pub wrote_out: Option<Word>,
+    pub pushed_fifo: Option<Word>,
+}
+
+/// What the control thread did this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Progress {
+    Advanced,
+    Stalled,
+    Halted,
+}
+
+pub(crate) struct Pe {
+    rf: Vec<Word>,
+    spm: Vec<Word>,
+    aregs: Vec<i32>,
+    mode: Mode,
+    luts: gendp_isa::Luts,
+    ctrl: ControlProgram,
+    ctrl_pc: usize,
+    halted: bool,
+    compute: ComputeProgram,
+    compute_pc: Option<usize>,
+    index: usize,
+    pub stats: PeStats,
+}
+
+/// Resolved source value plus its external cost.
+enum ReadOutcome {
+    Value(Word),
+    Stall,
+}
+
+impl Pe {
+    pub fn new(cfg: &PeArrayConfig, index: usize) -> Self {
+        Pe {
+            rf: vec![Word::ZERO; cfg.rf_slots],
+            spm: vec![Word::ZERO; cfg.spm_words],
+            aregs: vec![0; cfg.aregs],
+            mode: cfg.mode,
+            luts: cfg.luts.clone(),
+            ctrl: ControlProgram::new(),
+            ctrl_pc: 0,
+            halted: true, // no program loaded yet
+            compute: ComputeProgram::new(),
+            compute_pc: None,
+            index,
+            stats: PeStats::default(),
+        }
+    }
+
+    pub fn load_control(&mut self, program: ControlProgram) {
+        self.halted = program.is_empty();
+        self.ctrl = program;
+        self.ctrl_pc = 0;
+    }
+
+    pub fn load_compute(&mut self, program: ComputeProgram) {
+        self.compute = program;
+        self.compute_pc = None;
+    }
+
+    pub fn is_halted(&self) -> bool {
+        self.halted && self.compute_pc.is_none()
+    }
+
+    pub fn compute_busy(&self) -> bool {
+        self.compute_pc.is_some()
+    }
+
+    /// The control PC and instruction text about to execute (trace hook).
+    pub fn ctrl_peek(&self) -> Option<(usize, String)> {
+        if self.halted {
+            return None;
+        }
+        self.ctrl.get(self.ctrl_pc).map(|i| (self.ctrl_pc, i.to_string()))
+    }
+
+    /// The compute PC about to execute (trace hook).
+    pub fn compute_peek(&self) -> Option<usize> {
+        self.compute_pc
+    }
+
+    /// Direct register-file access for test setup and result inspection.
+    #[cfg(test)]
+    pub fn rf(&self) -> &[Word] {
+        &self.rf
+    }
+
+    fn areg(&self, r: gendp_isa::AddrReg) -> Result<i32, SimError> {
+        self.aregs
+            .get(r.0 as usize)
+            .copied()
+            .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg {r}", self.index)))
+    }
+
+    fn resolve(&self, loc: Loc) -> Result<usize, SimError> {
+        let v = match loc.addr() {
+            Addr::Direct(a) => a as i64,
+            Addr::Indirect { areg, offset } => {
+                let base = self
+                    .aregs
+                    .get(areg as usize)
+                    .copied()
+                    .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg a{areg}", self.index)))?;
+                base as i64 + offset as i64
+            }
+            Addr::None => 0,
+        };
+        if v < 0 {
+            return Err(SimError::BadAccess(format!(
+                "pe{}: negative address {v} for {loc}",
+                self.index
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    fn bound<T>(&self, mem: &[T], idx: usize, what: &str) -> Result<(), SimError> {
+        if idx >= mem.len() {
+            return Err(SimError::BadAccess(format!(
+                "pe{}: {what}[{idx}] out of range (size {})",
+                self.index,
+                mem.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Attempts to read `loc` given the external view. Does not commit
+    /// external consumption — the caller does after the write side is known
+    /// to succeed.
+    fn try_read(&self, loc: Loc, ext: &ExtView) -> Result<ReadOutcome, SimError> {
+        match loc.space() {
+            Space::Rf => {
+                if self.compute_busy() {
+                    return Ok(ReadOutcome::Stall); // RF interlock
+                }
+                let i = self.resolve(loc)?;
+                self.bound(&self.rf, i, "rf")?;
+                Ok(ReadOutcome::Value(self.rf[i]))
+            }
+            Space::Spm => {
+                let i = self.resolve(loc)?;
+                self.bound(&self.spm, i, "spm")?;
+                Ok(ReadOutcome::Value(self.spm[i]))
+            }
+            Space::Areg => {
+                let i = self.resolve(loc)?;
+                self.bound(&self.aregs, i, "areg")?;
+                Ok(ReadOutcome::Value(Word::from_i32(self.aregs[i])))
+            }
+            Space::In => match ext.in_avail {
+                Some(w) => Ok(ReadOutcome::Value(w)),
+                None => Ok(ReadOutcome::Stall),
+            },
+            Space::Fifo => {
+                if !ext.may_pop_fifo {
+                    return Err(SimError::BadAccess(format!(
+                        "pe{}: only the first PE reads the FIFO",
+                        self.index
+                    )));
+                }
+                match ext.fifo_front {
+                    Some(w) => Ok(ReadOutcome::Value(w)),
+                    None => Ok(ReadOutcome::Stall),
+                }
+            }
+            Space::Out | Space::InBuf | Space::OutBuf => Err(SimError::BadAccess(format!(
+                "pe{}: cannot read {loc}",
+                self.index
+            ))),
+        }
+    }
+
+    /// Whether a write to `loc` can proceed this cycle (stall check only).
+    fn write_ready(&self, loc: Loc, ext: &ExtView) -> Result<bool, SimError> {
+        match loc.space() {
+            Space::Rf => Ok(!self.compute_busy()),
+            Space::Spm | Space::Areg => Ok(true),
+            Space::Out => Ok(ext.out_free),
+            Space::Fifo => {
+                if !ext.may_push_fifo {
+                    return Err(SimError::BadAccess(format!(
+                        "pe{}: only the last PE writes the FIFO",
+                        self.index
+                    )));
+                }
+                Ok(ext.fifo_has_space)
+            }
+            Space::In | Space::InBuf | Space::OutBuf => Err(SimError::BadAccess(format!(
+                "pe{}: cannot write {loc}",
+                self.index
+            ))),
+        }
+    }
+
+    /// Commits a write, returning any external effect.
+    fn commit_write(&mut self, loc: Loc, w: Word) -> Result<ExtEffect, SimError> {
+        let mut eff = ExtEffect::default();
+        match loc.space() {
+            Space::Rf => {
+                let i = self.resolve(loc)?;
+                self.bound(&self.rf, i, "rf")?;
+                self.rf[i] = w;
+            }
+            Space::Spm => {
+                let i = self.resolve(loc)?;
+                self.bound(&self.spm, i, "spm")?;
+                self.spm[i] = w;
+                self.stats.spm_accesses += 1;
+            }
+            Space::Areg => {
+                let i = self.resolve(loc)?;
+                self.bound(&self.aregs, i, "areg")?;
+                self.aregs[i] = w.as_i32();
+            }
+            Space::Out => {
+                eff.wrote_out = Some(w);
+                self.stats.port_moves += 1;
+            }
+            Space::Fifo => {
+                eff.pushed_fifo = Some(w);
+            }
+            Space::In | Space::InBuf | Space::OutBuf => unreachable!("checked in write_ready"),
+        }
+        Ok(eff)
+    }
+
+    /// Executes (at most) one control instruction.
+    pub fn step_ctrl(&mut self, ext: &ExtView) -> Result<(Progress, ExtEffect), SimError> {
+        if self.halted {
+            return Ok((Progress::Halted, ExtEffect::default()));
+        }
+        let inst = match self.ctrl.get(self.ctrl_pc) {
+            Some(i) => *i,
+            None => {
+                self.halted = true;
+                return Ok((Progress::Halted, ExtEffect::default()));
+            }
+        };
+        let mut eff = ExtEffect::default();
+        match inst {
+            ControlInst::Nop => {}
+            ControlInst::Halt => {
+                self.halted = true;
+                self.stats.ctrl_insts += 1;
+                return Ok((Progress::Halted, eff));
+            }
+            ControlInst::Add { rd, rs1, rs2 } => {
+                let v = self.areg(rs1)?.wrapping_add(self.areg(rs2)?);
+                let i = rd.0 as usize;
+                self.bound(&self.aregs, i, "areg")?;
+                self.aregs[i] = v;
+            }
+            ControlInst::Addi { rd, rs1, imm } => {
+                let v = self.areg(rs1)?.wrapping_add(imm);
+                let i = rd.0 as usize;
+                self.bound(&self.aregs, i, "areg")?;
+                self.aregs[i] = v;
+            }
+            ControlInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.stats.ctrl_insts += 1;
+                if cond.eval(self.areg(rs1)?, self.areg(rs2)?) {
+                    let target = self.ctrl_pc as i64 + offset as i64;
+                    if target < 0 {
+                        return Err(SimError::BadAccess(format!(
+                            "pe{}: branch to negative pc {target}",
+                            self.index
+                        )));
+                    }
+                    self.ctrl_pc = target as usize;
+                } else {
+                    self.ctrl_pc += 1;
+                }
+                return Ok((Progress::Advanced, eff));
+            }
+            ControlInst::Li { dest, imm } => {
+                if !self.write_ready(dest, ext)? {
+                    self.stats.ctrl_stalls += 1;
+                    return Ok((Progress::Stalled, eff));
+                }
+                eff = self.commit_write(dest, Word::from_i32(imm))?;
+            }
+            ControlInst::Mv { dest, src } => {
+                let value = match self.try_read(src, ext)? {
+                    ReadOutcome::Stall => {
+                        self.stats.ctrl_stalls += 1;
+                        return Ok((Progress::Stalled, eff));
+                    }
+                    ReadOutcome::Value(w) => w,
+                };
+                if !self.write_ready(dest, ext)? {
+                    self.stats.ctrl_stalls += 1;
+                    return Ok((Progress::Stalled, eff));
+                }
+                // Both sides ready: commit the read's external cost.
+                match src.space() {
+                    Space::In => {
+                        eff.consumed_in = true;
+                        self.stats.port_moves += 1;
+                    }
+                    Space::Fifo => eff.popped_fifo = true,
+                    Space::Spm => self.stats.spm_accesses += 1,
+                    _ => {}
+                }
+                let weff = self.commit_write(dest, value)?;
+                eff.wrote_out = weff.wrote_out;
+                eff.pushed_fifo = weff.pushed_fifo;
+            }
+            ControlInst::Set { target, pc } => match target {
+                SetTarget::Compute => {
+                    if self.compute_busy() {
+                        self.stats.ctrl_stalls += 1;
+                        return Ok((Progress::Stalled, eff));
+                    }
+                    if pc as usize >= self.compute.len() && !self.compute.is_empty() {
+                        return Err(SimError::BadAccess(format!(
+                            "pe{}: set cu {pc} beyond compute program (len {})",
+                            self.index,
+                            self.compute.len()
+                        )));
+                    }
+                    if self.compute.is_empty() {
+                        return Err(SimError::BadAccess(format!(
+                            "pe{}: set cu with no compute program loaded",
+                            self.index
+                        )));
+                    }
+                    self.compute_pc = Some(pc as usize);
+                    self.stats.cells += 1;
+                }
+                SetTarget::Pe(_) => {
+                    return Err(SimError::BadAccess(format!(
+                        "pe{}: `set pe` is an array-level instruction",
+                        self.index
+                    )));
+                }
+            },
+        }
+        self.stats.ctrl_insts += 1;
+        self.ctrl_pc += 1;
+        Ok((Progress::Advanced, eff))
+    }
+
+    /// Executes one VLIW compute instruction if the compute thread runs.
+    /// Returns true if an instruction was issued.
+    pub fn step_compute(&mut self) -> Result<bool, SimError> {
+        let pc = match self.compute_pc {
+            Some(pc) => pc,
+            None => return Ok(false),
+        };
+        let inst = *self.compute.get(pc).unwrap_or(&gendp_isa::VliwInst::NOP);
+        // Reads before writes within the cycle.
+        let mut writes: Vec<(u16, Word)> = Vec::new();
+        for slot in &inst.slots {
+            match slot {
+                CuInst::Nop => {}
+                CuInst::Mul { a, b, dest } => {
+                    let av = self.operand(*a)?;
+                    let bv = self.operand(*b)?;
+                    let r = apply(ComputeOp::Mul, self.mode, &[av, bv], &self.luts);
+                    writes.push((*dest, r));
+                }
+                CuInst::Tree(t) => {
+                    let mut wide_ins = Vec::with_capacity(4);
+                    for o in &t.wide_ins[..t.wide_op.arity()] {
+                        wide_ins.push(self.operand(*o)?);
+                    }
+                    let a_out = if t.wide_op == ComputeOp::Nop {
+                        Word::ZERO
+                    } else {
+                        apply(t.wide_op, self.mode, &wide_ins, &self.luts)
+                    };
+                    let mut narrow_ins = Vec::with_capacity(2);
+                    for o in &t.narrow_ins[..t.narrow_op.arity()] {
+                        narrow_ins.push(self.operand(*o)?);
+                    }
+                    let b_out = if t.narrow_op == ComputeOp::Nop {
+                        Word::ZERO
+                    } else {
+                        apply(t.narrow_op, self.mode, &narrow_ins, &self.luts)
+                    };
+                    let r = apply(t.root_op, self.mode, &[a_out, b_out], &self.luts);
+                    writes.push((t.dest, r));
+                }
+            }
+        }
+        self.stats.rf_accesses += inst.rf_accesses() as u64;
+        for (d, w) in writes {
+            let i = d as usize;
+            self.bound(&self.rf, i, "rf")?;
+            self.rf[i] = w;
+        }
+        self.stats.vliw_issued += 1;
+        self.stats.cu_slots_active += inst.active_slots() as u64;
+        let next = pc + 1;
+        self.compute_pc = if next >= self.compute.len() {
+            None
+        } else {
+            Some(next)
+        };
+        Ok(true)
+    }
+
+    fn operand(&self, o: Operand) -> Result<Word, SimError> {
+        match o {
+            Operand::Reg(r) => {
+                let i = r as usize;
+                self.bound(&self.rf, i, "rf")?;
+                Ok(self.rf[i])
+            }
+            Operand::Imm(v) => Ok(Word::from_i32(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_isa::{TreeSlots, VliwInst};
+
+    fn idle_ext() -> ExtView {
+        ExtView {
+            in_avail: None,
+            out_free: true,
+            fifo_front: None,
+            fifo_has_space: true,
+            may_pop_fifo: true,
+            may_push_fifo: true,
+        }
+    }
+
+    fn pe_with(prog: &str) -> Pe {
+        let mut pe = Pe::new(&PeArrayConfig::with_pes(1), 0);
+        pe.load_control(prog.parse().unwrap());
+        pe
+    }
+
+    fn run_to_halt(pe: &mut Pe, ext: &ExtView) {
+        for _ in 0..1000 {
+            let (p, _) = pe.step_ctrl(ext).unwrap();
+            if p == Progress::Halted {
+                return;
+            }
+        }
+        panic!("pe did not halt");
+    }
+
+    #[test]
+    fn li_and_mv_between_rf_and_spm() {
+        let mut pe = pe_with("li rf[3] 42\nmv spm[7] rf[3]\nmv rf[4] spm[7]\nhalt");
+        run_to_halt(&mut pe, &idle_ext());
+        assert_eq!(pe.rf()[4].as_i32(), 42);
+        assert_eq!(pe.stats.spm_accesses, 2);
+        assert_eq!(pe.stats.ctrl_insts, 4);
+    }
+
+    #[test]
+    fn areg_loop_counts() {
+        let mut pe = pe_with("li a[0] 0\nli a[1] 5\naddi a0 a0 1\nblt a0 a1 -1\nmv rf[0] a[0]\nhalt");
+        run_to_halt(&mut pe, &idle_ext());
+        assert_eq!(pe.rf()[0].as_i32(), 5);
+    }
+
+    #[test]
+    fn mv_from_empty_in_port_stalls() {
+        let mut pe = pe_with("mv rf[0] in\nhalt");
+        let mut ext = idle_ext();
+        let (p, _) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Stalled);
+        assert_eq!(pe.stats.ctrl_stalls, 1);
+        ext.in_avail = Some(Word::from_i32(9));
+        let (p, eff) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Advanced);
+        assert!(eff.consumed_in);
+        assert_eq!(pe.rf()[0].as_i32(), 9);
+    }
+
+    #[test]
+    fn mv_to_busy_out_port_stalls() {
+        let mut pe = pe_with("li rf[0] 7\nmv out rf[0]\nhalt");
+        let mut ext = idle_ext();
+        ext.out_free = false;
+        pe.step_ctrl(&ext).unwrap(); // li
+        let (p, _) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Stalled);
+        ext.out_free = true;
+        let (p, eff) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Advanced);
+        assert_eq!(eff.wrote_out, Some(Word::from_i32(7)));
+    }
+
+    #[test]
+    fn set_runs_compute_and_interlocks_rf() {
+        let mut pe = pe_with("li rf[0] 20\nli rf[1] 22\nset cu 0\nmv rf[3] rf[2]\nhalt");
+        let mut prog = ComputeProgram::new();
+        prog.push(VliwInst::single(CuInst::Tree(TreeSlots {
+            wide_op: ComputeOp::Add,
+            wide_ins: [
+                Operand::Reg(0),
+                Operand::Reg(1),
+                Operand::Imm(0),
+                Operand::Imm(0),
+            ],
+            narrow_op: ComputeOp::Nop,
+            narrow_ins: [Operand::Imm(0); 2],
+            root_op: ComputeOp::Copy,
+            dest: 2,
+        })));
+        prog.push(VliwInst::NOP);
+        prog.finish();
+        pe.load_compute(prog);
+        let ext = idle_ext();
+        // li, li, set.
+        for _ in 0..3 {
+            pe.step_ctrl(&ext).unwrap();
+        }
+        assert!(pe.compute_busy());
+        // mv rf[3] rf[2] must stall while compute runs (RF interlock).
+        let (p, _) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Stalled);
+        pe.step_compute().unwrap();
+        let (p, _) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Stalled, "still one VLIW left");
+        pe.step_compute().unwrap();
+        assert!(!pe.compute_busy());
+        let (p, _) = pe.step_ctrl(&ext).unwrap();
+        assert_eq!(p, Progress::Advanced);
+        assert_eq!(pe.rf()[3].as_i32(), 42);
+        assert_eq!(pe.stats.cells, 1);
+        assert_eq!(pe.stats.vliw_issued, 2);
+    }
+
+    #[test]
+    fn set_without_program_is_an_error() {
+        let mut pe = pe_with("set cu 0\nhalt");
+        let err = pe.step_ctrl(&idle_ext()).unwrap_err();
+        assert!(matches!(err, SimError::BadAccess(_)));
+    }
+
+    #[test]
+    fn rf_out_of_range_is_an_error() {
+        let mut pe = pe_with("li rf[9999] 1\nhalt");
+        let err = pe.step_ctrl(&idle_ext()).unwrap_err();
+        assert!(err.to_string().contains("rf"));
+    }
+
+    #[test]
+    fn halted_pe_reports_halted() {
+        let mut pe = pe_with("halt");
+        let (p, _) = pe.step_ctrl(&idle_ext()).unwrap();
+        assert_eq!(p, Progress::Halted);
+        assert!(pe.is_halted());
+        let (p, _) = pe.step_ctrl(&idle_ext()).unwrap();
+        assert_eq!(p, Progress::Halted);
+    }
+
+    #[test]
+    fn indirect_addressing_walks_spm() {
+        let mut pe = pe_with(
+            "li a[0] 0\nli a[1] 4\nli spm[a0] 5\naddi a0 a0 1\nblt a0 a1 -2\n\
+             li a[0] 0\nmv rf[a0+1] spm[a0]\nhalt",
+        );
+        run_to_halt(&mut pe, &idle_ext());
+        assert_eq!(pe.rf()[1].as_i32(), 5);
+    }
+}

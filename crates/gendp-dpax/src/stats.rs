@@ -1,0 +1,167 @@
+use std::fmt;
+
+/// Per-PE execution counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeStats {
+    /// Control instructions retired.
+    pub ctrl_insts: u64,
+    /// Cycles the control thread spent stalled (ports, FIFO, RF interlock,
+    /// busy compute thread).
+    pub ctrl_stalls: u64,
+    /// VLIW compute instructions issued.
+    pub vliw_issued: u64,
+    /// Non-idle compute-unit slots across all issued VLIW instructions.
+    pub cu_slots_active: u64,
+    /// Compute-thread invocations (`set cu`), i.e. DP cells computed.
+    pub cells: u64,
+    /// Register-file reads + writes by the compute thread.
+    pub rf_accesses: u64,
+    /// Words moved through the inter-PE ports (in + out).
+    pub port_moves: u64,
+    /// Scratchpad reads + writes.
+    pub spm_accesses: u64,
+}
+
+/// Aggregate result of one [`PeArray::run`](crate::PeArray::run).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Total simulated cycles until every thread halted.
+    pub cycles: u64,
+    /// FIFO pushes (last PE → FIFO).
+    pub fifo_pushes: u64,
+    /// FIFO pops (FIFO → first PE).
+    pub fifo_pops: u64,
+    /// Highest FIFO occupancy observed.
+    pub fifo_high_water: usize,
+    /// Per-PE counters, indexed by position in the chain.
+    pub per_pe: Vec<PeStats>,
+}
+
+impl RunStats {
+    /// DP cells computed across all PEs (compute-thread invocations).
+    pub fn cells(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.cells).sum()
+    }
+
+    /// Cells computed per cycle across the array.
+    pub fn cells_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.cells() as f64 / self.cycles as f64
+    }
+
+    /// Measured VLIW slot utilization (paper Table 11): active CU slots over
+    /// issued slots.
+    pub fn vliw_utilization(&self) -> f64 {
+        let issued: u64 = self.per_pe.iter().map(|p| p.vliw_issued).sum();
+        if issued == 0 {
+            return 0.0;
+        }
+        let active: u64 = self.per_pe.iter().map(|p| p.cu_slots_active).sum();
+        active as f64 / (issued * gendp_isa::CU_PER_PE as u64) as f64
+    }
+
+    /// Fraction of PE-cycles the control threads spent stalled.
+    pub fn ctrl_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 || self.per_pe.is_empty() {
+            return 0.0;
+        }
+        let stalls: u64 = self.per_pe.iter().map(|p| p.ctrl_stalls).sum();
+        stalls as f64 / (self.cycles * self.per_pe.len() as u64) as f64
+    }
+
+    /// Total control instructions retired.
+    pub fn ctrl_insts(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.ctrl_insts).sum()
+    }
+
+    /// Total compute VLIW instructions issued.
+    pub fn vliw_issued(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.vliw_issued).sum()
+    }
+
+    /// Control + compute instructions per computed cell.
+    pub fn insts_per_cell(&self) -> f64 {
+        let cells = self.cells();
+        if cells == 0 {
+            return 0.0;
+        }
+        (self.ctrl_insts() + self.vliw_issued()) as f64 / cells as f64
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {}  cells {}  cells/cycle {:.3}  vliw util {:.1}%  stall {:.1}%",
+            self.cycles,
+            self.cells(),
+            self.cells_per_cycle(),
+            100.0 * self.vliw_utilization(),
+            100.0 * self.ctrl_stall_fraction(),
+        )?;
+        for (i, pe) in self.per_pe.iter().enumerate() {
+            writeln!(
+                f,
+                "  pe{i}: ctrl {} (stall {})  vliw {}  cells {}  rf {}  port {}  spm {}",
+                pe.ctrl_insts,
+                pe.ctrl_stalls,
+                pe.vliw_issued,
+                pe.cells,
+                pe.rf_accesses,
+                pe.port_moves,
+                pe.spm_accesses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let stats = RunStats {
+            cycles: 100,
+            per_pe: vec![
+                PeStats {
+                    ctrl_insts: 50,
+                    ctrl_stalls: 10,
+                    vliw_issued: 20,
+                    cu_slots_active: 30,
+                    cells: 5,
+                    ..PeStats::default()
+                },
+                PeStats {
+                    ctrl_insts: 40,
+                    ctrl_stalls: 30,
+                    vliw_issued: 10,
+                    cu_slots_active: 10,
+                    cells: 3,
+                    ..PeStats::default()
+                },
+            ],
+            ..RunStats::default()
+        };
+        assert_eq!(stats.cells(), 8);
+        assert!((stats.cells_per_cycle() - 0.08).abs() < 1e-12);
+        assert!((stats.vliw_utilization() - 40.0 / 60.0).abs() < 1e-12);
+        assert!((stats.ctrl_stall_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(stats.ctrl_insts(), 90);
+        assert!((stats.insts_per_cell() - 120.0 / 8.0).abs() < 1e-12);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.cells_per_cycle(), 0.0);
+        assert_eq!(s.vliw_utilization(), 0.0);
+        assert_eq!(s.ctrl_stall_fraction(), 0.0);
+        assert_eq!(s.insts_per_cell(), 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Execution tracing: an optional per-cycle event log for debugging
+//! control programs, with a bounded buffer so long simulations stay cheap.
+
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A control instruction retired.
+    Ctrl {
+        cycle: u64,
+        pe: usize,
+        pc: usize,
+        text: String,
+    },
+    /// A control thread stalled this cycle.
+    Stall { cycle: u64, pe: usize, pc: usize },
+    /// A compute VLIW instruction issued.
+    Compute { cycle: u64, pe: usize, pc: usize },
+    /// A control thread halted.
+    Halt { cycle: u64, pe: usize },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred in.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Ctrl { cycle, .. }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::Compute { cycle, .. }
+            | TraceEvent::Halt { cycle, .. } => *cycle,
+        }
+    }
+
+    /// The PE the event belongs to.
+    pub fn pe(&self) -> usize {
+        match self {
+            TraceEvent::Ctrl { pe, .. }
+            | TraceEvent::Stall { pe, .. }
+            | TraceEvent::Compute { pe, .. }
+            | TraceEvent::Halt { pe, .. } => *pe,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Ctrl {
+                cycle,
+                pe,
+                pc,
+                text,
+            } => write!(f, "[{cycle:6}] pe{pe} ctrl  pc={pc:<5} {text}"),
+            TraceEvent::Stall { cycle, pe, pc } => {
+                write!(f, "[{cycle:6}] pe{pe} stall pc={pc}")
+            }
+            TraceEvent::Compute { cycle, pe, pc } => {
+                write!(f, "[{cycle:6}] pe{pe} vliw  pc={pc}")
+            }
+            TraceEvent::Halt { cycle, pe } => write!(f, "[{cycle:6}] pe{pe} halt"),
+        }
+    }
+}
+
+/// A bounded event log. Once `capacity` events are recorded, further
+/// events are dropped and counted.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace buffer holding up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events belonging to one PE.
+    pub fn for_pe(&self, pe: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pe() == pe)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} further events dropped", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_the_log() {
+        let mut t = Trace::with_capacity(2);
+        for c in 0..5 {
+            t.record(TraceEvent::Halt { cycle: c, pe: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.to_string().contains("3 further events dropped"));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let e = TraceEvent::Ctrl {
+            cycle: 7,
+            pe: 2,
+            pc: 14,
+            text: "mv rf[0] in".into(),
+        };
+        assert_eq!(e.cycle(), 7);
+        assert_eq!(e.pe(), 2);
+        assert!(e.to_string().contains("mv rf[0] in"));
+        let mut t = Trace::with_capacity(8);
+        t.record(e);
+        t.record(TraceEvent::Stall {
+            cycle: 8,
+            pe: 1,
+            pc: 14,
+        });
+        assert_eq!(t.for_pe(2).count(), 1);
+        assert_eq!(t.for_pe(1).count(), 1);
+        assert_eq!(t.for_pe(0).count(), 0);
+    }
+}

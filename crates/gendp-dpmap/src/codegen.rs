@@ -1,0 +1,613 @@
+//! Compute-instruction generation: register allocation, compute-unit
+//! emission and 2-way VLIW scheduling.
+
+use std::collections::BTreeMap;
+
+use gendp_dfg::Dfg;
+use gendp_isa::{ComputeOp, ComputeProgram, CuInst, Operand, TreeSlots, VliwInst};
+
+use crate::stats::MapStats;
+use crate::subgraph::{Subgraph, SubgraphShape};
+use crate::work::{WorkGraph, WorkIn};
+
+/// Register-file layout of a mapped objective function.
+///
+/// The control thread uses this layout to place per-cell inputs before
+/// issuing `set cu` and to collect outputs afterwards: external inputs get
+/// the low slots (in declaration order), every subgraph result gets a
+/// private slot above them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RfLayout {
+    ext: Vec<(String, u16)>,
+    outputs: Vec<(String, u16)>,
+    n_slots: u16,
+}
+
+impl RfLayout {
+    /// Register-file slot holding the named external input.
+    pub fn ext_slot(&self, name: &str) -> Option<u16> {
+        self.ext.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Register-file slot where the named output lands.
+    pub fn output_slot(&self, name: &str) -> Option<u16> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// External inputs and their slots, in declaration order.
+    pub fn ext_slots(&self) -> &[(String, u16)] {
+        &self.ext
+    }
+
+    /// Named outputs and their slots, in name order.
+    pub fn output_slots(&self) -> &[(String, u16)] {
+        &self.outputs
+    }
+
+    /// Total register-file slots used by the mapping.
+    pub fn slot_count(&self) -> u16 {
+        self.n_slots
+    }
+}
+
+/// Result of mapping one DFG onto the compute units of a PE.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// The per-cell VLIW compute program (run once per DP cell).
+    pub program: ComputeProgram,
+    /// Where inputs must be placed and outputs appear in the register file.
+    pub layout: RfLayout,
+    /// The compute-unit subgraphs, in schedule order.
+    pub subgraphs: Vec<Subgraph>,
+    /// Mapping statistics (paper Tables 2 and 11 metrics).
+    pub stats: MapStats,
+}
+
+impl Mapping {
+    /// Executes the compute program on a software model of the register
+    /// file and the two compute units, exactly as one DPAx PE runs it for a
+    /// single DP cell. Returns the named outputs.
+    ///
+    /// This is the quickest way to check a mapping without instantiating
+    /// the full `gendp-dpax` simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name is unknown to the layout.
+    pub fn run(
+        &self,
+        inputs: &[(&str, gendp_isa::Word)],
+        mode: gendp_isa::Mode,
+        luts: &gendp_isa::Luts,
+    ) -> BTreeMap<String, gendp_isa::Word> {
+        use gendp_isa::{apply, Word};
+        let mut rf = vec![Word::ZERO; self.layout.slot_count() as usize];
+        for (name, v) in inputs {
+            let slot = self
+                .layout
+                .ext_slot(name)
+                .unwrap_or_else(|| panic!("unknown input `{name}`"));
+            rf[slot as usize] = *v;
+        }
+        for inst in self.program.iter() {
+            // Reads happen before writes within a cycle.
+            let mut writes: Vec<(u16, Word)> = Vec::new();
+            for slot in &inst.slots {
+                let read = |o: &Operand| -> Word {
+                    match o {
+                        Operand::Reg(r) => rf[*r as usize],
+                        Operand::Imm(v) => Word::from_i32(*v),
+                    }
+                };
+                match slot {
+                    CuInst::Nop => {}
+                    CuInst::Mul { a, b, dest } => {
+                        let r = apply(ComputeOp::Mul, mode, &[read(a), read(b)], luts);
+                        writes.push((*dest, r));
+                    }
+                    CuInst::Tree(t) => {
+                        let wide_ins: Vec<Word> =
+                            t.wide_ins[..t.wide_op.arity()].iter().map(read).collect();
+                        let a_out = if t.wide_op == ComputeOp::Nop {
+                            Word::ZERO
+                        } else {
+                            apply(t.wide_op, mode, &wide_ins, luts)
+                        };
+                        let narrow_ins: Vec<Word> = t.narrow_ins[..t.narrow_op.arity()]
+                            .iter()
+                            .map(read)
+                            .collect();
+                        let b_out = if t.narrow_op == ComputeOp::Nop {
+                            Word::ZERO
+                        } else {
+                            apply(t.narrow_op, mode, &narrow_ins, luts)
+                        };
+                        let r = apply(t.root_op, mode, &[a_out, b_out], luts);
+                        writes.push((t.dest, r));
+                    }
+                }
+            }
+            for (d, w) in writes {
+                rf[d as usize] = w;
+            }
+        }
+        self.layout
+            .output_slots()
+            .iter()
+            .map(|(n, s)| (n.clone(), rf[*s as usize]))
+            .collect()
+    }
+
+    /// Convenience wrapper over [`run`](Self::run) for integer data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name is unknown to the layout.
+    pub fn run_i32(
+        &self,
+        inputs: &[(&str, i32)],
+        mode: gendp_isa::Mode,
+        luts: &gendp_isa::Luts,
+    ) -> BTreeMap<String, i32> {
+        let words: Vec<(&str, gendp_isa::Word)> = inputs
+            .iter()
+            .map(|(n, v)| (*n, gendp_isa::Word::from_i32(*v)))
+            .collect();
+        self.run(&words, mode, luts)
+            .into_iter()
+            .map(|(n, w)| (n, w.as_i32()))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "mapping: {} subgraphs in {} VLIW cycles, {} RF slots",
+            self.subgraphs.len(),
+            self.program.len(),
+            self.layout.slot_count()
+        )?;
+        writeln!(f, "inputs:")?;
+        for (name, slot) in self.layout.ext_slots() {
+            writeln!(f, "  r{slot:<3} <- {name}")?;
+        }
+        writeln!(f, "outputs:")?;
+        for (name, slot) in self.layout.output_slots() {
+            writeln!(f, "  r{slot:<3} -> {name}")?;
+        }
+        write!(f, "{}", self.program)
+    }
+}
+
+pub(crate) fn generate(dfg: &Dfg, wg: &WorkGraph, subgraphs: &[Subgraph]) -> Mapping {
+    // --- Register allocation -------------------------------------------
+    let ext: Vec<(String, u16)> = dfg
+        .ext_names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u16))
+        .collect();
+    let mut next = ext.len() as u16;
+    // Every subgraph result gets one slot.
+    let mut value_slot: BTreeMap<usize, u16> = BTreeMap::new();
+    for sg in subgraphs {
+        value_slot.insert(sg.result_node(), next);
+        next += 1;
+    }
+    let outputs: Vec<(String, u16)> = dfg
+        .outputs()
+        .map(|(name, id)| {
+            let primary = *wg
+                .nodes_for(id)
+                .first()
+                .expect("output node exists in work graph");
+            let slot = *value_slot
+                .get(&primary)
+                .unwrap_or_else(|| panic!("output `{name}` node {primary} is not a result node"));
+            (name.to_string(), slot)
+        })
+        .collect();
+    let layout = RfLayout {
+        ext,
+        outputs,
+        n_slots: next,
+    };
+
+    // --- Compute-unit emission -----------------------------------------
+    let operand = |w: &WorkIn| -> Operand {
+        match *w {
+            WorkIn::Cut(p) => Operand::Reg(
+                *value_slot
+                    .get(&p)
+                    .unwrap_or_else(|| panic!("cut producer {p} has no register slot")),
+            ),
+            WorkIn::Ext(e) => Operand::Reg(e as u16),
+            WorkIn::Const(c) => Operand::Imm(c.as_i32()),
+            WorkIn::Edge(_) => panic!("intact edge used as register operand"),
+        }
+    };
+    let pad4 = |ops: Vec<Operand>| -> [Operand; 4] {
+        let mut a = [Operand::Imm(0); 4];
+        for (i, o) in ops.into_iter().enumerate() {
+            a[i] = o;
+        }
+        a
+    };
+    let pad2 = |ops: Vec<Operand>| -> [Operand; 2] {
+        let mut a = [Operand::Imm(0); 2];
+        for (i, o) in ops.into_iter().enumerate() {
+            a[i] = o;
+        }
+        a
+    };
+    let leaf_operands =
+        |n: usize| -> Vec<Operand> { wg.ins(n).iter().map(operand).collect() };
+
+    let emit = |sg: &Subgraph| -> CuInst {
+        let dest = value_slot[&sg.result_node()];
+        match sg.shape {
+            SubgraphShape::Mul => {
+                let ops = leaf_operands(sg.wide);
+                CuInst::Mul {
+                    a: ops[0],
+                    b: ops[1],
+                    dest,
+                }
+            }
+            SubgraphShape::Single => CuInst::Tree(TreeSlots {
+                wide_op: wg.op(sg.wide),
+                wide_ins: pad4(leaf_operands(sg.wide)),
+                narrow_op: ComputeOp::Nop,
+                narrow_ins: [Operand::Imm(0); 2],
+                root_op: ComputeOp::Copy,
+                dest,
+            }),
+            SubgraphShape::Pair => {
+                let root = sg.root.expect("pair has a root");
+                let leaf = sg.wide;
+                let root_op = wg.op(root);
+                let root_ins = wg.ins(root);
+                let edge_pos = root_ins
+                    .iter()
+                    .position(|w| *w == WorkIn::Edge(leaf))
+                    .expect("pair root reads its leaf");
+                if root_op.arity() == 1 {
+                    CuInst::Tree(TreeSlots {
+                        wide_op: wg.op(leaf),
+                        wide_ins: pad4(leaf_operands(leaf)),
+                        narrow_op: ComputeOp::Nop,
+                        narrow_ins: [Operand::Imm(0); 2],
+                        root_op,
+                        dest,
+                    })
+                } else if edge_pos == 0 || root_op.is_commutative() {
+                    let other = operand(&root_ins[1 - edge_pos]);
+                    CuInst::Tree(TreeSlots {
+                        wide_op: wg.op(leaf),
+                        wide_ins: pad4(leaf_operands(leaf)),
+                        narrow_op: ComputeOp::Copy,
+                        narrow_ins: [other, Operand::Imm(0)],
+                        root_op,
+                        dest,
+                    })
+                } else {
+                    // Non-commutative root with its leaf as second operand:
+                    // the leaf runs on the narrow ALU (legalization ensured
+                    // it is not wide-class) and the first operand passes
+                    // through the wide ALU.
+                    let other = operand(&root_ins[0]);
+                    CuInst::Tree(TreeSlots {
+                        wide_op: ComputeOp::Copy,
+                        wide_ins: pad4(vec![other]),
+                        narrow_op: wg.op(leaf),
+                        narrow_ins: pad2(leaf_operands(leaf)),
+                        root_op,
+                        dest,
+                    })
+                }
+            }
+            SubgraphShape::Triple => {
+                let root = sg.root.expect("triple has a root");
+                let narrow = sg.narrow.expect("triple has a narrow leaf");
+                CuInst::Tree(TreeSlots {
+                    wide_op: wg.op(sg.wide),
+                    wide_ins: pad4(leaf_operands(sg.wide)),
+                    narrow_op: wg.op(narrow),
+                    narrow_ins: pad2(leaf_operands(narrow)),
+                    root_op: wg.op(root),
+                    dest,
+                })
+            }
+        }
+    };
+
+    // --- VLIW scheduling -------------------------------------------------
+    // Subgraph B depends on A if any of B's nodes reads A's result through a
+    // cut edge; dependents must issue in a strictly later cycle.
+    let owner: BTreeMap<usize, usize> = subgraphs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, sg)| sg.nodes().into_iter().map(move |n| (n, si)))
+        .collect();
+    let deps: Vec<Vec<usize>> = subgraphs
+        .iter()
+        .map(|sg| {
+            let mut d: Vec<usize> = sg
+                .nodes()
+                .iter()
+                .flat_map(|&n| wg.ins(n).iter())
+                .filter_map(|w| match w {
+                    WorkIn::Cut(p) => owner.get(p).copied(),
+                    _ => None,
+                })
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        })
+        .collect();
+
+    let n = subgraphs.len();
+    let mut finish_cycle: Vec<Option<usize>> = vec![None; n];
+    let mut scheduled: Vec<(usize, usize)> = Vec::new(); // (cycle, subgraph)
+    let mut cycle = 0usize;
+    let mut remaining = n;
+    while remaining > 0 {
+        let mut issued = 0;
+        for si in 0..n {
+            if issued == gendp_isa::CU_PER_PE {
+                break;
+            }
+            if finish_cycle[si].is_some() {
+                continue;
+            }
+            let ready = deps[si]
+                .iter()
+                .all(|&d| matches!(finish_cycle[d], Some(c) if c < cycle));
+            if ready {
+                finish_cycle[si] = Some(cycle);
+                scheduled.push((cycle, si));
+                issued += 1;
+                remaining -= 1;
+            }
+        }
+        assert!(
+            issued > 0 || remaining == 0,
+            "VLIW scheduler made no progress (dependency cycle?)"
+        );
+        cycle += 1;
+    }
+
+    let total_cycles = cycle.max(1);
+    let mut program = ComputeProgram::new();
+    let mut ordered_subgraphs = Vec::with_capacity(n);
+    for c in 0..total_cycles {
+        let in_cycle: Vec<usize> = scheduled
+            .iter()
+            .filter(|(cc, _)| *cc == c)
+            .map(|(_, si)| *si)
+            .collect();
+        if in_cycle.is_empty() {
+            continue;
+        }
+        let mut slots = [CuInst::Nop, CuInst::Nop];
+        for (k, &si) in in_cycle.iter().enumerate() {
+            slots[k] = emit(&subgraphs[si]);
+            ordered_subgraphs.push(subgraphs[si].clone());
+        }
+        program.push(VliwInst::pair(slots[0], slots[1]));
+    }
+    program.finish();
+
+    let stats = MapStats::from_program(dfg, wg, subgraphs, &program, 2);
+
+    Mapping {
+        program,
+        layout,
+        subgraphs: ordered_subgraphs,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::map_dfg;
+    use gendp_dfg::{Dfg, Input};
+    use gendp_isa::{Luts, Mode};
+
+    fn check_equivalence(g: &Dfg, inputs: &[(&str, i32)], luts: &Luts) {
+        let expect = g.eval_i32(inputs, Mode::Int32, luts).unwrap();
+        let mapping = map_dfg(g);
+        let got = mapping.run_i32(inputs, Mode::Int32, luts);
+        assert_eq!(got, expect, "mapping diverges from DFG semantics\n{g}");
+    }
+
+    #[test]
+    fn simple_chain_is_equivalent() {
+        let mut g = Dfg::new("chain");
+        let x = g.ext("x");
+        let one = g.imm(1);
+        let a = g.add(x, one);
+        let b = g.add(a, one);
+        let c = g.add(b, one);
+        g.set_output("o", c);
+        check_equivalence(&g, &[("x", 10)], &Luts::default());
+    }
+
+    #[test]
+    fn bsw_like_cell_is_equivalent() {
+        let mut g = Dfg::new("bsw-cell");
+        let x = g.ext("x");
+        let y = g.ext("y");
+        let h_diag = g.ext("h_diag");
+        let h_up = g.ext("h_up");
+        let e_up = g.ext("e_up");
+        let h_left = g.ext("h_left");
+        let f_left = g.ext("f_left");
+        let gapo = g.imm(6);
+        let gape = g.imm(1);
+        let s = g.match_score(x, y);
+        let diag = g.add(h_diag, s);
+        let eo = g.sub(h_up, gapo);
+        let ee = g.sub(e_up, gape);
+        let e = g.max(eo, ee);
+        let fo = g.sub(h_left, gapo);
+        let fe = g.sub(f_left, gape);
+        let f = g.max(fo, fe);
+        let zero = g.imm(0);
+        let m0 = g.max(diag, zero);
+        let ef = g.max(e, f);
+        let h = g.max(m0, ef);
+        g.set_output("e", e);
+        g.set_output("f", f);
+        g.set_output("h", h);
+        for vals in [
+            [1, 1, 10, 9, 3, 4, 8],
+            [1, 2, 0, 0, 0, 0, 0],
+            [3, 3, -5, 2, 7, 1, -2],
+        ] {
+            check_equivalence(
+                &g,
+                &[
+                    ("x", vals[0]),
+                    ("y", vals[1]),
+                    ("h_diag", vals[2]),
+                    ("h_up", vals[3]),
+                    ("e_up", vals[4]),
+                    ("h_left", vals[5]),
+                    ("f_left", vals[6]),
+                ],
+                &Luts::with_scores(2, -4),
+            );
+        }
+    }
+
+    #[test]
+    fn multiplication_and_lut_mix_is_equivalent() {
+        let mut g = Dfg::new("chain-weight");
+        let dq = g.ext("dq");
+        let dr = g.ext("dr");
+        let span = g.ext("span");
+        let fprev = g.ext("fprev");
+        let fcur = g.ext("fcur");
+        let d = g.sub(dq, dr);
+        let zero = g.imm(0);
+        let neg = g.sub(zero, d);
+        let dd = g.max(d, neg); // |dq - dr|
+        let minp = g.min(dq, dr);
+        let mind = g.min(minp, span);
+        let scale = g.imm(13); // fixed-point 0.01 * avg_qspan
+        let lin = g.mul(dd, scale);
+        let lin16 = g.node(gendp_isa::ComputeOp::Shr16, &[lin]);
+        let log = g.log2_half(dd);
+        let gap = g.add(lin16, log);
+        let sc0 = g.sub(mind, gap);
+        let sc = g.add(fprev, sc0);
+        let best = g.max(fcur, sc);
+        g.set_output("f", best);
+        for vals in [[30, 28, 15, 40, 40], [5, 50, 15, 20, 90], [7, 7, 15, 0, 0]] {
+            check_equivalence(
+                &g,
+                &[
+                    ("dq", vals[0]),
+                    ("dr", vals[1]),
+                    ("span", vals[2]),
+                    ("fprev", vals[3]),
+                    ("fcur", vals[4]),
+                ],
+                &Luts::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn non_commutative_root_with_leaf_in_second_operand() {
+        // o = x - (a + b): the add feeds the subtraction's second input.
+        let mut g = Dfg::new("sub-order");
+        let x = g.ext("x");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.add(a, b);
+        let o = g.sub(x, s);
+        g.set_output("o", o);
+        check_equivalence(&g, &[("x", 100), ("a", 3), ("b", 4)], &Luts::default());
+    }
+
+    #[test]
+    fn wide_leaf_under_non_commutative_root_second_operand() {
+        // o = x - mscore(a, b): wide leaf in second operand forces a cut.
+        let mut g = Dfg::new("sub-wide");
+        let x = g.ext("x");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.match_score(a, b);
+        let o = g.sub(x, s);
+        g.set_output("o", o);
+        check_equivalence(&g, &[("x", 100), ("a", 1), ("b", 1)], &Luts::with_scores(5, -5));
+        check_equivalence(&g, &[("x", 100), ("a", 1), ("b", 2)], &Luts::with_scores(5, -5));
+    }
+
+    #[test]
+    fn duplicated_operand_edges() {
+        // o = t + t where t = a + b.
+        let mut g = Dfg::new("dup");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let t = g.add(a, b);
+        let o = g.add(t, t);
+        g.set_output("o", o);
+        check_equivalence(&g, &[("a", 2), ("b", 3)], &Luts::default());
+    }
+
+    #[test]
+    fn output_also_consumed_internally() {
+        // e is both a named output and an operand of h.
+        let mut g = Dfg::new("shared-out");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let e = g.add(a, b);
+        let h = g.max(e, a);
+        g.set_output("e", e);
+        g.set_output("h", h);
+        check_equivalence(&g, &[("a", 4), ("b", -2)], &Luts::default());
+    }
+
+    #[test]
+    fn layout_is_complete() {
+        let mut g = Dfg::new("layout");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.add(a, b);
+        g.set_output("s", s);
+        let m = map_dfg(&g);
+        assert_eq!(m.layout.ext_slot("a"), Some(0));
+        assert_eq!(m.layout.ext_slot("b"), Some(1));
+        assert_eq!(m.layout.ext_slot("zap"), None);
+        assert!(m.layout.output_slot("s").unwrap() >= 2);
+        assert_eq!(m.layout.slot_count(), 3);
+        assert_eq!(m.layout.ext_slots().len(), 2);
+        assert_eq!(m.layout.output_slots().len(), 1);
+    }
+
+    #[test]
+    fn scheduler_respects_dependencies() {
+        // A long chain cannot be packed into fewer cycles than its depth.
+        let mut g = Dfg::new("deps");
+        let x = g.ext("x");
+        let one = g.imm(1);
+        let mut cur: Input = x;
+        for _ in 0..6 {
+            cur = g.add(cur, one);
+        }
+        g.set_output("o", cur);
+        let m = map_dfg(&g);
+        // Six adds pair into three subgraphs, all serially dependent.
+        assert_eq!(m.subgraphs.len(), 3);
+        assert_eq!(m.program.len(), 3);
+    }
+}

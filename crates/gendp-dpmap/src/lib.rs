@@ -1,0 +1,73 @@
+//! # gendp-dpmap
+//!
+//! The **DPMap** graph-partitioning algorithm of the GenDP framework
+//! (paper §5): maps the data-flow graph of a DP objective function onto the
+//! compute units of a DPAx processing element.
+//!
+//! DPMap removes edges from the DFG in three phases until every connected
+//! component fits one compute unit (a 2-level ALU reduction tree or the
+//! dedicated multiplier):
+//!
+//! 1. **Partitioning** (Algorithm 1) isolates multiplications and 4-input /
+//!    lookup operations, replicating multi-consumer lookup nodes whose
+//!    children are commutative.
+//! 2. **Seeding** (Algorithm 2) selects nodes with two parents as roots of
+//!    the 2-level tree and detaches multi-consumer nodes.
+//! 3. **Refinement** (Algorithm 3) pairs the remaining chains two by two.
+//!
+//! The resulting subgraphs are scheduled into 2-way VLIW compute
+//! instructions ([`Mapping::program`]) with an automatic register-file
+//! layout ([`Mapping::layout`]), and mapping statistics matching the
+//! paper's Table 2 / Table 11 metrics ([`MapStats`]).
+//!
+//! ```
+//! use gendp_dfg::Dfg;
+//! use gendp_dpmap::map_dfg;
+//!
+//! let mut g = Dfg::new("toy");
+//! let x = g.ext("x");
+//! let y = g.ext("y");
+//! let s = g.match_score(x, y);
+//! let d = g.ext("diag");
+//! let sum = g.add(d, s);
+//! let zero = g.imm(0);
+//! let h = g.max(sum, zero);
+//! g.set_output("h", h);
+//!
+//! let mapping = map_dfg(&g);
+//! assert!(mapping.program.len() >= 1);
+//! assert!(mapping.layout.output_slot("h").is_some());
+//! ```
+
+mod codegen;
+mod phases;
+mod stats;
+mod subgraph;
+mod work;
+
+pub use codegen::{Mapping, RfLayout};
+pub use phases::{partitioning, refinement, seeding};
+pub use stats::{analyze_tree_depth, MapStats};
+pub use subgraph::{extract, Subgraph, SubgraphShape};
+pub use work::{WorkGraph, WorkIn};
+
+use gendp_dfg::Dfg;
+
+/// Runs the full DPMap pipeline on a DFG: the three partitioning phases,
+/// subgraph extraction, register allocation and VLIW scheduling.
+///
+/// # Panics
+///
+/// Panics if the DFG fails [`Dfg::validate`] (graphs built through the
+/// `gendp-dfg` builder API always pass) or has no named outputs.
+pub fn map_dfg(dfg: &Dfg) -> Mapping {
+    let errs = dfg.validate();
+    assert!(errs.is_empty(), "invalid DFG: {errs:?}");
+    assert!(dfg.outputs().count() > 0, "DFG has no outputs");
+    let mut wg = WorkGraph::from_dfg(dfg);
+    partitioning(&mut wg);
+    seeding(&mut wg);
+    refinement(&mut wg);
+    let subgraphs = subgraph::extract(&mut wg);
+    codegen::generate(dfg, &wg, &subgraphs)
+}

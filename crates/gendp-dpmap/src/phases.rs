@@ -1,0 +1,313 @@
+//! The three DPMap phases (paper Algorithms 1–3).
+
+use gendp_isa::ComputeOp;
+
+use crate::work::WorkGraph;
+
+/// **Partitioning** (Algorithm 1): extracts nodes destined for the 4-input
+/// ALU and the multiplier.
+///
+/// * Multiplication nodes lose both input and output edges — the multiplier
+///   is a whole compute unit by itself.
+/// * Wide operations (conditional selects and lookup tables) lose their
+///   input edges. A wide node with several children keeps its edge to a
+///   subtracting child (non-commutative) but is *replicated* for children
+///   with commutative operations, trading one extra ALU slot for a
+///   register-file round trip.
+pub fn partitioning(wg: &mut WorkGraph) {
+    // Snapshot the node count: replicas appended during the loop are copies
+    // of already-processed wide nodes and need no re-processing (their
+    // inputs are already cut and they have exactly one child).
+    let n = wg.len();
+    for v in 0..n {
+        let op = wg.op(v);
+        if op.is_mul() {
+            wg.cut_inputs(v);
+            wg.cut_outputs(v);
+        } else if op.is_wide() {
+            wg.cut_inputs(v);
+            let children = wg.intact_children(v);
+            if children.len() > 1 {
+                // The first commutative child keeps the original node; each
+                // further one gets a replica (Fig. 9(b): one comp node
+                // becomes two, one per child).
+                let mut original_kept = false;
+                for c in children {
+                    if wg.op(c) == ComputeOp::Sub {
+                        wg.cut_edge(v, c);
+                    } else if original_kept {
+                        wg.replicate_for(v, c);
+                    } else {
+                        original_kept = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// **Seeding** (Algorithm 2): finds roots for the 2-level reduction tree.
+///
+/// A node with two intact parents becomes a *seed*: its output edges are
+/// cut (the root ALU writes the register file) and its parents' inputs are
+/// cut (first-level ALUs read the register file). Independently, every node
+/// with more than one intact child is detached from its children because
+/// its value must be stored to the register file anyway.
+pub fn seeding(wg: &mut WorkGraph) {
+    for v in 0..wg.len() {
+        let parents = wg.intact_parents(v);
+        if parents.len() == 2 {
+            wg.cut_outputs(v);
+            for p in parents {
+                wg.cut_inputs(p);
+            }
+        }
+        if wg.intact_children(v).len() > 1 {
+            wg.cut_outputs(v);
+        }
+    }
+    legalize(wg);
+}
+
+/// **Refinement** (Algorithm 3): traverses the graph in reverse order and
+/// pairs the remaining single-parent/single-child chains two nodes at a
+/// time by cutting the grandparent edge.
+pub fn refinement(wg: &mut WorkGraph) {
+    for v in (0..wg.len()).rev() {
+        for p in wg.intact_parents(v) {
+            if !wg.intact_parents(p).is_empty() {
+                wg.cut_inputs(p);
+            }
+        }
+    }
+    legalize(wg);
+}
+
+/// Hardware legality fix-up, iterated to a fixed point.
+///
+/// The paper's algorithms leave a few compute-unit constraints implicit; we
+/// resolve each violation by cutting an edge (one extra register-file round
+/// trip):
+///
+/// 1. duplicate intact edges from one parent cannot both stay inside the
+///    tree (the root's two inputs are wired to the two first-level ALUs);
+/// 2. only one first-level ALU is 4-input, so at most one wide parent stays;
+/// 3. for a non-commutative root the wide parent must be the *first*
+///    operand (the wide ALU feeds the root's `in[0]`);
+/// 4. a first-level ALU output cannot reach the register file, so a node
+///    whose value is also consumed through a cut edge (or is a named DFG
+///    output) must be the root of its own subgraph.
+fn legalize(wg: &mut WorkGraph) {
+    loop {
+        let mut changed = false;
+        for v in 0..wg.len() {
+            // Rule 1: duplicate edges from the same parent.
+            let parents = wg.intact_parents(v);
+            for p in &parents {
+                let dup = wg
+                    .ins(v)
+                    .iter()
+                    .filter(|w| **w == crate::work::WorkIn::Edge(*p))
+                    .count();
+                if dup > 1 {
+                    wg.cut_edge(*p, v);
+                    changed = true;
+                }
+            }
+            // Rules 2 and 3 in operand order.
+            let prods = wg.intact_edge_producers(v);
+            match prods.len() {
+                2 => {
+                    let (p0, p1) = (prods[0], prods[1]);
+                    // Two wide leaves, or a wide leaf stuck in the second
+                    // operand of a non-commutative root: cut the second.
+                    let both_wide = wg.op(p0).is_wide() && wg.op(p1).is_wide();
+                    let misplaced_wide =
+                        wg.op(p1).is_wide() && !wg.op(v).is_commutative();
+                    if both_wide || misplaced_wide {
+                        wg.cut_edge(p1, v);
+                        changed = true;
+                    }
+                }
+                1 => {
+                    // A pair whose leaf sits in the root's second operand:
+                    // fine if the root is commutative (swap) or the leaf can
+                    // use the narrow slot; a wide leaf cannot.
+                    let p = prods[0];
+                    let pos = wg
+                        .ins(v)
+                        .iter()
+                        .position(|w| *w == crate::work::WorkIn::Edge(p))
+                        .expect("edge exists");
+                    if pos == 1 && !wg.op(v).is_commutative() && wg.op(p).is_wide() {
+                        wg.cut_edge(p, v);
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+            // Rule 4: leaves must not need a register-file write.
+            if !wg.intact_children(v).is_empty()
+                && (wg.has_cut_consumer(v) || wg.is_output(v))
+            {
+                wg.cut_outputs(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{WorkGraph, WorkIn};
+    use gendp_dfg::Dfg;
+
+    /// The BSW-like example of paper Fig. 9: a comparison feeding two
+    /// commutative children is replicated.
+    #[test]
+    fn partitioning_replicates_wide_nodes_with_commutative_children() {
+        let mut g = Dfg::new("fig9");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let cmp = g.select_gt(a, b, a, b); // v0, wide
+        let m1 = g.max(cmp, a); // v1
+        let m2 = g.max(cmp, b); // v2
+        g.set_output("m1", m1);
+        g.set_output("m2", m2);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        // v0 replicated: 4 nodes now; each max keeps one intact wide parent.
+        assert_eq!(wg.len(), 4);
+        assert_eq!(wg.intact_parents(1).len(), 1);
+        assert_eq!(wg.intact_parents(2).len(), 1);
+        assert_ne!(wg.intact_parents(1), wg.intact_parents(2));
+    }
+
+    #[test]
+    fn partitioning_keeps_edge_to_subtraction_child() {
+        let mut g = Dfg::new("sub-child");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let cmp = g.select_gt(a, b, a, b); // v0
+        let s = g.sub(cmp, a); // v1 (non-commutative)
+        let m = g.max(cmp, b); // v2 (commutative)
+        g.set_output("s", s);
+        g.set_output("m", m);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        // Subtraction child loses the edge; max child gets a replica.
+        assert!(wg.intact_parents(1).is_empty());
+        assert_eq!(wg.intact_parents(2).len(), 1);
+    }
+
+    #[test]
+    fn partitioning_isolates_multiplication() {
+        let mut g = Dfg::new("mul");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let p = g.mul(a, b); // v0
+        let q = g.add(p, a); // v1
+        g.set_output("q", q);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        assert_eq!(wg.intact_edge_count(), 0);
+        assert!(wg.has_cut_consumer(0));
+    }
+
+    #[test]
+    fn seeding_groups_two_parent_nodes() {
+        // d = (a+b) max (b+c): the max is a seed, the adds its first level.
+        let mut g = Dfg::new("seed");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let c = g.ext("c");
+        let s1 = g.add(a, b); // v0
+        let s2 = g.add(b, c); // v1
+        let m = g.max(s1, s2); // v2 (seed)
+        let out = g.add(m, a); // v3: consumer of the seed
+        g.set_output("o", out);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        seeding(&mut wg);
+        // Seed keeps both parent edges; its own output edge is cut.
+        assert_eq!(wg.intact_parents(2).len(), 2);
+        assert!(matches!(wg.ins(3)[0], WorkIn::Cut(2)));
+    }
+
+    #[test]
+    fn seeding_detaches_multi_child_nodes() {
+        let mut g = Dfg::new("fanout");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.add(a, b); // v0 feeds two children
+        let x = g.add(s, a); // v1
+        let y = g.add(s, b); // v2
+        g.set_output("x", x);
+        g.set_output("y", y);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        seeding(&mut wg);
+        assert!(wg.intact_children(0).is_empty());
+    }
+
+    #[test]
+    fn refinement_pairs_chains_from_the_end() {
+        let mut g = Dfg::new("chain4");
+        let x = g.ext("x");
+        let one = g.imm(1);
+        let a = g.add(x, one); // v0
+        let b = g.add(a, one); // v1
+        let c = g.add(b, one); // v2
+        let d = g.add(c, one); // v3
+        g.set_output("o", d);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        seeding(&mut wg);
+        refinement(&mut wg);
+        // Pairs {v0,v1} and {v2,v3}: edge v1->v2 cut, others intact.
+        assert_eq!(wg.intact_parents(1), vec![0]);
+        assert!(wg.intact_parents(2).is_empty());
+        assert_eq!(wg.intact_parents(3), vec![2]);
+    }
+
+    #[test]
+    fn all_phases_leave_components_of_at_most_three() {
+        // A denser graph mixing op classes.
+        let mut g = Dfg::new("dense");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let c = g.ext("c");
+        let s = g.match_score(a, b);
+        let t = g.add(s, c);
+        let u = g.sub(t, a);
+        let v = g.max(u, b);
+        let w = g.mul(v, c);
+        let x = g.add(w, t);
+        let y = g.min(x, v);
+        let z = g.max(y, a);
+        g.set_output("z", z);
+        let mut wg = WorkGraph::from_dfg(&g);
+        partitioning(&mut wg);
+        seeding(&mut wg);
+        refinement(&mut wg);
+        // Every node has at most one intact parent or one intact child, and
+        // intact in-degree + chain depth fits the 2-level tree.
+        for v in 0..wg.len() {
+            let parents = wg.intact_parents(v);
+            assert!(parents.len() <= 2, "node {v} has {} parents", parents.len());
+            if parents.len() == 2 {
+                for p in parents {
+                    assert!(
+                        wg.intact_parents(p).is_empty(),
+                        "seed parent {p} must be a leaf"
+                    );
+                }
+            }
+            assert!(wg.intact_children(v).len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Mapping statistics (paper Table 2 and Table 11) and the reduction-tree
+//! depth ablation.
+
+use std::collections::BTreeMap;
+
+use gendp_dfg::Dfg;
+use gendp_isa::{ComputeProgram, CU_PER_PE};
+
+use crate::phases::partitioning;
+use crate::subgraph::Subgraph;
+use crate::work::{WorkGraph, WorkIn};
+
+/// Statistics of mapping one objective function onto compute units with an
+/// ALU reduction tree of a given depth.
+///
+/// The paper's Table 2 reports "RF accesses" (register-file writes per DP
+/// cell — one per subgraph, since only subgraph roots leave the compute
+/// unit) and "CU utilization" (fraction of ALU slots doing useful work per
+/// cycle). Table 11's VLIW utilization is the 2-level CU utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapStats {
+    /// Operator nodes in the original DFG.
+    pub dfg_nodes: usize,
+    /// Work nodes after replication.
+    pub work_nodes: usize,
+    /// Compute-unit subgraphs after partitioning.
+    pub subgraphs: usize,
+    /// VLIW cycles per cell.
+    pub cycles: usize,
+    /// Real ALU operations executed per cell (excludes wiring copies).
+    pub alu_ops: usize,
+    /// Register-file writes per cell (the paper's "RF accesses").
+    pub rf_writes: usize,
+    /// Register-file reads per cell.
+    pub rf_reads: usize,
+    /// Depth of the ALU reduction tree (1, 2 or 3).
+    pub tree_levels: u8,
+}
+
+impl MapStats {
+    /// ALUs per compute unit at a given tree depth (1, 3 or 7; paper §4.3).
+    pub fn alus_per_cu(levels: u8) -> usize {
+        (1usize << levels) - 1
+    }
+
+    /// CU utilization: ALU operations over available ALU slots
+    /// (`ALUs/CU × 2 CUs × cycles`).
+    pub fn cu_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.alu_ops as f64
+            / (Self::alus_per_cu(self.tree_levels) * CU_PER_PE * self.cycles) as f64
+    }
+
+    /// VLIW slot utilization: issued compute units over available slots.
+    pub fn vliw_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.subgraphs as f64 / (CU_PER_PE * self.cycles) as f64
+    }
+
+    /// The paper's "RF accesses" metric (writes per cell).
+    pub fn rf_accesses(&self) -> usize {
+        self.rf_writes
+    }
+
+    /// Total register-file traffic (reads plus writes).
+    pub fn rf_total_accesses(&self) -> usize {
+        self.rf_reads + self.rf_writes
+    }
+
+    pub(crate) fn from_program(
+        dfg: &Dfg,
+        wg: &WorkGraph,
+        subgraphs: &[Subgraph],
+        program: &ComputeProgram,
+        tree_levels: u8,
+    ) -> Self {
+        let rf_reads = program
+            .iter()
+            .flat_map(|v| v.slots.iter())
+            .map(|s| s.rf_reads())
+            .sum();
+        let rf_writes = program
+            .iter()
+            .flat_map(|v| v.slots.iter())
+            .map(|s| s.rf_writes())
+            .sum();
+        MapStats {
+            dfg_nodes: dfg.len(),
+            work_nodes: wg.len(),
+            subgraphs: subgraphs.len(),
+            cycles: program.len(),
+            alu_ops: subgraphs.iter().map(Subgraph::op_count).sum(),
+            rf_writes,
+            rf_reads,
+            tree_levels,
+        }
+    }
+}
+
+/// Analyzes mapping a DFG onto compute units whose reduction tree has the
+/// given depth (paper Table 2 ablation: 1, 2 or 3 levels).
+///
+/// Depth 2 runs the real DPMap pipeline; depths 1 and 3 use an equivalent
+/// greedy tree packer under the same hardware constraints (isolated
+/// multiplier, single 4-input leaf ALU, only roots reach the register
+/// file).
+///
+/// # Panics
+///
+/// Panics if `levels` is not 1, 2 or 3.
+pub fn analyze_tree_depth(dfg: &Dfg, levels: u8) -> MapStats {
+    assert!((1..=3).contains(&levels), "tree depth must be 1, 2 or 3");
+    if levels == 2 {
+        return crate::map_dfg(dfg).stats;
+    }
+    let mut wg = WorkGraph::from_dfg(dfg);
+    partitioning(&mut wg);
+    let n = wg.len();
+
+    // Greedy bottom-up grouping into depth-`levels` trees.
+    let mut group = vec![usize::MAX; n];
+    let mut n_groups = 0usize;
+    for v in (0..n).rev() {
+        if group[v] != usize::MAX {
+            continue;
+        }
+        let gid = n_groups;
+        n_groups += 1;
+        let mut wide_used = wg.op(v).is_wide();
+        let mut stack = vec![(v, 1u8)];
+        group[v] = gid;
+        while let Some((cur, depth)) = stack.pop() {
+            if depth >= levels || wg.op(cur).is_mul() || wg.op(cur).is_wide() {
+                continue;
+            }
+            for p in wg.intact_parents(cur) {
+                if group[p] != usize::MAX
+                    || wg.op(p).is_mul()
+                    || wg.intact_children(p) != vec![cur]
+                    || wg.has_cut_consumer(p)
+                    || wg.is_output(p)
+                {
+                    continue;
+                }
+                if wg.op(p).is_wide() {
+                    if wide_used {
+                        continue;
+                    }
+                    wide_used = true;
+                }
+                group[p] = gid;
+                stack.push((p, depth + 1));
+            }
+        }
+    }
+
+    // Count register-file traffic: every group writes once; reads are the
+    // external inputs and cross-group values each node consumes.
+    let mut rf_reads = 0usize;
+    for v in 0..n {
+        for w in wg.ins(v) {
+            match w {
+                WorkIn::Ext(_) => rf_reads += 1,
+                WorkIn::Cut(_) => rf_reads += 1,
+                WorkIn::Edge(p) => {
+                    if group[*p] != group[v] {
+                        rf_reads += 1;
+                    }
+                }
+                WorkIn::Const(_) => {}
+            }
+        }
+    }
+
+    // Schedule groups two per cycle, honoring cross-group dependencies.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for v in 0..n {
+        for w in wg.ins(v) {
+            let p = match w {
+                WorkIn::Cut(p) => *p,
+                WorkIn::Edge(p) if group[*p] != group[v] => *p,
+                _ => continue,
+            };
+            if group[p] != group[v] {
+                deps[group[v]].push(group[p]);
+            }
+        }
+    }
+    for d in &mut deps {
+        d.sort_unstable();
+        d.dedup();
+    }
+    let mut finish: Vec<Option<usize>> = vec![None; n_groups];
+    let mut cycle = 0usize;
+    let mut remaining = n_groups;
+    while remaining > 0 {
+        let mut issued = 0;
+        for g in 0..n_groups {
+            if issued == CU_PER_PE || finish[g].is_some() {
+                continue;
+            }
+            if deps[g]
+                .iter()
+                .all(|&d| matches!(finish[d], Some(c) if c < cycle))
+            {
+                finish[g] = Some(cycle);
+                issued += 1;
+                remaining -= 1;
+            }
+        }
+        assert!(issued > 0 || remaining == 0, "group scheduler stuck");
+        cycle += 1;
+    }
+
+    let group_sizes: BTreeMap<usize, usize> =
+        group.iter().fold(BTreeMap::new(), |mut m, &g| {
+            *m.entry(g).or_insert(0) += 1;
+            m
+        });
+    debug_assert!(group_sizes
+        .values()
+        .all(|&s| s < (1usize << levels)));
+
+    MapStats {
+        dfg_nodes: dfg.len(),
+        work_nodes: n,
+        subgraphs: n_groups,
+        cycles: cycle.max(1),
+        alu_ops: n,
+        rf_writes: n_groups,
+        rf_reads,
+        tree_levels: levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_dfg::Dfg;
+
+    fn bsw_like() -> Dfg {
+        let mut g = Dfg::new("bsw-cell");
+        let x = g.ext("x");
+        let y = g.ext("y");
+        let h_diag = g.ext("h_diag");
+        let h_up = g.ext("h_up");
+        let e_up = g.ext("e_up");
+        let h_left = g.ext("h_left");
+        let f_left = g.ext("f_left");
+        let gapo = g.imm(6);
+        let gape = g.imm(1);
+        let s = g.match_score(x, y);
+        let diag = g.add(h_diag, s);
+        let eo = g.sub(h_up, gapo);
+        let ee = g.sub(e_up, gape);
+        let e = g.max(eo, ee);
+        let fo = g.sub(h_left, gapo);
+        let fe = g.sub(f_left, gape);
+        let f = g.max(fo, fe);
+        let zero = g.imm(0);
+        let m0 = g.max(diag, zero);
+        let ef = g.max(e, f);
+        let h = g.max(m0, ef);
+        g.set_output("e", e);
+        g.set_output("f", f);
+        g.set_output("h", h);
+        g
+    }
+
+    #[test]
+    fn deeper_trees_reduce_rf_writes() {
+        let g = bsw_like();
+        let l1 = analyze_tree_depth(&g, 1);
+        let l2 = analyze_tree_depth(&g, 2);
+        let l3 = analyze_tree_depth(&g, 3);
+        assert!(l1.rf_accesses() >= l2.rf_accesses(), "{l1:?} vs {l2:?}");
+        assert!(l2.rf_accesses() >= l3.rf_accesses(), "{l2:?} vs {l3:?}");
+        // Level 1 writes once per node.
+        assert_eq!(l1.rf_writes, l1.work_nodes);
+    }
+
+    #[test]
+    fn deeper_trees_reduce_utilization() {
+        let g = bsw_like();
+        let l1 = analyze_tree_depth(&g, 1);
+        let l2 = analyze_tree_depth(&g, 2);
+        let l3 = analyze_tree_depth(&g, 3);
+        assert!(l1.cu_utilization() >= l2.cu_utilization());
+        assert!(l2.cu_utilization() > l3.cu_utilization());
+        assert!(l1.cu_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn alus_per_cu_matches_paper() {
+        assert_eq!(MapStats::alus_per_cu(1), 1);
+        assert_eq!(MapStats::alus_per_cu(2), 3);
+        assert_eq!(MapStats::alus_per_cu(3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "tree depth")]
+    fn invalid_depth_panics() {
+        analyze_tree_depth(&bsw_like(), 4);
+    }
+
+    #[test]
+    fn stats_are_consistent_for_level2() {
+        let g = bsw_like();
+        let s = analyze_tree_depth(&g, 2);
+        assert_eq!(s.dfg_nodes, g.len());
+        assert!(s.subgraphs <= s.work_nodes);
+        assert!(s.cycles >= s.subgraphs.div_ceil(2));
+        assert!(s.vliw_utilization() <= 1.0);
+        assert!(s.rf_total_accesses() > s.rf_accesses());
+    }
+}

@@ -1,0 +1,250 @@
+//! Extraction of compute-unit subgraphs after the DPMap phases.
+
+use crate::work::WorkGraph;
+
+/// The shape of one subgraph, dictating its placement in a compute unit.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum SubgraphShape {
+    /// A lone multiplication on the dedicated multiplier module.
+    Mul,
+    /// A single ALU operation (wide slot, root copies it out).
+    Single,
+    /// A two-node chain: leaf on a first-level ALU, child on the root.
+    Pair,
+    /// A full 2-level tree: two first-level leaves and a root.
+    Triple,
+}
+
+/// One connected component of the partitioned graph, ready to be mapped to
+/// a compute unit (paper Fig. 9 dashed blocks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    /// Work-node index placed on the 4-input first-level ALU (or the
+    /// multiplier / the single node).
+    pub wide: usize,
+    /// Work-node index placed on the 2-input first-level ALU, if any.
+    pub narrow: Option<usize>,
+    /// Work-node index placed on the root ALU, if any.
+    pub root: Option<usize>,
+    /// Shape classification.
+    pub shape: SubgraphShape,
+}
+
+impl Subgraph {
+    /// The node whose value leaves this compute unit (the root if present).
+    pub fn result_node(&self) -> usize {
+        self.root.unwrap_or(self.wide)
+    }
+
+    /// All work nodes of the subgraph.
+    pub fn nodes(&self) -> Vec<usize> {
+        let mut v = vec![self.wide];
+        v.extend(self.narrow);
+        v.extend(self.root);
+        v
+    }
+
+    /// Number of ALU operations in the subgraph (the root `Copy` emitted
+    /// for single-node subgraphs is wiring, not a DFG operation).
+    pub fn op_count(&self) -> usize {
+        self.nodes().len()
+    }
+}
+
+/// Groups the intact components of a partitioned work graph into
+/// [`Subgraph`]s, ordered so that producers precede consumers.
+///
+/// # Panics
+///
+/// Panics if a component does not fit a compute unit; the DPMap phases (with
+/// their legalization pass) guarantee this never happens for valid inputs.
+pub fn extract(wg: &mut WorkGraph) -> Vec<Subgraph> {
+    let n = wg.len();
+    let mut assigned = vec![false; n];
+    let mut subgraphs = Vec::new();
+
+    // Identify roots: nodes with no intact children. Each root plus its
+    // intact ancestors (depth <= 2 guaranteed) forms one subgraph.
+    for v in 0..n {
+        if assigned[v] || !wg.intact_children(v).is_empty() {
+            continue;
+        }
+        let parents = wg.intact_parents(v);
+        let sg = match parents.len() {
+            0 => {
+                if wg.op(v).is_mul() {
+                    Subgraph {
+                        wide: v,
+                        narrow: None,
+                        root: None,
+                        shape: SubgraphShape::Mul,
+                    }
+                } else {
+                    Subgraph {
+                        wide: v,
+                        narrow: None,
+                        root: None,
+                        shape: SubgraphShape::Single,
+                    }
+                }
+            }
+            1 => {
+                let leaf = parents[0];
+                assert!(
+                    wg.intact_parents(leaf).is_empty(),
+                    "leaf {leaf} of pair rooted at {v} still has intact parents"
+                );
+                Subgraph {
+                    wide: leaf,
+                    narrow: None,
+                    root: Some(v),
+                    shape: SubgraphShape::Pair,
+                }
+            }
+            2 => {
+                // Wire leaves by operand position: the wide ALU feeds the
+                // root's in[0], the narrow ALU its in[1]. Legalization
+                // guarantees a wide-class leaf in position 1 only under a
+                // commutative root, where swapping is sound.
+                let prods = wg.intact_edge_producers(v);
+                assert_eq!(prods.len(), 2, "triple root {v} operand wiring");
+                let (mut wide, mut narrow) = (prods[0], prods[1]);
+                if wg.op(narrow).is_wide() {
+                    assert!(
+                        wg.op(v).is_commutative(),
+                        "wide leaf in second operand of non-commutative root {v}"
+                    );
+                    std::mem::swap(&mut wide, &mut narrow);
+                }
+                for p in [wide, narrow] {
+                    assert!(
+                        wg.intact_parents(p).is_empty(),
+                        "leaf {p} of triple rooted at {v} still has intact parents"
+                    );
+                }
+                assert!(
+                    !wg.op(narrow).is_wide(),
+                    "two wide leaves under root {v} survived legalization"
+                );
+                Subgraph {
+                    wide,
+                    narrow: Some(narrow),
+                    root: Some(v),
+                    shape: SubgraphShape::Triple,
+                }
+            }
+            k => panic!("root {v} has {k} intact parents, exceeding the 2-level tree"),
+        };
+        for &node in &sg.nodes() {
+            assert!(!assigned[node], "node {node} assigned to two subgraphs");
+            assigned[node] = true;
+        }
+        subgraphs.push(sg);
+    }
+
+    assert!(
+        assigned.iter().all(|&a| a),
+        "some work nodes were not covered by any subgraph"
+    );
+    subgraphs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::{partitioning, refinement, seeding};
+    use crate::work::WorkGraph;
+    use gendp_dfg::Dfg;
+
+    fn run_phases(g: &Dfg) -> (WorkGraph, Vec<Subgraph>) {
+        let mut wg = WorkGraph::from_dfg(g);
+        partitioning(&mut wg);
+        seeding(&mut wg);
+        refinement(&mut wg);
+        let sgs = extract(&mut wg);
+        (wg, sgs)
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g = Dfg::new("one");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.add(a, b);
+        g.set_output("s", s);
+        let (_, sgs) = run_phases(&g);
+        assert_eq!(sgs.len(), 1);
+        assert_eq!(sgs[0].shape, SubgraphShape::Single);
+        assert_eq!(sgs[0].result_node(), 0);
+    }
+
+    #[test]
+    fn lone_multiplication() {
+        let mut g = Dfg::new("mul");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let p = g.mul(a, b);
+        let q = g.add(p, a);
+        g.set_output("q", q);
+        let (_, sgs) = run_phases(&g);
+        let shapes: Vec<_> = sgs.iter().map(|s| s.shape).collect();
+        assert!(shapes.contains(&SubgraphShape::Mul));
+    }
+
+    #[test]
+    fn seed_forms_triple() {
+        let mut g = Dfg::new("tri");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let c = g.ext("c");
+        let s1 = g.add(a, b);
+        let s2 = g.add(b, c);
+        let m = g.max(s1, s2);
+        g.set_output("m", m);
+        let (_, sgs) = run_phases(&g);
+        assert_eq!(sgs.len(), 1);
+        assert_eq!(sgs[0].shape, SubgraphShape::Triple);
+        assert_eq!(sgs[0].op_count(), 3);
+        assert_eq!(sgs[0].result_node(), 2);
+    }
+
+    #[test]
+    fn wide_leaf_takes_wide_slot() {
+        let mut g = Dfg::new("wide");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.match_score(a, b); // wide leaf
+        let t = g.add(a, b); // narrow leaf
+        let m = g.max(s, t);
+        g.set_output("m", m);
+        let (wg, sgs) = run_phases(&g);
+        assert_eq!(sgs.len(), 1);
+        let sg = &sgs[0];
+        assert_eq!(sg.shape, SubgraphShape::Triple);
+        assert!(wg.op(sg.wide).is_wide());
+        assert!(!wg.op(sg.narrow.unwrap()).is_wide());
+    }
+
+    #[test]
+    fn every_node_covered_exactly_once() {
+        let mut g = Dfg::new("cover");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let c = g.ext("c");
+        let s = g.match_score(a, b);
+        let t = g.add(s, c);
+        let u = g.sub(t, a);
+        let v = g.max(u, b);
+        let w = g.mul(v, c);
+        let x = g.add(w, t);
+        g.set_output("x", x);
+        let (wg, sgs) = run_phases(&g);
+        let mut seen = vec![0usize; wg.len()];
+        for sg in &sgs {
+            for n in sg.nodes() {
+                seen[n] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+    }
+}

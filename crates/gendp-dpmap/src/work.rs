@@ -1,0 +1,297 @@
+use gendp_dfg::{Dfg, Input, NodeId};
+use gendp_isa::{ComputeOp, Word};
+
+/// An operand of a [`WorkGraph`] node.
+///
+/// DPMap turns intact operator-to-operator edges ([`WorkIn::Edge`]) into cut
+/// edges ([`WorkIn::Cut`]); a cut edge means the value travels through the
+/// register file instead of staying inside a compute unit.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum WorkIn {
+    /// Intact edge from another work node (value stays inside the CU).
+    Edge(usize),
+    /// Cut edge: the producer's result is written to, and read back from,
+    /// the register file.
+    Cut(usize),
+    /// Named external input (register-file read).
+    Ext(usize),
+    /// Immediate constant.
+    Const(Word),
+}
+
+impl WorkIn {
+    /// The producing work node for edge-like operands.
+    pub fn producer(self) -> Option<usize> {
+        match self {
+            WorkIn::Edge(p) | WorkIn::Cut(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct WorkNode {
+    pub op: ComputeOp,
+    pub ins: Vec<WorkIn>,
+    /// The original DFG node this (possibly replicated) node computes.
+    pub orig: NodeId,
+}
+
+/// The mutable graph DPMap's phases operate on.
+///
+/// Starts as a copy of the [`Dfg`] with every operator-to-operator edge
+/// intact; the phases cut edges and replicate nodes. Node indices stay
+/// topologically ordered (replicas are appended but only ever feed existing
+/// consumers, so traversals use explicit orderings).
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    pub(crate) nodes: Vec<WorkNode>,
+    /// Primary work nodes whose value is a named DFG output (their results
+    /// must reach the register file).
+    pub(crate) output_nodes: Vec<usize>,
+}
+
+impl WorkGraph {
+    /// Copies a DFG into working form with all edges intact.
+    pub fn from_dfg(dfg: &Dfg) -> Self {
+        let nodes = dfg
+            .node_ids()
+            .map(|id| WorkNode {
+                op: dfg.op(id),
+                ins: dfg
+                    .inputs(id)
+                    .iter()
+                    .map(|inp| match *inp {
+                        Input::Node(p) => WorkIn::Edge(p.0),
+                        Input::Ext(e) => WorkIn::Ext(e),
+                        Input::Const(w) => WorkIn::Const(w),
+                    })
+                    .collect(),
+                orig: id,
+            })
+            .collect();
+        let mut output_nodes: Vec<usize> = dfg.outputs().map(|(_, id)| id.0).collect();
+        output_nodes.sort_unstable();
+        output_nodes.dedup();
+        WorkGraph {
+            nodes,
+            output_nodes,
+        }
+    }
+
+    /// True if node `i` is the primary node of a named DFG output.
+    pub fn is_output(&self, i: usize) -> bool {
+        self.output_nodes.contains(&i)
+    }
+
+    /// Number of work nodes (grows when partitioning replicates nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The operator of work node `i`.
+    pub fn op(&self, i: usize) -> ComputeOp {
+        self.nodes[i].op
+    }
+
+    /// The original DFG node computed by work node `i`.
+    pub fn orig(&self, i: usize) -> NodeId {
+        self.nodes[i].orig
+    }
+
+    /// The operands of work node `i`.
+    pub fn ins(&self, i: usize) -> &[WorkIn] {
+        &self.nodes[i].ins
+    }
+
+    /// Distinct intact parents of node `i`.
+    pub fn intact_parents(&self, i: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.nodes[i]
+            .ins
+            .iter()
+            .filter_map(|w| match w {
+                WorkIn::Edge(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Producers of node `i`'s intact edges in operand order (with
+    /// multiplicity), used for operand wiring inside a compute unit.
+    pub fn intact_edge_producers(&self, i: usize) -> Vec<usize> {
+        self.nodes[i]
+            .ins
+            .iter()
+            .filter_map(|w| match w {
+                WorkIn::Edge(p) => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Distinct intact children of node `i`.
+    pub fn intact_children(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (c, n) in self.nodes.iter().enumerate() {
+            if n.ins.contains(&WorkIn::Edge(i)) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Cuts every intact input edge of node `i`.
+    pub fn cut_inputs(&mut self, i: usize) {
+        for w in &mut self.nodes[i].ins {
+            if let WorkIn::Edge(p) = *w {
+                *w = WorkIn::Cut(p);
+            }
+        }
+    }
+
+    /// Cuts every intact output edge of node `i`.
+    pub fn cut_outputs(&mut self, i: usize) {
+        for n in &mut self.nodes {
+            for w in &mut n.ins {
+                if *w == WorkIn::Edge(i) {
+                    *w = WorkIn::Cut(i);
+                }
+            }
+        }
+    }
+
+    /// Cuts the specific edges from `parent` feeding `child`.
+    pub fn cut_edge(&mut self, parent: usize, child: usize) {
+        for w in &mut self.nodes[child].ins {
+            if *w == WorkIn::Edge(parent) {
+                *w = WorkIn::Cut(parent);
+            }
+        }
+    }
+
+    /// Replicates node `i` for the exclusive use of `child`: a fresh copy of
+    /// `i` (same op and operands) is appended and `child`'s edges from `i`
+    /// are redirected to it (paper Algorithm 1, lines 8–14).
+    ///
+    /// Returns the replica's index.
+    pub fn replicate_for(&mut self, i: usize, child: usize) -> usize {
+        let replica = WorkNode {
+            op: self.nodes[i].op,
+            ins: self.nodes[i].ins.clone(),
+            orig: self.nodes[i].orig,
+        };
+        self.nodes.push(replica);
+        let r = self.nodes.len() - 1;
+        for w in &mut self.nodes[child].ins {
+            if *w == WorkIn::Edge(i) {
+                *w = WorkIn::Edge(r);
+            }
+        }
+        r
+    }
+
+    /// True if any node consumes `i` through a cut edge (so `i`'s value must
+    /// be written to the register file).
+    pub fn has_cut_consumer(&self, i: usize) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| n.ins.contains(&WorkIn::Cut(i)))
+    }
+
+    /// Total intact edges remaining (counting multiplicity).
+    pub fn intact_edge_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.ins.iter())
+            .filter(|w| matches!(w, WorkIn::Edge(_)))
+            .count()
+    }
+
+    /// Work-node indices that compute each original node, in index order.
+    /// The first entry for an original id is the primary node; later entries
+    /// are replicas.
+    pub fn nodes_for(&self, orig: NodeId) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].orig == orig)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_dfg::Dfg;
+
+    fn chain3() -> (Dfg, WorkGraph) {
+        let mut g = Dfg::new("chain");
+        let x = g.ext("x");
+        let one = g.imm(1);
+        let a = g.add(x, one); // v0
+        let b = g.add(a, one); // v1
+        let c = g.add(b, one); // v2
+        g.set_output("o", c);
+        let wg = WorkGraph::from_dfg(&g);
+        (g, wg)
+    }
+
+    #[test]
+    fn from_dfg_preserves_structure() {
+        let (_, wg) = chain3();
+        assert_eq!(wg.len(), 3);
+        assert_eq!(wg.intact_edge_count(), 2);
+        assert_eq!(wg.intact_parents(1), vec![0]);
+        assert_eq!(wg.intact_children(1), vec![2]);
+        assert!(wg.intact_parents(0).is_empty());
+    }
+
+    #[test]
+    fn cut_inputs_and_outputs() {
+        let (_, mut wg) = chain3();
+        wg.cut_inputs(1);
+        assert_eq!(wg.intact_edge_count(), 1);
+        assert!(wg.has_cut_consumer(0));
+        wg.cut_outputs(1);
+        assert_eq!(wg.intact_edge_count(), 0);
+        assert!(wg.has_cut_consumer(1));
+    }
+
+    #[test]
+    fn cut_edge_is_targeted() {
+        let mut g = Dfg::new("fan");
+        let x = g.ext("x");
+        let a = g.add(x, x); // v0
+        let b = g.add(a, x); // v1
+        let c = g.add(a, x); // v2
+        g.set_output("b", b);
+        g.set_output("c", c);
+        let mut wg = WorkGraph::from_dfg(&g);
+        wg.cut_edge(0, 1);
+        assert_eq!(wg.intact_children(0), vec![2]);
+    }
+
+    #[test]
+    fn replicate_redirects_child() {
+        let mut g = Dfg::new("fan");
+        let x = g.ext("x");
+        let a = g.match_score(x, x); // v0
+        let b = g.add(a, x); // v1
+        let c = g.add(a, x); // v2
+        g.set_output("b", b);
+        g.set_output("c", c);
+        let mut wg = WorkGraph::from_dfg(&g);
+        let r = wg.replicate_for(0, 2);
+        assert_eq!(r, 3);
+        assert_eq!(wg.intact_children(0), vec![1]);
+        assert_eq!(wg.intact_children(r), vec![2]);
+        assert_eq!(wg.orig(r), wg.orig(0));
+        assert_eq!(wg.nodes_for(gendp_dfg::NodeId(0)), vec![0, 3]);
+    }
+}

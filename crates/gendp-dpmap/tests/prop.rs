@@ -1,0 +1,237 @@
+//! Property tests: DPMap invariants on randomly generated data-flow graphs.
+//!
+//! The central property is *semantic equivalence*: for any valid DFG and any
+//! inputs, the VLIW program DPMap generates computes exactly what the DFG
+//! reference evaluator computes.
+
+use gendp_dfg::{Dfg, Input};
+use gendp_dpmap::{analyze_tree_depth, map_dfg, SubgraphShape};
+use gendp_isa::{ComputeOp, Luts, Mode};
+use proptest::prelude::*;
+
+/// Recipe for one random node: (op selector, operand selectors).
+#[derive(Debug, Clone)]
+struct NodeRecipe {
+    op_sel: u8,
+    in_sel: [u16; 4],
+}
+
+#[derive(Debug, Clone)]
+struct GraphRecipe {
+    n_ext: usize,
+    nodes: Vec<NodeRecipe>,
+    ext_vals: Vec<i32>,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = GraphRecipe> {
+    (2usize..5)
+        .prop_flat_map(|n_ext| {
+            (
+                Just(n_ext),
+                prop::collection::vec(
+                    (0u8..13, prop::array::uniform4(0u16..1000)),
+                    1..24,
+                ),
+                prop::collection::vec(-1000i32..1000, n_ext),
+            )
+        })
+        .prop_map(|(n_ext, raw, ext_vals)| GraphRecipe {
+            n_ext,
+            nodes: raw
+                .into_iter()
+                .map(|(op_sel, in_sel)| NodeRecipe { op_sel, in_sel })
+                .collect(),
+            ext_vals,
+        })
+}
+
+/// Ops safe under arbitrary inputs (no shifts that could overflow UB — all
+/// our semantics wrap, so everything is actually safe; Mul kept, LUTs kept).
+const OPS: [ComputeOp; 13] = [
+    ComputeOp::Add,
+    ComputeOp::Sub,
+    ComputeOp::Mul,
+    ComputeOp::Max,
+    ComputeOp::Min,
+    ComputeOp::Borrow,
+    ComputeOp::Copy,
+    ComputeOp::MatchScore,
+    ComputeOp::Log2Lut,
+    ComputeOp::LogSumLut,
+    ComputeOp::SelectGt,
+    ComputeOp::SelectEq,
+    ComputeOp::Shr16,
+];
+
+fn build(recipe: &GraphRecipe) -> Dfg {
+    let mut g = Dfg::new("random");
+    let exts: Vec<Input> = (0..recipe.n_ext)
+        .map(|i| g.ext(&format!("x{i}")))
+        .collect();
+    let mut pool: Vec<Input> = exts;
+    for r in &recipe.nodes {
+        let op = OPS[r.op_sel as usize % OPS.len()];
+        let ins: Vec<Input> = (0..op.arity())
+            .map(|k| {
+                let sel = r.in_sel[k] as usize % (pool.len() + 1);
+                if sel == pool.len() {
+                    g.imm((r.in_sel[k] as i32) - 500)
+                } else {
+                    pool[sel]
+                }
+            })
+            .collect();
+        let out = g.node(op, &ins);
+        pool.push(out);
+    }
+    // The most recent nodes become outputs (up to three).
+    let node_inputs: Vec<Input> = pool
+        .iter()
+        .rev()
+        .filter(|i| matches!(i, Input::Node(_)))
+        .take(3)
+        .copied()
+        .collect();
+    for (k, n) in node_inputs.iter().enumerate() {
+        g.set_output(&format!("o{k}"), *n);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The generated VLIW program is semantically identical to the DFG.
+    #[test]
+    fn mapping_matches_reference_evaluation(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        prop_assume!(g.outputs().count() > 0);
+        let luts = Luts::with_scores(2, -3);
+        let inputs: Vec<(String, i32)> = recipe
+            .ext_vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("x{i}"), *v))
+            .collect();
+        let named: Vec<(&str, i32)> =
+            inputs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let expect = g.eval_i32(&named, Mode::Int32, &luts).unwrap();
+        let mapping = map_dfg(&g);
+        let got = mapping.run_i32(&named, Mode::Int32, &luts);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Structural invariants of the partition: every subgraph fits a CU.
+    #[test]
+    fn subgraphs_fit_compute_units(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        prop_assume!(g.outputs().count() > 0);
+        let mapping = map_dfg(&g);
+        for sg in &mapping.subgraphs {
+            match sg.shape {
+                SubgraphShape::Mul => {
+                    prop_assert!(sg.narrow.is_none() && sg.root.is_none());
+                }
+                SubgraphShape::Single => {
+                    prop_assert!(sg.narrow.is_none() && sg.root.is_none());
+                }
+                SubgraphShape::Pair => {
+                    prop_assert!(sg.narrow.is_none() && sg.root.is_some());
+                }
+                SubgraphShape::Triple => {
+                    prop_assert!(sg.narrow.is_some() && sg.root.is_some());
+                }
+            }
+            prop_assert!(sg.op_count() <= 3);
+        }
+    }
+
+    /// Scheduling never uses more cycles than subgraphs and never fewer
+    /// than `ceil(subgraphs / 2)`.
+    #[test]
+    fn schedule_bounds(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        prop_assume!(g.outputs().count() > 0);
+        let m = map_dfg(&g);
+        let n = m.subgraphs.len();
+        prop_assert!(m.program.len() >= n.div_ceil(2));
+        prop_assert!(m.program.len() <= n.max(1));
+    }
+
+    /// The tree-depth ablation is monotone: deeper trees never increase the
+    /// number of register-file writes.
+    #[test]
+    fn tree_depth_monotone_rf_writes(recipe in recipe_strategy()) {
+        let g = build(&recipe);
+        prop_assume!(g.outputs().count() > 0);
+        let l1 = analyze_tree_depth(&g, 1);
+        let l3 = analyze_tree_depth(&g, 3);
+        prop_assert!(l1.rf_writes >= l3.rf_writes);
+        prop_assert!(l1.rf_writes == l1.work_nodes);
+    }
+}
+
+#[test]
+fn mapping_display_is_complete() {
+    let mut g = Dfg::new("disp");
+    let a = g.ext("alpha");
+    let b = g.ext("beta");
+    let s = g.add(a, b);
+    let t = g.max(s, a);
+    g.set_output("omega", t);
+    let m = map_dfg(&g);
+    let text = m.to_string();
+    assert!(text.contains("alpha"));
+    assert!(text.contains("omega"));
+    assert!(text.contains("VLIW cycles"));
+    assert!(text.contains("add"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Float-mode equivalence: mapped programs reproduce the DFG bit for
+    /// bit in f32 too (the FP PE array path). Dataflow order is preserved
+    /// by the scheduler, so results are exactly equal despite f32
+    /// non-associativity.
+    #[test]
+    fn mapping_matches_reference_in_f32(
+        raw in prop::collection::vec((0u8..5, prop::array::uniform2(0u16..100)), 1..16),
+        vals in prop::collection::vec(-100i32..100, 3),
+    ) {
+        use gendp_isa::Word;
+        const FOPS: [ComputeOp; 5] = [
+            ComputeOp::Add,
+            ComputeOp::Sub,
+            ComputeOp::Mul,
+            ComputeOp::Max,
+            ComputeOp::Min,
+        ];
+        let mut g = Dfg::new("random-f32");
+        let mut pool: Vec<Input> = (0..3).map(|i| g.ext(&format!("x{i}"))).collect();
+        for (sel, ins) in raw {
+            let op = FOPS[sel as usize % FOPS.len()];
+            let operands: Vec<Input> = (0..2)
+                .map(|k| pool[ins[k] as usize % pool.len()])
+                .collect();
+            pool.push(g.node(op, &operands));
+        }
+        let last = *pool.iter().rev().find(|i| matches!(i, Input::Node(_)))
+            .unwrap_or(&pool[0]);
+        prop_assume!(matches!(last, Input::Node(_)));
+        g.set_output("o", last);
+
+        let luts = Luts::default();
+        let inputs: Vec<(String, Word)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("x{i}"), Word::from_f32(*v as f32 * 0.37)))
+            .collect();
+        let named: Vec<(&str, Word)> =
+            inputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+        let expect = g.eval(&named, Mode::Float32, &luts).unwrap();
+        let mapping = map_dfg(&g);
+        let got = mapping.run(&named, Mode::Float32, &luts);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,438 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseInstError;
+
+/// Number of compute units per PE (2-way VLIW, paper §4.2).
+pub const CU_PER_PE: usize = 2;
+
+/// Number of ALUs in the 2-level reduction tree of one compute unit
+/// (two first-level ALUs plus one root ALU, paper Fig. 7(d)).
+pub const TREE_ALUS: usize = 3;
+
+/// Operations executable by a compute-unit ALU (paper Table 4).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum ComputeOp {
+    /// `out = in[0] + in[1]`
+    Add,
+    /// `out = in[0] - in[1]`
+    Sub,
+    /// `out = in[0] * in[1]` — executed by the dedicated multiplier module.
+    Mul,
+    /// `out = carry(in[0], in[1])` — carry-out of the unsigned addition.
+    Carry,
+    /// `out = in[0] < in[1] ? 1 : 0`
+    Borrow,
+    /// `out = max(in[0], in[1])`
+    Max,
+    /// `out = min(in[0], in[1])`
+    Min,
+    /// `out = in[0] << 16`
+    Shl16,
+    /// `out = in[0] >> 16` (arithmetic)
+    Shr16,
+    /// `out = in[0]`
+    Copy,
+    /// `out = scoretable(in[0], in[1])` — the per-kernel substitution score
+    /// lookup (match/mismatch score in BSW/POA, emission prior in PairHMM).
+    MatchScore,
+    /// `out = log2(in[0]) >> 1` — the half-log2 lookup used by the chaining
+    /// gap cost (minimap2's `0.5 * log2(dd)` term).
+    Log2Lut,
+    /// `out = log_sum(in[0])` — the log-sum-exp correction lookup used by the
+    /// log-domain PairHMM: `f(d) = round(S * ln(1 + exp(-d / S)))`.
+    LogSumLut,
+    /// `out = in[0] > in[1] ? in[2] : in[3]` — 4-input conditional select.
+    SelectGt,
+    /// `out = in[0] == in[1] ? in[2] : in[3]` — 4-input conditional select.
+    SelectEq,
+    /// No operation (empty VLIW slot).
+    Nop,
+    /// Stop the compute thread.
+    Halt,
+}
+
+impl ComputeOp {
+    /// All real (non-`Nop`, non-`Halt`) operations.
+    pub const ALL: [ComputeOp; 15] = [
+        ComputeOp::Add,
+        ComputeOp::Sub,
+        ComputeOp::Mul,
+        ComputeOp::Carry,
+        ComputeOp::Borrow,
+        ComputeOp::Max,
+        ComputeOp::Min,
+        ComputeOp::Shl16,
+        ComputeOp::Shr16,
+        ComputeOp::Copy,
+        ComputeOp::MatchScore,
+        ComputeOp::Log2Lut,
+        ComputeOp::LogSumLut,
+        ComputeOp::SelectGt,
+        ComputeOp::SelectEq,
+    ];
+
+    /// Number of input operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            ComputeOp::Nop | ComputeOp::Halt => 0,
+            ComputeOp::Shl16
+            | ComputeOp::Shr16
+            | ComputeOp::Copy
+            | ComputeOp::Log2Lut
+            | ComputeOp::LogSumLut => 1,
+            ComputeOp::SelectGt | ComputeOp::SelectEq => 4,
+            _ => 2,
+        }
+    }
+
+    /// True for operations that can only execute on the 4-input first-level
+    /// ALU (conditional selects and lookup tables; paper Algorithm 1 and
+    /// §7.4: "multiplication and conditional operations ... could only be
+    /// mapped to 4-input ALUs").
+    pub fn is_wide(self) -> bool {
+        matches!(
+            self,
+            ComputeOp::SelectGt
+                | ComputeOp::SelectEq
+                | ComputeOp::MatchScore
+                | ComputeOp::Log2Lut
+                | ComputeOp::LogSumLut
+        )
+    }
+
+    /// True for the multiplication, which occupies the dedicated multiplier
+    /// module rather than the ALU tree.
+    pub fn is_mul(self) -> bool {
+        self == ComputeOp::Mul
+    }
+
+    /// True if swapping the two inputs leaves the result unchanged.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            ComputeOp::Add | ComputeOp::Mul | ComputeOp::Max | ComputeOp::Min | ComputeOp::Carry
+        )
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            ComputeOp::Add => "add",
+            ComputeOp::Sub => "sub",
+            ComputeOp::Mul => "mul",
+            ComputeOp::Carry => "carry",
+            ComputeOp::Borrow => "borrow",
+            ComputeOp::Max => "max",
+            ComputeOp::Min => "min",
+            ComputeOp::Shl16 => "shl16",
+            ComputeOp::Shr16 => "shr16",
+            ComputeOp::Copy => "copy",
+            ComputeOp::MatchScore => "mscore",
+            ComputeOp::Log2Lut => "log2",
+            ComputeOp::LogSumLut => "logsum",
+            ComputeOp::SelectGt => "selgt",
+            ComputeOp::SelectEq => "seleq",
+            ComputeOp::Nop => "nop",
+            ComputeOp::Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for ComputeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+impl FromStr for ComputeOp {
+    type Err = ParseInstError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ComputeOp::ALL
+            .iter()
+            .chain([ComputeOp::Nop, ComputeOp::Halt].iter())
+            .copied()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| ParseInstError::new(s, "unknown compute operation"))
+    }
+}
+
+/// A compute-instruction operand: a register-file address or an immediate
+/// constant baked into the instruction word.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read from the register file.
+    Reg(u16),
+    /// Constant field of the instruction.
+    Imm(i32),
+}
+
+impl Operand {
+    /// True for register-file operands (these count as RF read accesses).
+    pub fn is_reg(self) -> bool {
+        matches!(self, Operand::Reg(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Operand assignment of one compute unit's 2-level ALU reduction tree.
+///
+/// The **wide** slot is the 4-input first-level ALU, the **narrow** slot the
+/// 2-input first-level ALU; the **root** ALU consumes their outputs (wide
+/// output as `in[0]`, narrow output as `in[1]`) and writes `dest` in the
+/// register file. Unused slots hold [`ComputeOp::Nop`]; a root of
+/// [`ComputeOp::Copy`] forwards the wide output unchanged.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct TreeSlots {
+    /// Operation on the 4-input first-level ALU.
+    pub wide_op: ComputeOp,
+    /// Inputs of the wide ALU (only the first `wide_op.arity()` are used).
+    pub wide_ins: [Operand; 4],
+    /// Operation on the 2-input first-level ALU.
+    pub narrow_op: ComputeOp,
+    /// Inputs of the narrow ALU.
+    pub narrow_ins: [Operand; 2],
+    /// Operation on the root ALU; its inputs are the first-level outputs.
+    pub root_op: ComputeOp,
+    /// Register-file address the root output is written to.
+    pub dest: u16,
+}
+
+impl TreeSlots {
+    /// Number of ALUs doing real work in this tree this cycle.
+    pub fn active_alus(&self) -> usize {
+        [self.wide_op, self.narrow_op, self.root_op]
+            .iter()
+            .filter(|op| !matches!(op, ComputeOp::Nop))
+            .count()
+    }
+
+    /// Register-file read operands of this tree.
+    pub fn reg_reads(&self) -> impl Iterator<Item = u16> + '_ {
+        self.wide_ins[..self.wide_op.arity()]
+            .iter()
+            .chain(self.narrow_ins[..self.narrow_op.arity()].iter())
+            .filter_map(|o| match o {
+                Operand::Reg(r) => Some(*r),
+                Operand::Imm(_) => None,
+            })
+    }
+}
+
+/// One compute-unit slot of a VLIW instruction.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum CuInst {
+    /// Idle slot.
+    Nop,
+    /// The dedicated multiplier: `dest = a * b`.
+    Mul { a: Operand, b: Operand, dest: u16 },
+    /// The 2-level ALU reduction tree.
+    Tree(TreeSlots),
+}
+
+impl CuInst {
+    /// Number of ALUs (or the multiplier) doing real work in this slot.
+    pub fn active_alus(&self) -> usize {
+        match self {
+            CuInst::Nop => 0,
+            CuInst::Mul { .. } => 1,
+            CuInst::Tree(t) => t.active_alus(),
+        }
+    }
+
+    /// Number of register-file read accesses this slot performs.
+    pub fn rf_reads(&self) -> usize {
+        match self {
+            CuInst::Nop => 0,
+            CuInst::Mul { a, b, .. } => [a, b].iter().filter(|o| o.is_reg()).count(),
+            CuInst::Tree(t) => t.reg_reads().count(),
+        }
+    }
+
+    /// Number of register-file writes this slot performs (0 or 1).
+    pub fn rf_writes(&self) -> usize {
+        match self {
+            CuInst::Nop => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CuInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuInst::Nop => write!(f, "nop"),
+            CuInst::Mul { a, b, dest } => write!(f, "mul {a} {b} -> r{dest}"),
+            CuInst::Tree(t) => {
+                write!(f, "{}(", t.wide_op)?;
+                for (i, o) in t.wide_ins[..t.wide_op.arity()].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, ") | {}(", t.narrow_op)?;
+                for (i, o) in t.narrow_ins[..t.narrow_op.arity()].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, ") => {} -> r{}", t.root_op, t.dest)
+            }
+        }
+    }
+}
+
+/// One 2-way VLIW compute instruction: two compute-unit slots issued in the
+/// same cycle (paper §4.4: "The 2-way VLIW compute instructions are executed
+/// by two compute units, each of them containing 3 operations ... and 6
+/// operands").
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct VliwInst {
+    /// The two compute-unit slots.
+    pub slots: [CuInst; CU_PER_PE],
+}
+
+impl VliwInst {
+    /// An instruction with both slots idle.
+    pub const NOP: VliwInst = VliwInst {
+        slots: [CuInst::Nop, CuInst::Nop],
+    };
+
+    /// Builds an instruction issuing one compute unit, the other idle.
+    pub fn single(slot: CuInst) -> Self {
+        VliwInst {
+            slots: [slot, CuInst::Nop],
+        }
+    }
+
+    /// Builds an instruction issuing both compute units.
+    pub fn pair(a: CuInst, b: CuInst) -> Self {
+        VliwInst { slots: [a, b] }
+    }
+
+    /// Number of non-idle compute-unit slots (0–2).
+    pub fn active_slots(&self) -> usize {
+        self.slots.iter().filter(|s| !matches!(s, CuInst::Nop)).count()
+    }
+
+    /// Total register-file accesses (reads + writes) of both slots.
+    pub fn rf_accesses(&self) -> usize {
+        self.slots.iter().map(|s| s.rf_reads() + s.rf_writes()).sum()
+    }
+}
+
+impl fmt::Display for VliwInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} || {}]", self.slots[0], self.slots[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities_match_table4() {
+        assert_eq!(ComputeOp::Add.arity(), 2);
+        assert_eq!(ComputeOp::SelectGt.arity(), 4);
+        assert_eq!(ComputeOp::SelectEq.arity(), 4);
+        assert_eq!(ComputeOp::Log2Lut.arity(), 1);
+        assert_eq!(ComputeOp::Copy.arity(), 1);
+        assert_eq!(ComputeOp::Nop.arity(), 0);
+        assert_eq!(ComputeOp::MatchScore.arity(), 2);
+    }
+
+    #[test]
+    fn wide_classification() {
+        assert!(ComputeOp::SelectGt.is_wide());
+        assert!(ComputeOp::MatchScore.is_wide());
+        assert!(ComputeOp::Log2Lut.is_wide());
+        assert!(!ComputeOp::Add.is_wide());
+        assert!(!ComputeOp::Mul.is_wide());
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(ComputeOp::Add.is_commutative());
+        assert!(ComputeOp::Max.is_commutative());
+        assert!(!ComputeOp::Sub.is_commutative());
+        assert!(!ComputeOp::Borrow.is_commutative());
+    }
+
+    #[test]
+    fn op_mnemonic_round_trip() {
+        for op in ComputeOp::ALL {
+            assert_eq!(op.to_string().parse::<ComputeOp>().unwrap(), op);
+        }
+        assert!("bogus".parse::<ComputeOp>().is_err());
+    }
+
+    fn sample_tree() -> TreeSlots {
+        TreeSlots {
+            wide_op: ComputeOp::SelectGt,
+            wide_ins: [
+                Operand::Reg(0),
+                Operand::Reg(1),
+                Operand::Reg(2),
+                Operand::Imm(0),
+            ],
+            narrow_op: ComputeOp::Copy,
+            narrow_ins: [Operand::Reg(3), Operand::Imm(0)],
+            root_op: ComputeOp::Max,
+            dest: 4,
+        }
+    }
+
+    #[test]
+    fn tree_stats() {
+        let t = sample_tree();
+        assert_eq!(t.active_alus(), 3);
+        // SelectGt reads r0,r1,r2 (imm excluded); Copy reads r3.
+        assert_eq!(t.reg_reads().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cu_inst_stats() {
+        let t = CuInst::Tree(sample_tree());
+        assert_eq!(t.active_alus(), 3);
+        assert_eq!(t.rf_reads(), 4);
+        assert_eq!(t.rf_writes(), 1);
+        let m = CuInst::Mul {
+            a: Operand::Reg(0),
+            b: Operand::Imm(3),
+            dest: 1,
+        };
+        assert_eq!(m.active_alus(), 1);
+        assert_eq!(m.rf_reads(), 1);
+        assert_eq!(CuInst::Nop.active_alus(), 0);
+    }
+
+    #[test]
+    fn vliw_stats_and_display() {
+        let v = VliwInst::pair(
+            CuInst::Tree(sample_tree()),
+            CuInst::Mul {
+                a: Operand::Reg(9),
+                b: Operand::Reg(10),
+                dest: 11,
+            },
+        );
+        assert_eq!(v.active_slots(), 2);
+        assert_eq!(v.rf_accesses(), 4 + 1 + 2 + 1);
+        let text = v.to_string();
+        assert!(text.contains("selgt"));
+        assert!(text.contains("mul"));
+        assert_eq!(VliwInst::NOP.active_slots(), 0);
+        assert_eq!(VliwInst::single(CuInst::Nop).active_slots(), 0);
+    }
+}

@@ -1,0 +1,347 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseInstError;
+use crate::loc::Loc;
+
+/// An address register inside a decoder (paper §4.4: "Arithmetic
+/// instructions manipulate the address registers within the decoders").
+///
+/// Address registers hold 32-bit signed values and serve as loop induction
+/// variables, branch operands and indirect-addressing bases.
+///
+/// ```
+/// use gendp_isa::AddrReg;
+///
+/// assert_eq!(AddrReg(3).to_string(), "a3");
+/// assert_eq!("a3".parse::<AddrReg>().unwrap(), AddrReg(3));
+/// ```
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AddrReg(pub u8);
+
+impl fmt::Display for AddrReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl FromStr for AddrReg {
+    type Err = ParseInstError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.strip_prefix('a')
+            .and_then(|n| n.parse().ok())
+            .map(AddrReg)
+            .ok_or_else(|| ParseInstError::new(s, "expected address register `aN`"))
+    }
+}
+
+/// Branch condition of the control-thread `branch` instruction.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken if the operands are equal.
+    Eq,
+    /// Taken if the operands differ.
+    Ne,
+    /// Taken if the first operand is greater than or equal to the second.
+    Ge,
+    /// Taken if the first operand is less than the second.
+    Lt,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two address-register values.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Lt => a < b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Ge => "bge",
+            BranchCond::Lt => "blt",
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// Which subsidiary component a `set` instruction starts (paper §4.4: "PE
+/// arrays control PEs and PEs control CUs").
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum SetTarget {
+    /// A PE starts its compute thread at the given compute-program counter.
+    Compute,
+    /// The PE-array control thread starts the control thread of one PE.
+    Pe(u8),
+}
+
+impl fmt::Display for SetTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetTarget::Compute => write!(f, "cu"),
+            SetTarget::Pe(i) => write!(f, "pe{i}"),
+        }
+    }
+}
+
+/// One control instruction (paper Table 3).
+///
+/// Control instructions manage addresses, data movement and looping; the
+/// compute thread is started with [`ControlInst::Set`].
+///
+/// ```
+/// use gendp_isa::ControlInst;
+///
+/// let i: ControlInst = "addi a1 a1 -1".parse().unwrap();
+/// assert_eq!(i.to_string(), "addi a1 a1 -1");
+/// ```
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum ControlInst {
+    /// `add rd rs1 rs2` — address-register addition.
+    Add {
+        rd: AddrReg,
+        rs1: AddrReg,
+        rs2: AddrReg,
+    },
+    /// `addi rd rs1 #imm` — address-register add-immediate.
+    Addi { rd: AddrReg, rs1: AddrReg, imm: i32 },
+    /// `li [dest] #imm` — load an immediate into any data location.
+    Li { dest: Loc, imm: i32 },
+    /// `mv [dest] [src]` — move one word between memory components or ports.
+    Mv { dest: Loc, src: Loc },
+    /// `beq/bne/bge/blt rs1 rs2 offset` — conditional relative branch on two
+    /// address registers. The offset is relative to this instruction.
+    Branch {
+        cond: BranchCond,
+        rs1: AddrReg,
+        rs2: AddrReg,
+        offset: i16,
+    },
+    /// `set <target> <pc>` — start a subsidiary component at a program
+    /// counter. The issuing thread stalls while the target is still busy.
+    Set { target: SetTarget, pc: u16 },
+    /// `nop` — no operation.
+    Nop,
+    /// `halt` — stop this control thread.
+    Halt,
+}
+
+impl ControlInst {
+    /// Convenience constructor for a `mv`.
+    pub fn mv(dest: Loc, src: Loc) -> Self {
+        ControlInst::Mv { dest, src }
+    }
+
+    /// Convenience constructor for a `set cu`.
+    pub fn set_compute(pc: u16) -> Self {
+        ControlInst::Set {
+            target: SetTarget::Compute,
+            pc,
+        }
+    }
+
+    /// True for instructions that move a data word (`mv` and `li`).
+    pub fn is_data_move(&self) -> bool {
+        matches!(self, ControlInst::Mv { .. } | ControlInst::Li { .. })
+    }
+}
+
+impl fmt::Display for ControlInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlInst::Add { rd, rs1, rs2 } => write!(f, "add {rd} {rs1} {rs2}"),
+            ControlInst::Addi { rd, rs1, imm } => write!(f, "addi {rd} {rs1} {imm}"),
+            ControlInst::Li { dest, imm } => write!(f, "li {dest} {imm}"),
+            ControlInst::Mv { dest, src } => write!(f, "mv {dest} {src}"),
+            ControlInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{cond} {rs1} {rs2} {offset}"),
+            ControlInst::Set { target, pc } => write!(f, "set {target} {pc}"),
+            ControlInst::Nop => write!(f, "nop"),
+            ControlInst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl FromStr for ControlInst {
+    type Err = ParseInstError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let text = s.trim();
+        let bad = |reason: &str| ParseInstError::new(text, reason);
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().ok_or_else(|| bad("empty instruction"))?;
+        let args: Vec<&str> = parts.collect();
+        let argn = |n: usize| -> Result<(), ParseInstError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(bad(&format!("expected {n} operands, got {}", args.len())))
+            }
+        };
+        match mnemonic {
+            "add" => {
+                argn(3)?;
+                Ok(ControlInst::Add {
+                    rd: args[0].parse()?,
+                    rs1: args[1].parse()?,
+                    rs2: args[2].parse()?,
+                })
+            }
+            "addi" => {
+                argn(3)?;
+                Ok(ControlInst::Addi {
+                    rd: args[0].parse()?,
+                    rs1: args[1].parse()?,
+                    imm: args[2].parse().map_err(|_| bad("bad immediate"))?,
+                })
+            }
+            "li" => {
+                argn(2)?;
+                Ok(ControlInst::Li {
+                    dest: args[0].parse()?,
+                    imm: args[1].parse().map_err(|_| bad("bad immediate"))?,
+                })
+            }
+            "mv" => {
+                argn(2)?;
+                Ok(ControlInst::Mv {
+                    dest: args[0].parse()?,
+                    src: args[1].parse()?,
+                })
+            }
+            "beq" | "bne" | "bge" | "blt" => {
+                argn(3)?;
+                let cond = match mnemonic {
+                    "beq" => BranchCond::Eq,
+                    "bne" => BranchCond::Ne,
+                    "bge" => BranchCond::Ge,
+                    _ => BranchCond::Lt,
+                };
+                Ok(ControlInst::Branch {
+                    cond,
+                    rs1: args[0].parse()?,
+                    rs2: args[1].parse()?,
+                    offset: args[2].parse().map_err(|_| bad("bad branch offset"))?,
+                })
+            }
+            "set" => {
+                argn(2)?;
+                let target = if args[0] == "cu" {
+                    SetTarget::Compute
+                } else if let Some(n) = args[0].strip_prefix("pe") {
+                    SetTarget::Pe(n.parse().map_err(|_| bad("bad PE index"))?)
+                } else {
+                    return Err(bad("set target must be `cu` or `peN`"));
+                };
+                Ok(ControlInst::Set {
+                    target,
+                    pc: args[1].parse().map_err(|_| bad("bad set pc"))?,
+                })
+            }
+            "nop" => {
+                argn(0)?;
+                Ok(ControlInst::Nop)
+            }
+            "halt" => {
+                argn(0)?;
+                Ok(ControlInst::Halt)
+            }
+            other => Err(bad(&format!("unknown mnemonic `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Space;
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(2, 2));
+        assert!(!BranchCond::Eq.eval(2, 3));
+        assert!(BranchCond::Ne.eval(2, 3));
+        assert!(BranchCond::Ge.eval(3, 3));
+        assert!(BranchCond::Ge.eval(4, 3));
+        assert!(!BranchCond::Ge.eval(2, 3));
+        assert!(BranchCond::Lt.eval(2, 3));
+        assert!(!BranchCond::Lt.eval(3, 3));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let insts = [
+            ControlInst::Add {
+                rd: AddrReg(0),
+                rs1: AddrReg(1),
+                rs2: AddrReg(2),
+            },
+            ControlInst::Addi {
+                rd: AddrReg(5),
+                rs1: AddrReg(5),
+                imm: -42,
+            },
+            ControlInst::Li {
+                dest: Loc::rf(255),
+                imm: 7,
+            },
+            ControlInst::Mv {
+                dest: Loc::spm(255),
+                src: Loc::port(Space::In),
+            },
+            ControlInst::Mv {
+                dest: Loc::port(Space::Out),
+                src: Loc::indirect(Space::Rf, 1, 4),
+            },
+            ControlInst::Branch {
+                cond: BranchCond::Lt,
+                rs1: AddrReg(1),
+                rs2: AddrReg(2),
+                offset: -6,
+            },
+            ControlInst::set_compute(0),
+            ControlInst::Set {
+                target: SetTarget::Pe(3),
+                pc: 12,
+            },
+            ControlInst::Nop,
+            ControlInst::Halt,
+        ];
+        for inst in insts {
+            let text = inst.to_string();
+            assert_eq!(text.parse::<ControlInst>().unwrap(), inst, "text `{text}`");
+        }
+    }
+
+    #[test]
+    fn paper_figure8_example() {
+        // PE[i-1]: mv out 0x00ff(RF); PE[i]: mv 0x00ff(SPM) in.
+        let a: ControlInst = "mv out rf[255]".parse().unwrap();
+        let b: ControlInst = "mv spm[255] in".parse().unwrap();
+        assert!(a.is_data_move() && b.is_data_move());
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_mnemonic() {
+        assert!("add a1 a2".parse::<ControlInst>().is_err());
+        assert!("mv rf[0]".parse::<ControlInst>().is_err());
+        assert!("jmp 3".parse::<ControlInst>().is_err());
+        assert!("set gpu 0".parse::<ControlInst>().is_err());
+        assert!("".parse::<ControlInst>().is_err());
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an instruction from its assembly text fails.
+///
+/// ```
+/// use gendp_isa::ControlInst;
+///
+/// let err = "frobnicate r1 r2".parse::<ControlInst>().unwrap_err();
+/// assert!(err.to_string().contains("frobnicate"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInstError {
+    text: String,
+    reason: String,
+}
+
+impl ParseInstError {
+    pub(crate) fn new(text: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending assembly text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Human-readable description of what went wrong.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ParseInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction `{}`: {}", self.text, self.reason)
+    }
+}
+
+impl Error for ParseInstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_text_and_reason() {
+        let e = ParseInstError::new("bogus", "unknown mnemonic");
+        let s = e.to_string();
+        assert!(s.contains("bogus"));
+        assert!(s.contains("unknown mnemonic"));
+        assert_eq!(e.text(), "bogus");
+        assert_eq!(e.reason(), "unknown mnemonic");
+    }
+}

@@ -1,0 +1,285 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseInstError;
+
+/// Memory / port spaces addressable by control-thread `mv` and `li`
+/// instructions (paper Fig. 6 and Fig. 8).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Register file shared with the compute thread.
+    Rf,
+    /// Per-PE scratchpad memory for long-range dependencies.
+    Spm,
+    /// Load port from the previous PE (or input data buffer for the first
+    /// PE of an array).
+    In,
+    /// Store port to the next PE (or output data buffer for the last PE).
+    Out,
+    /// The FIFO connecting the last and first PE of an array. Reading pops,
+    /// writing pushes.
+    Fifo,
+    /// The array-level input data buffer (PE-array control thread only).
+    InBuf,
+    /// The array-level output data buffer (PE-array control thread only).
+    OutBuf,
+    /// Address registers inside the decoder, used for loop induction
+    /// variables and indirect addressing.
+    Areg,
+}
+
+impl Space {
+    /// True if locations in this space carry an address (false for ports).
+    pub fn is_addressed(self) -> bool {
+        matches!(self, Space::Rf | Space::Spm | Space::InBuf | Space::OutBuf | Space::Areg)
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Space::Rf => "rf",
+            Space::Spm => "spm",
+            Space::In => "in",
+            Space::Out => "out",
+            Space::Fifo => "fifo",
+            Space::InBuf => "ibuf",
+            Space::OutBuf => "obuf",
+            Space::Areg => "a",
+        }
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+/// How the address part of a [`Loc`] is formed.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// A constant address baked into the instruction.
+    Direct(u16),
+    /// Address read from an address register plus a constant offset,
+    /// enabling strided walks inside control loops.
+    Indirect { areg: u8, offset: i16 },
+    /// No address: the location is a port (`in`, `out`, `fifo`).
+    None,
+}
+
+/// A data location operand: a space plus an optional address.
+///
+/// ```
+/// use gendp_isa::{Loc, Space};
+///
+/// let l = Loc::direct(Space::Spm, 0x00ff);
+/// assert_eq!(l.to_string(), "spm[255]");
+/// let i = Loc::indirect(Space::Rf, 2, -1);
+/// assert_eq!(i.to_string(), "rf[a2-1]");
+/// assert_eq!("rf[a2-1]".parse::<Loc>().unwrap(), i);
+/// ```
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Loc {
+    space: Space,
+    addr: Addr,
+}
+
+impl Loc {
+    /// A directly addressed location, e.g. `rf[3]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is a port space (`in`, `out`, `fifo`), which carries
+    /// no address.
+    pub fn direct(space: Space, addr: u16) -> Self {
+        assert!(space.is_addressed(), "port space {space} takes no address");
+        Loc {
+            space,
+            addr: Addr::Direct(addr),
+        }
+    }
+
+    /// An indirectly addressed location, e.g. `spm[a0+4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is a port space.
+    pub fn indirect(space: Space, areg: u8, offset: i16) -> Self {
+        assert!(space.is_addressed(), "port space {space} takes no address");
+        Loc {
+            space,
+            addr: Addr::Indirect { areg, offset },
+        }
+    }
+
+    /// A port location (`in`, `out` or `fifo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is an addressed space.
+    pub fn port(space: Space) -> Self {
+        assert!(!space.is_addressed(), "space {space} requires an address");
+        Loc {
+            space,
+            addr: Addr::None,
+        }
+    }
+
+    /// Shorthand for a direct register-file location.
+    pub fn rf(addr: u16) -> Self {
+        Loc::direct(Space::Rf, addr)
+    }
+
+    /// Shorthand for a direct scratchpad location.
+    pub fn spm(addr: u16) -> Self {
+        Loc::direct(Space::Spm, addr)
+    }
+
+    /// Shorthand for an address-register location.
+    pub fn areg(idx: u16) -> Self {
+        Loc::direct(Space::Areg, idx)
+    }
+
+    /// The space this location lives in.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// The addressing form.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Addr::None => write!(f, "{}", self.space),
+            Addr::Direct(a) => write!(f, "{}[{}]", self.space, a),
+            Addr::Indirect { areg, offset } => {
+                write!(f, "{}[a{}", self.space, areg)?;
+                match offset.cmp(&0) {
+                    std::cmp::Ordering::Greater => write!(f, "+{offset}]"),
+                    std::cmp::Ordering::Less => write!(f, "{offset}]"),
+                    std::cmp::Ordering::Equal => write!(f, "]"),
+                }
+            }
+        }
+    }
+}
+
+impl FromStr for Loc {
+    type Err = ParseInstError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let bad = |reason: &str| ParseInstError::new(s, reason);
+        let (space_str, addr_str) = match s.find('[') {
+            Some(i) => {
+                let rest = &s[i + 1..];
+                let inner = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| bad("missing closing bracket"))?;
+                (&s[..i], Some(inner))
+            }
+            None => (s, None),
+        };
+        let space = match space_str {
+            "rf" => Space::Rf,
+            "spm" => Space::Spm,
+            "in" => Space::In,
+            "out" => Space::Out,
+            "fifo" => Space::Fifo,
+            "ibuf" => Space::InBuf,
+            "obuf" => Space::OutBuf,
+            "a" => Space::Areg,
+            other => return Err(bad(&format!("unknown space `{other}`"))),
+        };
+        match (space.is_addressed(), addr_str) {
+            (false, None) => Ok(Loc::port(space)),
+            (false, Some(_)) => Err(bad("port space takes no address")),
+            (true, None) => Err(bad("addressed space requires `[addr]`")),
+            (true, Some(inner)) => {
+                if let Some(rest) = inner.strip_prefix('a') {
+                    // Indirect: aN, aN+k, aN-k.
+                    let (areg_s, off) = match rest.find(['+', '-']) {
+                        Some(i) => {
+                            let off: i16 = rest[i..]
+                                .parse()
+                                .map_err(|_| bad("bad indirect offset"))?;
+                            (&rest[..i], off)
+                        }
+                        None => (rest, 0),
+                    };
+                    let areg: u8 = areg_s.parse().map_err(|_| bad("bad areg index"))?;
+                    Ok(Loc::indirect(space, areg, off))
+                } else {
+                    let addr: u16 = inner.parse().map_err(|_| bad("bad address"))?;
+                    Ok(Loc::direct(space, addr))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_display_and_parse() {
+        for (loc, text) in [
+            (Loc::rf(0), "rf[0]"),
+            (Loc::spm(255), "spm[255]"),
+            (Loc::direct(Space::InBuf, 12), "ibuf[12]"),
+            (Loc::direct(Space::OutBuf, 7), "obuf[7]"),
+            (Loc::areg(3), "a[3]"),
+        ] {
+            assert_eq!(loc.to_string(), text);
+            assert_eq!(text.parse::<Loc>().unwrap(), loc);
+        }
+    }
+
+    #[test]
+    fn port_display_and_parse() {
+        for (loc, text) in [
+            (Loc::port(Space::In), "in"),
+            (Loc::port(Space::Out), "out"),
+            (Loc::port(Space::Fifo), "fifo"),
+        ] {
+            assert_eq!(loc.to_string(), text);
+            assert_eq!(text.parse::<Loc>().unwrap(), loc);
+        }
+    }
+
+    #[test]
+    fn indirect_round_trip() {
+        for loc in [
+            Loc::indirect(Space::Rf, 0, 0),
+            Loc::indirect(Space::Spm, 7, 16),
+            Loc::indirect(Space::InBuf, 2, -3),
+        ] {
+            assert_eq!(loc.to_string().parse::<Loc>().unwrap(), loc);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("rf".parse::<Loc>().is_err());
+        assert!("in[3]".parse::<Loc>().is_err());
+        assert!("rf[".parse::<Loc>().is_err());
+        assert!("zap[1]".parse::<Loc>().is_err());
+        assert!("rf[a]".parse::<Loc>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "takes no address")]
+    fn direct_port_panics() {
+        let _ = Loc::direct(Space::In, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an address")]
+    fn port_addressed_panics() {
+        let _ = Loc::port(Space::Rf);
+    }
+}

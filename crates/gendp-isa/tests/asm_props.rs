@@ -1,0 +1,108 @@
+//! Property tests: the assembly round-trip holds for arbitrary
+//! instructions, and ALU semantics obey algebraic laws per mode.
+
+use gendp_isa::{
+    apply, AddrReg, BranchCond, ComputeOp, ControlInst, Loc, Luts, Mode, SetTarget, Space, Word,
+};
+use proptest::prelude::*;
+
+fn loc_strategy() -> impl Strategy<Value = Loc> {
+    prop_oneof![
+        (0u16..512).prop_map(Loc::rf),
+        (0u16..512).prop_map(Loc::spm),
+        (0u16..16).prop_map(Loc::areg),
+        Just(Loc::port(Space::In)),
+        Just(Loc::port(Space::Out)),
+        Just(Loc::port(Space::Fifo)),
+        ((0u8..16), (-64i16..64), prop_oneof![Just(Space::Rf), Just(Space::Spm)])
+            .prop_map(|(a, off, sp)| Loc::indirect(sp, a, off)),
+    ]
+}
+
+fn inst_strategy() -> impl Strategy<Value = ControlInst> {
+    let areg = (0u8..16).prop_map(AddrReg);
+    prop_oneof![
+        (areg.clone(), areg.clone(), areg.clone())
+            .prop_map(|(rd, rs1, rs2)| ControlInst::Add { rd, rs1, rs2 }),
+        (areg.clone(), areg.clone(), -1000i32..1000)
+            .prop_map(|(rd, rs1, imm)| ControlInst::Addi { rd, rs1, imm }),
+        (loc_strategy(), any::<i32>()).prop_map(|(dest, imm)| ControlInst::Li { dest, imm }),
+        (loc_strategy(), loc_strategy()).prop_map(|(dest, src)| ControlInst::Mv { dest, src }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Ge),
+                Just(BranchCond::Lt)
+            ],
+            areg.clone(),
+            areg,
+            -500i16..500,
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| ControlInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            }),
+        (0u16..1000).prop_map(ControlInst::set_compute),
+        (0u8..4, 0u16..100).prop_map(|(pe, pc)| ControlInst::Set {
+            target: SetTarget::Pe(pe),
+            pc,
+        }),
+        Just(ControlInst::Nop),
+        Just(ControlInst::Halt),
+    ]
+}
+
+proptest! {
+    /// Display -> parse is the identity for every control instruction.
+    #[test]
+    fn control_asm_round_trip(inst in inst_strategy()) {
+        let text = inst.to_string();
+        prop_assert_eq!(text.parse::<ControlInst>().unwrap(), inst);
+    }
+
+    /// Commutative ops really commute under every mode, for arbitrary raw
+    /// words.
+    #[test]
+    fn commutative_ops_commute(a in any::<u32>(), b in any::<u32>()) {
+        let luts = Luts::with_scores(3, -2);
+        for mode in [Mode::Int32, Mode::Int8x4, Mode::Int16x2] {
+            for op in ComputeOp::ALL {
+                if op.arity() == 2 && op.is_commutative() {
+                    let x = apply(op, mode, &[Word(a), Word(b)], &luts);
+                    let y = apply(op, mode, &[Word(b), Word(a)], &luts);
+                    prop_assert_eq!(x, y, "{} under {}", op, mode);
+                }
+            }
+        }
+    }
+
+    /// Max/min bracket their inputs in integer modes.
+    #[test]
+    fn max_min_bracket(a in any::<i32>(), b in any::<i32>()) {
+        let luts = Luts::default();
+        let hi = apply(ComputeOp::Max, Mode::Int32, &[Word::from_i32(a), Word::from_i32(b)], &luts);
+        let lo = apply(ComputeOp::Min, Mode::Int32, &[Word::from_i32(a), Word::from_i32(b)], &luts);
+        prop_assert_eq!(hi.as_i32(), a.max(b));
+        prop_assert_eq!(lo.as_i32(), a.min(b));
+        prop_assert!(lo.as_i32() <= hi.as_i32());
+    }
+
+    /// Select ops agree with their comparison in all integer modes.
+    #[test]
+    fn selects_agree_with_comparisons(a in -100i32..100, b in -100i32..100) {
+        let luts = Luts::default();
+        let ins = [
+            Word::from_i32(a),
+            Word::from_i32(b),
+            Word::from_i32(1),
+            Word::from_i32(0),
+        ];
+        let gt = apply(ComputeOp::SelectGt, Mode::Int32, &ins, &luts);
+        prop_assert_eq!(gt.as_i32(), i32::from(a > b));
+        let eq = apply(ComputeOp::SelectEq, Mode::Int32, &ins, &luts);
+        prop_assert_eq!(eq.as_i32(), i32::from(a == b));
+    }
+}

@@ -1,0 +1,226 @@
+//! Generic full-table pairwise alignment: the reference aligner covering
+//! every mode × gap-model combination of paper §1 / §7.6.3.
+//!
+//! This is the unbanded oracle the banded kernel ([`crate::bsw`]) is
+//! validated against.
+
+use gendp_seq::DnaSeq;
+
+use crate::scoring::{AlignMode, GapModel, Scoring};
+
+/// Result of a pairwise alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignResult {
+    /// The optimal alignment score under the given mode.
+    pub score: i32,
+    /// DP cells computed (the throughput unit of the paper's evaluation).
+    pub cells: u64,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Aligns `query` against `target` with a full DP table.
+///
+/// Row `i` corresponds to `target[i-1]`, column `j` to `query[j-1]`.
+/// In [`AlignMode::SemiGlobal`] (overlap) mode, leading and trailing gaps
+/// on either sequence are free: the score is the best over the last row and
+/// last column with zero-initialized borders.
+pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode) -> AlignResult {
+    let q = query.codes();
+    let t = target.codes();
+    let n = q.len();
+    let m = t.len();
+
+    // Model every gap model as one or two affine pieces: linear is affine
+    // with zero open; convex is the min of two pieces.
+    let pieces: Vec<(i32, i32)> = match scoring.gap {
+        GapModel::Linear { extend } => vec![(0, extend)],
+        GapModel::Affine { open, extend } => vec![(open, extend)],
+        GapModel::Convex {
+            open1,
+            extend1,
+            open2,
+            extend2,
+        } => vec![(open1, extend1), (open2, extend2)],
+    };
+    let np = pieces.len();
+
+    // h[j], e[p][j] for the previous row; f[p] per piece within a row.
+    let mut h_prev = vec![0i32; n + 1];
+    let mut e = vec![vec![NEG; n + 1]; np];
+    let border = |k: usize, piece_open: i32, piece_ext: i32| -> i32 {
+        if k == 0 {
+            0
+        } else {
+            -(piece_open + piece_ext * k as i32)
+        }
+    };
+    if mode == AlignMode::Global {
+        for (j, slot) in h_prev.iter_mut().enumerate().skip(1) {
+            *slot = pieces
+                .iter()
+                .map(|&(o, x)| border(j, o, x))
+                .max()
+                .expect("at least one gap piece");
+        }
+    }
+
+    let mut best = if mode == AlignMode::Local { 0 } else { NEG };
+    let mut h_curr = vec![0i32; n + 1];
+    for i in 1..=m {
+        h_curr[0] = match mode {
+            AlignMode::Global => pieces
+                .iter()
+                .map(|&(o, x)| border(i, o, x))
+                .max()
+                .expect("at least one gap piece"),
+            _ => 0,
+        };
+        let mut f = vec![NEG; np];
+        for j in 1..=n {
+            let sub = scoring.substitution(t[i - 1], q[j - 1]);
+            let mut h = h_prev[j - 1].saturating_add(sub);
+            for (p, &(open, extend)) in pieces.iter().enumerate() {
+                e[p][j] = (e[p][j].max(h_prev[j].saturating_sub(open))).saturating_sub(extend);
+                f[p] = (f[p].max(h_curr[j - 1].saturating_sub(open))).saturating_sub(extend);
+                h = h.max(e[p][j]).max(f[p]);
+            }
+            if mode == AlignMode::Local {
+                h = h.max(0);
+                best = best.max(h);
+            }
+            h_curr[j] = h;
+        }
+        if mode == AlignMode::SemiGlobal {
+            best = best.max(h_curr[n]); // free trailing query gap
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    match mode {
+        AlignMode::Global => best = h_prev[n],
+        AlignMode::SemiGlobal => {
+            // Free trailing target gap: best over the last row too.
+            for &v in h_prev.iter().take(n + 1) {
+                best = best.max(v);
+            }
+        }
+        AlignMode::Local => {}
+    }
+    AlignResult {
+        score: best,
+        cells: (m as u64) * (n as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    fn affine() -> Scoring {
+        Scoring::bwa_mem() // 1 / -4 / 6+1
+    }
+
+    #[test]
+    fn identical_sequences_score_full_match() {
+        let r = align(&s("ACGTACGT"), &s("ACGTACGT"), &affine(), AlignMode::Global);
+        assert_eq!(r.score, 8);
+        assert_eq!(r.cells, 64);
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_match() {
+        // Query is a perfect substring of the target.
+        let r = align(
+            &s("CCCC"),
+            &s("ATATCCCCATAT"),
+            &affine(),
+            AlignMode::Local,
+        );
+        assert_eq!(r.score, 4);
+    }
+
+    #[test]
+    fn local_never_negative() {
+        let r = align(&s("AAAA"), &s("TTTT"), &affine(), AlignMode::Local);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn global_penalizes_length_difference() {
+        // One extra base in the target: one gap of length 1.
+        let r = align(&s("ACGT"), &s("ACGGT"), &affine(), AlignMode::Global);
+        assert_eq!(r.score, 4 - (6 + 1));
+    }
+
+    #[test]
+    fn semi_global_free_end_gaps() {
+        // Query matches a prefix of the target; the dangling target suffix
+        // is free in overlap mode but costly in global mode.
+        let q = s("ACGT");
+        let t = s("ACGTTTTTTTTT");
+        let semi = align(&q, &t, &affine(), AlignMode::SemiGlobal);
+        let global = align(&q, &t, &affine(), AlignMode::Global);
+        assert_eq!(semi.score, 4);
+        assert!(global.score < semi.score);
+    }
+
+    #[test]
+    fn linear_gap_model() {
+        let sc = Scoring {
+            matches: 1,
+            mismatch: 1,
+            gap: GapModel::Linear { extend: 2 },
+        };
+        // deletion of length 1 costs 2.
+        let r = align(&s("ACGT"), &s("ACGGT"), &sc, AlignMode::Global);
+        assert_eq!(r.score, 4 - 2);
+    }
+
+    #[test]
+    fn convex_prefers_cheaper_piece_for_long_gaps() {
+        let convex = Scoring {
+            matches: 1,
+            mismatch: 4,
+            gap: GapModel::Convex {
+                open1: 4,
+                extend1: 2,
+                open2: 14,
+                extend2: 1,
+            },
+        };
+        let affine_like = Scoring {
+            matches: 1,
+            mismatch: 4,
+            gap: GapModel::Affine { open: 4, extend: 2 },
+        };
+        // A 20-base deletion: convex caps the cost via the second piece.
+        let q = s("ACGTACGTAC");
+        let mut t_text = String::from("ACGTA");
+        t_text.push_str(&"G".repeat(20));
+        t_text.push_str("CGTAC");
+        let t = s(&t_text);
+        let rc = align(&q, &t, &convex, AlignMode::Global);
+        let ra = align(&q, &t, &affine_like, AlignMode::Global);
+        assert!(rc.score > ra.score, "convex {} vs affine {}", rc.score, ra.score);
+    }
+
+    #[test]
+    fn symmetry_of_global_alignment() {
+        let a = s("ACGTTACG");
+        let b = s("AGGTTACG");
+        let r1 = align(&a, &b, &affine(), AlignMode::Global);
+        let r2 = align(&b, &a, &affine(), AlignMode::Global);
+        assert_eq!(r1.score, r2.score);
+    }
+
+    #[test]
+    fn empty_query_scores_zero_cells() {
+        let r = align(&DnaSeq::new(), &s("ACGT"), &affine(), AlignMode::Local);
+        assert_eq!(r.cells, 0);
+        assert_eq!(r.score, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Bellman-Ford shortest paths (paper §7.6.5): the graph-structured DP
+//! used in robotic motion planning, with long-range dependencies served
+//! from the scratchpad (or DRAM when ultra-long, §7.6.1).
+
+/// A directed graph with integer edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl Graph {
+    /// An empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: i64) {
+        assert!(from < self.n && to < self.n, "vertex out of range");
+        self.edges.push((from, to, weight));
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edges as `(from, to, weight)` triples.
+    pub fn edges(&self) -> &[(usize, usize, i64)] {
+        &self.edges
+    }
+}
+
+/// Result of a shortest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// Distance from the source per vertex (`None` if unreachable).
+    pub dist: Vec<Option<i64>>,
+    /// Edge relaxations performed (the kernel's cell count).
+    pub relaxations: u64,
+    /// True if a negative cycle reachable from the source exists.
+    pub negative_cycle: bool,
+}
+
+/// Bellman-Ford from `source`: |V|−1 relaxation rounds with early exit,
+/// plus one detection round for negative cycles.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bellman_ford(graph: &Graph, source: usize) -> ShortestPaths {
+    assert!(source < graph.n, "source out of range");
+    const INF: i64 = i64::MAX / 4;
+    let mut dist = vec![INF; graph.n];
+    dist[source] = 0;
+    let mut relaxations = 0u64;
+    let mut changed = true;
+    for _ in 1..graph.n.max(1) {
+        if !changed {
+            break;
+        }
+        changed = false;
+        for &(u, v, w) in &graph.edges {
+            relaxations += 1;
+            if dist[u] < INF && dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+                changed = true;
+            }
+        }
+    }
+    let mut negative_cycle = false;
+    if changed {
+        for &(u, v, w) in &graph.edges {
+            if dist[u] < INF && dist[u] + w < dist[v] {
+                negative_cycle = true;
+                break;
+            }
+        }
+    }
+    ShortestPaths {
+        dist: dist
+            .into_iter()
+            .map(|d| if d >= INF { None } else { Some(d) })
+            .collect(),
+        relaxations,
+        negative_cycle,
+    }
+}
+
+/// Dijkstra's algorithm (binary heap) — the oracle Bellman-Ford is tested
+/// against on non-negative graphs.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or any edge weight is negative.
+pub fn dijkstra(graph: &Graph, source: usize) -> Vec<Option<i64>> {
+    assert!(source < graph.n, "source out of range");
+    assert!(
+        graph.edges.iter().all(|&(_, _, w)| w >= 0),
+        "dijkstra needs non-negative weights"
+    );
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); graph.n];
+    for &(u, v, w) in &graph.edges {
+        adj[u].push((v, w));
+    }
+    let mut dist: Vec<Option<i64>> = vec![None; graph.n];
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0i64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if let Some(prev) = dist[u] {
+            if prev <= d {
+                continue;
+            }
+        }
+        dist[u] = Some(d);
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if dist[v].is_none_or(|cur| nd < cur) {
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Generates a random motion-planning-like roadmap: `n` vertices, each
+/// connected to ~`degree` nearby vertices with non-negative weights
+/// (locality bounded by `max_span`, so most dependencies are
+/// scratchpad-range).
+pub fn random_roadmap(
+    n: usize,
+    degree: usize,
+    max_span: usize,
+    rng: &mut impl rand::Rng,
+) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for _ in 0..degree {
+            let span = rng.gen_range(1..=max_span.max(1));
+            let v = (u + span) % n;
+            if v != u {
+                g.add_edge(u, v, rng.gen_range(1..100));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 4);
+        g.add_edge(1, 2, 2);
+        g.add_edge(1, 3, 6);
+        g.add_edge(2, 3, 3);
+        g
+    }
+
+    #[test]
+    fn shortest_paths_on_diamond() {
+        let r = bellman_ford(&diamond(), 0);
+        assert_eq!(r.dist, vec![Some(0), Some(1), Some(3), Some(6)]);
+        assert!(!r.negative_cycle);
+        assert!(r.relaxations > 0);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist[2], None);
+    }
+
+    #[test]
+    fn handles_negative_edges_without_cycle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, -3);
+        g.add_edge(0, 2, 4);
+        let r = bellman_ford(&g, 0);
+        assert_eq!(r.dist[2], Some(2));
+        assert!(!r.negative_cycle);
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, -5);
+        g.add_edge(2, 1, 1);
+        let r = bellman_ford(&g, 0);
+        assert!(r.negative_cycle);
+    }
+
+    #[test]
+    fn agrees_with_dijkstra_on_random_roadmaps() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let g = random_roadmap(200, 4, 30, &mut rng);
+            let bf = bellman_ford(&g, 0);
+            let dj = dijkstra(&g, 0);
+            assert_eq!(bf.dist, dj);
+        }
+    }
+
+    #[test]
+    fn roadmap_dependencies_are_local() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = random_roadmap(100, 3, 16, &mut rng);
+        for &(u, v, _) in g.edges() {
+            let span = (v + g.vertex_count() - u) % g.vertex_count();
+            assert!(span <= 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        Graph::new(2).add_edge(0, 5, 1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Banded Smith-Waterman (paper §2.3): the short-read seed-extension
+//! kernel, with the 8-bit saturating variant that maps to DPAx's four
+//! SIMD lanes.
+
+use gendp_seq::DnaSeq;
+
+use crate::scoring::{AlignMode, GapModel, Scoring};
+
+/// Result of a banded alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BswResult {
+    /// Optimal in-band alignment score.
+    pub score: i32,
+    /// DP cells actually computed (band only).
+    pub cells: u64,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+fn affine_params(scoring: &Scoring) -> (i32, i32) {
+    match scoring.gap {
+        GapModel::Affine { open, extend } => (open, extend),
+        _ => panic!("BSW uses the affine gap model (paper §2.3)"),
+    }
+}
+
+/// Banded affine-gap alignment with 32-bit arithmetic.
+///
+/// The band permits at most `band` insertions or deletions: cell `(i, j)`
+/// is computed only when `|i - j| <= band` (paper Fig. 2a). With a band at
+/// least `max(|query|, |target|)` the result equals the full-table
+/// [`crate::align()`](crate::align()).
+///
+/// # Panics
+///
+/// Panics if the scoring's gap model is not affine or `band` is negative.
+pub fn bsw_i32(
+    query: &DnaSeq,
+    target: &DnaSeq,
+    scoring: &Scoring,
+    band: i32,
+    mode: AlignMode,
+) -> BswResult {
+    assert!(band >= 0, "band must be non-negative");
+    let (open, extend) = affine_params(scoring);
+    let q = query.codes();
+    let t = target.codes();
+    let n = q.len() as i64;
+    let m = t.len() as i64;
+    let w = band as i64;
+
+    let mut h_prev = vec![NEG; (n + 1) as usize];
+    let mut e = vec![NEG; (n + 1) as usize];
+    match mode {
+        AlignMode::Global => {
+            for j in 0..=n.min(w) {
+                h_prev[j as usize] = if j == 0 { 0 } else { -(open + extend * j as i32) };
+            }
+        }
+        _ => {
+            h_prev.fill(0);
+        }
+    }
+
+    let mut best = if mode == AlignMode::Local { 0 } else { NEG };
+    let mut cells = 0u64;
+    let mut h_curr = vec![NEG; (n + 1) as usize];
+    for i in 1..=m {
+        let lo = 1.max(i - w);
+        let hi = n.min(i + w);
+        if lo > hi {
+            std::mem::swap(&mut h_prev, &mut h_curr);
+            continue;
+        }
+        h_curr[(lo - 1) as usize] = match mode {
+            AlignMode::Global if lo == 1 && i <= w => -(open + extend * i as i32),
+            AlignMode::Global => NEG,
+            _ if lo == 1 => 0,
+            _ => NEG,
+        };
+        let mut f = NEG;
+        for j in lo..=hi {
+            let ju = j as usize;
+            let sub = scoring.substitution(t[(i - 1) as usize], q[(j - 1) as usize]);
+            // E: gap in the query (vertical move); at the band's upper edge
+            // the up-neighbor is out of band.
+            let h_up = if j < i + w { h_prev[ju] } else { NEG };
+            let e_up = if j < i + w { e[ju] } else { NEG };
+            e[ju] = e_up.max(h_up.saturating_sub(open)).saturating_sub(extend);
+            // F: gap in the target (horizontal move).
+            f = f.max(h_curr[ju - 1].saturating_sub(open)).saturating_sub(extend);
+            let diag = h_prev[ju - 1].saturating_add(sub);
+            let mut h = diag.max(e[ju]).max(f);
+            if mode == AlignMode::Local {
+                h = h.max(0);
+                best = best.max(h);
+            }
+            h_curr[ju] = h;
+            cells += 1;
+        }
+        if mode == AlignMode::SemiGlobal && hi == n {
+            best = best.max(h_curr[n as usize]);
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    match mode {
+        AlignMode::Global => best = h_prev[n as usize],
+        AlignMode::SemiGlobal => {
+            for &v in h_prev.iter().take(n as usize + 1) {
+                best = best.max(v);
+            }
+        }
+        AlignMode::Local => {}
+    }
+    BswResult { score: best, cells }
+}
+
+/// Banded local alignment with 8-bit saturating arithmetic — the scalar
+/// model of one DPAx SIMD lane (paper §4.2: four concurrent 8-bit groups).
+///
+/// Scores clamp to `[0, 127]`; results agree with [`bsw_i32`] whenever the
+/// true score stays below 128 (the paper's §2.3: "BSW can be computed using
+/// 8-bit or 16-bit integer arithmetic depending on the sequence length").
+///
+/// # Panics
+///
+/// Panics if the scoring's gap model is not affine or `band` is negative.
+pub fn bsw_i8(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, band: i32) -> BswResult {
+    assert!(band >= 0, "band must be non-negative");
+    let (open, extend) = affine_params(scoring);
+    let sat = |v: i32| -> i8 { v.clamp(i8::MIN as i32, i8::MAX as i32) as i8 };
+    let q = query.codes();
+    let t = target.codes();
+    let n = q.len() as i64;
+    let m = t.len() as i64;
+    let w = band as i64;
+
+    const NEG8: i8 = -64;
+    let mut h_prev = vec![0i8; (n + 1) as usize];
+    let mut e = vec![NEG8; (n + 1) as usize];
+    let mut best = 0i8;
+    let mut cells = 0u64;
+    let mut h_curr = vec![0i8; (n + 1) as usize];
+    for i in 1..=m {
+        let lo = 1.max(i - w);
+        let hi = n.min(i + w);
+        if lo > hi {
+            std::mem::swap(&mut h_prev, &mut h_curr);
+            continue;
+        }
+        h_curr[(lo - 1) as usize] = if lo == 1 { 0 } else { NEG8 };
+        let mut f = NEG8;
+        for j in lo..=hi {
+            let ju = j as usize;
+            let sub = sat(scoring.substitution(t[(i - 1) as usize], q[(j - 1) as usize]));
+            let h_up = if j < i + w { h_prev[ju] } else { NEG8 };
+            let e_up = if j < i + w { e[ju] } else { NEG8 };
+            e[ju] = sat(e_up.max(sat(h_up as i32 - open)) as i32 - extend);
+            f = sat(f.max(sat(h_curr[ju - 1] as i32 - open)) as i32 - extend);
+            let diag = sat(h_prev[ju - 1] as i32 + sub as i32);
+            let h = diag.max(e[ju]).max(f).max(0);
+            best = best.max(h);
+            h_curr[ju] = h;
+            cells += 1;
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    BswResult {
+        score: best as i32,
+        cells,
+    }
+}
+
+/// Banded local alignment with 16-bit saturating arithmetic — the scalar
+/// model of one DPAx 16-bit SIMD half (paper §2.3: "8-bit or 16-bit
+/// integer arithmetic depending on the sequence length"; §7.6.4).
+///
+/// Scores clamp to `[0, 32767]`; results agree with [`bsw_i32`] whenever
+/// the true score stays below 32768.
+///
+/// # Panics
+///
+/// Panics if the scoring's gap model is not affine or `band` is negative.
+pub fn bsw_i16(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, band: i32) -> BswResult {
+    assert!(band >= 0, "band must be non-negative");
+    let (open, extend) = affine_params(scoring);
+    let sat = |v: i32| -> i16 { v.clamp(i16::MIN as i32, i16::MAX as i32) as i16 };
+    let q = query.codes();
+    let t = target.codes();
+    let n = q.len() as i64;
+    let m = t.len() as i64;
+    let w = band as i64;
+
+    const NEG16: i16 = -16384;
+    let mut h_prev = vec![0i16; (n + 1) as usize];
+    let mut e = vec![NEG16; (n + 1) as usize];
+    let mut best = 0i16;
+    let mut cells = 0u64;
+    let mut h_curr = vec![0i16; (n + 1) as usize];
+    for i in 1..=m {
+        let lo = 1.max(i - w);
+        let hi = n.min(i + w);
+        if lo > hi {
+            std::mem::swap(&mut h_prev, &mut h_curr);
+            continue;
+        }
+        h_curr[(lo - 1) as usize] = if lo == 1 { 0 } else { NEG16 };
+        let mut f = NEG16;
+        for j in lo..=hi {
+            let ju = j as usize;
+            let sub = sat(scoring.substitution(t[(i - 1) as usize], q[(j - 1) as usize]));
+            let h_up = if j < i + w { h_prev[ju] } else { NEG16 };
+            let e_up = if j < i + w { e[ju] } else { NEG16 };
+            e[ju] = sat(e_up.max(sat(h_up as i32 - open)) as i32 - extend);
+            f = sat(f.max(sat(h_curr[ju - 1] as i32 - open)) as i32 - extend);
+            let diag = sat(h_prev[ju - 1] as i32 + sub as i32);
+            let h = diag.max(e[ju]).max(f).max(0);
+            best = best.max(h);
+            h_curr[ju] = h;
+            cells += 1;
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+    }
+    BswResult {
+        score: best as i32,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::align;
+    use gendp_seq::{Genome, MutationProfile};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn wide_band_equals_full_table_local() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let g = Genome::random(80, &mut rng);
+            let q = MutationProfile::pacbio().apply(&g.window(10, 60), &mut rng);
+            let t = g.window(0, 80);
+            let full = align(&q, &t, &Scoring::bwa_mem(), AlignMode::Local);
+            let banded = bsw_i32(&q, &t, &Scoring::bwa_mem(), 200, AlignMode::Local);
+            assert_eq!(banded.score, full.score);
+        }
+    }
+
+    #[test]
+    fn wide_band_equals_full_table_global() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = Genome::random(60, &mut rng);
+            let q = MutationProfile::illumina().apply(g.seq(), &mut rng);
+            let full = align(&q, g.seq(), &Scoring::bwa_mem(), AlignMode::Global);
+            let banded = bsw_i32(&q, g.seq(), &Scoring::bwa_mem(), 200, AlignMode::Global);
+            assert_eq!(banded.score, full.score);
+        }
+    }
+
+    #[test]
+    fn wide_band_equals_full_table_semiglobal() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = Genome::random(70, &mut rng);
+            let q = g.window(20, 40);
+            let full = align(&q, g.seq(), &Scoring::bwa_mem(), AlignMode::SemiGlobal);
+            let banded = bsw_i32(&q, g.seq(), &Scoring::bwa_mem(), 200, AlignMode::SemiGlobal);
+            assert_eq!(banded.score, full.score);
+        }
+    }
+
+    #[test]
+    fn band_restricts_computed_cells() {
+        let q = s(&"ACGT".repeat(25)); // 100 bases
+        let t = s(&"ACGT".repeat(25));
+        let narrow = bsw_i32(&q, &t, &Scoring::bwa_mem(), 5, AlignMode::Local);
+        let wide = bsw_i32(&q, &t, &Scoring::bwa_mem(), 100, AlignMode::Local);
+        assert!(narrow.cells < wide.cells);
+        assert_eq!(wide.cells, 100 * 100);
+        // Perfect diagonal match is inside any band.
+        assert_eq!(narrow.score, wide.score);
+        assert_eq!(narrow.score, 100);
+    }
+
+    #[test]
+    fn narrow_band_misses_large_indels() {
+        // Query = target with a 20-base insertion: a 5-wide band cannot
+        // bridge it, a 40-wide band can.
+        let mut t_text = String::new();
+        t_text.push_str(&"ACGT".repeat(10));
+        let mut q_text = t_text.clone();
+        q_text.insert_str(20, &"TTTTT".repeat(4));
+        let (q, t) = (s(&q_text), s(&t_text));
+        let narrow = bsw_i32(&q, &t, &Scoring::bwa_mem(), 5, AlignMode::Local);
+        let wide = bsw_i32(&q, &t, &Scoring::bwa_mem(), 40, AlignMode::Local);
+        assert!(wide.score > narrow.score);
+    }
+
+    #[test]
+    fn i8_matches_i32_for_small_scores() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let g = Genome::random(120, &mut rng);
+            let q = MutationProfile::pacbio().apply(&g.window(20, 80), &mut rng);
+            let t = g.window(0, 120);
+            let r32 = bsw_i32(&q, &t, &Scoring::bwa_mem(), 16, AlignMode::Local);
+            let r8 = bsw_i8(&q, &t, &Scoring::bwa_mem(), 16);
+            if r32.score < 127 {
+                assert_eq!(r8.score, r32.score, "q={q} t={t}");
+            }
+            assert_eq!(r8.cells, r32.cells);
+        }
+    }
+
+    #[test]
+    fn i16_matches_i32_where_i8_saturates() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // 400-base near-identical pair: score ~400 exceeds i8 but not i16.
+        let g = Genome::random(400, &mut rng);
+        let q = MutationProfile::illumina().apply(g.seq(), &mut rng);
+        let r32 = bsw_i32(&q, g.seq(), &Scoring::bwa_mem(), 40, AlignMode::Local);
+        let r16 = bsw_i16(&q, g.seq(), &Scoring::bwa_mem(), 40);
+        let r8 = bsw_i8(&q, g.seq(), &Scoring::bwa_mem(), 40);
+        assert!(r32.score > 127, "score {} should exceed 8-bit", r32.score);
+        assert_eq!(r16.score, r32.score);
+        assert_eq!(r8.score, 127, "8-bit saturates");
+    }
+
+    #[test]
+    fn i8_saturates_at_127() {
+        let q = s(&"A".repeat(300));
+        let r = bsw_i8(&q, &q, &Scoring::bwa_mem(), 300);
+        assert_eq!(r.score, 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "affine")]
+    fn linear_gap_model_panics() {
+        let sc = Scoring {
+            matches: 1,
+            mismatch: 1,
+            gap: GapModel::Linear { extend: 1 },
+        };
+        bsw_i32(&s("ACGT"), &s("ACGT"), &sc, 4, AlignMode::Local);
+    }
+}

@@ -1,0 +1,381 @@
+//! Anchor chaining (paper §2.3): the minimap2 kernel that groups collinear
+//! seed matches into candidate mapping regions, in both the original
+//! backward-looking order and the reordered forward-propagating order of
+//! Guo et al. \[28\] that GenDP and the GPU baseline execute.
+
+use gendp_isa::ilog2_half;
+use gendp_seq::{Anchor, KmerIndex};
+
+/// Chaining parameters (minimap2-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainParams {
+    /// Window: each anchor is scored against this many neighbors (the
+    /// paper's N; 25 in original minimap2, 64 reordered).
+    pub n_prev: usize,
+    /// Maximum reference/query distance bridged by one chain link.
+    pub max_dist: i32,
+    /// Maximum diagonal drift `|dq - dr|` per link.
+    pub bandwidth: i32,
+    /// Average seed span, used by the linear gap-cost term
+    /// `0.01 · avg_qspan · |dq - dr|`.
+    pub avg_qspan: f64,
+}
+
+impl ChainParams {
+    /// Original minimap2 configuration (N = 25).
+    pub fn minimap2(avg_qspan: f64) -> Self {
+        ChainParams {
+            n_prev: 25,
+            max_dist: 5_000,
+            bandwidth: 500,
+            avg_qspan,
+        }
+    }
+
+    /// The reordered configuration used by GenDP and the GPU baseline
+    /// (N = 64, paper §6).
+    pub fn reordered(avg_qspan: f64) -> Self {
+        ChainParams {
+            n_prev: 64,
+            ..Self::minimap2(avg_qspan)
+        }
+    }
+
+    /// The fixed-point Q16 multiplier for the linear gap-cost term, as the
+    /// accelerator computes it (`mul` then `shr16`).
+    pub fn gap_scale_q16(&self) -> i32 {
+        (0.01 * self.avg_qspan * 65536.0).round() as i32
+    }
+}
+
+/// Sentinel for an invalid (skipped) link score.
+pub const CHAIN_NEG: i32 = i32::MIN / 4;
+
+/// The chain scores and backtracking parents of one read's anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainResult {
+    /// Best chain score ending at each anchor.
+    pub scores: Vec<i32>,
+    /// Parent anchor index of each anchor, or -1.
+    pub parents: Vec<i32>,
+    /// Pair evaluations performed (the kernel's DP-cell count).
+    pub cells: u64,
+}
+
+impl ChainResult {
+    /// Index of the best-scoring anchor, if any.
+    pub fn best(&self) -> Option<usize> {
+        (0..self.scores.len()).max_by_key(|&i| self.scores[i])
+    }
+
+    /// Walks parents from `end` back to the chain's first anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is out of range.
+    pub fn trace(&self, end: usize) -> Vec<usize> {
+        let mut path = vec![end];
+        let mut cur = end;
+        while self.parents[cur] >= 0 {
+            cur = self.parents[cur] as usize;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Scores the link `i -> j` (exactly the per-pair objective the DFG in
+/// [`crate::dfgs::chain_dfg`] computes): `f[i] + alpha(i,j) - beta(i,j)`,
+/// or [`CHAIN_NEG`] when the pair violates the distance/bandwidth
+/// constraints. Arithmetic wraps like the accelerator datapath; wrapped
+/// values only arise for pairs the select chain discards anyway.
+pub fn link_score(a_i: &Anchor, f_i: i32, a_j: &Anchor, params: &ChainParams) -> i32 {
+    let dq = a_j.qpos.wrapping_sub(a_i.qpos);
+    let dr = a_j.rpos.wrapping_sub(a_i.rpos);
+    let dd = (dq.wrapping_sub(dr)).wrapping_abs();
+    let alpha = dq.min(dr).min(a_j.span);
+    let lin = (dd.wrapping_mul(params.gap_scale_q16())) >> 16;
+    let gap = lin.wrapping_add(ilog2_half(dd));
+    let sc = f_i.wrapping_add(alpha.wrapping_sub(gap));
+    // Validity selects, in the same order as the hardware DFG.
+    let sc = if dq > 0 { sc } else { CHAIN_NEG };
+    let sc = if dr > 0 { sc } else { CHAIN_NEG };
+    let sc = if params.max_dist >= dq { sc } else { CHAIN_NEG };
+    let sc = if params.max_dist >= dr { sc } else { CHAIN_NEG };
+    if params.bandwidth >= dd {
+        sc
+    } else {
+        CHAIN_NEG
+    }
+}
+
+/// Original chaining order: each anchor looks back at its `n_prev`
+/// predecessors (paper Fig. 2d(ii)).
+///
+/// # Panics
+///
+/// Panics if the anchors are not sorted by `(rpos, qpos)`.
+pub fn chain_original(anchors: &[Anchor], params: &ChainParams) -> ChainResult {
+    assert!(
+        anchors.windows(2).all(|w| w[0] <= w[1]),
+        "anchors must be sorted"
+    );
+    let n = anchors.len();
+    let mut scores: Vec<i32> = anchors.iter().map(|a| a.span).collect();
+    let mut parents = vec![-1i32; n];
+    let mut cells = 0u64;
+    for j in 0..n {
+        let lo = j.saturating_sub(params.n_prev);
+        for i in lo..j {
+            let sc = link_score(&anchors[i], scores[i], &anchors[j], params);
+            cells += 1;
+            if sc > scores[j] {
+                scores[j] = sc;
+                parents[j] = i as i32;
+            }
+        }
+    }
+    ChainResult {
+        scores,
+        parents,
+        cells,
+    }
+}
+
+/// Reordered chaining (Guo et al. \[28\], paper Fig. 2d(iii)): each anchor
+/// pushes score updates to its `n_prev` successors. `f[i]` is final when
+/// anchor `i` is processed because all its potential parents precede it,
+/// so the result is identical to [`chain_original`] with the same window.
+///
+/// # Panics
+///
+/// Panics if the anchors are not sorted by `(rpos, qpos)`.
+pub fn chain_reordered(anchors: &[Anchor], params: &ChainParams) -> ChainResult {
+    assert!(
+        anchors.windows(2).all(|w| w[0] <= w[1]),
+        "anchors must be sorted"
+    );
+    let n = anchors.len();
+    let mut scores: Vec<i32> = anchors.iter().map(|a| a.span).collect();
+    let mut parents = vec![-1i32; n];
+    let mut cells = 0u64;
+    for i in 0..n {
+        for k in 1..=params.n_prev {
+            let j = i + k;
+            if j >= n {
+                break;
+            }
+            let sc = link_score(&anchors[i], scores[i], &anchors[j], params);
+            cells += 1;
+            if sc > scores[j] {
+                scores[j] = sc;
+                parents[j] = i as i32;
+            }
+        }
+    }
+    ChainResult {
+        scores,
+        parents,
+        cells,
+    }
+}
+
+/// A read mapped to the reference through seeding + chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Estimated reference start of the read.
+    pub ref_start: i32,
+    /// Best chain score.
+    pub score: i32,
+    /// Mapping quality (0–60, minimap2-style from the best/second-best
+    /// score ratio).
+    pub mapq: u8,
+}
+
+/// Maps a read: extract anchors, chain them, trace the best chain and
+/// estimate the reference start. Returns `None` when the read produces no
+/// anchors (mapping failure).
+pub fn map_read(
+    index: &KmerIndex,
+    read: &gendp_seq::DnaSeq,
+    params: &ChainParams,
+    reordered: bool,
+) -> Option<Mapping> {
+    let anchors = gendp_seq::extract_anchors(index, read);
+    if anchors.is_empty() {
+        return None;
+    }
+    let result = if reordered {
+        chain_reordered(&anchors, params)
+    } else {
+        chain_original(&anchors, params)
+    };
+    let best = result.best()?;
+    let chain = result.trace(best);
+    let first = anchors[chain[0]];
+    let ref_start = first.rpos - first.qpos;
+    let s1 = result.scores[best];
+    // Second-best among anchors far from the best chain's diagonal.
+    let best_diag = anchors[best].rpos - anchors[best].qpos;
+    let s2 = (0..anchors.len())
+        .filter(|&i| (anchors[i].rpos - anchors[i].qpos - best_diag).abs() > params.bandwidth)
+        .map(|i| result.scores[i])
+        .max()
+        .unwrap_or(0);
+    let mapq = if s1 <= 0 {
+        0
+    } else {
+        (40.0 * (1.0 - s2 as f64 / s1 as f64)).clamp(0.0, 60.0) as u8
+    };
+    Some(Mapping {
+        ref_start,
+        score: s1,
+        mapq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_seq::{DnaSeq, Genome, MutationProfile};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn diagonal_anchors(n: usize, step: i32, span: i32) -> Vec<Anchor> {
+        (0..n as i32)
+            .map(|i| Anchor {
+                rpos: 100 + i * step,
+                qpos: 50 + i * step,
+                span,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collinear_anchors_chain_together() {
+        let anchors = diagonal_anchors(20, 30, 15);
+        let r = chain_original(&anchors, &ChainParams::minimap2(15.0));
+        let best = r.best().unwrap();
+        assert_eq!(best, 19);
+        let chain = r.trace(best);
+        assert_eq!(chain.len(), 20);
+        assert_eq!(chain[0], 0);
+        // Perfectly collinear anchors 30 apart with span 15: each link adds
+        // min(30, 15) = 15 with zero gap cost.
+        assert_eq!(r.scores[best], 15 + 19 * 15);
+    }
+
+    #[test]
+    fn reordered_equals_original_for_same_window() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Genome::random(30_000, &mut rng);
+        let read = MutationProfile::pacbio().apply(&g.window(5_000, 3_000), &mut rng);
+        let idx = KmerIndex::build(g.seq(), 13);
+        let anchors = gendp_seq::extract_anchors(&idx, &read);
+        assert!(anchors.len() > 100);
+        for n in [8, 25, 64] {
+            let p = ChainParams {
+                n_prev: n,
+                ..ChainParams::minimap2(13.0)
+            };
+            let a = chain_original(&anchors, &p);
+            let b = chain_reordered(&anchors, &p);
+            assert_eq!(a.scores, b.scores, "window {n}");
+            assert_eq!(a.cells, b.cells);
+        }
+    }
+
+    #[test]
+    fn larger_window_computes_more_cells() {
+        let anchors = diagonal_anchors(200, 20, 15);
+        let small = chain_original(&anchors, &ChainParams::minimap2(15.0));
+        let large = chain_original(&anchors, &ChainParams::reordered(15.0));
+        assert!(large.cells > small.cells);
+        let ratio = large.cells as f64 / small.cells as f64;
+        assert!((2.0..3.0).contains(&ratio), "ratio {ratio}"); // ~64/25
+    }
+
+    #[test]
+    fn gap_cost_penalizes_diagonal_drift() {
+        let a = Anchor {
+            rpos: 100,
+            qpos: 100,
+            span: 15,
+        };
+        let p = ChainParams::minimap2(15.0);
+        let on_diag = Anchor {
+            rpos: 200,
+            qpos: 200,
+            span: 15,
+        };
+        let off_diag = Anchor {
+            rpos: 200,
+            qpos: 260,
+            span: 15,
+        };
+        let s_on = link_score(&a, 15, &on_diag, &p);
+        let s_off = link_score(&a, 15, &off_diag, &p);
+        assert!(s_on > s_off);
+    }
+
+    #[test]
+    fn invalid_links_are_rejected() {
+        let p = ChainParams::minimap2(15.0);
+        let a = Anchor {
+            rpos: 100,
+            qpos: 100,
+            span: 15,
+        };
+        // dq <= 0.
+        let behind = Anchor {
+            rpos: 150,
+            qpos: 100,
+            span: 15,
+        };
+        assert_eq!(link_score(&a, 15, &behind, &p), CHAIN_NEG);
+        // Too far.
+        let far = Anchor {
+            rpos: 100_000,
+            qpos: 100_040,
+            span: 15,
+        };
+        assert_eq!(link_score(&a, 15, &far, &p), CHAIN_NEG);
+        // Excessive drift.
+        let drift = Anchor {
+            rpos: 1_100,
+            qpos: 2_500,
+            span: 15,
+        };
+        assert_eq!(link_score(&a, 15, &drift, &p), CHAIN_NEG);
+    }
+
+    #[test]
+    fn map_read_recovers_true_position() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Genome::random(50_000, &mut rng);
+        let idx = KmerIndex::build(g.seq(), 15);
+        let mut correct = 0;
+        let total = 20;
+        for _ in 0..total {
+            let pos = rng.gen_range(0..40_000usize);
+            let read = MutationProfile::pacbio().apply(&g.window(pos, 2_000), &mut rng);
+            if let Some(m) = map_read(&idx, &read, &ChainParams::reordered(15.0), true) {
+                if (m.ref_start - pos as i32).abs() < 100 {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 18, "only {correct}/{total} mapped correctly");
+    }
+
+    #[test]
+    fn empty_anchor_list_maps_to_none() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = Genome::random(1_000, &mut rng);
+        let idx = KmerIndex::build(g.seq(), 15);
+        let junk = DnaSeq::random(10, &mut rng);
+        assert!(map_read(&idx, &junk, &ChainParams::minimap2(15.0), false).is_none());
+    }
+
+    use rand::Rng;
+}

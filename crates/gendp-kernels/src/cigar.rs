@@ -1,0 +1,463 @@
+//! Alignment traceback: CIGAR strings and the full-matrix affine-gap
+//! traceback aligner. The accelerator computes scores and argmax positions
+//! (and POA's per-cell directions); the base-level alignment is the
+//! downstream host step (paper §7.2 discusses POA's trace-back the same
+//! way), and any real adopter of the library needs it.
+
+use std::fmt;
+
+use gendp_seq::DnaSeq;
+
+use crate::scoring::{AlignMode, GapModel, Scoring};
+
+/// One CIGAR operation (extended SAM alphabet).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// `=`: query and target bases are equal.
+    Match,
+    /// `X`: aligned but different bases.
+    Mismatch,
+    /// `I`: base present in the query only.
+    Ins,
+    /// `D`: base present in the target only.
+    Del,
+}
+
+impl CigarOp {
+    /// The SAM character.
+    pub fn symbol(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Mismatch => 'X',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+        }
+    }
+
+    /// True if the op consumes a query base.
+    pub fn consumes_query(self) -> bool {
+        !matches!(self, CigarOp::Del)
+    }
+
+    /// True if the op consumes a target base.
+    pub fn consumes_target(self) -> bool {
+        !matches!(self, CigarOp::Ins)
+    }
+}
+
+/// A run-length-encoded CIGAR string.
+///
+/// ```
+/// use gendp_kernels::cigar::{Cigar, CigarOp};
+///
+/// let mut c = Cigar::new();
+/// c.push(CigarOp::Match, 5);
+/// c.push(CigarOp::Match, 2); // merges
+/// c.push(CigarOp::Ins, 1);
+/// assert_eq!(c.to_string(), "7=1I");
+/// assert_eq!(c.query_len(), 8);
+/// assert_eq!(c.target_len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cigar(Vec<(u32, CigarOp)>);
+
+impl Cigar {
+    /// An empty CIGAR.
+    pub fn new() -> Self {
+        Cigar::default()
+    }
+
+    /// Appends `count` repetitions of `op`, merging with the tail run.
+    pub fn push(&mut self, op: CigarOp, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(last) = self.0.last_mut() {
+            if last.1 == op {
+                last.0 += count;
+                return;
+            }
+        }
+        self.0.push((count, op));
+    }
+
+    /// The runs as `(count, op)` pairs.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.0
+    }
+
+    /// Query bases consumed.
+    pub fn query_len(&self) -> usize {
+        self.0
+            .iter()
+            .filter(|(_, op)| op.consumes_query())
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+
+    /// Target bases consumed.
+    pub fn target_len(&self) -> usize {
+        self.0
+            .iter()
+            .filter(|(_, op)| op.consumes_target())
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+
+    /// Fraction of aligned columns that are exact matches.
+    pub fn identity(&self) -> f64 {
+        let aligned: u32 = self
+            .0
+            .iter()
+            .filter(|(_, op)| matches!(op, CigarOp::Match | CigarOp::Mismatch))
+            .map(|(n, _)| *n)
+            .sum();
+        if aligned == 0 {
+            return 0.0;
+        }
+        let matches: u32 = self
+            .0
+            .iter()
+            .filter(|(_, op)| matches!(op, CigarOp::Match))
+            .map(|(n, _)| *n)
+            .sum();
+        matches as f64 / aligned as f64
+    }
+
+    /// Recomputes the alignment score the CIGAR implies under a scoring
+    /// scheme (each gap run priced as one gap of its length) — the
+    /// consistency oracle for traceback tests.
+    pub fn score(&self, scoring: &Scoring) -> i32 {
+        self.0
+            .iter()
+            .map(|&(n, op)| match op {
+                CigarOp::Match => scoring.matches * n as i32,
+                CigarOp::Mismatch => -scoring.mismatch * n as i32,
+                CigarOp::Ins | CigarOp::Del => -scoring.gap.penalty(n),
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "*");
+        }
+        for (n, op) in &self.0 {
+            write!(f, "{n}{}", op.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+/// A base-level alignment with traceback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Alignment score.
+    pub score: i32,
+    /// CIGAR over the aligned region.
+    pub cigar: Cigar,
+    /// Aligned query interval `[start, end)`.
+    pub query_range: (usize, usize),
+    /// Aligned target interval `[start, end)`.
+    pub target_range: (usize, usize),
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+enum State {
+    H,
+    E,
+    F,
+}
+
+/// Full-matrix affine-gap alignment with traceback, local or global mode.
+///
+/// The score equals [`crate::bsw_i32`] with an unbounded band; additionally
+/// the base-level [`Alignment`] is recovered.
+///
+/// # Panics
+///
+/// Panics if the gap model is not affine, either sequence is empty, or
+/// `mode` is [`AlignMode::SemiGlobal`] (use local mode with free flanks
+/// instead; overlap tracebacks are not needed by the pipelines here).
+pub fn align_traceback(
+    query: &DnaSeq,
+    target: &DnaSeq,
+    scoring: &Scoring,
+    mode: AlignMode,
+) -> Alignment {
+    let (open, extend) = match scoring.gap {
+        GapModel::Affine { open, extend } => (open, extend),
+        _ => panic!("traceback aligner uses the affine gap model"),
+    };
+    assert!(
+        mode != AlignMode::SemiGlobal,
+        "semi-global traceback is not supported"
+    );
+    assert!(!query.is_empty() && !target.is_empty(), "empty input");
+    let q = query.codes();
+    let t = target.codes();
+    let n = q.len();
+    let m = t.len();
+    let local = mode == AlignMode::Local;
+
+    let mut h = vec![vec![NEG; n + 1]; m + 1];
+    let mut e = vec![vec![NEG; n + 1]; m + 1];
+    let mut f = vec![vec![NEG; n + 1]; m + 1];
+    // Traceback bits: where each state's optimum came from.
+    let mut h_from = vec![vec![State::H; n + 1]; m + 1]; // H=diag, E, F (or stop)
+    let mut e_open = vec![vec![false; n + 1]; m + 1]; // true: opened from H
+    let mut f_open = vec![vec![false; n + 1]; m + 1];
+
+    h[0][0] = 0;
+    for (j, slot) in h[0].iter_mut().enumerate().skip(1) {
+        *slot = if local { 0 } else { -(open + extend * j as i32) };
+    }
+    for (i, row) in h.iter_mut().enumerate().skip(1) {
+        row[0] = if local { 0 } else { -(open + extend * i as i32) };
+    }
+
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=m {
+        for j in 1..=n {
+            let eo = h[i - 1][j].saturating_sub(open);
+            let ee = e[i - 1][j];
+            e_open[i][j] = eo >= ee;
+            e[i][j] = eo.max(ee).saturating_sub(extend);
+
+            let fo = h[i][j - 1].saturating_sub(open);
+            let fe = f[i][j - 1];
+            f_open[i][j] = fo >= fe;
+            f[i][j] = fo.max(fe).saturating_sub(extend);
+
+            let sub = scoring.substitution(t[i - 1], q[j - 1]);
+            let diag = h[i - 1][j - 1].saturating_add(sub);
+            let mut hv = diag;
+            let mut from = State::H;
+            if e[i][j] > hv {
+                hv = e[i][j];
+                from = State::E;
+            }
+            if f[i][j] > hv {
+                hv = f[i][j];
+                from = State::F;
+            }
+            if local && hv < 0 {
+                hv = 0;
+            }
+            h[i][j] = hv;
+            h_from[i][j] = from;
+            if local && hv > best.0 {
+                best = (hv, i, j);
+            }
+        }
+    }
+    let (score, mut i, mut j) = if local {
+        best
+    } else {
+        (h[m][n], m, n)
+    };
+
+    // Walk back, collecting ops in reverse.
+    let mut ops: Vec<CigarOp> = Vec::new();
+    let (end_i, end_j) = (i, j);
+    let mut state = State::H;
+    while i > 0 && j > 0 {
+        if local && state == State::H && h[i][j] == 0 {
+            break;
+        }
+        match state {
+            State::H => match h_from[i][j] {
+                State::H => {
+                    ops.push(if t[i - 1] == q[j - 1] {
+                        CigarOp::Match
+                    } else {
+                        CigarOp::Mismatch
+                    });
+                    i -= 1;
+                    j -= 1;
+                }
+                s => state = s,
+            },
+            State::E => {
+                ops.push(CigarOp::Del);
+                let opened = e_open[i][j];
+                i -= 1;
+                if opened {
+                    state = State::H;
+                }
+            }
+            State::F => {
+                ops.push(CigarOp::Ins);
+                let opened = f_open[i][j];
+                j -= 1;
+                if opened {
+                    state = State::H;
+                }
+            }
+        }
+    }
+    if !local {
+        // Finish the borders with leading gaps.
+        while i > 0 {
+            ops.push(CigarOp::Del);
+            i -= 1;
+        }
+        while j > 0 {
+            ops.push(CigarOp::Ins);
+            j -= 1;
+        }
+    }
+    let mut cigar = Cigar::new();
+    for op in ops.into_iter().rev() {
+        cigar.push(op, 1);
+    }
+    Alignment {
+        score,
+        cigar,
+        query_range: (j, end_j),
+        target_range: (i, end_i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsw::bsw_i32;
+    use gendp_seq::{Genome, MutationProfile};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn cigar_display_and_lengths() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Match, 10);
+        c.push(CigarOp::Mismatch, 1);
+        c.push(CigarOp::Del, 3);
+        c.push(CigarOp::Match, 4);
+        assert_eq!(c.to_string(), "10=1X3D4=");
+        assert_eq!(c.query_len(), 15);
+        assert_eq!(c.target_len(), 18);
+        assert!((c.identity() - 14.0 / 15.0).abs() < 1e-12);
+        assert_eq!(Cigar::new().to_string(), "*");
+    }
+
+    #[test]
+    fn identical_sequences_trace_to_full_match() {
+        let q = s("ACGTACGT");
+        let a = align_traceback(&q, &q, &Scoring::bwa_mem(), AlignMode::Global);
+        assert_eq!(a.cigar.to_string(), "8=");
+        assert_eq!(a.score, 8);
+        assert_eq!(a.query_range, (0, 8));
+        assert_eq!(a.target_range, (0, 8));
+    }
+
+    #[test]
+    fn single_deletion_is_recovered() {
+        // Target has 3 extra bases.
+        let q = s("ACGTACGT");
+        let t = s("ACGTTTTACGT");
+        let a = align_traceback(&q, &t, &Scoring::bwa_mem(), AlignMode::Global);
+        // The deletion may sit anywhere inside the homopolymer run; check
+        // the shape: 8 matches and one 3-base deletion.
+        assert_eq!(a.score, 8 - (6 + 3));
+        let dels: Vec<u32> = a
+            .cigar
+            .runs()
+            .iter()
+            .filter(|(_, op)| *op == CigarOp::Del)
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(dels, vec![3], "{}", a.cigar);
+        assert_eq!(a.cigar.query_len(), 8);
+        assert_eq!(a.cigar.target_len(), 11);
+    }
+
+    #[test]
+    fn local_traceback_skips_poor_flanks() {
+        let q = s("TTTTACGTACGTTTTT");
+        let t = s("CCCCACGTACGTCCCC");
+        let a = align_traceback(&q, &t, &Scoring::bwa_mem(), AlignMode::Local);
+        assert_eq!(a.cigar.to_string(), "8=");
+        assert_eq!(a.score, 8);
+        assert_eq!(a.query_range, (4, 12));
+        assert_eq!(a.target_range, (4, 12));
+    }
+
+    #[test]
+    fn traceback_score_matches_banded_kernel() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..20 {
+            let g = Genome::random(120, &mut rng);
+            let t = g.window(0, 60);
+            let q = MutationProfile::pacbio().apply(&g.window(5, 50), &mut rng);
+            if q.is_empty() {
+                continue;
+            }
+            for mode in [AlignMode::Local, AlignMode::Global] {
+                let a = align_traceback(&q, &t, &Scoring::bwa_mem(), mode);
+                let expect = bsw_i32(&q, &t, &Scoring::bwa_mem(), 1000, mode);
+                assert_eq!(a.score, expect.score, "{mode:?} q={q} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cigar_is_internally_consistent() {
+        let mut rng = SmallRng::seed_from_u64(62);
+        let scoring = Scoring::bwa_mem();
+        for _ in 0..20 {
+            let g = Genome::random(100, &mut rng);
+            let t = g.window(0, 50);
+            let q = MutationProfile::pacbio().apply(&g.window(0, 50), &mut rng);
+            if q.is_empty() {
+                continue;
+            }
+            for mode in [AlignMode::Local, AlignMode::Global] {
+                let a = align_traceback(&q, &t, &scoring, mode);
+                // Consumed lengths match the reported ranges.
+                assert_eq!(a.cigar.query_len(), a.query_range.1 - a.query_range.0);
+                assert_eq!(a.cigar.target_len(), a.target_range.1 - a.target_range.0);
+                // The CIGAR prices back to the reported score.
+                assert_eq!(a.cigar.score(&scoring), a.score, "{mode:?} {}", a.cigar);
+                // Match/mismatch claims agree with the actual bases.
+                let (mut qi, mut ti) = (a.query_range.0, a.target_range.0);
+                for &(count, op) in a.cigar.runs() {
+                    for _ in 0..count {
+                        match op {
+                            CigarOp::Match => {
+                                assert_eq!(q[qi], t[ti]);
+                                qi += 1;
+                                ti += 1;
+                            }
+                            CigarOp::Mismatch => {
+                                assert_ne!(q[qi], t[ti]);
+                                qi += 1;
+                                ti += 1;
+                            }
+                            CigarOp::Ins => qi += 1,
+                            CigarOp::Del => ti += 1,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "semi-global")]
+    fn semiglobal_traceback_panics() {
+        align_traceback(
+            &s("ACGT"),
+            &s("ACGT"),
+            &Scoring::bwa_mem(),
+            AlignMode::SemiGlobal,
+        );
+    }
+}

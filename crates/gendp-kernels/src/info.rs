@@ -1,0 +1,128 @@
+//! Kernel characteristics (paper Table 1).
+
+use std::fmt;
+
+/// Inter-cell dependency pattern of a DP kernel (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependencyPattern {
+    /// 2-D table, each cell depends on the last two wavefronts.
+    Wavefront2D,
+    /// 2-D table over a graph: long-range dependencies on earlier rows.
+    Graph2D,
+    /// 1-D table, each cell depends on the last `N` cells.
+    Linear1D {
+        /// The window size N.
+        window: usize,
+    },
+}
+
+impl fmt::Display for DependencyPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependencyPattern::Wavefront2D => write!(f, "2D table, last 2 wavefronts"),
+            DependencyPattern::Graph2D => write!(f, "2D table, graph long-range"),
+            DependencyPattern::Linear1D { window } => {
+                write!(f, "1D table, last {window} anchors")
+            }
+        }
+    }
+}
+
+/// Arithmetic precision a kernel needs (paper Table 1, last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// 8- or 16-bit integers (BSW).
+    Int8Or16,
+    /// 32-bit integers (POA).
+    Int32,
+    /// Floating point (PairHMM baseline arithmetic).
+    Float,
+    /// Mixed 32-bit integer and floating point (Chain).
+    Int32AndFloat,
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Int8Or16 => write!(f, "8-bit/16-bit integer"),
+            Precision::Int32 => write!(f, "32-bit integer"),
+            Precision::Float => write!(f, "floating-point"),
+            Precision::Int32AndFloat => write!(f, "32-bit integer + floating-point"),
+        }
+    }
+}
+
+/// Static description of one evaluated kernel (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Typical DP-table shape `(rows, cols)`; cols 1 for 1-D kernels.
+    pub typical_table: (usize, usize),
+    /// Dependency pattern.
+    pub dependency: DependencyPattern,
+    /// Precision requirement.
+    pub precision: Precision,
+    /// Pipeline-stage time share the paper attributes to the kernel (§2.3).
+    pub pipeline_share: f64,
+}
+
+/// The four evaluated kernels (paper Table 1).
+pub const KERNELS: [KernelInfo; 4] = [
+    KernelInfo {
+        name: "BSW",
+        typical_table: (100, 60),
+        dependency: DependencyPattern::Wavefront2D,
+        precision: Precision::Int8Or16,
+        pipeline_share: 0.31,
+    },
+    KernelInfo {
+        name: "PairHMM",
+        typical_table: (100, 60),
+        dependency: DependencyPattern::Wavefront2D,
+        precision: Precision::Float,
+        pipeline_share: 0.70,
+    },
+    KernelInfo {
+        name: "POA",
+        typical_table: (1000, 500),
+        dependency: DependencyPattern::Graph2D,
+        precision: Precision::Int32,
+        pipeline_share: 0.47,
+    },
+    KernelInfo {
+        name: "Chain",
+        typical_table: (20000, 1),
+        dependency: DependencyPattern::Linear1D { window: 25 },
+        precision: Precision::Int32AndFloat,
+        pipeline_share: 0.75,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        assert_eq!(KERNELS.len(), 4);
+        assert_eq!(KERNELS[0].name, "BSW");
+        assert_eq!(KERNELS[2].dependency, DependencyPattern::Graph2D);
+        assert_eq!(
+            KERNELS[3].dependency,
+            DependencyPattern::Linear1D { window: 25 }
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(DependencyPattern::Wavefront2D.to_string().contains("wavefront") ||
+                DependencyPattern::Wavefront2D.to_string().contains("2D"));
+        assert!(Precision::Int8Or16.to_string().contains("8-bit"));
+        for k in KERNELS {
+            assert!(!k.dependency.to_string().is_empty());
+            assert!(!k.precision.to_string().is_empty());
+            assert!(k.pipeline_share > 0.0 && k.pipeline_share < 1.0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Longest Common Subsequence — the paper's background example (§2.2,
+//! Eq. 1 and Fig. 1), including the traceback.
+
+/// Result of an LCS computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LcsResult<T> {
+    /// Length of the longest common subsequence.
+    pub length: usize,
+    /// One longest common subsequence (recovered by traceback).
+    pub subsequence: Vec<T>,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+/// Computes the LCS of two slices exactly as the paper's Equation 1
+/// describes, with the traceback of Fig. 1.
+pub fn lcs<T: PartialEq + Clone>(x: &[T], y: &[T]) -> LcsResult<T> {
+    let m = x.len();
+    let n = y.len();
+    let mut c = vec![vec![0usize; n + 1]; m + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            c[i][j] = if x[i - 1] == y[j - 1] {
+                c[i - 1][j - 1] + 1
+            } else {
+                c[i][j - 1].max(c[i - 1][j])
+            };
+        }
+    }
+    // Traceback.
+    let mut subsequence = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 && j > 0 {
+        if x[i - 1] == y[j - 1] {
+            subsequence.push(x[i - 1].clone());
+            i -= 1;
+            j -= 1;
+        } else if c[i - 1][j] >= c[i][j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    subsequence.reverse();
+    LcsResult {
+        length: c[m][n],
+        subsequence,
+        cells: (m as u64) * (n as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_example() {
+        let x: Vec<char> = "ABCBDAB".chars().collect();
+        let y: Vec<char> = "BDCABA".chars().collect();
+        let r = lcs(&x, &y);
+        assert_eq!(r.length, 4);
+        assert_eq!(r.subsequence.len(), 4);
+        assert_eq!(r.cells, 42);
+    }
+
+    #[test]
+    fn identical_inputs() {
+        let x = [1, 2, 3, 4];
+        let r = lcs(&x, &x);
+        assert_eq!(r.length, 4);
+        assert_eq!(r.subsequence, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disjoint_inputs() {
+        let r = lcs(&[1, 2], &[3, 4]);
+        assert_eq!(r.length, 0);
+        assert!(r.subsequence.is_empty());
+    }
+
+    #[test]
+    fn subsequence_is_valid() {
+        let x = [5, 1, 8, 2, 9, 3];
+        let y = [1, 9, 5, 2, 3, 8];
+        let r = lcs(&x, &y);
+        assert_eq!(r.subsequence.len(), r.length);
+        // The reported subsequence is a subsequence of both inputs.
+        for seq in [&x[..], &y[..]] {
+            let mut it = seq.iter();
+            for v in &r.subsequence {
+                assert!(it.any(|s| s == v), "{v} missing in {seq:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let r = lcs::<i32>(&[], &[1, 2]);
+        assert_eq!(r.length, 0);
+        assert_eq!(r.cells, 0);
+    }
+
+    #[test]
+    fn lcs_is_symmetric_in_length() {
+        let x = [1, 4, 2, 8, 5, 7];
+        let y = [4, 8, 1, 2, 7, 5, 3];
+        assert_eq!(lcs(&x, &y).length, lcs(&y, &x).length);
+    }
+}

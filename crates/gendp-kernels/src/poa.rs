@@ -1,0 +1,495 @@
+//! Partial Order Alignment (paper §2.3): the assembly-polishing kernel.
+//!
+//! A [`Poa`] accumulates read sequences into a weighted partial-order graph
+//! (nodes are bases, edge weights count supporting reads) and extracts the
+//! consensus as the heaviest path (Lee et al. 2002, as used by Racon \[72\]).
+//!
+//! The graph dependency structure — a cell depends on *all predecessor
+//! rows* of its node, not just the previous row — is exactly the
+//! long-range-dependency pattern DPAx serves from the per-PE scratchpad
+//! (paper §3.1, Fig. 2c).
+
+use gendp_seq::{Base, DnaSeq};
+
+use crate::scoring::{GapModel, Scoring};
+
+#[derive(Debug, Clone)]
+struct Node {
+    base: Base,
+    /// Predecessor node ids with edge weights.
+    preds: Vec<(usize, u32)>,
+    /// Successor node ids.
+    succs: Vec<usize>,
+}
+
+/// Result of aligning one sequence to the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoaAlign {
+    /// Alignment score of the sequence against the graph.
+    pub score: i32,
+    /// DP cells computed (graph nodes × sequence length).
+    pub cells: u64,
+}
+
+/// A weighted partial-order alignment graph.
+///
+/// ```
+/// use gendp_kernels::poa::Poa;
+/// use gendp_kernels::Scoring;
+///
+/// let mut poa = Poa::new();
+/// let seq = "ACGTACGT".parse().unwrap();
+/// poa.add_sequence(&seq, &Scoring::racon());
+/// poa.add_sequence(&seq, &Scoring::racon());
+/// assert_eq!(poa.consensus(), seq);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Poa {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mv {
+    /// Match/mismatch against the node at this rank, coming from pred rank.
+    Diag(usize),
+    /// Graph node consumed without a sequence base (deletion), from pred
+    /// rank.
+    Up(usize),
+    /// Sequence base consumed without a graph node (insertion).
+    Left,
+    /// Border start.
+    Start,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+impl Poa {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Poa::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.preds.len()).sum()
+    }
+
+    /// Node ids in topological order (what the accelerator mapping calls
+    /// "rows").
+    pub fn topological_order(&self) -> Vec<usize> {
+        self.topo_order()
+    }
+
+    /// The base of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn base(&self, v: usize) -> Base {
+        self.nodes[v].base
+    }
+
+    /// Predecessors of node `v` with edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn preds(&self, v: usize) -> &[(usize, u32)] {
+        &self.nodes[v].preds
+    }
+
+    /// Successors of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn succs(&self, v: usize) -> &[usize] {
+        &self.nodes[v].succs
+    }
+
+    /// Nodes in topological order (Kahn's algorithm).
+    fn topo_order(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|x| x.preds.len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &s in &self.nodes[v].succs {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "POA graph contains a cycle");
+        order
+    }
+
+    fn linear_gap(scoring: &Scoring) -> i32 {
+        match scoring.gap {
+            GapModel::Linear { extend } => extend,
+            _ => panic!("POA uses the linear gap model (Lee 2002 / Racon)"),
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if let Some(e) = self.nodes[to].preds.iter_mut().find(|(p, _)| *p == from) {
+            e.1 += 1;
+            return;
+        }
+        self.nodes[to].preds.push((from, 1));
+        self.nodes[from].succs.push(to);
+    }
+
+    fn add_node(&mut self, base: Base) -> usize {
+        self.nodes.push(Node {
+            base,
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Aligns `seq` to the graph (global, linear gaps) without modifying
+    /// it. Returns the score, the DP cell count and the traceback.
+    fn align_internal(
+        &self,
+        seq: &DnaSeq,
+        scoring: &Scoring,
+    ) -> (PoaAlign, Vec<Vec<Mv>>, Vec<usize>) {
+        let gap = Self::linear_gap(scoring);
+        let order = self.topo_order();
+        let rank_of: Vec<usize> = {
+            let mut r = vec![0; self.nodes.len()];
+            for (rank, &v) in order.iter().enumerate() {
+                r[v] = rank + 1;
+            }
+            r
+        };
+        let rn = order.len();
+        let n = seq.len();
+        let mut h = vec![vec![NEG; n + 1]; rn + 1];
+        let mut mv = vec![vec![Mv::Start; n + 1]; rn + 1];
+        h[0][0] = 0;
+        for j in 1..=n {
+            h[0][j] = -gap * j as i32;
+            mv[0][j] = Mv::Left;
+        }
+        for (rank0, &v) in order.iter().enumerate() {
+            let r = rank0 + 1;
+            let node = &self.nodes[v];
+            let pred_ranks: Vec<usize> = if node.preds.is_empty() {
+                vec![0]
+            } else {
+                node.preds.iter().map(|&(p, _)| rank_of[p]).collect()
+            };
+            // Border column: graph-only moves.
+            for &pr in &pred_ranks {
+                let cand = h[pr][0] - gap;
+                if cand > h[r][0] {
+                    h[r][0] = cand;
+                    mv[r][0] = Mv::Up(pr);
+                }
+            }
+            for j in 1..=n {
+                let sub = scoring.substitution(node.base.code(), seq[j - 1].code());
+                let (mut best, mut best_mv) = (h[r][j - 1] - gap, Mv::Left);
+                for &pr in &pred_ranks {
+                    let diag = h[pr][j - 1] + sub;
+                    if diag > best {
+                        best = diag;
+                        best_mv = Mv::Diag(pr);
+                    }
+                    let up = h[pr][j] - gap;
+                    if up > best {
+                        best = up;
+                        best_mv = Mv::Up(pr);
+                    }
+                }
+                h[r][j] = best;
+                mv[r][j] = best_mv;
+            }
+        }
+        // Global end: best over ranks of end nodes (no successors).
+        let mut best_rank = 0;
+        let mut best = if rn == 0 { 0 } else { NEG };
+        for (rank0, &v) in order.iter().enumerate() {
+            if self.nodes[v].succs.is_empty() && h[rank0 + 1][n] > best {
+                best = h[rank0 + 1][n];
+                best_rank = rank0 + 1;
+            }
+        }
+        if rn == 0 {
+            best = -gap * n as i32;
+        }
+        (
+            PoaAlign {
+                score: best,
+                cells: (rn as u64) * (n as u64),
+            },
+            mv,
+            {
+                let mut with_best = order;
+                with_best.push(best_rank); // smuggle best end rank
+                with_best
+            },
+        )
+    }
+
+    /// Aligns `seq` against the current graph without merging it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scoring's gap model is not linear.
+    pub fn align(&self, seq: &DnaSeq, scoring: &Scoring) -> PoaAlign {
+        self.align_internal(seq, scoring).0
+    }
+
+    /// Aligns `seq` to the graph and fuses it in, updating edge weights.
+    /// The first sequence simply becomes a chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scoring's gap model is not linear or `seq` is empty.
+    pub fn add_sequence(&mut self, seq: &DnaSeq, scoring: &Scoring) -> PoaAlign {
+        assert!(!seq.is_empty(), "cannot add an empty sequence");
+        let _ = Self::linear_gap(scoring); // validate the gap model upfront
+        if self.nodes.is_empty() {
+            let mut prev: Option<usize> = None;
+            for &b in seq.iter() {
+                let v = self.add_node(b);
+                if let Some(p) = prev {
+                    self.add_edge(p, v);
+                }
+                prev = Some(v);
+            }
+            return PoaAlign { score: 0, cells: 0 };
+        }
+
+        let (result, mv, mut order) = self.align_internal(seq, scoring);
+        let best_rank = order.pop().expect("end rank present");
+        let node_at = |rank: usize| order[rank - 1];
+
+        // Walk the traceback from (best_rank, n) back to the border,
+        // collecting consuming operations in reverse.
+        #[derive(Debug)]
+        enum Op {
+            Match { rank: usize, j: usize },
+            Ins { j: usize },
+        }
+        let mut ops: Vec<Op> = Vec::new();
+        let (mut r, mut j) = (best_rank, seq.len());
+        loop {
+            if r == 0 && j == 0 {
+                break;
+            }
+            match mv[r][j] {
+                Mv::Diag(pr) => {
+                    ops.push(Op::Match { rank: r, j: j - 1 });
+                    r = pr;
+                    j -= 1;
+                }
+                Mv::Up(pr) => {
+                    r = pr;
+                }
+                Mv::Left => {
+                    ops.push(Op::Ins { j: j - 1 });
+                    j -= 1;
+                }
+                Mv::Start => break,
+            }
+        }
+        ops.reverse();
+
+        // Fuse: reuse matched nodes with equal bases, create nodes for
+        // mismatches and insertions, thread edges along the read path.
+        let mut prev: Option<usize> = None;
+        for op in ops {
+            let target = match op {
+                Op::Match { rank, j } => {
+                    let v = node_at(rank);
+                    if self.nodes[v].base == seq[j] {
+                        v
+                    } else {
+                        self.add_node(seq[j])
+                    }
+                }
+                Op::Ins { j } => self.add_node(seq[j]),
+            };
+            if let Some(p) = prev {
+                if p != target {
+                    self.add_edge(p, target);
+                }
+            }
+            prev = Some(target);
+        }
+        result
+    }
+
+    /// The heaviest path through the graph: at each node take the
+    /// best-scoring predecessor edge, then trace back from the best-scoring
+    /// node (Racon's consensus step).
+    pub fn consensus(&self) -> DnaSeq {
+        if self.nodes.is_empty() {
+            return DnaSeq::new();
+        }
+        let order = self.topo_order();
+        let mut score = vec![0i64; self.nodes.len()];
+        let mut back: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let (mut best_v, mut best_s) = (order[0], i64::MIN);
+        for &v in &order {
+            for &(p, w) in &self.nodes[v].preds {
+                let cand = score[p] + w as i64;
+                if cand > score[v] {
+                    score[v] = cand;
+                    back[v] = Some(p);
+                }
+            }
+            if score[v] > best_s {
+                best_s = score[v];
+                best_v = v;
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = Some(best_v);
+        while let Some(v) = cur {
+            path.push(self.nodes[v].base);
+            cur = back[v];
+        }
+        path.reverse();
+        path.into_iter().collect()
+    }
+}
+
+/// Convenience: builds a POA over all reads and returns the consensus plus
+/// the total DP cells computed (the throughput unit for the POA kernel).
+///
+/// # Panics
+///
+/// Panics if `reads` is empty or the gap model is not linear.
+pub fn consensus_of(reads: &[DnaSeq], scoring: &Scoring) -> (DnaSeq, u64) {
+    assert!(!reads.is_empty(), "need at least one read");
+    let mut poa = Poa::new();
+    let mut cells = 0u64;
+    for r in reads {
+        cells += poa.add_sequence(r, scoring).cells;
+    }
+    (poa.consensus(), cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_seq::{Genome, MutationProfile, ReadGroupProfile};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn s(text: &str) -> DnaSeq {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn single_sequence_consensus_is_identity() {
+        let mut poa = Poa::new();
+        let seq = s("ACGTTGCA");
+        poa.add_sequence(&seq, &Scoring::racon());
+        assert_eq!(poa.consensus(), seq);
+        assert_eq!(poa.node_count(), 8);
+        assert_eq!(poa.edge_count(), 7);
+    }
+
+    #[test]
+    fn identical_sequences_reinforce_the_chain() {
+        let mut poa = Poa::new();
+        let seq = s("ACGTACGTAC");
+        for _ in 0..5 {
+            poa.add_sequence(&seq, &Scoring::racon());
+        }
+        assert_eq!(poa.consensus(), seq);
+        // No new nodes were created.
+        assert_eq!(poa.node_count(), 10);
+    }
+
+    #[test]
+    fn align_score_of_perfect_match() {
+        let mut poa = Poa::new();
+        let seq = s("ACGTACGT");
+        poa.add_sequence(&seq, &Scoring::racon());
+        let r = poa.align(&seq, &Scoring::racon());
+        assert_eq!(r.score, 8 * 3); // racon match = 3
+        assert_eq!(r.cells, 64);
+    }
+
+    #[test]
+    fn majority_vote_fixes_single_errors() {
+        // Five reads, one carries a substitution: consensus = truth.
+        let truth = s("ACGTACGTACGTACGTACGT");
+        let mut bad = truth.bases().to_vec();
+        bad[7] = bad[7].complement();
+        let reads = vec![
+            truth.clone(),
+            truth.clone(),
+            DnaSeq::from(bad),
+            truth.clone(),
+            truth.clone(),
+        ];
+        let (cons, cells) = consensus_of(&reads, &Scoring::racon());
+        assert_eq!(cons, truth);
+        assert!(cells > 0);
+    }
+
+    #[test]
+    fn noisy_read_group_converges_to_truth() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = Genome::random(1_000, &mut rng);
+        let profile = ReadGroupProfile {
+            window_len: 200,
+            min_reads: 15,
+            max_reads: 15,
+            errors: MutationProfile::nanopore(),
+        };
+        let group = profile.sample(&g, 1, &mut rng).remove(0);
+        let (cons, _) = consensus_of(&group.reads, &Scoring::racon());
+        // Consensus should be much closer to truth than any single read.
+        let n = cons.len().min(group.truth.len());
+        let cons_ident = cons.window(0, n).identity(&group.truth.window(0, n));
+        assert!(cons_ident > 0.93, "consensus identity {cons_ident}");
+        let read = &group.reads[0];
+        let m = read.len().min(group.truth.len());
+        let read_ident = read.window(0, m).identity(&group.truth.window(0, m));
+        assert!(
+            cons_ident > read_ident,
+            "consensus {cons_ident} vs read {read_ident}"
+        );
+    }
+
+    #[test]
+    fn insertion_read_creates_branch() {
+        let mut poa = Poa::new();
+        poa.add_sequence(&s("ACGTACGT"), &Scoring::racon());
+        let before = poa.node_count();
+        poa.add_sequence(&s("ACGTTTACGT"), &Scoring::racon());
+        assert!(poa.node_count() > before);
+        // The original backbone still dominates after two more supporters.
+        poa.add_sequence(&s("ACGTACGT"), &Scoring::racon());
+        poa.add_sequence(&s("ACGTACGT"), &Scoring::racon());
+        assert_eq!(poa.consensus(), s("ACGTACGT"));
+    }
+
+    #[test]
+    fn empty_graph_consensus_is_empty() {
+        assert!(Poa::new().consensus().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gap")]
+    fn affine_scoring_panics() {
+        let mut poa = Poa::new();
+        poa.add_sequence(&s("ACGT"), &Scoring::bwa_mem());
+    }
+}

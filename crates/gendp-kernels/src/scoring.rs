@@ -1,0 +1,158 @@
+//! Alignment scoring parameters: the three modes and three gap models of
+//! approximate string matching the paper's §1 and §7.6.3 call out.
+
+/// Alignment mode (paper §1: local, global and semi-global / overlap).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub enum AlignMode {
+    /// Smith-Waterman: best-scoring substring pair; scores clamp at zero.
+    #[default]
+    Local,
+    /// Needleman-Wunsch: end-to-end alignment of both sequences.
+    Global,
+    /// Overlap alignment: free leading/trailing gaps on either sequence.
+    SemiGlobal,
+}
+
+/// Insertion/deletion scoring model (paper §1: linear, affine, convex).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum GapModel {
+    /// Cost `e` per gapped base.
+    Linear {
+        /// Per-base gap penalty (positive).
+        extend: i32,
+    },
+    /// Cost `o + e·len`.
+    Affine {
+        /// Gap-open penalty (positive).
+        open: i32,
+        /// Gap-extend penalty (positive).
+        extend: i32,
+    },
+    /// Two affine pieces: `min(o1 + e1·len, o2 + e2·len)` — the dual-affine
+    /// approximation of a convex gap cost used by modern aligners.
+    Convex {
+        /// First piece gap-open penalty.
+        open1: i32,
+        /// First piece gap-extend penalty.
+        extend1: i32,
+        /// Second piece gap-open penalty (larger open, smaller extend).
+        open2: i32,
+        /// Second piece gap-extend penalty.
+        extend2: i32,
+    },
+}
+
+impl GapModel {
+    /// Total penalty of a gap of `len` bases (positive number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero (a zero-length gap has no cost to ask for).
+    pub fn penalty(&self, len: u32) -> i32 {
+        assert!(len > 0, "gap length must be positive");
+        let len = len as i32;
+        match *self {
+            GapModel::Linear { extend } => extend * len,
+            GapModel::Affine { open, extend } => open + extend * len,
+            GapModel::Convex {
+                open1,
+                extend1,
+                open2,
+                extend2,
+            } => (open1 + extend1 * len).min(open2 + extend2 * len),
+        }
+    }
+}
+
+/// Full scoring scheme of a pairwise alignment kernel.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Scoring {
+    /// Score for a matching base pair (positive).
+    pub matches: i32,
+    /// Penalty for a mismatching pair (positive; subtracted).
+    pub mismatch: i32,
+    /// Gap model.
+    pub gap: GapModel,
+}
+
+impl Scoring {
+    /// BWA-MEM2's default short-read scoring (1 / 4 / 6+1 affine).
+    pub fn bwa_mem() -> Self {
+        Scoring {
+            matches: 1,
+            mismatch: 4,
+            gap: GapModel::Affine { open: 6, extend: 1 },
+        }
+    }
+
+    /// Racon-like polishing scores (3 / 5 / linear 4).
+    pub fn racon() -> Self {
+        Scoring {
+            matches: 3,
+            mismatch: 5,
+            gap: GapModel::Linear { extend: 4 },
+        }
+    }
+
+    /// The substitution score of two base codes.
+    pub fn substitution(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.matches
+        } else {
+            -self.mismatch
+        }
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Scoring::bwa_mem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_penalties() {
+        assert_eq!(GapModel::Linear { extend: 2 }.penalty(3), 6);
+        assert_eq!(GapModel::Affine { open: 6, extend: 1 }.penalty(3), 9);
+        let convex = GapModel::Convex {
+            open1: 4,
+            extend1: 2,
+            open2: 24,
+            extend2: 1,
+        };
+        assert_eq!(convex.penalty(1), 6); // 4+2 < 24+1
+        assert_eq!(convex.penalty(50), 74); // 24+50 < 4+100
+    }
+
+    #[test]
+    #[should_panic(expected = "gap length")]
+    fn zero_length_gap_panics() {
+        GapModel::Linear { extend: 1 }.penalty(0);
+    }
+
+    #[test]
+    fn substitution_scores() {
+        let s = Scoring::bwa_mem();
+        assert_eq!(s.substitution(0, 0), 1);
+        assert_eq!(s.substitution(0, 3), -4);
+    }
+
+    #[test]
+    fn convex_penalty_is_min_of_pieces() {
+        let convex = GapModel::Convex {
+            open1: 2,
+            extend1: 3,
+            open2: 10,
+            extend2: 1,
+        };
+        for len in 1..100 {
+            let p1 = 2 + 3 * len;
+            let p2 = 10 + len;
+            assert_eq!(convex.penalty(len as u32), p1.min(p2));
+        }
+    }
+}

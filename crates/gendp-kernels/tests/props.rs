@@ -1,0 +1,114 @@
+//! Property tests on kernel invariants.
+
+use gendp_kernels::chain::{chain_original, chain_reordered, ChainParams};
+use gendp_kernels::pairhmm::{forward_f64, PairHmmParams};
+use gendp_kernels::poa::Poa;
+use gendp_kernels::{align, align_traceback, bsw_i32, AlignMode, Scoring};
+use gendp_seq::{Anchor, Base, DnaSeq};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    /// Local scores are non-negative, bounded by the perfect-match score,
+    /// and symmetric under argument swap.
+    #[test]
+    fn local_score_bounds_and_symmetry(q in dna(1..40), t in dna(1..40)) {
+        let s = Scoring::bwa_mem();
+        let a = bsw_i32(&q, &t, &s, 1000, AlignMode::Local);
+        prop_assert!(a.score >= 0);
+        prop_assert!(a.score <= (q.len().min(t.len()) as i32) * s.matches);
+        let b = bsw_i32(&t, &q, &s, 1000, AlignMode::Local);
+        prop_assert_eq!(a.score, b.score);
+    }
+
+    /// Narrowing the band never increases the local score.
+    #[test]
+    fn band_monotonicity(q in dna(4..40), t in dna(4..40), w1 in 1i32..8, w2 in 8i32..40) {
+        let s = Scoring::bwa_mem();
+        let narrow = bsw_i32(&q, &t, &s, w1, AlignMode::Local);
+        let wide = bsw_i32(&q, &t, &s, w2, AlignMode::Local);
+        prop_assert!(narrow.score <= wide.score);
+        prop_assert!(narrow.cells <= wide.cells);
+    }
+
+    /// Global alignment of a sequence with itself scores the full match,
+    /// and any other target scores no higher.
+    #[test]
+    fn global_self_is_optimal(q in dna(1..30), t in dna(1..30)) {
+        let s = Scoring::bwa_mem();
+        let self_score = align(&q, &q, &s, AlignMode::Global).score;
+        prop_assert_eq!(self_score, q.len() as i32 * s.matches);
+        prop_assert!(align(&q, &t, &s, AlignMode::Global).score <= self_score);
+    }
+
+    /// Traceback CIGARs price back to their reported score and consume the
+    /// reported ranges, in both modes.
+    #[test]
+    fn traceback_consistency(q in dna(1..30), t in dna(1..30)) {
+        let s = Scoring::bwa_mem();
+        for mode in [AlignMode::Local, AlignMode::Global] {
+            let a = align_traceback(&q, &t, &s, mode);
+            prop_assert_eq!(a.cigar.score(&s), a.score);
+            prop_assert_eq!(a.cigar.query_len(), a.query_range.1 - a.query_range.0);
+            prop_assert_eq!(a.cigar.target_len(), a.target_range.1 - a.target_range.0);
+            prop_assert_eq!(a.score, bsw_i32(&q, &t, &s, 1000, mode).score);
+        }
+    }
+
+    /// Chain: both orders agree for any window; scores never fall below
+    /// the anchor's own span.
+    #[test]
+    fn chain_order_equivalence(
+        raw in prop::collection::vec((0i32..500, 0i32..500), 1..30),
+        window in 1usize..20,
+    ) {
+        let mut anchors: Vec<Anchor> = raw
+            .into_iter()
+            .map(|(r, q)| Anchor { rpos: r, qpos: q, span: 11 })
+            .collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        let p = ChainParams { n_prev: window, ..ChainParams::minimap2(11.0) };
+        let a = chain_original(&anchors, &p);
+        let b = chain_reordered(&anchors, &p);
+        prop_assert_eq!(&a.scores, &b.scores);
+        prop_assert!(a.scores.iter().all(|&s| s >= 11));
+        // Every traced chain is strictly increasing in both coordinates.
+        let best = a.best().unwrap();
+        let chain = a.trace(best);
+        for w in chain.windows(2) {
+            prop_assert!(anchors[w[0]].qpos < anchors[w[1]].qpos);
+            prop_assert!(anchors[w[0]].rpos < anchors[w[1]].rpos);
+        }
+    }
+
+    /// PairHMM: the likelihood of a read against its own sequence is at
+    /// least as high as against any other haplotype of the same length.
+    #[test]
+    fn pairhmm_self_is_best(read in dna(2..12), other in dna(2..12)) {
+        let p = PairHmmParams::gatk();
+        let quals = vec![30u8; read.len()];
+        let self_ll = forward_f64(&read, &quals, &read, &p);
+        prop_assert!(self_ll.is_finite());
+        if other.len() == read.len() {
+            let other_ll = forward_f64(&read, &quals, &other, &p);
+            prop_assert!(self_ll >= other_ll - 1e-9);
+        }
+    }
+
+    /// POA consensus over identical reads reproduces the read, for any
+    /// read and count.
+    #[test]
+    fn poa_consensus_of_identical_reads(seq in dna(1..40), copies in 1usize..5) {
+        let mut poa = Poa::new();
+        for _ in 0..copies {
+            poa.add_sequence(&seq, &Scoring::racon());
+        }
+        prop_assert_eq!(poa.consensus(), seq.clone());
+        prop_assert_eq!(poa.node_count(), seq.len());
+    }
+}

@@ -1,0 +1,345 @@
+//! The paper's recorded baseline measurements (Tables 13–15 and the ASIC
+//! comparison points of Fig. 10(c)) as typed constants.
+//!
+//! These are *published numbers from closed systems* (AVX-512 binaries on
+//! Xeon 8380, CUDA kernels on A100, GenAx and the pruning PairHMM ASIC):
+//! we cannot re-run them here, so the experiment harness prints them next
+//! to the numbers we measure and simulate (DESIGN.md §4).
+
+use std::fmt;
+
+/// The four evaluated kernels, in the paper's column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    Bsw,
+    Chain,
+    PairHmm,
+    Poa,
+}
+
+impl Kernel {
+    /// All four kernels in paper column order (BSW, Chain, PairHMM, POA).
+    pub const ALL: [Kernel; 4] = [Kernel::Bsw, Kernel::Chain, Kernel::PairHmm, Kernel::Poa];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Bsw => "BSW",
+            Kernel::Chain => "Chain",
+            Kernel::PairHmm => "PairHMM",
+            Kernel::Poa => "POA",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Kernel::Bsw => 0,
+            Kernel::Chain => 1,
+            Kernel::PairHmm => 2,
+            Kernel::Poa => 3,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One CPU baseline platform row of Table 13 (runtimes in seconds for
+/// BSW, Chain, PairHMM, POA on the paper's datasets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuBaselineRow {
+    pub cpu: &'static str,
+    pub simd: &'static str,
+    pub threads: u32,
+    pub runtime_s: [f64; 4],
+}
+
+/// Table 13 (all five platforms).
+pub const CPU_BASELINES: [CpuBaselineRow; 5] = [
+    CpuBaselineRow {
+        cpu: "Intel Xeon Platinum 8380",
+        simd: "AVX512",
+        threads: 80,
+        runtime_s: [0.0504, 0.306, 0.587, 16.6],
+    },
+    CpuBaselineRow {
+        cpu: "Intel Xeon Gold 6326",
+        simd: "AVX512",
+        threads: 32,
+        runtime_s: [0.0984, 0.473, 0.792, 34.3],
+    },
+    CpuBaselineRow {
+        cpu: "Intel Xeon E5-2697 v3",
+        simd: "AVX2",
+        threads: 28,
+        runtime_s: [0.196, 2.35, 2.13, 41.7],
+    },
+    CpuBaselineRow {
+        cpu: "12th Gen Intel Core i5-12600",
+        simd: "AVX2",
+        threads: 12,
+        runtime_s: [0.140, 2.21, 1.71, 36.6],
+    },
+    CpuBaselineRow {
+        cpu: "Intel Core i7-7700",
+        simd: "AVX2",
+        threads: 8,
+        runtime_s: [0.29, 4.79, 4.51, 98.5],
+    },
+];
+
+/// One GPU baseline platform row of Table 14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuBaselineRow {
+    pub gpu: &'static str,
+    pub arch: &'static str,
+    pub cuda: &'static str,
+    pub runtime_s: [f64; 4],
+}
+
+/// Table 14 (all three platforms).
+pub const GPU_BASELINES: [GpuBaselineRow; 3] = [
+    GpuBaselineRow {
+        gpu: "NVIDIA A100",
+        arch: "sm_80",
+        cuda: "11.2",
+        runtime_s: [0.012, 0.155, 0.597, 2.53],
+    },
+    GpuBaselineRow {
+        gpu: "NVIDIA RTX A6000",
+        arch: "sm_86",
+        cuda: "12.0",
+        runtime_s: [0.012, 0.339, 0.572, 3.70],
+    },
+    GpuBaselineRow {
+        gpu: "NVIDIA TITAN Xp",
+        arch: "sm_61",
+        cuda: "10.2",
+        runtime_s: [0.020, 0.747, 0.915, 11.2],
+    },
+];
+
+/// The paper's headline evaluation numbers (Table 15 plus Fig. 10 and
+/// Tables 6, 9–12 constants), indexed per kernel where applicable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperBaselines {
+    /// Table 15: total cell updates per kernel dataset.
+    pub total_cells: [u64; 4],
+    /// Table 15: CPU (Xeon 8380) runtime, s.
+    pub cpu_runtime_s: [f64; 4],
+    /// Table 15: CPU GCUPS.
+    pub cpu_gcups: [f64; 4],
+    /// Table 15: CPU MCUPS/mm², normalized to 7 nm.
+    pub cpu_mcups_mm2: [f64; 4],
+    /// Table 15: GPU (A100) runtime, s.
+    pub gpu_runtime_s: [f64; 4],
+    /// Table 15: GPU GCUPS.
+    pub gpu_gcups: [f64; 4],
+    /// Table 15: GPU MCUPS/mm².
+    pub gpu_mcups_mm2: [f64; 4],
+    /// Table 15: ASIC MCUPS/mm² (GenAx for BSW, pruning PairHMM; None for
+    /// Chain/POA which have no ASIC point).
+    pub asic_mcups_mm2: [Option<f64>; 4],
+    /// Table 15: GenDP normalized MCUPS/mm².
+    pub gendp_mcups_mm2: [f64; 4],
+    /// Table 15: GenDP speedup over the CPU per kernel.
+    pub gendp_speedup_cpu: [f64; 4],
+    /// Table 15: GenDP speedup over the GPU per kernel.
+    pub gendp_speedup_gpu: [f64; 4],
+    /// Fig. 10(a) headline geomeans: (over CPU, over GPU).
+    pub headline_speedups: (f64, f64),
+    /// Fig. 10(b): throughput/W over the GPU.
+    pub perf_per_watt_vs_gpu: f64,
+    /// Fig. 10(c): geomean slowdown versus the custom ASICs.
+    pub asic_slowdown_geomean: f64,
+    /// Fig. 10(d): average instruction-count reduction vs (riscv64, x86-64).
+    pub isa_reduction: (f64, f64),
+    /// Table 11: VLIW utilization per kernel.
+    pub vliw_utilization: [f64; 4],
+    /// Table 2: RF accesses per kernel for 1/2/3-level trees.
+    pub rf_accesses: [[u32; 3]; 4],
+    /// Table 2: CU utilization per kernel for 1/2/3-level trees.
+    pub cu_utilization: [[f64; 3]; 4],
+    /// Table 6: map failure/error rates (minimap2, reordered N=64).
+    pub chain_accuracy: (f64, f64),
+    /// Table 6: Phred quality of low-quality maps (minimap2, reordered).
+    pub chain_phred: (f64, f64),
+    /// Table 9: SoftBrain per-kernel GenDP speedups.
+    pub softbrain_speedup: [f64; 4],
+    /// Table 10: triggered instructions required per kernel on TIA.
+    pub tia_tis: [u32; 4],
+    /// Table 10: TIA PEs required per kernel.
+    pub tia_pes: [u32; 4],
+    /// Table 12: (GPU area mm², GPU GCUPS, GenDP-64 area mm², GenDP-64
+    /// GCUPS, speedup).
+    pub scalability: (f64, f64, f64, f64, f64),
+}
+
+/// The paper's published numbers.
+pub const PAPER: PaperBaselines = PaperBaselines {
+    total_cells: [2_431_855_834, 20_736_142_007, 258_363_282_803, 6_448_581_509],
+    cpu_runtime_s: [0.0504, 0.306, 0.587, 16.6],
+    cpu_gcups: [44.91, 19.61, 32.88, 14.51],
+    cpu_mcups_mm2: [130.29, 56.89, 95.41, 42.11],
+    gpu_runtime_s: [0.012, 0.155, 0.597, 2.53],
+    gpu_gcups: [192.92, 10.40, 32.35, 95.13],
+    gpu_mcups_mm2: [239.16, 12.89, 40.11, 117.94],
+    asic_mcups_mm2: [Some(118_950.0), None, Some(51_867.0), None],
+    gendp_mcups_mm2: [47_574.0, 3_626.0, 17_681.0, 2_965.0],
+    gendp_speedup_cpu: [365.1, 63.7, 185.3, 70.4],
+    gendp_speedup_gpu: [198.9, 281.4, 440.8, 25.1],
+    headline_speedups: (132.0, 157.8),
+    perf_per_watt_vs_gpu: 15.1,
+    asic_slowdown_geomean: 2.8,
+    isa_reduction: (8.1, 4.0),
+    vliw_utilization: [0.606, 0.383, 0.646, 0.285], // BSW, Chain, PairHMM, POA order below
+    rf_accesses: [[20, 11, 10], [24, 20, 20], [32, 16, 11], [56, 56, 54]],
+    cu_utilization: [
+        [1.0, 0.606, 0.286],
+        [0.958, 0.383, 0.164],
+        [0.969, 0.646, 0.403],
+        [0.857, 0.285, 0.127],
+    ],
+    chain_accuracy: (0.002476, 0.002479),
+    chain_phred: (54.36, 54.14),
+    softbrain_speedup: [2.24, 0.75, 1.13, 10.74],
+    tia_tis: [30, 47, 45, 90],
+    tia_pes: [5, 8, 8, 16],
+    scalability: (826.0, 48.3, 44.3, 297.5, 6.17),
+};
+
+impl PaperBaselines {
+    /// Looks up a per-kernel Table 15 row.
+    pub fn table15_row(&self, k: Kernel) -> Table15Row {
+        let i = k.idx();
+        Table15Row {
+            kernel: k,
+            total_cells: self.total_cells[i],
+            cpu_runtime_s: self.cpu_runtime_s[i],
+            cpu_gcups: self.cpu_gcups[i],
+            cpu_mcups_mm2: self.cpu_mcups_mm2[i],
+            gpu_runtime_s: self.gpu_runtime_s[i],
+            gpu_gcups: self.gpu_gcups[i],
+            gpu_mcups_mm2: self.gpu_mcups_mm2[i],
+            asic_mcups_mm2: self.asic_mcups_mm2[i],
+            gendp_mcups_mm2: self.gendp_mcups_mm2[i],
+            speedup_cpu: self.gendp_speedup_cpu[i],
+            speedup_gpu: self.gendp_speedup_gpu[i],
+        }
+    }
+}
+
+/// One kernel column of Table 15.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table15Row {
+    pub kernel: Kernel,
+    pub total_cells: u64,
+    pub cpu_runtime_s: f64,
+    pub cpu_gcups: f64,
+    pub cpu_mcups_mm2: f64,
+    pub gpu_runtime_s: f64,
+    pub gpu_gcups: f64,
+    pub gpu_mcups_mm2: f64,
+    pub asic_mcups_mm2: Option<f64>,
+    pub gendp_mcups_mm2: f64,
+    pub speedup_cpu: f64,
+    pub speedup_gpu: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsw_cpu_gcups_consistent_with_cells_and_runtime() {
+        // Only BSW's published (cells, runtime, GCUPS) triple is internally
+        // consistent; the other kernels' Table 15 runtimes cover dataset
+        // subsets (the artifact appendix's 6/24-hour configurations), so we
+        // record rather than derive them.
+        let row = PAPER.table15_row(Kernel::Bsw);
+        let gcups = row.total_cells as f64 / row.cpu_runtime_s / 1e9;
+        assert!(
+            (gcups - row.cpu_gcups).abs() / row.cpu_gcups < 0.1,
+            "computed {gcups} vs published {}",
+            row.cpu_gcups
+        );
+    }
+
+    #[test]
+    fn gpu_mcups_mm2_consistent_with_gcups_and_die_area() {
+        // GPU MCUPS/mm² = GCUPS * 1000 / 826 within rounding.
+        for k in Kernel::ALL {
+            let row = PAPER.table15_row(k);
+            let derived = row.gpu_gcups * 1000.0 / 826.0;
+            assert!(
+                (derived - row.gpu_mcups_mm2).abs() / row.gpu_mcups_mm2 < 0.05,
+                "{k}: {derived} vs {}",
+                row.gpu_mcups_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_consistent_with_normalized_throughput() {
+        for k in Kernel::ALL {
+            let row = PAPER.table15_row(k);
+            let vs_cpu = row.gendp_mcups_mm2 / row.cpu_mcups_mm2;
+            assert!(
+                (vs_cpu - row.speedup_cpu).abs() / row.speedup_cpu < 0.02,
+                "{k}: {vs_cpu} vs {}",
+                row.speedup_cpu
+            );
+            let vs_gpu = row.gendp_mcups_mm2 / row.gpu_mcups_mm2;
+            assert!(
+                (vs_gpu - row.speedup_gpu).abs() / row.speedup_gpu < 0.02,
+                "{k}: {vs_gpu} vs {}",
+                row.speedup_gpu
+            );
+        }
+    }
+
+    #[test]
+    fn headline_geomeans_match_per_kernel_speedups() {
+        let geo = |v: [f64; 4]| (v.iter().map(|x| x.ln()).sum::<f64>() / 4.0).exp();
+        let cpu = geo(PAPER.gendp_speedup_cpu);
+        let gpu = geo(PAPER.gendp_speedup_gpu);
+        assert!((cpu - PAPER.headline_speedups.0).abs() / PAPER.headline_speedups.0 < 0.05);
+        assert!((gpu - PAPER.headline_speedups.1).abs() / PAPER.headline_speedups.1 < 0.05);
+    }
+
+    #[test]
+    fn asic_slowdown_matches_fig10c() {
+        let bsw = 118_950.0f64 / 47_574.0;
+        let phmm = 51_867.0f64 / 17_681.0;
+        let geo = (bsw.ln() / 2.0 + phmm.ln() / 2.0).exp();
+        assert!((geo - PAPER.asic_slowdown_geomean).abs() < 0.1, "{geo}");
+    }
+
+    #[test]
+    fn fastest_cpu_is_the_8380() {
+        for k in 0..4 {
+            let best = CPU_BASELINES
+                .iter()
+                .map(|r| r.runtime_s[k])
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(best, CPU_BASELINES[0].runtime_s[k]);
+        }
+    }
+
+    #[test]
+    fn a100_is_fastest_gpu_overall() {
+        let total: f64 = GPU_BASELINES[0].runtime_s.iter().sum();
+        for row in &GPU_BASELINES[1..] {
+            assert!(row.runtime_s.iter().sum::<f64>() >= total);
+        }
+    }
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::Bsw.to_string(), "BSW");
+        assert_eq!(Kernel::ALL.len(), 4);
+    }
+}

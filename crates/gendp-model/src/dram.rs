@@ -1,0 +1,96 @@
+//! DDR4 bandwidth / energy model — the stand-in for Ramulator \[36\] +
+//! DRAMPower \[4\] (paper §6). Only aggregate bandwidth and energy-per-byte
+//! feed the evaluation (Table 8's DRAM row and Table 12's scaling ceiling),
+//! so a first-order model suffices; see DESIGN.md §4.
+
+/// A DRAM configuration with a linear access-energy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Peak bandwidth, GB/s.
+    pub peak_bandwidth_gbs: f64,
+    /// Background (static + refresh) power, W.
+    pub static_power_w: f64,
+    /// Access energy, pJ per byte transferred.
+    pub energy_pj_per_byte: f64,
+}
+
+impl DramModel {
+    /// 8-channel DDR4-2400: the configuration of paper Table 12
+    /// (153.2 GB/s peak). The access energy is calibrated so that the
+    /// four-kernel average dynamic power matches Table 8 (0.645 W).
+    pub fn ddr4_2400_8ch() -> Self {
+        DramModel {
+            peak_bandwidth_gbs: 153.2,
+            static_power_w: 0.446,
+            energy_pj_per_byte: 19.5,
+        }
+    }
+
+    /// Dynamic power at a sustained bandwidth (W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested bandwidth exceeds the peak.
+    pub fn dynamic_power(&self, bandwidth_gbs: f64) -> f64 {
+        assert!(
+            bandwidth_gbs <= self.peak_bandwidth_gbs + 1e-9,
+            "bandwidth {bandwidth_gbs} exceeds peak {}",
+            self.peak_bandwidth_gbs
+        );
+        // GB/s * pJ/B = mW * 1e... : 1 GB/s = 1e9 B/s; pJ = 1e-12 J.
+        bandwidth_gbs * 1e9 * self.energy_pj_per_byte * 1e-12
+    }
+
+    /// Total power at a sustained bandwidth (W).
+    pub fn total_power(&self, bandwidth_gbs: f64) -> f64 {
+        self.static_power_w + self.dynamic_power(bandwidth_gbs)
+    }
+
+    /// How many accelerator tiles this DRAM system can feed, given one
+    /// tile's sustained bandwidth demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-tile demand is not positive.
+    pub fn max_tiles(&self, per_tile_bandwidth_gbs: f64) -> usize {
+        assert!(per_tile_bandwidth_gbs > 0.0, "demand must be positive");
+        (self.peak_bandwidth_gbs / per_tile_bandwidth_gbs).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_is_linear_in_bandwidth() {
+        let d = DramModel::ddr4_2400_8ch();
+        let p1 = d.dynamic_power(10.0);
+        let p2 = d.dynamic_power(20.0);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+        assert_eq!(d.dynamic_power(0.0), 0.0);
+    }
+
+    #[test]
+    fn calibration_matches_table8() {
+        // ~33 GB/s average demand -> ~0.645 W dynamic (Table 8).
+        let d = DramModel::ddr4_2400_8ch();
+        let p = d.dynamic_power(33.0);
+        assert!((p - 0.645).abs() < 0.03, "{p}");
+        assert!((d.total_power(33.0) - 1.091).abs() < 0.03);
+    }
+
+    #[test]
+    fn tile_ceiling() {
+        let d = DramModel::ddr4_2400_8ch();
+        // Table 12: 64 tiles supported => per-tile demand <= 2.39 GB/s.
+        assert_eq!(d.max_tiles(153.2 / 64.0), 64);
+        assert!(d.max_tiles(5.0) < 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds peak")]
+    fn over_peak_panics() {
+        DramModel::ddr4_2400_8ch().dynamic_power(1000.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! DPAx power model (paper Table 8).
+
+use crate::area::AreaBreakdown;
+use crate::dram::DramModel;
+
+/// Static/dynamic power split of one DPAx tile plus its DRAM (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// DPAx static power, W.
+    pub dpax_static: f64,
+    /// DPAx dynamic (peak) power, W.
+    pub dpax_dynamic: f64,
+    /// DRAM static power, W.
+    pub dram_static: f64,
+    /// DRAM dynamic power, W (averaged across the four kernels).
+    pub dram_dynamic: f64,
+}
+
+impl PowerBreakdown {
+    /// The paper's published breakdown at 28 nm (Table 8).
+    pub fn dpax_28nm() -> Self {
+        PowerBreakdown {
+            dpax_static: 1.456,
+            dpax_dynamic: 2.113,
+            dram_static: 0.446,
+            dram_dynamic: 0.645,
+        }
+    }
+
+    /// Builds the breakdown from the component model and a DRAM model,
+    /// using the paper's measured static fraction of the DPAx total.
+    pub fn from_models(area: &AreaBreakdown, dram: &DramModel, avg_bandwidth_gbs: f64) -> Self {
+        let total = area.total_power();
+        // Paper Table 8: static is 1.456 / 3.569 ≈ 40.8% of the ASIC total.
+        let static_fraction = 0.408;
+        PowerBreakdown {
+            dpax_static: total * static_fraction,
+            dpax_dynamic: total * (1.0 - static_fraction),
+            dram_static: dram.static_power_w,
+            dram_dynamic: dram.dynamic_power(avg_bandwidth_gbs),
+        }
+    }
+
+    /// Total DPAx power, W.
+    pub fn dpax_total(&self) -> f64 {
+        self.dpax_static + self.dpax_dynamic
+    }
+
+    /// Total (DPAx + DRAM) power, W.
+    pub fn total(&self) -> f64 {
+        self.dpax_total() + self.dram_static + self.dram_dynamic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_totals_match_table8() {
+        let p = PowerBreakdown::dpax_28nm();
+        assert!((p.dpax_total() - 3.569).abs() < 1e-9);
+        assert!((p.total() - 4.660).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_reproduces_published_split() {
+        let p = PowerBreakdown::from_models(
+            &AreaBreakdown::dpax_28nm(),
+            &DramModel::ddr4_2400_8ch(),
+            // Average bandwidth chosen to land near the published DRAM
+            // dynamic power.
+            33.0,
+        );
+        let published = PowerBreakdown::dpax_28nm();
+        assert!((p.dpax_static - published.dpax_static).abs() / published.dpax_static < 0.1);
+        assert!((p.dpax_dynamic - published.dpax_dynamic).abs() / published.dpax_dynamic < 0.1);
+        assert!((p.dram_dynamic - published.dram_dynamic).abs() / published.dram_dynamic < 0.2);
+    }
+}

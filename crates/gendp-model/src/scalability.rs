@@ -1,0 +1,93 @@
+//! Multi-tile scaling under a DRAM bandwidth ceiling (paper Table 12,
+//! §7.5).
+
+use crate::dram::DramModel;
+use crate::scaling::scale_area_to_7nm;
+
+/// The Table 12 comparison, computed from a per-tile throughput and a
+/// per-cell DRAM traffic estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalabilityResult {
+    /// Tiles the DRAM system sustains (capped at the paper's 64).
+    pub tiles: usize,
+    /// Total GenDP area at 7 nm, mm².
+    pub area_mm2: f64,
+    /// Aggregate raw throughput, GCUPS.
+    pub gcups: f64,
+    /// Speedup over the GPU's raw throughput.
+    pub speedup_vs_gpu: f64,
+}
+
+/// The A100's average raw throughput across the four kernels (Table 12).
+pub const GPU_RAW_GCUPS: f64 = 48.3;
+
+/// The A100 die area (Table 12).
+pub const GPU_AREA_MM2: f64 = 826.0;
+
+/// Maximum tile count the paper considers.
+pub const MAX_TILES: usize = 64;
+
+/// Computes the Table 12 scaling point.
+///
+/// * `per_tile_gcups` — one tile's sustained raw throughput;
+/// * `bytes_per_cell` — average DRAM traffic per cell update;
+/// * `dram` — the memory system.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn scale_tiles(
+    per_tile_gcups: f64,
+    bytes_per_cell: f64,
+    dram: &DramModel,
+) -> ScalabilityResult {
+    assert!(per_tile_gcups > 0.0 && bytes_per_cell > 0.0, "bad inputs");
+    let per_tile_bw = per_tile_gcups * bytes_per_cell; // GB/s
+    let tiles = dram.max_tiles(per_tile_bw).clamp(1, MAX_TILES);
+    let area = scale_area_to_7nm(5.391) * tiles as f64;
+    let gcups = per_tile_gcups * tiles as f64;
+    ScalabilityResult {
+        tiles,
+        area_mm2: area,
+        gcups,
+        speedup_vs_gpu: gcups / GPU_RAW_GCUPS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_reproduces_table12() {
+        // Per-tile throughput 297.5 / 64 GCUPS with light DRAM traffic
+        // (inputs stream once; ~0.5 B/cell average) saturates at 64 tiles.
+        let r = scale_tiles(297.5 / 64.0, 0.5, &DramModel::ddr4_2400_8ch());
+        assert_eq!(r.tiles, 64);
+        assert!((r.area_mm2 - 44.3).abs() < 0.5, "{}", r.area_mm2);
+        assert!((r.gcups - 297.5).abs() < 0.1);
+        assert!((r.speedup_vs_gpu - 6.17).abs() < 0.05, "{}", r.speedup_vs_gpu);
+    }
+
+    #[test]
+    fn heavy_traffic_limits_tiles() {
+        // 20 B/cell at 4.6 GCUPS/tile: bandwidth-bound below 64 tiles.
+        let r = scale_tiles(4.6, 20.0, &DramModel::ddr4_2400_8ch());
+        assert!(r.tiles < 64);
+        assert!(r.tiles >= 1);
+    }
+
+    #[test]
+    fn area_normalized_density_beats_gpu() {
+        let r = scale_tiles(297.5 / 64.0, 0.5, &DramModel::ddr4_2400_8ch());
+        let gendp_density = r.gcups / r.area_mm2;
+        let gpu_density = GPU_RAW_GCUPS / GPU_AREA_MM2;
+        assert!(gendp_density > 50.0 * gpu_density);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad inputs")]
+    fn zero_throughput_panics() {
+        scale_tiles(0.0, 1.0, &DramModel::ddr4_2400_8ch());
+    }
+}

@@ -1,0 +1,130 @@
+//! Scalar-ISA lowering of DP objective functions (paper Fig. 10(d)): how
+//! many riscv64 / x86-64 instructions one cell update costs, compared with
+//! GenDP's VLIW instruction count.
+//!
+//! The paper obtained its counts by compiling the kernels with
+//! `riscv64-unknown-elf-g++` and `g++`; we reproduce the comparison by
+//! lowering the same DFGs with per-operation instruction-cost tables
+//! (including the paper's data point that one LUT access costs 14 riscv64
+//! or 7 x86-64 instructions) plus one load per external input and one
+//! store per output.
+
+use gendp_dfg::Dfg;
+use gendp_isa::ComputeOp;
+
+/// A scalar target ISA for the lowering model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarIsa {
+    /// riscv64 (RV64GC, no bit-manipulation or min/max extensions).
+    Riscv64,
+    /// x86-64 (with cmov).
+    X8664,
+}
+
+impl ScalarIsa {
+    /// Instructions to execute one DFG operation on this ISA.
+    pub fn op_cost(self, op: ComputeOp) -> u32 {
+        match self {
+            ScalarIsa::Riscv64 => match op {
+                ComputeOp::Add | ComputeOp::Sub | ComputeOp::Mul => 1,
+                ComputeOp::Shl16 | ComputeOp::Shr16 | ComputeOp::Copy => 1,
+                ComputeOp::Borrow => 1, // sltu
+                ComputeOp::Carry => 2,  // add + sltu
+                // No min/max instructions: compare + branch + move.
+                ComputeOp::Max | ComputeOp::Min => 3,
+                // 4-input select: compare + branch + two moves.
+                ComputeOp::SelectGt | ComputeOp::SelectEq => 4,
+                // Table lookups: address computation + load chain (paper
+                // §7.4: 14 instructions for the Chain LUT).
+                ComputeOp::MatchScore | ComputeOp::Log2Lut | ComputeOp::LogSumLut => 14,
+                ComputeOp::Nop | ComputeOp::Halt => 0,
+            },
+            ScalarIsa::X8664 => match op {
+                ComputeOp::Add | ComputeOp::Sub | ComputeOp::Mul => 1,
+                ComputeOp::Shl16 | ComputeOp::Shr16 | ComputeOp::Copy => 1,
+                ComputeOp::Borrow => 2, // cmp + setb
+                ComputeOp::Carry => 2,
+                // cmp + cmov.
+                ComputeOp::Max | ComputeOp::Min => 2,
+                ComputeOp::SelectGt | ComputeOp::SelectEq => 3,
+                // Paper §7.4: 7 instructions for the LUT on x86-64.
+                ComputeOp::MatchScore | ComputeOp::Log2Lut | ComputeOp::LogSumLut => 7,
+                ComputeOp::Nop | ComputeOp::Halt => 0,
+            },
+        }
+    }
+
+    /// Display name used in the figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarIsa::Riscv64 => "riscv64",
+            ScalarIsa::X8664 => "x86-64",
+        }
+    }
+}
+
+/// Instructions per cell update of a DFG on a scalar ISA: operation costs
+/// plus one load per external input and one store per named output.
+pub fn instructions_per_cell(dfg: &Dfg, isa: ScalarIsa) -> u32 {
+    let ops: u32 = dfg.node_ids().map(|id| isa.op_cost(dfg.op(id))).sum();
+    let loads = dfg.ext_names().len() as u32;
+    let stores = dfg.outputs().count() as u32;
+    ops + loads + stores
+}
+
+/// The GenDP-to-scalar instruction reduction for a kernel, given the
+/// mapped VLIW cycle count per cell.
+///
+/// # Panics
+///
+/// Panics if `gendp_vliw_per_cell` is zero.
+pub fn reduction(dfg: &Dfg, isa: ScalarIsa, gendp_vliw_per_cell: u32) -> f64 {
+    assert!(gendp_vliw_per_cell > 0, "GenDP instruction count is zero");
+    instructions_per_cell(dfg, isa) as f64 / gendp_vliw_per_cell as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut_heavy_dfg() -> Dfg {
+        let mut g = Dfg::new("lut");
+        let a = g.ext("a");
+        let b = g.ext("b");
+        let s = g.match_score(a, b);
+        let l = g.log2_half(s);
+        let o = g.add(l, a);
+        g.set_output("o", o);
+        g
+    }
+
+    #[test]
+    fn riscv_is_costlier_than_x86_on_luts() {
+        let g = lut_heavy_dfg();
+        let r = instructions_per_cell(&g, ScalarIsa::Riscv64);
+        let x = instructions_per_cell(&g, ScalarIsa::X8664);
+        assert!(r > x, "riscv {r} vs x86 {x}");
+        // 2 LUTs * 14 + add 1 + 2 loads + 1 store = 32.
+        assert_eq!(r, 32);
+        assert_eq!(x, 2 * 7 + 1 + 3);
+    }
+
+    #[test]
+    fn reduction_divides_by_gendp_count() {
+        let g = lut_heavy_dfg();
+        let red = reduction(&g, ScalarIsa::Riscv64, 4);
+        assert_eq!(red, 8.0);
+    }
+
+    #[test]
+    fn lut_costs_match_paper_data_points() {
+        assert_eq!(ScalarIsa::Riscv64.op_cost(ComputeOp::Log2Lut), 14);
+        assert_eq!(ScalarIsa::X8664.op_cost(ComputeOp::Log2Lut), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero")]
+    fn zero_gendp_count_panics() {
+        reduction(&lut_heavy_dfg(), ScalarIsa::X8664, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! SoftBrain mapping model (paper Table 9, §7.3): how the four DP kernels
+//! map onto a stream-dataflow accelerator, and why GenDP wins on most.
+
+use crate::baselines::Kernel;
+
+/// Table dimensionality as Table 9 reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableDim {
+    TwoD,
+    OneD,
+    Graph,
+}
+
+impl std::fmt::Display for TableDim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableDim::TwoD => write!(f, "2D"),
+            TableDim::OneD => write!(f, "1D"),
+            TableDim::Graph => write!(f, "Graph"),
+        }
+    }
+}
+
+/// One kernel's SoftBrain mapping (a row of Table 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftBrainMapping {
+    pub kernel: Kernel,
+    pub dim: TableDim,
+    /// Pipeline stages of the mapped dataflow graph.
+    pub pipeline_stages: u32,
+    /// Padding inserted to remove data hazards between stages.
+    pub padding_overhead: f64,
+    /// SIMD lanes the mapping uses.
+    pub simd_lanes: u32,
+    /// Utilization of those lanes.
+    pub simd_utilization: f64,
+    /// The paper's measured area-normalized GenDP speedup over SoftBrain.
+    pub paper_gendp_speedup: f64,
+}
+
+impl SoftBrainMapping {
+    /// Effective cells per cycle of the SoftBrain mapping: lanes ×
+    /// utilization, discounted by hazard padding.
+    pub fn effective_cells_per_cycle(&self) -> f64 {
+        self.simd_lanes as f64 * self.simd_utilization * (1.0 - self.padding_overhead)
+    }
+}
+
+/// The four mappings of Table 9.
+pub fn softbrain_mappings() -> [SoftBrainMapping; 4] {
+    [
+        SoftBrainMapping {
+            kernel: Kernel::Bsw,
+            dim: TableDim::TwoD,
+            pipeline_stages: 3,
+            padding_overhead: 0.099,
+            simd_lanes: 8,
+            simd_utilization: 0.422,
+            paper_gendp_speedup: 2.24,
+        },
+        SoftBrainMapping {
+            kernel: Kernel::Chain,
+            dim: TableDim::OneD,
+            pipeline_stages: 10,
+            padding_overhead: 0.0,
+            simd_lanes: 2,
+            simd_utilization: 0.73,
+            paper_gendp_speedup: 0.75,
+        },
+        SoftBrainMapping {
+            kernel: Kernel::PairHmm,
+            dim: TableDim::TwoD,
+            pipeline_stages: 4,
+            padding_overhead: 0.157,
+            simd_lanes: 2,
+            simd_utilization: 0.959,
+            paper_gendp_speedup: 1.13,
+        },
+        SoftBrainMapping {
+            kernel: Kernel::Poa,
+            dim: TableDim::Graph,
+            pipeline_stages: 1,
+            padding_overhead: 0.0,
+            simd_lanes: 1,
+            simd_utilization: 1.0,
+            paper_gendp_speedup: 10.74,
+        },
+    ]
+}
+
+/// The paper's overall area-normalized speedup over SoftBrain (§7.3).
+pub const PAPER_OVERALL_SPEEDUP: f64 = 2.12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::geomean;
+
+    #[test]
+    fn overall_speedup_is_the_geomean_of_rows() {
+        let rows = softbrain_mappings();
+        let speeds: Vec<f64> = rows.iter().map(|r| r.paper_gendp_speedup).collect();
+        let geo = geomean(&speeds);
+        assert!((geo - PAPER_OVERALL_SPEEDUP).abs() < 0.15, "{geo}");
+    }
+
+    #[test]
+    fn graph_kernels_map_poorly_to_stream_dataflow() {
+        let rows = softbrain_mappings();
+        let poa = rows.iter().find(|r| r.kernel == Kernel::Poa).unwrap();
+        // POA gets no SIMD or pipelining benefit (paper §7.3), hence the
+        // largest GenDP advantage.
+        assert_eq!(poa.effective_cells_per_cycle(), 1.0);
+        assert!(rows
+            .iter()
+            .all(|r| r.paper_gendp_speedup <= poa.paper_gendp_speedup));
+    }
+
+    #[test]
+    fn effective_rate_reflects_padding_and_utilization() {
+        let rows = softbrain_mappings();
+        let bsw = rows.iter().find(|r| r.kernel == Kernel::Bsw).unwrap();
+        let rate = bsw.effective_cells_per_cycle();
+        assert!((rate - 8.0 * 0.422 * 0.901).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Throughput arithmetic: cell updates per second, per area, per watt
+//! (the paper's evaluation metrics, §7.2).
+
+use std::fmt;
+
+/// A throughput measurement with the normalizations the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Cell updates per second.
+    pub cups: f64,
+}
+
+impl Throughput {
+    /// From a cell count and a runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    pub fn from_cells(cells: u64, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "runtime must be positive");
+        Throughput {
+            cups: cells as f64 / seconds,
+        }
+    }
+
+    /// From a simulated cells/cycle rate at a clock frequency, scaled by a
+    /// number of identical units running independent tasks.
+    pub fn from_rate(cells_per_cycle: f64, clock_hz: f64, units: usize) -> Self {
+        Throughput {
+            cups: cells_per_cycle * clock_hz * units as f64,
+        }
+    }
+
+    /// Giga cell updates per second.
+    pub fn gcups(&self) -> f64 {
+        self.cups / 1e9
+    }
+
+    /// Mega cell updates per second.
+    pub fn mcups(&self) -> f64 {
+        self.cups / 1e6
+    }
+
+    /// MCUPS per mm² (the paper's throughput/area metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_mm2` is not positive.
+    pub fn mcups_per_mm2(&self, area_mm2: f64) -> f64 {
+        assert!(area_mm2 > 0.0, "area must be positive");
+        self.mcups() / area_mm2
+    }
+
+    /// GCUPS per watt (the paper's throughput/power metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not positive.
+    pub fn gcups_per_watt(&self, watts: f64) -> f64 {
+        assert!(watts > 0.0, "power must be positive");
+        self.gcups() / watts
+    }
+
+    /// Applies the paper's Chain normalization: reordered implementations
+    /// compute `factor`× more cells than original minimap2, so measured
+    /// throughput is divided by that factor for a fair comparison (§6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn penalized(&self, factor: f64) -> Throughput {
+        assert!(factor > 0.0, "penalty factor must be positive");
+        Throughput {
+            cups: self.cups / factor,
+        }
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GCUPS", self.gcups())
+    }
+}
+
+/// Geometric mean of a slice of positive ratios (Fig. 10 headline numbers).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or contains a non-positive value.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positives");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = Throughput::from_cells(2_000_000_000, 1.0);
+        assert_eq!(t.gcups(), 2.0);
+        assert_eq!(t.mcups(), 2000.0);
+        assert_eq!(t.mcups_per_mm2(10.0), 200.0);
+        assert_eq!(t.gcups_per_watt(4.0), 0.5);
+    }
+
+    #[test]
+    fn from_rate_scales_by_units() {
+        let t = Throughput::from_rate(0.5, 2e9, 16);
+        assert_eq!(t.gcups(), 16.0);
+    }
+
+    #[test]
+    fn chain_penalty() {
+        let t = Throughput::from_cells(372, 1.0).penalized(3.72);
+        assert!((t.cups - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 9.0]) - 6.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runtime_panics() {
+        Throughput::from_cells(1, 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Cross-checks between the analytic models and the paper's recorded
+//! numbers.
+
+use gendp_model::baselines::{Kernel, PAPER};
+use gendp_model::dram::DramModel;
+use gendp_model::scalability::scale_tiles;
+use gendp_model::throughput::{geomean, Throughput};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tile scaling is monotone: more traffic per cell never yields more
+    /// tiles or more aggregate throughput.
+    #[test]
+    fn scaling_monotone_in_traffic(
+        gcups in 0.1f64..50.0,
+        b1 in 0.01f64..4.0,
+        extra in 0.01f64..4.0,
+    ) {
+        let dram = DramModel::ddr4_2400_8ch();
+        let light = scale_tiles(gcups, b1, &dram);
+        let heavy = scale_tiles(gcups, b1 + extra, &dram);
+        prop_assert!(heavy.tiles <= light.tiles);
+        prop_assert!(heavy.gcups <= light.gcups + 1e-9);
+    }
+
+    /// Throughput conversions are consistent: GCUPS * 1000 == MCUPS, and
+    /// penalization divides exactly.
+    #[test]
+    fn throughput_units(cells in 1u64..u64::MAX / 2, secs in 0.001f64..1e6) {
+        let t = Throughput::from_cells(cells, secs);
+        prop_assert!((t.gcups() * 1000.0 - t.mcups()).abs() <= t.mcups() * 1e-12);
+        let p = t.penalized(2.0);
+        prop_assert!((p.cups * 2.0 - t.cups).abs() <= t.cups * 1e-12);
+    }
+
+    /// The geomean lies between min and max.
+    #[test]
+    fn geomean_bounds(vals in prop::collection::vec(0.001f64..1e6, 1..10)) {
+        let g = geomean(&vals);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= lo * (1.0 - 1e-9) && g <= hi * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn recorded_baselines_are_self_consistent() {
+    // GenDP beats both baselines on every kernel, but never beats the
+    // matching custom ASIC (Fig. 10(c)'s framing).
+    for k in Kernel::ALL {
+        let row = PAPER.table15_row(k);
+        assert!(row.speedup_cpu > 1.0 && row.speedup_gpu > 1.0);
+        if let Some(asic) = row.asic_mcups_mm2 {
+            assert!(asic > row.gendp_mcups_mm2, "{k}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+use std::collections::HashMap;
+
+use crate::seq::DnaSeq;
+
+/// A seed match (anchor) between a query read and the reference: `k`
+/// consecutive bases agree exactly (minimap2-style input to the Chain
+/// kernel, paper §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Anchor {
+    /// End position of the seed on the reference (minimap2 convention).
+    pub rpos: i32,
+    /// End position of the seed on the query.
+    pub qpos: i32,
+    /// Seed length.
+    pub span: i32,
+}
+
+/// An exact k-mer index over a reference sequence.
+///
+/// ```
+/// use gendp_seq::{DnaSeq, KmerIndex};
+///
+/// let reference: DnaSeq = "ACGTACGTACGT".parse().unwrap();
+/// let index = KmerIndex::build(&reference, 4);
+/// assert!(index.lookup(&"ACGT".parse().unwrap(), 0).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    /// Packed k-mer code -> reference end positions.
+    map: HashMap<u64, Vec<i32>>,
+    /// K-mers occurring more often than this are dropped (repeat masking,
+    /// as minimap2 does with high-frequency minimizers).
+    max_occ: usize,
+}
+
+fn pack(seq: &DnaSeq, start: usize, k: usize) -> u64 {
+    let mut code = 0u64;
+    for i in 0..k {
+        code = (code << 2) | seq[start + i].code() as u64;
+    }
+    code
+}
+
+impl KmerIndex {
+    /// Indexes every k-mer of the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or greater than 31.
+    pub fn build(reference: &DnaSeq, k: usize) -> Self {
+        Self::build_with_max_occ(reference, k, 64)
+    }
+
+    /// Indexes with an explicit repeat-masking threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or greater than 31.
+    pub fn build_with_max_occ(reference: &DnaSeq, k: usize, max_occ: usize) -> Self {
+        assert!(k > 0 && k <= 31, "k must be in 1..=31");
+        let mut map: HashMap<u64, Vec<i32>> = HashMap::new();
+        if reference.len() >= k {
+            for start in 0..=reference.len() - k {
+                let code = pack(reference, start, k);
+                map.entry(code).or_default().push((start + k - 1) as i32);
+            }
+        }
+        map.retain(|_, v| v.len() <= max_occ);
+        KmerIndex { k, map, max_occ }
+    }
+
+    /// The k-mer length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The repeat-masking threshold.
+    pub fn max_occ(&self) -> usize {
+        self.max_occ
+    }
+
+    /// Reference end positions of the k-mer starting at `start` in `query`,
+    /// or `None` if absent (or masked).
+    pub fn lookup(&self, query: &DnaSeq, start: usize) -> Option<&[i32]> {
+        if start + self.k > query.len() {
+            return None;
+        }
+        self.map.get(&pack(query, start, self.k)).map(Vec::as_slice)
+    }
+}
+
+/// Extracts all anchors between `query` and the indexed reference, sorted
+/// by reference position then query position (the order the Chain kernel
+/// expects).
+pub fn extract_anchors(index: &KmerIndex, query: &DnaSeq) -> Vec<Anchor> {
+    let k = index.k();
+    let mut anchors = Vec::new();
+    if query.len() < k {
+        return anchors;
+    }
+    for qstart in 0..=query.len() - k {
+        if let Some(rposs) = index.lookup(query, qstart) {
+            for &rpos in rposs {
+                anchors.push(Anchor {
+                    rpos,
+                    qpos: (qstart + k - 1) as i32,
+                    span: k as i32,
+                });
+            }
+        }
+    }
+    anchors.sort_unstable();
+    anchors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::Genome;
+    use crate::mutate::MutationProfile;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn index_finds_exact_kmers() {
+        let r: DnaSeq = "ACGTAACCGGTT".parse().unwrap();
+        let idx = KmerIndex::build(&r, 4);
+        let hits = idx.lookup(&"ACGT".parse().unwrap(), 0).unwrap();
+        assert_eq!(hits, [3]);
+        assert!(idx.lookup(&"TTTT".parse().unwrap(), 0).is_none());
+    }
+
+    #[test]
+    fn repeat_masking_drops_frequent_kmers() {
+        let r: DnaSeq = "AAAAAAAAAAAAAAAA".parse().unwrap();
+        let idx = KmerIndex::build_with_max_occ(&r, 4, 4);
+        assert!(idx.lookup(&"AAAA".parse().unwrap(), 0).is_none());
+        assert_eq!(idx.max_occ(), 4);
+    }
+
+    #[test]
+    fn anchors_of_identical_sequences_lie_on_diagonal() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Genome::random(500, &mut rng);
+        let idx = KmerIndex::build(g.seq(), 15);
+        let anchors = extract_anchors(&idx, g.seq());
+        // Most positions yield exactly their own diagonal match.
+        assert!(anchors.len() >= 400);
+        let diagonal = anchors.iter().filter(|a| a.rpos == a.qpos).count();
+        assert!(diagonal as f64 / anchors.len() as f64 > 0.95);
+        // Sorted by (rpos, qpos).
+        assert!(anchors.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn noisy_read_still_anchors_to_its_source() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Genome::random(20_000, &mut rng);
+        let read = MutationProfile::pacbio().apply(&g.window(5_000, 2_000), &mut rng);
+        let idx = KmerIndex::build(g.seq(), 13);
+        let anchors = extract_anchors(&idx, &read);
+        assert!(!anchors.is_empty());
+        // A healthy fraction of anchors should fall inside the source
+        // window.
+        let inside = anchors
+            .iter()
+            .filter(|a| (5_000..7_100).contains(&(a.rpos as usize)))
+            .count();
+        assert!(inside as f64 / anchors.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn short_query_yields_no_anchors() {
+        let r: DnaSeq = "ACGTACGT".parse().unwrap();
+        let idx = KmerIndex::build(&r, 5);
+        assert!(extract_anchors(&idx, &"ACG".parse().unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+use std::fmt;
+
+use rand::Rng;
+
+/// One DNA base.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Base {
+    A,
+    C,
+    G,
+    T,
+}
+
+impl Base {
+    /// All four bases in code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// The 2-bit code (A=0, C=1, G=2, T=3) used on the accelerator datapath.
+    pub fn code(self) -> u8 {
+        match self {
+            Base::A => 0,
+            Base::C => 1,
+            Base::G => 2,
+            Base::T => 3,
+        }
+    }
+
+    /// Builds a base from its 2-bit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    pub fn from_code(code: u8) -> Self {
+        Base::ALL[code as usize]
+    }
+
+    /// Watson–Crick complement.
+    pub fn complement(self) -> Self {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// A uniformly random base.
+    pub fn random(rng: &mut impl Rng) -> Self {
+        Base::from_code(rng.gen_range(0..4))
+    }
+
+    /// A uniformly random base different from `self` (substitution errors).
+    pub fn random_other(self, rng: &mut impl Rng) -> Self {
+        let shift = rng.gen_range(1..4);
+        Base::from_code((self.code() + shift) % 4)
+    }
+
+    /// Parses the IUPAC character (upper or lower case).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Base::A),
+            'C' => Some(Base::C),
+            'G' => Some(Base::G),
+            'T' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The upper-case character.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn code_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_char(b.to_char()), Some(b));
+            assert_eq!(Base::from_char(b.to_char().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_char('N'), None);
+    }
+
+    #[test]
+    fn random_other_never_returns_self() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for b in Base::ALL {
+            for _ in 0..50 {
+                assert_ne!(b.random_other(&mut rng), b);
+            }
+        }
+    }
+
+    #[test]
+    fn random_covers_all_bases() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Base::random(&mut rng).code() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

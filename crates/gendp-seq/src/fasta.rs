@@ -1,0 +1,197 @@
+//! Minimal FASTA input/output, so the workload generators and kernels can
+//! exchange data with real bioinformatics tooling.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::seq::DnaSeq;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// The header line without the leading `>`.
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// Error produced while reading FASTA.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A sequence line appeared before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A sequence character outside `ACGTacgt` (N and other ambiguity
+    /// codes are rejected — the datapath carries 2-bit codes).
+    BadBase {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "fasta io error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any `>` header")
+            }
+            FastaError::BadBase { line, ch } => {
+                write!(f, "line {line}: unsupported base `{ch}`")
+            }
+        }
+    }
+}
+
+impl Error for FastaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FastaError {
+    fn from(e: std::io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Reads all records from FASTA text.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] on I/O failure, on sequence data before a
+/// header, or on characters outside `ACGT`.
+///
+/// ```
+/// use gendp_seq::fasta::read_fasta;
+///
+/// let records = read_fasta(">r1\nACGT\nAC\n>r2\nGG".as_bytes()).unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].seq.to_string(), "ACGTAC");
+/// assert_eq!(records[1].name, "r2");
+/// ```
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            records.push(FastaRecord {
+                name: name.trim().to_string(),
+                seq: DnaSeq::new(),
+            });
+            continue;
+        }
+        let record = records
+            .last_mut()
+            .ok_or(FastaError::MissingHeader { line: idx + 1 })?;
+        for ch in line.chars() {
+            let base = crate::base::Base::from_char(ch).ok_or(FastaError::BadBase {
+                line: idx + 1,
+                ch,
+            })?;
+            record.seq.push(base);
+        }
+    }
+    Ok(records)
+}
+
+/// Writes records as FASTA with the given wrap width.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> std::io::Result<()> {
+    assert!(width > 0, "wrap width must be positive");
+    for r in records {
+        writeln!(writer, ">{}", r.name)?;
+        let text = r.seq.to_string();
+        for chunk in text.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn round_trip() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let records = vec![
+            FastaRecord {
+                name: "read/1 sampled".into(),
+                seq: DnaSeq::random(137, &mut rng),
+            },
+            FastaRecord {
+                name: "read/2".into(),
+                seq: DnaSeq::random(3, &mut rng),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 60).unwrap();
+        let parsed = read_fasta(buf.as_slice()).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn multi_line_sequences_concatenate() {
+        let r = read_fasta(">a\nAC\nGT\n\nAC".as_bytes()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].seq.to_string(), "ACGTAC");
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        let r = read_fasta(">a\nacgt".as_bytes()).unwrap();
+        assert_eq!(r[0].seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let e = read_fasta("ACGT".as_bytes()).unwrap_err();
+        assert!(matches!(e, FastaError::MissingHeader { line: 1 }));
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn ambiguity_codes_are_rejected() {
+        let e = read_fasta(">a\nACNGT".as_bytes()).unwrap_err();
+        match e {
+            FastaError::BadBase { line, ch } => {
+                assert_eq!((line, ch), (2, 'N'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(read_fasta("".as_bytes()).unwrap().is_empty());
+    }
+}

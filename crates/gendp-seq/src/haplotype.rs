@@ -1,0 +1,121 @@
+use rand::Rng;
+
+use crate::genome::Genome;
+use crate::mutate::MutationProfile;
+use crate::reads::{Read, ShortReadProfile};
+use crate::seq::DnaSeq;
+
+/// One read–haplotype pair, the input unit of the PairHMM kernel
+/// (GATK HaplotypeCaller's `calcLikelihoodScore`, paper §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaplotypePair {
+    /// The candidate haplotype (assembled from the De-Bruijn graph in GATK;
+    /// here: a germline-mutated reference window).
+    pub haplotype: DnaSeq,
+    /// The read to score against the haplotype.
+    pub read: Read,
+}
+
+/// Generator of read–haplotype pairs mimicking the GATK active-region
+/// workload: haplotype windows of ~60–300 bp scored against ~101 bp reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaplotypeProfile {
+    /// Minimum haplotype window length.
+    pub min_hap_len: usize,
+    /// Maximum haplotype window length.
+    pub max_hap_len: usize,
+    /// Germline variation applied to derive the haplotype.
+    pub variation: MutationProfile,
+    /// Read generator.
+    pub reads: ShortReadProfile,
+}
+
+impl HaplotypeProfile {
+    /// The chr22-like configuration used by the paper (DP tables of roughly
+    /// 100 x 60, Table 1).
+    pub fn gatk_like() -> Self {
+        HaplotypeProfile {
+            min_hap_len: 60,
+            max_hap_len: 300,
+            variation: MutationProfile::germline(),
+            reads: ShortReadProfile::illumina(),
+        }
+    }
+
+    /// Samples `n` read–haplotype pairs. Each pair takes a random active
+    /// region; the read is sampled from the (variant) haplotype so that
+    /// true alignments exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than `max_hap_len`.
+    pub fn sample(&self, genome: &Genome, n: usize, rng: &mut impl Rng) -> Vec<HaplotypePair> {
+        assert!(genome.len() >= self.max_hap_len, "genome too short");
+        (0..n)
+            .map(|_| {
+                let hap_len = rng.gen_range(self.min_hap_len..=self.max_hap_len);
+                let start = rng.gen_range(0..=genome.len() - hap_len);
+                let haplotype = self.variation.apply(&genome.window(start, hap_len), rng);
+                // Reads are drawn from the haplotype itself (GATK scores
+                // reads that overlap the active region).
+                let read_len = self.reads.len.min(haplotype.len());
+                let rstart = rng.gen_range(0..=haplotype.len() - read_len);
+                let seq = self
+                    .reads
+                    .errors
+                    .apply(&haplotype.window(rstart, rstart + read_len), rng);
+                let quals = vec![self.reads.qual; seq.len()];
+                HaplotypePair {
+                    haplotype,
+                    read: Read {
+                        seq,
+                        true_pos: start + rstart,
+                        reverse: false,
+                        quals,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn pairs_have_expected_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Genome::random(10_000, &mut rng);
+        let pairs = HaplotypeProfile::gatk_like().sample(&g, 30, &mut rng);
+        assert_eq!(pairs.len(), 30);
+        for p in &pairs {
+            assert!(p.haplotype.len() >= 60 && p.haplotype.len() <= 310);
+            assert!(p.read.seq.len() <= 105);
+            assert!(!p.read.seq.is_empty());
+            assert_eq!(p.read.quals.len(), p.read.seq.len());
+        }
+    }
+
+    #[test]
+    fn read_is_similar_to_haplotype_region() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Genome::random(10_000, &mut rng);
+        let profile = HaplotypeProfile {
+            min_hap_len: 200,
+            max_hap_len: 300,
+            ..HaplotypeProfile::gatk_like()
+        };
+        let pairs = profile.sample(&g, 10, &mut rng);
+        for p in &pairs {
+            // The read should occur nearly exactly somewhere in the
+            // haplotype: check via best window identity.
+            let rl = p.read.seq.len();
+            let best = (0..=p.haplotype.len() - rl)
+                .map(|s| p.haplotype.window(s, s + rl).identity(&p.read.seq))
+                .fold(0.0f64, f64::max);
+            assert!(best > 0.95, "best identity {best}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+use rand::Rng;
+
+use crate::base::Base;
+use crate::seq::DnaSeq;
+
+/// Per-base mutation / sequencing-error rates.
+///
+/// The same profile models germline variation (low rates) and sequencing
+/// error (platform-dependent rates): Illumina short reads are
+/// substitution-dominated at ~0.1–1%, while PacBio/ONT long reads carry
+/// ~10–15% indel-heavy error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationProfile {
+    /// Probability of substituting a base.
+    pub sub_rate: f64,
+    /// Probability of inserting a random base before a position.
+    pub ins_rate: f64,
+    /// Probability of deleting a base.
+    pub del_rate: f64,
+}
+
+impl MutationProfile {
+    /// No mutations at all.
+    pub fn exact() -> Self {
+        MutationProfile {
+            sub_rate: 0.0,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+        }
+    }
+
+    /// Illumina-like short-read error profile (substitution-dominated).
+    pub fn illumina() -> Self {
+        MutationProfile {
+            sub_rate: 0.004,
+            ins_rate: 0.0002,
+            del_rate: 0.0002,
+        }
+    }
+
+    /// PacBio-SMRT-like long-read error profile (indel-heavy, ~12% total).
+    pub fn pacbio() -> Self {
+        MutationProfile {
+            sub_rate: 0.02,
+            ins_rate: 0.06,
+            del_rate: 0.04,
+        }
+    }
+
+    /// ONT-like long-read error profile (~10% total).
+    pub fn nanopore() -> Self {
+        MutationProfile {
+            sub_rate: 0.03,
+            ins_rate: 0.03,
+            del_rate: 0.04,
+        }
+    }
+
+    /// Germline-variation-like profile (SNPs plus rare indels), used to
+    /// derive sample haplotypes from the reference.
+    pub fn germline() -> Self {
+        MutationProfile {
+            sub_rate: 0.001,
+            ins_rate: 0.0001,
+            del_rate: 0.0001,
+        }
+    }
+
+    /// Total per-base event rate.
+    pub fn total_rate(&self) -> f64 {
+        self.sub_rate + self.ins_rate + self.del_rate
+    }
+
+    /// Applies the profile to a sequence, producing a mutated copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is negative or the total exceeds 1.
+    pub fn apply(&self, seq: &DnaSeq, rng: &mut impl Rng) -> DnaSeq {
+        assert!(
+            self.sub_rate >= 0.0 && self.ins_rate >= 0.0 && self.del_rate >= 0.0,
+            "rates must be non-negative"
+        );
+        assert!(self.total_rate() <= 1.0, "total rate exceeds 1");
+        let mut out = DnaSeq::new();
+        for &b in seq.iter() {
+            // Insertions may precede any base.
+            while rng.gen_bool(self.ins_rate) {
+                out.push(Base::random(rng));
+            }
+            if rng.gen_bool(self.del_rate) {
+                continue;
+            }
+            if rng.gen_bool(self.sub_rate) {
+                out.push(b.random_other(rng));
+            } else {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn exact_profile_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = DnaSeq::random(200, &mut rng);
+        assert_eq!(MutationProfile::exact().apply(&s, &mut rng), s);
+    }
+
+    #[test]
+    fn illumina_errors_are_mostly_substitutions() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = DnaSeq::random(100_000, &mut rng);
+        let m = MutationProfile::illumina().apply(&s, &mut rng);
+        // Length stays close (few indels).
+        let dlen = (m.len() as i64 - s.len() as i64).unsigned_abs();
+        assert!(dlen < 100, "length drift {dlen}");
+    }
+
+    #[test]
+    fn substitution_only_profile_keeps_positional_identity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = DnaSeq::random(100_000, &mut rng);
+        let p = MutationProfile {
+            sub_rate: 0.01,
+            ins_rate: 0.0,
+            del_rate: 0.0,
+        };
+        let m = p.apply(&s, &mut rng);
+        assert_eq!(m.len(), s.len());
+        let ident = s.identity(&m);
+        assert!((0.985..0.995).contains(&ident), "identity {ident}");
+    }
+
+    #[test]
+    fn pacbio_errors_shift_length() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = DnaSeq::random(50_000, &mut rng);
+        let m = MutationProfile::pacbio().apply(&s, &mut rng);
+        // Net insertion bias of ~2%.
+        assert!(m.len() > s.len());
+        assert!((m.len() as f64) < s.len() as f64 * 1.1);
+    }
+
+    #[test]
+    fn total_rate() {
+        assert!(MutationProfile::pacbio().total_rate() > 0.1);
+        assert_eq!(MutationProfile::exact().total_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "total rate")]
+    fn absurd_rates_panic() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = MutationProfile {
+            sub_rate: 0.9,
+            ins_rate: 0.9,
+            del_rate: 0.9,
+        };
+        p.apply(&DnaSeq::random(10, &mut rng), &mut rng);
+    }
+}

@@ -1,0 +1,99 @@
+//! Phred quality scores: the error-probability encoding carried by reads
+//! and consumed by the PairHMM emission priors.
+
+/// Converts a Phred score to its error probability: `10^(-q/10)`.
+///
+/// ```
+/// use gendp_seq::phred::{error_probability, from_error_probability};
+///
+/// assert!((error_probability(30) - 1e-3).abs() < 1e-12);
+/// assert_eq!(from_error_probability(1e-3), 30);
+/// ```
+pub fn error_probability(qual: u8) -> f64 {
+    10f64.powf(-(qual as f64) / 10.0)
+}
+
+/// Converts an error probability back to the nearest Phred score, clamped
+/// to `[0, 93]` (the printable FASTQ range).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn from_error_probability(p: f64) -> u8 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    (-10.0 * p.log10()).round().clamp(0.0, 93.0) as u8
+}
+
+/// Encodes Phred scores as a FASTQ quality string (Sanger offset 33).
+///
+/// # Panics
+///
+/// Panics if any score exceeds 93.
+pub fn to_fastq(quals: &[u8]) -> String {
+    quals
+        .iter()
+        .map(|&q| {
+            assert!(q <= 93, "Phred score {q} exceeds the printable range");
+            (q + 33) as char
+        })
+        .collect()
+}
+
+/// Decodes a FASTQ quality string (Sanger offset 33).
+///
+/// Returns `None` if any character is outside the printable range.
+pub fn from_fastq(text: &str) -> Option<Vec<u8>> {
+    text.chars()
+        .map(|c| {
+            let v = c as u32;
+            if (33..=126).contains(&v) {
+                Some((v - 33) as u8)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_round_trip() {
+        for q in [0u8, 10, 20, 30, 40, 60, 93] {
+            assert_eq!(from_error_probability(error_probability(q)), q);
+        }
+    }
+
+    #[test]
+    fn higher_quality_means_lower_error() {
+        assert!(error_probability(40) < error_probability(20));
+        assert!((error_probability(10) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastq_round_trip() {
+        let quals = vec![0u8, 30, 41, 93];
+        let text = to_fastq(&quals);
+        assert_eq!(text, "!?J~");
+        assert_eq!(from_fastq(&text), Some(quals));
+    }
+
+    #[test]
+    fn from_fastq_rejects_control_characters() {
+        assert_eq!(from_fastq("ab\u{7}"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the printable range")]
+    fn to_fastq_rejects_out_of_range() {
+        to_fastq(&[94]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_panics() {
+        from_error_probability(0.0);
+    }
+}

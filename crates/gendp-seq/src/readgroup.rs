@@ -1,0 +1,106 @@
+use rand::Rng;
+
+use crate::genome::Genome;
+use crate::mutate::MutationProfile;
+use crate::seq::DnaSeq;
+
+/// One POA consensus task: a backbone window plus the noisy reads covering
+/// it (the paper's S. aureus polishing dataset has 6216 such tasks, each of
+/// 10–100 long reads; §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadGroup {
+    /// The true underlying sequence of the window (ground truth for
+    /// consensus accuracy checks).
+    pub truth: DnaSeq,
+    /// Noisy observations of the window.
+    pub reads: Vec<DnaSeq>,
+}
+
+/// Generator for POA consensus read groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadGroupProfile {
+    /// Window (backbone) length; the paper's POA tables are ~1000 x 500
+    /// (Table 1), i.e. windows of 500–1000 bases.
+    pub window_len: usize,
+    /// Reads per group.
+    pub min_reads: usize,
+    /// Reads per group (inclusive upper bound).
+    pub max_reads: usize,
+    /// Per-read error profile.
+    pub errors: MutationProfile,
+}
+
+impl ReadGroupProfile {
+    /// Racon-like polishing windows over ONT reads.
+    pub fn racon_like() -> Self {
+        ReadGroupProfile {
+            window_len: 500,
+            min_reads: 10,
+            max_reads: 40,
+            errors: MutationProfile::nanopore(),
+        }
+    }
+
+    /// Samples `n` read groups from random genome windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than `window_len` or the read count
+    /// range is empty.
+    pub fn sample(&self, genome: &Genome, n: usize, rng: &mut impl Rng) -> Vec<ReadGroup> {
+        assert!(genome.len() >= self.window_len, "genome too short");
+        assert!(self.min_reads <= self.max_reads, "empty read-count range");
+        (0..n)
+            .map(|_| {
+                let start = rng.gen_range(0..=genome.len() - self.window_len);
+                let truth = genome.window(start, self.window_len);
+                let n_reads = rng.gen_range(self.min_reads..=self.max_reads);
+                let reads = (0..n_reads)
+                    .map(|_| self.errors.apply(&truth, rng))
+                    .collect();
+                ReadGroup { truth, reads }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn groups_have_expected_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Genome::random(5_000, &mut rng);
+        let groups = ReadGroupProfile::racon_like().sample(&g, 5, &mut rng);
+        assert_eq!(groups.len(), 5);
+        for grp in &groups {
+            assert_eq!(grp.truth.len(), 500);
+            assert!(grp.reads.len() >= 10 && grp.reads.len() <= 40);
+            for r in &grp.reads {
+                // Nanopore indels shift length by at most a few percent.
+                assert!(r.len() > 450 && r.len() < 550, "read len {}", r.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reads_resemble_truth() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Genome::random(2_000, &mut rng);
+        let profile = ReadGroupProfile {
+            window_len: 300,
+            min_reads: 3,
+            max_reads: 3,
+            errors: MutationProfile::illumina(),
+        };
+        let groups = profile.sample(&g, 2, &mut rng);
+        for grp in &groups {
+            for r in &grp.reads {
+                let n = grp.truth.len().min(r.len());
+                assert!(grp.truth.window(0, n).identity(&r.window(0, n)) > 0.95);
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use rand::Rng;
+
+use crate::genome::Genome;
+use crate::mutate::MutationProfile;
+use crate::seq::DnaSeq;
+
+/// A sequenced read with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// The (error-carrying) read sequence, already oriented as sequenced.
+    pub seq: DnaSeq,
+    /// True start of the sampled window on the forward reference.
+    pub true_pos: usize,
+    /// True if the read was sampled from the reverse strand.
+    pub reverse: bool,
+    /// Per-base Phred quality scores (constant per profile).
+    pub quals: Vec<u8>,
+}
+
+/// Generator for Illumina-like short reads (~101 bp, paper §6 BSW/PairHMM
+/// datasets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShortReadProfile {
+    /// Read length in bases.
+    pub len: usize,
+    /// Sequencing-error profile.
+    pub errors: MutationProfile,
+    /// Phred quality assigned to every base.
+    pub qual: u8,
+    /// Whether reads may come from the reverse strand.
+    pub strand_both: bool,
+}
+
+impl ShortReadProfile {
+    /// The NA12878-like configuration: 101 bp, substitution-dominated.
+    pub fn illumina() -> Self {
+        ShortReadProfile {
+            len: 101,
+            errors: MutationProfile::illumina(),
+            qual: 30,
+            strand_both: false,
+        }
+    }
+
+    /// Samples `n` reads uniformly from the genome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than the read length.
+    pub fn sample(&self, genome: &Genome, n: usize, rng: &mut impl Rng) -> Vec<Read> {
+        assert!(genome.len() >= self.len, "genome shorter than read length");
+        (0..n)
+            .map(|_| {
+                let pos = rng.gen_range(0..=genome.len() - self.len);
+                let mut seq = self.errors.apply(&genome.window(pos, self.len), rng);
+                // The sequencer reports exactly `len` cycles: truncate
+                // insertions, pad deletions with random bases.
+                while seq.len() > self.len {
+                    seq = seq.window(0, self.len);
+                }
+                while seq.len() < self.len {
+                    seq.push(crate::base::Base::random(rng));
+                }
+                let reverse = self.strand_both && rng.gen_bool(0.5);
+                if reverse {
+                    seq = seq.revcomp();
+                }
+                let quals = vec![self.qual; seq.len()];
+                Read {
+                    seq,
+                    true_pos: pos,
+                    reverse,
+                    quals,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generator for PacBio/ONT-like long reads (1–20 kbp, indel-heavy; paper
+/// §6 Chain/POA datasets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongReadProfile {
+    /// Minimum read length.
+    pub min_len: usize,
+    /// Maximum read length.
+    pub max_len: usize,
+    /// Sequencing-error profile.
+    pub errors: MutationProfile,
+    /// Phred quality assigned to every base.
+    pub qual: u8,
+    /// Whether reads may come from the reverse strand.
+    pub strand_both: bool,
+}
+
+impl LongReadProfile {
+    /// PacBio-SMRT-like configuration (C. elegans chaining dataset).
+    pub fn pacbio() -> Self {
+        LongReadProfile {
+            min_len: 1_000,
+            max_len: 20_000,
+            errors: MutationProfile::pacbio(),
+            qual: 10,
+            strand_both: false,
+        }
+    }
+
+    /// ONT-like configuration (S. aureus polishing dataset).
+    pub fn nanopore() -> Self {
+        LongReadProfile {
+            min_len: 2_000,
+            max_len: 15_000,
+            errors: MutationProfile::nanopore(),
+            qual: 12,
+            strand_both: false,
+        }
+    }
+
+    /// Samples `n` reads with lengths uniform in `[min_len, max_len]`,
+    /// clamped to the genome length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than `min_len`.
+    pub fn sample(&self, genome: &Genome, n: usize, rng: &mut impl Rng) -> Vec<Read> {
+        assert!(genome.len() >= self.min_len, "genome shorter than min_len");
+        (0..n)
+            .map(|_| {
+                let len = rng
+                    .gen_range(self.min_len..=self.max_len)
+                    .min(genome.len());
+                let pos = rng.gen_range(0..=genome.len() - len);
+                let mut seq = self.errors.apply(&genome.window(pos, len), rng);
+                let reverse = self.strand_both && rng.gen_bool(0.5);
+                if reverse {
+                    seq = seq.revcomp();
+                }
+                let quals = vec![self.qual; seq.len()];
+                Read {
+                    seq,
+                    true_pos: pos,
+                    reverse,
+                    quals,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn short_reads_have_fixed_length_and_position() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = Genome::random(5_000, &mut rng);
+        let reads = ShortReadProfile::illumina().sample(&g, 50, &mut rng);
+        assert_eq!(reads.len(), 50);
+        for r in &reads {
+            assert_eq!(r.seq.len(), 101);
+            assert!(r.true_pos + 101 <= g.len());
+            assert!(!r.reverse);
+            assert_eq!(r.quals.len(), r.seq.len());
+        }
+        // Reads resemble their source windows on average (rare indels can
+        // shift an individual read's frame).
+        let mean_identity: f64 = reads
+            .iter()
+            .map(|r| g.window(r.true_pos, 101).identity(&r.seq))
+            .sum::<f64>()
+            / reads.len() as f64;
+        assert!(mean_identity > 0.9, "mean identity {mean_identity}");
+    }
+
+    #[test]
+    fn long_reads_span_length_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Genome::random(60_000, &mut rng);
+        let profile = LongReadProfile {
+            min_len: 1_000,
+            max_len: 5_000,
+            ..LongReadProfile::pacbio()
+        };
+        let reads = profile.sample(&g, 40, &mut rng);
+        // Error profile shifts lengths slightly, so allow some slack.
+        assert!(reads.iter().all(|r| r.seq.len() >= 800));
+        assert!(reads.iter().all(|r| r.seq.len() <= 6_000));
+        let lens: Vec<usize> = reads.iter().map(|r| r.seq.len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() > 1_000);
+    }
+
+    #[test]
+    fn reverse_strand_reads_are_flagged() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = Genome::random(10_000, &mut rng);
+        let profile = ShortReadProfile {
+            strand_both: true,
+            ..ShortReadProfile::illumina()
+        };
+        let reads = profile.sample(&g, 200, &mut rng);
+        let n_rev = reads.iter().filter(|r| r.reverse).count();
+        assert!(n_rev > 50 && n_rev < 150, "n_rev = {n_rev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn short_genome_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = Genome::random(50, &mut rng);
+        ShortReadProfile::illumina().sample(&g, 1, &mut rng);
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+
+use crate::base::Base;
+
+/// A DNA sequence.
+///
+/// ```
+/// use gendp_seq::DnaSeq;
+///
+/// let s: DnaSeq = "ACGT".parse().unwrap();
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.revcomp().to_string(), "ACGT"); // palindromic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq(Vec<Base>);
+
+impl DnaSeq {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A uniformly random sequence of the given length.
+    pub fn random(len: usize, rng: &mut impl Rng) -> Self {
+        DnaSeq((0..len).map(|_| Base::random(rng)).collect())
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the sequence has no bases.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bases as a slice.
+    pub fn bases(&self) -> &[Base] {
+        &self.0
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> std::slice::Iter<'_, Base> {
+        self.0.iter()
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, b: Base) {
+        self.0.push(b);
+    }
+
+    /// The subsequence `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn window(&self, start: usize, end: usize) -> DnaSeq {
+        DnaSeq(self.0[start..end].to_vec())
+    }
+
+    /// The reverse complement.
+    pub fn revcomp(&self) -> DnaSeq {
+        DnaSeq(self.0.iter().rev().map(|b| b.complement()).collect())
+    }
+
+    /// The 2-bit codes of the bases (accelerator datapath form).
+    pub fn codes(&self) -> Vec<u8> {
+        self.0.iter().map(|b| b.code()).collect()
+    }
+
+    /// Fraction of positions at which the two sequences agree (they must be
+    /// equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn identity(&self, other: &DnaSeq) -> f64 {
+        assert_eq!(self.len(), other.len(), "identity needs equal lengths");
+        if self.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.len() as f64
+    }
+}
+
+impl From<Vec<Base>> for DnaSeq {
+    fn from(v: Vec<Base>) -> Self {
+        DnaSeq(v)
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        DnaSeq(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<T: IntoIterator<Item = Base>>(&mut self, iter: T) {
+        self.0.extend(iter);
+    }
+}
+
+impl std::ops::Index<usize> for DnaSeq {
+    type Output = Base;
+
+    fn index(&self, i: usize) -> &Base {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`DnaSeq`] from text containing a
+/// non-IUPAC character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDnaError {
+    /// The offending character.
+    pub ch: char,
+    /// Its byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseDnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DNA character `{}` at offset {}", self.ch, self.at)
+    }
+}
+
+impl std::error::Error for ParseDnaError {}
+
+impl FromStr for DnaSeq {
+    type Err = ParseDnaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .enumerate()
+            .map(|(at, ch)| Base::from_char(ch).ok_or(ParseDnaError { ch, at }))
+            .collect::<Result<Vec<_>, _>>()
+            .map(DnaSeq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGTACGT");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = "ACXGT".parse::<DnaSeq>().unwrap_err();
+        assert_eq!(err.ch, 'X');
+        assert_eq!(err.at, 2);
+        assert!(err.to_string().contains('X'));
+    }
+
+    #[test]
+    fn revcomp() {
+        let s: DnaSeq = "AACG".parse().unwrap();
+        assert_eq!(s.revcomp().to_string(), "CGTT");
+        assert_eq!(s.revcomp().revcomp(), s);
+    }
+
+    #[test]
+    fn window_and_index() {
+        let s: DnaSeq = "ACGT".parse().unwrap();
+        assert_eq!(s.window(1, 3).to_string(), "CG");
+        assert_eq!(s[0], Base::A);
+        assert_eq!(s[3], Base::T);
+    }
+
+    #[test]
+    fn identity() {
+        let a: DnaSeq = "ACGT".parse().unwrap();
+        let b: DnaSeq = "ACGA".parse().unwrap();
+        assert_eq!(a.identity(&a), 1.0);
+        assert_eq!(a.identity(&b), 0.75);
+        assert_eq!(DnaSeq::new().identity(&DnaSeq::new()), 1.0);
+    }
+
+    #[test]
+    fn random_has_requested_length() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(DnaSeq::random(500, &mut rng).len(), 500);
+        assert!(DnaSeq::random(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: DnaSeq = [Base::A, Base::C].into_iter().collect();
+        s.extend([Base::G]);
+        s.push(Base::T);
+        assert_eq!(s.to_string(), "ACGT");
+        assert_eq!(s.codes(), vec![0, 1, 2, 3]);
+    }
+}

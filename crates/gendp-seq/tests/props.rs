@@ -1,0 +1,80 @@
+//! Property tests for the workload generators.
+
+use gendp_seq::{extract_anchors, Base, DnaSeq, KmerIndex, MutationProfile};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    /// Every anchor reported by the index is a true exact k-mer match.
+    #[test]
+    fn anchors_are_true_matches(
+        reference in dna(20..120),
+        query in dna(5..60),
+    ) {
+        let k = 6;
+        let idx = KmerIndex::build(&reference, k);
+        for a in extract_anchors(&idx, &query) {
+            let q0 = (a.qpos + 1 - a.span) as usize;
+            let r0 = (a.rpos + 1 - a.span) as usize;
+            for off in 0..k {
+                prop_assert_eq!(query[q0 + off], reference[r0 + off]);
+            }
+        }
+    }
+
+    /// Anchors of a sequence against itself always include the full
+    /// diagonal (self-matches at every position).
+    #[test]
+    fn self_anchors_cover_the_diagonal(seq in dna(10..80)) {
+        let k = 5;
+        let idx = KmerIndex::build_with_max_occ(&seq, k, usize::MAX);
+        let anchors = extract_anchors(&idx, &seq);
+        for start in 0..=seq.len() - k {
+            let end = (start + k - 1) as i32;
+            prop_assert!(
+                anchors.iter().any(|a| a.rpos == end && a.qpos == end),
+                "missing diagonal anchor at {start}"
+            );
+        }
+    }
+
+    /// Reverse complement is an involution and preserves length.
+    #[test]
+    fn revcomp_involution(seq in dna(0..200)) {
+        let rc = seq.revcomp();
+        prop_assert_eq!(rc.len(), seq.len());
+        prop_assert_eq!(rc.revcomp(), seq);
+    }
+
+    /// Higher substitution rates never increase positional identity
+    /// (statistically, with a margin).
+    #[test]
+    fn mutation_rate_ordering(seed in 0u64..1000) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = DnaSeq::random(2_000, &mut rng);
+        let low = MutationProfile { sub_rate: 0.01, ins_rate: 0.0, del_rate: 0.0 };
+        let high = MutationProfile { sub_rate: 0.3, ins_rate: 0.0, del_rate: 0.0 };
+        let m_low = low.apply(&s, &mut rng);
+        let m_high = high.apply(&s, &mut rng);
+        prop_assert!(s.identity(&m_low) > s.identity(&m_high) + 0.1);
+    }
+
+    /// FASTA round-trips arbitrary records.
+    #[test]
+    fn fasta_round_trip(seqs in prop::collection::vec(dna(1..100), 1..5)) {
+        use gendp_seq::{read_fasta, write_fasta, FastaRecord};
+        let records: Vec<gendp_seq::FastaRecord> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, seq)| FastaRecord { name: format!("r{i}"), seq })
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 17).unwrap();
+        prop_assert_eq!(read_fasta(buf.as_slice()).unwrap(), records);
+    }
+}

@@ -1,0 +1,98 @@
+//! Smoke tests for the experiment machinery: the models produce the rows
+//! the harness binaries print, with values in the paper's ballpark.
+
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::dfgs;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::Scoring;
+use gendp::model::area::AreaBreakdown;
+use gendp::model::baselines::{Kernel, PAPER};
+use gendp::model::dram::DramModel;
+use gendp::model::power::PowerBreakdown;
+use gendp::model::scalability::scale_tiles;
+use gendp::model::scalar_isa::{instructions_per_cell, ScalarIsa};
+use gendp::model::softbrain::softbrain_mappings;
+use gendp::model::tia::{estimate_tia, TiaPattern};
+use gendp::model::throughput::geomean;
+
+#[test]
+fn table7_totals() {
+    let b = AreaBreakdown::dpax_28nm();
+    assert!((b.total_area() - 5.391).abs() < 0.05);
+}
+
+#[test]
+fn table8_totals() {
+    let p = PowerBreakdown::dpax_28nm();
+    assert!((p.total() - 4.660).abs() < 1e-6);
+}
+
+#[test]
+fn table10_tia_estimates_track_paper() {
+    let cases = [
+        (dfgs::bsw_dfg(&Scoring::bwa_mem()), Kernel::Bsw),
+        (
+            dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+            Kernel::PairHmm,
+        ),
+        (dfgs::poa_dfg(&Scoring::racon()), Kernel::Poa),
+        (dfgs::chain_dfg(&ChainParams::minimap2(15.0)), Kernel::Chain),
+    ];
+    for (dfg, kernel) in cases {
+        let est = estimate_tia(&dfg, TiaPattern::for_kernel(kernel));
+        let idx = Kernel::ALL.iter().position(|&k| k == kernel).unwrap();
+        let paper_tis = PAPER.tia_tis[idx];
+        // Within 2x of the paper's counts: the model is an estimate.
+        assert!(
+            est.tis as f64 / paper_tis as f64 > 0.5
+                && (est.tis as f64 / paper_tis as f64) < 2.0,
+            "{kernel}: est {} vs paper {paper_tis}",
+            est.tis
+        );
+    }
+}
+
+#[test]
+fn fig10d_scalar_isa_shape() {
+    // riscv64 needs more instructions than x86-64, and both dwarf the
+    // GenDP VLIW count, for every kernel.
+    let dfgs = [
+        dfgs::bsw_dfg(&Scoring::bwa_mem()),
+        dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        dfgs::poa_dfg(&Scoring::racon()),
+        dfgs::chain_dfg(&ChainParams::minimap2(15.0)),
+    ];
+    for dfg in &dfgs {
+        let riscv = instructions_per_cell(dfg, ScalarIsa::Riscv64);
+        let x86 = instructions_per_cell(dfg, ScalarIsa::X8664);
+        let gendp = gendp::dpmap::map_dfg(dfg).program.len() as u32;
+        assert!(riscv > x86, "{}", dfg.name());
+        assert!(x86 > gendp, "{}: x86 {x86} vs gendp {gendp}", dfg.name());
+    }
+}
+
+#[test]
+fn table12_scaling_point() {
+    let r = scale_tiles(297.5 / 64.0, 0.5, &DramModel::ddr4_2400_8ch());
+    assert_eq!(r.tiles, 64);
+    assert!((r.speedup_vs_gpu - PAPER.scalability.4).abs() < 0.1);
+}
+
+#[test]
+fn table9_softbrain_rows_complete() {
+    let rows = softbrain_mappings();
+    assert_eq!(rows.len(), 4);
+    let speeds: Vec<f64> = rows.iter().map(|r| r.paper_gendp_speedup).collect();
+    assert!((geomean(&speeds) - 2.12).abs() < 0.2);
+}
+
+#[test]
+fn headline_numbers_recorded() {
+    assert_eq!(PAPER.headline_speedups, (132.0, 157.8));
+    assert_eq!(PAPER.perf_per_watt_vs_gpu, 15.1);
+    for k in Kernel::ALL {
+        let row = PAPER.table15_row(k);
+        assert!(row.gendp_mcups_mm2 > row.cpu_mcups_mm2);
+        assert!(row.gendp_mcups_mm2 > row.gpu_mcups_mm2);
+    }
+}

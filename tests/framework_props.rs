@@ -1,0 +1,124 @@
+//! Property tests across crate boundaries: the accelerator equals the
+//! reference kernels on randomized inputs.
+
+use gendp::core::{bsw_score, GendpPipeline};
+use gendp::kernels::chain::{chain_reordered, ChainParams};
+use gendp::kernels::{bsw_i32, AlignMode, Scoring};
+use gendp::seq::{Anchor, DnaSeq};
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, len).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(gendp::seq::Base::from_code)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BSW on the accelerator equals the reference for arbitrary sequences
+    /// and array widths.
+    #[test]
+    fn bsw_accelerator_equals_reference(
+        q in dna(1..24),
+        t in dna(1..24),
+        n_pes in 1usize..6,
+    ) {
+        let scoring = Scoring::bwa_mem();
+        let accel = GendpPipeline::bsw(&scoring);
+        let rows: Vec<i32> = t.codes().iter().map(|&c| c as i32).collect();
+        let cols: Vec<i32> = q.codes().iter().map(|&c| c as i32).collect();
+        let out = accel.run(&rows, &cols, n_pes).expect("simulation");
+        let expect = bsw_i32(&q, &t, &scoring, 1000, AlignMode::Local);
+        prop_assert_eq!(bsw_score(&out), expect.score);
+    }
+
+    /// Chaining on the accelerator equals the reordered reference for
+    /// arbitrary sorted anchor sets.
+    #[test]
+    fn chain_accelerator_equals_reference(
+        raw in prop::collection::vec((0i32..2000, 0i32..2000), 1..40),
+    ) {
+        let mut anchors: Vec<Anchor> = raw
+            .into_iter()
+            .map(|(r, q)| Anchor { rpos: r, qpos: q, span: 13 })
+            .collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        let n_pes = 5;
+        let params = ChainParams { n_prev: n_pes, ..ChainParams::minimap2(13.0) };
+        let accel = GendpPipeline::chain(params);
+        let run = accel.run(&anchors, n_pes).expect("simulation");
+        prop_assert_eq!(run.scores, chain_reordered(&anchors, &params).scores);
+    }
+
+    /// DTW on the accelerator equals the reference.
+    #[test]
+    fn dtw_accelerator_equals_reference(
+        xs in prop::collection::vec(0i32..1000, 1..16),
+        ys in prop::collection::vec(0i32..1000, 1..16),
+    ) {
+        let out = GendpPipeline::dtw().run(&xs, &ys, 4).expect("simulation");
+        let got = *out.last_row["d"].last().unwrap() as i64;
+        prop_assert_eq!(got, gendp::kernels::dtw::dtw(&xs, &ys).distance);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// POA alignment on the accelerator equals the reference for random
+    /// graphs built from noisy copies of a random backbone.
+    #[test]
+    fn poa_accelerator_equals_reference(
+        backbone in dna(8..20),
+        extra_reads in 0usize..3,
+        probe_seed in 0u64..1000,
+        n_pes in 1usize..5,
+    ) {
+        use gendp::kernels::poa::Poa;
+        use gendp::kernels::Scoring;
+        use gendp::seq::MutationProfile;
+        use rand::{rngs::SmallRng, SeedableRng};
+
+        let mut rng = SmallRng::seed_from_u64(probe_seed);
+        let mut poa = Poa::new();
+        poa.add_sequence(&backbone, &Scoring::racon());
+        for _ in 0..extra_reads {
+            let noisy = MutationProfile::pacbio().apply(&backbone, &mut rng);
+            if !noisy.is_empty() {
+                poa.add_sequence(&noisy, &Scoring::racon());
+            }
+        }
+        let probe = MutationProfile::pacbio().apply(&backbone, &mut rng);
+        prop_assume!(!probe.is_empty());
+        let accel = GendpPipeline::poa(Scoring::racon());
+        let run = accel.run(&poa, &probe, n_pes).expect("simulation");
+        prop_assert_eq!(run.score, poa.align(&probe, &Scoring::racon()).score);
+    }
+
+    /// The log-domain PairHMM accelerator is bit-exact against its
+    /// fixed-point reference for random read/haplotype pairs.
+    #[test]
+    fn pairhmm_accelerator_equals_reference(
+        read in dna(1..10),
+        hap in dna(1..14),
+    ) {
+        use gendp::core::pairhmm_loglik;
+        use gendp::kernels::dfgs::pairhmm_luts;
+        use gendp::kernels::pairhmm::{forward_log_fixed, PairHmmParams};
+
+        let params = PairHmmParams::gatk();
+        let (qual, scale) = (30u8, 512);
+        let accel = GendpPipeline::pairhmm(&params, qual, scale, hap.len());
+        let rows: Vec<i32> = read.codes().iter().map(|&c| c as i32).collect();
+        let cols: Vec<i32> = hap.codes().iter().map(|&c| c as i32).collect();
+        let out = accel.run(&rows, &cols, 4).expect("simulation");
+        let got = pairhmm_loglik(&out, &pairhmm_luts(qual, scale));
+        let quals = vec![qual; read.len()];
+        prop_assert_eq!(got, forward_log_fixed(&read, &quals, &hap, &params, scale));
+    }
+}

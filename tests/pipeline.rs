@@ -1,0 +1,194 @@
+//! Integration of the framework layers: DFG → DPMap → programs → DPAx,
+//! with the performance counters the evaluation section consumes.
+
+use gendp::core::{bsw_score, AcceleratorRun, GendpPipeline};
+use gendp::dpmap::{analyze_tree_depth, map_dfg};
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::dfgs;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::Scoring;
+use gendp::seq::{DnaSeq, Genome, MutationProfile};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn every_kernel_dfg_maps_onto_compute_units() {
+    let dfgs = [
+        dfgs::bsw_dfg(&Scoring::bwa_mem()),
+        dfgs::bsw_simd_dfg(&Scoring::bwa_mem()),
+        dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        dfgs::poa_dfg(&Scoring::racon()),
+        dfgs::chain_dfg(&ChainParams::minimap2(15.0)),
+        dfgs::dtw_dfg(),
+        dfgs::bellman_ford_dfg(),
+        dfgs::lcs_dfg(),
+    ];
+    for dfg in &dfgs {
+        let m = map_dfg(dfg);
+        assert!(!m.program.is_empty(), "{}", dfg.name());
+        assert!(m.stats.cu_utilization() > 0.0 && m.stats.cu_utilization() <= 1.0);
+        assert!(m.stats.subgraphs >= 1);
+        // Every subgraph fits one compute unit.
+        assert!(m.subgraphs.iter().all(|s| s.op_count() <= 3));
+    }
+}
+
+#[test]
+fn tree_depth_ablation_is_monotone_for_all_kernels() {
+    let dfgs = [
+        dfgs::bsw_dfg(&Scoring::bwa_mem()),
+        dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        dfgs::poa_dfg(&Scoring::racon()),
+        dfgs::chain_dfg(&ChainParams::minimap2(15.0)),
+    ];
+    for dfg in &dfgs {
+        let l1 = analyze_tree_depth(dfg, 1);
+        let l2 = analyze_tree_depth(dfg, 2);
+        let l3 = analyze_tree_depth(dfg, 3);
+        // Deeper trees reduce register-file writes; levels 2 and 3 can tie
+        // (the paper's Table 2 shows Chain at 20/20 and POA at 56/54), and
+        // the generic depth-3 packer may land one write above the real
+        // DPMap result.
+        assert!(
+            l1.rf_accesses() >= l2.rf_accesses() && l2.rf_accesses() + 1 >= l3.rf_accesses(),
+            "{}: {} {} {}",
+            dfg.name(),
+            l1.rf_accesses(),
+            l2.rf_accesses(),
+            l3.rf_accesses()
+        );
+        assert!(l1.rf_accesses() >= l3.rf_accesses(), "{}", dfg.name());
+        assert!(
+            l1.cu_utilization() >= l2.cu_utilization()
+                && l2.cu_utilization() > l3.cu_utilization(),
+            "{}",
+            dfg.name()
+        );
+    }
+}
+
+#[test]
+fn accelerator_counters_are_sane() {
+    let mut rng = SmallRng::seed_from_u64(201);
+    let g = Genome::random(100, &mut rng);
+    let t = g.window(0, 40);
+    let q = MutationProfile::illumina().apply(&g.window(0, 40), &mut rng);
+    let q = q.window(0, q.len().min(40));
+    let scoring = Scoring::bwa_mem();
+    let accel = GendpPipeline::bsw(&scoring);
+    let rows: Vec<i32> = t.codes().iter().map(|&c| c as i32).collect();
+    let cols: Vec<i32> = q.codes().iter().map(|&c| c as i32).collect();
+    let out = accel.run(&rows, &cols, 4).expect("simulation");
+    let run = AcceleratorRun::from_stats(&out.stats);
+    assert_eq!(run.cells, (t.len() * q.len()) as u64);
+    assert!(run.cells_per_cycle() > 0.0 && run.cells_per_cycle() < 4.0);
+    assert!(run.vliw_utilization > 0.3 && run.vliw_utilization <= 1.0);
+    assert!(run.insts_per_cell() > 5.0 && run.insts_per_cell() < 40.0);
+    // One tile: 16 arrays; a plausible throughput figure comes out.
+    let gcups = run.gcups(16, 1);
+    assert!(gcups > 1.0, "gcups {gcups}");
+    // The score is right, of course.
+    assert_eq!(
+        bsw_score(&out),
+        gendp::kernels::bsw_i32(&q, &t, &scoring, 1000, gendp::kernels::AlignMode::Local).score
+    );
+}
+
+#[test]
+fn measured_vliw_utilization_matches_static_mapping() {
+    // The simulator's measured VLIW slot utilization must equal the static
+    // utilization of the mapped compute program (every cell runs the same
+    // program).
+    let scoring = Scoring::bwa_mem();
+    let mapping = map_dfg(&dfgs::bsw_dfg(&scoring));
+    let static_util = mapping.program.vliw_utilization();
+    let accel = GendpPipeline::bsw(&scoring);
+    let mut rng = SmallRng::seed_from_u64(202);
+    let t = DnaSeq::random(20, &mut rng);
+    let q = DnaSeq::random(20, &mut rng);
+    let rows: Vec<i32> = t.codes().iter().map(|&c| c as i32).collect();
+    let cols: Vec<i32> = q.codes().iter().map(|&c| c as i32).collect();
+    let out = accel.run(&rows, &cols, 4).expect("simulation");
+    assert!((out.stats.vliw_utilization() - static_util).abs() < 1e-9);
+}
+
+#[test]
+fn tile_scheduler_balances_a_batch() {
+    use gendp::core::{schedule_tile, GendpPipeline};
+    let mut rng = SmallRng::seed_from_u64(203);
+    let scoring = Scoring::bwa_mem();
+    let accel = GendpPipeline::bsw(&scoring);
+    // 20 tasks of varying size across a 16-array tile.
+    let mut stats = Vec::new();
+    for _ in 0..20 {
+        let t = DnaSeq::random(rand::Rng::gen_range(&mut rng, 6..20), &mut rng);
+        let q = DnaSeq::random(rand::Rng::gen_range(&mut rng, 6..20), &mut rng);
+        let rows: Vec<i32> = t.codes().iter().map(|&c| c as i32).collect();
+        let cols: Vec<i32> = q.codes().iter().map(|&c| c as i32).collect();
+        stats.push(accel.run(&rows, &cols, 4).expect("simulation").stats);
+    }
+    let report = schedule_tile(&stats, 16);
+    assert_eq!(report.tasks, 20);
+    assert_eq!(report.per_array_cycles.len(), 16);
+    // Makespan at least the longest task, at most the serial sum.
+    let longest = stats.iter().map(|s| s.cycles).max().unwrap();
+    let serial: u64 = stats.iter().map(|s| s.cycles).sum();
+    assert!(report.makespan_cycles >= longest);
+    assert!(report.makespan_cycles < serial);
+    assert!(report.balance() > 0.2 && report.balance() <= 1.0);
+    assert!(report.gcups(1) > 0.0);
+    // One array degenerates to the serial sum.
+    let serial_report = schedule_tile(&stats, 1);
+    assert_eq!(serial_report.makespan_cycles, serial);
+    assert!((serial_report.balance() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+#[should_panic(expected = "empty table")]
+fn wavefront_rejects_empty_tables() {
+    let accel = GendpPipeline::bsw(&Scoring::bwa_mem());
+    let _ = accel.run(&[], &[1, 2], 4);
+}
+
+#[test]
+#[should_panic(expected = "not streamed")]
+fn wavefront_rejects_unknown_stream_wiring() {
+    use gendp::core::Wavefront2d;
+    use gendp::isa::{Luts, Mode};
+    let dfg = dfgs::dtw_dfg();
+    let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
+    w.up("d_up", "never-declared");
+}
+
+#[test]
+#[should_panic(expected = "row char ext")]
+fn wavefront_rejects_unknown_char_ext() {
+    use gendp::core::Wavefront2d;
+    use gendp::isa::{Luts, Mode};
+    let dfg = dfgs::dtw_dfg();
+    let _ = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "bogus", "y");
+}
+
+#[test]
+fn generated_programs_round_trip_through_assembly() {
+    // Every generated control program survives a Display -> parse cycle:
+    // the assembler covers the full generated instruction repertoire.
+    let accel = GendpPipeline::bsw(&Scoring::bwa_mem());
+    let rows = vec![0, 1, 2, 3, 0];
+    let cols = vec![1, 2, 3];
+    for prog in accel.generate_programs(&rows, &cols, 4) {
+        let text = prog.to_string();
+        let parsed: gendp::isa::ControlProgram = text.parse().expect("parse");
+        assert_eq!(parsed, prog);
+    }
+}
+
+#[test]
+fn simulator_budget_errors_are_reported_cleanly() {
+    use gendp::dpax::{PeArray, PeArrayConfig, SimError};
+    let mut a = PeArray::new(PeArrayConfig::with_pes(1));
+    a.load_pe_control(0, "li a[0] 0\nbeq a0 a0 0".parse().unwrap());
+    match a.run(25) {
+        Err(SimError::Timeout { max_cycles }) => assert_eq!(max_cycles, 25),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}
