@@ -52,7 +52,15 @@ fn ablation_precision(c: &mut Criterion) {
     let scoring = Scoring::bwa_mem();
     let mut group = c.benchmark_group("ablation_precision");
     group.bench_function("bsw_i32", |b| {
-        b.iter(|| bsw_i32(black_box(&q), black_box(&t), &scoring, 1000, AlignMode::Local))
+        b.iter(|| {
+            bsw_i32(
+                black_box(&q),
+                black_box(&t),
+                &scoring,
+                1000,
+                AlignMode::Local,
+            )
+        })
     });
     group.bench_function("bsw_i8", |b| {
         b.iter(|| bsw_i8(black_box(&q), black_box(&t), &scoring, 1000))

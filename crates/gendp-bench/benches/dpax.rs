@@ -24,8 +24,12 @@ fn bench_sim(c: &mut Criterion) {
     // BSW SIMD: one 60x40 four-lane batch.
     let scoring = Scoring::bwa_mem();
     let bsw = GendpPipeline::bsw_simd(&scoring);
-    let qs: Vec<Vec<u8>> = (0..4).map(|_| DnaSeq::random(40, &mut rng).codes()).collect();
-    let ts: Vec<Vec<u8>> = (0..4).map(|_| DnaSeq::random(60, &mut rng).codes()).collect();
+    let qs: Vec<Vec<u8>> = (0..4)
+        .map(|_| DnaSeq::random(40, &mut rng).codes())
+        .collect();
+    let ts: Vec<Vec<u8>> = (0..4)
+        .map(|_| DnaSeq::random(60, &mut rng).codes())
+        .collect();
     let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
     let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
     group.throughput(Throughput::Elements((40 * 60 * 4) as u64));
@@ -40,7 +44,10 @@ fn bench_sim(c: &mut Criterion) {
     let (r_codes, h_codes) = (codes(&read), codes(&hap));
     group.throughput(Throughput::Elements((read.len() * hap.len()) as u64));
     group.bench_function("pairhmm_40x30", |b| {
-        b.iter(|| phmm.run(black_box(&r_codes), black_box(&h_codes), 4).unwrap())
+        b.iter(|| {
+            phmm.run(black_box(&r_codes), black_box(&h_codes), 4)
+                .unwrap()
+        })
     });
 
     // POA: a small noisy graph.
@@ -48,11 +55,16 @@ fn bench_sim(c: &mut Criterion) {
     let mut poa = Poa::new();
     poa.add_sequence(&truth, &Scoring::racon());
     for _ in 0..4 {
-        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &Scoring::racon());
+        poa.add_sequence(
+            &MutationProfile::nanopore().apply(&truth, &mut rng),
+            &Scoring::racon(),
+        );
     }
     let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
     let poa_acc = GendpPipeline::poa(Scoring::racon());
-    group.throughput(Throughput::Elements((poa.node_count() * probe.len()) as u64));
+    group.throughput(Throughput::Elements(
+        (poa.node_count() * probe.len()) as u64,
+    ));
     group.bench_function("poa_50bp_graph", |b| {
         b.iter(|| poa_acc.run(black_box(&poa), black_box(&probe), 4).unwrap())
     });

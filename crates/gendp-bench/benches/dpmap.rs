@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench_map(c: &mut Criterion) {
     let cases = [
         ("bsw", dfgs::bsw_dfg(&Scoring::bwa_mem())),
-        ("pairhmm", dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024)),
+        (
+            "pairhmm",
+            dfgs::pairhmm_log_dfg(&PairHmmParams::gatk(), 1024),
+        ),
         ("poa", dfgs::poa_dfg(&Scoring::racon())),
         ("chain", dfgs::chain_dfg(&ChainParams::minimap2(15.0))),
     ];

@@ -22,7 +22,15 @@ fn bench_bsw(c: &mut Criterion) {
     let mut group = c.benchmark_group("bsw");
     group.throughput(Throughput::Elements((t.len() * q.len()) as u64));
     group.bench_function("i32_100x60", |b| {
-        b.iter(|| bsw_i32(black_box(&q), black_box(&t), &scoring, 1000, AlignMode::Local))
+        b.iter(|| {
+            bsw_i32(
+                black_box(&q),
+                black_box(&t),
+                &scoring,
+                1000,
+                AlignMode::Local,
+            )
+        })
     });
     group.bench_function("i8_100x60", |b| {
         b.iter(|| bsw_i8(black_box(&q), black_box(&t), &scoring, 1000))
@@ -56,11 +64,16 @@ fn bench_poa(c: &mut Criterion) {
     let mut poa = Poa::new();
     poa.add_sequence(&truth, &scoring);
     for _ in 0..6 {
-        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &scoring);
+        poa.add_sequence(
+            &MutationProfile::nanopore().apply(&truth, &mut rng),
+            &scoring,
+        );
     }
     let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
     let mut group = c.benchmark_group("poa");
-    group.throughput(Throughput::Elements((poa.node_count() * probe.len()) as u64));
+    group.throughput(Throughput::Elements(
+        (poa.node_count() * probe.len()) as u64,
+    ));
     group.bench_function("align_200bp_graph", |b| {
         b.iter(|| poa.align(black_box(&probe), &scoring))
     });
@@ -92,8 +105,12 @@ fn bench_chain(c: &mut Criterion) {
 
 fn bench_extensions(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(5);
-    let xs: Vec<i32> = (0..500).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
-    let ys: Vec<i32> = (0..500).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
+    let xs: Vec<i32> = (0..500)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..1000))
+        .collect();
+    let ys: Vec<i32> = (0..500)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..1000))
+        .collect();
     let mut group = c.benchmark_group("extensions");
     group.throughput(Throughput::Elements((xs.len() * ys.len()) as u64));
     group.bench_function("dtw_500x500", |b| {
@@ -103,8 +120,12 @@ fn bench_extensions(c: &mut Criterion) {
     group.bench_function("bellman_ford_1k", |b| {
         b.iter(|| bellman_ford(black_box(&roadmap), 0))
     });
-    let a: Vec<i32> = (0..300).map(|_| rand::Rng::gen_range(&mut rng, 0..4)).collect();
-    let bb: Vec<i32> = (0..300).map(|_| rand::Rng::gen_range(&mut rng, 0..4)).collect();
+    let a: Vec<i32> = (0..300)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..4))
+        .collect();
+    let bb: Vec<i32> = (0..300)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..4))
+        .collect();
     group.bench_function("lcs_300x300", |b| {
         b.iter(|| lcs(black_box(&a), black_box(&bb)))
     });

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the `gendp-runtime` batch executor: host
+//! tasks/second as the worker-thread count grows, per dispatch policy.
+//! Simulated results stay identical across all of these configurations;
+//! only wall-clock throughput changes.
+//!
+//! Worker scaling is bounded by the physical cores available to the
+//! process: on a single-core host every worker count collapses to
+//! roughly the same throughput, while on an N-core host the 1 -> 4
+//! worker ratio should exceed 1.5x for this BSW batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gendp::kernels::Scoring;
+use gendp::runtime::{Device, DeviceConfig, DispatchPolicy, Task};
+use gendp::seq::DnaSeq;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+/// A fixed BSW batch: the paper's dominant short-read workload.
+fn bsw_batch(n: usize) -> Vec<Task> {
+    let mut rng = SmallRng::seed_from_u64(71);
+    (0..n)
+        .map(|i| {
+            Task::bsw_local(
+                DnaSeq::random(16 + i % 8, &mut rng),
+                DnaSeq::random(20 + i % 8, &mut rng),
+                Scoring::bwa_mem(),
+            )
+        })
+        .collect()
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let batch = 48;
+    let mut group = c.benchmark_group("runtime_workers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("bsw_batch48", workers),
+            &workers,
+            |b, &workers| {
+                let mut device = Device::new(DeviceConfig {
+                    int_arrays: 8,
+                    float_arrays: 0,
+                    workers,
+                    policy: DispatchPolicy::RoundRobin,
+                    ..DeviceConfig::default()
+                });
+                b.iter(|| device.run_batch(black_box(bsw_batch(batch))).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let batch = 48;
+    let mut group = c.benchmark_group("runtime_policies");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch as u64));
+    for policy in DispatchPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("bsw_batch48_4workers", policy.name()),
+            &policy,
+            |b, &policy| {
+                let mut device = Device::new(DeviceConfig {
+                    int_arrays: 8,
+                    float_arrays: 0,
+                    workers: 4,
+                    policy,
+                    ..DeviceConfig::default()
+                });
+                b.iter(|| device.run_batch(black_box(bsw_batch(batch))).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling, bench_policies);
+criterion_main!(benches);

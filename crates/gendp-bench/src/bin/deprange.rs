@@ -1,5 +1,8 @@
 //! Prints the POA dependency-distance distribution (paper §7.6.1; pass
 //! --quick for a reduced workload).
 fn main() {
-    println!("{}", gendp_bench::tables::dependency_range(gendp_bench::Scale::from_args()));
+    println!(
+        "{}",
+        gendp_bench::tables::dependency_range(gendp_bench::Scale::from_args())
+    );
 }

@@ -1,5 +1,8 @@
 //! Prints the paper's fig11 reproduction (pass --quick for a reduced
 //! workload). See DESIGN.md §5.
 fn main() {
-    println!("{}", gendp_bench::tables::fig11(gendp_bench::Scale::from_args()));
+    println!(
+        "{}",
+        gendp_bench::tables::fig11(gendp_bench::Scale::from_args())
+    );
 }

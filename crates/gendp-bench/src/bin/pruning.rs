@@ -1,5 +1,8 @@
 //! Prints the pruning-based PairHMM scan-fraction artifact (paper §6;
 //! pass --quick for a reduced workload).
 fn main() {
-    println!("{}", gendp_bench::tables::pruning_fraction(gendp_bench::Scale::from_args()));
+    println!(
+        "{}",
+        gendp_bench::tables::pruning_fraction(gendp_bench::Scale::from_args())
+    );
 }

@@ -1,5 +1,8 @@
 //! Prints the artifact-appendix simulation-cost table (pass --quick for a
 //! reduced workload).
 fn main() {
-    println!("{}", gendp_bench::tables::table16(gendp_bench::Scale::from_args()));
+    println!(
+        "{}",
+        gendp_bench::tables::table16(gendp_bench::Scale::from_args())
+    );
 }

@@ -126,8 +126,7 @@ pub fn measure_bsw(scale: Scale) -> KernelMeasurement {
         cpu_gcups_1t,
         // Per 4-lane batch: (tlen + qlen) input words + 4 drained words,
         // over tlen x qlen cells x 4 lanes.
-        dram_bytes_per_cell: 4.0 * (tlen + qlen + 4) as f64
-            / (tlen * qlen * 4) as f64,
+        dram_bytes_per_cell: 4.0 * (tlen + qlen + 4) as f64 / (tlen * qlen * 4) as f64,
     }
 }
 
@@ -204,7 +203,10 @@ pub fn measure_poa(scale: Scale) -> KernelMeasurement {
     let mut poa = Poa::new();
     poa.add_sequence(&truth, &scoring);
     for _ in 0..seed_reads {
-        poa.add_sequence(&MutationProfile::nanopore().apply(&truth, &mut rng), &scoring);
+        poa.add_sequence(
+            &MutationProfile::nanopore().apply(&truth, &mut rng),
+            &scoring,
+        );
     }
     let accel = GendpPipeline::poa(scoring);
 
@@ -312,9 +314,15 @@ pub fn measure_all(scale: Scale) -> [KernelMeasurement; 4] {
 pub fn measure_dtw(scale: Scale) -> AcceleratorRun {
     let mut rng = SmallRng::seed_from_u64(1005);
     let n = scale.pick(120usize, 24);
-    let xs: Vec<i32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
-    let ys: Vec<i32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..1000)).collect();
-    let out = GendpPipeline::dtw().run(&xs, &ys, 4).expect("dtw simulation");
+    let xs: Vec<i32> = (0..n)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..1000))
+        .collect();
+    let ys: Vec<i32> = (0..n)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..1000))
+        .collect();
+    let out = GendpPipeline::dtw()
+        .run(&xs, &ys, 4)
+        .expect("dtw simulation");
     AcceleratorRun::from_stats(&out.stats)
 }
 

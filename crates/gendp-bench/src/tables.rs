@@ -25,9 +25,7 @@ use gendp::model::tia::{estimate_tia, TiaPattern};
 use gendp::seq::{Genome, KmerIndex, LongReadProfile};
 use rand::{rngs::SmallRng, SeedableRng};
 
-use crate::measure::{
-    measure_bellman_ford, measure_dtw, KernelMeasurement,
-};
+use crate::measure::{measure_bellman_ford, measure_dtw, KernelMeasurement};
 use crate::Scale;
 
 /// The four kernel DFGs in paper column order (BSW, Chain, PairHMM, POA).
@@ -55,7 +53,10 @@ pub fn table1() -> String {
         let _ = writeln!(
             s,
             "{:8} | {:13} | {:30} | {}",
-            k.name, table, k.dependency.to_string(), k.precision
+            k.name,
+            table,
+            k.dependency.to_string(),
+            k.precision
         );
     }
     s.push_str("(pipeline time shares, paper §2.3: 31% / 70% / 47% / 75%)\n");
@@ -193,7 +194,12 @@ pub fn table7() -> String {
         "logic subtotal               | {:6.3} mm2 | {:6.3} W\n\
          memory subtotal              | {:6.3} mm2 | {:6.3} W\n\
          total                        | {:6.3} mm2 | {:6.3} W   (paper: 5.391 / 3.569)",
-        b.logic_area, b.logic_power, b.memory_area, b.memory_power, b.total_area(), b.total_power()
+        b.logic_area,
+        b.logic_power,
+        b.memory_area,
+        b.memory_power,
+        b.total_area(),
+        b.total_power()
     );
     s
 }
@@ -292,7 +298,10 @@ pub fn table11(ms: &[KernelMeasurement; 4]) -> String {
          kernel   | measured | paper\n",
     );
     for m in ms {
-        let i = Kernel::ALL.iter().position(|&k| k == m.kernel).expect("kernel");
+        let i = Kernel::ALL
+            .iter()
+            .position(|&k| k == m.kernel)
+            .expect("kernel");
         let _ = writeln!(
             s,
             "{:8} | {:5.1}%   | {:5.1}%",
@@ -363,7 +372,13 @@ pub fn table13(ms: &[KernelMeasurement; 4]) -> String {
         let _ = writeln!(
             s,
             "{:32} | {:6} | {:3} | {:6.4} | {:6.3} | {:7.3} | {:5.1}",
-            r.cpu, r.simd, r.threads, r.runtime_s[0], r.runtime_s[1], r.runtime_s[2], r.runtime_s[3]
+            r.cpu,
+            r.simd,
+            r.threads,
+            r.runtime_s[0],
+            r.runtime_s[1],
+            r.runtime_s[2],
+            r.runtime_s[3]
         );
     }
     let _ = writeln!(
@@ -398,7 +413,10 @@ pub fn table15(ms: &[KernelMeasurement; 4]) -> String {
          kernel   | CPU (paper) | GPU (paper) | GenDP meas (paper) | vs CPU (paper) | vs GPU (paper)\n",
     );
     for m in ms {
-        let i = Kernel::ALL.iter().position(|&k| k == m.kernel).expect("kernel");
+        let i = Kernel::ALL
+            .iter()
+            .position(|&k| k == m.kernel)
+            .expect("kernel");
         let row = PAPER.table15_row(m.kernel);
         let meas = m.gendp_mcups_mm2();
         let _ = writeln!(
@@ -609,19 +627,9 @@ pub fn pruning_fraction(scale: Scale) -> String {
     let mut active = 0u64;
     let mut max_rel_err = 0f64;
     for p in &pairs {
-        let (pruned, st) = forward_pruned(
-            &p.read.seq,
-            &p.read.quals,
-            &p.haplotype,
-            &params,
-            1e-12,
-        );
-        let full = gendp::kernels::pairhmm::forward_f64(
-            &p.read.seq,
-            &p.read.quals,
-            &p.haplotype,
-            &params,
-        );
+        let (pruned, st) = forward_pruned(&p.read.seq, &p.read.quals, &p.haplotype, &params, 1e-12);
+        let full =
+            gendp::kernels::pairhmm::forward_f64(&p.read.seq, &p.read.quals, &p.haplotype, &params);
         max_rel_err = max_rel_err.max(((pruned - full) / full).abs());
         total += st.cells_total;
         active += st.cells_active;
@@ -703,14 +711,15 @@ pub fn dependency_range(scale: Scale) -> String {
     let total: u64 = hist.iter().sum();
     let pct = |k: usize| 100.0 * hist[k] as f64 / total.max(1) as f64;
     let mut s = String::from("POA dependency-distance distribution (paper §7.6.1)\n");
-    let rows = [
-        ("1", 0usize),
-        ("2-16", 1),
-        ("17-128", 2),
-        (">128", 3),
-    ];
+    let rows = [("1", 0usize), ("2-16", 1), ("17-128", 2), (">128", 3)];
     for (label, k) in rows {
-        let _ = writeln!(s, "row distance {:7}: {:7} ({:5.2}%)", label, hist[k], pct(k));
+        let _ = writeln!(
+            s,
+            "row distance {:7}: {:7} ({:5.2}%)",
+            label,
+            hist[k],
+            pct(k)
+        );
     }
     s.push_str(
         "(paper: 2.4% of its POA workload exceeds distance 128 and runs on\n\
@@ -734,8 +743,14 @@ pub fn table16(scale: Scale) -> String {
     type Measurer = Box<dyn Fn() -> crate::measure::KernelMeasurement>;
     let runs: [(&str, Measurer); 4] = [
         ("BSW", Box::new(move || crate::measure::measure_bsw(scale))),
-        ("Chain", Box::new(move || crate::measure::measure_chain(scale))),
-        ("PairHMM", Box::new(move || crate::measure::measure_pairhmm(scale))),
+        (
+            "Chain",
+            Box::new(move || crate::measure::measure_chain(scale)),
+        ),
+        (
+            "PairHMM",
+            Box::new(move || crate::measure::measure_pairhmm(scale)),
+        ),
         ("POA", Box::new(move || crate::measure::measure_poa(scale))),
     ];
     for (name, f) in runs {

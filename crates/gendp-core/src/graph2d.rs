@@ -12,8 +12,8 @@
 //! each cell" (§7.3). End-node scores park in the scratchpad until the
 //! final drain.
 
-use gendp_dpmap::{map_dfg, Mapping};
 use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{AddrReg, ControlInst, ControlProgram, Loc, Mode, Space, Word};
 use gendp_kernels::dfgs::poa_dfg;
 use gendp_kernels::poa::Poa;
@@ -93,8 +93,7 @@ impl PoaAccelerator {
         let preds: Vec<Vec<usize>> = rows
             .iter()
             .map(|&v| {
-                let mut p: Vec<usize> =
-                    graph.preds(v).iter().map(|&(u, _)| rank_of[u]).collect();
+                let mut p: Vec<usize> = graph.preds(v).iter().map(|&(u, _)| rank_of[u]).collect();
                 p.sort_unstable();
                 p
             })
@@ -107,11 +106,7 @@ impl PoaAccelerator {
             }
         }
         let live_after: Vec<Vec<usize>> = (0..rows.len())
-            .map(|r| {
-                (0..=r)
-                    .filter(|&u| last_consumer[u] > r)
-                    .collect()
-            })
+            .map(|r| (0..=r).filter(|&u| last_consumer[u] > r).collect())
             .collect();
         // Border recursion H[r][0] = max over preds(H[p][0]) - gap, with
         // the virtual border H[-][0] = 0.
@@ -166,7 +161,11 @@ impl PoaAccelerator {
         let mut saves = 0usize; // end-node scores parked in the SPM
         let mut row = p;
         while row < m {
-            let incoming: &[usize] = if row == 0 { &[] } else { &plan.live_after[row - 1] };
+            let incoming: &[usize] = if row == 0 {
+                &[]
+            } else {
+                &plan.live_after[row - 1]
+            };
             let in_idx = |u: usize| -> usize {
                 incoming
                     .iter()
@@ -181,7 +180,11 @@ impl PoaAccelerator {
                 Loc::port(Space::In)
             };
             let outgoing = &plan.live_after[row];
-            let fwd_loc = if last_pe { Loc::port(Space::Fifo) } else { Loc::port(Space::Out) };
+            let fwd_loc = if last_pe {
+                Loc::port(Space::Fifo)
+            } else {
+                Loc::port(Space::Out)
+            };
             let forwards = row + 1 < m;
 
             // Row prologue.
@@ -211,26 +214,27 @@ impl PoaAccelerator {
                     prog.push(ControlInst::mv(Loc::rf(slot_cur(k)), src_loc));
                 }
                 // Predecessor pairs, two per compute invocation.
-                let load_pred = |prog: &mut ControlProgram, ext_l: u16, ext_u: u16, pr: Option<usize>| {
-                    match pr {
-                        None => {
-                            // No such predecessor: candidates must lose.
-                            prog.push(ControlInst::Li {
-                                dest: Loc::rf(ext_l),
-                                imm: NEG,
-                            });
-                            prog.push(ControlInst::Li {
-                                dest: Loc::rf(ext_u),
-                                imm: NEG,
-                            });
+                let load_pred =
+                    |prog: &mut ControlProgram, ext_l: u16, ext_u: u16, pr: Option<usize>| {
+                        match pr {
+                            None => {
+                                // No such predecessor: candidates must lose.
+                                prog.push(ControlInst::Li {
+                                    dest: Loc::rf(ext_l),
+                                    imm: NEG,
+                                });
+                                prog.push(ControlInst::Li {
+                                    dest: Loc::rf(ext_u),
+                                    imm: NEG,
+                                });
+                            }
+                            Some(u) => {
+                                let k = in_idx(u);
+                                prog.push(ControlInst::mv(Loc::rf(ext_l), Loc::rf(slot_prev(k))));
+                                prog.push(ControlInst::mv(Loc::rf(ext_u), Loc::rf(slot_cur(k))));
+                            }
                         }
-                        Some(u) => {
-                            let k = in_idx(u);
-                            prog.push(ControlInst::mv(Loc::rf(ext_l), Loc::rf(slot_prev(k))));
-                            prog.push(ControlInst::mv(Loc::rf(ext_u), Loc::rf(slot_cur(k))));
-                        }
-                    }
-                };
+                    };
                 if preds.is_empty() {
                     // Virtual border row: h(-, j) = -gap * j.
                     prog.push(ControlInst::Li {
@@ -256,10 +260,7 @@ impl PoaAccelerator {
                             // Fold the previous invocation's h into this one
                             // through the left candidate: cl = h_left - gap,
                             // so stage h_prev + gap.
-                            prog.push(ControlInst::mv(
-                                Loc::areg(15),
-                                Loc::rf(h_out),
-                            ));
+                            prog.push(ControlInst::mv(Loc::areg(15), Loc::rf(h_out)));
                             prog.push(ControlInst::Addi {
                                 rd: AddrReg(15),
                                 rs1: AddrReg(15),
@@ -292,10 +293,7 @@ impl PoaAccelerator {
             }
             // Park an end node's final-column score in the scratchpad.
             if plan.is_end[row] {
-                prog.push(ControlInst::mv(
-                    Loc::spm(saves as u16),
-                    Loc::rf(h_out),
-                ));
+                prog.push(ControlInst::mv(Loc::spm(saves as u16), Loc::rf(h_out)));
                 saves += 1;
             }
             row += n_pes;
@@ -329,12 +327,13 @@ impl PoaAccelerator {
             .max(1);
         let scratch_base = self.mapping.layout.slot_count();
 
-        let mut cfg = PeArrayConfig::with_pes(n_pes)
-            .mode(Mode::Int32)
-            .luts(gendp_isa::Luts::with_scores(
-                self.scoring.matches,
-                -self.scoring.mismatch,
-            ));
+        let mut cfg =
+            PeArrayConfig::with_pes(n_pes)
+                .mode(Mode::Int32)
+                .luts(gendp_isa::Luts::with_scores(
+                    self.scoring.matches,
+                    -self.scoring.mismatch,
+                ));
         cfg.rf_slots = (scratch_base as usize + 2 * max_live + 2).max(cfg.rf_slots);
         cfg.fifo_capacity = ((max_live + 2) * (n + 2)).max(cfg.fifo_capacity);
         cfg.spm_words = cfg

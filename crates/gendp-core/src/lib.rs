@@ -32,5 +32,9 @@ pub mod pipeline;
 pub mod spm1d;
 pub mod wavefront2d;
 
-pub use pipeline::{bsw_score, dtw_banded_distance, bsw_semiglobal_score, bsw_simd16_scores, bsw_simd_scores, pack_halves, pack_lanes, pairhmm_float_lik, pairhmm_loglik, schedule_tile, AcceleratorRun, GendpPipeline, TileReport, NEG_SIMD};
+pub use pipeline::{
+    bsw_score, bsw_semiglobal_score, bsw_simd16_scores, bsw_simd_scores, dtw_banded_distance,
+    pack_halves, pack_lanes, pairhmm_float_lik, pairhmm_loglik, schedule_tile, AcceleratorRun,
+    GendpPipeline, TileReport, NEG_SIMD,
+};
 pub use wavefront2d::{Border, RowSource, Wavefront2d, Wavefront2dOutput};

@@ -12,8 +12,8 @@
 //! recurrence with the same window — validated against
 //! [`gendp_kernels::chain::chain_reordered`].
 
-use gendp_dpmap::{map_dfg, Mapping};
 use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
 use gendp_kernels::chain::ChainParams;
 use gendp_kernels::dfgs::chain_dfg;

@@ -91,6 +91,36 @@ pub struct TileReport {
 }
 
 impl TileReport {
+    /// Builds the report from raw per-array busy-cycle loads (in any
+    /// order), the scheduled task count, and the total cells.
+    ///
+    /// This is the single constructor shared by [`schedule_tile`] (post-hoc
+    /// LPT placement of pre-collected stats) and the `gendp-runtime`
+    /// device's utilization report (live placement by its dispatch
+    /// policies), so the two layers agree by construction on how makespan,
+    /// balance and throughput are derived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_array_cycles` is empty.
+    pub fn from_array_loads(
+        tasks: usize,
+        mut per_array_cycles: Vec<u64>,
+        total_cells: u64,
+    ) -> TileReport {
+        assert!(
+            !per_array_cycles.is_empty(),
+            "a tile needs at least one array"
+        );
+        per_array_cycles.sort_unstable_by(|a, b| b.cmp(a));
+        TileReport {
+            tasks,
+            makespan_cycles: per_array_cycles[0],
+            per_array_cycles,
+            total_cells,
+        }
+    }
+
     /// Average array occupancy over the makespan (1.0 = perfectly
     /// balanced).
     pub fn balance(&self) -> f64 {
@@ -107,8 +137,7 @@ impl TileReport {
         if self.makespan_cycles == 0 {
             return 0.0;
         }
-        self.total_cells as f64 * simd_lanes as f64 / self.makespan_cycles as f64 * CLOCK_HZ
-            / 1e9
+        self.total_cells as f64 * simd_lanes as f64 / self.makespan_cycles as f64 * CLOCK_HZ / 1e9
     }
 }
 
@@ -134,13 +163,11 @@ pub fn schedule_tile(task_stats: &[RunStats], units: usize) -> TileReport {
             .expect("units > 0");
         arrays[k] += d;
     }
-    arrays.sort_unstable_by(|a, b| b.cmp(a));
-    TileReport {
-        tasks: task_stats.len(),
-        makespan_cycles: arrays[0],
-        per_array_cycles: arrays,
-        total_cells: task_stats.iter().map(RunStats::cells).sum(),
-    }
+    TileReport::from_array_loads(
+        task_stats.len(),
+        arrays,
+        task_stats.iter().map(RunStats::cells).sum(),
+    )
 }
 
 /// Factory for fully configured kernel accelerators.
@@ -369,7 +396,10 @@ impl GendpPipeline {
         let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
         w.stream(
             "d",
-            Border::FirstThenConst { first: 0, rest: INF },
+            Border::FirstThenConst {
+                first: 0,
+                rest: INF,
+            },
             Border::Const(INF),
         )
         .up("d_up", "d")
@@ -394,7 +424,10 @@ impl GendpPipeline {
         let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
         w.stream(
             "d",
-            Border::FirstThenConst { first: 0, rest: INF },
+            Border::FirstThenConst {
+                first: 0,
+                rest: INF,
+            },
             Border::Const(INF),
         )
         .up("d_up", "d")
@@ -629,22 +662,17 @@ mod tests {
         let tlen = 12;
         let qlen = 10;
         let tasks: Vec<(DnaSeq, DnaSeq)> = (0..4)
-            .map(|_| (DnaSeq::random(qlen, &mut rng), DnaSeq::random(tlen, &mut rng)))
+            .map(|_| {
+                (
+                    DnaSeq::random(qlen, &mut rng),
+                    DnaSeq::random(tlen, &mut rng),
+                )
+            })
             .collect();
         let q_streams: Vec<Vec<u8>> = tasks.iter().map(|(q, _)| q.codes()).collect();
         let t_streams: Vec<Vec<u8>> = tasks.iter().map(|(_, t)| t.codes()).collect();
-        let cols = pack_lanes([
-            &q_streams[0],
-            &q_streams[1],
-            &q_streams[2],
-            &q_streams[3],
-        ]);
-        let rows = pack_lanes([
-            &t_streams[0],
-            &t_streams[1],
-            &t_streams[2],
-            &t_streams[3],
-        ]);
+        let cols = pack_lanes([&q_streams[0], &q_streams[1], &q_streams[2], &q_streams[3]]);
+        let rows = pack_lanes([&t_streams[0], &t_streams[1], &t_streams[2], &t_streams[3]]);
         let w = GendpPipeline::bsw_simd(&scoring);
         let out = w.run(&rows, &cols, 4).expect("simulation");
         let scores = bsw_simd_scores(&out);

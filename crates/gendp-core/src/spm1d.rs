@@ -4,8 +4,8 @@
 //! vertex set) are exactly the scratchpad-served access pattern of §3.1;
 //! graphs larger than the scratchpad would spill to DRAM (§7.6.1).
 
-use gendp_dpmap::{map_dfg, Mapping};
 use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space};
 use gendp_kernels::bellman_ford::Graph;
 use gendp_kernels::dfgs::bellman_ford_dfg;
@@ -72,7 +72,9 @@ impl BellmanFordAccelerator {
         let n = graph.vertex_count();
         assert!(n > 0, "empty graph");
         assert!(source < n, "source out of range");
-        let mut cfg = PeArrayConfig::with_pes(1).mode(Mode::Int32).luts(Luts::default());
+        let mut cfg = PeArrayConfig::with_pes(1)
+            .mode(Mode::Int32)
+            .luts(Luts::default());
         cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
         assert!(n <= cfg.spm_words, "graph exceeds the scratchpad");
 

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 
 use gendp_dfg::Dfg;
-use gendp_dpmap::{map_dfg, Mapping};
 use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
 
 /// A boundary-value rule, evaluated per column (row-0 borders) or per row
@@ -199,7 +199,10 @@ impl Wavefront2d {
     /// (`(i-1, j)`).
     pub fn up(&mut self, ext: &str, src: &str) -> &mut Self {
         let slot = self.ext_slot(ext);
-        assert!(self.streamed.contains(&src.to_string()), "`{src}` not streamed");
+        assert!(
+            self.streamed.contains(&src.to_string()),
+            "`{src}` not streamed"
+        );
         self.landing.insert(src.to_string(), slot);
         self.up.push(UpRole {
             ext: ext.to_string(),
@@ -212,7 +215,10 @@ impl Wavefront2d {
     /// (`(i-1, j-1)`).
     pub fn diag(&mut self, ext: &str, src: &str) -> &mut Self {
         let _ = self.ext_slot(ext);
-        assert!(self.streamed.contains(&src.to_string()), "`{src}` not streamed");
+        assert!(
+            self.streamed.contains(&src.to_string()),
+            "`{src}` not streamed"
+        );
         self.diag.push(UpRole {
             ext: ext.to_string(),
             src: src.to_string(),
@@ -301,13 +307,7 @@ impl Wavefront2d {
 
     /// Generates the fully unrolled control program for PE `p` of `n_pes`,
     /// for a table with the given row/column character codes.
-    fn pe_program(
-        &self,
-        p: usize,
-        n_pes: usize,
-        rows: &[i32],
-        cols: &[i32],
-    ) -> ControlProgram {
+    fn pe_program(&self, p: usize, n_pes: usize, rows: &[i32], cols: &[i32]) -> ControlProgram {
         let m = rows.len();
         let n = cols.len();
         let mut prog = ControlProgram::new();
@@ -708,7 +708,10 @@ impl Wavefront2d {
             .collect();
         for (k, w) in out.iter().take(n_collect).enumerate() {
             let name = &self.collect[k % self.collect.len()];
-            last_row.get_mut(name).expect("collect name").push(w.as_i32());
+            last_row
+                .get_mut(name)
+                .expect("collect name")
+                .push(w.as_i32());
         }
         let active_pes = n_pes.min(m);
         let mut drained: BTreeMap<String, Vec<i32>> = self
@@ -732,9 +735,9 @@ impl Wavefront2d {
 mod tests {
     use super::*;
     use gendp_kernels::dfgs::{bsw_dfg, bsw_luts, dtw_dfg, lcs_dfg};
-    use gendp_kernels::{bsw_i32, AlignMode, Scoring};
     use gendp_kernels::dtw::dtw;
     use gendp_kernels::lcs::lcs;
+    use gendp_kernels::{bsw_i32, AlignMode, Scoring};
     use gendp_seq::DnaSeq;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -826,7 +829,10 @@ mod tests {
         let mut w = Wavefront2d::new(&dfg, Mode::Int32, Luts::default(), "x", "y");
         w.stream(
             "d",
-            Border::FirstThenConst { first: 0, rest: INF },
+            Border::FirstThenConst {
+                first: 0,
+                rest: INF,
+            },
             Border::Const(INF),
         )
         .up("d_up", "d")
@@ -836,8 +842,12 @@ mod tests {
         .finish();
         let mut rng = SmallRng::seed_from_u64(14);
         for _ in 0..4 {
-            let xs: Vec<i32> = (0..rng.gen_range(4..20)).map(|_| rng.gen_range(0..100)).collect();
-            let ys: Vec<i32> = (0..rng.gen_range(4..20)).map(|_| rng.gen_range(0..100)).collect();
+            let xs: Vec<i32> = (0..rng.gen_range(4..20))
+                .map(|_| rng.gen_range(0..100))
+                .collect();
+            let ys: Vec<i32> = (0..rng.gen_range(4..20))
+                .map(|_| rng.gen_range(0..100))
+                .collect();
             let out = w.run(&xs, &ys, 4).expect("simulation");
             let got = *out.last_row["d"].last().expect("corner cell") as i64;
             let expect = dtw(&xs, &ys).distance;
@@ -857,8 +867,12 @@ mod tests {
             .finish();
         let mut rng = SmallRng::seed_from_u64(15);
         for _ in 0..4 {
-            let xs: Vec<i32> = (0..rng.gen_range(3..25)).map(|_| rng.gen_range(0..4)).collect();
-            let ys: Vec<i32> = (0..rng.gen_range(3..25)).map(|_| rng.gen_range(0..4)).collect();
+            let xs: Vec<i32> = (0..rng.gen_range(3..25))
+                .map(|_| rng.gen_range(0..4))
+                .collect();
+            let ys: Vec<i32> = (0..rng.gen_range(3..25))
+                .map(|_| rng.gen_range(0..4))
+                .collect();
             let out = w.run(&xs, &ys, 4).expect("simulation");
             let got = *out.last_row["c"].last().expect("corner");
             let expect = lcs(&xs, &ys).length as i32;

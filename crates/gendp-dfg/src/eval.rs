@@ -196,10 +196,7 @@ mod tests {
         g.set_output("p", p);
         let out = g
             .eval(
-                &[
-                    ("a", Word::from_f32(1.5)),
-                    ("b", Word::from_f32(2.0)),
-                ],
+                &[("a", Word::from_f32(1.5)), ("b", Word::from_f32(2.0))],
                 Mode::Float32,
                 &Luts::default(),
             )

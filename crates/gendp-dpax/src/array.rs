@@ -160,10 +160,7 @@ impl PeArray {
                     } else {
                         None
                     },
-                    fifo_has_space: self
-                        .fifos
-                        .iter()
-                        .all(|f| f.len() < self.cfg.fifo_capacity),
+                    fifo_has_space: self.fifos.iter().all(|f| f.len() < self.cfg.fifo_capacity),
                     may_pop_fifo: broadcast || k == 0,
                     may_push_fifo: k == n - 1,
                 };
@@ -284,9 +281,10 @@ mod tests {
     fn two_pe_pipeline_passes_data_through() {
         // PE0 forwards each input word to PE1; PE1 writes it out.
         let mut a = PeArray::new(PeArrayConfig::with_pes(2));
-        let fwd: ControlProgram = "li a[0] 0\nli a[1] 4\nmv out in\naddi a0 a0 1\nblt a0 a1 -2\nhalt"
-            .parse()
-            .unwrap();
+        let fwd: ControlProgram =
+            "li a[0] 0\nli a[1] 4\nmv out in\naddi a0 a0 1\nblt a0 a1 -2\nhalt"
+                .parse()
+                .unwrap();
         a.load_pe_control(0, fwd.clone());
         a.load_pe_control(1, fwd);
         a.feed_input([1, 2, 3, 4].map(w));
@@ -443,7 +441,9 @@ mod trace_tests {
         let mut a = PeArray::new(PeArrayConfig::with_pes(1));
         a.enable_trace(3);
         let prog: gendp_isa::ControlProgram =
-            "li a[0] 0\nli a[1] 100\naddi a0 a0 1\nblt a0 a1 -1\nhalt".parse().unwrap();
+            "li a[0] 0\nli a[1] 100\naddi a0 a0 1\nblt a0 a1 -1\nhalt"
+                .parse()
+                .unwrap();
         a.load_pe_control(0, prog);
         a.run(10_000).unwrap();
         let trace = a.trace().unwrap();
@@ -480,7 +480,9 @@ mod mode_tests {
         let mut array = PeArray::new(PeArrayConfig::with_pes(1).mode(mode));
         array.load_pe_control(
             0,
-            "mv rf[0] in\nmv rf[1] in\nset cu 0\nmv out rf[2]\nhalt".parse().unwrap(),
+            "mv rf[0] in\nmv rf[1] in\nset cu 0\nmv out rf[2]\nhalt"
+                .parse()
+                .unwrap(),
         );
         array.load_pe_compute(0, saturating_add_program(2));
         array.feed_input([a, b]);

@@ -42,7 +42,11 @@ mod tests {
         assert!(SimError::Deadlock("pe0 waiting on in".into())
             .to_string()
             .contains("pe0"));
-        assert!(SimError::Timeout { max_cycles: 7 }.to_string().contains('7'));
-        assert!(SimError::BadAccess("rf[999]".into()).to_string().contains("rf"));
+        assert!(SimError::Timeout { max_cycles: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(SimError::BadAccess("rf[999]".into())
+            .to_string()
+            .contains("rf"));
     }
 }

@@ -108,7 +108,9 @@ impl Pe {
         if self.halted {
             return None;
         }
-        self.ctrl.get(self.ctrl_pc).map(|i| (self.ctrl_pc, i.to_string()))
+        self.ctrl
+            .get(self.ctrl_pc)
+            .map(|i| (self.ctrl_pc, i.to_string()))
     }
 
     /// The compute PC about to execute (trace hook).
@@ -133,11 +135,9 @@ impl Pe {
         let v = match loc.addr() {
             Addr::Direct(a) => a as i64,
             Addr::Indirect { areg, offset } => {
-                let base = self
-                    .aregs
-                    .get(areg as usize)
-                    .copied()
-                    .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg a{areg}", self.index)))?;
+                let base = self.aregs.get(areg as usize).copied().ok_or_else(|| {
+                    SimError::BadAccess(format!("pe{}: areg a{areg}", self.index))
+                })?;
                 base as i64 + offset as i64
             }
             Addr::None => 0,
@@ -498,7 +498,8 @@ mod tests {
 
     #[test]
     fn areg_loop_counts() {
-        let mut pe = pe_with("li a[0] 0\nli a[1] 5\naddi a0 a0 1\nblt a0 a1 -1\nmv rf[0] a[0]\nhalt");
+        let mut pe =
+            pe_with("li a[0] 0\nli a[1] 5\naddi a0 a0 1\nblt a0 a1 -1\nmv rf[0] a[0]\nhalt");
         run_to_halt(&mut pe, &idle_ext());
         assert_eq!(pe.rf()[0].as_i32(), 5);
     }

@@ -37,7 +37,48 @@ pub struct RunStats {
     pub per_pe: Vec<PeStats>,
 }
 
+impl PeStats {
+    /// Adds another PE's counters into this one.
+    pub fn absorb(&mut self, other: &PeStats) {
+        self.ctrl_insts += other.ctrl_insts;
+        self.ctrl_stalls += other.ctrl_stalls;
+        self.vliw_issued += other.vliw_issued;
+        self.cu_slots_active += other.cu_slots_active;
+        self.cells += other.cells;
+        self.rf_accesses += other.rf_accesses;
+        self.port_moves += other.port_moves;
+        self.spm_accesses += other.spm_accesses;
+    }
+}
+
 impl RunStats {
+    /// Merges another run's counters into this one, as if the two runs
+    /// executed back-to-back on the same array: cycle counts add, per-PE
+    /// counters add position-wise, and the FIFO high-water mark is the
+    /// maximum of the two. Used by the `gendp-runtime` workers to keep one
+    /// aggregate per simulated array across a whole batch.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.fifo_pushes += other.fifo_pushes;
+        self.fifo_pops += other.fifo_pops;
+        self.fifo_high_water = self.fifo_high_water.max(other.fifo_high_water);
+        if self.per_pe.len() < other.per_pe.len() {
+            self.per_pe.resize(other.per_pe.len(), PeStats::default());
+        }
+        for (mine, theirs) in self.per_pe.iter_mut().zip(&other.per_pe) {
+            mine.absorb(theirs);
+        }
+    }
+
+    /// Sums a sequence of runs into one aggregate (see [`absorb`](Self::absorb)).
+    pub fn merged<'a>(runs: impl IntoIterator<Item = &'a RunStats>) -> RunStats {
+        let mut total = RunStats::default();
+        for run in runs {
+            total.absorb(run);
+        }
+        total
+    }
+
     /// DP cells computed across all PEs (compute-thread invocations).
     pub fn cells(&self) -> u64 {
         self.per_pe.iter().map(|p| p.cells).sum()
@@ -154,6 +195,47 @@ mod tests {
         assert_eq!(stats.ctrl_insts(), 90);
         assert!((stats.insts_per_cell() - 120.0 / 8.0).abs() < 1e-12);
         assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_maxes_high_water() {
+        let a = RunStats {
+            cycles: 100,
+            fifo_pushes: 5,
+            fifo_pops: 4,
+            fifo_high_water: 3,
+            per_pe: vec![PeStats {
+                ctrl_insts: 10,
+                cells: 2,
+                ..PeStats::default()
+            }],
+        };
+        let b = RunStats {
+            cycles: 50,
+            fifo_pushes: 1,
+            fifo_pops: 1,
+            fifo_high_water: 7,
+            per_pe: vec![
+                PeStats {
+                    ctrl_insts: 4,
+                    cells: 1,
+                    ..PeStats::default()
+                },
+                PeStats {
+                    ctrl_insts: 6,
+                    cells: 3,
+                    ..PeStats::default()
+                },
+            ],
+        };
+        let total = RunStats::merged([&a, &b]);
+        assert_eq!(total.cycles, 150);
+        assert_eq!(total.fifo_pushes, 6);
+        assert_eq!(total.fifo_high_water, 7);
+        assert_eq!(total.per_pe.len(), 2);
+        assert_eq!(total.per_pe[0].ctrl_insts, 14);
+        assert_eq!(total.per_pe[1].ctrl_insts, 6);
+        assert_eq!(total.cells(), 6);
     }
 
     #[test]

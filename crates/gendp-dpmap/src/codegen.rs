@@ -245,8 +245,7 @@ pub(crate) fn generate(dfg: &Dfg, wg: &WorkGraph, subgraphs: &[Subgraph]) -> Map
         }
         a
     };
-    let leaf_operands =
-        |n: usize| -> Vec<Operand> { wg.ins(n).iter().map(operand).collect() };
+    let leaf_operands = |n: usize| -> Vec<Operand> { wg.ins(n).iter().map(operand).collect() };
 
     let emit = |sg: &Subgraph| -> CuInst {
         let dest = value_slot[&sg.result_node()];
@@ -548,8 +547,16 @@ mod tests {
         let s = g.match_score(a, b);
         let o = g.sub(x, s);
         g.set_output("o", o);
-        check_equivalence(&g, &[("x", 100), ("a", 1), ("b", 1)], &Luts::with_scores(5, -5));
-        check_equivalence(&g, &[("x", 100), ("a", 1), ("b", 2)], &Luts::with_scores(5, -5));
+        check_equivalence(
+            &g,
+            &[("x", 100), ("a", 1), ("b", 1)],
+            &Luts::with_scores(5, -5),
+        );
+        check_equivalence(
+            &g,
+            &[("x", 100), ("a", 1), ("b", 2)],
+            &Luts::with_scores(5, -5),
+        );
     }
 
     #[test]

@@ -122,8 +122,7 @@ fn legalize(wg: &mut WorkGraph) {
                     // Two wide leaves, or a wide leaf stuck in the second
                     // operand of a non-commutative root: cut the second.
                     let both_wide = wg.op(p0).is_wide() && wg.op(p1).is_wide();
-                    let misplaced_wide =
-                        wg.op(p1).is_wide() && !wg.op(v).is_commutative();
+                    let misplaced_wide = wg.op(p1).is_wide() && !wg.op(v).is_commutative();
                     if both_wide || misplaced_wide {
                         wg.cut_edge(p1, v);
                         changed = true;
@@ -147,9 +146,7 @@ fn legalize(wg: &mut WorkGraph) {
                 _ => {}
             }
             // Rule 4: leaves must not need a register-file write.
-            if !wg.intact_children(v).is_empty()
-                && (wg.has_cut_consumer(v) || wg.is_output(v))
-            {
+            if !wg.intact_children(v).is_empty() && (wg.has_cut_consumer(v) || wg.is_output(v)) {
                 wg.cut_outputs(v);
                 changed = true;
             }

@@ -49,8 +49,7 @@ impl MapStats {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.alu_ops as f64
-            / (Self::alus_per_cu(self.tree_levels) * CU_PER_PE * self.cycles) as f64
+        self.alu_ops as f64 / (Self::alus_per_cu(self.tree_levels) * CU_PER_PE * self.cycles) as f64
     }
 
     /// VLIW slot utilization: issued compute units over available slots.
@@ -216,14 +215,11 @@ pub fn analyze_tree_depth(dfg: &Dfg, levels: u8) -> MapStats {
         cycle += 1;
     }
 
-    let group_sizes: BTreeMap<usize, usize> =
-        group.iter().fold(BTreeMap::new(), |mut m, &g| {
-            *m.entry(g).or_insert(0) += 1;
-            m
-        });
-    debug_assert!(group_sizes
-        .values()
-        .all(|&s| s < (1usize << levels)));
+    let group_sizes: BTreeMap<usize, usize> = group.iter().fold(BTreeMap::new(), |mut m, &g| {
+        *m.entry(g).or_insert(0) += 1;
+        m
+    });
+    debug_assert!(group_sizes.values().all(|&s| s < (1usize << levels)));
 
     MapStats {
         dfg_nodes: dfg.len(),

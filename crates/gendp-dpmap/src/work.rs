@@ -201,9 +201,7 @@ impl WorkGraph {
     /// True if any node consumes `i` through a cut edge (so `i`'s value must
     /// be written to the register file).
     pub fn has_cut_consumer(&self, i: usize) -> bool {
-        self.nodes
-            .iter()
-            .any(|n| n.ins.contains(&WorkIn::Cut(i)))
+        self.nodes.iter().any(|n| n.ins.contains(&WorkIn::Cut(i)))
     }
 
     /// Total intact edges remaining (counting multiplicity).

@@ -28,10 +28,7 @@ fn recipe_strategy() -> impl Strategy<Value = GraphRecipe> {
         .prop_flat_map(|n_ext| {
             (
                 Just(n_ext),
-                prop::collection::vec(
-                    (0u8..13, prop::array::uniform4(0u16..1000)),
-                    1..24,
-                ),
+                prop::collection::vec((0u8..13, prop::array::uniform4(0u16..1000)), 1..24),
                 prop::collection::vec(-1000i32..1000, n_ext),
             )
         })
@@ -65,9 +62,7 @@ const OPS: [ComputeOp; 13] = [
 
 fn build(recipe: &GraphRecipe) -> Dfg {
     let mut g = Dfg::new("random");
-    let exts: Vec<Input> = (0..recipe.n_ext)
-        .map(|i| g.ext(&format!("x{i}")))
-        .collect();
+    let exts: Vec<Input> = (0..recipe.n_ext).map(|i| g.ext(&format!("x{i}"))).collect();
     let mut pool: Vec<Input> = exts;
     for r in &recipe.nodes {
         let op = OPS[r.op_sel as usize % OPS.len()];

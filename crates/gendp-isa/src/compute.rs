@@ -322,12 +322,18 @@ impl VliwInst {
 
     /// Number of non-idle compute-unit slots (0–2).
     pub fn active_slots(&self) -> usize {
-        self.slots.iter().filter(|s| !matches!(s, CuInst::Nop)).count()
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, CuInst::Nop))
+            .count()
     }
 
     /// Total register-file accesses (reads + writes) of both slots.
     pub fn rf_accesses(&self) -> usize {
-        self.slots.iter().map(|s| s.rf_reads() + s.rf_writes()).sum()
+        self.slots
+            .iter()
+            .map(|s| s.rf_reads() + s.rf_writes())
+            .sum()
     }
 }
 

@@ -31,7 +31,10 @@ pub enum Space {
 impl Space {
     /// True if locations in this space carry an address (false for ports).
     pub fn is_addressed(self) -> bool {
-        matches!(self, Space::Rf | Space::Spm | Space::InBuf | Space::OutBuf | Space::Areg)
+        matches!(
+            self,
+            Space::Rf | Space::Spm | Space::InBuf | Space::OutBuf | Space::Areg
+        )
     }
 
     fn mnemonic(self) -> &'static str {
@@ -203,9 +206,8 @@ impl FromStr for Loc {
                     // Indirect: aN, aN+k, aN-k.
                     let (areg_s, off) = match rest.find(['+', '-']) {
                         Some(i) => {
-                            let off: i16 = rest[i..]
-                                .parse()
-                                .map_err(|_| bad("bad indirect offset"))?;
+                            let off: i16 =
+                                rest[i..].parse().map_err(|_| bad("bad indirect offset"))?;
                             (&rest[..i], off)
                         }
                         None => (rest, 0),

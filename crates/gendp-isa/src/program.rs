@@ -200,7 +200,8 @@ mod tests {
 
     #[test]
     fn control_program_round_trip() {
-        let text = "li a[0] 10\nmv rf[1] in\nset cu 0\nmv out rf[2]\naddi a0 a0 -1\nbne a0 a1 -4\nhalt\n";
+        let text =
+            "li a[0] 10\nmv rf[1] in\nset cu 0\nmv out rf[2]\naddi a0 a0 -1\nbne a0 a1 -4\nhalt\n";
         let p: ControlProgram = text.parse().unwrap();
         assert_eq!(p.len(), 7);
         assert_eq!(p.to_string().parse::<ControlProgram>().unwrap(), p);
@@ -294,9 +295,7 @@ mod extra_tests {
 
     #[test]
     fn control_program_collects_and_extends() {
-        let mut p: ControlProgram = [ControlInst::Nop, ControlInst::Halt]
-            .into_iter()
-            .collect();
+        let mut p: ControlProgram = [ControlInst::Nop, ControlInst::Halt].into_iter().collect();
         p.extend([ControlInst::Nop]);
         assert_eq!(p.len(), 3);
         assert_eq!(p.iter().count(), 3);

@@ -129,9 +129,7 @@ fn apply_i32(op: ComputeOp, ins: &[i32], luts: &Luts) -> i32 {
         ComputeOp::Add => ins[0].wrapping_add(ins[1]),
         ComputeOp::Sub => ins[0].wrapping_sub(ins[1]),
         ComputeOp::Mul => ins[0].wrapping_mul(ins[1]),
-        ComputeOp::Carry => {
-            (((ins[0] as u32 as u64) + (ins[1] as u32 as u64)) >> 32) as i32
-        }
+        ComputeOp::Carry => (((ins[0] as u32 as u64) + (ins[1] as u32 as u64)) >> 32) as i32,
         ComputeOp::Borrow => i32::from(ins[0] < ins[1]),
         ComputeOp::Max => ins[0].max(ins[1]),
         ComputeOp::Min => ins[0].min(ins[1]),
@@ -323,7 +321,13 @@ mod tests {
     fn int32_arithmetic() {
         let l = Luts::default();
         let ap = |op, ins: &[i32]| {
-            apply(op, Mode::Int32, &ins.iter().map(|&v| w(v)).collect::<Vec<_>>(), &l).as_i32()
+            apply(
+                op,
+                Mode::Int32,
+                &ins.iter().map(|&v| w(v)).collect::<Vec<_>>(),
+                &l,
+            )
+            .as_i32()
         };
         assert_eq!(ap(ComputeOp::Add, &[2, 3]), 5);
         assert_eq!(ap(ComputeOp::Sub, &[2, 3]), -1);
@@ -382,7 +386,7 @@ mod tests {
     #[test]
     fn logsum_correction_approximates_log1pexp() {
         let l = Luts::default(); // S = 256
-        // d = 0: ln(2) * 256 ≈ 177
+                                 // d = 0: ln(2) * 256 ≈ 177
         assert_eq!(l.logsum_correction(0), 177);
         // Large d: correction tends to 0.
         assert_eq!(l.logsum_correction(10_000), 0);

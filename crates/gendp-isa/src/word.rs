@@ -94,7 +94,10 @@ impl Word {
 
     /// Interprets the word as two signed 16-bit SIMD halves.
     pub fn as_halves(self) -> [i16; 2] {
-        [(self.0 & 0xffff) as u16 as i16, (self.0 >> 16) as u16 as i16]
+        [
+            (self.0 & 0xffff) as u16 as i16,
+            (self.0 >> 16) as u16 as i16,
+        ]
     }
 
     /// True if every bit is zero.

@@ -14,7 +14,11 @@ fn loc_strategy() -> impl Strategy<Value = Loc> {
         Just(Loc::port(Space::In)),
         Just(Loc::port(Space::Out)),
         Just(Loc::port(Space::Fifo)),
-        ((0u8..16), (-64i16..64), prop_oneof![Just(Space::Rf), Just(Space::Spm)])
+        (
+            (0u8..16),
+            (-64i16..64),
+            prop_oneof![Just(Space::Rf), Just(Space::Spm)]
+        )
             .prop_map(|(a, off, sp)| Loc::indirect(sp, a, off)),
     ]
 }
@@ -22,10 +26,16 @@ fn loc_strategy() -> impl Strategy<Value = Loc> {
 fn inst_strategy() -> impl Strategy<Value = ControlInst> {
     let areg = (0u8..16).prop_map(AddrReg);
     prop_oneof![
-        (areg.clone(), areg.clone(), areg.clone())
-            .prop_map(|(rd, rs1, rs2)| ControlInst::Add { rd, rs1, rs2 }),
-        (areg.clone(), areg.clone(), -1000i32..1000)
-            .prop_map(|(rd, rs1, imm)| ControlInst::Addi { rd, rs1, imm }),
+        (areg.clone(), areg.clone(), areg.clone()).prop_map(|(rd, rs1, rs2)| ControlInst::Add {
+            rd,
+            rs1,
+            rs2
+        }),
+        (areg.clone(), areg.clone(), -1000i32..1000).prop_map(|(rd, rs1, imm)| ControlInst::Addi {
+            rd,
+            rs1,
+            imm
+        }),
         (loc_strategy(), any::<i32>()).prop_map(|(dest, imm)| ControlInst::Li { dest, imm }),
         (loc_strategy(), loc_strategy()).prop_map(|(dest, src)| ControlInst::Mv { dest, src }),
         (

@@ -134,12 +134,7 @@ mod tests {
     #[test]
     fn local_alignment_finds_embedded_match() {
         // Query is a perfect substring of the target.
-        let r = align(
-            &s("CCCC"),
-            &s("ATATCCCCATAT"),
-            &affine(),
-            AlignMode::Local,
-        );
+        let r = align(&s("CCCC"), &s("ATATCCCCATAT"), &affine(), AlignMode::Local);
         assert_eq!(r.score, 4);
     }
 
@@ -205,7 +200,12 @@ mod tests {
         let t = s(&t_text);
         let rc = align(&q, &t, &convex, AlignMode::Global);
         let ra = align(&q, &t, &affine_like, AlignMode::Global);
-        assert!(rc.score > ra.score, "convex {} vs affine {}", rc.score, ra.score);
+        assert!(
+            rc.score > ra.score,
+            "convex {} vs affine {}",
+            rc.score,
+            ra.score
+        );
     }
 
     #[test]

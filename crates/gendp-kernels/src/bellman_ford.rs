@@ -142,12 +142,7 @@ pub fn dijkstra(graph: &Graph, source: usize) -> Vec<Option<i64>> {
 /// connected to ~`degree` nearby vertices with non-negative weights
 /// (locality bounded by `max_span`, so most dependencies are
 /// scratchpad-range).
-pub fn random_roadmap(
-    n: usize,
-    degree: usize,
-    max_span: usize,
-    rng: &mut impl rand::Rng,
-) -> Graph {
+pub fn random_roadmap(n: usize, degree: usize, max_span: usize, rng: &mut impl rand::Rng) -> Graph {
     let mut g = Graph::new(n);
     for u in 0..n {
         for _ in 0..degree {

@@ -54,7 +54,11 @@ pub fn bsw_i32(
     match mode {
         AlignMode::Global => {
             for j in 0..=n.min(w) {
-                h_prev[j as usize] = if j == 0 { 0 } else { -(open + extend * j as i32) };
+                h_prev[j as usize] = if j == 0 {
+                    0
+                } else {
+                    -(open + extend * j as i32)
+                };
             }
         }
         _ => {
@@ -88,7 +92,9 @@ pub fn bsw_i32(
             let e_up = if j < i + w { e[ju] } else { NEG };
             e[ju] = e_up.max(h_up.saturating_sub(open)).saturating_sub(extend);
             // F: gap in the target (horizontal move).
-            f = f.max(h_curr[ju - 1].saturating_sub(open)).saturating_sub(extend);
+            f = f
+                .max(h_curr[ju - 1].saturating_sub(open))
+                .saturating_sub(extend);
             let diag = h_prev[ju - 1].saturating_add(sub);
             let mut h = diag.max(e[ju]).max(f);
             if mode == AlignMode::Local {

@@ -214,10 +214,18 @@ pub fn align_traceback(
 
     h[0][0] = 0;
     for (j, slot) in h[0].iter_mut().enumerate().skip(1) {
-        *slot = if local { 0 } else { -(open + extend * j as i32) };
+        *slot = if local {
+            0
+        } else {
+            -(open + extend * j as i32)
+        };
     }
     for (i, row) in h.iter_mut().enumerate().skip(1) {
-        row[0] = if local { 0 } else { -(open + extend * i as i32) };
+        row[0] = if local {
+            0
+        } else {
+            -(open + extend * i as i32)
+        };
     }
 
     let mut best = (0i32, 0usize, 0usize);
@@ -255,11 +263,7 @@ pub fn align_traceback(
             }
         }
     }
-    let (score, mut i, mut j) = if local {
-        best
-    } else {
-        (h[m][n], m, n)
-    };
+    let (score, mut i, mut j) = if local { best } else { (h[m][n], m, n) };
 
     // Walk back, collecting ops in reverse.
     let mut ops: Vec<CigarOp> = Vec::new();

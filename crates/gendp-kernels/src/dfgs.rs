@@ -724,14 +724,8 @@ mod tests {
         let l = |p: f64| (p.ln() * scale as f64).round() as i32;
         let d = params.gap_open;
         let e = params.gap_ext;
-        let (tmm, tmi, tii, tim, tdd, tdm) = (
-            l(1.0 - 2.0 * d),
-            l(d),
-            l(e),
-            l(1.0 - e),
-            l(e),
-            l(1.0 - e),
-        );
+        let (tmm, tmi, tii, tim, tdd, tdm) =
+            (l(1.0 - 2.0 * d), l(d), l(e), l(1.0 - e), l(e), l(1.0 - e));
         let tmd = tmi;
         let logsum = |a: i32, b: i32| -> i32 {
             let diff = a.wrapping_sub(b);
@@ -881,7 +875,13 @@ mod tests {
             let diag = rng.gen_range(0..100_000);
             let out = g
                 .eval_i32(
-                    &[("x", x), ("y", y), ("d_up", up), ("d_left", left), ("d_diag", diag)],
+                    &[
+                        ("x", x),
+                        ("y", y),
+                        ("d_up", up),
+                        ("d_left", left),
+                        ("d_diag", diag),
+                    ],
                     Mode::Int32,
                     &luts,
                 )
@@ -901,7 +901,13 @@ mod tests {
             let d_v = rng.gen_range(0..1_000_000);
             let out = g
                 .eval_i32(
-                    &[("d_u", d_u), ("w", w), ("d_v", d_v), ("u_idx", 3), ("p_v", 9)],
+                    &[
+                        ("d_u", d_u),
+                        ("w", w),
+                        ("d_v", d_v),
+                        ("u_idx", 3),
+                        ("p_v", 9),
+                    ],
                     Mode::Int32,
                     &luts,
                 )
@@ -924,16 +930,18 @@ mod tests {
             let c_left = rng.gen_range(0..100);
             let out = g
                 .eval_i32(
-                    &[("x", x), ("y", y), ("c_diag", c_diag), ("c_up", c_up), ("c_left", c_left)],
+                    &[
+                        ("x", x),
+                        ("y", y),
+                        ("c_diag", c_diag),
+                        ("c_up", c_up),
+                        ("c_left", c_left),
+                    ],
                     Mode::Int32,
                     &luts,
                 )
                 .unwrap();
-            let expect = if x == y {
-                c_diag + 1
-            } else {
-                c_up.max(c_left)
-            };
+            let expect = if x == y { c_diag + 1 } else { c_up.max(c_left) };
             assert_eq!(out["c"], expect);
         }
     }

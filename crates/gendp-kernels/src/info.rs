@@ -116,8 +116,12 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert!(DependencyPattern::Wavefront2D.to_string().contains("wavefront") ||
-                DependencyPattern::Wavefront2D.to_string().contains("2D"));
+        assert!(
+            DependencyPattern::Wavefront2D
+                .to_string()
+                .contains("wavefront")
+                || DependencyPattern::Wavefront2D.to_string().contains("2D")
+        );
         assert!(Precision::Int8Or16.to_string().contains("8-bit"));
         for k in KERNELS {
             assert!(!k.dependency.to_string().is_empty());

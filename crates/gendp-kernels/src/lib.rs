@@ -37,7 +37,7 @@ pub mod poa;
 pub mod scoring;
 
 pub use align::{align, AlignResult};
-pub use cigar::{align_traceback, Alignment, Cigar, CigarOp};
 pub use bsw::{bsw_i16, bsw_i32, bsw_i8, BswResult};
+pub use cigar::{align_traceback, Alignment, Cigar, CigarOp};
 pub use info::{DependencyPattern, KernelInfo, Precision, KERNELS};
 pub use scoring::{AlignMode, GapModel, Scoring};

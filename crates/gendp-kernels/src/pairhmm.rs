@@ -75,12 +75,7 @@ fn base_error(qual: u8) -> f64 {
 /// # Panics
 ///
 /// Panics if `quals.len() != read.len()` or either sequence is empty.
-pub fn forward_f64(
-    read: &DnaSeq,
-    quals: &[u8],
-    haplotype: &DnaSeq,
-    params: &PairHmmParams,
-) -> f64 {
+pub fn forward_f64(read: &DnaSeq, quals: &[u8], haplotype: &DnaSeq, params: &PairHmmParams) -> f64 {
     assert_eq!(read.len(), quals.len(), "one quality per read base");
     assert!(!read.is_empty() && !haplotype.is_empty(), "empty input");
     let t = params.transitions();
@@ -218,12 +213,7 @@ pub fn forward_log_fixed(
 /// # Panics
 ///
 /// Panics if `quals.len() != read.len()` or either sequence is empty.
-pub fn forward_f32(
-    read: &DnaSeq,
-    quals: &[u8],
-    haplotype: &DnaSeq,
-    params: &PairHmmParams,
-) -> f32 {
+pub fn forward_f32(read: &DnaSeq, quals: &[u8], haplotype: &DnaSeq, params: &PairHmmParams) -> f32 {
     assert_eq!(read.len(), quals.len(), "one quality per read base");
     assert!(!read.is_empty() && !haplotype.is_empty(), "empty input");
     let t = params.transitions();
@@ -338,19 +328,11 @@ pub fn forward_pruned(
         // states all fall below threshold * row_max cannot recover.
         let cut = row_max * threshold;
         let mut new_lo = lo;
-        while new_lo < hi
-            && fm[i][new_lo] < cut
-            && fi[i][new_lo] < cut
-            && fd[i][new_lo] < cut
-        {
+        while new_lo < hi && fm[i][new_lo] < cut && fi[i][new_lo] < cut && fd[i][new_lo] < cut {
             new_lo += 1;
         }
         let mut new_hi = hi;
-        while new_hi > new_lo
-            && fm[i][new_hi] < cut
-            && fi[i][new_hi] < cut
-            && fd[i][new_hi] < cut
-        {
+        while new_hi > new_lo && fm[i][new_hi] < cut && fi[i][new_hi] < cut && fd[i][new_hi] < cut {
             new_hi -= 1;
         }
         lo = new_lo;
@@ -375,7 +357,9 @@ mod tests {
     fn sample_pair(seed: u64) -> (DnaSeq, Vec<u8>, DnaSeq) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let g = Genome::random(2_000, &mut rng);
-        let p = HaplotypeProfile::gatk_like().sample(&g, 1, &mut rng).remove(0);
+        let p = HaplotypeProfile::gatk_like()
+            .sample(&g, 1, &mut rng)
+            .remove(0);
         (p.read.seq.clone(), p.read.quals.clone(), p.haplotype)
     }
 
@@ -411,7 +395,10 @@ mod tests {
             let fx = forward_log_fixed(&r, &q, &h, &p, scale);
             let fx_ln = fx as f64 / scale as f64;
             let err = (fx_ln - ll).abs();
-            assert!(err < 0.5, "seed {seed}: f64 {ll} vs fixed {fx_ln} (err {err})");
+            assert!(
+                err < 0.5,
+                "seed {seed}: f64 {ll} vs fixed {fx_ln} (err {err})"
+            );
         }
     }
 

@@ -146,7 +146,11 @@ mod tests {
         assert!((b.logic_area - 2.577).abs() < 0.01, "{}", b.logic_area);
         assert!((b.memory_area - 2.816).abs() < 0.05, "{}", b.memory_area);
         assert!((b.total_area() - 5.391).abs() < 0.05, "{}", b.total_area());
-        assert!((b.total_power() - 3.569).abs() < 0.15, "{}", b.total_power());
+        assert!(
+            (b.total_power() - 3.569).abs() < 0.15,
+            "{}",
+            b.total_power()
+        );
     }
 
     #[test]

@@ -180,7 +180,12 @@ pub struct PaperBaselines {
 
 /// The paper's published numbers.
 pub const PAPER: PaperBaselines = PaperBaselines {
-    total_cells: [2_431_855_834, 20_736_142_007, 258_363_282_803, 6_448_581_509],
+    total_cells: [
+        2_431_855_834,
+        20_736_142_007,
+        258_363_282_803,
+        6_448_581_509,
+    ],
     cpu_runtime_s: [0.0504, 0.306, 0.587, 16.6],
     cpu_gcups: [44.91, 19.61, 32.88, 14.51],
     cpu_mcups_mm2: [130.29, 56.89, 95.41, 42.11],

@@ -66,7 +66,11 @@ mod tests {
         assert_eq!(r.tiles, 64);
         assert!((r.area_mm2 - 44.3).abs() < 0.5, "{}", r.area_mm2);
         assert!((r.gcups - 297.5).abs() < 0.1);
-        assert!((r.speedup_vs_gpu - 6.17).abs() < 0.05, "{}", r.speedup_vs_gpu);
+        assert!(
+            (r.speedup_vs_gpu - 6.17).abs() < 0.05,
+            "{}",
+            r.speedup_vs_gpu
+        );
     }
 
     #[test]

@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn kernel_pattern_assignment() {
-        assert_eq!(
-            TiaPattern::for_kernel(Kernel::Bsw),
-            TiaPattern::Wavefront2D
-        );
+        assert_eq!(TiaPattern::for_kernel(Kernel::Bsw), TiaPattern::Wavefront2D);
         assert_eq!(TiaPattern::for_kernel(Kernel::Poa), TiaPattern::Graph);
         assert_eq!(TiaPattern::for_kernel(Kernel::Chain), TiaPattern::Linear1D);
     }

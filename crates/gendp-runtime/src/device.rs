@@ -1,0 +1,584 @@
+//! The device: array slots, submission, worker threads, batch execution.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use gendp_dpax::{SimError, INT_ARRAYS, PES_PER_ARRAY};
+
+use crate::policy::DispatchPolicy;
+use crate::queue::BoundedQueue;
+use crate::report::{ArrayReport, DeviceReport, KernelStats};
+use crate::task::{ArrayClass, Task, TaskResult};
+
+/// Device shape and execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Integer PE arrays (paper Fig. 4: 16).
+    pub int_arrays: usize,
+    /// Floating-point PE arrays (paper Fig. 4: 1).
+    pub float_arrays: usize,
+    /// Processing elements per array (paper: 4).
+    pub pes_per_array: usize,
+    /// Host worker threads driving the simulated arrays. Wall-clock
+    /// throughput scales with this; simulated results never depend on it.
+    pub workers: usize,
+    /// How tasks are routed onto arrays.
+    pub policy: DispatchPolicy,
+    /// Per-array submission queue bound; a full queue blocks the
+    /// submitter (backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            int_arrays: INT_ARRAYS,
+            float_arrays: 1,
+            pes_per_array: PES_PER_ARRAY,
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            policy: DispatchPolicy::default(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Why a batch failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A task's simulation failed; the batch is abandoned.
+    Sim {
+        /// Index of the failing task in the submitted batch.
+        task: usize,
+        /// The underlying simulator error.
+        error: SimError,
+    },
+    /// A task needs an array class the device has zero slots of.
+    NoArray {
+        /// Index of the unplaceable task in the submitted batch.
+        task: usize,
+        /// The class it needed.
+        class: ArrayClass,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Sim { task, error } => {
+                write!(f, "task {task} failed: {error}")
+            }
+            RuntimeError::NoArray { task, class } => {
+                write!(
+                    f,
+                    "task {task} needs a {} array but the device has none",
+                    match class {
+                        ArrayClass::Int => "integer",
+                        ArrayClass::Float => "floating-point",
+                    }
+                )
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Sim { error, .. } => Some(error),
+            RuntimeError::NoArray { .. } => None,
+        }
+    }
+}
+
+/// A completed batch: per-task results plus the device utilization
+/// report.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// One result per submitted task, in submission order.
+    pub results: Vec<TaskResult>,
+    /// Utilization of the device over the batch.
+    pub report: DeviceReport,
+}
+
+impl BatchRun {
+    /// The functional values in submission order.
+    pub fn values(&self) -> Vec<&crate::task::TaskValue> {
+        self.results.iter().map(|r| &r.value).collect()
+    }
+}
+
+/// Generation-counted wakeup for idle workers: bumped on every push and
+/// on close, so a worker that found all its queues empty sleeps until
+/// new work (or shutdown) can possibly exist instead of polling.
+#[derive(Default)]
+struct WorkSignal {
+    generation: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl WorkSignal {
+    fn current(&self) -> u64 {
+        *self.generation.lock().expect("signal poisoned")
+    }
+
+    fn bump(&self) {
+        *self.generation.lock().expect("signal poisoned") += 1;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the generation moves past `seen` (with a timeout
+    /// safety net against missed wakeups).
+    fn wait_past(&self, seen: u64) {
+        let mut generation = self.generation.lock().expect("signal poisoned");
+        while *generation == seen {
+            let (next, timeout) = self
+                .ready
+                .wait_timeout(generation, Duration::from_millis(1))
+                .expect("signal poisoned");
+            generation = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+/// One array slot: a simulated PE array behind a bounded submission
+/// queue. `pending_cells` tracks the estimated outstanding work for the
+/// shortest-queue policy.
+struct ArraySlot {
+    index: usize,
+    class: ArrayClass,
+    queue: BoundedQueue<(usize, Task)>,
+    pending_cells: AtomicU64,
+}
+
+/// The simulated DPAx device: integer array slots plus the FP slot, a
+/// dispatch policy, and a pool of host workers that drive the arrays.
+///
+/// Each submitted [`Task`] runs as one self-contained array simulation,
+/// so its score and simulated cycle count are identical regardless of
+/// policy, placement, or worker count — only wall-clock time and the
+/// per-array load distribution change.
+pub struct Device {
+    config: DeviceConfig,
+    slots: Vec<Arc<ArraySlot>>,
+}
+
+impl Device {
+    /// Builds a device with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero arrays, zero PEs per array, or a
+    /// zero queue capacity.
+    pub fn new(config: DeviceConfig) -> Device {
+        assert!(
+            config.int_arrays + config.float_arrays > 0,
+            "device needs at least one array"
+        );
+        assert!(config.pes_per_array > 0, "arrays need at least one PE");
+        let slots = (0..config.int_arrays + config.float_arrays)
+            .map(|index| {
+                Arc::new(ArraySlot {
+                    index,
+                    class: if index < config.int_arrays {
+                        ArrayClass::Int
+                    } else {
+                        ArrayClass::Float
+                    },
+                    queue: BoundedQueue::new(config.queue_capacity),
+                    pending_cells: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        Device { config, slots }
+    }
+
+    /// A device with the paper's shape (16 integer arrays + 1 FP array)
+    /// and the given worker count and policy.
+    pub fn paper(workers: usize, policy: DispatchPolicy) -> Device {
+        Device::new(DeviceConfig {
+            workers,
+            policy,
+            ..DeviceConfig::default()
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Total array slots (integer + floating-point).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Executes a batch of tasks and returns their results in submission
+    /// order plus the device utilization report.
+    ///
+    /// Submission applies backpressure: the caller-side placement loop
+    /// blocks whenever the chosen array's queue is full, so at most
+    /// `arrays * queue_capacity` tasks are ever in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuntimeError`] encountered; remaining queued
+    /// tasks are discarded.
+    pub fn run_batch(&mut self, tasks: Vec<Task>) -> Result<BatchRun, RuntimeError> {
+        let n = tasks.len();
+        for slot in &self.slots {
+            slot.pending_cells.store(0, Ordering::Relaxed);
+            slot.queue.reset();
+        }
+        let workers = self.config.workers.clamp(1, self.slots.len());
+        let results: Mutex<Vec<Option<TaskResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        let signal = WorkSignal::default();
+
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &self.slots;
+                let results = &results;
+                let first_error = &first_error;
+                let abort = &abort;
+                let signal = &signal;
+                let config = &self.config;
+                scope.spawn(move || {
+                    worker_loop(
+                        w,
+                        workers,
+                        slots,
+                        config,
+                        results,
+                        first_error,
+                        abort,
+                        signal,
+                    )
+                });
+            }
+            self.submit_all(tasks, &first_error, &abort, &signal);
+            for slot in &self.slots {
+                slot.queue.close();
+            }
+            signal.bump();
+        });
+
+        if let Some(error) = first_error.into_inner().expect("error lock poisoned") {
+            return Err(error);
+        }
+        let results: Vec<TaskResult> = results
+            .into_inner()
+            .expect("results lock poisoned")
+            .into_iter()
+            .map(|r| r.expect("every task executed"))
+            .collect();
+        let report = self.build_report(&results, workers);
+        Ok(BatchRun { results, report })
+    }
+
+    /// Places every task onto a slot queue according to the policy,
+    /// blocking on full queues.
+    fn submit_all(
+        &self,
+        tasks: Vec<Task>,
+        first_error: &Mutex<Option<RuntimeError>>,
+        abort: &AtomicBool,
+        signal: &WorkSignal,
+    ) {
+        let mut rr = [0usize; 2]; // round-robin cursor per class
+        for (id, task) in tasks.into_iter().enumerate() {
+            if abort.load(Ordering::Acquire) {
+                break;
+            }
+            let class = task.array_class();
+            let candidates: Vec<&Arc<ArraySlot>> =
+                self.slots.iter().filter(|s| s.class == class).collect();
+            if candidates.is_empty() {
+                let mut err = first_error.lock().expect("error lock poisoned");
+                if err.is_none() {
+                    *err = Some(RuntimeError::NoArray { task: id, class });
+                }
+                abort.store(true, Ordering::Release);
+                break;
+            }
+            let slot = match self.config.policy {
+                DispatchPolicy::RoundRobin | DispatchPolicy::WorkStealing => {
+                    let cursor = &mut rr[(class == ArrayClass::Float) as usize];
+                    let slot = candidates[*cursor % candidates.len()];
+                    *cursor += 1;
+                    slot
+                }
+                DispatchPolicy::ShortestQueue => candidates
+                    .iter()
+                    .min_by_key(|s| (s.pending_cells.load(Ordering::Relaxed), s.index))
+                    .expect("candidates non-empty"),
+            };
+            slot.pending_cells
+                .fetch_add(task.cells_estimate(), Ordering::Relaxed);
+            if slot.queue.push((id, task)).is_err() {
+                // Queues only close early on abort; stop submitting.
+                break;
+            }
+            signal.bump();
+        }
+    }
+
+    /// Builds the utilization report from the collected results and the
+    /// slots' queue statistics.
+    fn build_report(&self, results: &[TaskResult], workers: usize) -> DeviceReport {
+        let mut arrays: Vec<ArrayReport> = self
+            .slots
+            .iter()
+            .map(|s| ArrayReport {
+                index: s.index,
+                class: s.class,
+                tasks: 0,
+                queue_high_water: s.queue.high_water(),
+                stats: gendp_dpax::RunStats::default(),
+            })
+            .collect();
+        let mut per_kernel: BTreeMap<_, KernelStats> = BTreeMap::new();
+        for r in results {
+            let a = &mut arrays[r.array];
+            a.tasks += 1;
+            a.stats.absorb(&r.stats);
+            let k = per_kernel.entry(r.kernel).or_default();
+            k.tasks += 1;
+            k.cells += r.stats.cells();
+            k.lane_cells += r.stats.cells() * r.kernel.simd_lanes() as u64;
+            k.cycles += r.stats.cycles;
+        }
+        DeviceReport {
+            arrays,
+            per_kernel,
+            workers,
+            policy: self.config.policy,
+        }
+    }
+}
+
+/// One host worker: drains the queues of the slots it owns
+/// (`slot.index % workers == w`), executing each task on that slot's
+/// simulated array; under work-stealing it also steals from the back of
+/// other same-class queues when its own run dry.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    w: usize,
+    workers: usize,
+    slots: &[Arc<ArraySlot>],
+    config: &DeviceConfig,
+    results: &Mutex<Vec<Option<TaskResult>>>,
+    first_error: &Mutex<Option<RuntimeError>>,
+    abort: &AtomicBool,
+    signal: &WorkSignal,
+) {
+    let owned: Vec<&Arc<ArraySlot>> = slots.iter().filter(|s| s.index % workers == w).collect();
+    let stealing = config.policy == DispatchPolicy::WorkStealing;
+    loop {
+        // Snapshot before scanning: a push that lands mid-scan moves the
+        // generation, so the wait below returns immediately.
+        let seen = signal.current();
+        let mut ran = false;
+        for slot in &owned {
+            if let Some((id, task)) = slot.queue.try_pop() {
+                run_task(slot, w, id, &task, config, results, first_error, abort);
+                ran = true;
+            }
+        }
+        if !ran && stealing {
+            'steal: for slot in &owned {
+                for victim in slots {
+                    if victim.index == slot.index || victim.class != slot.class {
+                        continue;
+                    }
+                    if let Some((id, task)) = victim.queue.steal() {
+                        // The stolen task migrates: it executes on (and is
+                        // attributed to) the thief's array.
+                        run_task(slot, w, id, &task, config, results, first_error, abort);
+                        ran = true;
+                        break 'steal;
+                    }
+                }
+            }
+        }
+        if !ran {
+            let drained = owned
+                .iter()
+                .all(|s| s.queue.is_closed() && s.queue.is_empty());
+            let steal_sources_dry = !stealing
+                || slots
+                    .iter()
+                    .all(|s| s.queue.is_closed() && s.queue.is_empty());
+            if drained && steal_sources_dry {
+                break;
+            }
+            signal.wait_past(seen);
+        }
+    }
+}
+
+/// Executes one task on `slot`'s simulated array and records the result,
+/// or the first error.
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    slot: &ArraySlot,
+    worker: usize,
+    id: usize,
+    task: &Task,
+    config: &DeviceConfig,
+    results: &Mutex<Vec<Option<TaskResult>>>,
+    first_error: &Mutex<Option<RuntimeError>>,
+    abort: &AtomicBool,
+) {
+    if abort.load(Ordering::Acquire) {
+        return; // drain-and-discard after a failure
+    }
+    let estimate = task.cells_estimate();
+    match task.execute(config.pes_per_array) {
+        Ok((value, stats)) => {
+            let result = TaskResult {
+                id,
+                array: slot.index,
+                worker,
+                kernel: task.kernel(),
+                value,
+                stats,
+            };
+            results.lock().expect("results lock poisoned")[id] = Some(result);
+        }
+        Err(error) => {
+            let mut err = first_error.lock().expect("error lock poisoned");
+            if err.is_none() {
+                *err = Some(RuntimeError::Sim { task: id, error });
+            }
+            abort.store(true, Ordering::Release);
+        }
+    }
+    slot.pending_cells.fetch_sub(estimate, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskValue;
+    use gendp_seq::DnaSeq;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn small_batch(n: usize, seed: u64) -> Vec<Task> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Task::bsw_local(
+                        DnaSeq::random(10 + i % 5, &mut rng),
+                        DnaSeq::random(12 + i % 7, &mut rng),
+                        gendp_kernels::Scoring::bwa_mem(),
+                    )
+                } else {
+                    Task::dtw(
+                        (0..8 + i % 4).map(|_| rng.gen_range(0..300)).collect(),
+                        (0..9 + i % 3).map(|_| rng.gen_range(0..300)).collect(),
+                    )
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_keep_submission_order() {
+        let mut device = Device::new(DeviceConfig {
+            int_arrays: 3,
+            float_arrays: 0,
+            workers: 2,
+            ..DeviceConfig::default()
+        });
+        let batch = device.run_batch(small_batch(12, 21)).expect("batch");
+        assert_eq!(batch.results.len(), 12);
+        for (i, r) in batch.results.iter().enumerate() {
+            assert_eq!(r.id, i);
+            assert!(r.array < 3);
+            assert!(r.stats.cycles > 0);
+        }
+        assert_eq!(batch.report.tasks(), 12);
+        assert!(batch.report.makespan_cycles() > 0);
+    }
+
+    #[test]
+    fn policies_and_worker_counts_agree_on_values_and_cycles() {
+        let reference: Vec<(TaskValue, u64)> = small_batch(10, 22)
+            .iter()
+            .map(|t| {
+                let (v, s) = t.execute(PES_PER_ARRAY).expect("reference");
+                (v, s.cycles)
+            })
+            .collect();
+        for policy in DispatchPolicy::ALL {
+            for workers in [1, 3] {
+                let mut device = Device::new(DeviceConfig {
+                    int_arrays: 4,
+                    float_arrays: 0,
+                    workers,
+                    policy,
+                    ..DeviceConfig::default()
+                });
+                let batch = device.run_batch(small_batch(10, 22)).expect("batch");
+                for (r, (v, cycles)) in batch.results.iter().zip(&reference) {
+                    assert_eq!(&r.value, v, "policy {policy:?} workers {workers}");
+                    assert_eq!(r.stats.cycles, *cycles);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_float_array_is_reported() {
+        let mut device = Device::new(DeviceConfig {
+            int_arrays: 2,
+            float_arrays: 0,
+            workers: 1,
+            ..DeviceConfig::default()
+        });
+        let task = Task::PairHmmFloat {
+            read: "ACGTAC".parse().unwrap(),
+            haplotype: "ACGTACGT".parse().unwrap(),
+            qual: 30,
+            params: gendp_kernels::pairhmm::PairHmmParams::gatk(),
+        };
+        let err = device.run_batch(vec![task]).expect_err("no FP array");
+        assert_eq!(
+            err,
+            RuntimeError::NoArray {
+                task: 0,
+                class: ArrayClass::Float
+            }
+        );
+    }
+
+    #[test]
+    fn backpressure_small_queue_still_completes() {
+        let mut device = Device::new(DeviceConfig {
+            int_arrays: 2,
+            float_arrays: 0,
+            workers: 2,
+            queue_capacity: 1,
+            ..DeviceConfig::default()
+        });
+        let batch = device.run_batch(small_batch(9, 23)).expect("batch");
+        assert_eq!(batch.results.len(), 9);
+        // A capacity-1 queue can never hold more than one task.
+        for a in &batch.report.arrays {
+            assert!(a.queue_high_water <= 1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # gendp-runtime
+//!
+//! Device-level batch execution runtime for the DPAx simulator (paper
+//! §4.1, §7.2): the full accelerator is 16 integer PE arrays plus one
+//! floating-point PE array, all running **independent tasks** in parallel.
+//! The lower layers (`gendp-core`, `gendp-dpax`) simulate one task on one
+//! array; this crate owns the device: it routes a batch of typed
+//! [`Task`]s onto array slots through bounded submission queues with
+//! backpressure, drives every simulated array from a pool of host worker
+//! threads, and reports per-array / per-kernel utilization.
+//!
+//! * [`Device`] — N integer array slots plus the FP slot
+//!   ([`DeviceConfig`] defaults to the paper's 16 + 1), each with its own
+//!   bounded queue.
+//! * [`Task`] — one enum variant per evaluated accelerator: the BSW
+//!   family (local / global / semi-global / convex / 8-bit SIMD), fixed-
+//!   point and floating-point PairHMM, DTW (full and banded), chaining,
+//!   POA and Bellman-Ford. Floating-point PairHMM routes to the FP array;
+//!   everything else to the integer arrays.
+//! * [`DispatchPolicy`] — round-robin, shortest-queue, or work-stealing
+//!   placement. Simulated cycles and scores are per-task deterministic
+//!   regardless of policy or worker count; only wall-clock and per-array
+//!   placement change.
+//! * [`DeviceReport`] — queue depth, occupancy, simulated cycles and
+//!   GCUPS per array and per kernel; convertible to the tile-scheduling
+//!   [`TileReport`](gendp_core::TileReport) of `gendp-core` through the
+//!   shared `TileReport::from_array_loads` constructor, so the two layers
+//!   agree by construction.
+//! * [`BatchAligner`] — end-to-end driver: a reference [`Genome`]
+//!   (`gendp-seq`) plus a read set in, alignment scores plus a device
+//!   utilization report out.
+//!
+//! ```
+//! use gendp_runtime::{BatchAligner, Device, DeviceConfig, DispatchPolicy, Task};
+//! use gendp_kernels::Scoring;
+//! use gendp_seq::DnaSeq;
+//!
+//! # fn main() -> Result<(), gendp_runtime::RuntimeError> {
+//! let scoring = Scoring::bwa_mem();
+//! let tasks: Vec<Task> = (0..8)
+//!     .map(|i| Task::bsw_local(
+//!         "ACGTACGTAC".parse::<DnaSeq>().unwrap(),
+//!         if i % 2 == 0 { "ACGTTCGTAC" } else { "TTGTACGATT" }.parse().unwrap(),
+//!         scoring,
+//!     ))
+//!     .collect();
+//! let mut device = Device::new(DeviceConfig {
+//!     int_arrays: 4,
+//!     workers: 2,
+//!     policy: DispatchPolicy::ShortestQueue,
+//!     ..DeviceConfig::default()
+//! });
+//! let batch = device.run_batch(tasks)?;
+//! assert_eq!(batch.results.len(), 8);
+//! assert!(batch.report.makespan_cycles() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod batch;
+mod device;
+mod policy;
+mod queue;
+mod report;
+mod task;
+
+pub use batch::{BatchAligner, BatchAlignment};
+pub use device::{BatchRun, Device, DeviceConfig, RuntimeError};
+pub use policy::DispatchPolicy;
+pub use queue::BoundedQueue;
+pub use report::{ArrayReport, DeviceReport, KernelStats};
+pub use task::{ArrayClass, KernelKind, Task, TaskResult, TaskValue, DTW_BAND_SENTINEL};

@@ -1,0 +1,51 @@
+//! Dispatch policies: how a batch is placed onto array slots.
+
+/// How the device routes tasks onto its array slots.
+///
+/// Placement only affects wall-clock load balance; the functional value
+/// and simulated cycle count of each task are policy-independent (the
+/// simulation is self-contained per task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispatchPolicy {
+    /// Cycle through the arrays of the task's class in slot order.
+    #[default]
+    RoundRobin,
+    /// Place each task on the array of its class with the least estimated
+    /// outstanding work (queued [`cells_estimate`](crate::Task::cells_estimate),
+    /// ties to the lowest slot index).
+    ShortestQueue,
+    /// Round-robin placement, but idle workers steal queued tasks from
+    /// the back of other arrays' queues.
+    WorkStealing,
+}
+
+impl DispatchPolicy {
+    /// All policies, for exhaustive testing and benchmarking.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::ShortestQueue,
+        DispatchPolicy::WorkStealing,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::ShortestQueue => "shortest-queue",
+            DispatchPolicy::WorkStealing => "work-stealing",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            DispatchPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), DispatchPolicy::ALL.len());
+        assert_eq!(DispatchPolicy::default(), DispatchPolicy::RoundRobin);
+    }
+}

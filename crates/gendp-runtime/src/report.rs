@@ -1,0 +1,237 @@
+//! Device utilization reporting: per-array and per-kernel statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gendp_core::{AcceleratorRun, TileReport};
+use gendp_dpax::{RunStats, CLOCK_HZ};
+
+use crate::policy::DispatchPolicy;
+use crate::task::{ArrayClass, KernelKind};
+
+/// Per-kernel aggregate over a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Tasks of this kernel executed.
+    pub tasks: usize,
+    /// DP cells computed (one per compute invocation).
+    pub cells: u64,
+    /// Cells scaled by the kernel's SIMD lane factor — the unit GCUPS is
+    /// quoted in (paper §7.2).
+    pub lane_cells: u64,
+    /// Simulated cycles spent in this kernel.
+    pub cycles: u64,
+}
+
+/// One array slot's aggregate over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayReport {
+    /// Slot index on the device.
+    pub index: usize,
+    /// Integer or floating-point array.
+    pub class: ArrayClass,
+    /// Tasks this array executed.
+    pub tasks: usize,
+    /// Highest submission-queue occupancy observed.
+    pub queue_high_water: usize,
+    /// All of this array's runs merged back-to-back
+    /// ([`RunStats::absorb`]): `stats.cycles` is the array's busy time.
+    pub stats: RunStats,
+}
+
+impl ArrayReport {
+    /// Simulated cycles this array spent busy.
+    pub fn busy_cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// Utilization report for one executed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// One entry per array slot, in slot order.
+    pub arrays: Vec<ArrayReport>,
+    /// Aggregates keyed by kernel.
+    pub per_kernel: BTreeMap<KernelKind, KernelStats>,
+    /// Host worker threads that drove the arrays.
+    pub workers: usize,
+    /// The dispatch policy that placed the batch.
+    pub policy: DispatchPolicy,
+}
+
+impl DeviceReport {
+    /// Tasks executed across the device.
+    pub fn tasks(&self) -> usize {
+        self.arrays.iter().map(|a| a.tasks).sum()
+    }
+
+    /// DP cells computed across the device (lanes count once).
+    pub fn total_cells(&self) -> u64 {
+        self.arrays.iter().map(|a| a.stats.cells()).sum()
+    }
+
+    /// Lane-scaled cells across the device — the GCUPS numerator.
+    pub fn total_lane_cells(&self) -> u64 {
+        self.per_kernel.values().map(|k| k.lane_cells).sum()
+    }
+
+    /// The batch makespan in simulated cycles: the busiest array's busy
+    /// time. Deterministic for a given placement; identical across worker
+    /// counts because per-task cycles are placement-independent.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.arrays
+            .iter()
+            .map(ArrayReport::busy_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average occupancy of the arrays over the makespan (1.0 = perfectly
+    /// balanced). Idle arrays drag this down.
+    pub fn balance(&self) -> f64 {
+        self.tile_report().balance()
+    }
+
+    /// Device throughput in GCUPS at the DPAx clock: lane-scaled cells
+    /// over the makespan.
+    pub fn gcups(&self) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            return 0.0;
+        }
+        self.total_lane_cells() as f64 / makespan as f64 * CLOCK_HZ / 1e9
+    }
+
+    /// The whole batch summarized as one [`AcceleratorRun`], by merging
+    /// every array's statistics ([`RunStats::merged`]).
+    pub fn aggregate_run(&self) -> AcceleratorRun {
+        AcceleratorRun::from_stats(&RunStats::merged(self.arrays.iter().map(|a| &a.stats)))
+    }
+
+    /// This batch's placement expressed as a `gendp-core`
+    /// [`TileReport`], through the same [`TileReport::from_array_loads`]
+    /// constructor `schedule_tile` uses — so live dispatch and post-hoc
+    /// LPT scheduling derive makespan, balance and GCUPS identically.
+    pub fn tile_report(&self) -> TileReport {
+        TileReport::from_array_loads(
+            self.tasks(),
+            self.arrays.iter().map(ArrayReport::busy_cycles).collect(),
+            self.total_cells(),
+        )
+    }
+}
+
+impl fmt::Display for DeviceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "device: {} tasks on {} arrays, {} workers, {} policy",
+            self.tasks(),
+            self.arrays.len(),
+            self.workers,
+            self.policy.name(),
+        )?;
+        writeln!(
+            f,
+            "  makespan {} cycles  balance {:.2}  throughput {:.2} GCUPS",
+            self.makespan_cycles(),
+            self.balance(),
+            self.gcups(),
+        )?;
+        for a in &self.arrays {
+            writeln!(
+                f,
+                "  array {:2} [{}]: {} tasks  busy {} cycles  cells {}  queue hw {}",
+                a.index,
+                match a.class {
+                    ArrayClass::Int => "int",
+                    ArrayClass::Float => "fp",
+                },
+                a.tasks,
+                a.busy_cycles(),
+                a.stats.cells(),
+                a.queue_high_water,
+            )?;
+        }
+        for (kind, k) in &self.per_kernel {
+            writeln!(
+                f,
+                "  kernel {:12}: {} tasks  cells {}  lane-cells {}  cycles {}",
+                kind.name(),
+                k.tasks,
+                k.cells,
+                k.lane_cells,
+                k.cycles,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_dpax::PeStats;
+
+    fn stats(cycles: u64, cells: u64) -> RunStats {
+        RunStats {
+            cycles,
+            per_pe: vec![PeStats {
+                cells,
+                ..PeStats::default()
+            }],
+            ..RunStats::default()
+        }
+    }
+
+    fn report() -> DeviceReport {
+        let mut per_kernel = BTreeMap::new();
+        per_kernel.insert(
+            KernelKind::Bsw,
+            KernelStats {
+                tasks: 3,
+                cells: 70,
+                lane_cells: 70,
+                cycles: 300,
+            },
+        );
+        DeviceReport {
+            arrays: vec![
+                ArrayReport {
+                    index: 0,
+                    class: ArrayClass::Int,
+                    tasks: 2,
+                    queue_high_water: 2,
+                    stats: stats(200, 50),
+                },
+                ArrayReport {
+                    index: 1,
+                    class: ArrayClass::Int,
+                    tasks: 1,
+                    queue_high_water: 1,
+                    stats: stats(100, 20),
+                },
+            ],
+            per_kernel,
+            workers: 2,
+            policy: DispatchPolicy::RoundRobin,
+        }
+    }
+
+    #[test]
+    fn derived_metrics_agree_with_tile_report() {
+        let r = report();
+        assert_eq!(r.tasks(), 3);
+        assert_eq!(r.total_cells(), 70);
+        assert_eq!(r.makespan_cycles(), 200);
+        let tile = r.tile_report();
+        assert_eq!(tile.makespan_cycles, 200);
+        assert_eq!(tile.per_array_cycles, vec![200, 100]);
+        assert_eq!(tile.total_cells, 70);
+        assert!((r.balance() - 300.0 / 400.0).abs() < 1e-12);
+        assert!((r.gcups() - 70.0 / 200.0 * CLOCK_HZ / 1e9).abs() < 1e-9);
+        assert_eq!(r.aggregate_run().cells, 70);
+        assert_eq!(r.aggregate_run().cycles, 300);
+        assert!(!r.to_string().is_empty());
+    }
+}

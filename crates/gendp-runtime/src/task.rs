@@ -1,0 +1,478 @@
+//! Typed device tasks: one enum variant per evaluated accelerator.
+
+use gendp_core::{
+    bsw_score, bsw_semiglobal_score, bsw_simd_scores, dtw_banded_distance, pack_lanes,
+    pairhmm_float_lik, pairhmm_loglik, AcceleratorRun, GendpPipeline,
+};
+use gendp_dpax::{RunStats, SimError};
+use gendp_kernels::chain::ChainParams;
+use gendp_kernels::dfgs::pairhmm_luts;
+use gendp_kernels::pairhmm::PairHmmParams;
+use gendp_kernels::poa::Poa;
+use gendp_kernels::{bellman_ford::Graph, AlignMode, GapModel, Scoring};
+use gendp_seq::{Anchor, DnaSeq};
+
+/// Band sentinel for banded DTW: far above any real banded distance, so
+/// out-of-band neighbours never win a `min`.
+pub const DTW_BAND_SENTINEL: i32 = 1 << 20;
+
+/// Which physical array class a task occupies (paper Fig. 4: 16 integer
+/// PE arrays plus one floating-point array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayClass {
+    /// One of the integer PE arrays.
+    Int,
+    /// The single floating-point PE array.
+    Float,
+}
+
+/// Kernel identity of a task, for per-kernel accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelKind {
+    /// Banded Smith-Waterman family (local / global / semi-global /
+    /// convex), scalar 32-bit.
+    Bsw,
+    /// 8-bit SIMD BSW: four lane-packed pairs per run.
+    BswSimd,
+    /// Fixed-point log-space PairHMM forward.
+    PairHmm,
+    /// Single-precision PairHMM forward (FP array).
+    PairHmmFloat,
+    /// Full dynamic time warping.
+    Dtw,
+    /// Banded dynamic time warping.
+    DtwBanded,
+    /// Minimap2-style anchor chaining.
+    Chain,
+    /// Partial-order alignment of a probe against a POA graph.
+    Poa,
+    /// Bellman-Ford relaxation rounds.
+    BellmanFord,
+}
+
+impl KernelKind {
+    /// The array class this kernel runs on.
+    pub fn array_class(self) -> ArrayClass {
+        match self {
+            KernelKind::PairHmmFloat => ArrayClass::Float,
+            _ => ArrayClass::Int,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Bsw => "bsw",
+            KernelKind::BswSimd => "bsw-simd",
+            KernelKind::PairHmm => "pairhmm",
+            KernelKind::PairHmmFloat => "pairhmm-f32",
+            KernelKind::Dtw => "dtw",
+            KernelKind::DtwBanded => "dtw-banded",
+            KernelKind::Chain => "chain",
+            KernelKind::Poa => "poa",
+            KernelKind::BellmanFord => "bellman-ford",
+        }
+    }
+
+    /// SIMD lane factor for throughput accounting (paper §7.2: lane cells
+    /// count toward GCUPS).
+    pub fn simd_lanes(self) -> usize {
+        match self {
+            KernelKind::BswSimd => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// One unit of device work: owned inputs plus a fully specified kernel
+/// configuration. Executing a task is self-contained — the cycle-level
+/// simulation touches no shared state — which is what makes batch results
+/// deterministic under any dispatch policy or worker count.
+#[derive(Debug, Clone)]
+pub enum Task {
+    /// Scalar BSW in any alignment mode; convex gap scoring switches to
+    /// the two-piece accelerator automatically.
+    Bsw {
+        /// Query sequence (DP columns).
+        query: DnaSeq,
+        /// Target sequence (DP rows).
+        target: DnaSeq,
+        /// Match/mismatch/gap model.
+        scoring: Scoring,
+        /// Local, global, or semi-global.
+        mode: AlignMode,
+    },
+    /// 8-bit SIMD BSW over exactly four lane-packed (query, target) pairs.
+    BswSimd {
+        /// The four (query, target) pairs, one per lane.
+        pairs: Vec<(DnaSeq, DnaSeq)>,
+        /// Shared scoring for all lanes.
+        scoring: Scoring,
+    },
+    /// Fixed-point log-space PairHMM forward.
+    PairHmm {
+        /// The read (DP rows).
+        read: DnaSeq,
+        /// The haplotype (DP columns).
+        haplotype: DnaSeq,
+        /// Uniform per-base Phred quality.
+        qual: u8,
+        /// Fixed-point scale.
+        scale: i32,
+        /// Transition probabilities.
+        params: PairHmmParams,
+    },
+    /// Single-precision PairHMM forward, routed to the FP array.
+    PairHmmFloat {
+        /// The read (DP rows).
+        read: DnaSeq,
+        /// The haplotype (DP columns).
+        haplotype: DnaSeq,
+        /// Uniform per-base Phred quality.
+        qual: u8,
+        /// Transition probabilities.
+        params: PairHmmParams,
+    },
+    /// Full DTW between two integer signals.
+    Dtw {
+        /// Row signal.
+        xs: Vec<i32>,
+        /// Column signal.
+        ys: Vec<i32>,
+    },
+    /// Banded DTW with an asymmetric band of the given width.
+    DtwBanded {
+        /// Row signal.
+        xs: Vec<i32>,
+        /// Column signal; the corner must lie in the band
+        /// (`0 <= ys.len() - xs.len() < width`).
+        ys: Vec<i32>,
+        /// Band width in cells per row.
+        width: usize,
+    },
+    /// Anchor chaining; the accelerator window equals `params.n_prev`.
+    Chain {
+        /// Sorted anchors.
+        anchors: Vec<Anchor>,
+        /// Chaining objective; `n_prev` fixes the PE count.
+        params: ChainParams,
+    },
+    /// Align a probe sequence against a partial-order graph.
+    Poa {
+        /// The graph to align against.
+        graph: Poa,
+        /// The probe sequence.
+        probe: DnaSeq,
+        /// Linear-gap scoring.
+        scoring: Scoring,
+    },
+    /// Bellman-Ford relaxation sweeps from a source vertex.
+    BellmanFord {
+        /// The edge-list graph.
+        graph: Graph,
+        /// Source vertex.
+        source: usize,
+        /// Relaxation rounds to run.
+        rounds: usize,
+    },
+}
+
+/// Functional output of one executed [`Task`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskValue {
+    /// Alignment score (BSW family, any mode).
+    Score(i32),
+    /// Per-lane 8-bit SIMD scores.
+    SimdScores(Vec<i8>),
+    /// Fixed-point log-likelihood (PairHMM).
+    LogLikelihood(i32),
+    /// Single-precision likelihood (FP PairHMM).
+    Likelihood(f32),
+    /// DTW distance (full or banded).
+    Distance(i64),
+    /// Per-anchor chain scores, in input order.
+    ChainScores(Vec<i32>),
+    /// Per-vertex distances (Bellman-Ford).
+    Distances(Vec<i32>),
+}
+
+/// One completed task: its identity, where it ran, its functional value
+/// and its simulator statistics.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Index of the task in the submitted batch.
+    pub id: usize,
+    /// Device array slot the task ran on.
+    pub array: usize,
+    /// Host worker thread that drove the array.
+    pub worker: usize,
+    /// Kernel identity.
+    pub kernel: KernelKind,
+    /// Functional output.
+    pub value: TaskValue,
+    /// Simulator statistics of this task's run.
+    pub stats: RunStats,
+}
+
+impl TaskResult {
+    /// Performance summary of this task in the paper's units.
+    pub fn run(&self) -> AcceleratorRun {
+        AcceleratorRun::from_stats(&self.stats)
+    }
+}
+
+fn codes(s: &DnaSeq) -> Vec<i32> {
+    s.codes().iter().map(|&c| c as i32).collect()
+}
+
+impl Task {
+    /// A local-alignment BSW task (the read-mapping default).
+    pub fn bsw_local(query: DnaSeq, target: DnaSeq, scoring: Scoring) -> Task {
+        Task::Bsw {
+            query,
+            target,
+            scoring,
+            mode: AlignMode::Local,
+        }
+    }
+
+    /// A global-alignment BSW task.
+    pub fn bsw_global(query: DnaSeq, target: DnaSeq, scoring: Scoring) -> Task {
+        Task::Bsw {
+            query,
+            target,
+            scoring,
+            mode: AlignMode::Global,
+        }
+    }
+
+    /// An 8-bit SIMD BSW task over exactly four (query, target) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly four pairs are given.
+    pub fn bsw_simd(pairs: Vec<(DnaSeq, DnaSeq)>, scoring: Scoring) -> Task {
+        assert_eq!(pairs.len(), 4, "SIMD BSW packs exactly 4 lanes");
+        Task::BswSimd { pairs, scoring }
+    }
+
+    /// A full-DTW task.
+    pub fn dtw(xs: Vec<i32>, ys: Vec<i32>) -> Task {
+        Task::Dtw { xs, ys }
+    }
+
+    /// Kernel identity of this task.
+    pub fn kernel(&self) -> KernelKind {
+        match self {
+            Task::Bsw { .. } => KernelKind::Bsw,
+            Task::BswSimd { .. } => KernelKind::BswSimd,
+            Task::PairHmm { .. } => KernelKind::PairHmm,
+            Task::PairHmmFloat { .. } => KernelKind::PairHmmFloat,
+            Task::Dtw { .. } => KernelKind::Dtw,
+            Task::DtwBanded { .. } => KernelKind::DtwBanded,
+            Task::Chain { .. } => KernelKind::Chain,
+            Task::Poa { .. } => KernelKind::Poa,
+            Task::BellmanFord { .. } => KernelKind::BellmanFord,
+        }
+    }
+
+    /// Array class this task must be placed on.
+    pub fn array_class(&self) -> ArrayClass {
+        self.kernel().array_class()
+    }
+
+    /// Estimated DP cells, used by the shortest-queue policy as a load
+    /// proxy before the task has run.
+    pub fn cells_estimate(&self) -> u64 {
+        match self {
+            Task::Bsw { query, target, .. } => (query.len() * target.len()) as u64,
+            Task::BswSimd { pairs, .. } => {
+                let q = pairs.iter().map(|(q, _)| q.len()).max().unwrap_or(0);
+                let t = pairs.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+                (q * t) as u64
+            }
+            Task::PairHmm {
+                read, haplotype, ..
+            }
+            | Task::PairHmmFloat {
+                read, haplotype, ..
+            } => (read.len() * haplotype.len()) as u64,
+            Task::Dtw { xs, ys } => (xs.len() * ys.len()) as u64,
+            Task::DtwBanded { xs, width, .. } => (xs.len() * width) as u64,
+            Task::Chain { anchors, params } => (anchors.len() * params.n_prev.max(1)) as u64,
+            Task::Poa { graph, probe, .. } => (graph.node_count() * probe.len()) as u64,
+            Task::BellmanFord { graph, rounds, .. } => {
+                (graph.edge_count() * (*rounds).max(1)) as u64
+            }
+        }
+    }
+
+    /// Runs this task on one simulated PE array with `n_pes` processing
+    /// elements and returns its functional value plus simulator
+    /// statistics. Entirely self-contained: results and cycle counts are
+    /// identical no matter which array, worker or policy executed it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]).
+    pub fn execute(&self, n_pes: usize) -> Result<(TaskValue, RunStats), SimError> {
+        match self {
+            Task::Bsw {
+                query,
+                target,
+                scoring,
+                mode,
+            } => {
+                let (rows, cols) = (codes(target), codes(query));
+                let (out, score) = match (mode, scoring.gap) {
+                    (AlignMode::Local, GapModel::Convex { .. }) => {
+                        let out = GendpPipeline::bsw_convex(scoring).run(&rows, &cols, n_pes)?;
+                        let s = bsw_score(&out);
+                        (out, s)
+                    }
+                    (AlignMode::Local, _) => {
+                        let out = GendpPipeline::bsw(scoring).run(&rows, &cols, n_pes)?;
+                        let s = bsw_score(&out);
+                        (out, s)
+                    }
+                    (AlignMode::Global, _) => {
+                        let out = GendpPipeline::bsw_global(scoring).run(&rows, &cols, n_pes)?;
+                        let s = *out.last_row["h"].last().expect("corner cell");
+                        (out, s)
+                    }
+                    (AlignMode::SemiGlobal, _) => {
+                        let out = GendpPipeline::bsw_semiglobal(scoring, query.len())
+                            .run(&rows, &cols, n_pes)?;
+                        let s = bsw_semiglobal_score(&out);
+                        (out, s)
+                    }
+                };
+                Ok((TaskValue::Score(score), out.stats))
+            }
+            Task::BswSimd { pairs, scoring } => {
+                assert_eq!(pairs.len(), 4, "SIMD BSW packs exactly 4 lanes");
+                let qs: Vec<Vec<u8>> = pairs.iter().map(|(q, _)| q.codes()).collect();
+                let ts: Vec<Vec<u8>> = pairs.iter().map(|(_, t)| t.codes()).collect();
+                let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
+                let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
+                let out = GendpPipeline::bsw_simd(scoring).run(&rows, &cols, n_pes)?;
+                let scores = bsw_simd_scores(&out).to_vec();
+                Ok((TaskValue::SimdScores(scores), out.stats))
+            }
+            Task::PairHmm {
+                read,
+                haplotype,
+                qual,
+                scale,
+                params,
+            } => {
+                let out = GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len()).run(
+                    &codes(read),
+                    &codes(haplotype),
+                    n_pes,
+                )?;
+                let loglik = pairhmm_loglik(&out, &pairhmm_luts(*qual, *scale));
+                Ok((TaskValue::LogLikelihood(loglik), out.stats))
+            }
+            Task::PairHmmFloat {
+                read,
+                haplotype,
+                qual,
+                params,
+            } => {
+                let out = GendpPipeline::pairhmm_float(params, *qual, haplotype.len()).run(
+                    &codes(read),
+                    &codes(haplotype),
+                    n_pes,
+                )?;
+                let lik = pairhmm_float_lik(&out);
+                Ok((TaskValue::Likelihood(lik), out.stats))
+            }
+            Task::Dtw { xs, ys } => {
+                let out = GendpPipeline::dtw().run(xs, ys, n_pes)?;
+                let d = *out.last_row["d"].last().expect("corner cell") as i64;
+                Ok((TaskValue::Distance(d), out.stats))
+            }
+            Task::DtwBanded { xs, ys, width } => {
+                let out = GendpPipeline::dtw_banded(ys.len()).run_banded(
+                    xs,
+                    ys,
+                    *width,
+                    DTW_BAND_SENTINEL,
+                    n_pes,
+                )?;
+                let d = dtw_banded_distance(&out, xs.len()) as i64;
+                Ok((TaskValue::Distance(d), out.stats))
+            }
+            // The chaining window is physically the PE count: each PE holds
+            // one candidate predecessor, so the task fixes its own array
+            // width from the objective.
+            Task::Chain { anchors, params } => {
+                let run = GendpPipeline::chain(*params).run(anchors, params.n_prev)?;
+                Ok((TaskValue::ChainScores(run.scores), run.stats))
+            }
+            Task::Poa {
+                graph,
+                probe,
+                scoring,
+            } => {
+                let run = GendpPipeline::poa(*scoring).run(graph, probe, n_pes)?;
+                Ok((TaskValue::Score(run.score), run.stats))
+            }
+            Task::BellmanFord {
+                graph,
+                source,
+                rounds,
+            } => {
+                let run = GendpPipeline::bellman_ford().run(graph, *source, *rounds)?;
+                Ok((TaskValue::Distances(run.dist), run.stats))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_kernels::bsw_i32;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn bsw_task_matches_reference_kernel() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let q = DnaSeq::random(14, &mut rng);
+        let t = DnaSeq::random(18, &mut rng);
+        let scoring = Scoring::bwa_mem();
+        let task = Task::bsw_local(q.clone(), t.clone(), scoring);
+        let (value, stats) = task.execute(4).expect("simulation");
+        let expect = bsw_i32(&q, &t, &scoring, 1000, AlignMode::Local);
+        assert_eq!(value, TaskValue::Score(expect.score));
+        assert_eq!(stats.cells(), (q.len() * t.len()) as u64);
+        assert_eq!(task.cells_estimate(), stats.cells());
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_repeats() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let task = Task::dtw(
+            (0..12)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..500))
+                .collect(),
+            (0..15)
+                .map(|_| rand::Rng::gen_range(&mut rng, 0..500))
+                .collect(),
+        );
+        let (v1, s1) = task.execute(4).expect("first");
+        let (v2, s2) = task.execute(4).expect("second");
+        assert_eq!(v1, v2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn float_pairhmm_routes_to_fp_array() {
+        let kind = KernelKind::PairHmmFloat;
+        assert_eq!(kind.array_class(), ArrayClass::Float);
+        assert_eq!(KernelKind::Bsw.array_class(), ArrayClass::Int);
+        assert_eq!(KernelKind::BswSimd.simd_lanes(), 4);
+    }
+}

@@ -99,10 +99,8 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError>
             .last_mut()
             .ok_or(FastaError::MissingHeader { line: idx + 1 })?;
         for ch in line.chars() {
-            let base = crate::base::Base::from_char(ch).ok_or(FastaError::BadBase {
-                line: idx + 1,
-                ch,
-            })?;
+            let base = crate::base::Base::from_char(ch)
+                .ok_or(FastaError::BadBase { line: idx + 1, ch })?;
             record.seq.push(base);
         }
     }

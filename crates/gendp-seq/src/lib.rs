@@ -25,12 +25,12 @@
 //! ```
 
 mod anchors;
-pub mod fasta;
-pub mod phred;
 mod base;
+pub mod fasta;
 mod genome;
 mod haplotype;
 mod mutate;
+pub mod phred;
 mod readgroup;
 mod reads;
 mod seq;

@@ -126,9 +126,7 @@ impl LongReadProfile {
         assert!(genome.len() >= self.min_len, "genome shorter than min_len");
         (0..n)
             .map(|_| {
-                let len = rng
-                    .gen_range(self.min_len..=self.max_len)
-                    .min(genome.len());
+                let len = rng.gen_range(self.min_len..=self.max_len).min(genome.len());
                 let pos = rng.gen_range(0..=genome.len() - len);
                 let mut seq = self.errors.apply(&genome.window(pos, len), rng);
                 let reverse = self.strand_both && rng.gen_bool(0.5);

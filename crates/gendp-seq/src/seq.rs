@@ -83,12 +83,7 @@ impl DnaSeq {
         if self.is_empty() {
             return 1.0;
         }
-        let same = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a == b)
-            .count();
+        let same = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         same as f64 / self.len() as f64
     }
 }
@@ -140,7 +135,11 @@ pub struct ParseDnaError {
 
 impl fmt::Display for ParseDnaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid DNA character `{}` at offset {}", self.ch, self.at)
+        write!(
+            f,
+            "invalid DNA character `{}` at offset {}",
+            self.ch, self.at
+        )
     }
 }
 

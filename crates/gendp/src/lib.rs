@@ -20,6 +20,7 @@
 //! | [`seq`] | `gendp-seq` | synthetic genomics workload generators |
 //! | [`model`] | `gendp-model` | area/power/scaling models and the paper's recorded baselines |
 //! | [`core`] | `gendp-core` | the assembled framework: per-pattern control codegen and the end-to-end pipeline |
+//! | [`runtime`] | `gendp-runtime` | device-level batch execution: multi-array dispatch, worker threads, utilization reports |
 //!
 //! ## Quick start
 //!
@@ -54,4 +55,5 @@ pub use gendp_dpmap as dpmap;
 pub use gendp_isa as isa;
 pub use gendp_kernels as kernels;
 pub use gendp_model as model;
+pub use gendp_runtime as runtime;
 pub use gendp_seq as seq;

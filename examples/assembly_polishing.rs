@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let consensus = poa.consensus();
     let n = consensus.len().min(group.truth.len());
-    let identity = consensus
-        .window(0, n)
-        .identity(&group.truth.window(0, n));
+    let identity = consensus.window(0, n).identity(&group.truth.window(0, n));
     println!(
         "graph: {} nodes, {} edges after {} reads",
         poa.node_count(),

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reference = read_fasta(fasta.as_slice())?.remove(0).seq;
     let parsed_reads = read_fasta(reads_fasta.as_slice())?;
-    println!("loaded 1 reference ({} bp) and {} reads\n", reference.len(), parsed_reads.len());
+    println!(
+        "loaded 1 reference ({} bp) and {} reads\n",
+        reference.len(),
+        parsed_reads.len()
+    );
 
     // 2. Align each read against its window on the accelerator, then
     //    recover the base-level alignment on the host.

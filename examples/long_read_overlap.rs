@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if ok { "ok" } else { "MISS" },
         );
     }
-    println!("{correct}/{} reads mapped to their true position", reads.len());
+    println!(
+        "{correct}/{} reads mapped to their true position",
+        reads.len()
+    );
     Ok(())
 }

@@ -32,9 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|r| genome.window(r.true_pos, profile.len + 8).codes())
             .collect();
-        let get = |v: &Vec<Vec<u8>>, i: usize| -> Vec<u8> {
-            v.get(i).cloned().unwrap_or_default()
-        };
+        let get = |v: &Vec<Vec<u8>>, i: usize| -> Vec<u8> { v.get(i).cloned().unwrap_or_default() };
         let cols = pack_lanes([
             &get(&q_codes, 0),
             &get(&q_codes, 1),

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-2ce75ad3718a5fe3.d: crates/gendp-bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-2ce75ad3718a5fe3.rmeta: crates/gendp-bench/benches/ablations.rs Cargo.toml
+
+crates/gendp-bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/align_modes-4af542e442825592.d: crates/gendp/../../tests/align_modes.rs
+
+/root/repo/target/debug/deps/align_modes-4af542e442825592: crates/gendp/../../tests/align_modes.rs
+
+crates/gendp/../../tests/align_modes.rs:

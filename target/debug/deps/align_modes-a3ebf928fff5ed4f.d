@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/align_modes-a3ebf928fff5ed4f.d: crates/gendp/../../tests/align_modes.rs
+
+/root/repo/target/debug/deps/align_modes-a3ebf928fff5ed4f: crates/gendp/../../tests/align_modes.rs
+
+crates/gendp/../../tests/align_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/align_modes-aeb15fb5059f2e49.d: crates/gendp/../../tests/align_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalign_modes-aeb15fb5059f2e49.rmeta: crates/gendp/../../tests/align_modes.rs Cargo.toml
+
+crates/gendp/../../tests/align_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-00a7b6423b678443.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-00a7b6423b678443: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-0e717f4d8d81e11a.d: crates/gendp-bench/src/bin/all-experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-0e717f4d8d81e11a.rmeta: crates/gendp-bench/src/bin/all-experiments.rs Cargo.toml
+
+crates/gendp-bench/src/bin/all-experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

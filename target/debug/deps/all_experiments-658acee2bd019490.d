@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-658acee2bd019490.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-658acee2bd019490: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

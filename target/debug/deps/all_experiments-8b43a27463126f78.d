@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-8b43a27463126f78.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-8b43a27463126f78: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

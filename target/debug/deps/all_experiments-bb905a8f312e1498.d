@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-bb905a8f312e1498.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-bb905a8f312e1498: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_props-6f4030f7ca023f59.d: crates/gendp-isa/tests/asm_props.rs
+
+/root/repo/target/debug/deps/asm_props-6f4030f7ca023f59: crates/gendp-isa/tests/asm_props.rs
+
+crates/gendp-isa/tests/asm_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm_props-cb3e9b81ceee5b18.d: crates/gendp-isa/tests/asm_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm_props-cb3e9b81ceee5b18.rmeta: crates/gendp-isa/tests/asm_props.rs Cargo.toml
+
+crates/gendp-isa/tests/asm_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

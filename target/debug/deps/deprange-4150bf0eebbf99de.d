@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deprange-4150bf0eebbf99de.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/debug/deps/deprange-4150bf0eebbf99de: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deprange-4b1536d0616829ac.d: crates/gendp-bench/src/bin/deprange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeprange-4b1536d0616829ac.rmeta: crates/gendp-bench/src/bin/deprange.rs Cargo.toml
+
+crates/gendp-bench/src/bin/deprange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

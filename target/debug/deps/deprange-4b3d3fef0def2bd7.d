@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deprange-4b3d3fef0def2bd7.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/debug/deps/deprange-4b3d3fef0def2bd7: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

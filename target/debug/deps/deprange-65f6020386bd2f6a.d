@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deprange-65f6020386bd2f6a.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/debug/deps/deprange-65f6020386bd2f6a: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

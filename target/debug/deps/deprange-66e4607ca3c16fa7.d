@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deprange-66e4607ca3c16fa7.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/debug/deps/deprange-66e4607ca3c16fa7: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

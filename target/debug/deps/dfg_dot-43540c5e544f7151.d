@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfg_dot-43540c5e544f7151.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/debug/deps/dfg_dot-43540c5e544f7151: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

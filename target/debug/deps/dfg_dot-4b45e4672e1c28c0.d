@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfg_dot-4b45e4672e1c28c0.d: crates/gendp-bench/src/bin/dfg-dot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfg_dot-4b45e4672e1c28c0.rmeta: crates/gendp-bench/src/bin/dfg-dot.rs Cargo.toml
+
+crates/gendp-bench/src/bin/dfg-dot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

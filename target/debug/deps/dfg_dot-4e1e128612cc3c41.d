@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfg_dot-4e1e128612cc3c41.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/debug/deps/dfg_dot-4e1e128612cc3c41: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

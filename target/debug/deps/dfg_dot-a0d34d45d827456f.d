@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfg_dot-a0d34d45d827456f.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/debug/deps/dfg_dot-a0d34d45d827456f: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

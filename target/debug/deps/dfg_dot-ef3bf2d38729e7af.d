@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfg_dot-ef3bf2d38729e7af.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/debug/deps/dfg_dot-ef3bf2d38729e7af: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpax-ef2340fb91ac03b3.d: crates/gendp-bench/benches/dpax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpax-ef2340fb91ac03b3.rmeta: crates/gendp-bench/benches/dpax.rs Cargo.toml
+
+crates/gendp-bench/benches/dpax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpmap-ecd0c00d3f6f4c9e.d: crates/gendp-bench/benches/dpmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpmap-ecd0c00d3f6f4c9e.rmeta: crates/gendp-bench/benches/dpmap.rs Cargo.toml
+
+crates/gendp-bench/benches/dpmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments_smoke-317188423164a9dd.d: crates/gendp/../../tests/experiments_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments_smoke-317188423164a9dd.rmeta: crates/gendp/../../tests/experiments_smoke.rs Cargo.toml
+
+crates/gendp/../../tests/experiments_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

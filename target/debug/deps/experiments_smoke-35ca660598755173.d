@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-35ca660598755173.d: crates/gendp/../../tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-35ca660598755173: crates/gendp/../../tests/experiments_smoke.rs
+
+crates/gendp/../../tests/experiments_smoke.rs:

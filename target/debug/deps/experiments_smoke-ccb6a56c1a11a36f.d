@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments_smoke-ccb6a56c1a11a36f.d: crates/gendp/../../tests/experiments_smoke.rs
+
+/root/repo/target/debug/deps/experiments_smoke-ccb6a56c1a11a36f: crates/gendp/../../tests/experiments_smoke.rs
+
+crates/gendp/../../tests/experiments_smoke.rs:

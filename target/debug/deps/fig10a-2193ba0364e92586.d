@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a-2193ba0364e92586.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/debug/deps/fig10a-2193ba0364e92586: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

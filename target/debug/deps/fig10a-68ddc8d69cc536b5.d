@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a-68ddc8d69cc536b5.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/debug/deps/fig10a-68ddc8d69cc536b5: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a-91b87834e8879f17.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/debug/deps/fig10a-91b87834e8879f17: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10a-ca6f6af737401159.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/debug/deps/fig10a-ca6f6af737401159: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10a-ed5249a5f2702ac6.d: crates/gendp-bench/src/bin/fig10a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10a-ed5249a5f2702ac6.rmeta: crates/gendp-bench/src/bin/fig10a.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b-2f8bc9ed11e0a101.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/debug/deps/fig10b-2f8bc9ed11e0a101: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b-42854d1e76d3af2f.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/debug/deps/fig10b-42854d1e76d3af2f: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

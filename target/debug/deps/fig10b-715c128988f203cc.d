@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b-715c128988f203cc.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/debug/deps/fig10b-715c128988f203cc: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10b-791d6afe02c14088.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/debug/deps/fig10b-791d6afe02c14088: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

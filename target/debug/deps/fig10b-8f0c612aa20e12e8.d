@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10b-8f0c612aa20e12e8.d: crates/gendp-bench/src/bin/fig10b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10b-8f0c612aa20e12e8.rmeta: crates/gendp-bench/src/bin/fig10b.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

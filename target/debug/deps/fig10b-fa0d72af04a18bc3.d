@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10b-fa0d72af04a18bc3.d: crates/gendp-bench/src/bin/fig10b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10b-fa0d72af04a18bc3.rmeta: crates/gendp-bench/src/bin/fig10b.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c-0ea5b31fb25d2fdf.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/debug/deps/fig10c-0ea5b31fb25d2fdf: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

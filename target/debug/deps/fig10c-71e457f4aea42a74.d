@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c-71e457f4aea42a74.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/debug/deps/fig10c-71e457f4aea42a74: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

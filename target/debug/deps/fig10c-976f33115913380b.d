@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10c-976f33115913380b.d: crates/gendp-bench/src/bin/fig10c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10c-976f33115913380b.rmeta: crates/gendp-bench/src/bin/fig10c.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10c-b78f2e145212f1e3.d: crates/gendp-bench/src/bin/fig10c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10c-b78f2e145212f1e3.rmeta: crates/gendp-bench/src/bin/fig10c.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c-b863b93256a1f22a.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/debug/deps/fig10c-b863b93256a1f22a: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

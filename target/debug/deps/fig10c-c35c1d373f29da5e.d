@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10c-c35c1d373f29da5e.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/debug/deps/fig10c-c35c1d373f29da5e: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d-091f4ba58c22d58c.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/debug/deps/fig10d-091f4ba58c22d58c: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

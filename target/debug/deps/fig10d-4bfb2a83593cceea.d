@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10d-4bfb2a83593cceea.d: crates/gendp-bench/src/bin/fig10d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10d-4bfb2a83593cceea.rmeta: crates/gendp-bench/src/bin/fig10d.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig10d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d-7d58028c520ea9d1.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/debug/deps/fig10d-7d58028c520ea9d1: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d-99bbf4f27dde2dbe.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/debug/deps/fig10d-99bbf4f27dde2dbe: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10d-cbfcb2fcafe0c129.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/debug/deps/fig10d-cbfcb2fcafe0c129: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

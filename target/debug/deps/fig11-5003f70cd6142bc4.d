@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-5003f70cd6142bc4.d: crates/gendp-bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-5003f70cd6142bc4.rmeta: crates/gendp-bench/src/bin/fig11.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-55ea899647f8b6bb.d: crates/gendp-bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-55ea899647f8b6bb.rmeta: crates/gendp-bench/src/bin/fig11.rs Cargo.toml
+
+crates/gendp-bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

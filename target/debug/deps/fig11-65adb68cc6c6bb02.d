@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-65adb68cc6c6bb02.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-65adb68cc6c6bb02: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

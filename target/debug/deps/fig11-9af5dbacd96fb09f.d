@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-9af5dbacd96fb09f.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-9af5dbacd96fb09f: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-bc13c30972a8f9e2.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-bc13c30972a8f9e2: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-cad97a715b2f494a.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-cad97a715b2f494a: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-093d1ffb5e55386f.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-093d1ffb5e55386f: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

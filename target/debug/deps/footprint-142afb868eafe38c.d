@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-142afb868eafe38c.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-142afb868eafe38c: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

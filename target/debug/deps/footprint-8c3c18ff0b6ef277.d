@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/footprint-8c3c18ff0b6ef277.d: crates/gendp-bench/src/bin/footprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfootprint-8c3c18ff0b6ef277.rmeta: crates/gendp-bench/src/bin/footprint.rs Cargo.toml
+
+crates/gendp-bench/src/bin/footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-8e3d1611950127ca.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-8e3d1611950127ca: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

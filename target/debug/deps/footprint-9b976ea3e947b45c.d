@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/footprint-9b976ea3e947b45c.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/debug/deps/footprint-9b976ea3e947b45c: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

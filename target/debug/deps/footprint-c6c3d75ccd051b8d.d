@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/footprint-c6c3d75ccd051b8d.d: crates/gendp-bench/src/bin/footprint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfootprint-c6c3d75ccd051b8d.rmeta: crates/gendp-bench/src/bin/footprint.rs Cargo.toml
+
+crates/gendp-bench/src/bin/footprint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

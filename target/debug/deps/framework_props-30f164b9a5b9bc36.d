@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/framework_props-30f164b9a5b9bc36.d: crates/gendp/../../tests/framework_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libframework_props-30f164b9a5b9bc36.rmeta: crates/gendp/../../tests/framework_props.rs Cargo.toml
+
+crates/gendp/../../tests/framework_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_props-a349362075471598.d: crates/gendp/../../tests/framework_props.rs
+
+/root/repo/target/debug/deps/framework_props-a349362075471598: crates/gendp/../../tests/framework_props.rs
+
+crates/gendp/../../tests/framework_props.rs:

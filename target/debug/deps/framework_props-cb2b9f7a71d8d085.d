@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/framework_props-cb2b9f7a71d8d085.d: crates/gendp/../../tests/framework_props.rs
+
+/root/repo/target/debug/deps/framework_props-cb2b9f7a71d8d085: crates/gendp/../../tests/framework_props.rs
+
+crates/gendp/../../tests/framework_props.rs:

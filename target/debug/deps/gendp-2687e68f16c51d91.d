@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gendp-2687e68f16c51d91.d: crates/gendp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp-2687e68f16c51d91.rmeta: crates/gendp/src/lib.rs Cargo.toml
+
+crates/gendp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gendp-5d8945f3c1225d3c.d: crates/gendp/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp-5d8945f3c1225d3c.rmeta: crates/gendp/src/lib.rs Cargo.toml
+
+crates/gendp/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

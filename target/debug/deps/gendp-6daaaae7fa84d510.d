@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gendp-6daaaae7fa84d510.d: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/libgendp-6daaaae7fa84d510.rlib: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/libgendp-6daaaae7fa84d510.rmeta: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

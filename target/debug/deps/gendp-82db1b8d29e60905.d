@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gendp-82db1b8d29e60905.d: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/libgendp-82db1b8d29e60905.rlib: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/libgendp-82db1b8d29e60905.rmeta: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

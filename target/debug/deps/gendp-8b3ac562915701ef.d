@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gendp-8b3ac562915701ef.d: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/gendp-8b3ac562915701ef: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gendp-9ac2aeaa9c79c954.d: crates/gendp/src/lib.rs
+
+/root/repo/target/debug/deps/gendp-9ac2aeaa9c79c954: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

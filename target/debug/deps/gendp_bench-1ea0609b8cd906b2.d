@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gendp_bench-1ea0609b8cd906b2.d: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/debug/deps/gendp_bench-1ea0609b8cd906b2: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+crates/gendp-bench/src/lib.rs:
+crates/gendp-bench/src/measure.rs:
+crates/gendp-bench/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gendp_bench-2e3b568f506279fb.d: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libgendp_bench-2e3b568f506279fb.rlib: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/debug/deps/libgendp_bench-2e3b568f506279fb.rmeta: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+crates/gendp-bench/src/lib.rs:
+crates/gendp-bench/src/measure.rs:
+crates/gendp-bench/src/tables.rs:

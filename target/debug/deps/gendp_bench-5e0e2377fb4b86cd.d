@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gendp_bench-5e0e2377fb4b86cd.d: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/debug/deps/gendp_bench-5e0e2377fb4b86cd: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+crates/gendp-bench/src/lib.rs:
+crates/gendp-bench/src/measure.rs:
+crates/gendp-bench/src/tables.rs:

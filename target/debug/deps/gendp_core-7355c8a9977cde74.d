@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gendp_core-7355c8a9977cde74.d: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/debug/deps/gendp_core-7355c8a9977cde74: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+crates/gendp-core/src/lib.rs:
+crates/gendp-core/src/graph2d.rs:
+crates/gendp-core/src/linear1d.rs:
+crates/gendp-core/src/pipeline.rs:
+crates/gendp-core/src/spm1d.rs:
+crates/gendp-core/src/wavefront2d.rs:

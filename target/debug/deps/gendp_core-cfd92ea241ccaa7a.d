@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gendp_core-cfd92ea241ccaa7a.d: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/debug/deps/libgendp_core-cfd92ea241ccaa7a.rlib: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/debug/deps/libgendp_core-cfd92ea241ccaa7a.rmeta: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+crates/gendp-core/src/lib.rs:
+crates/gendp-core/src/graph2d.rs:
+crates/gendp-core/src/linear1d.rs:
+crates/gendp-core/src/pipeline.rs:
+crates/gendp-core/src/spm1d.rs:
+crates/gendp-core/src/wavefront2d.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gendp_core-d2c24e2f2308b9c6.d: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_core-d2c24e2f2308b9c6.rmeta: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs Cargo.toml
+
+crates/gendp-core/src/lib.rs:
+crates/gendp-core/src/graph2d.rs:
+crates/gendp-core/src/linear1d.rs:
+crates/gendp-core/src/pipeline.rs:
+crates/gendp-core/src/spm1d.rs:
+crates/gendp-core/src/wavefront2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gendp_dfg-2f1457637d245dd8.d: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_dfg-2f1457637d245dd8.rmeta: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs Cargo.toml
+
+crates/gendp-dfg/src/lib.rs:
+crates/gendp-dfg/src/dot.rs:
+crates/gendp-dfg/src/eval.rs:
+crates/gendp-dfg/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

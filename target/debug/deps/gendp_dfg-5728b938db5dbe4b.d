@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gendp_dfg-5728b938db5dbe4b.d: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+/root/repo/target/debug/deps/gendp_dfg-5728b938db5dbe4b: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+crates/gendp-dfg/src/lib.rs:
+crates/gendp-dfg/src/dot.rs:
+crates/gendp-dfg/src/eval.rs:
+crates/gendp-dfg/src/graph.rs:

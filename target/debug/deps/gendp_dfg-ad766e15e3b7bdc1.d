@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gendp_dfg-ad766e15e3b7bdc1.d: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+/root/repo/target/debug/deps/libgendp_dfg-ad766e15e3b7bdc1.rlib: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+/root/repo/target/debug/deps/libgendp_dfg-ad766e15e3b7bdc1.rmeta: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+crates/gendp-dfg/src/lib.rs:
+crates/gendp-dfg/src/dot.rs:
+crates/gendp-dfg/src/eval.rs:
+crates/gendp-dfg/src/graph.rs:

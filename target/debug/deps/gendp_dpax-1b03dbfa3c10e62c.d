@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gendp_dpax-1b03dbfa3c10e62c.d: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+/root/repo/target/debug/deps/libgendp_dpax-1b03dbfa3c10e62c.rlib: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+/root/repo/target/debug/deps/libgendp_dpax-1b03dbfa3c10e62c.rmeta: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+crates/gendp-dpax/src/lib.rs:
+crates/gendp-dpax/src/array.rs:
+crates/gendp-dpax/src/config.rs:
+crates/gendp-dpax/src/error.rs:
+crates/gendp-dpax/src/pe.rs:
+crates/gendp-dpax/src/stats.rs:
+crates/gendp-dpax/src/trace.rs:

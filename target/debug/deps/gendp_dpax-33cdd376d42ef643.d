@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gendp_dpax-33cdd376d42ef643.d: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_dpax-33cdd376d42ef643.rmeta: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs Cargo.toml
+
+crates/gendp-dpax/src/lib.rs:
+crates/gendp-dpax/src/array.rs:
+crates/gendp-dpax/src/config.rs:
+crates/gendp-dpax/src/error.rs:
+crates/gendp-dpax/src/pe.rs:
+crates/gendp-dpax/src/stats.rs:
+crates/gendp-dpax/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

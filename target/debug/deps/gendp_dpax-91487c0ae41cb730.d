@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gendp_dpax-91487c0ae41cb730.d: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+/root/repo/target/debug/deps/gendp_dpax-91487c0ae41cb730: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+crates/gendp-dpax/src/lib.rs:
+crates/gendp-dpax/src/array.rs:
+crates/gendp-dpax/src/config.rs:
+crates/gendp-dpax/src/error.rs:
+crates/gendp-dpax/src/pe.rs:
+crates/gendp-dpax/src/stats.rs:
+crates/gendp-dpax/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gendp_dpmap-55a3e31bec92a419.d: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+/root/repo/target/debug/deps/libgendp_dpmap-55a3e31bec92a419.rlib: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+/root/repo/target/debug/deps/libgendp_dpmap-55a3e31bec92a419.rmeta: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+crates/gendp-dpmap/src/lib.rs:
+crates/gendp-dpmap/src/codegen.rs:
+crates/gendp-dpmap/src/phases.rs:
+crates/gendp-dpmap/src/stats.rs:
+crates/gendp-dpmap/src/subgraph.rs:
+crates/gendp-dpmap/src/work.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gendp_dpmap-b74efa93e8475a5a.d: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_dpmap-b74efa93e8475a5a.rmeta: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs Cargo.toml
+
+crates/gendp-dpmap/src/lib.rs:
+crates/gendp-dpmap/src/codegen.rs:
+crates/gendp-dpmap/src/phases.rs:
+crates/gendp-dpmap/src/stats.rs:
+crates/gendp-dpmap/src/subgraph.rs:
+crates/gendp-dpmap/src/work.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gendp_dpmap-f13788dfe5929851.d: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+/root/repo/target/debug/deps/gendp_dpmap-f13788dfe5929851: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+crates/gendp-dpmap/src/lib.rs:
+crates/gendp-dpmap/src/codegen.rs:
+crates/gendp-dpmap/src/phases.rs:
+crates/gendp-dpmap/src/stats.rs:
+crates/gendp-dpmap/src/subgraph.rs:
+crates/gendp-dpmap/src/work.rs:

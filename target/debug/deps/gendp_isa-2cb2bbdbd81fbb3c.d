@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gendp_isa-2cb2bbdbd81fbb3c.d: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_isa-2cb2bbdbd81fbb3c.rmeta: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs Cargo.toml
+
+crates/gendp-isa/src/lib.rs:
+crates/gendp-isa/src/compute.rs:
+crates/gendp-isa/src/control.rs:
+crates/gendp-isa/src/error.rs:
+crates/gendp-isa/src/loc.rs:
+crates/gendp-isa/src/program.rs:
+crates/gendp-isa/src/sem.rs:
+crates/gendp-isa/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

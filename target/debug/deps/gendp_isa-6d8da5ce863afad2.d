@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gendp_isa-6d8da5ce863afad2.d: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+/root/repo/target/debug/deps/gendp_isa-6d8da5ce863afad2: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+crates/gendp-isa/src/lib.rs:
+crates/gendp-isa/src/compute.rs:
+crates/gendp-isa/src/control.rs:
+crates/gendp-isa/src/error.rs:
+crates/gendp-isa/src/loc.rs:
+crates/gendp-isa/src/program.rs:
+crates/gendp-isa/src/sem.rs:
+crates/gendp-isa/src/word.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gendp_isa-779b621998be0a30.d: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+/root/repo/target/debug/deps/libgendp_isa-779b621998be0a30.rlib: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+/root/repo/target/debug/deps/libgendp_isa-779b621998be0a30.rmeta: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+crates/gendp-isa/src/lib.rs:
+crates/gendp-isa/src/compute.rs:
+crates/gendp-isa/src/control.rs:
+crates/gendp-isa/src/error.rs:
+crates/gendp-isa/src/loc.rs:
+crates/gendp-isa/src/program.rs:
+crates/gendp-isa/src/sem.rs:
+crates/gendp-isa/src/word.rs:

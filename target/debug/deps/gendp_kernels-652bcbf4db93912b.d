@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gendp_kernels-652bcbf4db93912b.d: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+/root/repo/target/debug/deps/gendp_kernels-652bcbf4db93912b: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+crates/gendp-kernels/src/lib.rs:
+crates/gendp-kernels/src/align.rs:
+crates/gendp-kernels/src/bellman_ford.rs:
+crates/gendp-kernels/src/bsw.rs:
+crates/gendp-kernels/src/chain.rs:
+crates/gendp-kernels/src/cigar.rs:
+crates/gendp-kernels/src/dfgs.rs:
+crates/gendp-kernels/src/dtw.rs:
+crates/gendp-kernels/src/info.rs:
+crates/gendp-kernels/src/lcs.rs:
+crates/gendp-kernels/src/pairhmm.rs:
+crates/gendp-kernels/src/poa.rs:
+crates/gendp-kernels/src/scoring.rs:

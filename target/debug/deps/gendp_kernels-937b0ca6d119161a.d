@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gendp_kernels-937b0ca6d119161a.d: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+/root/repo/target/debug/deps/libgendp_kernels-937b0ca6d119161a.rlib: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+/root/repo/target/debug/deps/libgendp_kernels-937b0ca6d119161a.rmeta: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+crates/gendp-kernels/src/lib.rs:
+crates/gendp-kernels/src/align.rs:
+crates/gendp-kernels/src/bellman_ford.rs:
+crates/gendp-kernels/src/bsw.rs:
+crates/gendp-kernels/src/chain.rs:
+crates/gendp-kernels/src/cigar.rs:
+crates/gendp-kernels/src/dfgs.rs:
+crates/gendp-kernels/src/dtw.rs:
+crates/gendp-kernels/src/info.rs:
+crates/gendp-kernels/src/lcs.rs:
+crates/gendp-kernels/src/pairhmm.rs:
+crates/gendp-kernels/src/poa.rs:
+crates/gendp-kernels/src/scoring.rs:

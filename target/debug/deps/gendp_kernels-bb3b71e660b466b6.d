@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/gendp_kernels-bb3b71e660b466b6.d: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_kernels-bb3b71e660b466b6.rmeta: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs Cargo.toml
+
+crates/gendp-kernels/src/lib.rs:
+crates/gendp-kernels/src/align.rs:
+crates/gendp-kernels/src/bellman_ford.rs:
+crates/gendp-kernels/src/bsw.rs:
+crates/gendp-kernels/src/chain.rs:
+crates/gendp-kernels/src/cigar.rs:
+crates/gendp-kernels/src/dfgs.rs:
+crates/gendp-kernels/src/dtw.rs:
+crates/gendp-kernels/src/info.rs:
+crates/gendp-kernels/src/lcs.rs:
+crates/gendp-kernels/src/pairhmm.rs:
+crates/gendp-kernels/src/poa.rs:
+crates/gendp-kernels/src/scoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

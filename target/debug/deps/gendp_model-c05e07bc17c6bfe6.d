@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gendp_model-c05e07bc17c6bfe6.d: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs
+
+/root/repo/target/debug/deps/gendp_model-c05e07bc17c6bfe6: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs
+
+crates/gendp-model/src/lib.rs:
+crates/gendp-model/src/area.rs:
+crates/gendp-model/src/baselines.rs:
+crates/gendp-model/src/dram.rs:
+crates/gendp-model/src/power.rs:
+crates/gendp-model/src/scalability.rs:
+crates/gendp-model/src/scalar_isa.rs:
+crates/gendp-model/src/scaling.rs:
+crates/gendp-model/src/softbrain.rs:
+crates/gendp-model/src/throughput.rs:
+crates/gendp-model/src/tia.rs:

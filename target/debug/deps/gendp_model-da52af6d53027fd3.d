@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gendp_model-da52af6d53027fd3.d: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_model-da52af6d53027fd3.rmeta: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs Cargo.toml
+
+crates/gendp-model/src/lib.rs:
+crates/gendp-model/src/area.rs:
+crates/gendp-model/src/baselines.rs:
+crates/gendp-model/src/dram.rs:
+crates/gendp-model/src/power.rs:
+crates/gendp-model/src/scalability.rs:
+crates/gendp-model/src/scalar_isa.rs:
+crates/gendp-model/src/scaling.rs:
+crates/gendp-model/src/softbrain.rs:
+crates/gendp-model/src/throughput.rs:
+crates/gendp-model/src/tia.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gendp_model-dc83be2f31d05d83.d: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs
+
+/root/repo/target/debug/deps/libgendp_model-dc83be2f31d05d83.rlib: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs
+
+/root/repo/target/debug/deps/libgendp_model-dc83be2f31d05d83.rmeta: crates/gendp-model/src/lib.rs crates/gendp-model/src/area.rs crates/gendp-model/src/baselines.rs crates/gendp-model/src/dram.rs crates/gendp-model/src/power.rs crates/gendp-model/src/scalability.rs crates/gendp-model/src/scalar_isa.rs crates/gendp-model/src/scaling.rs crates/gendp-model/src/softbrain.rs crates/gendp-model/src/throughput.rs crates/gendp-model/src/tia.rs
+
+crates/gendp-model/src/lib.rs:
+crates/gendp-model/src/area.rs:
+crates/gendp-model/src/baselines.rs:
+crates/gendp-model/src/dram.rs:
+crates/gendp-model/src/power.rs:
+crates/gendp-model/src/scalability.rs:
+crates/gendp-model/src/scalar_isa.rs:
+crates/gendp-model/src/scaling.rs:
+crates/gendp-model/src/softbrain.rs:
+crates/gendp-model/src/throughput.rs:
+crates/gendp-model/src/tia.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gendp_runtime-ef106b885914a6b8.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/debug/deps/libgendp_runtime-ef106b885914a6b8.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/debug/deps/libgendp_runtime-ef106b885914a6b8.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+crates/gendp-runtime/src/lib.rs:
+crates/gendp-runtime/src/batch.rs:
+crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/policy.rs:
+crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/task.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/gendp_seq-d031006360faab3c.d: crates/gendp-seq/src/lib.rs crates/gendp-seq/src/anchors.rs crates/gendp-seq/src/base.rs crates/gendp-seq/src/fasta.rs crates/gendp-seq/src/genome.rs crates/gendp-seq/src/haplotype.rs crates/gendp-seq/src/mutate.rs crates/gendp-seq/src/phred.rs crates/gendp-seq/src/readgroup.rs crates/gendp-seq/src/reads.rs crates/gendp-seq/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_seq-d031006360faab3c.rmeta: crates/gendp-seq/src/lib.rs crates/gendp-seq/src/anchors.rs crates/gendp-seq/src/base.rs crates/gendp-seq/src/fasta.rs crates/gendp-seq/src/genome.rs crates/gendp-seq/src/haplotype.rs crates/gendp-seq/src/mutate.rs crates/gendp-seq/src/phred.rs crates/gendp-seq/src/readgroup.rs crates/gendp-seq/src/reads.rs crates/gendp-seq/src/seq.rs Cargo.toml
+
+crates/gendp-seq/src/lib.rs:
+crates/gendp-seq/src/anchors.rs:
+crates/gendp-seq/src/base.rs:
+crates/gendp-seq/src/fasta.rs:
+crates/gendp-seq/src/genome.rs:
+crates/gendp-seq/src/haplotype.rs:
+crates/gendp-seq/src/mutate.rs:
+crates/gendp-seq/src/phred.rs:
+crates/gendp-seq/src/readgroup.rs:
+crates/gendp-seq/src/reads.rs:
+crates/gendp-seq/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

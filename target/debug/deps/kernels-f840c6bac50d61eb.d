@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-f840c6bac50d61eb.d: crates/gendp-bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-f840c6bac50d61eb.rmeta: crates/gendp-bench/benches/kernels.rs Cargo.toml
+
+crates/gendp-bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

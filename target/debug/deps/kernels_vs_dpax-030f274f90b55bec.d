@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_vs_dpax-030f274f90b55bec.d: crates/gendp/../../tests/kernels_vs_dpax.rs
+
+/root/repo/target/debug/deps/kernels_vs_dpax-030f274f90b55bec: crates/gendp/../../tests/kernels_vs_dpax.rs
+
+crates/gendp/../../tests/kernels_vs_dpax.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_vs_dpax-267b41b9d3cf5741.d: crates/gendp/../../tests/kernels_vs_dpax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_vs_dpax-267b41b9d3cf5741.rmeta: crates/gendp/../../tests/kernels_vs_dpax.rs Cargo.toml
+
+crates/gendp/../../tests/kernels_vs_dpax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_vs_dpax-3b6526b6ffe44d29.d: crates/gendp/../../tests/kernels_vs_dpax.rs
+
+/root/repo/target/debug/deps/kernels_vs_dpax-3b6526b6ffe44d29: crates/gendp/../../tests/kernels_vs_dpax.rs
+
+crates/gendp/../../tests/kernels_vs_dpax.rs:

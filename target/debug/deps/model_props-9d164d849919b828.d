@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_props-9d164d849919b828.d: crates/gendp-model/tests/model_props.rs
+
+/root/repo/target/debug/deps/model_props-9d164d849919b828: crates/gendp-model/tests/model_props.rs
+
+crates/gendp-model/tests/model_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_props-ada49452ad0d05eb.d: crates/gendp-model/tests/model_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_props-ada49452ad0d05eb.rmeta: crates/gendp-model/tests/model_props.rs Cargo.toml
+
+crates/gendp-model/tests/model_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-a43a6ec7b3a70ce0.d: crates/gendp/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-a43a6ec7b3a70ce0.rmeta: crates/gendp/../../tests/pipeline.rs Cargo.toml
+
+crates/gendp/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-a82ecbca74c6d153.d: crates/gendp/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-a82ecbca74c6d153: crates/gendp/../../tests/pipeline.rs
+
+crates/gendp/../../tests/pipeline.rs:

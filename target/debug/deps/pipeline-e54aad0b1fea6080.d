@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e54aad0b1fea6080.d: crates/gendp/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e54aad0b1fea6080: crates/gendp/../../tests/pipeline.rs
+
+crates/gendp/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-43313b1d13b7fd7d.d: crates/gendp-dpmap/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-43313b1d13b7fd7d.rmeta: crates/gendp-dpmap/tests/prop.rs Cargo.toml
+
+crates/gendp-dpmap/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

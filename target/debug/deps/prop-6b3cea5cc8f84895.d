@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-6b3cea5cc8f84895.d: crates/gendp-dpmap/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-6b3cea5cc8f84895: crates/gendp-dpmap/tests/prop.rs
+
+crates/gendp-dpmap/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-1764e1568b960925.d: crates/gendp-kernels/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-1764e1568b960925.rmeta: crates/gendp-kernels/tests/props.rs Cargo.toml
+
+crates/gendp-kernels/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

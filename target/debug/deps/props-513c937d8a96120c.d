@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-513c937d8a96120c.d: crates/gendp-seq/tests/props.rs
+
+/root/repo/target/debug/deps/props-513c937d8a96120c: crates/gendp-seq/tests/props.rs
+
+crates/gendp-seq/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7d5b417b8f01ab97.d: crates/gendp-kernels/tests/props.rs
+
+/root/repo/target/debug/deps/props-7d5b417b8f01ab97: crates/gendp-kernels/tests/props.rs
+
+crates/gendp-kernels/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-f09623e70cece386.d: crates/gendp-seq/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-f09623e70cece386.rmeta: crates/gendp-seq/tests/props.rs Cargo.toml
+
+crates/gendp-seq/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

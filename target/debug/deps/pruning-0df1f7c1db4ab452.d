@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pruning-0df1f7c1db4ab452.d: crates/gendp-bench/src/bin/pruning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpruning-0df1f7c1db4ab452.rmeta: crates/gendp-bench/src/bin/pruning.rs Cargo.toml
+
+crates/gendp-bench/src/bin/pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-4f32df41e228084b.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/debug/deps/pruning-4f32df41e228084b: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-c8f2be457ed04a74.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/debug/deps/pruning-c8f2be457ed04a74: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-d2bebc453c6442f1.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/debug/deps/pruning-d2bebc453c6442f1: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

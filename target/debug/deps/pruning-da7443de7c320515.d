@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning-da7443de7c320515.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/debug/deps/pruning-da7443de7c320515: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4398cb4376aca2c9.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4398cb4376aca2c9.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4398cb4376aca2c9.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-8b64dff8f5c145b0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8b64dff8f5c145b0.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8b64dff8f5c145b0.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

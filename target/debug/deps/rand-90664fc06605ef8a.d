@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-90664fc06605ef8a.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-90664fc06605ef8a: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

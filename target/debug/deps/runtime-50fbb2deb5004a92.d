@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-50fbb2deb5004a92.d: crates/gendp-bench/benches/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-50fbb2deb5004a92.rmeta: crates/gendp-bench/benches/runtime.rs Cargo.toml
+
+crates/gendp-bench/benches/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_batch-1ef0522043e1e1dd.d: crates/gendp/../../tests/runtime_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_batch-1ef0522043e1e1dd.rmeta: crates/gendp/../../tests/runtime_batch.rs Cargo.toml
+
+crates/gendp/../../tests/runtime_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_batch-53b5133b8043acdc.d: crates/gendp/../../tests/runtime_batch.rs
+
+/root/repo/target/debug/deps/runtime_batch-53b5133b8043acdc: crates/gendp/../../tests/runtime_batch.rs
+
+crates/gendp/../../tests/runtime_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-87c3ede3a5141929.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-87c3ede3a5141929: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9e2efd086f3c01e1.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-9e2efd086f3c01e1: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

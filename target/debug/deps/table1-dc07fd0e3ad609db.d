@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-dc07fd0e3ad609db.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-dc07fd0e3ad609db: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

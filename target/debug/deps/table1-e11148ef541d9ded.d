@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e11148ef541d9ded.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e11148ef541d9ded: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

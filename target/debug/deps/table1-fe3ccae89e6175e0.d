@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1-fe3ccae89e6175e0.d: crates/gendp-bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-fe3ccae89e6175e0.rmeta: crates/gendp-bench/src/bin/table1.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-21fcb77625ab71b7.d: crates/gendp-bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-21fcb77625ab71b7.rmeta: crates/gendp-bench/src/bin/table10.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

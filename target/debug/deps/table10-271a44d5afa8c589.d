@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-271a44d5afa8c589.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-271a44d5afa8c589: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

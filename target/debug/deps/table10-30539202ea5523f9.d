@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-30539202ea5523f9.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-30539202ea5523f9: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

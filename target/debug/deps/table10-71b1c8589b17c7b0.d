@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10-71b1c8589b17c7b0.d: crates/gendp-bench/src/bin/table10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10-71b1c8589b17c7b0.rmeta: crates/gendp-bench/src/bin/table10.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-ba1175addb19b4d1.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-ba1175addb19b4d1: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

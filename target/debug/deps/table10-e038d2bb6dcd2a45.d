@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-e038d2bb6dcd2a45.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-e038d2bb6dcd2a45: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-28d76a4d1676f81e.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-28d76a4d1676f81e: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11-5af8e4fbe903970a.d: crates/gendp-bench/src/bin/table11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11-5af8e4fbe903970a.rmeta: crates/gendp-bench/src/bin/table11.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

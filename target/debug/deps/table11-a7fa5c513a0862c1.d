@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-a7fa5c513a0862c1.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-a7fa5c513a0862c1: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-ca1bdcb00c861eb8.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-ca1bdcb00c861eb8: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-db897dfa1de1d556.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-db897dfa1de1d556: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

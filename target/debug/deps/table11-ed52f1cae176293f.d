@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11-ed52f1cae176293f.d: crates/gendp-bench/src/bin/table11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11-ed52f1cae176293f.rmeta: crates/gendp-bench/src/bin/table11.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-01ef6b3d3b35510d.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-01ef6b3d3b35510d: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

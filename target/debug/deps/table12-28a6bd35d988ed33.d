@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-28a6bd35d988ed33.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-28a6bd35d988ed33: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-417640f0cbbafb21.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-417640f0cbbafb21: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table12-da8863fbda3ea376.d: crates/gendp-bench/src/bin/table12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable12-da8863fbda3ea376.rmeta: crates/gendp-bench/src/bin/table12.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-ee979fec09ec7a63.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-ee979fec09ec7a63: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-212d5399dd6229ab.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-212d5399dd6229ab: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-670587cccfd99781.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-670587cccfd99781: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table13-6e691cbcf48da3da.d: crates/gendp-bench/src/bin/table13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable13-6e691cbcf48da3da.rmeta: crates/gendp-bench/src/bin/table13.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-91fe6d222011c5a1.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-91fe6d222011c5a1: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13-c6e2f20a6f9ad9da.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/debug/deps/table13-c6e2f20a6f9ad9da: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table13-f144f6661004bc7c.d: crates/gendp-bench/src/bin/table13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable13-f144f6661004bc7c.rmeta: crates/gendp-bench/src/bin/table13.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

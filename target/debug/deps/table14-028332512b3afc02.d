@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-028332512b3afc02.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-028332512b3afc02: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

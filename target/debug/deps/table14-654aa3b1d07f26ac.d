@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-654aa3b1d07f26ac.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-654aa3b1d07f26ac: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-8b0514179cb925da.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-8b0514179cb925da: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

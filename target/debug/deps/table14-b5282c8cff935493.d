@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14-b5282c8cff935493.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/debug/deps/table14-b5282c8cff935493: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

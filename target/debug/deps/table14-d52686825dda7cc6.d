@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table14-d52686825dda7cc6.d: crates/gendp-bench/src/bin/table14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable14-d52686825dda7cc6.rmeta: crates/gendp-bench/src/bin/table14.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

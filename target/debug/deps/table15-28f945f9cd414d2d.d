@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-28f945f9cd414d2d.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-28f945f9cd414d2d: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

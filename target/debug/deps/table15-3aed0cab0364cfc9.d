@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-3aed0cab0364cfc9.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-3aed0cab0364cfc9: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-3ee3f7a7130fcd82.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-3ee3f7a7130fcd82: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table15-a21197cc8640f24c.d: crates/gendp-bench/src/bin/table15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable15-a21197cc8640f24c.rmeta: crates/gendp-bench/src/bin/table15.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15-e4edcae44705865e.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/debug/deps/table15-e4edcae44705865e: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table15-f56cd1b36c091959.d: crates/gendp-bench/src/bin/table15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable15-f56cd1b36c091959.rmeta: crates/gendp-bench/src/bin/table15.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table16-0bc7f9b4983ad89d.d: crates/gendp-bench/src/bin/table16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable16-0bc7f9b4983ad89d.rmeta: crates/gendp-bench/src/bin/table16.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

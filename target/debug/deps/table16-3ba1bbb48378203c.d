@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table16-3ba1bbb48378203c.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/debug/deps/table16-3ba1bbb48378203c: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table16-4cded7316b00bbde.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/debug/deps/table16-4cded7316b00bbde: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

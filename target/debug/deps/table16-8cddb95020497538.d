@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table16-8cddb95020497538.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/debug/deps/table16-8cddb95020497538: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

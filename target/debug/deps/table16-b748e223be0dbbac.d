@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table16-b748e223be0dbbac.d: crates/gendp-bench/src/bin/table16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable16-b748e223be0dbbac.rmeta: crates/gendp-bench/src/bin/table16.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table16-c4e783c1df58c60b.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/debug/deps/table16-c4e783c1df58c60b: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-16794e3394a8c0a8.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-16794e3394a8c0a8: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

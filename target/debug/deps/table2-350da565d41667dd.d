@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-350da565d41667dd.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-350da565d41667dd: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-474ecee19456169f.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-474ecee19456169f: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f06347c5fb6c9f39.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f06347c5fb6c9f39: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-567e8bb05bbc0491.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-567e8bb05bbc0491: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-aed9c7bb67025ca2.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-aed9c7bb67025ca2: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

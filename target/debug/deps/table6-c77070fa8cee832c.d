@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-c77070fa8cee832c.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-c77070fa8cee832c: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-dd105ec72c19f989.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-dd105ec72c19f989: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-fae00233131e97f7.d: crates/gendp-bench/src/bin/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-fae00233131e97f7.rmeta: crates/gendp-bench/src/bin/table6.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-0faa5af7ce61f1c4.d: crates/gendp-bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-0faa5af7ce61f1c4.rmeta: crates/gendp-bench/src/bin/table7.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

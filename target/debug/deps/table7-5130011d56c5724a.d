@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-5130011d56c5724a.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-5130011d56c5724a: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

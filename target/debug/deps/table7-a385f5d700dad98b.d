@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-a385f5d700dad98b.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-a385f5d700dad98b: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

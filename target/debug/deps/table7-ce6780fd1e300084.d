@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-ce6780fd1e300084.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-ce6780fd1e300084: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

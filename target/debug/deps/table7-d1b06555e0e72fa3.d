@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-d1b06555e0e72fa3.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-d1b06555e0e72fa3: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

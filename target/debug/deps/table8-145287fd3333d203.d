@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-145287fd3333d203.d: crates/gendp-bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-145287fd3333d203.rmeta: crates/gendp-bench/src/bin/table8.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

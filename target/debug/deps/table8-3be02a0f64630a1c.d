@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-3be02a0f64630a1c.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-3be02a0f64630a1c: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-50059cfc04322fd2.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-50059cfc04322fd2: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

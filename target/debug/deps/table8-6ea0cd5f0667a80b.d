@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-6ea0cd5f0667a80b.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-6ea0cd5f0667a80b: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

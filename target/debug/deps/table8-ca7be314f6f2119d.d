@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-ca7be314f6f2119d.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-ca7be314f6f2119d: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

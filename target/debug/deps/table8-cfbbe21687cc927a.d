@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-cfbbe21687cc927a.d: crates/gendp-bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-cfbbe21687cc927a.rmeta: crates/gendp-bench/src/bin/table8.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9-05f625dbd6b30829.d: crates/gendp-bench/src/bin/table9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9-05f625dbd6b30829.rmeta: crates/gendp-bench/src/bin/table9.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-5b21951d3f3d2dbb.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-5b21951d3f3d2dbb: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

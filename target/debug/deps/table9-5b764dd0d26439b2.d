@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-5b764dd0d26439b2.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-5b764dd0d26439b2: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

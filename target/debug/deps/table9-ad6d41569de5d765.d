@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-ad6d41569de5d765.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-ad6d41569de5d765: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

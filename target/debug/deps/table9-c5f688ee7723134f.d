@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9-c5f688ee7723134f.d: crates/gendp-bench/src/bin/table9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9-c5f688ee7723134f.rmeta: crates/gendp-bench/src/bin/table9.rs Cargo.toml
+
+crates/gendp-bench/src/bin/table9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9-fe13b445f2b4708f.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/debug/deps/table9-fe13b445f2b4708f: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembly_polishing-17f945a22fb95356.d: crates/gendp/../../examples/assembly_polishing.rs
+
+/root/repo/target/debug/examples/assembly_polishing-17f945a22fb95356: crates/gendp/../../examples/assembly_polishing.rs
+
+crates/gendp/../../examples/assembly_polishing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembly_polishing-4d1c6b44b101e088.d: crates/gendp/../../examples/assembly_polishing.rs
+
+/root/repo/target/debug/examples/assembly_polishing-4d1c6b44b101e088: crates/gendp/../../examples/assembly_polishing.rs
+
+crates/gendp/../../examples/assembly_polishing.rs:

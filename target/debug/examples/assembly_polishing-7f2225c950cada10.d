@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembly_polishing-7f2225c950cada10.d: crates/gendp/../../examples/assembly_polishing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembly_polishing-7f2225c950cada10.rmeta: crates/gendp/../../examples/assembly_polishing.rs Cargo.toml
+
+crates/gendp/../../examples/assembly_polishing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_alignment-7dd798cc7458c110.d: crates/gendp/../../examples/batch_alignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_alignment-7dd798cc7458c110.rmeta: crates/gendp/../../examples/batch_alignment.rs Cargo.toml
+
+crates/gendp/../../examples/batch_alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

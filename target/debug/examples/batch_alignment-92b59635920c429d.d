@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_alignment-92b59635920c429d.d: crates/gendp/../../examples/batch_alignment.rs
+
+/root/repo/target/debug/examples/batch_alignment-92b59635920c429d: crates/gendp/../../examples/batch_alignment.rs
+
+crates/gendp/../../examples/batch_alignment.rs:

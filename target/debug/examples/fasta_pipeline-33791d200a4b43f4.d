@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fasta_pipeline-33791d200a4b43f4.d: crates/gendp/../../examples/fasta_pipeline.rs
+
+/root/repo/target/debug/examples/fasta_pipeline-33791d200a4b43f4: crates/gendp/../../examples/fasta_pipeline.rs
+
+crates/gendp/../../examples/fasta_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fasta_pipeline-6712cd4cda051361.d: crates/gendp/../../examples/fasta_pipeline.rs
+
+/root/repo/target/debug/examples/fasta_pipeline-6712cd4cda051361: crates/gendp/../../examples/fasta_pipeline.rs
+
+crates/gendp/../../examples/fasta_pipeline.rs:

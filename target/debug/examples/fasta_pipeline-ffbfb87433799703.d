@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fasta_pipeline-ffbfb87433799703.d: crates/gendp/../../examples/fasta_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfasta_pipeline-ffbfb87433799703.rmeta: crates/gendp/../../examples/fasta_pipeline.rs Cargo.toml
+
+crates/gendp/../../examples/fasta_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

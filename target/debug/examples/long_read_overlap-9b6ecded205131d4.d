@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/long_read_overlap-9b6ecded205131d4.d: crates/gendp/../../examples/long_read_overlap.rs
+
+/root/repo/target/debug/examples/long_read_overlap-9b6ecded205131d4: crates/gendp/../../examples/long_read_overlap.rs
+
+crates/gendp/../../examples/long_read_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/long_read_overlap-dfc2e7d528db2851.d: crates/gendp/../../examples/long_read_overlap.rs
+
+/root/repo/target/debug/examples/long_read_overlap-dfc2e7d528db2851: crates/gendp/../../examples/long_read_overlap.rs
+
+crates/gendp/../../examples/long_read_overlap.rs:

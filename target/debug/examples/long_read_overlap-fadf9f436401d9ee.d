@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/long_read_overlap-fadf9f436401d9ee.d: crates/gendp/../../examples/long_read_overlap.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblong_read_overlap-fadf9f436401d9ee.rmeta: crates/gendp/../../examples/long_read_overlap.rs Cargo.toml
+
+crates/gendp/../../examples/long_read_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b50d5ab41936247.d: crates/gendp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b50d5ab41936247: crates/gendp/../../examples/quickstart.rs
+
+crates/gendp/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f50604d6cc0370e.d: crates/gendp/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f50604d6cc0370e: crates/gendp/../../examples/quickstart.rs
+
+crates/gendp/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5f04f86d2ba72259.d: crates/gendp/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5f04f86d2ba72259.rmeta: crates/gendp/../../examples/quickstart.rs Cargo.toml
+
+crates/gendp/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/read_alignment-0a79b19e22ee4dcc.d: crates/gendp/../../examples/read_alignment.rs
+
+/root/repo/target/debug/examples/read_alignment-0a79b19e22ee4dcc: crates/gendp/../../examples/read_alignment.rs
+
+crates/gendp/../../examples/read_alignment.rs:

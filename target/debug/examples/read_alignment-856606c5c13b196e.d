@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/read_alignment-856606c5c13b196e.d: crates/gendp/../../examples/read_alignment.rs
+
+/root/repo/target/debug/examples/read_alignment-856606c5c13b196e: crates/gendp/../../examples/read_alignment.rs
+
+crates/gendp/../../examples/read_alignment.rs:

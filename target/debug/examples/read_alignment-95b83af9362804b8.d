@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/read_alignment-95b83af9362804b8.d: crates/gendp/../../examples/read_alignment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libread_alignment-95b83af9362804b8.rmeta: crates/gendp/../../examples/read_alignment.rs Cargo.toml
+
+crates/gendp/../../examples/read_alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

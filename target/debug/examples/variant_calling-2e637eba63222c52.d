@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/variant_calling-2e637eba63222c52.d: crates/gendp/../../examples/variant_calling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvariant_calling-2e637eba63222c52.rmeta: crates/gendp/../../examples/variant_calling.rs Cargo.toml
+
+crates/gendp/../../examples/variant_calling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variant_calling-ed5cea49086dcec7.d: crates/gendp/../../examples/variant_calling.rs
+
+/root/repo/target/debug/examples/variant_calling-ed5cea49086dcec7: crates/gendp/../../examples/variant_calling.rs
+
+crates/gendp/../../examples/variant_calling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variant_calling-f4ecc14e0dcdbdbf.d: crates/gendp/../../examples/variant_calling.rs
+
+/root/repo/target/debug/examples/variant_calling-f4ecc14e0dcdbdbf: crates/gendp/../../examples/variant_calling.rs
+
+crates/gendp/../../examples/variant_calling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-4f61d8aca1de23aa.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/release/deps/all_experiments-4f61d8aca1de23aa: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

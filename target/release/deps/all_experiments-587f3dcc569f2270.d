@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-587f3dcc569f2270.d: crates/gendp-bench/src/bin/all-experiments.rs
+
+/root/repo/target/release/deps/all_experiments-587f3dcc569f2270: crates/gendp-bench/src/bin/all-experiments.rs
+
+crates/gendp-bench/src/bin/all-experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deprange-96625329e6d42304.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/release/deps/deprange-96625329e6d42304: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deprange-98c500f79ee1d7ab.d: crates/gendp-bench/src/bin/deprange.rs
+
+/root/repo/target/release/deps/deprange-98c500f79ee1d7ab: crates/gendp-bench/src/bin/deprange.rs
+
+crates/gendp-bench/src/bin/deprange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfg_dot-0a48f4692a9753e2.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/release/deps/dfg_dot-0a48f4692a9753e2: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfg_dot-d7a60a6c5279305a.d: crates/gendp-bench/src/bin/dfg-dot.rs
+
+/root/repo/target/release/deps/dfg_dot-d7a60a6c5279305a: crates/gendp-bench/src/bin/dfg-dot.rs
+
+crates/gendp-bench/src/bin/dfg-dot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a-cfecea57fdd12f66.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/release/deps/fig10a-cfecea57fdd12f66: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

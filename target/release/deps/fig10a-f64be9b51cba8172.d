@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10a-f64be9b51cba8172.d: crates/gendp-bench/src/bin/fig10a.rs
+
+/root/repo/target/release/deps/fig10a-f64be9b51cba8172: crates/gendp-bench/src/bin/fig10a.rs
+
+crates/gendp-bench/src/bin/fig10a.rs:

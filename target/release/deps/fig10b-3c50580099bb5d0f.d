@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10b-3c50580099bb5d0f.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/release/deps/fig10b-3c50580099bb5d0f: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10b-f8a05fec884c708b.d: crates/gendp-bench/src/bin/fig10b.rs
+
+/root/repo/target/release/deps/fig10b-f8a05fec884c708b: crates/gendp-bench/src/bin/fig10b.rs
+
+crates/gendp-bench/src/bin/fig10b.rs:

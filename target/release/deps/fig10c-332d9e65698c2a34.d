@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10c-332d9e65698c2a34.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/release/deps/fig10c-332d9e65698c2a34: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10c-3d8faad7a02e8bfb.d: crates/gendp-bench/src/bin/fig10c.rs
+
+/root/repo/target/release/deps/fig10c-3d8faad7a02e8bfb: crates/gendp-bench/src/bin/fig10c.rs
+
+crates/gendp-bench/src/bin/fig10c.rs:

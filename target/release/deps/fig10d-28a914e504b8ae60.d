@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10d-28a914e504b8ae60.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/release/deps/fig10d-28a914e504b8ae60: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

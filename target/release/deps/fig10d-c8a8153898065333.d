@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10d-c8a8153898065333.d: crates/gendp-bench/src/bin/fig10d.rs
+
+/root/repo/target/release/deps/fig10d-c8a8153898065333: crates/gendp-bench/src/bin/fig10d.rs
+
+crates/gendp-bench/src/bin/fig10d.rs:

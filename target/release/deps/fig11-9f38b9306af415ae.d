@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-9f38b9306af415ae.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-9f38b9306af415ae: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-d3e93519c4029c6c.d: crates/gendp-bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-d3e93519c4029c6c: crates/gendp-bench/src/bin/fig11.rs
+
+crates/gendp-bench/src/bin/fig11.rs:

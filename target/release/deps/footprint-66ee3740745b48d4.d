@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/footprint-66ee3740745b48d4.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/release/deps/footprint-66ee3740745b48d4: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

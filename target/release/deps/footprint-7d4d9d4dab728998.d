@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/footprint-7d4d9d4dab728998.d: crates/gendp-bench/src/bin/footprint.rs
+
+/root/repo/target/release/deps/footprint-7d4d9d4dab728998: crates/gendp-bench/src/bin/footprint.rs
+
+crates/gendp-bench/src/bin/footprint.rs:

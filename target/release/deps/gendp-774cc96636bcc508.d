@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gendp-774cc96636bcc508.d: crates/gendp/src/lib.rs
+
+/root/repo/target/release/deps/libgendp-774cc96636bcc508.rlib: crates/gendp/src/lib.rs
+
+/root/repo/target/release/deps/libgendp-774cc96636bcc508.rmeta: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gendp-b64e5de907f6a901.d: crates/gendp/src/lib.rs
+
+/root/repo/target/release/deps/libgendp-b64e5de907f6a901.rlib: crates/gendp/src/lib.rs
+
+/root/repo/target/release/deps/libgendp-b64e5de907f6a901.rmeta: crates/gendp/src/lib.rs
+
+crates/gendp/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gendp_bench-5220d54a74d978bd.d: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/release/deps/libgendp_bench-5220d54a74d978bd.rlib: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/release/deps/libgendp_bench-5220d54a74d978bd.rmeta: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+crates/gendp-bench/src/lib.rs:
+crates/gendp-bench/src/measure.rs:
+crates/gendp-bench/src/tables.rs:

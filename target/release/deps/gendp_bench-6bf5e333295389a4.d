@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gendp_bench-6bf5e333295389a4.d: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/release/deps/libgendp_bench-6bf5e333295389a4.rlib: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+/root/repo/target/release/deps/libgendp_bench-6bf5e333295389a4.rmeta: crates/gendp-bench/src/lib.rs crates/gendp-bench/src/measure.rs crates/gendp-bench/src/tables.rs
+
+crates/gendp-bench/src/lib.rs:
+crates/gendp-bench/src/measure.rs:
+crates/gendp-bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gendp_core-6e8ea1878a4d839d.d: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/release/deps/libgendp_core-6e8ea1878a4d839d.rlib: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/release/deps/libgendp_core-6e8ea1878a4d839d.rmeta: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+crates/gendp-core/src/lib.rs:
+crates/gendp-core/src/graph2d.rs:
+crates/gendp-core/src/linear1d.rs:
+crates/gendp-core/src/pipeline.rs:
+crates/gendp-core/src/spm1d.rs:
+crates/gendp-core/src/wavefront2d.rs:

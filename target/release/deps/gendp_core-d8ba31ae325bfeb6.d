@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gendp_core-d8ba31ae325bfeb6.d: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/release/deps/libgendp_core-d8ba31ae325bfeb6.rlib: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+/root/repo/target/release/deps/libgendp_core-d8ba31ae325bfeb6.rmeta: crates/gendp-core/src/lib.rs crates/gendp-core/src/graph2d.rs crates/gendp-core/src/linear1d.rs crates/gendp-core/src/pipeline.rs crates/gendp-core/src/spm1d.rs crates/gendp-core/src/wavefront2d.rs
+
+crates/gendp-core/src/lib.rs:
+crates/gendp-core/src/graph2d.rs:
+crates/gendp-core/src/linear1d.rs:
+crates/gendp-core/src/pipeline.rs:
+crates/gendp-core/src/spm1d.rs:
+crates/gendp-core/src/wavefront2d.rs:

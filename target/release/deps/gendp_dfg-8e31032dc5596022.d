@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gendp_dfg-8e31032dc5596022.d: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+/root/repo/target/release/deps/libgendp_dfg-8e31032dc5596022.rlib: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+/root/repo/target/release/deps/libgendp_dfg-8e31032dc5596022.rmeta: crates/gendp-dfg/src/lib.rs crates/gendp-dfg/src/dot.rs crates/gendp-dfg/src/eval.rs crates/gendp-dfg/src/graph.rs
+
+crates/gendp-dfg/src/lib.rs:
+crates/gendp-dfg/src/dot.rs:
+crates/gendp-dfg/src/eval.rs:
+crates/gendp-dfg/src/graph.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gendp_dpax-ab36d6586eb70c36.d: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+/root/repo/target/release/deps/libgendp_dpax-ab36d6586eb70c36.rlib: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+/root/repo/target/release/deps/libgendp_dpax-ab36d6586eb70c36.rmeta: crates/gendp-dpax/src/lib.rs crates/gendp-dpax/src/array.rs crates/gendp-dpax/src/config.rs crates/gendp-dpax/src/error.rs crates/gendp-dpax/src/pe.rs crates/gendp-dpax/src/stats.rs crates/gendp-dpax/src/trace.rs
+
+crates/gendp-dpax/src/lib.rs:
+crates/gendp-dpax/src/array.rs:
+crates/gendp-dpax/src/config.rs:
+crates/gendp-dpax/src/error.rs:
+crates/gendp-dpax/src/pe.rs:
+crates/gendp-dpax/src/stats.rs:
+crates/gendp-dpax/src/trace.rs:

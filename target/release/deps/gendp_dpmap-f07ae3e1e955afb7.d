@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gendp_dpmap-f07ae3e1e955afb7.d: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+/root/repo/target/release/deps/libgendp_dpmap-f07ae3e1e955afb7.rlib: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+/root/repo/target/release/deps/libgendp_dpmap-f07ae3e1e955afb7.rmeta: crates/gendp-dpmap/src/lib.rs crates/gendp-dpmap/src/codegen.rs crates/gendp-dpmap/src/phases.rs crates/gendp-dpmap/src/stats.rs crates/gendp-dpmap/src/subgraph.rs crates/gendp-dpmap/src/work.rs
+
+crates/gendp-dpmap/src/lib.rs:
+crates/gendp-dpmap/src/codegen.rs:
+crates/gendp-dpmap/src/phases.rs:
+crates/gendp-dpmap/src/stats.rs:
+crates/gendp-dpmap/src/subgraph.rs:
+crates/gendp-dpmap/src/work.rs:

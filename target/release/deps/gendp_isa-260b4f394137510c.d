@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gendp_isa-260b4f394137510c.d: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+/root/repo/target/release/deps/libgendp_isa-260b4f394137510c.rlib: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+/root/repo/target/release/deps/libgendp_isa-260b4f394137510c.rmeta: crates/gendp-isa/src/lib.rs crates/gendp-isa/src/compute.rs crates/gendp-isa/src/control.rs crates/gendp-isa/src/error.rs crates/gendp-isa/src/loc.rs crates/gendp-isa/src/program.rs crates/gendp-isa/src/sem.rs crates/gendp-isa/src/word.rs
+
+crates/gendp-isa/src/lib.rs:
+crates/gendp-isa/src/compute.rs:
+crates/gendp-isa/src/control.rs:
+crates/gendp-isa/src/error.rs:
+crates/gendp-isa/src/loc.rs:
+crates/gendp-isa/src/program.rs:
+crates/gendp-isa/src/sem.rs:
+crates/gendp-isa/src/word.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/gendp_kernels-69174ec7a8daabfe.d: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+/root/repo/target/release/deps/libgendp_kernels-69174ec7a8daabfe.rlib: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+/root/repo/target/release/deps/libgendp_kernels-69174ec7a8daabfe.rmeta: crates/gendp-kernels/src/lib.rs crates/gendp-kernels/src/align.rs crates/gendp-kernels/src/bellman_ford.rs crates/gendp-kernels/src/bsw.rs crates/gendp-kernels/src/chain.rs crates/gendp-kernels/src/cigar.rs crates/gendp-kernels/src/dfgs.rs crates/gendp-kernels/src/dtw.rs crates/gendp-kernels/src/info.rs crates/gendp-kernels/src/lcs.rs crates/gendp-kernels/src/pairhmm.rs crates/gendp-kernels/src/poa.rs crates/gendp-kernels/src/scoring.rs
+
+crates/gendp-kernels/src/lib.rs:
+crates/gendp-kernels/src/align.rs:
+crates/gendp-kernels/src/bellman_ford.rs:
+crates/gendp-kernels/src/bsw.rs:
+crates/gendp-kernels/src/chain.rs:
+crates/gendp-kernels/src/cigar.rs:
+crates/gendp-kernels/src/dfgs.rs:
+crates/gendp-kernels/src/dtw.rs:
+crates/gendp-kernels/src/info.rs:
+crates/gendp-kernels/src/lcs.rs:
+crates/gendp-kernels/src/pairhmm.rs:
+crates/gendp-kernels/src/poa.rs:
+crates/gendp-kernels/src/scoring.rs:

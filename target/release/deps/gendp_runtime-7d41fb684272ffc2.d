@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gendp_runtime-7d41fb684272ffc2.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/release/deps/libgendp_runtime-7d41fb684272ffc2.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/release/deps/libgendp_runtime-7d41fb684272ffc2.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+
+crates/gendp-runtime/src/lib.rs:
+crates/gendp-runtime/src/batch.rs:
+crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/policy.rs:
+crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/task.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/gendp_seq-5d62fc29244e026b.d: crates/gendp-seq/src/lib.rs crates/gendp-seq/src/anchors.rs crates/gendp-seq/src/fasta.rs crates/gendp-seq/src/phred.rs crates/gendp-seq/src/base.rs crates/gendp-seq/src/genome.rs crates/gendp-seq/src/haplotype.rs crates/gendp-seq/src/mutate.rs crates/gendp-seq/src/readgroup.rs crates/gendp-seq/src/reads.rs crates/gendp-seq/src/seq.rs
+
+/root/repo/target/release/deps/libgendp_seq-5d62fc29244e026b.rlib: crates/gendp-seq/src/lib.rs crates/gendp-seq/src/anchors.rs crates/gendp-seq/src/fasta.rs crates/gendp-seq/src/phred.rs crates/gendp-seq/src/base.rs crates/gendp-seq/src/genome.rs crates/gendp-seq/src/haplotype.rs crates/gendp-seq/src/mutate.rs crates/gendp-seq/src/readgroup.rs crates/gendp-seq/src/reads.rs crates/gendp-seq/src/seq.rs
+
+/root/repo/target/release/deps/libgendp_seq-5d62fc29244e026b.rmeta: crates/gendp-seq/src/lib.rs crates/gendp-seq/src/anchors.rs crates/gendp-seq/src/fasta.rs crates/gendp-seq/src/phred.rs crates/gendp-seq/src/base.rs crates/gendp-seq/src/genome.rs crates/gendp-seq/src/haplotype.rs crates/gendp-seq/src/mutate.rs crates/gendp-seq/src/readgroup.rs crates/gendp-seq/src/reads.rs crates/gendp-seq/src/seq.rs
+
+crates/gendp-seq/src/lib.rs:
+crates/gendp-seq/src/anchors.rs:
+crates/gendp-seq/src/fasta.rs:
+crates/gendp-seq/src/phred.rs:
+crates/gendp-seq/src/base.rs:
+crates/gendp-seq/src/genome.rs:
+crates/gendp-seq/src/haplotype.rs:
+crates/gendp-seq/src/mutate.rs:
+crates/gendp-seq/src/readgroup.rs:
+crates/gendp-seq/src/reads.rs:
+crates/gendp-seq/src/seq.rs:

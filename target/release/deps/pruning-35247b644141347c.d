@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pruning-35247b644141347c.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/release/deps/pruning-35247b644141347c: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pruning-549efd4b706d2832.d: crates/gendp-bench/src/bin/pruning.rs
+
+/root/repo/target/release/deps/pruning-549efd4b706d2832: crates/gendp-bench/src/bin/pruning.rs
+
+crates/gendp-bench/src/bin/pruning.rs:

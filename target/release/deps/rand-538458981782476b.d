@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-538458981782476b.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-538458981782476b.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-538458981782476b.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

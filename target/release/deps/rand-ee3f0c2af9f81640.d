@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ee3f0c2af9f81640.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ee3f0c2af9f81640.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ee3f0c2af9f81640.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

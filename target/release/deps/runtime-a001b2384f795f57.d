@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-a001b2384f795f57.d: crates/gendp-bench/benches/runtime.rs
+
+/root/repo/target/release/deps/runtime-a001b2384f795f57: crates/gendp-bench/benches/runtime.rs
+
+crates/gendp-bench/benches/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-f0f1e2ad53171f38.d: crates/gendp-bench/benches/runtime.rs
+
+/root/repo/target/release/deps/runtime-f0f1e2ad53171f38: crates/gendp-bench/benches/runtime.rs
+
+crates/gendp-bench/benches/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0255519c9f0eb6ed.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0255519c9f0eb6ed: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-498a4342b5c17846.d: crates/gendp-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-498a4342b5c17846: crates/gendp-bench/src/bin/table1.rs
+
+crates/gendp-bench/src/bin/table1.rs:

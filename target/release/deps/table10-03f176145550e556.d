@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-03f176145550e556.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-03f176145550e556: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table10-098a397e880ced85.d: crates/gendp-bench/src/bin/table10.rs
+
+/root/repo/target/release/deps/table10-098a397e880ced85: crates/gendp-bench/src/bin/table10.rs
+
+crates/gendp-bench/src/bin/table10.rs:

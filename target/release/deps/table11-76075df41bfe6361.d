@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11-76075df41bfe6361.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/release/deps/table11-76075df41bfe6361: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table11-ca45c0e92a3f8663.d: crates/gendp-bench/src/bin/table11.rs
+
+/root/repo/target/release/deps/table11-ca45c0e92a3f8663: crates/gendp-bench/src/bin/table11.rs
+
+crates/gendp-bench/src/bin/table11.rs:

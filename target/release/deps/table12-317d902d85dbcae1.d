@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12-317d902d85dbcae1.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/release/deps/table12-317d902d85dbcae1: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

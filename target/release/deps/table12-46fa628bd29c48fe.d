@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table12-46fa628bd29c48fe.d: crates/gendp-bench/src/bin/table12.rs
+
+/root/repo/target/release/deps/table12-46fa628bd29c48fe: crates/gendp-bench/src/bin/table12.rs
+
+crates/gendp-bench/src/bin/table12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13-aae0301409625dbd.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/release/deps/table13-aae0301409625dbd: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13-f0ee0227cc93a167.d: crates/gendp-bench/src/bin/table13.rs
+
+/root/repo/target/release/deps/table13-f0ee0227cc93a167: crates/gendp-bench/src/bin/table13.rs
+
+crates/gendp-bench/src/bin/table13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table14-47bd05b4f3960c14.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/release/deps/table14-47bd05b4f3960c14: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

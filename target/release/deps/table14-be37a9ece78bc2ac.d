@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table14-be37a9ece78bc2ac.d: crates/gendp-bench/src/bin/table14.rs
+
+/root/repo/target/release/deps/table14-be37a9ece78bc2ac: crates/gendp-bench/src/bin/table14.rs
+
+crates/gendp-bench/src/bin/table14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15-12eb2c1ad8b411eb.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/release/deps/table15-12eb2c1ad8b411eb: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

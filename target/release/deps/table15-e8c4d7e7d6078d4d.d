@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15-e8c4d7e7d6078d4d.d: crates/gendp-bench/src/bin/table15.rs
+
+/root/repo/target/release/deps/table15-e8c4d7e7d6078d4d: crates/gendp-bench/src/bin/table15.rs
+
+crates/gendp-bench/src/bin/table15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table16-0b325a57e4409bab.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/release/deps/table16-0b325a57e4409bab: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

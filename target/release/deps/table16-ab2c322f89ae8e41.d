@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table16-ab2c322f89ae8e41.d: crates/gendp-bench/src/bin/table16.rs
+
+/root/repo/target/release/deps/table16-ab2c322f89ae8e41: crates/gendp-bench/src/bin/table16.rs
+
+crates/gendp-bench/src/bin/table16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-2b6a26ebd5542a7f.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-2b6a26ebd5542a7f: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d75da2966444e435.d: crates/gendp-bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d75da2966444e435: crates/gendp-bench/src/bin/table2.rs
+
+crates/gendp-bench/src/bin/table2.rs:

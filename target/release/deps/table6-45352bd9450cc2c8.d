@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-45352bd9450cc2c8.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-45352bd9450cc2c8: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-dacf18e15ff06a4b.d: crates/gendp-bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-dacf18e15ff06a4b: crates/gendp-bench/src/bin/table6.rs
+
+crates/gendp-bench/src/bin/table6.rs:

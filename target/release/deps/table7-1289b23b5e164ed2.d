@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-1289b23b5e164ed2.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-1289b23b5e164ed2: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-990cd056f0a63993.d: crates/gendp-bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-990cd056f0a63993: crates/gendp-bench/src/bin/table7.rs
+
+crates/gendp-bench/src/bin/table7.rs:

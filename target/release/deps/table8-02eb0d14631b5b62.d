@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-02eb0d14631b5b62.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-02eb0d14631b5b62: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

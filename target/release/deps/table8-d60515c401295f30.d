@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-d60515c401295f30.d: crates/gendp-bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-d60515c401295f30: crates/gendp-bench/src/bin/table8.rs
+
+crates/gendp-bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-21f79a650f523955.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-21f79a650f523955: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table9-e583083d367c893d.d: crates/gendp-bench/src/bin/table9.rs
+
+/root/repo/target/release/deps/table9-e583083d367c893d: crates/gendp-bench/src/bin/table9.rs
+
+crates/gendp-bench/src/bin/table9.rs:

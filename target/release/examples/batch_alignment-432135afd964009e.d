@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_alignment-432135afd964009e.d: crates/gendp/../../examples/batch_alignment.rs
+
+/root/repo/target/release/examples/batch_alignment-432135afd964009e: crates/gendp/../../examples/batch_alignment.rs
+
+crates/gendp/../../examples/batch_alignment.rs:

@@ -39,8 +39,14 @@ fn global_mode_various_array_sizes() {
     let expect = bsw_i32(&q, &t, &scoring, 1000, AlignMode::Global);
     for n_pes in [1, 2, 4, 8] {
         let accel = GendpPipeline::bsw_global(&scoring);
-        let out = accel.run(&codes(&t), &codes(&q), n_pes).expect("simulation");
-        assert_eq!(*out.last_row["h"].last().unwrap(), expect.score, "n_pes {n_pes}");
+        let out = accel
+            .run(&codes(&t), &codes(&q), n_pes)
+            .expect("simulation");
+        assert_eq!(
+            *out.last_row["h"].last().unwrap(),
+            expect.score,
+            "n_pes {n_pes}"
+        );
     }
 }
 
@@ -181,7 +187,11 @@ fn simd16_handles_scores_beyond_8_bit() {
     let out = accel.run(&rows, &cols, 4).expect("simulation");
     let scores = bsw_simd16_scores(&out);
     let expect = bsw_i16(&q, &t, &scoring, 1000);
-    assert!(expect.score > 127, "score {} must exceed 8-bit", expect.score);
+    assert!(
+        expect.score > 127,
+        "score {} must exceed 8-bit",
+        expect.score
+    );
     assert_eq!(scores[0] as i32, expect.score);
     assert_eq!(scores[1] as i32, expect.score);
 }

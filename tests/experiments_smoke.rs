@@ -12,8 +12,8 @@ use gendp::model::power::PowerBreakdown;
 use gendp::model::scalability::scale_tiles;
 use gendp::model::scalar_isa::{instructions_per_cell, ScalarIsa};
 use gendp::model::softbrain::softbrain_mappings;
-use gendp::model::tia::{estimate_tia, TiaPattern};
 use gendp::model::throughput::geomean;
+use gendp::model::tia::{estimate_tia, TiaPattern};
 
 #[test]
 fn table7_totals() {
@@ -44,8 +44,7 @@ fn table10_tia_estimates_track_paper() {
         let paper_tis = PAPER.tia_tis[idx];
         // Within 2x of the paper's counts: the model is an estimate.
         assert!(
-            est.tis as f64 / paper_tis as f64 > 0.5
-                && (est.tis as f64 / paper_tis as f64) < 2.0,
+            est.tis as f64 / paper_tis as f64 > 0.5 && (est.tis as f64 / paper_tis as f64) < 2.0,
             "{kernel}: est {} vs paper {paper_tis}",
             est.tis
         );

@@ -8,12 +8,8 @@ use gendp::seq::{Anchor, DnaSeq};
 use proptest::prelude::*;
 
 fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
-    prop::collection::vec(0u8..4, len).prop_map(|codes| {
-        codes
-            .into_iter()
-            .map(gendp::seq::Base::from_code)
-            .collect()
-    })
+    prop::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(gendp::seq::Base::from_code).collect())
 }
 
 proptest! {

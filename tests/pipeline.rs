@@ -58,8 +58,7 @@ fn tree_depth_ablation_is_monotone_for_all_kernels() {
         );
         assert!(l1.rf_accesses() >= l3.rf_accesses(), "{}", dfg.name());
         assert!(
-            l1.cu_utilization() >= l2.cu_utilization()
-                && l2.cu_utilization() > l3.cu_utilization(),
+            l1.cu_utilization() >= l2.cu_utilization() && l2.cu_utilization() > l3.cu_utilization(),
             "{}",
             dfg.name()
         );

@@ -1,0 +1,286 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored because the build environment has no registry access.
+//!
+//! Benchmarks compile and run with the same source as against the registry
+//! crate; measurement is a simple calibrated mean (wall time per
+//! iteration, plus throughput when declared) printed to stdout — no
+//! statistical analysis, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating an iteration count so one benchmark
+    /// stays within a bounded wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration run (also warms caches).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Budget ~200ms per benchmark, capped by the configured samples.
+        let budget = Duration::from_millis(200);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, self.sample_size as u128) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let stats = BenchStats {
+            iters,
+            mean: t1.elapsed() / iters as u32,
+        };
+        CURRENT_STATS.with(|slot| slot.set(Some(stats)));
+    }
+}
+
+/// Result of one benchmark: iterations run and mean wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+}
+
+fn report(id: &str, stats: BenchStats, throughput: Option<Throughput>) {
+    let per_iter = stats.mean.as_secs_f64();
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {:.3} Kelem/s", n as f64 / per_iter / 1e3),
+        Throughput::Bytes(n) => format!(
+            "  thrpt: {:.3} MiB/s",
+            n as f64 / per_iter / (1 << 20) as f64
+        ),
+    });
+    println!(
+        "{id:<40} time: {:>12.3?} ({} iters){}",
+        stats.mean,
+        stats.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// The benchmark manager: holds configuration and runs benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size as u64,
+        };
+        let stats = run_one(&mut b, &mut f);
+        report(id, stats, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Runs the user closure against a fresh [`Bencher`] and returns the stats
+/// its `iter` call recorded (zeros if the closure never called `iter`).
+fn run_one<F: FnMut(&mut Bencher)>(b: &mut Bencher, f: &mut F) -> BenchStats {
+    CURRENT_STATS.with(|slot| slot.take());
+    f(b);
+    CURRENT_STATS
+        .with(|slot| slot.take())
+        .unwrap_or(BenchStats {
+            iters: 0,
+            mean: Duration::ZERO,
+        })
+}
+
+thread_local! {
+    static CURRENT_STATS: std::cell::Cell<Option<BenchStats>> = const { std::cell::Cell::new(None) };
+}
+
+/// A group of related benchmarks sharing a name and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size as u64,
+        };
+        let stats = run_one(&mut b, &mut f);
+        report(&format!("{}/{}", self.name, id.id), stats, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark-group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| black_box(7 * 7));
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_every_shape() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { sample_size: 20 };
+        b.iter(|| std::thread::sleep(std::time::Duration::from_micros(50)));
+        let stats = CURRENT_STATS
+            .with(|slot| slot.get())
+            .expect("iter records stats");
+        assert!(stats.iters >= 1);
+        assert!(stats.mean >= std::time::Duration::from_micros(40));
+    }
+}

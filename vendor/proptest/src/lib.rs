@@ -1,0 +1,389 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate, vendored because
+//! the build environment has no registry access.
+//!
+//! It implements the surface this workspace's property tests use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `boxed`, [`prop_oneof!`], [`strategy::Just`],
+//! [`arbitrary::any`], [`collection::vec`], `array::uniform{2,3,4}`,
+//! ranges as strategies, and the `prop_assert*` / [`prop_assume!`]
+//! macros — on top of a deterministic per-test RNG.
+//!
+//! Unlike the registry crate there is **no shrinking**: a failing case
+//! reports the assertion message and case number only. Generation is
+//! purely random (deterministic per test name), which preserves the
+//! tests' role as randomized differential checks.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` strategies for primitives.
+
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// A uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]`, each element drawn independently.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    /// Strategy for 2-element arrays of `strategy` values.
+    pub fn uniform2<S: Strategy>(strategy: S) -> UniformArray<S, 2> {
+        UniformArray(strategy)
+    }
+
+    /// Strategy for 3-element arrays of `strategy` values.
+    pub fn uniform3<S: Strategy>(strategy: S) -> UniformArray<S, 3> {
+        UniformArray(strategy)
+    }
+
+    /// Strategy for 4-element arrays of `strategy` values.
+    pub fn uniform4<S: Strategy>(strategy: S) -> UniformArray<S, 4> {
+        UniformArray(strategy)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring the registry crate's prelude.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`,
+    /// `prop::array::uniform4`, ...).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property-test functions: each parameter is drawn from its
+/// strategy for every case, and `prop_assert*` failures abort the run
+/// with the case's message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut __cases_passed: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __cases_passed < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({} attempts, {} passed)",
+                            stringify!($name), __attempts, __cases_passed
+                        );
+                    }
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __cases_passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name), __cases_passed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (all must share a value
+/// type). Weighted arms are not supported by this subset.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = i32> {
+        (0i32..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn mapped_values_hold_invariants(v in small_even(), w in 1usize..8) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!((1..8).contains(&w));
+        }
+
+        #[test]
+        fn vectors_respect_size_and_range(
+            xs in prop::collection::vec(-5i32..5, 2..10),
+            arr in prop::array::uniform4(0u16..100),
+        ) {
+            prop_assert!((2..10).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|x| (-5..5).contains(x)));
+            prop_assert!(arr.iter().all(|&a| a < 100));
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(
+            v in prop_oneof![Just(1i32), Just(2i32), 10i32..20],
+            pair in (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(0u8..4, n))),
+        ) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+            let (n, xs) = pair;
+            prop_assert_eq!(xs.len(), n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0i32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(v in 0i32..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}
