@@ -29,6 +29,7 @@ pub struct PoaAccelerator {
     mapping: Mapping,
     scoring: Scoring,
     gap: i32,
+    budget_scale: u64,
 }
 
 /// Functional result of aligning one sequence to the graph on DPAx.
@@ -69,7 +70,21 @@ impl PoaAccelerator {
             mapping: map_dfg(&poa_dfg(&scoring)),
             scoring,
             gap,
+            budget_scale: 1,
         }
+    }
+
+    /// Scales the internally derived cycle budget (retry escalation after
+    /// a [`SimError::Timeout`]); the budget is only a cutoff, never a
+    /// result change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn budget_scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "budget scale must be positive");
+        self.budget_scale = scale;
+        self
     }
 
     /// The DPMap result for the objective function.
@@ -367,11 +382,12 @@ impl PoaAccelerator {
         array.feed_input(seq.codes().iter().map(|&c| Word::from_i32(c as i32)));
 
         let m = plan.rows.len() as u64;
-        let budget = (m + n_pes as u64)
+        let budget = ((m + n_pes as u64)
             * (n as u64 + 4)
             * (self.mapping.program.len() as u64 * 3 + 6 * max_live as u64 + 24)
             * 4
-            + 10_000;
+            + 10_000)
+            .saturating_mul(self.budget_scale);
         let stats = array.run(budget)?;
         let score = array
             .output()

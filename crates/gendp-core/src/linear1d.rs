@@ -24,6 +24,7 @@ use gendp_seq::Anchor;
 pub struct ChainAccelerator {
     mapping: Mapping,
     params: ChainParams,
+    budget_scale: u64,
 }
 
 /// Functional result of one chaining task on DPAx.
@@ -45,7 +46,21 @@ impl ChainAccelerator {
         ChainAccelerator {
             mapping: map_dfg(&chain_dfg(&params)),
             params,
+            budget_scale: 1,
         }
+    }
+
+    /// Scales the internally derived cycle budget (retry escalation after
+    /// a [`SimError::Timeout`]); the budget is only a cutoff, never a
+    /// result change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn budget_scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "budget scale must be positive");
+        self.budget_scale = scale;
+        self
     }
 
     /// The chaining parameters (window = the PE count passed to
@@ -191,8 +206,9 @@ impl ChainAccelerator {
             );
         }
         let budget =
-            (anchors.len() as u64 + n_pes as u64) * (self.mapping.program.len() as u64 + 24) * 4
-                + 10_000;
+            ((anchors.len() as u64 + n_pes as u64) * (self.mapping.program.len() as u64 + 24) * 4
+                + 10_000)
+                .saturating_mul(self.budget_scale);
         let stats = array.run(budget)?;
         let scores = array.output().iter().map(|w| w.as_i32()).collect();
         Ok(ChainRun { scores, stats })

@@ -18,6 +18,7 @@ pub const INF: i32 = 1 << 28;
 #[derive(Debug)]
 pub struct BellmanFordAccelerator {
     mapping: Mapping,
+    budget_scale: u64,
 }
 
 /// Functional result of one shortest-path task on DPAx.
@@ -40,7 +41,21 @@ impl BellmanFordAccelerator {
     pub fn new() -> Self {
         BellmanFordAccelerator {
             mapping: map_dfg(&bellman_ford_dfg()),
+            budget_scale: 1,
         }
+    }
+
+    /// Scales the internally derived cycle budget (retry escalation after
+    /// a [`SimError::Timeout`]); the budget is only a cutoff, never a
+    /// result change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn budget_scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "budget scale must be positive");
+        self.budget_scale = scale;
+        self
     }
 
     /// The DPMap result for the relaxation.
@@ -119,9 +134,10 @@ impl BellmanFordAccelerator {
         let mut array = PeArray::new(cfg);
         array.load_pe_control(0, prog);
         array.load_pe_compute(0, self.mapping.program.clone());
-        let budget = (rounds as u64 * graph.edge_count() as u64 + n as u64)
+        let budget = ((rounds as u64 * graph.edge_count() as u64 + n as u64)
             * (self.mapping.program.len() as u64 + 8)
-            + 10_000;
+            + 10_000)
+            .saturating_mul(self.budget_scale);
         let stats = array.run(budget)?;
         let dist = array.output().iter().map(|x| x.as_i32()).collect();
         Ok(BellmanFordRun { dist, stats })

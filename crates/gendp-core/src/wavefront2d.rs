@@ -119,6 +119,10 @@ pub struct Wavefront2d {
     /// Landing RF slot per streamed value.
     landing: BTreeMap<String, u16>,
     rf_slots: usize,
+    /// Multiplier on the internally derived cycle budget (retry
+    /// escalation); never changes results, only the [`SimError::Timeout`]
+    /// cutoff.
+    budget_scale: u64,
 }
 
 /// Functional results of one accelerator task.
@@ -167,7 +171,22 @@ impl Wavefront2d {
             drain: Vec::new(),
             landing: BTreeMap::new(),
             rf_slots,
+            budget_scale: 1,
         }
+    }
+
+    /// Scales the internally derived cycle budget by `scale` (retry
+    /// escalation after a [`SimError::Timeout`]). The budget is only a
+    /// cutoff: a run that completes produces identical results and cycle
+    /// counts at any scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn budget_scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "budget scale must be positive");
+        self.budget_scale = scale;
+        self
     }
 
     fn ext_slot(&self, name: &str) -> u16 {
@@ -618,11 +637,12 @@ impl Wavefront2d {
             array.load_pe_control(p, self.pe_program_banded(p, n_pes, rows, &padded, width));
         }
         array.load_compute_all(&self.mapping.program);
-        let budget = (m as u64 + n_pes as u64)
+        let budget = ((m as u64 + n_pes as u64)
             * (width as u64 + 4)
             * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
             * 4
-            + 10_000;
+            + 10_000)
+            .saturating_mul(self.budget_scale);
         let stats = array.run(budget)?;
         let out = array.output();
         let active_pes = n_pes.min(m);
@@ -691,11 +711,12 @@ impl Wavefront2d {
         }
         array.load_compute_all(&self.mapping.program);
         array.feed_input(cols.iter().map(|&c| Word::from_i32(c)));
-        let budget = (m as u64 + n_pes as u64)
+        let budget = ((m as u64 + n_pes as u64)
             * (n as u64 + 4)
             * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
             * 4
-            + 10_000;
+            + 10_000)
+            .saturating_mul(self.budget_scale);
         let stats = array.run(budget)?;
 
         // Parse the output buffer: last-row collects then drains.

@@ -19,6 +19,36 @@ pub enum SimError {
     BadAccess(String),
 }
 
+/// How a batch runtime should treat a [`SimError`] when deciding whether
+/// (and how) to retry the failed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Retryability {
+    /// The run was cut off by its cycle budget ([`SimError::Timeout`]):
+    /// re-running the same computation with a larger budget can succeed.
+    EscalateBudget,
+    /// The failure is deterministic for this program + input
+    /// ([`SimError::Deadlock`], [`SimError::BadAccess`]): re-running the
+    /// identical computation fails identically, but re-dispatching to a
+    /// different array is sound when the fault may be unit-local (a
+    /// corrupted or injected-faulty array slot).
+    Redispatch,
+}
+
+impl SimError {
+    /// Classifies this error for retry handling.
+    pub fn retryability(&self) -> Retryability {
+        match self {
+            SimError::Timeout { .. } => Retryability::EscalateBudget,
+            SimError::Deadlock(_) | SimError::BadAccess(_) => Retryability::Redispatch,
+        }
+    }
+
+    /// True if a retry with a larger cycle budget can clear this error.
+    pub fn is_budget_bound(&self) -> bool {
+        self.retryability() == Retryability::EscalateBudget
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -48,5 +78,23 @@ mod tests {
         assert!(SimError::BadAccess("rf[999]".into())
             .to_string()
             .contains("rf"));
+    }
+
+    #[test]
+    fn retryability_classifies_by_kind() {
+        assert_eq!(
+            SimError::Timeout { max_cycles: 10 }.retryability(),
+            Retryability::EscalateBudget
+        );
+        assert!(SimError::Timeout { max_cycles: 10 }.is_budget_bound());
+        assert_eq!(
+            SimError::Deadlock("pe0".into()).retryability(),
+            Retryability::Redispatch
+        );
+        assert_eq!(
+            SimError::BadAccess("rf[9]".into()).retryability(),
+            Retryability::Redispatch
+        );
+        assert!(!SimError::Deadlock("pe0".into()).is_budget_bound());
     }
 }

@@ -54,7 +54,7 @@ mod trace;
 
 pub use array::PeArray;
 pub use config::PeArrayConfig;
-pub use error::SimError;
+pub use error::{Retryability, SimError};
 pub use stats::{PeStats, RunStats};
 pub use trace::{Trace, TraceEvent};
 

@@ -59,7 +59,9 @@ impl BatchAligner {
     ///
     /// # Errors
     ///
-    /// Propagates the device's [`RuntimeError`] if any simulation fails.
+    /// Alignment is all-or-nothing: the device's retry policy gets every
+    /// chance first ([`BatchOutcome::into_strict`](crate::BatchOutcome::into_strict)),
+    /// then any task that still failed propagates as a [`RuntimeError`].
     pub fn align(&self, reads: &[Read]) -> Result<BatchAlignment, RuntimeError> {
         let tasks: Vec<Task> = reads
             .iter()
@@ -75,7 +77,7 @@ impl BatchAligner {
             })
             .collect();
         let mut device = Device::new(self.config);
-        let batch = device.run_batch(tasks)?;
+        let batch = device.run_batch(tasks)?.into_strict()?;
         let scores = batch
             .results
             .iter()

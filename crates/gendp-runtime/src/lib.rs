@@ -30,6 +30,22 @@
 //!   (`gendp-seq`) plus a read set in, alignment scores plus a device
 //!   utilization report out.
 //!
+//! ## Fault tolerance
+//!
+//! Batches degrade instead of aborting. [`Device::run_batch`] returns a
+//! [`BatchOutcome`] with a per-task `Result`: a failing task is retried
+//! under the [`RetryPolicy`] in [`DeviceConfig::retry`] (cycle-budget
+//! escalation for timeouts, re-dispatch to another array for everything
+//! else), arrays that keep failing are quarantined — never below one
+//! healthy slot per class — and a panicking task is contained with
+//! [`std::panic::catch_unwind`] at the task boundary instead of killing
+//! its worker. The [`RecoveryReport`] in every [`DeviceReport`] counts
+//! what happened. Deterministic chaos testing drives all of it: a
+//! [`FaultConfig`] in [`DeviceConfig::fault`] injects simulator errors
+//! and worker panics as a pure function of `(seed, task, attempt)`, so a
+//! fault plan replays byte-identically at any worker count
+//! ([`BatchOutcome::fingerprint`]).
+//!
 //! ```
 //! use gendp_runtime::{BatchAligner, Device, DeviceConfig, DispatchPolicy, Task};
 //! use gendp_kernels::Scoring;
@@ -51,22 +67,31 @@
 //!     ..DeviceConfig::default()
 //! });
 //! let batch = device.run_batch(tasks)?;
+//! assert!(batch.is_complete());
 //! assert_eq!(batch.results.len(), 8);
 //! assert!(batch.report.makespan_cycles() > 0);
+//! assert!(batch.report.recovery.is_clean());
 //! # Ok(())
 //! # }
 //! ```
 
 mod batch;
 mod device;
+mod fault;
 mod policy;
 mod queue;
+mod recovery;
 mod report;
+mod sync;
 mod task;
 
 pub use batch::{BatchAligner, BatchAlignment};
-pub use device::{BatchRun, Device, DeviceConfig, RuntimeError};
+pub use device::{BatchOutcome, BatchRun, Device, DeviceConfig, RuntimeError};
+pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, InjectedFault, PPM};
 pub use policy::DispatchPolicy;
 pub use queue::BoundedQueue;
-pub use report::{ArrayReport, DeviceReport, KernelStats};
-pub use task::{ArrayClass, KernelKind, Task, TaskResult, TaskValue, DTW_BAND_SENTINEL};
+pub use recovery::{RetryPolicy, SlotHealth};
+pub use report::{ArrayReport, DeviceReport, KernelStats, RecoveryReport};
+pub use task::{
+    ArrayClass, KernelKind, Task, TaskFailure, TaskResult, TaskValue, DTW_BAND_SENTINEL,
+};

@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
+
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -43,9 +45,9 @@ impl<T> BoundedQueue<T> {
     /// Enqueues an item, blocking while the queue is full. Returns the
     /// item back if the queue has been closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         while inner.items.len() >= self.capacity && !inner.closed {
-            inner = self.space.wait(inner).expect("queue poisoned");
+            inner = wait_unpoisoned(&self.space, inner);
         }
         if inner.closed {
             return Err(item);
@@ -57,7 +59,7 @@ impl<T> BoundedQueue<T> {
 
     /// Dequeues from the front, or `None` if the queue is currently empty.
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         let item = inner.items.pop_front();
         if item.is_some() {
             self.space.notify_one();
@@ -67,7 +69,7 @@ impl<T> BoundedQueue<T> {
 
     /// Steals from the back, or `None` if the queue is currently empty.
     pub fn steal(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         let item = inner.items.pop_back();
         if item.is_some() {
             self.space.notify_one();
@@ -78,14 +80,14 @@ impl<T> BoundedQueue<T> {
     /// Marks the queue closed: pending items drain normally, further
     /// pushes fail, and blocked pushers wake.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.closed = true;
         self.space.notify_all();
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        lock_unpoisoned(&self.inner).items.len()
     }
 
     /// True if currently empty.
@@ -95,22 +97,35 @@ impl<T> BoundedQueue<T> {
 
     /// Highest occupancy ever observed.
     pub fn high_water(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").high_water
+        lock_unpoisoned(&self.inner).high_water
     }
 
     /// True once [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().expect("queue poisoned").closed
+        lock_unpoisoned(&self.inner).closed
     }
 
     /// Reopens a drained queue for a fresh batch, resetting the
     /// high-water mark. Any leftover items are dropped.
     pub fn reset(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.items.clear();
         inner.closed = false;
         inner.high_water = 0;
         self.space.notify_all();
+    }
+
+    /// Chaos hook: poisons the queue's internal mutex by panicking while
+    /// holding it (the panic is caught here; the poison remains). Queue
+    /// contents are untouched, and every operation keeps working through
+    /// the poison-recovering lock helpers — this exists so fault-injection
+    /// tests can prove exactly that.
+    pub fn poison(&self) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _inner = lock_unpoisoned(&self.inner);
+            panic!("injected queue poison");
+        }));
+        debug_assert!(result.is_err());
     }
 }
 
@@ -147,6 +162,25 @@ mod tests {
         assert_eq!(q.try_pop(), Some(0));
         assert!(producer.join().unwrap());
         assert_eq!(q.try_pop(), Some(1));
+    }
+
+    #[test]
+    fn operations_survive_a_poisoned_lock() {
+        let q = BoundedQueue::new(4);
+        q.push(1u32).unwrap();
+        q.poison();
+        // Every operation still works: the helpers recover the guard.
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.steal(), Some(2));
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.push(3).is_err());
+        q.reset();
+        q.push(4).unwrap();
+        assert_eq!(q.try_pop(), Some(4));
     }
 
     #[test]

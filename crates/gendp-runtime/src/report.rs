@@ -34,6 +34,11 @@ pub struct ArrayReport {
     pub tasks: usize,
     /// Highest submission-queue occupancy observed.
     pub queue_high_water: usize,
+    /// Failed execution attempts on this array over the batch.
+    pub failures: u64,
+    /// True if the quarantine state machine took this array offline
+    /// during the batch (it stopped receiving new placements).
+    pub quarantined: bool,
     /// All of this array's runs merged back-to-back
     /// ([`RunStats::absorb`]): `stats.cycles` is the array's busy time.
     pub stats: RunStats,
@@ -43,6 +48,58 @@ impl ArrayReport {
     /// Simulated cycles this array spent busy.
     pub fn busy_cycles(&self) -> u64 {
         self.stats.cycles
+    }
+}
+
+/// Fault-tolerance counters for one executed batch. All zeros on a
+/// healthy run with injection disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Faults fabricated by the [`FaultInjector`](crate::FaultInjector)
+    /// (all kinds, including panics).
+    pub faults_injected: u64,
+    /// Worker panics caught at the task boundary (the worker survived).
+    pub panics_contained: u64,
+    /// Execution attempts beyond each task's first.
+    pub retries: u64,
+    /// Retries that escalated the cycle budget (timeout recovery).
+    pub budget_escalations: u64,
+    /// Retries re-dispatched to a different array slot.
+    pub redispatches: u64,
+    /// Tasks that exhausted every attempt and failed for good.
+    pub tasks_failed: u64,
+    /// Array slots taken offline by the quarantine state machine.
+    pub quarantined_arrays: u64,
+    /// Quarantine decisions refused to keep the last healthy slot of a
+    /// class online.
+    pub quarantine_refusals: u64,
+    /// Worker threads respawned after a panic escaped the task boundary.
+    pub worker_respawns: u64,
+}
+
+impl RecoveryReport {
+    /// True if nothing went wrong and nothing was injected.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {}  panics contained {}  retries {} (escalated {}, redispatched {})  \
+             failed {}  quarantined {} (refused {})  respawns {}",
+            self.faults_injected,
+            self.panics_contained,
+            self.retries,
+            self.budget_escalations,
+            self.redispatches,
+            self.tasks_failed,
+            self.quarantined_arrays,
+            self.quarantine_refusals,
+            self.worker_respawns,
+        )
     }
 }
 
@@ -57,6 +114,8 @@ pub struct DeviceReport {
     pub workers: usize,
     /// The dispatch policy that placed the batch.
     pub policy: DispatchPolicy,
+    /// Fault-tolerance counters (injection, retries, quarantine).
+    pub recovery: RecoveryReport,
 }
 
 impl DeviceReport {
@@ -138,10 +197,13 @@ impl fmt::Display for DeviceReport {
             self.balance(),
             self.gcups(),
         )?;
+        if !self.recovery.is_clean() {
+            writeln!(f, "  recovery: {}", self.recovery)?;
+        }
         for a in &self.arrays {
             writeln!(
                 f,
-                "  array {:2} [{}]: {} tasks  busy {} cycles  cells {}  queue hw {}",
+                "  array {:2} [{}]: {} tasks  busy {} cycles  cells {}  queue hw {}{}{}",
                 a.index,
                 match a.class {
                     ArrayClass::Int => "int",
@@ -151,6 +213,12 @@ impl fmt::Display for DeviceReport {
                 a.busy_cycles(),
                 a.stats.cells(),
                 a.queue_high_water,
+                if a.failures > 0 {
+                    format!("  failures {}", a.failures)
+                } else {
+                    String::new()
+                },
+                if a.quarantined { "  QUARANTINED" } else { "" },
             )?;
         }
         for (kind, k) in &self.per_kernel {
@@ -202,6 +270,8 @@ mod tests {
                     class: ArrayClass::Int,
                     tasks: 2,
                     queue_high_water: 2,
+                    failures: 0,
+                    quarantined: false,
                     stats: stats(200, 50),
                 },
                 ArrayReport {
@@ -209,12 +279,15 @@ mod tests {
                     class: ArrayClass::Int,
                     tasks: 1,
                     queue_high_water: 1,
+                    failures: 0,
+                    quarantined: false,
                     stats: stats(100, 20),
                 },
             ],
             per_kernel,
             workers: 2,
             policy: DispatchPolicy::RoundRobin,
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -233,5 +306,21 @@ mod tests {
         assert_eq!(r.aggregate_run().cells, 70);
         assert_eq!(r.aggregate_run().cycles, 300);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn recovery_counters_render_only_when_dirty() {
+        let mut r = report();
+        assert!(r.recovery.is_clean());
+        assert!(!r.to_string().contains("recovery:"));
+        r.recovery.retries = 2;
+        r.recovery.quarantined_arrays = 1;
+        r.arrays[1].failures = 3;
+        r.arrays[1].quarantined = true;
+        assert!(!r.recovery.is_clean());
+        let text = r.to_string();
+        assert!(text.contains("recovery:"), "{text}");
+        assert!(text.contains("QUARANTINED"), "{text}");
+        assert!(text.contains("failures 3"), "{text}");
     }
 }

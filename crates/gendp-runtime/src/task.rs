@@ -202,7 +202,8 @@ pub enum TaskValue {
 pub struct TaskResult {
     /// Index of the task in the submitted batch.
     pub id: usize,
-    /// Device array slot the task ran on.
+    /// Device array slot the task ran on (the last attempt's slot when
+    /// retries re-dispatched it).
     pub array: usize,
     /// Host worker thread that drove the array.
     pub worker: usize,
@@ -210,14 +211,69 @@ pub struct TaskResult {
     pub kernel: KernelKind,
     /// Functional output.
     pub value: TaskValue,
-    /// Simulator statistics of this task's run.
+    /// Simulator statistics of this task's (successful) run.
     pub stats: RunStats,
+    /// Execution attempts this task took (1 = succeeded first try).
+    pub attempts: u32,
 }
 
 impl TaskResult {
     /// Performance summary of this task in the paper's units.
     pub fn run(&self) -> AcceleratorRun {
         AcceleratorRun::from_stats(&self.stats)
+    }
+}
+
+/// Why one task failed for good: every retry attempt the
+/// [`RetryPolicy`](crate::RetryPolicy) allowed was spent. Carried
+/// per-task in a [`BatchOutcome`](crate::BatchOutcome) — one failed task
+/// no longer abandons its batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskFailure {
+    /// Every attempt ended in a simulator error; the last one is kept.
+    Sim {
+        /// The final attempt's error.
+        error: SimError,
+        /// Attempts spent (= the policy's `max_attempts`).
+        attempts: u32,
+    },
+    /// The final attempt panicked on the host worker; the panic was
+    /// contained and the worker kept running.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+        /// Attempts spent.
+        attempts: u32,
+    },
+}
+
+impl TaskFailure {
+    /// Attempts spent before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            TaskFailure::Sim { attempts, .. } | TaskFailure::Panicked { attempts, .. } => *attempts,
+        }
+    }
+
+    /// The final simulator error, when the failure was one.
+    pub fn sim_error(&self) -> Option<&SimError> {
+        match self {
+            TaskFailure::Sim { error, .. } => Some(error),
+            TaskFailure::Panicked { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskFailure::Sim { error, attempts } => {
+                write!(f, "{error} (after {attempts} attempts)")
+            }
+            TaskFailure::Panicked { message, attempts } => {
+                write!(f, "task panicked: {message} (after {attempts} attempts)")
+            }
+        }
     }
 }
 
@@ -316,6 +372,27 @@ impl Task {
     ///
     /// Propagates simulator errors ([`SimError`]).
     pub fn execute(&self, n_pes: usize) -> Result<(TaskValue, RunStats), SimError> {
+        self.execute_scaled(n_pes, 1)
+    }
+
+    /// [`execute`](Self::execute) with the accelerator's cycle budget
+    /// multiplied by `budget_scale` — the retry-escalation entry point
+    /// after a [`SimError::Timeout`]. The budget is only a cutoff: any
+    /// run that completes returns identical values and cycle counts at
+    /// every scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_scale` is zero.
+    pub fn execute_scaled(
+        &self,
+        n_pes: usize,
+        budget_scale: u64,
+    ) -> Result<(TaskValue, RunStats), SimError> {
         match self {
             Task::Bsw {
                 query,
@@ -326,22 +403,29 @@ impl Task {
                 let (rows, cols) = (codes(target), codes(query));
                 let (out, score) = match (mode, scoring.gap) {
                     (AlignMode::Local, GapModel::Convex { .. }) => {
-                        let out = GendpPipeline::bsw_convex(scoring).run(&rows, &cols, n_pes)?;
+                        let out = GendpPipeline::bsw_convex(scoring)
+                            .budget_scale(budget_scale)
+                            .run(&rows, &cols, n_pes)?;
                         let s = bsw_score(&out);
                         (out, s)
                     }
                     (AlignMode::Local, _) => {
-                        let out = GendpPipeline::bsw(scoring).run(&rows, &cols, n_pes)?;
+                        let out = GendpPipeline::bsw(scoring)
+                            .budget_scale(budget_scale)
+                            .run(&rows, &cols, n_pes)?;
                         let s = bsw_score(&out);
                         (out, s)
                     }
                     (AlignMode::Global, _) => {
-                        let out = GendpPipeline::bsw_global(scoring).run(&rows, &cols, n_pes)?;
+                        let out = GendpPipeline::bsw_global(scoring)
+                            .budget_scale(budget_scale)
+                            .run(&rows, &cols, n_pes)?;
                         let s = *out.last_row["h"].last().expect("corner cell");
                         (out, s)
                     }
                     (AlignMode::SemiGlobal, _) => {
                         let out = GendpPipeline::bsw_semiglobal(scoring, query.len())
+                            .budget_scale(budget_scale)
                             .run(&rows, &cols, n_pes)?;
                         let s = bsw_semiglobal_score(&out);
                         (out, s)
@@ -355,7 +439,9 @@ impl Task {
                 let ts: Vec<Vec<u8>> = pairs.iter().map(|(_, t)| t.codes()).collect();
                 let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
                 let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
-                let out = GendpPipeline::bsw_simd(scoring).run(&rows, &cols, n_pes)?;
+                let out = GendpPipeline::bsw_simd(scoring)
+                    .budget_scale(budget_scale)
+                    .run(&rows, &cols, n_pes)?;
                 let scores = bsw_simd_scores(&out).to_vec();
                 Ok((TaskValue::SimdScores(scores), out.stats))
             }
@@ -366,11 +452,9 @@ impl Task {
                 scale,
                 params,
             } => {
-                let out = GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len()).run(
-                    &codes(read),
-                    &codes(haplotype),
-                    n_pes,
-                )?;
+                let out = GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len())
+                    .budget_scale(budget_scale)
+                    .run(&codes(read), &codes(haplotype), n_pes)?;
                 let loglik = pairhmm_loglik(&out, &pairhmm_luts(*qual, *scale));
                 Ok((TaskValue::LogLikelihood(loglik), out.stats))
             }
@@ -380,27 +464,23 @@ impl Task {
                 qual,
                 params,
             } => {
-                let out = GendpPipeline::pairhmm_float(params, *qual, haplotype.len()).run(
-                    &codes(read),
-                    &codes(haplotype),
-                    n_pes,
-                )?;
+                let out = GendpPipeline::pairhmm_float(params, *qual, haplotype.len())
+                    .budget_scale(budget_scale)
+                    .run(&codes(read), &codes(haplotype), n_pes)?;
                 let lik = pairhmm_float_lik(&out);
                 Ok((TaskValue::Likelihood(lik), out.stats))
             }
             Task::Dtw { xs, ys } => {
-                let out = GendpPipeline::dtw().run(xs, ys, n_pes)?;
+                let out = GendpPipeline::dtw()
+                    .budget_scale(budget_scale)
+                    .run(xs, ys, n_pes)?;
                 let d = *out.last_row["d"].last().expect("corner cell") as i64;
                 Ok((TaskValue::Distance(d), out.stats))
             }
             Task::DtwBanded { xs, ys, width } => {
-                let out = GendpPipeline::dtw_banded(ys.len()).run_banded(
-                    xs,
-                    ys,
-                    *width,
-                    DTW_BAND_SENTINEL,
-                    n_pes,
-                )?;
+                let out = GendpPipeline::dtw_banded(ys.len())
+                    .budget_scale(budget_scale)
+                    .run_banded(xs, ys, *width, DTW_BAND_SENTINEL, n_pes)?;
                 let d = dtw_banded_distance(&out, xs.len()) as i64;
                 Ok((TaskValue::Distance(d), out.stats))
             }
@@ -408,7 +488,9 @@ impl Task {
             // one candidate predecessor, so the task fixes its own array
             // width from the objective.
             Task::Chain { anchors, params } => {
-                let run = GendpPipeline::chain(*params).run(anchors, params.n_prev)?;
+                let run = GendpPipeline::chain(*params)
+                    .budget_scale(budget_scale)
+                    .run(anchors, params.n_prev)?;
                 Ok((TaskValue::ChainScores(run.scores), run.stats))
             }
             Task::Poa {
@@ -416,7 +498,9 @@ impl Task {
                 probe,
                 scoring,
             } => {
-                let run = GendpPipeline::poa(*scoring).run(graph, probe, n_pes)?;
+                let run = GendpPipeline::poa(*scoring)
+                    .budget_scale(budget_scale)
+                    .run(graph, probe, n_pes)?;
                 Ok((TaskValue::Score(run.score), run.stats))
             }
             Task::BellmanFord {
@@ -424,7 +508,9 @@ impl Task {
                 source,
                 rounds,
             } => {
-                let run = GendpPipeline::bellman_ford().run(graph, *source, *rounds)?;
+                let run = GendpPipeline::bellman_ford()
+                    .budget_scale(budget_scale)
+                    .run(graph, *source, *rounds)?;
                 Ok((TaskValue::Distances(run.dist), run.stats))
             }
         }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_batch-c61578127bfb67ae.d: crates/gendp/../../tests/chaos_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_batch-c61578127bfb67ae.rmeta: crates/gendp/../../tests/chaos_batch.rs Cargo.toml
+
+crates/gendp/../../tests/chaos_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_batch-e8fec8c69a9d0d84.d: crates/gendp/../../tests/chaos_batch.rs
+
+/root/repo/target/debug/deps/chaos_batch-e8fec8c69a9d0d84: crates/gendp/../../tests/chaos_batch.rs
+
+crates/gendp/../../tests/chaos_batch.rs:

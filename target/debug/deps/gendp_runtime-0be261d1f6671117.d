@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gendp_runtime-0be261d1f6671117.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgendp_runtime-0be261d1f6671117.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs Cargo.toml
+
+crates/gendp-runtime/src/lib.rs:
+crates/gendp-runtime/src/batch.rs:
+crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
+crates/gendp-runtime/src/policy.rs:
+crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
+crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
+crates/gendp-runtime/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

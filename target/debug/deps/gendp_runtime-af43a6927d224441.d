@@ -1,13 +1,16 @@
-/root/repo/target/debug/deps/gendp_runtime-af43a6927d224441.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/gendp_runtime-af43a6927d224441.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgendp_runtime-af43a6927d224441.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/libgendp_runtime-af43a6927d224441.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs Cargo.toml
 
 crates/gendp-runtime/src/lib.rs:
 crates/gendp-runtime/src/batch.rs:
 crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
 crates/gendp-runtime/src/policy.rs:
 crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
 crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
 crates/gendp-runtime/src/task.rs:
 Cargo.toml:
 

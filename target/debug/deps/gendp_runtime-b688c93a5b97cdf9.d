@@ -1,13 +1,16 @@
-/root/repo/target/debug/deps/gendp_runtime-b688c93a5b97cdf9.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/debug/deps/gendp_runtime-b688c93a5b97cdf9.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
-/root/repo/target/debug/deps/libgendp_runtime-b688c93a5b97cdf9.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/debug/deps/libgendp_runtime-b688c93a5b97cdf9.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
-/root/repo/target/debug/deps/libgendp_runtime-b688c93a5b97cdf9.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/debug/deps/libgendp_runtime-b688c93a5b97cdf9.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
 crates/gendp-runtime/src/lib.rs:
 crates/gendp-runtime/src/batch.rs:
 crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
 crates/gendp-runtime/src/policy.rs:
 crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
 crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
 crates/gendp-runtime/src/task.rs:

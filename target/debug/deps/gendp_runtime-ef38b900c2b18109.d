@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gendp_runtime-ef38b900c2b18109.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/debug/deps/gendp_runtime-ef38b900c2b18109: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
+
+crates/gendp-runtime/src/lib.rs:
+crates/gendp-runtime/src/batch.rs:
+crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
+crates/gendp-runtime/src/policy.rs:
+crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
+crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
+crates/gendp-runtime/src/task.rs:

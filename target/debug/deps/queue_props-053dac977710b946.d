@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_props-053dac977710b946.d: crates/gendp-runtime/tests/queue_props.rs
+
+/root/repo/target/debug/deps/queue_props-053dac977710b946: crates/gendp-runtime/tests/queue_props.rs
+
+crates/gendp-runtime/tests/queue_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_props-3207cf3193c1a800.d: crates/gendp-runtime/tests/queue_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_props-3207cf3193c1a800.rmeta: crates/gendp-runtime/tests/queue_props.rs Cargo.toml
+
+crates/gendp-runtime/tests/queue_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

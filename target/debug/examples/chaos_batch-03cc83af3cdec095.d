@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_batch-03cc83af3cdec095.d: crates/gendp/../../examples/chaos_batch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_batch-03cc83af3cdec095.rmeta: crates/gendp/../../examples/chaos_batch.rs Cargo.toml
+
+crates/gendp/../../examples/chaos_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

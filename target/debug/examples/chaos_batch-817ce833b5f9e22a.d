@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_batch-817ce833b5f9e22a.d: crates/gendp/../../examples/chaos_batch.rs
+
+/root/repo/target/debug/examples/chaos_batch-817ce833b5f9e22a: crates/gendp/../../examples/chaos_batch.rs
+
+crates/gendp/../../examples/chaos_batch.rs:

@@ -1,13 +1,16 @@
-/root/repo/target/release/deps/gendp_runtime-531f03258cff0866.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/release/deps/gendp_runtime-531f03258cff0866.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
-/root/repo/target/release/deps/libgendp_runtime-531f03258cff0866.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/release/deps/libgendp_runtime-531f03258cff0866.rlib: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
-/root/repo/target/release/deps/libgendp_runtime-531f03258cff0866.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/task.rs
+/root/repo/target/release/deps/libgendp_runtime-531f03258cff0866.rmeta: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
 
 crates/gendp-runtime/src/lib.rs:
 crates/gendp-runtime/src/batch.rs:
 crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
 crates/gendp-runtime/src/policy.rs:
 crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
 crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
 crates/gendp-runtime/src/task.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_batch-699048dced1b96ad.d: crates/gendp/../../examples/chaos_batch.rs
+
+/root/repo/target/release/examples/chaos_batch-699048dced1b96ad: crates/gendp/../../examples/chaos_batch.rs
+
+crates/gendp/../../examples/chaos_batch.rs:

@@ -74,7 +74,11 @@ fn batch_equals_sequential_under_every_policy_and_worker_count() {
                 policy,
                 ..DeviceConfig::default()
             });
-            let batch = device.run_batch(mixed_batch()).expect("batch run");
+            let batch = device
+                .run_batch(mixed_batch())
+                .expect("batch run")
+                .into_strict()
+                .expect("no task failures");
             assert_eq!(batch.results.len(), reference.len());
             for (r, (value, cycles)) in batch.results.iter().zip(&reference) {
                 assert_eq!(
@@ -106,7 +110,11 @@ fn device_report_agrees_with_core_tile_scheduling() {
         policy: DispatchPolicy::ShortestQueue,
         ..DeviceConfig::default()
     });
-    let batch = device.run_batch(mixed_batch()).expect("batch run");
+    let batch = device
+        .run_batch(mixed_batch())
+        .expect("batch run")
+        .into_strict()
+        .expect("no task failures");
     let tile = batch.report.tile_report();
     // The runtime's tile view is built by the same constructor
     // `schedule_tile` uses, so the derived metrics are consistent.
