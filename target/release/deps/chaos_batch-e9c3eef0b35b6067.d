@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_batch-e9c3eef0b35b6067.d: crates/gendp/../../tests/chaos_batch.rs
+
+/root/repo/target/release/deps/chaos_batch-e9c3eef0b35b6067: crates/gendp/../../tests/chaos_batch.rs
+
+crates/gendp/../../tests/chaos_batch.rs:

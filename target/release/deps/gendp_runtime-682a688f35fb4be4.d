@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gendp_runtime-682a688f35fb4be4.d: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
+
+/root/repo/target/release/deps/gendp_runtime-682a688f35fb4be4: crates/gendp-runtime/src/lib.rs crates/gendp-runtime/src/batch.rs crates/gendp-runtime/src/device.rs crates/gendp-runtime/src/fault.rs crates/gendp-runtime/src/policy.rs crates/gendp-runtime/src/queue.rs crates/gendp-runtime/src/recovery.rs crates/gendp-runtime/src/report.rs crates/gendp-runtime/src/sync.rs crates/gendp-runtime/src/task.rs
+
+crates/gendp-runtime/src/lib.rs:
+crates/gendp-runtime/src/batch.rs:
+crates/gendp-runtime/src/device.rs:
+crates/gendp-runtime/src/fault.rs:
+crates/gendp-runtime/src/policy.rs:
+crates/gendp-runtime/src/queue.rs:
+crates/gendp-runtime/src/recovery.rs:
+crates/gendp-runtime/src/report.rs:
+crates/gendp-runtime/src/sync.rs:
+crates/gendp-runtime/src/task.rs:

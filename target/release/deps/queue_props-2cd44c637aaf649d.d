@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queue_props-2cd44c637aaf649d.d: crates/gendp-runtime/tests/queue_props.rs
+
+/root/repo/target/release/deps/queue_props-2cd44c637aaf649d: crates/gendp-runtime/tests/queue_props.rs
+
+crates/gendp-runtime/tests/queue_props.rs:
