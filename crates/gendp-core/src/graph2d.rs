@@ -329,10 +329,44 @@ impl PoaAccelerator {
     ///
     /// Panics if the graph or the sequence is empty.
     pub fn run(&self, graph: &Poa, seq: &DnaSeq, n_pes: usize) -> Result<PoaRun, SimError> {
-        assert!(graph.node_count() > 0, "empty graph");
         assert!(!seq.is_empty(), "empty sequence");
-        let plan = self.plan(graph);
         let n = seq.len();
+        let (mut array, m, max_live) = self.build_array(graph, n, n_pes);
+        array.feed_input(seq.codes().iter().map(|&c| Word::from_i32(c as i32)));
+
+        let budget = ((m + n_pes as u64)
+            * (n as u64 + 4)
+            * (self.mapping.program.len() as u64 * 3 + 6 * max_live as u64 + 24)
+            * 4
+            + 10_000)
+            .saturating_mul(self.budget_scale);
+        let stats = array.run(budget)?;
+        let score = array
+            .output()
+            .iter()
+            .map(|w| w.as_i32())
+            .max()
+            .expect("at least one end node");
+        Ok(PoaRun { score, stats })
+    }
+
+    /// Statically verifies the programs generated to align a
+    /// `seq_len`-base sequence against `graph`, without running them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty or `seq_len` is zero.
+    pub fn verify(&self, graph: &Poa, seq_len: usize, n_pes: usize) -> gendp_verify::Report {
+        assert!(seq_len > 0, "empty sequence");
+        self.build_array(graph, seq_len, n_pes).0.verify_programs()
+    }
+
+    /// Builds the loaded array for one alignment task (shared by `run`
+    /// and `verify`); returns it with the row count and the peak live-set
+    /// size used for budgeting.
+    fn build_array(&self, graph: &Poa, n: usize, n_pes: usize) -> (PeArray, u64, usize) {
+        assert!(graph.node_count() > 0, "empty graph");
+        let plan = self.plan(graph);
         let max_live = plan
             .live_after
             .iter()
@@ -379,23 +413,7 @@ impl PoaAccelerator {
             array.load_pe_control(p, prog);
         }
         array.load_compute_all(&self.mapping.program);
-        array.feed_input(seq.codes().iter().map(|&c| Word::from_i32(c as i32)));
-
-        let m = plan.rows.len() as u64;
-        let budget = ((m + n_pes as u64)
-            * (n as u64 + 4)
-            * (self.mapping.program.len() as u64 * 3 + 6 * max_live as u64 + 24)
-            * 4
-            + 10_000)
-            .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let score = array
-            .output()
-            .iter()
-            .map(|w| w.as_i32())
-            .max()
-            .expect("at least one end node");
-        Ok(PoaRun { score, stats })
+        (array, plan.rows.len() as u64, max_live)
     }
 }
 

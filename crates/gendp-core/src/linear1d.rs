@@ -186,17 +186,7 @@ impl ChainAccelerator {
             anchors.windows(2).all(|w| w[0] <= w[1]),
             "anchors must be sorted"
         );
-        let mut cfg = PeArrayConfig::with_pes(n_pes)
-            .mode(Mode::Int32)
-            .luts(Luts::default())
-            .fifo_broadcast();
-        cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
-        cfg.fifo_capacity = cfg.fifo_capacity.max(3 * (n_pes + 4));
-        let mut array = PeArray::new(cfg);
-        for p in 0..n_pes {
-            array.load_pe_control(p, self.pe_program(p, n_pes, anchors.len()));
-        }
-        array.load_compute_all(&self.mapping.program);
+        let mut array = self.build_array(anchors.len(), n_pes);
         // Residents enter as (q, r, span, f0 = span) records.
         for a in anchors {
             array.feed_input(
@@ -212,6 +202,29 @@ impl ChainAccelerator {
         let stats = array.run(budget)?;
         let scores = array.output().iter().map(|w| w.as_i32()).collect();
         Ok(ChainRun { scores, stats })
+    }
+
+    /// Statically verifies the programs generated for an `n_anchors`-anchor
+    /// task on a `n_pes`-PE array, without running them.
+    pub fn verify(&self, n_anchors: usize, n_pes: usize) -> gendp_verify::Report {
+        self.build_array(n_anchors, n_pes).verify_programs()
+    }
+
+    /// Builds the loaded array for a task shape (shared by `run` and
+    /// `verify`); inputs are fed separately.
+    fn build_array(&self, n_anchors: usize, n_pes: usize) -> PeArray {
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(Mode::Int32)
+            .luts(Luts::default())
+            .fifo_broadcast();
+        cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
+        cfg.fifo_capacity = cfg.fifo_capacity.max(3 * (n_pes + 4));
+        let mut array = PeArray::new(cfg);
+        for p in 0..n_pes {
+            array.load_pe_control(p, self.pe_program(p, n_pes, n_anchors));
+        }
+        array.load_compute_all(&self.mapping.program);
+        array
     }
 }
 

@@ -85,6 +85,29 @@ impl BellmanFordAccelerator {
         rounds: usize,
     ) -> Result<BellmanFordRun, SimError> {
         let n = graph.vertex_count();
+        let mut array = self.build_array(graph, source, rounds);
+        let budget = ((rounds as u64 * graph.edge_count() as u64 + n as u64)
+            * (self.mapping.program.len() as u64 + 8)
+            + 10_000)
+            .saturating_mul(self.budget_scale);
+        let stats = array.run(budget)?;
+        let dist = array.output().iter().map(|x| x.as_i32()).collect();
+        Ok(BellmanFordRun { dist, stats })
+    }
+
+    /// Statically verifies the relaxation program generated for a task,
+    /// without running it.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn verify(&self, graph: &Graph, source: usize, rounds: usize) -> gendp_verify::Report {
+        self.build_array(graph, source, rounds).verify_programs()
+    }
+
+    /// Builds the loaded single-PE array (shared by `run` and `verify`).
+    fn build_array(&self, graph: &Graph, source: usize, rounds: usize) -> PeArray {
+        let n = graph.vertex_count();
         assert!(n > 0, "empty graph");
         assert!(source < n, "source out of range");
         let mut cfg = PeArrayConfig::with_pes(1)
@@ -134,13 +157,7 @@ impl BellmanFordAccelerator {
         let mut array = PeArray::new(cfg);
         array.load_pe_control(0, prog);
         array.load_pe_compute(0, self.mapping.program.clone());
-        let budget = ((rounds as u64 * graph.edge_count() as u64 + n as u64)
-            * (self.mapping.program.len() as u64 + 8)
-            + 10_000)
-            .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let dist = array.output().iter().map(|x| x.as_i32()).collect();
-        Ok(BellmanFordRun { dist, stats })
+        array
     }
 }
 

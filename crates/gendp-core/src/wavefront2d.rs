@@ -625,18 +625,7 @@ impl Wavefront2d {
         assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
         assert!(width > 0, "band width must be positive");
         let m = rows.len();
-        let mut padded: Vec<i32> = cols.to_vec();
-        padded.resize(cols.len().max(m + width) + 1, sentinel);
-        let mut cfg = PeArrayConfig::with_pes(n_pes)
-            .mode(self.mode)
-            .luts(self.luts.clone());
-        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
-        cfg.fifo_capacity = ((self.streamed.len() + 2) * (width + 2)).max(cfg.fifo_capacity);
-        let mut array = PeArray::new(cfg);
-        for p in 0..n_pes {
-            array.load_pe_control(p, self.pe_program_banded(p, n_pes, rows, &padded, width));
-        }
-        array.load_compute_all(&self.mapping.program);
+        let mut array = self.build_array_banded(rows, cols, width, sentinel, n_pes);
         let budget = ((m as u64 + n_pes as u64)
             * (width as u64 + 4)
             * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
@@ -681,6 +670,80 @@ impl Wavefront2d {
             .collect()
     }
 
+    /// Statically verifies the control and compute programs generated for
+    /// one streamed task shape, without running them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is empty.
+    pub fn verify(&self, rows: &[i32], cols: &[i32], n_pes: usize) -> gendp_verify::Report {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        self.build_array(rows, cols, n_pes).verify_programs()
+    }
+
+    /// Statically verifies the programs generated for one *banded* task
+    /// shape (see [`Self::run_banded`]), without running them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or `width` is zero.
+    pub fn verify_banded(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        width: usize,
+        sentinel: i32,
+        n_pes: usize,
+    ) -> gendp_verify::Report {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        assert!(width > 0, "band width must be positive");
+        self.build_array_banded(rows, cols, width, sentinel, n_pes)
+            .verify_programs()
+    }
+
+    /// Builds the loaded array for a streamed task (shared by `run` and
+    /// `verify`); inputs are fed separately.
+    fn build_array(&self, rows: &[i32], cols: &[i32], n_pes: usize) -> PeArray {
+        let n = cols.len();
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(self.mode)
+            .luts(self.luts.clone());
+        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
+        cfg.fifo_capacity = ((self.streamed.len() + 2) * (n + 2)).max(cfg.fifo_capacity);
+        let mut array = PeArray::new(cfg);
+        for p in 0..n_pes {
+            array.load_pe_control(p, self.pe_program(p, n_pes, rows, cols));
+        }
+        array.load_compute_all(&self.mapping.program);
+        array
+    }
+
+    /// Builds the loaded array for a banded task (shared by `run_banded`
+    /// and `verify_banded`).
+    fn build_array_banded(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        width: usize,
+        sentinel: i32,
+        n_pes: usize,
+    ) -> PeArray {
+        let m = rows.len();
+        let mut padded: Vec<i32> = cols.to_vec();
+        padded.resize(cols.len().max(m + width) + 1, sentinel);
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(self.mode)
+            .luts(self.luts.clone());
+        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
+        cfg.fifo_capacity = ((self.streamed.len() + 2) * (width + 2)).max(cfg.fifo_capacity);
+        let mut array = PeArray::new(cfg);
+        for p in 0..n_pes {
+            array.load_pe_control(p, self.pe_program_banded(p, n_pes, rows, &padded, width));
+        }
+        array.load_compute_all(&self.mapping.program);
+        array
+    }
+
     /// Runs one task on a `n_pes`-PE array; returns functional outputs and
     /// statistics.
     ///
@@ -700,16 +763,7 @@ impl Wavefront2d {
         assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
         let m = rows.len();
         let n = cols.len();
-        let mut cfg = PeArrayConfig::with_pes(n_pes)
-            .mode(self.mode)
-            .luts(self.luts.clone());
-        cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
-        cfg.fifo_capacity = ((self.streamed.len() + 2) * (n + 2)).max(cfg.fifo_capacity);
-        let mut array = PeArray::new(cfg);
-        for p in 0..n_pes {
-            array.load_pe_control(p, self.pe_program(p, n_pes, rows, cols));
-        }
-        array.load_compute_all(&self.mapping.program);
+        let mut array = self.build_array(rows, cols, n_pes);
         array.feed_input(cols.iter().map(|&c| Word::from_i32(c)));
         let budget = ((m as u64 + n_pes as u64)
             * (n as u64 + 4)

@@ -274,6 +274,11 @@ impl Dfg {
     /// that every declared output points at a live node. Returns a list of
     /// violations (empty when valid). The builder API maintains these by
     /// construction; `validate` exists for graphs assembled by other tools.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `gendp_verify::Verifier::verify_dfg` for typed diagnostics \
+                (rule ids, severities, locations) instead of bare strings"
+    )]
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
@@ -344,6 +349,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn builds_in_topological_order() {
         let g = toy();
         assert_eq!(g.len(), 3);
@@ -461,6 +467,7 @@ mod more_tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn validate_catches_broken_graphs() {
         // Assemble a deliberately broken graph through clone surgery: a
         // valid graph whose output map points beyond the node list.

@@ -120,14 +120,43 @@ impl PeArray {
         self.in_stream.len()
     }
 
+    /// Statically verifies the loaded programs against this array's
+    /// configuration. Returns the full report (including warnings); the
+    /// pre-run gate in [`run`](Self::run) only rejects on errors.
+    pub fn verify_programs(&self) -> gendp_verify::Report {
+        let contract = gendp_verify::PeContract {
+            n_pes: self.cfg.n_pes,
+            rf_slots: self.cfg.rf_slots,
+            spm_words: self.cfg.spm_words,
+            aregs: self.cfg.aregs,
+            fifo_capacity: self.cfg.fifo_capacity,
+            fifo_broadcast: self.cfg.fifo_broadcast,
+            mode: self.cfg.mode,
+        };
+        let units: Vec<_> = self
+            .pes
+            .iter()
+            .map(|pe| (pe.control_program(), pe.compute_program()))
+            .collect();
+        gendp_verify::Verifier::new(contract).verify_array(&units)
+    }
+
     /// Runs until every control and compute thread has halted.
     ///
     /// # Errors
     ///
+    /// [`SimError::Verify`] if the loaded programs fail static
+    /// verification (unless [`PeArrayConfig::no_verify`] was set);
     /// [`SimError::Deadlock`] if a cycle passes in which no thread makes
     /// progress; [`SimError::Timeout`] if `max_cycles` elapse first;
     /// [`SimError::BadAccess`] on out-of-range addressing.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
+        if self.cfg.verify && self.cycles == 0 {
+            let report = self.verify_programs();
+            if report.has_errors() {
+                return Err(SimError::Verify(report));
+            }
+        }
         let n = self.cfg.n_pes;
         while !self.pes.iter().all(Pe::is_halted) {
             if self.cycles >= max_cycles {
@@ -390,11 +419,27 @@ mod tests {
 
     #[test]
     fn fifo_pop_from_non_first_pe_is_an_error() {
-        let mut a = PeArray::new(PeArrayConfig::with_pes(2));
+        // no_verify: this exercises the simulator's own dynamic check,
+        // which the static gate would otherwise catch first.
+        let mut a = PeArray::new(PeArrayConfig::with_pes(2).no_verify());
         a.load_pe_control(0, "halt".parse().unwrap());
         a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse().unwrap());
         let err = a.run(100).unwrap_err();
         assert!(matches!(err, SimError::BadAccess(_)), "{err}");
+    }
+
+    #[test]
+    fn verify_gate_rejects_bad_program_before_running() {
+        let mut a = PeArray::new(PeArrayConfig::with_pes(2));
+        a.load_pe_control(0, "halt".parse().unwrap());
+        a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse().unwrap());
+        let err = a.run(100).unwrap_err();
+        let SimError::Verify(report) = &err else {
+            panic!("expected Verify, got {err}");
+        };
+        assert!(report.has_errors());
+        assert_eq!(a.stats().cycles, 0, "no cycle may run");
+        assert!(err.to_string().contains("verification failed"), "{err}");
     }
 
     #[test]

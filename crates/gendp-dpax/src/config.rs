@@ -29,6 +29,10 @@ pub struct PeArrayConfig {
     /// and any PE may read `fifo`. In the default mode only the first PE
     /// reads the FIFO.
     pub fifo_broadcast: bool,
+    /// Statically verify the loaded programs (`gendp-verify`) before the
+    /// first cycle; error diagnostics abort the run with
+    /// [`SimError::Verify`](crate::SimError::Verify). On by default.
+    pub verify: bool,
 }
 
 impl PeArrayConfig {
@@ -48,6 +52,7 @@ impl PeArrayConfig {
             mode: Mode::Int32,
             luts: Luts::default(),
             fifo_broadcast: false,
+            verify: true,
         }
     }
 
@@ -66,6 +71,14 @@ impl PeArrayConfig {
     /// Enables FIFO broadcast mode (1-D kernels), returning `self`.
     pub fn fifo_broadcast(mut self) -> Self {
         self.fifo_broadcast = true;
+        self
+    }
+
+    /// Disables the pre-run static verification gate, returning `self`.
+    /// Useful when deliberately running ill-formed programs to exercise
+    /// the simulator's own dynamic checks.
+    pub fn no_verify(mut self) -> Self {
+        self.verify = false;
         self
     }
 }

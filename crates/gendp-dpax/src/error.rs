@@ -17,6 +17,11 @@ pub enum SimError {
     /// A control instruction addressed memory out of range. The payload
     /// names the PE and instruction.
     BadAccess(String),
+    /// The loaded programs failed static verification before the first
+    /// cycle ran (see `gendp-verify`). The payload carries the full
+    /// diagnostic report. Disable with
+    /// [`PeArrayConfig::no_verify`](crate::PeArrayConfig::no_verify).
+    Verify(gendp_verify::Report),
 }
 
 /// How a batch runtime should treat a [`SimError`] when deciding whether
@@ -39,7 +44,9 @@ impl SimError {
     pub fn retryability(&self) -> Retryability {
         match self {
             SimError::Timeout { .. } => Retryability::EscalateBudget,
-            SimError::Deadlock(_) | SimError::BadAccess(_) => Retryability::Redispatch,
+            SimError::Deadlock(_) | SimError::BadAccess(_) | SimError::Verify(_) => {
+                Retryability::Redispatch
+            }
         }
     }
 
@@ -57,6 +64,17 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
             SimError::BadAccess(what) => write!(f, "bad memory access: {what}"),
+            SimError::Verify(report) => write!(
+                f,
+                "program verification failed with {} error{}: {}",
+                report.error_count(),
+                if report.error_count() == 1 { "" } else { "s" },
+                report
+                    .errors()
+                    .next()
+                    .map(|d| d.to_string())
+                    .unwrap_or_default()
+            ),
         }
     }
 }

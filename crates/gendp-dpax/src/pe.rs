@@ -95,6 +95,16 @@ impl Pe {
         self.compute_pc = None;
     }
 
+    /// The loaded control program.
+    pub fn control_program(&self) -> &ControlProgram {
+        &self.ctrl
+    }
+
+    /// The loaded compute program.
+    pub fn compute_program(&self) -> &ComputeProgram {
+        &self.compute
+    }
+
     pub fn is_halted(&self) -> bool {
         self.halted && self.compute_pc.is_none()
     }

@@ -52,22 +52,52 @@ pub use subgraph::{extract, Subgraph, SubgraphShape};
 pub use work::{WorkGraph, WorkIn};
 
 use gendp_dfg::Dfg;
+use gendp_verify::{Report, Verifier};
 
 /// Runs the full DPMap pipeline on a DFG: the three partitioning phases,
 /// subgraph extraction, register allocation and VLIW scheduling.
 ///
+/// The DFG is linted with [`gendp_verify::Verifier::verify_dfg`] first;
+/// error diagnostics (arity mismatches, ordering violations, missing
+/// outputs) are returned as the full typed [`Report`]. Graphs built
+/// through the `gendp-dfg` builder API always pass.
+///
 /// # Panics
 ///
-/// Panics if the DFG fails [`Dfg::validate`] (graphs built through the
-/// `gendp-dfg` builder API always pass) or has no named outputs.
-pub fn map_dfg(dfg: &Dfg) -> Mapping {
-    let errs = dfg.validate();
-    assert!(errs.is_empty(), "invalid DFG: {errs:?}");
-    assert!(dfg.outputs().count() > 0, "DFG has no outputs");
+/// Panics if the *emitted* compute program fails static verification
+/// against the PE contract — that is a code-generation bug, not a
+/// property of the input graph.
+pub fn try_map_dfg(dfg: &Dfg) -> Result<Mapping, Report> {
+    let report = Verifier::default().verify_dfg(dfg);
+    if report.has_errors() {
+        return Err(report);
+    }
     let mut wg = WorkGraph::from_dfg(dfg);
     partitioning(&mut wg);
     seeding(&mut wg);
     refinement(&mut wg);
     let subgraphs = subgraph::extract(&mut wg);
-    codegen::generate(dfg, &wg, &subgraphs)
+    let mapping = codegen::generate(dfg, &wg, &subgraphs);
+    let self_check = Verifier::default().verify_compute(&mapping.program);
+    assert!(
+        !self_check.has_errors(),
+        "codegen emitted a program that fails verification (this is a \
+         gendp-dpmap bug):\n{self_check}"
+    );
+    Ok(mapping)
+}
+
+/// Like [`try_map_dfg`], panicking with the rendered diagnostics instead
+/// of returning them.
+///
+/// # Panics
+///
+/// Panics if the DFG has error-severity lints (see
+/// [`gendp_verify::Verifier::verify_dfg`]) or codegen emits a program
+/// that fails verification.
+pub fn map_dfg(dfg: &Dfg) -> Mapping {
+    match try_map_dfg(dfg) {
+        Ok(mapping) => mapping,
+        Err(report) => panic!("invalid DFG:\n{report}"),
+    }
 }

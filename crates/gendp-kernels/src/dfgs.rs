@@ -947,6 +947,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn all_dfgs_are_mappable() {
         // Every kernel DFG must survive the full DPMap pipeline — this is
         // checked end-to-end in gendp-core; here we pin validity and size.

@@ -11,7 +11,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
-use gendp_dpax::{INT_ARRAYS, PES_PER_ARRAY};
+use gendp_dpax::{SimError, INT_ARRAYS, PES_PER_ARRAY};
 
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::policy::DispatchPolicy;
@@ -281,8 +281,13 @@ struct ArraySlot {
 
 /// Batch-scoped recovery counters, updated lock-free by the workers and
 /// snapshotted into the [`RecoveryReport`] when the batch completes.
+///
+/// `touched` flips on the first bump of any counter; a batch where
+/// nothing went wrong (the common zero-fault case) snapshots straight to
+/// the default report without reading the individual counters.
 #[derive(Default)]
 struct RecoveryCounters {
+    touched: AtomicBool,
     faults_injected: AtomicU64,
     panics_contained: AtomicU64,
     retries: AtomicU64,
@@ -295,11 +300,15 @@ struct RecoveryCounters {
 }
 
 impl RecoveryCounters {
-    fn bump(counter: &AtomicU64) {
+    fn bump_on(&self, counter: &AtomicU64) {
+        self.touched.store(true, Ordering::Relaxed);
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> RecoveryReport {
+        if !self.touched.load(Ordering::Relaxed) {
+            return RecoveryReport::default();
+        }
         RecoveryReport {
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
@@ -414,6 +423,12 @@ impl Device {
     /// Callers that want the old all-or-nothing behaviour chain
     /// [`BatchOutcome::into_strict`].
     ///
+    /// Tasks whose inputs fail [`Task::preflight`] verification are
+    /// rejected up front: they never occupy a queue slot or a worker and
+    /// appear in the results as
+    /// [`SimError::Verify`](gendp_dpax::SimError::Verify) failures with
+    /// zero attempts.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::NoArray`] if a task needs an array class
@@ -434,6 +449,26 @@ impl Device {
         let abort = AtomicBool::new(false);
         let signal = WorkSignal::default();
         let counters = RecoveryCounters::default();
+
+        // Preflight: tasks whose inputs can never execute are rejected
+        // here, before they consume a queue slot or a worker.
+        let mut accepted: Vec<(usize, Task)> = Vec::with_capacity(n);
+        {
+            let mut res = lock_unpoisoned(&results);
+            for (id, task) in tasks.into_iter().enumerate() {
+                let report = task.preflight();
+                if report.has_errors() {
+                    counters.bump_on(&counters.tasks_failed);
+                    res[id] = Some(Err(TaskFailure::Sim {
+                        error: SimError::Verify(report),
+                        attempts: 0,
+                    }));
+                } else {
+                    accepted.push((id, task));
+                }
+            }
+        }
+
         let ctx = ExecCtx {
             slots: &self.slots,
             config: &self.config,
@@ -454,11 +489,11 @@ impl Device {
                     // thread and stranding its queues.
                     match catch_unwind(AssertUnwindSafe(|| worker_loop(w, workers, ctx, signal))) {
                         Ok(()) => break,
-                        Err(_) => RecoveryCounters::bump(&ctx.counters.worker_respawns),
+                        Err(_) => ctx.counters.bump_on(&ctx.counters.worker_respawns),
                     }
                 });
             }
-            self.submit_all(tasks, &first_error, &abort, &signal);
+            self.submit_all(accepted, &first_error, &abort, &signal);
             for slot in &self.slots {
                 slot.queue.close();
             }
@@ -479,7 +514,7 @@ impl Device {
                 r.unwrap_or_else(|| {
                     // Only reachable if a worker crashed irrecoverably
                     // mid-task; never abandon the rest of the batch.
-                    RecoveryCounters::bump(&counters.tasks_failed);
+                    counters.bump_on(&counters.tasks_failed);
                     Err(TaskFailure::Panicked {
                         message: "task lost to a worker crash".to_string(),
                         attempts: 0,
@@ -497,13 +532,13 @@ impl Device {
     /// the last-healthy-slot rule makes a transient race at worst).
     fn submit_all(
         &self,
-        tasks: Vec<Task>,
+        tasks: Vec<(usize, Task)>,
         first_error: &Mutex<Option<RuntimeError>>,
         abort: &AtomicBool,
         signal: &WorkSignal,
     ) {
         let mut rr = [0usize; 2]; // round-robin cursor per class
-        for (id, task) in tasks.into_iter().enumerate() {
+        for (id, task) in tasks {
             if abort.load(Ordering::Acquire) {
                 break;
             }
@@ -699,9 +734,9 @@ fn note_slot_failure(ctx: &ExecCtx<'_>, slot: &ArraySlot) {
         .filter(|s| s.class == slot.class && s.index != slot.index && !s.health.is_quarantined())
         .count();
     if healthy_peers == 0 {
-        RecoveryCounters::bump(&ctx.counters.quarantine_refusals);
+        ctx.counters.bump_on(&ctx.counters.quarantine_refusals);
     } else if slot.health.quarantine() {
-        RecoveryCounters::bump(&ctx.counters.quarantined_arrays);
+        ctx.counters.bump_on(&ctx.counters.quarantined_arrays);
     }
 }
 
@@ -752,7 +787,7 @@ fn run_task(
     let outcome: Result<TaskResult, TaskFailure> = loop {
         attempt += 1;
         if attempt > 1 {
-            RecoveryCounters::bump(&ctx.counters.retries);
+            ctx.counters.bump_on(&ctx.counters.retries);
         }
         let scale = retry.budget_scale(escalations);
         let injected = ctx
@@ -760,7 +795,7 @@ fn run_task(
             .as_ref()
             .and_then(|i| i.decide(id, attempt, exec));
         if injected.is_some() {
-            RecoveryCounters::bump(&ctx.counters.faults_injected);
+            ctx.counters.bump_on(&ctx.counters.faults_injected);
         }
         // The attempt itself: either the injected failure materializes
         // (possibly as a genuine panic, to exercise containment for
@@ -790,13 +825,13 @@ fn run_task(
             }
             Ok(Err(error)) => AttemptFailure::Sim(error),
             Err(payload) => {
-                RecoveryCounters::bump(&ctx.counters.panics_contained);
+                ctx.counters.bump_on(&ctx.counters.panics_contained);
                 AttemptFailure::Panic(panic_message(payload))
             }
         };
         note_slot_failure(ctx, slot);
         if attempt >= max_attempts {
-            RecoveryCounters::bump(&ctx.counters.tasks_failed);
+            ctx.counters.bump_on(&ctx.counters.tasks_failed);
             break Err(match failure {
                 AttemptFailure::Sim(error) => TaskFailure::Sim {
                     error,
@@ -814,12 +849,12 @@ fn run_task(
         let budget_bound = matches!(&failure, AttemptFailure::Sim(e) if e.is_budget_bound());
         if budget_bound && retry.escalation_factor > 1 {
             escalations += 1;
-            RecoveryCounters::bump(&ctx.counters.budget_escalations);
+            ctx.counters.bump_on(&ctx.counters.budget_escalations);
         } else if retry.redispatch {
             if let Some(next) = pick_retry_slot(ctx, slot.class, &tried) {
                 tried.push(next);
                 exec = next;
-                RecoveryCounters::bump(&ctx.counters.redispatches);
+                ctx.counters.bump_on(&ctx.counters.redispatches);
             }
         }
     };

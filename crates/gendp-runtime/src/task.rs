@@ -363,6 +363,101 @@ impl Task {
         }
     }
 
+    /// Statically validates this task's inputs before dispatch: empty
+    /// sequences, zero-width or unsatisfiable DTW bands, wrong SIMD lane
+    /// counts and out-of-range graph sources are caught here instead of
+    /// deep inside a simulated kernel. A report with errors means the
+    /// task can never execute;
+    /// [`Device::run_batch`](crate::Device::run_batch) rejects such a
+    /// task up front, before it consumes a queue slot.
+    pub fn preflight(&self) -> gendp_verify::Report {
+        use gendp_verify::{DiagLoc, Diagnostic, Report, Rule};
+        let mut report = Report::new();
+        let mut reject = |message: String| {
+            report.push(Diagnostic::new(Rule::EmptyInput, DiagLoc::Program, message));
+        };
+        match self {
+            Task::Bsw { query, target, .. } => {
+                if query.is_empty() {
+                    reject("bsw query sequence is empty".into());
+                }
+                if target.is_empty() {
+                    reject("bsw target sequence is empty".into());
+                }
+            }
+            Task::BswSimd { pairs, .. } => {
+                if pairs.len() != 4 {
+                    reject(format!(
+                        "simd bsw packs exactly 4 lane pairs, got {}",
+                        pairs.len()
+                    ));
+                }
+                for (lane, (q, t)) in pairs.iter().enumerate() {
+                    if q.is_empty() || t.is_empty() {
+                        reject(format!("simd bsw lane {lane} has an empty sequence"));
+                    }
+                }
+            }
+            Task::PairHmm {
+                read, haplotype, ..
+            }
+            | Task::PairHmmFloat {
+                read, haplotype, ..
+            } => {
+                if read.is_empty() {
+                    reject("pairhmm read is empty".into());
+                }
+                if haplotype.is_empty() {
+                    reject("pairhmm haplotype is empty".into());
+                }
+            }
+            Task::Dtw { xs, ys } => {
+                if xs.is_empty() || ys.is_empty() {
+                    reject("dtw signals must be non-empty".into());
+                }
+            }
+            Task::DtwBanded { xs, ys, width } => {
+                if xs.is_empty() || ys.is_empty() {
+                    reject("banded dtw signals must be non-empty".into());
+                }
+                if *width == 0 {
+                    reject("banded dtw band width is zero".into());
+                } else if ys.len() < xs.len() || ys.len() - xs.len() >= *width {
+                    reject(format!(
+                        "banded dtw corner is outside the band: need \
+                         0 <= ys.len() - xs.len() < width, got xs={}, ys={}, width={width}",
+                        xs.len(),
+                        ys.len()
+                    ));
+                }
+            }
+            Task::Chain { anchors, .. } => {
+                if anchors.is_empty() {
+                    reject("chain task has no anchors".into());
+                }
+            }
+            Task::Poa { graph, probe, .. } => {
+                if probe.is_empty() {
+                    reject("poa probe sequence is empty".into());
+                }
+                if graph.node_count() == 0 {
+                    reject("poa graph has no nodes".into());
+                }
+            }
+            Task::BellmanFord { graph, source, .. } => {
+                if graph.vertex_count() == 0 {
+                    reject("bellman-ford graph has no vertices".into());
+                } else if *source >= graph.vertex_count() {
+                    reject(format!(
+                        "bellman-ford source {source} is outside the {}-vertex graph",
+                        graph.vertex_count()
+                    ));
+                }
+            }
+        }
+        report
+    }
+
     /// Runs this task on one simulated PE array with `n_pes` processing
     /// elements and returns its functional value plus simulator
     /// statistics. Entirely self-contained: results and cycle counts are

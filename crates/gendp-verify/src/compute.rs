@@ -1,0 +1,209 @@
+//! Structural checks of 2-way VLIW compute programs.
+
+use gendp_isa::{ComputeOp, ComputeProgram, CuInst, Mode, Operand, TreeSlots};
+
+use crate::contract::PeContract;
+use crate::diag::{DiagLoc, Diagnostic, Report, Rule};
+
+/// Inclusive immediate range of one SIMD lane, `None` when any `i32`
+/// fits (scalar modes).
+fn lane_range(mode: Mode) -> Option<(i32, i32)> {
+    match mode {
+        Mode::Int8x4 => Some((i8::MIN as i32, i8::MAX as i32)),
+        Mode::Int16x2 => Some((i16::MIN as i32, i16::MAX as i32)),
+        Mode::Int32 | Mode::Float32 => None,
+    }
+}
+
+/// True if `v`, decoded as packed SIMD lanes of this mode, holds the
+/// same value in every lane — the idiomatic broadcast encoding of a
+/// per-lane constant (e.g. `0x0006_0006` is `6` in both i16x2 lanes).
+fn is_equal_lane_pack(mode: Mode, v: i32) -> bool {
+    let bits = v as u32;
+    match mode {
+        Mode::Int16x2 => (bits >> 16) as u16 == bits as u16,
+        Mode::Int8x4 => {
+            let b = bits.to_le_bytes();
+            b.iter().all(|&x| x == b[0])
+        }
+        Mode::Int32 | Mode::Float32 => true,
+    }
+}
+
+/// The register a slot writes, if any.
+fn slot_dest(slot: &CuInst) -> Option<u16> {
+    match slot {
+        CuInst::Nop => None,
+        CuInst::Mul { dest, .. } | CuInst::Tree(TreeSlots { dest, .. }) => Some(*dest),
+    }
+}
+
+pub(crate) fn check_compute(contract: &PeContract, program: &ComputeProgram) -> Report {
+    let mut report = Report::new();
+    for (pc, inst) in program.iter().enumerate() {
+        // Slot write conflict: both compute units writing one register in
+        // the same cycle leaves its value machine-dependent.
+        if let (Some(a), Some(b)) = (slot_dest(&inst.slots[0]), slot_dest(&inst.slots[1])) {
+            if a == b {
+                report.push(
+                    Diagnostic::new(
+                        Rule::SlotConflict,
+                        DiagLoc::Compute { pc, slot: None },
+                        format!("both VLIW slots write r{a} in the same cycle"),
+                    )
+                    .suggest("give one slot a distinct destination register"),
+                );
+            }
+        }
+        for (slot_idx, slot) in inst.slots.iter().enumerate() {
+            check_slot(contract, pc, slot_idx, slot, &mut report);
+        }
+    }
+    report
+}
+
+fn check_slot(
+    contract: &PeContract,
+    pc: usize,
+    slot_idx: usize,
+    slot: &CuInst,
+    report: &mut Report,
+) {
+    let loc = || DiagLoc::Compute {
+        pc,
+        slot: Some(slot_idx),
+    };
+    match slot {
+        CuInst::Nop => {}
+        CuInst::Mul { a, b, dest } => {
+            for operand in [a, b] {
+                check_operand(contract, loc(), operand, report);
+            }
+            check_dest(contract, loc(), *dest, report);
+        }
+        CuInst::Tree(tree) => {
+            check_tree_ops(contract, loc(), tree, report);
+            for operand in tree.wide_ins[..tree.wide_op.arity().min(4)]
+                .iter()
+                .chain(tree.narrow_ins[..tree.narrow_op.arity().min(2)].iter())
+            {
+                check_operand(contract, loc(), operand, report);
+            }
+            check_dest(contract, loc(), tree.dest, report);
+        }
+    }
+}
+
+/// The tree is a 4-input ALU, a 2-input ALU and a 2-input root: operators
+/// must fit their slot, wide-only operators must sit on the wide ALU, and
+/// the multiplier is not part of the tree at all.
+fn check_tree_ops(contract: &PeContract, loc: DiagLoc, tree: &TreeSlots, report: &mut Report) {
+    if tree.narrow_op.arity() > 2 {
+        report.push(Diagnostic::new(
+            Rule::SlotConflict,
+            loc.clone(),
+            format!(
+                "{} needs {} inputs but the narrow ALU has 2",
+                tree.narrow_op,
+                tree.narrow_op.arity()
+            ),
+        ));
+    }
+    if tree.root_op.arity() > 2 {
+        report.push(Diagnostic::new(
+            Rule::SlotConflict,
+            loc.clone(),
+            format!(
+                "{} needs {} inputs but the root ALU has 2",
+                tree.root_op,
+                tree.root_op.arity()
+            ),
+        ));
+    }
+    for (op, where_) in [(tree.narrow_op, "narrow"), (tree.root_op, "root")] {
+        if op.is_wide() {
+            report.push(
+                Diagnostic::new(
+                    Rule::SlotConflict,
+                    loc.clone(),
+                    format!("{op} only runs on the 4-input ALU, not the {where_} slot"),
+                )
+                .suggest("move the operation to the wide slot"),
+            );
+        }
+    }
+    for op in [tree.wide_op, tree.narrow_op, tree.root_op] {
+        if op.is_mul() {
+            report.push(Diagnostic::new(
+                Rule::SlotConflict,
+                loc.clone(),
+                "mul executes on the dedicated multiplier, not the ALU tree",
+            ));
+        }
+    }
+    // 16-bit shifts cross lane boundaries in 8-bit SIMD mode.
+    if contract.mode == Mode::Int8x4 {
+        for op in [tree.wide_op, tree.narrow_op, tree.root_op] {
+            if matches!(op, ComputeOp::Shl16 | ComputeOp::Shr16) {
+                report.push(Diagnostic::new(
+                    Rule::SimdWidth,
+                    loc.clone(),
+                    format!("{op} shifts by 16 bits, crossing i8x4 lanes"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_operand(contract: &PeContract, loc: DiagLoc, operand: &Operand, report: &mut Report) {
+    match operand {
+        Operand::Reg(r) => {
+            if *r as usize >= contract.rf_slots {
+                report.push(Diagnostic::new(
+                    Rule::RfBounds,
+                    loc,
+                    format!(
+                        "operand r{r} is out of bounds for {} register-file slots",
+                        contract.rf_slots
+                    ),
+                ));
+            }
+        }
+        Operand::Imm(v) => {
+            // A single-lane value is fine; so is an immediate that is the
+            // same constant broadcast into every lane (the idiomatic
+            // packed encoding). What remains is a constant that fits
+            // neither reading — almost certainly a scalar emitted for the
+            // wrong mode.
+            if let Some((lo, hi)) = lane_range(contract.mode) {
+                if (*v < lo || *v > hi) && !is_equal_lane_pack(contract.mode, *v) {
+                    report.push(
+                        Diagnostic::new(
+                            Rule::SimdWidth,
+                            loc,
+                            format!(
+                                "immediate {v} is neither a single {} lane value \
+                                 ([{lo}, {hi}]) nor an equal-lane packed constant",
+                                contract.mode
+                            ),
+                        )
+                        .suggest("pack the constant per lane or switch the array mode"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_dest(contract: &PeContract, loc: DiagLoc, dest: u16, report: &mut Report) {
+    if dest as usize >= contract.rf_slots {
+        report.push(Diagnostic::new(
+            Rule::RfBounds,
+            loc,
+            format!(
+                "destination r{dest} is out of bounds for {} register-file slots",
+                contract.rf_slots
+            ),
+        ));
+    }
+}

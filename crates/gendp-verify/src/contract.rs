@@ -1,0 +1,69 @@
+//! The hardware contract programs are verified against.
+
+use gendp_isa::Mode;
+
+/// Static description of the PE array a program must respect: the sizes
+/// and modes a [`Verifier`](crate::Verifier) checks addresses, operands
+/// and FIFO use against.
+///
+/// The default mirrors the paper's DPAx design point (and
+/// `gendp_dpax::PeArrayConfig::default()`): 4 PEs, 256 register-file
+/// words, 1024 scratchpad words, 16 address registers, a 4096-word FIFO,
+/// 32-bit integer mode, no FIFO broadcast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeContract {
+    /// PEs in the systolic chain.
+    pub n_pes: usize,
+    /// Register-file words per PE.
+    pub rf_slots: usize,
+    /// Scratchpad words per PE.
+    pub spm_words: usize,
+    /// Address registers per decoder.
+    pub aregs: usize,
+    /// FIFO capacity in words.
+    pub fifo_capacity: usize,
+    /// Whether any PE may pop the FIFO (broadcast mode); pushes remain
+    /// last-PE-only either way.
+    pub fifo_broadcast: bool,
+    /// Arithmetic mode of the compute units.
+    pub mode: Mode,
+}
+
+impl PeContract {
+    /// The paper's default integer PE array.
+    pub fn new() -> Self {
+        PeContract {
+            n_pes: 4,
+            rf_slots: 256,
+            spm_words: 1024,
+            aregs: 16,
+            fifo_capacity: 4096,
+            fifo_broadcast: false,
+            mode: Mode::Int32,
+        }
+    }
+
+    /// Sets the PE count, returning `self` for chaining.
+    pub fn pes(mut self, n_pes: usize) -> Self {
+        self.n_pes = n_pes;
+        self
+    }
+
+    /// Sets the register-file size, returning `self` for chaining.
+    pub fn rf(mut self, rf_slots: usize) -> Self {
+        self.rf_slots = rf_slots;
+        self
+    }
+
+    /// Sets the arithmetic mode, returning `self` for chaining.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+impl Default for PeContract {
+    fn default() -> Self {
+        Self::new()
+    }
+}

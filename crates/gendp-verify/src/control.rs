@@ -1,0 +1,792 @@
+//! Dataflow analysis of control-thread programs.
+//!
+//! The analysis is an abstract-interpretation fixpoint over the program's
+//! control-flow graph (each instruction is a node; branches fork). The
+//! abstract state tracks, per path:
+//!
+//! * which address registers **must** have been written (intersection at
+//!   joins — a read outside this set is a use-before-def on some path),
+//! * an [`Interval`] per address register, so indirect scratchpad /
+//!   register-file accesses can be bounds-checked symbolically,
+//! * interval counts of FIFO pushes and pops, for balance checking.
+//!
+//! Loops terminate the fixpoint through standard widening. After the
+//! fixpoint, one reporting pass re-runs the transfer function against the
+//! converged entry states and emits diagnostics.
+
+use gendp_isa::{Addr, AddrReg, BranchCond, ControlInst, ControlProgram, Loc, SetTarget, Space};
+
+use crate::contract::PeContract;
+use crate::diag::{DiagLoc, Diagnostic, Report, Rule};
+use crate::interval::{BoundsVerdict, Interval};
+
+/// How many joins a program point absorbs before widening kicks in.
+const WIDEN_AFTER: u32 = 8;
+
+/// The abstract state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AState {
+    /// Must-init bitmask over address registers.
+    init: u128,
+    /// Value interval per address register.
+    vals: Vec<Interval>,
+    /// FIFO words pushed so far along this path.
+    pushes: Interval,
+    /// FIFO words popped so far along this path.
+    pops: Interval,
+}
+
+impl AState {
+    fn entry(aregs: usize) -> Self {
+        AState {
+            init: 0,
+            vals: vec![Interval::TOP; aregs.min(128)],
+            pushes: Interval::exact(0),
+            pops: Interval::exact(0),
+        }
+    }
+
+    fn join(&self, other: &AState) -> AState {
+        AState {
+            init: self.init & other.init,
+            vals: self
+                .vals
+                .iter()
+                .zip(&other.vals)
+                .map(|(a, b)| a.join(*b))
+                .collect(),
+            pushes: self.pushes.join(other.pushes),
+            pops: self.pops.join(other.pops),
+        }
+    }
+
+    fn widen(&self, newer: &AState) -> AState {
+        AState {
+            init: newer.init,
+            vals: self
+                .vals
+                .iter()
+                .zip(&newer.vals)
+                .map(|(old, new)| old.widen(*new))
+                .collect(),
+            pushes: self.pushes.widen(newer.pushes),
+            pops: self.pops.widen(newer.pops),
+        }
+    }
+}
+
+/// Statically counted FIFO traffic of one program, when every path agrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FifoTraffic {
+    /// Pushes over all exits (exact iff `lo == hi`).
+    pub pushes: Interval,
+    /// Pops over all exits.
+    pub pops: Interval,
+}
+
+impl FifoTraffic {
+    /// Exact push count, when all paths push the same number of words.
+    pub fn exact_pushes(&self) -> Option<i64> {
+        (self.pushes.lo == self.pushes.hi).then_some(self.pushes.lo)
+    }
+
+    /// Exact pop count.
+    pub fn exact_pops(&self) -> Option<i64> {
+        (self.pops.lo == self.pops.hi).then_some(self.pops.lo)
+    }
+}
+
+/// The analyzer for one control program under one contract.
+pub(crate) struct ControlAnalysis<'a> {
+    contract: &'a PeContract,
+    /// PE position in the chain, when known (fifo discipline needs it).
+    pe: Option<usize>,
+    /// PEs in the array the program will be loaded into.
+    n_pes: usize,
+    /// Length of the compute program `set cu` targets, when known.
+    compute_len: Option<usize>,
+}
+
+/// Result of analyzing one program.
+pub(crate) struct ControlOutcome {
+    pub report: Report,
+    /// FIFO traffic over all reachable exits; `None` when no exit is
+    /// reachable (the program can only loop forever).
+    pub fifo: Option<FifoTraffic>,
+}
+
+struct Successors {
+    next: Vec<Edge>,
+    exits: bool,
+}
+
+/// One CFG edge, with interval refinements the branch condition implies
+/// on that edge (e.g. on the taken edge of `blt a0 a1`, `a0 < a1`).
+struct Edge {
+    target: usize,
+    refine: Vec<(usize, Interval)>,
+}
+
+impl Edge {
+    fn plain(target: usize) -> Self {
+        Edge {
+            target,
+            refine: Vec::new(),
+        }
+    }
+}
+
+impl<'a> ControlAnalysis<'a> {
+    pub fn new(
+        contract: &'a PeContract,
+        pe: Option<usize>,
+        n_pes: usize,
+        compute_len: Option<usize>,
+    ) -> Self {
+        ControlAnalysis {
+            contract,
+            pe,
+            n_pes,
+            compute_len,
+        }
+    }
+
+    /// Runs the fixpoint and the reporting pass.
+    pub fn run(&self, program: &ControlProgram) -> ControlOutcome {
+        let len = program.len();
+        if len == 0 {
+            // An empty program is a PE that starts halted — legal (idle
+            // PEs in a short chain are loaded with nothing).
+            return ControlOutcome {
+                report: Report::new(),
+                fifo: Some(FifoTraffic {
+                    pushes: Interval::exact(0),
+                    pops: Interval::exact(0),
+                }),
+            };
+        }
+
+        let mut entry: Vec<Option<AState>> = vec![None; len];
+        let mut joins = vec![0u32; len];
+        let mut work = vec![0usize];
+        entry[0] = Some(AState::entry(self.contract.aregs));
+        let mut exit_state: Option<AState> = None;
+
+        while let Some(pc) = work.pop() {
+            let mut st = entry[pc].clone().expect("worklist entries have states");
+            let succs = self.transfer(
+                pc,
+                len,
+                program.get(pc).expect("pc in range"),
+                &mut st,
+                None,
+            );
+            if succs.exits {
+                exit_state = Some(match exit_state {
+                    Some(prev) => prev.join(&st),
+                    None => st.clone(),
+                });
+            }
+            for edge in succs.next {
+                let s = edge.target;
+                if s >= len {
+                    // Running past the end halts the thread silently.
+                    exit_state = Some(match exit_state.take() {
+                        Some(prev) => prev.join(&st),
+                        None => st.clone(),
+                    });
+                    continue;
+                }
+                let mut flow = st.clone();
+                for (idx, iv) in &edge.refine {
+                    if let Some(slot) = flow.vals.get_mut(*idx) {
+                        *slot = *iv;
+                    }
+                }
+                match &entry[s] {
+                    None => {
+                        entry[s] = Some(flow);
+                        work.push(s);
+                    }
+                    Some(old) => {
+                        let mut joined = old.join(&flow);
+                        if joins[s] >= WIDEN_AFTER {
+                            joined = old.widen(&joined);
+                        }
+                        if joined != *old {
+                            joins[s] += 1;
+                            entry[s] = Some(joined);
+                            work.push(s);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reporting pass over the converged entry states.
+        let mut report = Report::new();
+        for (pc, state) in entry.iter().enumerate() {
+            if let Some(state) = state {
+                let mut st = state.clone();
+                let inst = program.get(pc).expect("pc in range");
+                self.transfer(pc, len, inst, &mut st, Some(&mut report));
+                self.check_loop_termination(pc, inst, program, &mut report);
+            }
+        }
+
+        ControlOutcome {
+            report,
+            fifo: exit_state.map(|st| FifoTraffic {
+                pushes: st.pushes,
+                pops: st.pops,
+            }),
+        }
+    }
+
+    fn loc(&self, pc: usize) -> DiagLoc {
+        DiagLoc::Ctrl { pe: self.pe, pc }
+    }
+
+    /// Space size for address bounds, `None` for spaces whose use is
+    /// already illegal at PE level (checked separately).
+    fn space_size(&self, space: Space) -> Option<usize> {
+        match space {
+            Space::Rf => Some(self.contract.rf_slots),
+            Space::Spm => Some(self.contract.spm_words),
+            Space::Areg => Some(self.contract.aregs),
+            _ => None,
+        }
+    }
+
+    fn read_areg(
+        &self,
+        reg: AddrReg,
+        state: &AState,
+        pc: usize,
+        sink: &mut Option<&mut Report>,
+    ) -> Interval {
+        let i = reg.0 as usize;
+        if i >= self.contract.aregs {
+            if let Some(report) = sink {
+                report.push(Diagnostic::new(
+                    Rule::AddrBounds,
+                    self.loc(pc),
+                    format!(
+                        "a{i} is out of bounds for {} address registers",
+                        self.contract.aregs
+                    ),
+                ));
+            }
+            return Interval::TOP;
+        }
+        if state.init & (1 << i) == 0 {
+            if let Some(report) = sink {
+                report.push(
+                    Diagnostic::new(
+                        Rule::DefBeforeUse,
+                        self.loc(pc),
+                        format!("a{i} is read before any write reaches this instruction"),
+                    )
+                    .suggest(format!("initialize it first, e.g. `li a[{i}] 0`")),
+                );
+            }
+        }
+        state.vals.get(i).copied().unwrap_or(Interval::TOP)
+    }
+
+    fn write_areg(&self, idx: usize, value: Interval, state: &mut AState) {
+        if idx < self.contract.aregs && idx < 128 {
+            state.init |= 1 << idx;
+            if let Some(slot) = state.vals.get_mut(idx) {
+                *slot = value;
+            }
+        }
+    }
+
+    /// Checks a direct or indirect address against its space, emitting
+    /// addr-bounds diagnostics; reads the base register of indirect forms.
+    fn check_addr(&self, loc: &Loc, state: &AState, pc: usize, sink: &mut Option<&mut Report>) {
+        let Some(size) = self.space_size(loc.space()) else {
+            return;
+        };
+        match loc.addr() {
+            Addr::Direct(d) => {
+                if d as usize >= size {
+                    if let Some(report) = sink {
+                        report.push(Diagnostic::new(
+                            Rule::AddrBounds,
+                            self.loc(pc),
+                            format!(
+                                "{} index {d} is out of bounds for {size} words",
+                                loc.space()
+                            ),
+                        ));
+                    }
+                }
+            }
+            Addr::Indirect { areg, offset } => {
+                let base = self.read_areg(AddrReg(areg), state, pc, sink);
+                let addr = base.add_const(offset as i64);
+                if let Some(report) = sink {
+                    match addr.bounds_check(size) {
+                        BoundsVerdict::AlwaysOut => report.push(Diagnostic::new(
+                            Rule::AddrBounds,
+                            self.loc(pc),
+                            format!(
+                                "{}[a{areg}{offset:+}] resolves to [{}, {}], always outside \
+                                 the {size}-word space",
+                                loc.space(),
+                                addr.lo,
+                                addr.hi
+                            ),
+                        )),
+                        BoundsVerdict::MayBeOut => report.push(
+                            Diagnostic::new(
+                                Rule::AddrBounds,
+                                self.loc(pc),
+                                format!(
+                                    "{}[a{areg}{offset:+}] may resolve outside the \
+                                     {size}-word space (range [{}, {}])",
+                                    loc.space(),
+                                    addr.lo,
+                                    addr.hi
+                                ),
+                            )
+                            .warning(),
+                        ),
+                        BoundsVerdict::In | BoundsVerdict::Unknown => {}
+                    }
+                }
+            }
+            Addr::None => {}
+        }
+    }
+
+    /// Models reading `loc`: legality, addressing, FIFO pops. Returns the
+    /// value interval when it is statically known (areg sources).
+    fn read_loc(
+        &self,
+        loc: &Loc,
+        state: &mut AState,
+        pc: usize,
+        sink: &mut Option<&mut Report>,
+    ) -> Interval {
+        match loc.space() {
+            Space::Rf | Space::Spm => {
+                self.check_addr(loc, state, pc, sink);
+                Interval::TOP
+            }
+            Space::Areg => {
+                self.check_addr(loc, state, pc, sink);
+                match loc.addr() {
+                    Addr::Direct(d) => self.read_areg(AddrReg(d as u8), state, pc, sink),
+                    _ => Interval::TOP,
+                }
+            }
+            Space::In => Interval::TOP,
+            Space::Out => {
+                if let Some(report) = sink {
+                    report.push(Diagnostic::new(
+                        Rule::SpaceLegality,
+                        self.loc(pc),
+                        "the out port is write-only from a PE",
+                    ));
+                }
+                Interval::TOP
+            }
+            Space::Fifo => {
+                state.pops = state.pops.add_const(1);
+                if let (Some(pe), Some(report)) = (self.pe, sink.as_deref_mut()) {
+                    if !self.contract.fifo_broadcast && pe != 0 {
+                        report.push(
+                            Diagnostic::new(
+                                Rule::FifoDiscipline,
+                                self.loc(pc),
+                                format!("pe{pe} pops the FIFO, but only pe0 may (no broadcast)"),
+                            )
+                            .suggest("enable fifo_broadcast or move the pop to pe0"),
+                        );
+                    }
+                }
+                Interval::TOP
+            }
+            Space::InBuf | Space::OutBuf => {
+                if let Some(report) = sink {
+                    report.push(Diagnostic::new(
+                        Rule::SpaceLegality,
+                        self.loc(pc),
+                        format!(
+                            "{} is an array-level buffer, not PE-accessible",
+                            loc.space()
+                        ),
+                    ));
+                }
+                Interval::TOP
+            }
+        }
+    }
+
+    /// Models writing `loc`: legality, addressing, FIFO pushes. Returns
+    /// the destination areg index when `loc` names one directly.
+    fn write_loc(
+        &self,
+        loc: &Loc,
+        state: &mut AState,
+        pc: usize,
+        sink: &mut Option<&mut Report>,
+    ) -> Option<usize> {
+        match loc.space() {
+            Space::Rf | Space::Spm => {
+                self.check_addr(loc, state, pc, sink);
+                None
+            }
+            Space::Areg => {
+                self.check_addr(loc, state, pc, sink);
+                match loc.addr() {
+                    Addr::Direct(d) => Some(d as usize),
+                    Addr::Indirect { .. } => {
+                        // Writing through an unknown areg index clobbers
+                        // any tracked value.
+                        for v in &mut state.vals {
+                            *v = Interval::TOP;
+                        }
+                        None
+                    }
+                    Addr::None => None,
+                }
+            }
+            Space::In => {
+                if let Some(report) = sink {
+                    report.push(Diagnostic::new(
+                        Rule::SpaceLegality,
+                        self.loc(pc),
+                        "the in port is read-only from a PE",
+                    ));
+                }
+                None
+            }
+            Space::Out => None,
+            Space::Fifo => {
+                state.pushes = state.pushes.add_const(1);
+                if let (Some(pe), Some(report)) = (self.pe, sink.as_deref_mut()) {
+                    if pe + 1 != self.n_pes {
+                        report.push(
+                            Diagnostic::new(
+                                Rule::FifoDiscipline,
+                                self.loc(pc),
+                                format!(
+                                    "pe{pe} pushes the FIFO, but only the last PE (pe{}) may",
+                                    self.n_pes.saturating_sub(1)
+                                ),
+                            )
+                            .suggest("route intermediate values through the out port instead"),
+                        );
+                    }
+                }
+                None
+            }
+            Space::InBuf | Space::OutBuf => {
+                if let Some(report) = sink {
+                    report.push(Diagnostic::new(
+                        Rule::SpaceLegality,
+                        self.loc(pc),
+                        format!(
+                            "{} is an array-level buffer, not PE-accessible",
+                            loc.space()
+                        ),
+                    ));
+                }
+                None
+            }
+        }
+    }
+
+    /// The transfer function: mutates `state` across `inst` and returns
+    /// the successor program counters. With a `sink`, also emits the
+    /// instruction's diagnostics (the reporting pass).
+    fn transfer(
+        &self,
+        pc: usize,
+        len: usize,
+        inst: &ControlInst,
+        state: &mut AState,
+        mut sink: Option<&mut Report>,
+    ) -> Successors {
+        let fallthrough = Successors {
+            next: vec![Edge::plain(pc + 1)],
+            exits: false,
+        };
+        match inst {
+            ControlInst::Nop => fallthrough,
+            ControlInst::Halt => Successors {
+                next: Vec::new(),
+                exits: true,
+            },
+            ControlInst::Add { rd, rs1, rs2 } => {
+                let a = self.read_areg(*rs1, state, pc, &mut sink);
+                let b = self.read_areg(*rs2, state, pc, &mut sink);
+                self.write_areg(rd.0 as usize, a + b, state);
+                fallthrough
+            }
+            ControlInst::Addi { rd, rs1, imm } => {
+                let a = self.read_areg(*rs1, state, pc, &mut sink);
+                self.write_areg(rd.0 as usize, a.add_const(*imm as i64), state);
+                fallthrough
+            }
+            ControlInst::Li { dest, imm } => {
+                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink) {
+                    self.write_areg(idx, Interval::exact(*imm as i64), state);
+                }
+                fallthrough
+            }
+            ControlInst::Mv { dest, src } => {
+                let value = self.read_loc(src, state, pc, &mut sink);
+                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink) {
+                    self.write_areg(idx, value, state);
+                }
+                fallthrough
+            }
+            ControlInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.read_areg(*rs1, state, pc, &mut sink);
+                let b = self.read_areg(*rs2, state, pc, &mut sink);
+                let target = pc as i64 + *offset as i64;
+                // Fall through (branch not taken), plus the taken edge,
+                // each refined by what the condition implies on it; an
+                // edge whose refinement is empty cannot be taken and is
+                // pruned. Successors past the program end become exits in
+                // `run` (the control thread halts silently when the pc
+                // runs off the program), matching the simulator.
+                let mut next = Vec::new();
+                if let Some(refine) = self.refine_edge(negate(*cond), *rs1, *rs2, a, b) {
+                    next.push(Edge {
+                        target: pc + 1,
+                        refine,
+                    });
+                }
+                if target < 0 {
+                    if let Some(report) = sink.as_deref_mut() {
+                        report.push(Diagnostic::new(
+                            Rule::BranchTarget,
+                            self.loc(pc),
+                            format!("branch target {target} is before the program start"),
+                        ));
+                    }
+                } else {
+                    if target > len as i64 {
+                        if let Some(report) = sink.as_deref_mut() {
+                            report.push(
+                                Diagnostic::new(
+                                    Rule::BranchTarget,
+                                    self.loc(pc),
+                                    format!(
+                                        "branch target {target} is past the program end \
+                                         (length {len}); the thread would halt silently"
+                                    ),
+                                )
+                                .warning(),
+                            );
+                        }
+                    }
+                    if let Some(refine) = self.refine_edge(*cond, *rs1, *rs2, a, b) {
+                        next.push(Edge {
+                            target: target as usize,
+                            refine,
+                        });
+                    }
+                }
+                Successors { next, exits: false }
+            }
+            ControlInst::Set { target, pc: tpc } => {
+                if let Some(report) = sink {
+                    match target {
+                        SetTarget::Compute => {
+                            if let Some(clen) = self.compute_len {
+                                if clen == 0 {
+                                    report.push(Diagnostic::new(
+                                        Rule::BranchTarget,
+                                        self.loc(pc),
+                                        "set cu issued but the compute program is empty",
+                                    ));
+                                } else if *tpc as usize >= clen {
+                                    report.push(Diagnostic::new(
+                                        Rule::BranchTarget,
+                                        self.loc(pc),
+                                        format!(
+                                            "set cu {tpc} targets past the compute program \
+                                             (length {clen})"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        SetTarget::Pe(i) => {
+                            report.push(Diagnostic::new(
+                                Rule::SpaceLegality,
+                                self.loc(pc),
+                                format!("set pe{i} is only legal at array level, not in a PE"),
+                            ));
+                        }
+                    }
+                }
+                fallthrough
+            }
+        }
+    }
+
+    /// What a branch condition holding between `rs1` and `rs2` implies
+    /// about their intervals. Returns the refinements to apply on that
+    /// edge, or `None` if the condition cannot hold (the edge is dead).
+    fn refine_edge(
+        &self,
+        cond: BranchCond,
+        rs1: AddrReg,
+        rs2: AddrReg,
+        a: Interval,
+        b: Interval,
+    ) -> Option<Vec<(usize, Interval)>> {
+        let (r1, r2) = (rs1.0 as usize, rs2.0 as usize);
+        if r1 == r2 {
+            // A register always equals itself: `lt`/`ne` edges are dead,
+            // `eq`/`ge` edges always taken but learn nothing.
+            return match cond {
+                BranchCond::Lt | BranchCond::Ne => None,
+                BranchCond::Eq | BranchCond::Ge => Some(Vec::new()),
+            };
+        }
+        let (a2, b2) = match cond {
+            BranchCond::Ne => return Some(Vec::new()),
+            BranchCond::Eq => {
+                let m = Interval {
+                    lo: a.lo.max(b.lo),
+                    hi: a.hi.min(b.hi),
+                };
+                (m, m)
+            }
+            BranchCond::Lt => (
+                // a < b: cap a below b's max, raise b above a's min
+                // (infinite bounds constrain nothing).
+                Interval {
+                    lo: a.lo,
+                    hi: if b.hi == i64::MAX {
+                        a.hi
+                    } else {
+                        a.hi.min(b.hi - 1)
+                    },
+                },
+                Interval {
+                    lo: if a.lo == i64::MIN {
+                        b.lo
+                    } else {
+                        b.lo.max(a.lo + 1)
+                    },
+                    hi: b.hi,
+                },
+            ),
+            BranchCond::Ge => (
+                Interval {
+                    lo: if b.lo == i64::MIN {
+                        a.lo
+                    } else {
+                        a.lo.max(b.lo)
+                    },
+                    hi: a.hi,
+                },
+                Interval {
+                    lo: b.lo,
+                    hi: if a.hi == i64::MAX {
+                        b.hi
+                    } else {
+                        b.hi.min(a.hi)
+                    },
+                },
+            ),
+        };
+        if a2.lo > a2.hi || b2.lo > b2.hi {
+            return None;
+        }
+        let mut refine = Vec::new();
+        if r1 < self.contract.aregs {
+            refine.push((r1, a2));
+        }
+        if r2 < self.contract.aregs {
+            refine.push((r2, b2));
+        }
+        Some(refine)
+    }
+
+    /// Backward branches whose operand registers are never written inside
+    /// the loop body cannot make progress toward termination.
+    fn check_loop_termination(
+        &self,
+        pc: usize,
+        inst: &ControlInst,
+        program: &ControlProgram,
+        report: &mut Report,
+    ) {
+        let ControlInst::Branch {
+            rs1, rs2, offset, ..
+        } = inst
+        else {
+            return;
+        };
+        if *offset >= 0 {
+            return;
+        }
+        let target = pc as i64 + *offset as i64;
+        if target < 0 {
+            return; // branch-target already fired
+        }
+        let body = target as usize..=pc;
+        let counter_written = body.clone().any(|i| {
+            program
+                .get(i)
+                .is_some_and(|b| writes_areg(b, rs1.0) || writes_areg(b, rs2.0))
+        });
+        if !counter_written {
+            report.push(
+                Diagnostic::new(
+                    Rule::LoopTermination,
+                    self.loc(pc),
+                    format!(
+                        "loop over [{}, {pc}] branches on a{} and a{}, but neither changes \
+                         in the body",
+                        target, rs1.0, rs2.0
+                    ),
+                )
+                .suggest("step the loop counter inside the body, e.g. `addi`"),
+            );
+        }
+    }
+}
+
+/// The condition that holds on the fall-through edge of a branch.
+fn negate(cond: BranchCond) -> BranchCond {
+    match cond {
+        BranchCond::Eq => BranchCond::Ne,
+        BranchCond::Ne => BranchCond::Eq,
+        BranchCond::Ge => BranchCond::Lt,
+        BranchCond::Lt => BranchCond::Ge,
+    }
+}
+
+/// True if `inst` may write address register `reg`.
+fn writes_areg(inst: &ControlInst, reg: u8) -> bool {
+    match inst {
+        ControlInst::Add { rd, .. } | ControlInst::Addi { rd, .. } => rd.0 == reg,
+        ControlInst::Li { dest, .. } | ControlInst::Mv { dest, .. } => {
+            dest.space() == Space::Areg
+                && match dest.addr() {
+                    Addr::Direct(d) => d as u8 == reg,
+                    // An indirect areg write could hit any register.
+                    Addr::Indirect { .. } => true,
+                    Addr::None => false,
+                }
+        }
+        _ => false,
+    }
+}

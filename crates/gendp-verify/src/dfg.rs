@@ -1,0 +1,118 @@
+//! Lints over data-flow graphs, replacing the stringly
+//! `Dfg::validate`.
+
+use std::collections::BTreeSet;
+
+use gendp_dfg::{Dfg, Input, NodeId};
+
+use crate::diag::{DiagLoc, Diagnostic, Report, Rule};
+
+pub(crate) fn check_dfg(dfg: &Dfg) -> Report {
+    let mut report = Report::new();
+    let len = dfg.len();
+
+    for id in dfg.node_ids() {
+        let op = dfg.op(id);
+        let inputs = dfg.inputs(id);
+        if inputs.len() != op.arity() {
+            report.push(Diagnostic::new(
+                Rule::DfgArity,
+                DiagLoc::Dfg { node: id.0 },
+                format!(
+                    "{op} takes {} operands, node v{} has {}",
+                    op.arity(),
+                    id.0,
+                    inputs.len()
+                ),
+            ));
+        }
+        for input in inputs {
+            if let Input::Node(NodeId(p)) = input {
+                if *p >= id.0 {
+                    report.push(
+                        Diagnostic::new(
+                            Rule::DfgOrder,
+                            DiagLoc::Dfg { node: id.0 },
+                            format!(
+                                "node v{} reads v{p}, which is not strictly earlier \
+                                 (cycle or broken topological order)",
+                                id.0
+                            ),
+                        )
+                        .suggest("re-emit nodes in dependency order"),
+                    );
+                }
+            }
+        }
+    }
+
+    if dfg.outputs().count() == 0 {
+        report.push(
+            Diagnostic::new(
+                Rule::DfgOutput,
+                DiagLoc::Program,
+                "the graph declares no outputs, so DPMap has nothing to schedule",
+            )
+            .suggest("name at least one node with set_output"),
+        );
+    }
+    for (name, NodeId(id)) in dfg.outputs() {
+        if id >= len {
+            report.push(Diagnostic::new(
+                Rule::DfgOutput,
+                DiagLoc::Program,
+                format!("output `{name}` points at missing node v{id}"),
+            ));
+        }
+    }
+
+    // Reachability: walk parents from every (existing) output node; any
+    // node outside the reached set is dead work DPMap would still map.
+    let mut reached: BTreeSet<usize> = BTreeSet::new();
+    let mut stack: Vec<NodeId> = dfg
+        .outputs()
+        .map(|(_, id)| id)
+        .filter(|id| id.0 < len)
+        .collect();
+    while let Some(id) = stack.pop() {
+        if reached.insert(id.0) {
+            stack.extend(dfg.parents(id));
+        }
+    }
+    if dfg.outputs().count() > 0 {
+        for id in dfg.node_ids() {
+            if !reached.contains(&id.0) {
+                report.push(
+                    Diagnostic::new(
+                        Rule::DfgUnreachable,
+                        DiagLoc::Dfg { node: id.0 },
+                        format!("no output depends on node v{} ({})", id.0, dfg.op(id)),
+                    )
+                    .suggest("drop the node or connect it to an output"),
+                );
+            }
+        }
+    }
+
+    // Multiplier feasibility: each PE has two multipliers (one per CU), so
+    // a cell routine with more multiplies than other work serializes on
+    // them (paper §7.4: Mul maps only to the dedicated multiplier).
+    let muls = dfg.node_ids().filter(|&id| dfg.op(id).is_mul()).count();
+    let others = len - muls;
+    if muls > others && muls > 2 {
+        report.push(
+            Diagnostic::new(
+                Rule::DfgMulPressure,
+                DiagLoc::Program,
+                format!(
+                    "{muls} of {len} nodes are multiplies; the two per-PE multipliers \
+                     bound the schedule to at least {} cycles",
+                    muls.div_ceil(2)
+                ),
+            )
+            .suggest("strength-reduce multiplies or accept the longer cell routine"),
+        );
+    }
+
+    report
+}

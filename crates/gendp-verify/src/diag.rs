@@ -1,0 +1,373 @@
+//! The typed diagnostic model: rules, severities, locations, and reports.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Errors describe programs the DPAx simulator would reject (or that are
+/// certainly wrong); warnings describe programs that run but are very
+/// likely not what the author meant.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable.
+    Warning,
+    /// Certainly wrong: the simulator would fault, or the result cannot be
+    /// what the program intends.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Every check the verifier knows, each with a stable kebab-case id used
+/// in rendered diagnostics and `allow(...)` suppressions.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A branch resolves to a program counter outside the program.
+    BranchTarget,
+    /// A register is read on a path where nothing has written it.
+    DefBeforeUse,
+    /// A direct or indirect address falls outside its memory space.
+    AddrBounds,
+    /// A FIFO pop from a PE other than the first, or a push from a PE
+    /// other than the last (non-broadcast arrays).
+    FifoDiscipline,
+    /// Statically countable FIFO pushes and pops do not balance.
+    FifoBalance,
+    /// A loop's branch operands are never modified inside the loop body.
+    LoopTermination,
+    /// Both VLIW slots write the same register in one cycle, or an
+    /// operator does not fit its tree slot.
+    SlotConflict,
+    /// A space is used in a direction the PE contract forbids (reading
+    /// `out`, writing `in`, touching array-level buffers, `set pe`).
+    SpaceLegality,
+    /// An immediate does not fit the lane width of the configured SIMD
+    /// mode.
+    SimdWidth,
+    /// A compute operand or destination addresses past the register file.
+    RfBounds,
+    /// A task or program describes no work (empty sequence, zero-width
+    /// band).
+    EmptyInput,
+    /// A DFG node has the wrong number of inputs for its operator.
+    DfgArity,
+    /// A DFG node input references a node at or after itself (broken
+    /// topological order / cycle).
+    DfgOrder,
+    /// A DFG output maps to a missing node, or the graph has no outputs.
+    DfgOutput,
+    /// A DFG node no output depends on.
+    DfgUnreachable,
+    /// More multiply nodes than the two per-PE multipliers can sustain
+    /// without dominating the schedule.
+    DfgMulPressure,
+}
+
+impl Rule {
+    /// Every rule, in registry order.
+    pub const ALL: [Rule; 16] = [
+        Rule::BranchTarget,
+        Rule::DefBeforeUse,
+        Rule::AddrBounds,
+        Rule::FifoDiscipline,
+        Rule::FifoBalance,
+        Rule::LoopTermination,
+        Rule::SlotConflict,
+        Rule::SpaceLegality,
+        Rule::SimdWidth,
+        Rule::RfBounds,
+        Rule::EmptyInput,
+        Rule::DfgArity,
+        Rule::DfgOrder,
+        Rule::DfgOutput,
+        Rule::DfgUnreachable,
+        Rule::DfgMulPressure,
+    ];
+
+    /// Stable kebab-case identifier, e.g. `def-before-use`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::BranchTarget => "branch-target",
+            Rule::DefBeforeUse => "def-before-use",
+            Rule::AddrBounds => "addr-bounds",
+            Rule::FifoDiscipline => "fifo-discipline",
+            Rule::FifoBalance => "fifo-balance",
+            Rule::LoopTermination => "loop-termination",
+            Rule::SlotConflict => "slot-conflict",
+            Rule::SpaceLegality => "space-legality",
+            Rule::SimdWidth => "simd-width",
+            Rule::RfBounds => "rf-bounds",
+            Rule::EmptyInput => "empty-input",
+            Rule::DfgArity => "dfg-arity",
+            Rule::DfgOrder => "dfg-order",
+            Rule::DfgOutput => "dfg-output",
+            Rule::DfgUnreachable => "dfg-unreachable",
+            Rule::DfgMulPressure => "dfg-mul-pressure",
+        }
+    }
+
+    /// One-line description shown by the CLI's rule listing.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::BranchTarget => "branch target must land inside the program",
+            Rule::DefBeforeUse => "registers must be written before they are read",
+            Rule::AddrBounds => "addresses must stay inside their memory space",
+            Rule::FifoDiscipline => "only the first PE pops and the last PE pushes the FIFO",
+            Rule::FifoBalance => "FIFO pushes and pops must balance across the array",
+            Rule::LoopTermination => "loop branch operands must change inside the loop",
+            Rule::SlotConflict => "VLIW slots must not write the same register in one cycle",
+            Rule::SpaceLegality => "spaces must be used in directions the PE allows",
+            Rule::SimdWidth => "immediates must fit the SIMD lane width",
+            Rule::RfBounds => "compute operands must address inside the register file",
+            Rule::EmptyInput => "tasks and programs must describe non-empty work",
+            Rule::DfgArity => "DFG nodes must have exactly arity() inputs",
+            Rule::DfgOrder => "DFG inputs must reference strictly earlier nodes",
+            Rule::DfgOutput => "DFG outputs must name existing nodes, and at least one",
+            Rule::DfgUnreachable => "every DFG node should feed some output",
+            Rule::DfgMulPressure => "multiply nodes should not dominate the schedule",
+        }
+    }
+
+    /// The severity diagnostics of this rule carry by default.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::DefBeforeUse
+            | Rule::LoopTermination
+            | Rule::DfgUnreachable
+            | Rule::DfgMulPressure => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Looks a rule up by its [`id`](Rule::id).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DiagLoc {
+    /// A control-program instruction, optionally attributed to a PE.
+    Ctrl {
+        /// PE position in the array, when known.
+        pe: Option<usize>,
+        /// Instruction index in the control program.
+        pc: usize,
+    },
+    /// A compute-program VLIW word, optionally a specific slot.
+    Compute {
+        /// VLIW instruction index.
+        pc: usize,
+        /// Compute-unit slot (0 or 1), when the diagnostic is slot-local.
+        slot: Option<usize>,
+    },
+    /// A data-flow-graph node.
+    Dfg {
+        /// Node index.
+        node: usize,
+    },
+    /// The program or graph as a whole.
+    Program,
+}
+
+impl fmt::Display for DiagLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagLoc::Ctrl { pe: Some(pe), pc } => write!(f, "pe{pe}:ctrl:{pc}"),
+            DiagLoc::Ctrl { pe: None, pc } => write!(f, "ctrl:{pc}"),
+            DiagLoc::Compute {
+                pc,
+                slot: Some(slot),
+            } => write!(f, "cu:{pc}.{slot}"),
+            DiagLoc::Compute { pc, slot: None } => write!(f, "cu:{pc}"),
+            DiagLoc::Dfg { node } => write!(f, "node:{node}"),
+            DiagLoc::Program => write!(f, "program"),
+        }
+    }
+}
+
+/// One finding: a rule violation at a location, with an optional
+/// suggested fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Where it fired.
+    pub loc: DiagLoc,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix it, when the verifier can tell.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at its rule's default severity.
+    pub fn new(rule: Rule, loc: DiagLoc, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.default_severity(),
+            loc,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Downgrades this diagnostic to a warning.
+    pub fn warning(mut self) -> Self {
+        self.severity = Severity::Warning;
+        self
+    }
+
+    /// Attaches a suggested fix.
+    pub fn suggest(mut self, fix: impl Into<String>) -> Self {
+        self.suggestion = Some(fix.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.rule, self.loc, self.message
+        )?;
+        if let Some(fix) = &self.suggestion {
+            write!(f, "\n  = help: {fix}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one verification pass: every diagnostic, in program
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Appends every diagnostic of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All diagnostics, in the order they were found.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Diagnostics of one rule.
+    pub fn of_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diags.len() - self.error_count()
+    }
+
+    /// True if at least one error-severity diagnostic is present.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// True if nothing at all was found — not even warnings.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip_and_are_unique() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_id(rule.id()), Some(rule));
+            assert!(!rule.description().is_empty());
+        }
+        let mut ids: Vec<_> = Rule::ALL.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Rule::ALL.len());
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut report = Report::new();
+        assert!(report.is_clean());
+        report.push(
+            Diagnostic::new(
+                Rule::AddrBounds,
+                DiagLoc::Ctrl { pe: Some(1), pc: 3 },
+                "spm index 2048 out of bounds for 1024 words",
+            )
+            .suggest("shrink the stride or grow spm_words"),
+        );
+        report.push(Diagnostic::new(
+            Rule::DefBeforeUse,
+            DiagLoc::Compute {
+                pc: 0,
+                slot: Some(1),
+            },
+            "r9 read but never written",
+        ));
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(report.has_errors());
+        assert!(!report.is_clean());
+        assert_eq!(report.of_rule(Rule::AddrBounds).count(), 1);
+        let text = report.to_string();
+        assert!(text.contains("error[addr-bounds] at pe1:ctrl:3"));
+        assert!(text.contains("= help:"));
+        assert!(text.contains("warning[def-before-use] at cu:0.1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! A tiny signed-interval abstract domain for address-register values.
+//!
+//! Control-thread address registers drive indirect scratchpad and
+//! register-file accesses; the verifier tracks each register as an
+//! interval `[lo, hi]` (in `i64`, so `i32` arithmetic can never overflow
+//! the bound computation) and classifies each indirect access as
+//! definitely in bounds, definitely out of bounds, or possibly out.
+
+/// A signed interval `[lo, hi]`; `TOP` means "any value".
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The unconstrained interval.
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The interval holding exactly `v`.
+    pub fn exact(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// True if nothing is known about the value.
+    pub fn is_top(self) -> bool {
+        self == Interval::TOP
+    }
+
+    /// Adds a constant.
+    pub fn add_const(self, c: i64) -> Interval {
+        self + Interval::exact(c)
+    }
+
+    /// Least upper bound: the hull of both intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Standard widening: bounds that moved since `self` jump to infinity,
+    /// guaranteeing fixpoint termination on loops.
+    pub fn widen(self, newer: Interval) -> Interval {
+        Interval {
+            lo: if newer.lo < self.lo {
+                i64::MIN
+            } else {
+                self.lo
+            },
+            hi: if newer.hi > self.hi {
+                i64::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+
+    /// How this interval relates to the valid address range `[0, size)`.
+    pub fn bounds_check(self, size: usize) -> BoundsVerdict {
+        let size = size as i64;
+        if self.is_top() {
+            BoundsVerdict::Unknown
+        } else if self.hi < 0 || self.lo >= size {
+            BoundsVerdict::AlwaysOut
+        } else if self.lo < 0 || self.hi >= size {
+            if self.lo == i64::MIN || self.hi == i64::MAX {
+                // The offending bound is an infinity produced by widening,
+                // not evidence of a real overrun: stay silent.
+                BoundsVerdict::Unknown
+            } else {
+                BoundsVerdict::MayBeOut
+            }
+        } else {
+            BoundsVerdict::In
+        }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    /// Interval sum. `i64::MIN`/`i64::MAX` bounds are infinities and
+    /// absorb addition, so `TOP` stays `TOP`.
+    fn add(self, other: Interval) -> Interval {
+        let lo = if self.lo == i64::MIN || other.lo == i64::MIN {
+            i64::MIN
+        } else {
+            self.lo.saturating_add(other.lo)
+        };
+        let hi = if self.hi == i64::MAX || other.hi == i64::MAX {
+            i64::MAX
+        } else {
+            self.hi.saturating_add(other.hi)
+        };
+        Interval { lo, hi }
+    }
+}
+
+/// Result of checking an interval against an address range.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum BoundsVerdict {
+    /// Every possible value is in range.
+    In,
+    /// Every possible value is out of range.
+    AlwaysOut,
+    /// Some values are in range and some are not.
+    MayBeOut,
+    /// The interval is `TOP`: no claim either way.
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_join() {
+        let a = Interval::exact(3);
+        let b = Interval { lo: -1, hi: 2 };
+        assert_eq!(a + b, Interval { lo: 2, hi: 5 });
+        assert_eq!(a.add_const(-3), Interval::exact(0));
+        assert_eq!(a.join(b), Interval { lo: -1, hi: 3 });
+        assert!((Interval::TOP + a).is_top());
+    }
+
+    #[test]
+    fn widening_reaches_top() {
+        let a = Interval::exact(0);
+        let grown = a.join(Interval::exact(5));
+        let widened = a.widen(grown);
+        assert_eq!(widened.hi, i64::MAX);
+        assert_eq!(widened.lo, 0);
+        assert_eq!(widened.widen(widened), widened);
+    }
+
+    #[test]
+    fn bounds_verdicts() {
+        assert_eq!(Interval::exact(5).bounds_check(10), BoundsVerdict::In);
+        assert_eq!(
+            Interval::exact(10).bounds_check(10),
+            BoundsVerdict::AlwaysOut
+        );
+        assert_eq!(
+            Interval::exact(-1).bounds_check(10),
+            BoundsVerdict::AlwaysOut
+        );
+        assert_eq!(
+            Interval { lo: 5, hi: 15 }.bounds_check(10),
+            BoundsVerdict::MayBeOut
+        );
+        assert_eq!(Interval::TOP.bounds_check(10), BoundsVerdict::Unknown);
+        // Half-infinite intervals come from widening; they are not
+        // evidence of a real overrun.
+        assert_eq!(
+            Interval {
+                lo: 0,
+                hi: i64::MAX
+            }
+            .bounds_check(10),
+            BoundsVerdict::Unknown
+        );
+    }
+}

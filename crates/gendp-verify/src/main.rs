@@ -1,0 +1,140 @@
+//! `gendp-verify` — lint GenDP control-program files.
+//!
+//! ```text
+//! gendp-verify [--rules] <file.gdp>...
+//! ```
+//!
+//! Each file is parsed as a control program (the `ControlProgram` textual
+//! assembly; `;` starts a comment) and verified against the default PE
+//! contract. A comment of the form `; allow(rule-id)` anywhere in the
+//! file suppresses that rule for the whole file. Exits non-zero if any
+//! file has error-severity diagnostics (warnings do not fail the run).
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use gendp_isa::{ControlInst, ControlProgram};
+use gendp_verify::{render_source_diagnostics, Rule, Verifier};
+
+/// Writes to stdout, ignoring a closed pipe (`gendp-verify ... | head`
+/// must not panic when the reader goes away).
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: gendp-verify [--rules] <file.gdp>...");
+        eprintln!("lints GenDP control-program files against the PE contract");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for rule in Rule::ALL {
+            emit(&format!(
+                "{:18} {:7}  {}\n",
+                rule.id(),
+                rule.default_severity().to_string(),
+                rule.description()
+            ));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for path in &args {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        match lint_file(path, &source) {
+            Ok((e, w)) => {
+                errors += e;
+                warnings += w;
+            }
+            Err(message) => {
+                eprintln!("{message}");
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 || warnings > 0 {
+        eprintln!(
+            "{} error{}, {} warning{}",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            warnings,
+            if warnings == 1 { "" } else { "s" }
+        );
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Lints one file; returns (errors, warnings) or a parse-failure message.
+fn lint_file(path: &str, source: &str) -> Result<(usize, usize), String> {
+    // Parse line by line (mirroring `ControlProgram::FromStr`'s comment
+    // and blank filtering) so each instruction keeps its source line, and
+    // collect `; allow(rule)` suppression directives on the way.
+    let mut insts: Vec<ControlInst> = Vec::new();
+    let mut line_of_pc: Vec<usize> = Vec::new();
+    let mut verifier = Verifier::default();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let (code, comment) = match raw.find(';') {
+            Some(i) => (&raw[..i], Some(raw[i + 1..].trim())),
+            None => (raw, None),
+        };
+        if let Some(directive) = comment.and_then(parse_allow) {
+            match Rule::from_id(directive) {
+                Some(rule) => verifier = verifier.allow(rule),
+                None => {
+                    return Err(format!(
+                        "error: {path}:{line_no}: unknown rule `{directive}` in allow(...)"
+                    ))
+                }
+            }
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        let inst: ControlInst = code
+            .parse()
+            .map_err(|e| format!("error: {path}:{line_no}: {e}"))?;
+        insts.push(inst);
+        line_of_pc.push(line_no);
+    }
+
+    let program: ControlProgram = insts.into_iter().collect();
+    let report = verifier.verify_control(&program);
+    if !report.is_clean() {
+        emit(&render_source_diagnostics(
+            path,
+            source,
+            &report,
+            &line_of_pc,
+        ));
+    }
+    Ok((report.error_count(), report.warning_count()))
+}
+
+/// Extracts `rule-id` from a comment of the form `allow(rule-id)`.
+fn parse_allow(comment: &str) -> Option<&str> {
+    comment
+        .strip_prefix("allow(")?
+        .strip_suffix(')')
+        .map(str::trim)
+}

@@ -1,0 +1,90 @@
+//! Rustc-style rendering of diagnostics against program source text.
+
+use std::fmt::Write;
+
+use crate::diag::{DiagLoc, Report};
+
+/// Renders a report against the source text it was produced from.
+///
+/// `line_of_pc[pc]` is the 1-based source line of control instruction
+/// `pc` (comment and blank lines make the two numberings differ).
+/// Diagnostics without a control location are rendered without an
+/// excerpt.
+pub fn render_source_diagnostics(
+    path: &str,
+    source: &str,
+    report: &Report,
+    line_of_pc: &[usize],
+) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = String::new();
+    for diag in report.diagnostics() {
+        let _ = writeln!(out, "{}[{}]: {}", diag.severity, diag.rule, diag.message);
+        let line = match diag.loc {
+            DiagLoc::Ctrl { pc, .. } => line_of_pc.get(pc).copied(),
+            _ => None,
+        };
+        match line {
+            Some(n) if n >= 1 && n <= lines.len() => {
+                let text = lines[n - 1];
+                let gutter = n.to_string().len().max(2);
+                let _ = writeln!(out, "{:>gutter$}--> {path}:{n}", "");
+                let _ = writeln!(out, "{:>gutter$} |", "");
+                let _ = writeln!(out, "{n:>gutter$} | {text}");
+                let _ = writeln!(
+                    out,
+                    "{:>gutter$} | {}",
+                    "",
+                    "^".repeat(text.trim_end().len().max(1))
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  --> {path}");
+            }
+        }
+        if let Some(fix) = &diag.suggestion {
+            let _ = writeln!(out, "   = help: {fix}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{DiagLoc, Diagnostic, Rule};
+
+    #[test]
+    fn excerpt_points_at_the_source_line() {
+        let source = "; setup\nmv rf[9999] in\nhalt\n";
+        let mut report = Report::new();
+        report.push(
+            Diagnostic::new(
+                Rule::AddrBounds,
+                DiagLoc::Ctrl { pe: None, pc: 0 },
+                "rf index 9999 is out of bounds for 256 words",
+            )
+            .suggest("use a slot below 256"),
+        );
+        let text = render_source_diagnostics("prog.gdp", source, &report, &[2, 3]);
+        assert!(text.contains("error[addr-bounds]"), "{text}");
+        assert!(text.contains("--> prog.gdp:2"), "{text}");
+        assert!(text.contains("mv rf[9999] in"), "{text}");
+        assert!(text.contains("^^^^"), "{text}");
+        assert!(text.contains("= help:"), "{text}");
+    }
+
+    #[test]
+    fn program_level_diagnostics_render_without_excerpt() {
+        let mut report = Report::new();
+        report.push(Diagnostic::new(
+            Rule::FifoBalance,
+            DiagLoc::Program,
+            "program pushes 2 FIFO words but pops 1",
+        ));
+        let text = render_source_diagnostics("p.gdp", "halt\n", &report, &[1]);
+        assert!(text.contains("error[fifo-balance]"), "{text}");
+        assert!(text.contains("--> p.gdp"), "{text}");
+    }
+}

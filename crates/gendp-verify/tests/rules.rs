@@ -1,0 +1,329 @@
+//! One intentionally broken fixture per rule, each asserting that exactly
+//! that rule fires exactly once — the acceptance contract of the
+//! verifier's rule registry.
+
+use gendp_isa::{
+    ComputeOp, ComputeProgram, ControlProgram, CuInst, Mode, Operand, TreeSlots, VliwInst,
+};
+use gendp_verify::{PeContract, Report, Rule, Severity, Verifier};
+
+fn ctrl(text: &str) -> ControlProgram {
+    text.parse().expect("fixture parses")
+}
+
+fn assert_fires_once(report: &Report, rule: Rule) {
+    assert_eq!(
+        report.of_rule(rule).count(),
+        1,
+        "expected {rule} exactly once, got: {report}"
+    );
+}
+
+/// A clean loop program: everything initialized, in bounds, terminating.
+#[test]
+fn clean_program_has_no_diagnostics() {
+    let p = ctrl(
+        "li a[0] 0\nli a[1] 3\nmv rf[0] in\nmv spm[a0+0] rf[0]\nmv out rf[0]\n\
+         addi a0 a0 1\nblt a0 a1 -4\nhalt",
+    );
+    let report = Verifier::default().verify_control(&p);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn def_before_use_fires_once() {
+    // a1 is read (branch + addi) without ever being written; a0 is fine.
+    let p = ctrl("li a[0] 0\naddi a0 a1 1\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::DefBeforeUse);
+    assert_eq!(report.diagnostics().len(), 1);
+}
+
+#[test]
+fn scratchpad_oob_fires_once_direct() {
+    let p = ctrl("mv rf[0] spm[5000]\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::AddrBounds);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn scratchpad_oob_fires_once_symbolic() {
+    // a0 walks 0..=4 with stride 1000: definitely exceeds 1024 words on
+    // some iteration, and the interval analysis must see it through the
+    // loop join.
+    let p = ctrl("li a[0] 2000\nli a[1] 5\nli a[2] 0\nmv rf[0] spm[a0+0]\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::AddrBounds);
+    assert_eq!(
+        report.of_rule(Rule::AddrBounds).next().unwrap().severity,
+        Severity::Error
+    );
+}
+
+#[test]
+fn possible_oob_is_a_warning() {
+    // a0 ∈ {0, 1020} depending on a data-driven branch; +8 may or may
+    // not exceed 1024.
+    let p = ctrl(
+        "li a[0] 0\nmv a[1] in\nli a[2] 1\nbeq a1 a2 2\nli a[0] 1020\nmv rf[0] spm[a0+8]\nhalt",
+    );
+    let report = Verifier::default().verify_control(&p);
+    let diag = report.of_rule(Rule::AddrBounds).next().expect("fires");
+    assert_eq!(diag.severity, Severity::Warning);
+}
+
+#[test]
+fn fifo_imbalance_fires_once() {
+    // Two pushes, one pop, in one self-looping program.
+    let p = ctrl("li a[0] 7\nmv fifo a[0]\nmv fifo a[0]\nmv rf[0] fifo\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::FifoBalance);
+}
+
+#[test]
+fn array_level_fifo_imbalance_fires_once() {
+    // pe1 (last of two) pushes twice; pe0 pops once.
+    let last = ctrl("li a[0] 1\nmv fifo a[0]\nmv fifo a[0]\nhalt");
+    let first = ctrl("mv rf[0] fifo\nhalt");
+    let empty = ComputeProgram::new();
+    let report = Verifier::default().verify_array(&[(&first, &empty), (&last, &empty)]);
+    assert_fires_once(&report, Rule::FifoBalance);
+}
+
+#[test]
+fn fifo_discipline_fires_once() {
+    // pe0 of a 2-PE chain pushes: only the last PE may push.
+    let first = ctrl("li a[0] 1\nmv fifo a[0]\nmv rf[0] fifo\nhalt");
+    let last = ctrl("halt");
+    let empty = ComputeProgram::new();
+    let report = Verifier::default().verify_array(&[(&first, &empty), (&last, &empty)]);
+    assert_fires_once(&report, Rule::FifoDiscipline);
+}
+
+#[test]
+fn invalid_branch_target_fires_once() {
+    let p = ctrl("li a[0] 0\nli a[1] 1\nblt a0 a1 -5\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::BranchTarget);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn branch_past_end_is_a_warning() {
+    let p = ctrl("li a[0] 0\nli a[1] 1\nblt a0 a1 9\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    let diag = report.of_rule(Rule::BranchTarget).next().expect("fires");
+    assert_eq!(diag.severity, Severity::Warning);
+}
+
+#[test]
+fn loop_without_counter_update_fires_once() {
+    let p = ctrl("li a[0] 0\nli a[1] 3\nnop\nblt a0 a1 -1\nhalt");
+    let report = Verifier::default().verify_control(&p);
+    assert_fires_once(&report, Rule::LoopTermination);
+}
+
+#[test]
+fn space_legality_fires_for_each_illegal_direction() {
+    let read_out = ctrl("mv rf[0] out\nhalt");
+    assert_fires_once(
+        &Verifier::default().verify_control(&read_out),
+        Rule::SpaceLegality,
+    );
+    let write_in = ctrl("mv in rf[0]\nhalt");
+    assert_fires_once(
+        &Verifier::default().verify_control(&write_in),
+        Rule::SpaceLegality,
+    );
+    let set_pe = ctrl("set pe1 0\nhalt");
+    assert_fires_once(
+        &Verifier::default().verify_control(&set_pe),
+        Rule::SpaceLegality,
+    );
+}
+
+#[test]
+fn set_cu_past_compute_end_fires_once() {
+    let control = ctrl("set cu 9\nhalt");
+    let mut compute = ComputeProgram::new();
+    compute.push(VliwInst::NOP);
+    compute.finish();
+    let report = Verifier::default().verify_pe(0, &control, &compute);
+    assert_fires_once(&report, Rule::BranchTarget);
+}
+
+fn tree(wide_op: ComputeOp, wide: [Operand; 4], dest: u16) -> CuInst {
+    CuInst::Tree(TreeSlots {
+        wide_op,
+        wide_ins: wide,
+        narrow_op: ComputeOp::Nop,
+        narrow_ins: [Operand::Imm(0); 2],
+        root_op: ComputeOp::Copy,
+        dest,
+    })
+}
+
+#[test]
+fn vliw_slot_conflict_fires_once() {
+    let mut p = ComputeProgram::new();
+    p.push(VliwInst::pair(
+        CuInst::Mul {
+            a: Operand::Reg(0),
+            b: Operand::Reg(1),
+            dest: 7,
+        },
+        tree(
+            ComputeOp::Add,
+            [
+                Operand::Reg(2),
+                Operand::Reg(3),
+                Operand::Imm(0),
+                Operand::Imm(0),
+            ],
+            7,
+        ),
+    ));
+    p.finish();
+    let report = Verifier::default().verify_compute(&p);
+    assert_fires_once(&report, Rule::SlotConflict);
+}
+
+#[test]
+fn wide_op_in_narrow_slot_is_a_slot_conflict() {
+    let mut p = ComputeProgram::new();
+    p.push(VliwInst::single(CuInst::Tree(TreeSlots {
+        wide_op: ComputeOp::Add,
+        wide_ins: [
+            Operand::Reg(0),
+            Operand::Reg(1),
+            Operand::Imm(0),
+            Operand::Imm(0),
+        ],
+        narrow_op: ComputeOp::MatchScore,
+        narrow_ins: [Operand::Reg(2), Operand::Reg(3)],
+        root_op: ComputeOp::Add,
+        dest: 4,
+    })));
+    p.finish();
+    let report = Verifier::default().verify_compute(&p);
+    assert_fires_once(&report, Rule::SlotConflict);
+}
+
+#[test]
+fn simd_width_mismatch_fires_once() {
+    // An 8-bit SIMD array cannot encode the immediate 300 in one lane.
+    let mut p = ComputeProgram::new();
+    p.push(VliwInst::single(tree(
+        ComputeOp::Add,
+        [
+            Operand::Reg(0),
+            Operand::Imm(300),
+            Operand::Imm(0),
+            Operand::Imm(0),
+        ],
+        1,
+    )));
+    p.finish();
+    let verifier = Verifier::new(PeContract::new().mode(Mode::Int8x4));
+    let report = verifier.verify_compute(&p);
+    assert_fires_once(&report, Rule::SimdWidth);
+    // The same program is fine on a 32-bit array.
+    assert!(Verifier::default().verify_compute(&p).is_clean());
+}
+
+#[test]
+fn rf_bounds_fires_once() {
+    let mut p = ComputeProgram::new();
+    p.push(VliwInst::single(CuInst::Mul {
+        a: Operand::Reg(999),
+        b: Operand::Imm(2),
+        dest: 1,
+    }));
+    p.finish();
+    let report = Verifier::default().verify_compute(&p);
+    assert_fires_once(&report, Rule::RfBounds);
+}
+
+#[test]
+fn joint_rf_def_before_use_fires_once() {
+    // Control loads rf[0]; compute reads rf[0] (ok) and rf[5] (never
+    // written by anything).
+    let control = ctrl("mv rf[0] in\nset cu 0\nmv out rf[1]\nhalt");
+    let mut compute = ComputeProgram::new();
+    compute.push(VliwInst::single(tree(
+        ComputeOp::Add,
+        [
+            Operand::Reg(0),
+            Operand::Reg(5),
+            Operand::Imm(0),
+            Operand::Imm(0),
+        ],
+        1,
+    )));
+    compute.finish();
+    let report = Verifier::default().verify_pe(0, &control, &compute);
+    assert_fires_once(&report, Rule::DefBeforeUse);
+}
+
+#[test]
+fn allow_suppresses_a_rule() {
+    let p = ctrl("mv rf[0] spm[5000]\nhalt");
+    let verifier = Verifier::default().allow(Rule::AddrBounds);
+    assert!(verifier.verify_control(&p).is_clean());
+}
+
+#[test]
+fn dfg_lints_fire() {
+    use gendp_dfg::Dfg;
+
+    // No outputs.
+    let mut g = Dfg::new("no-out");
+    let a = g.ext("a");
+    let b = g.ext("b");
+    g.add(a, b);
+    let report = Verifier::default().verify_dfg(&g);
+    assert_fires_once(&report, Rule::DfgOutput);
+    // The added node is also unreachable-from-outputs only when outputs
+    // exist, so no DfgUnreachable here.
+    assert_eq!(report.of_rule(Rule::DfgUnreachable).count(), 0);
+
+    // Unreachable node.
+    let mut g = Dfg::new("dead");
+    let a = g.ext("a");
+    let b = g.ext("b");
+    let live = g.add(a, b);
+    g.sub(a, b); // dead
+    g.set_output("h", live);
+    let report = Verifier::default().verify_dfg(&g);
+    assert_fires_once(&report, Rule::DfgUnreachable);
+
+    // Multiplier pressure.
+    let mut g = Dfg::new("muls");
+    let a = g.ext("a");
+    let mut acc = g.mul(a, a);
+    for _ in 0..3 {
+        acc = g.mul(acc, acc);
+    }
+    g.set_output("m", acc);
+    let report = Verifier::default().verify_dfg(&g);
+    assert_fires_once(&report, Rule::DfgMulPressure);
+
+    // A well-formed graph is clean.
+    let mut g = Dfg::new("clean");
+    let a = g.ext("a");
+    let b = g.ext("b");
+    let s = g.add(a, b);
+    g.set_output("h", s);
+    assert!(Verifier::default().verify_dfg(&g).is_clean());
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let p =
+        ctrl("addi a0 a1 1\nmv rf[0] spm[5000]\nmv fifo a[0]\nmv fifo a[0]\nmv rf[1] fifo\nhalt");
+    let r1 = Verifier::default().verify_control(&p);
+    let r2 = Verifier::default().verify_control(&p);
+    assert_eq!(r1, r2);
+    assert!(r1.diagnostics().len() >= 3);
+}

@@ -17,6 +17,7 @@
 //! | [`dpmap`] | `gendp-dpmap` | the DPMap partitioning algorithm and code generator |
 //! | [`dpax`] | `gendp-dpax` | the cycle-level DPAx simulator |
 //! | [`kernels`] | `gendp-kernels` | reference software kernels (BSW, PairHMM, POA, Chain, DTW, Bellman-Ford, LCS) and their DFGs |
+//! | [`verify`] | `gendp-verify` | static verifier: typed diagnostics over programs and DFGs |
 //! | [`seq`] | `gendp-seq` | synthetic genomics workload generators |
 //! | [`model`] | `gendp-model` | area/power/scaling models and the paper's recorded baselines |
 //! | [`core`] | `gendp-core` | the assembled framework: per-pattern control codegen and the end-to-end pipeline |
@@ -57,3 +58,4 @@ pub use gendp_kernels as kernels;
 pub use gendp_model as model;
 pub use gendp_runtime as runtime;
 pub use gendp_seq as seq;
+pub use gendp_verify as verify;

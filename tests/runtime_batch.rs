@@ -97,8 +97,49 @@ fn batch_equals_sequential_under_every_policy_and_worker_count() {
             let expect: u64 = reference.iter().map(|(_, c)| c).sum();
             assert_eq!(total, expect, "{policy:?} x{workers}");
             assert_eq!(batch.report.tasks(), reference.len());
+            // No fault injection, no failures: the zero-fault fast path
+            // must report pristine recovery counters.
+            assert!(
+                batch.report.recovery.is_clean(),
+                "{policy:?} x{workers}: {:?}",
+                batch.report.recovery
+            );
         }
     }
+}
+
+#[test]
+fn preflight_rejects_invalid_tasks_and_the_rest_complete() {
+    use gendp::dpax::SimError;
+    use gendp::runtime::TaskFailure;
+
+    let mut tasks = mixed_batch();
+    tasks.truncate(6);
+    // An empty DTW signal can never execute; preflight verification must
+    // reject it before it reaches an array.
+    tasks.insert(3, Task::dtw(vec![], (0..5).collect()));
+    let mut device = Device::new(DeviceConfig {
+        int_arrays: 2,
+        float_arrays: 0,
+        workers: 2,
+        ..DeviceConfig::default()
+    });
+    let outcome = device.run_batch(tasks).expect("batch run");
+    assert_eq!(outcome.completed(), 6);
+    assert_eq!(outcome.failed(), 1);
+    match &outcome.results[3] {
+        Err(TaskFailure::Sim {
+            error: SimError::Verify(report),
+            attempts,
+        }) => {
+            // Rejected up front: zero execution attempts were spent.
+            assert_eq!(*attempts, 0);
+            assert!(report.has_errors());
+        }
+        other => panic!("expected a verify rejection, got {other:?}"),
+    }
+    // The rejection is counted, so the recovery report is not clean.
+    assert_eq!(outcome.report.recovery.tasks_failed, 1);
 }
 
 #[test]
