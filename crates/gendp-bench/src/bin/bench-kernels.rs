@@ -1,0 +1,428 @@
+//! Hot-path benchmark: the six evaluated kernels (BSW, PairHMM, POA,
+//! Chain, DTW, Bellman-Ford) at fixed task sizes, each measured on both
+//! execution paths through the unified [`Accelerator`] lifecycle:
+//!
+//! * **interpreted** (the *before* side): the per-run path the crate had
+//!   before the decoded engine — every repetition regenerates, verifies
+//!   and interprets the programs (`run_task` on
+//!   [`Engine::Interpreted`]).
+//! * **decoded** (the *after* side): the pre-decoded hot path — programs
+//!   are generated, lowered and verified once ([`Accelerator::prepare`]),
+//!   and each repetition pays only `PreparedTask::execute`, i.e. the
+//!   alloc-free simulation loop itself.
+//!
+//! Both paths produce bit- and cycle-identical results (asserted here and
+//! covered by the engine-equivalence suite); only the host-side cost
+//! differs.
+//!
+//! Emits `BENCH_kernels.json` with, per kernel: DP cells, simulated
+//! cycles, cells/cycle (machine-independent), and per path the host wall
+//! time, host cells/sec and heap allocations per simulated cycle.
+//! `speedup` is interpreted-wall / decoded-wall.
+//!
+//! Flags:
+//! * `--quick` — reduced task sizes and one repetition (CI smoke).
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_kernels.json`).
+//! * `--baseline <path>` — compare against a committed baseline and exit
+//!   non-zero if any kernel's simulated cells/cycle drifts, or its
+//!   decoded-vs-interpreted speedup falls below an absolute 1.5x floor.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gendp::core::{BellmanFordTask, ChainTask, PoaTask, WavefrontTask};
+use gendp::core::{GendpPipeline, Wavefront2d};
+use gendp::dpax::Engine;
+use gendp::kernels::bellman_ford::random_roadmap;
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::poa::Poa;
+use gendp::kernels::Scoring;
+use gendp::seq::{extract_anchors, DnaSeq, Genome, KmerIndex, MutationProfile};
+use gendp::{AccelConfig, Accelerator, TaskOutput};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Counts every heap allocation, so the report can show the decoded
+/// engine's alloc-free per-cycle loops against the interpreter's
+/// per-cycle temporaries.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One engine's host-side measurement of a fixed task.
+struct EngineSide {
+    wall_seconds: f64,
+    cells_per_sec: f64,
+    allocs_per_cycle: f64,
+}
+
+/// One kernel's benchmark row.
+struct KernelBench {
+    name: &'static str,
+    cells: u64,
+    cycles: u64,
+    cells_per_cycle: f64,
+    decoded: EngineSide,
+    interpreted: EngineSide,
+    speedup: f64,
+}
+
+/// Times `reps` runs of one closure that executes the task and returns
+/// (cells, cycles); all repetitions are identical by construction.
+fn time_engine(reps: u32, mut run: impl FnMut() -> (u64, u64)) -> (EngineSide, u64, u64) {
+    // Warm-up run outside the timed window (first-touch page faults,
+    // lazily initialized LUTs).
+    let (cells, cycles) = run();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let again = run();
+        assert_eq!(again, (cells, cycles), "non-deterministic benchmark task");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let per_rep = wall / reps as f64;
+    (
+        EngineSide {
+            wall_seconds: per_rep,
+            cells_per_sec: if per_rep > 0.0 {
+                cells as f64 / per_rep
+            } else {
+                0.0
+            },
+            allocs_per_cycle: allocs as f64 / (cycles as f64 * reps as f64),
+        },
+        cells,
+        cycles,
+    )
+}
+
+/// Benchmarks one accelerator+task on both execution paths: the prepared
+/// decoded hot loop against the full per-run interpreted path.
+fn bench<A, F>(name: &'static str, reps: u32, build: F, task: &A::Task<'_>) -> KernelBench
+where
+    A: Accelerator,
+    F: Fn() -> A,
+{
+    // After: prepare once (codegen + lowering, untimed), time execute.
+    let accel = build().configure(AccelConfig::new().engine(Engine::Decoded));
+    let mut prep = accel.prepare(task);
+    let (decoded, cells, cycles) = time_engine(reps, move || {
+        let stats = prep.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
+        (stats.cells(), stats.cycles)
+    });
+    // Before: the one-shot path, regenerating and re-verifying per run.
+    let accel = build().configure(AccelConfig::new().engine(Engine::Interpreted));
+    let (interpreted, i_cells, i_cycles) = time_engine(reps, move || {
+        let out = accel
+            .run_task(task)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = out.stats();
+        (stats.cells(), stats.cycles)
+    });
+    assert_eq!(
+        (cells, cycles),
+        (i_cells, i_cycles),
+        "{name}: engines disagree on simulated work"
+    );
+    KernelBench {
+        name,
+        cells,
+        cycles,
+        cells_per_cycle: cells as f64 / cycles as f64,
+        speedup: interpreted.wall_seconds / decoded.wall_seconds,
+        decoded,
+        interpreted,
+    }
+}
+
+fn codes(s: &DnaSeq) -> Vec<i32> {
+    s.codes().iter().map(|&c| c as i32).collect()
+}
+
+fn run_suite(quick: bool) -> Vec<KernelBench> {
+    let reps = if quick { 1 } else { 3 };
+    let mut rng = SmallRng::seed_from_u64(2023);
+    let mut out = Vec::new();
+
+    // BSW: local alignment of a mutated window against its source.
+    let (tn, qn) = if quick { (32, 24) } else { (96, 72) };
+    let scoring = Scoring::bwa_mem();
+    let t = DnaSeq::random(tn, &mut rng);
+    let q = MutationProfile::illumina().apply(&t.window(2, qn), &mut rng);
+    let (rows, cols) = (codes(&t), codes(&q));
+    let task = WavefrontTask {
+        rows: &rows,
+        cols: &cols,
+        n_pes: 4,
+        band: None,
+    };
+    out.push(bench::<Wavefront2d, _>(
+        "bsw",
+        reps,
+        || GendpPipeline::bsw(&scoring),
+        &task,
+    ));
+
+    // PairHMM: fixed-point log-space forward.
+    let (hn, rn) = if quick { (32, 24) } else { (72, 56) };
+    let hap = DnaSeq::random(hn, &mut rng);
+    let read = MutationProfile::illumina().apply(&hap.window(2, rn), &mut rng);
+    let (rows, cols) = (codes(&read), codes(&hap));
+    let task = WavefrontTask {
+        rows: &rows,
+        cols: &cols,
+        n_pes: 4,
+        band: None,
+    };
+    out.push(bench::<Wavefront2d, _>(
+        "pairhmm",
+        reps,
+        || GendpPipeline::pairhmm(&PairHmmParams::gatk(), 30, 1024, rows.len()),
+        &task,
+    ));
+
+    // POA: probe vs a two-sequence graph.
+    let truth_len = if quick { 30 } else { 56 };
+    let truth = DnaSeq::random(truth_len, &mut rng);
+    let mut graph = Poa::new();
+    graph.add_sequence(&truth, &Scoring::racon());
+    graph.add_sequence(
+        &MutationProfile::nanopore().apply(&truth, &mut rng),
+        &Scoring::racon(),
+    );
+    let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+    let task = PoaTask {
+        graph: &graph,
+        seq: &probe,
+        n_pes: 4,
+    };
+    out.push(bench(
+        "poa",
+        reps,
+        || GendpPipeline::poa(Scoring::racon()),
+        &task,
+    ));
+
+    // Chain: anchors from a mutated read against an indexed genome.
+    let n_pes = 8;
+    let params = ChainParams {
+        n_prev: n_pes,
+        ..ChainParams::minimap2(15.0)
+    };
+    let genome_len = if quick { 400 } else { 1200 };
+    let genome = Genome::random(genome_len, &mut rng);
+    let index = KmerIndex::build(genome.seq(), 15);
+    let read_src = genome.window(10, if quick { 120 } else { 400 });
+    let read = MutationProfile::nanopore().apply(&read_src, &mut rng);
+    let anchors = extract_anchors(&index, &read);
+    assert!(anchors.len() >= 4, "anchor workload collapsed");
+    let task = ChainTask {
+        anchors: &anchors,
+        n_pes,
+    };
+    out.push(bench("chain", reps, || GendpPipeline::chain(params), &task));
+
+    // DTW: full table between two signals.
+    let (xn, yn) = if quick { (15, 12) } else { (48, 40) };
+    let xs: Vec<i32> = (0..xn).map(|_| rng.gen_range(0..200)).collect();
+    let ys: Vec<i32> = (0..yn).map(|_| rng.gen_range(0..200)).collect();
+    let task = WavefrontTask {
+        rows: &xs,
+        cols: &ys,
+        n_pes: 4,
+        band: None,
+    };
+    out.push(bench::<Wavefront2d, _>(
+        "dtw",
+        reps,
+        GendpPipeline::dtw,
+        &task,
+    ));
+
+    // Bellman-Ford: full relaxation on a random roadmap.
+    let n_vertices = if quick { 20 } else { 48 };
+    let graph = random_roadmap(n_vertices, 2, 5, &mut rng);
+    let task = BellmanFordTask {
+        graph: &graph,
+        source: 0,
+        rounds: graph.vertex_count() - 1,
+    };
+    out.push(bench(
+        "bellman_ford",
+        reps,
+        GendpPipeline::bellman_ford,
+        &task,
+    ));
+
+    out
+}
+
+fn render_json(quick: bool, rows: &[KernelBench]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"gendp-bench-kernels/v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let side = |e: &EngineSide| {
+            format!(
+                "{{ \"wall_seconds\": {:.6}, \"cells_per_sec\": {:.1}, \
+                 \"allocs_per_cycle\": {:.4} }}",
+                e.wall_seconds, e.cells_per_sec, e.allocs_per_cycle
+            )
+        };
+        s.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"cells\": {},\n      \
+             \"cycles\": {},\n      \"cells_per_cycle\": {:.6},\n      \
+             \"decoded\": {},\n      \"interpreted\": {},\n      \
+             \"speedup\": {:.3}\n    }}{}\n",
+            r.name,
+            r.cells,
+            r.cycles,
+            r.cells_per_cycle,
+            side(&r.decoded),
+            side(&r.interpreted),
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `"key": <number>` occurring after the kernel's name tag.
+/// Minimal by design: the file is machine-written by this binary.
+fn extract_metric(json: &str, kernel: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"name\": \"{kernel}\"");
+    let at = json.find(&tag)? + tag.len();
+    let rest = &json[at..];
+    // Stay inside this kernel's object.
+    let end = rest.find("\"name\":").unwrap_or(rest.len());
+    let scope = &rest[..end];
+    let kt = format!("\"{key}\":");
+    let ka = scope.find(&kt)? + kt.len();
+    let num: String = scope[ka..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+/// Every kernel must keep at least this decoded-vs-interpreted speedup.
+/// Wall-clock ratios swing with host load (the committed baseline was
+/// measured at 3.8-6.1x), so the gate is an absolute floor — generous
+/// enough for timing noise, tight enough to catch the decoded engine
+/// degenerating back to interpreter-level throughput.
+const MIN_SPEEDUP: f64 = 1.5;
+
+/// Compares the fresh report against a committed baseline. The simulated
+/// cells/cycle is deterministic and must match; the decoded-engine
+/// speedup is host-measured and only has to clear [`MIN_SPEEDUP`].
+fn check_baseline(baseline: &str, rows: &[KernelBench]) -> Result<(), String> {
+    let mut problems = Vec::new();
+    for r in rows {
+        if let Some(base_cpc) = extract_metric(baseline, r.name, "cells_per_cycle") {
+            let drift = (r.cells_per_cycle - base_cpc).abs() / base_cpc.max(1e-12);
+            // The simulated rate only changes when kernels or codegen
+            // change; those changes must come with a refreshed baseline.
+            if drift > 0.25 {
+                problems.push(format!(
+                    "{}: cells/cycle {:.6} drifted from baseline {:.6}",
+                    r.name, r.cells_per_cycle, base_cpc
+                ));
+            }
+        } else {
+            problems.push(format!("{}: missing from baseline", r.name));
+        }
+        if r.speedup < MIN_SPEEDUP {
+            problems.push(format!(
+                "{}: decoded-engine speedup {:.2}x below the {MIN_SPEEDUP}x floor",
+                r.name, r.speedup
+            ));
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let baseline_path = flag_value(&args, "--baseline");
+
+    let rows = run_suite(quick);
+
+    println!(
+        "{:<13} {:>9} {:>9} {:>11} {:>13} {:>13} {:>8}  allocs/cycle (int -> dec)",
+        "kernel", "cells", "cycles", "cells/cycle", "dec cells/s", "int cells/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<13} {:>9} {:>9} {:>11.4} {:>13.0} {:>13.0} {:>7.2}x  {:.2} -> {:.2}",
+            r.name,
+            r.cells,
+            r.cycles,
+            r.cells_per_cycle,
+            r.decoded.cells_per_sec,
+            r.interpreted.cells_per_sec,
+            r.speedup,
+            r.interpreted.allocs_per_cycle,
+            r.decoded.allocs_per_cycle,
+        );
+    }
+
+    let json = render_json(quick, &rows);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        // Schema sanity: the baseline must be a bench-kernels report.
+        if !baseline.contains("\"schema\": \"gendp-bench-kernels/v1\"") {
+            eprintln!("baseline {path} is not a gendp-bench-kernels/v1 report");
+            std::process::exit(2);
+        }
+        match check_baseline(&baseline, &rows) {
+            Ok(()) => println!("baseline check vs {path}: ok"),
+            Err(problems) => {
+                eprintln!("baseline check vs {path} FAILED:\n{problems}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

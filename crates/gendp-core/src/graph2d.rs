@@ -12,7 +12,9 @@
 //! each cell" (§7.3). End-node scores park in the scratchpad until the
 //! final drain.
 
-use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+
+use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{AddrReg, ControlInst, ControlProgram, Loc, Mode, Space, Word};
 use gendp_kernels::dfgs::poa_dfg;
@@ -30,10 +32,12 @@ pub struct PoaAccelerator {
     scoring: Scoring,
     gap: i32,
     budget_scale: u64,
+    /// Execution engine for the simulated arrays.
+    engine: Engine,
 }
 
 /// Functional result of aligning one sequence to the graph on DPAx.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoaRun {
     /// The global alignment score (best end-node score).
     pub score: i32,
@@ -71,6 +75,7 @@ impl PoaAccelerator {
             scoring,
             gap,
             budget_scale: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -84,6 +89,13 @@ impl PoaAccelerator {
     pub fn budget_scale(mut self, scale: u64) -> Self {
         assert!(scale > 0, "budget scale must be positive");
         self.budget_scale = scale;
+        self
+    }
+
+    /// Selects the simulator execution engine (decoded fast path by
+    /// default; both engines are bit- and cycle-identical).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -329,25 +341,40 @@ impl PoaAccelerator {
     ///
     /// Panics if the graph or the sequence is empty.
     pub fn run(&self, graph: &Poa, seq: &DnaSeq, n_pes: usize) -> Result<PoaRun, SimError> {
-        assert!(!seq.is_empty(), "empty sequence");
-        let n = seq.len();
-        let (mut array, m, max_live) = self.build_array(graph, n, n_pes);
-        array.feed_input(seq.codes().iter().map(|&c| Word::from_i32(c as i32)));
-
-        let budget = ((m + n_pes as u64)
-            * (n as u64 + 4)
-            * (self.mapping.program.len() as u64 * 3 + 6 * max_live as u64 + 24)
-            * 4
-            + 10_000)
-            .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let score = array
+        let mut prep = self.prepare(graph, seq, n_pes);
+        let stats = prep.execute()?;
+        let score = prep
             .output()
             .iter()
             .map(|w| w.as_i32())
             .max()
             .expect("at least one end node");
         Ok(PoaRun { score, stats })
+    }
+
+    /// Binds one alignment task to a loaded array for repeated
+    /// [`PreparedTask::execute`] replays. [`run`](Self::run) is `prepare`
+    /// + one execute + output parsing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph or the sequence is empty.
+    pub fn prepare(&self, graph: &Poa, seq: &DnaSeq, n_pes: usize) -> PreparedTask {
+        assert!(!seq.is_empty(), "empty sequence");
+        let n = seq.len();
+        let (array, m, max_live) = self.build_array(graph, n, n_pes);
+        let inputs = seq
+            .codes()
+            .iter()
+            .map(|&c| Word::from_i32(c as i32))
+            .collect();
+        let budget = ((m + n_pes as u64)
+            * (n as u64 + 4)
+            * (self.mapping.program.len() as u64 * 3 + 6 * max_live as u64 + 24)
+            * 4
+            + 10_000)
+            .saturating_mul(self.budget_scale);
+        PreparedTask::new(array, inputs, budget)
     }
 
     /// Statically verifies the programs generated to align a
@@ -376,13 +403,13 @@ impl PoaAccelerator {
             .max(1);
         let scratch_base = self.mapping.layout.slot_count();
 
-        let mut cfg =
-            PeArrayConfig::with_pes(n_pes)
-                .mode(Mode::Int32)
-                .luts(gendp_isa::Luts::with_scores(
-                    self.scoring.matches,
-                    -self.scoring.mismatch,
-                ));
+        let mut cfg = PeArrayConfig::with_pes(n_pes)
+            .mode(Mode::Int32)
+            .luts(gendp_isa::Luts::with_scores(
+                self.scoring.matches,
+                -self.scoring.mismatch,
+            ))
+            .engine(self.engine);
         cfg.rf_slots = (scratch_base as usize + 2 * max_live + 2).max(cfg.rf_slots);
         cfg.fifo_capacity = ((max_live + 2) * (n + 2)).max(cfg.fifo_capacity);
         cfg.spm_words = cfg
@@ -412,7 +439,7 @@ impl PoaAccelerator {
         for (p, prog) in programs.into_iter().enumerate() {
             array.load_pe_control(p, prog);
         }
-        array.load_compute_all(&self.mapping.program);
+        array.load_compute_all(self.mapping.program.clone());
         (array, plan.rows.len() as u64, max_live)
     }
 }

@@ -26,12 +26,19 @@
 //! reference bit-exactly, which in turn tracks the floating-point forward
 //! algorithm).
 
+pub mod accel;
 pub mod graph2d;
 pub mod linear1d;
+pub mod parallel;
 pub mod pipeline;
 pub mod spm1d;
 pub mod wavefront2d;
 
+pub use accel::{
+    AccelConfig, Accelerator, BandSpec, BellmanFordTask, ChainTask, PoaTask, PreparedTask,
+    TaskOutput, WavefrontTask,
+};
+pub use parallel::run_batch;
 pub use pipeline::{
     bsw_score, bsw_semiglobal_score, bsw_simd16_scores, bsw_simd_scores, dtw_banded_distance,
     pack_halves, pack_lanes, pairhmm_float_lik, pairhmm_loglik, schedule_tile, AcceleratorRun,

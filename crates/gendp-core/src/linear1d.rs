@@ -12,7 +12,9 @@
 //! recurrence with the same window — validated against
 //! [`gendp_kernels::chain::chain_reordered`].
 
-use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+
+use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
 use gendp_kernels::chain::ChainParams;
@@ -25,10 +27,12 @@ pub struct ChainAccelerator {
     mapping: Mapping,
     params: ChainParams,
     budget_scale: u64,
+    /// Execution engine for the simulated arrays.
+    engine: Engine,
 }
 
 /// Functional result of one chaining task on DPAx.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainRun {
     /// Final chain score per anchor, in input order.
     pub scores: Vec<i32>,
@@ -47,6 +51,7 @@ impl ChainAccelerator {
             mapping: map_dfg(&chain_dfg(&params)),
             params,
             budget_scale: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -60,6 +65,13 @@ impl ChainAccelerator {
     pub fn budget_scale(mut self, scale: u64) -> Self {
         assert!(scale > 0, "budget scale must be positive");
         self.budget_scale = scale;
+        self
+    }
+
+    /// Selects the simulator execution engine (decoded fast path by
+    /// default; both engines are bit- and cycle-identical).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -181,27 +193,37 @@ impl ChainAccelerator {
     ///
     /// Panics if `anchors` is empty or unsorted.
     pub fn run(&self, anchors: &[Anchor], n_pes: usize) -> Result<ChainRun, SimError> {
+        let mut prep = self.prepare(anchors, n_pes);
+        let stats = prep.execute()?;
+        let scores = prep.output().iter().map(|w| w.as_i32()).collect();
+        Ok(ChainRun { scores, stats })
+    }
+
+    /// Binds one chaining task to a loaded array for repeated
+    /// [`PreparedTask::execute`] replays. [`run`](Self::run) is `prepare`
+    /// + one execute + output parsing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchors` is empty or unsorted.
+    pub fn prepare(&self, anchors: &[Anchor], n_pes: usize) -> PreparedTask {
         assert!(!anchors.is_empty(), "no anchors");
         assert!(
             anchors.windows(2).all(|w| w[0] <= w[1]),
             "anchors must be sorted"
         );
-        let mut array = self.build_array(anchors.len(), n_pes);
+        let array = self.build_array(anchors.len(), n_pes);
         // Residents enter as (q, r, span, f0 = span) records.
-        for a in anchors {
-            array.feed_input(
-                [a.qpos, a.rpos, a.span, a.span]
-                    .into_iter()
-                    .map(Word::from_i32),
-            );
-        }
+        let inputs = anchors
+            .iter()
+            .flat_map(|a| [a.qpos, a.rpos, a.span, a.span])
+            .map(Word::from_i32)
+            .collect();
         let budget =
             ((anchors.len() as u64 + n_pes as u64) * (self.mapping.program.len() as u64 + 24) * 4
                 + 10_000)
                 .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let scores = array.output().iter().map(|w| w.as_i32()).collect();
-        Ok(ChainRun { scores, stats })
+        PreparedTask::new(array, inputs, budget)
     }
 
     /// Statically verifies the programs generated for an `n_anchors`-anchor
@@ -216,14 +238,15 @@ impl ChainAccelerator {
         let mut cfg = PeArrayConfig::with_pes(n_pes)
             .mode(Mode::Int32)
             .luts(Luts::default())
-            .fifo_broadcast();
+            .fifo_broadcast()
+            .engine(self.engine);
         cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
         cfg.fifo_capacity = cfg.fifo_capacity.max(3 * (n_pes + 4));
         let mut array = PeArray::new(cfg);
         for p in 0..n_pes {
             array.load_pe_control(p, self.pe_program(p, n_pes, n_anchors));
         }
-        array.load_compute_all(&self.mapping.program);
+        array.load_compute_all(self.mapping.program.clone());
         array
     }
 }

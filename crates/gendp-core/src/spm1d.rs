@@ -4,7 +4,9 @@
 //! vertex set) are exactly the scratchpad-served access pattern of §3.1;
 //! graphs larger than the scratchpad would spill to DRAM (§7.6.1).
 
-use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+
+use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space};
 use gendp_kernels::bellman_ford::Graph;
@@ -19,10 +21,12 @@ pub const INF: i32 = 1 << 28;
 pub struct BellmanFordAccelerator {
     mapping: Mapping,
     budget_scale: u64,
+    /// Execution engine for the simulated arrays.
+    engine: Engine,
 }
 
 /// Functional result of one shortest-path task on DPAx.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BellmanFordRun {
     /// Distance per vertex ([`INF`] when unreachable).
     pub dist: Vec<i32>,
@@ -42,6 +46,7 @@ impl BellmanFordAccelerator {
         BellmanFordAccelerator {
             mapping: map_dfg(&bellman_ford_dfg()),
             budget_scale: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -55,6 +60,13 @@ impl BellmanFordAccelerator {
     pub fn budget_scale(mut self, scale: u64) -> Self {
         assert!(scale > 0, "budget scale must be positive");
         self.budget_scale = scale;
+        self
+    }
+
+    /// Selects the simulator execution engine (decoded fast path by
+    /// default; both engines are bit- and cycle-identical).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -84,15 +96,28 @@ impl BellmanFordAccelerator {
         source: usize,
         rounds: usize,
     ) -> Result<BellmanFordRun, SimError> {
+        let mut prep = self.prepare(graph, source, rounds);
+        let stats = prep.execute()?;
+        let dist = prep.output().iter().map(|x| x.as_i32()).collect();
+        Ok(BellmanFordRun { dist, stats })
+    }
+
+    /// Binds one shortest-path task to a loaded single-PE array for
+    /// repeated [`PreparedTask::execute`] replays (the graph is baked into
+    /// the relaxation program, so no input stream is staged).
+    /// [`run`](Self::run) is `prepare` + one execute + output parsing.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::run`].
+    pub fn prepare(&self, graph: &Graph, source: usize, rounds: usize) -> PreparedTask {
         let n = graph.vertex_count();
-        let mut array = self.build_array(graph, source, rounds);
+        let array = self.build_array(graph, source, rounds);
         let budget = ((rounds as u64 * graph.edge_count() as u64 + n as u64)
             * (self.mapping.program.len() as u64 + 8)
             + 10_000)
             .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let dist = array.output().iter().map(|x| x.as_i32()).collect();
-        Ok(BellmanFordRun { dist, stats })
+        PreparedTask::new(array, Vec::new(), budget)
     }
 
     /// Statically verifies the relaxation program generated for a task,
@@ -112,7 +137,8 @@ impl BellmanFordAccelerator {
         assert!(source < n, "source out of range");
         let mut cfg = PeArrayConfig::with_pes(1)
             .mode(Mode::Int32)
-            .luts(Luts::default());
+            .luts(Luts::default())
+            .engine(self.engine);
         cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
         assert!(n <= cfg.spm_words, "graph exceeds the scratchpad");
 

@@ -10,7 +10,9 @@
 use std::collections::BTreeMap;
 
 use gendp_dfg::Dfg;
-use gendp_dpax::{PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+
+use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
 
@@ -123,10 +125,12 @@ pub struct Wavefront2d {
     /// escalation); never changes results, only the [`SimError::Timeout`]
     /// cutoff.
     budget_scale: u64,
+    /// Execution engine for the simulated arrays.
+    engine: Engine,
 }
 
 /// Functional results of one accelerator task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Wavefront2dOutput {
     /// Per collected output name: the last row's values, one per column.
     pub last_row: BTreeMap<String, Vec<i32>>,
@@ -172,6 +176,7 @@ impl Wavefront2d {
             landing: BTreeMap::new(),
             rf_slots,
             budget_scale: 1,
+            engine: Engine::default(),
         }
     }
 
@@ -186,6 +191,13 @@ impl Wavefront2d {
     pub fn budget_scale(mut self, scale: u64) -> Self {
         assert!(scale > 0, "budget scale must be positive");
         self.budget_scale = scale;
+        self
+    }
+
+    /// Selects the simulator execution engine (decoded fast path by
+    /// default; both engines are bit- and cycle-identical).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -622,18 +634,10 @@ impl Wavefront2d {
         sentinel: i32,
         n_pes: usize,
     ) -> Result<Wavefront2dOutput, SimError> {
-        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
-        assert!(width > 0, "band width must be positive");
         let m = rows.len();
-        let mut array = self.build_array_banded(rows, cols, width, sentinel, n_pes);
-        let budget = ((m as u64 + n_pes as u64)
-            * (width as u64 + 4)
-            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
-            * 4
-            + 10_000)
-            .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
-        let out = array.output();
+        let mut prep = self.prepare_banded(rows, cols, width, sentinel, n_pes);
+        let stats = prep.execute()?;
+        let out = prep.output();
         let active_pes = n_pes.min(m);
         let mut drained: BTreeMap<String, Vec<i32>> = self
             .drain
@@ -707,14 +711,15 @@ impl Wavefront2d {
         let n = cols.len();
         let mut cfg = PeArrayConfig::with_pes(n_pes)
             .mode(self.mode)
-            .luts(self.luts.clone());
+            .luts(self.luts.clone())
+            .engine(self.engine);
         cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
         cfg.fifo_capacity = ((self.streamed.len() + 2) * (n + 2)).max(cfg.fifo_capacity);
         let mut array = PeArray::new(cfg);
         for p in 0..n_pes {
             array.load_pe_control(p, self.pe_program(p, n_pes, rows, cols));
         }
-        array.load_compute_all(&self.mapping.program);
+        array.load_compute_all(self.mapping.program.clone());
         array
     }
 
@@ -733,15 +738,68 @@ impl Wavefront2d {
         padded.resize(cols.len().max(m + width) + 1, sentinel);
         let mut cfg = PeArrayConfig::with_pes(n_pes)
             .mode(self.mode)
-            .luts(self.luts.clone());
+            .luts(self.luts.clone())
+            .engine(self.engine);
         cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
         cfg.fifo_capacity = ((self.streamed.len() + 2) * (width + 2)).max(cfg.fifo_capacity);
         let mut array = PeArray::new(cfg);
         for p in 0..n_pes {
             array.load_pe_control(p, self.pe_program_banded(p, n_pes, rows, &padded, width));
         }
-        array.load_compute_all(&self.mapping.program);
+        array.load_compute_all(self.mapping.program.clone());
         array
+    }
+
+    /// Binds one streamed task to a loaded array — programs generated,
+    /// lowered and loaded, column stream staged, budget derived — for
+    /// repeated [`PreparedTask::execute`] replays. [`run`](Self::run) is
+    /// `prepare` + one execute + output parsing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is empty.
+    pub fn prepare(&self, rows: &[i32], cols: &[i32], n_pes: usize) -> PreparedTask {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        let m = rows.len();
+        let n = cols.len();
+        let array = self.build_array(rows, cols, n_pes);
+        let budget = ((m as u64 + n_pes as u64)
+            * (n as u64 + 4)
+            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
+            * 4
+            + 10_000)
+            .saturating_mul(self.budget_scale);
+        let inputs = cols.iter().map(|&c| Word::from_i32(c)).collect();
+        PreparedTask::new(array, inputs, budget)
+    }
+
+    /// Binds one banded task to a loaded array (the band's column windows
+    /// are baked into the per-PE programs, so no input stream is staged).
+    /// [`run_banded`](Self::run_banded) is `prepare_banded` + one execute
+    /// + output parsing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or `width` is zero.
+    pub fn prepare_banded(
+        &self,
+        rows: &[i32],
+        cols: &[i32],
+        width: usize,
+        sentinel: i32,
+        n_pes: usize,
+    ) -> PreparedTask {
+        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
+        assert!(width > 0, "band width must be positive");
+        let m = rows.len();
+        let array = self.build_array_banded(rows, cols, width, sentinel, n_pes);
+        let budget = ((m as u64 + n_pes as u64)
+            * (width as u64 + 4)
+            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
+            * 4
+            + 10_000)
+            .saturating_mul(self.budget_scale);
+        PreparedTask::new(array, Vec::new(), budget)
     }
 
     /// Runs one task on a `n_pes`-PE array; returns functional outputs and
@@ -760,21 +818,13 @@ impl Wavefront2d {
         cols: &[i32],
         n_pes: usize,
     ) -> Result<Wavefront2dOutput, SimError> {
-        assert!(!rows.is_empty() && !cols.is_empty(), "empty table");
         let m = rows.len();
         let n = cols.len();
-        let mut array = self.build_array(rows, cols, n_pes);
-        array.feed_input(cols.iter().map(|&c| Word::from_i32(c)));
-        let budget = ((m as u64 + n_pes as u64)
-            * (n as u64 + 4)
-            * (self.mapping.program.len() as u64 + self.streamed.len() as u64 * 2 + 12)
-            * 4
-            + 10_000)
-            .saturating_mul(self.budget_scale);
-        let stats = array.run(budget)?;
+        let mut prep = self.prepare(rows, cols, n_pes);
+        let stats = prep.execute()?;
 
         // Parse the output buffer: last-row collects then drains.
-        let out = array.output();
+        let out = prep.output();
         let n_collect = n * self.collect.len();
         let mut last_row: BTreeMap<String, Vec<i32>> = self
             .collect

@@ -269,42 +269,6 @@ impl Dfg {
             .filter(|i| matches!(i, Input::Node(_)))
             .count()
     }
-
-    /// Checks structural invariants: topological operand order, arities, and
-    /// that every declared output points at a live node. Returns a list of
-    /// violations (empty when valid). The builder API maintains these by
-    /// construction; `validate` exists for graphs assembled by other tools.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `gendp_verify::Verifier::verify_dfg` for typed diagnostics \
-                (rule ids, severities, locations) instead of bare strings"
-    )]
-    pub fn validate(&self) -> Vec<String> {
-        let mut errs = Vec::new();
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.inputs.len() != n.op.arity() {
-                errs.push(format!(
-                    "node v{i} ({}) has {} operands, expected {}",
-                    n.op,
-                    n.inputs.len(),
-                    n.op.arity()
-                ));
-            }
-            for inp in &n.inputs {
-                if let Input::Node(NodeId(p)) = inp {
-                    if *p >= i {
-                        errs.push(format!("node v{i} reads v{p}, breaking topological order"));
-                    }
-                }
-            }
-        }
-        for (name, NodeId(id)) in &self.outputs {
-            if *id >= self.nodes.len() {
-                errs.push(format!("output `{name}` points at missing node v{id}"));
-            }
-        }
-        errs
-    }
 }
 
 impl fmt::Display for Dfg {
@@ -332,7 +296,7 @@ impl fmt::Display for Dfg {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     fn toy() -> Dfg {
@@ -348,12 +312,27 @@ mod tests {
         g
     }
 
+    /// The builder maintains the invariants the typed verifier
+    /// (`gendp_verify::Verifier::verify_dfg`) checks for externally
+    /// assembled graphs; asserted structurally here to avoid a
+    /// dev-dependency cycle.
+    pub(super) fn assert_well_formed(g: &Dfg) {
+        for id in g.node_ids() {
+            assert_eq!(g.inputs(id).len(), g.op(id).arity(), "arity of {id}");
+            for p in g.parents(id) {
+                assert!(p.0 < id.0, "{id} reads {p}, breaking topological order");
+            }
+        }
+        for (name, NodeId(o)) in g.outputs() {
+            assert!(o < g.len(), "output `{name}` points at missing node v{o}");
+        }
+    }
+
     #[test]
-    #[allow(deprecated)]
     fn builds_in_topological_order() {
         let g = toy();
         assert_eq!(g.len(), 3);
-        assert!(g.validate().is_empty());
+        assert_well_formed(&g);
         assert_eq!(g.op(NodeId(0)), ComputeOp::MatchScore);
         assert_eq!(g.op(NodeId(2)), ComputeOp::Max);
     }
@@ -431,6 +410,7 @@ mod tests {
 
 #[cfg(test)]
 mod more_tests {
+    use super::tests::assert_well_formed;
     use super::*;
     use gendp_isa::{Luts, Mode};
 
@@ -467,14 +447,11 @@ mod more_tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn validate_catches_broken_graphs() {
-        // Assemble a deliberately broken graph through clone surgery: a
-        // valid graph whose output map points beyond the node list.
+    fn builder_graphs_stay_well_formed() {
         let mut g = Dfg::new("ok");
         let a = g.ext("a");
         let n = g.add(a, a);
         g.set_output("o", n);
-        assert!(g.validate().is_empty());
+        assert_well_formed(&g);
     }
 }

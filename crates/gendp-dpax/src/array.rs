@@ -2,8 +2,11 @@
 //! and the cycle loop (paper Fig. 6).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use gendp_isa::{ComputeProgram, ControlProgram, Word};
+use gendp_isa::{
+    ComputeProgram, ControlProgram, DecodedComputeProgram, DecodedControlProgram, Word,
+};
 
 use crate::config::PeArrayConfig;
 use crate::error::SimError;
@@ -33,6 +36,10 @@ pub struct PeArray {
     fifo_pops: u64,
     fifo_high_water: usize,
     cycles: u64,
+    /// Set once the loaded programs pass static verification; survives
+    /// [`reset`](Self::reset) so repeated executions of one loaded array
+    /// pay the verifier exactly once. Cleared by every `load_*`.
+    verified: bool,
     trace: Option<Trace>,
 }
 
@@ -60,7 +67,34 @@ impl PeArray {
             fifo_high_water: 0,
             cfg,
             cycles: 0,
+            verified: false,
             trace: None,
+        }
+    }
+
+    /// Resets all dynamic state — per-PE registers, scratchpads, program
+    /// counters and statistics, plus the array's ports, FIFOs, input
+    /// stream, output sink, cycle counter and trace buffer — while keeping
+    /// the loaded programs, their decoded forms and the verification
+    /// status. One loaded array can thus execute many tasks without
+    /// re-paying program lowering or static verification; this is the
+    /// amortized hot path the decoded engine is built around.
+    pub fn reset(&mut self) {
+        for pe in &mut self.pes {
+            pe.reset();
+        }
+        self.ports.fill(None);
+        self.in_stream.clear();
+        self.out_sink.clear();
+        for fifo in &mut self.fifos {
+            fifo.clear();
+        }
+        self.fifo_pushes = 0;
+        self.fifo_pops = 0;
+        self.fifo_high_water = 0;
+        self.cycles = 0;
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
         }
     }
 
@@ -79,30 +113,44 @@ impl PeArray {
         &self.cfg
     }
 
-    /// Loads the control program of PE `pe`.
+    /// Loads the control program of PE `pe`. Accepts an owned program or a
+    /// pre-shared `Arc` (no deep copy either way); the program is lowered
+    /// to its decoded form once, here.
     ///
     /// # Panics
     ///
     /// Panics if `pe` is out of range.
-    pub fn load_pe_control(&mut self, pe: usize, program: ControlProgram) {
-        self.pes[pe].load_control(program);
+    pub fn load_pe_control(&mut self, pe: usize, program: impl Into<Arc<ControlProgram>>) {
+        let program = program.into();
+        let decoded = Arc::new(DecodedControlProgram::decode(&program));
+        self.pes[pe].load_control(program, decoded);
+        self.verified = false;
     }
 
-    /// Loads the compute program of PE `pe`.
+    /// Loads the compute program of PE `pe`. Accepts an owned program or a
+    /// pre-shared `Arc`; decodes once.
     ///
     /// # Panics
     ///
     /// Panics if `pe` is out of range.
-    pub fn load_pe_compute(&mut self, pe: usize, program: ComputeProgram) {
-        self.pes[pe].load_compute(program);
+    pub fn load_pe_compute(&mut self, pe: usize, program: impl Into<Arc<ComputeProgram>>) {
+        let program = program.into();
+        let decoded = Arc::new(DecodedComputeProgram::decode(&program));
+        self.pes[pe].load_compute(program, decoded);
+        self.verified = false;
     }
 
     /// Loads the same compute program into every PE (the usual case: all
-    /// PEs run the same objective function).
-    pub fn load_compute_all(&mut self, program: &ComputeProgram) {
+    /// PEs run the same objective function). The program is decoded once
+    /// and `Arc`-shared — loading a 64-PE array no longer deep-clones the
+    /// instruction vectors per PE.
+    pub fn load_compute_all(&mut self, program: impl Into<Arc<ComputeProgram>>) {
+        let program = program.into();
+        let decoded = Arc::new(DecodedComputeProgram::decode(&program));
         for pe in &mut self.pes {
-            pe.load_compute(program.clone());
+            pe.load_compute(Arc::clone(&program), Arc::clone(&decoded));
         }
+        self.verified = false;
     }
 
     /// Appends words to the input stream feeding the first PE.
@@ -151,11 +199,12 @@ impl PeArray {
     /// progress; [`SimError::Timeout`] if `max_cycles` elapse first;
     /// [`SimError::BadAccess`] on out-of-range addressing.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
-        if self.cfg.verify && self.cycles == 0 {
+        if self.cfg.verify && !self.verified {
             let report = self.verify_programs();
             if report.has_errors() {
                 return Err(SimError::Verify(report));
             }
+            self.verified = true;
         }
         let n = self.cfg.n_pes;
         while !self.pes.iter().all(Pe::is_halted) {
@@ -324,6 +373,35 @@ mod tests {
     }
 
     #[test]
+    fn reset_replays_with_identical_results_and_verifies_once() {
+        let mut a = PeArray::new(PeArrayConfig::with_pes(2));
+        let fwd: ControlProgram =
+            "li a[0] 0\nli a[1] 4\nmv out in\naddi a0 a0 1\nblt a0 a1 -2\nhalt"
+                .parse()
+                .unwrap();
+        a.load_pe_control(0, fwd.clone());
+        a.load_pe_control(1, fwd);
+        a.feed_input([1, 2, 3, 4].map(w));
+        let first = a.run(1000).unwrap();
+        assert!(a.verified, "first run verifies the loaded programs");
+
+        // Reset keeps programs and verification status; the replay is
+        // bit- and cycle-identical.
+        a.reset();
+        assert!(a.verified, "reset keeps the verification status");
+        assert_eq!(a.cycles, 0);
+        assert!(a.output().is_empty());
+        a.feed_input([1, 2, 3, 4].map(w));
+        let second = a.run(1000).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(a.output(), [1, 2, 3, 4].map(w));
+
+        // Loading a new program invalidates the verification status.
+        a.load_pe_control(0, "halt".parse::<ControlProgram>().unwrap());
+        assert!(!a.verified, "load clears the verification status");
+    }
+
+    #[test]
     fn fifo_carries_from_last_to_first() {
         // PE1 pushes inputs to the FIFO; PE0 pops them and writes them out
         // through PE1 (which forwards). Demonstrates the ring.
@@ -348,7 +426,7 @@ mod tests {
     fn deadlock_is_detected() {
         // PE0 waits for input that never comes.
         let mut a = PeArray::new(PeArrayConfig::with_pes(1));
-        a.load_pe_control(0, "mv rf[0] in\nhalt".parse().unwrap());
+        a.load_pe_control(0, "mv rf[0] in\nhalt".parse::<ControlProgram>().unwrap());
         let err = a.run(1000).unwrap_err();
         assert!(matches!(err, SimError::Deadlock(_)), "{err}");
         assert!(err.to_string().contains("pe0"));
@@ -358,7 +436,12 @@ mod tests {
     fn timeout_is_reported() {
         // Infinite loop.
         let mut a = PeArray::new(PeArrayConfig::with_pes(1));
-        a.load_pe_control(0, "li a[0] 0\nli a[1] 1\nbeq a0 a0 0".parse().unwrap());
+        a.load_pe_control(
+            0,
+            "li a[0] 0\nli a[1] 1\nbeq a0 a0 0"
+                .parse::<ControlProgram>()
+                .unwrap(),
+        );
         let err = a.run(50).unwrap_err();
         assert_eq!(err, SimError::Timeout { max_cycles: 50 });
     }
@@ -408,8 +491,16 @@ mod tests {
         // PE1 spins forever without consuming its input port; PE0 pushes
         // one word into the port latch and then stalls on the second.
         let mut a = PeArray::new(PeArrayConfig::with_pes(2));
-        a.load_pe_control(0, "mv out in\nmv out in\nhalt".parse().unwrap());
-        a.load_pe_control(1, "li a[0] 0\nbeq a0 a0 0".parse().unwrap());
+        a.load_pe_control(
+            0,
+            "mv out in\nmv out in\nhalt"
+                .parse::<ControlProgram>()
+                .unwrap(),
+        );
+        a.load_pe_control(
+            1,
+            "li a[0] 0\nbeq a0 a0 0".parse::<ControlProgram>().unwrap(),
+        );
         a.feed_input([1, 2].map(w));
         let err = a.run(100).unwrap_err();
         assert_eq!(err, SimError::Timeout { max_cycles: 100 });
@@ -422,8 +513,8 @@ mod tests {
         // no_verify: this exercises the simulator's own dynamic check,
         // which the static gate would otherwise catch first.
         let mut a = PeArray::new(PeArrayConfig::with_pes(2).no_verify());
-        a.load_pe_control(0, "halt".parse().unwrap());
-        a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse().unwrap());
+        a.load_pe_control(0, "halt".parse::<ControlProgram>().unwrap());
+        a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse::<ControlProgram>().unwrap());
         let err = a.run(100).unwrap_err();
         assert!(matches!(err, SimError::BadAccess(_)), "{err}");
     }
@@ -431,8 +522,8 @@ mod tests {
     #[test]
     fn verify_gate_rejects_bad_program_before_running() {
         let mut a = PeArray::new(PeArrayConfig::with_pes(2));
-        a.load_pe_control(0, "halt".parse().unwrap());
-        a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse().unwrap());
+        a.load_pe_control(0, "halt".parse::<ControlProgram>().unwrap());
+        a.load_pe_control(1, "mv rf[0] fifo\nhalt".parse::<ControlProgram>().unwrap());
         let err = a.run(100).unwrap_err();
         let SimError::Verify(report) = &err else {
             panic!("expected Verify, got {err}");
@@ -448,9 +539,9 @@ mod tests {
         let mut comp = ComputeProgram::new();
         comp.push(VliwInst::NOP);
         comp.finish();
-        a.load_compute_all(&comp);
+        a.load_compute_all(comp);
         for k in 0..3 {
-            a.load_pe_control(k, "set cu 0\nhalt".parse().unwrap());
+            a.load_pe_control(k, "set cu 0\nhalt".parse::<ControlProgram>().unwrap());
         }
         let stats = a.run(100).unwrap();
         assert_eq!(stats.cells(), 3);
@@ -466,7 +557,7 @@ mod trace_tests {
     fn trace_records_ctrl_stall_and_halt() {
         let mut a = PeArray::new(PeArrayConfig::with_pes(1));
         a.enable_trace(64);
-        a.load_pe_control(0, "mv rf[0] in\nhalt".parse().unwrap());
+        a.load_pe_control(0, "mv rf[0] in\nhalt".parse::<ControlProgram>().unwrap());
         a.feed_input([Word::from_i32(5)]);
         a.run(100).unwrap();
         let trace = a.trace().unwrap();
@@ -526,7 +617,7 @@ mod mode_tests {
         array.load_pe_control(
             0,
             "mv rf[0] in\nmv rf[1] in\nset cu 0\nmv out rf[2]\nhalt"
-                .parse()
+                .parse::<ControlProgram>()
                 .unwrap(),
         );
         array.load_pe_compute(0, saturating_add_program(2));

@@ -1,5 +1,22 @@
 use gendp_isa::{Luts, Mode};
 
+/// Which execution engine the simulator's per-cycle loop uses.
+///
+/// Both engines are cycle- and statistics-exact with respect to each other;
+/// the decoded engine is the fast path (programs are lowered once at load
+/// via [`gendp_isa::DecodedControlProgram`] /
+/// [`gendp_isa::DecodedComputeProgram`]), while the interpreted engine
+/// executes the assembly-level encoding directly and is kept as the
+/// reference for equivalence testing and benchmarking.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Execute pre-decoded programs (the default fast path).
+    #[default]
+    Decoded,
+    /// Interpret the assembly-level encoding every cycle (reference).
+    Interpreted,
+}
+
 /// Configuration of one simulated PE array.
 ///
 /// Defaults follow the paper's DPAx design point: 4 PEs per array, a
@@ -33,6 +50,10 @@ pub struct PeArrayConfig {
     /// first cycle; error diagnostics abort the run with
     /// [`SimError::Verify`](crate::SimError::Verify). On by default.
     pub verify: bool,
+    /// Execution engine for the per-cycle loop (decoded fast path by
+    /// default; the interpreted reference engine produces bit-identical
+    /// results and statistics).
+    pub engine: Engine,
 }
 
 impl PeArrayConfig {
@@ -53,6 +74,7 @@ impl PeArrayConfig {
             luts: Luts::default(),
             fifo_broadcast: false,
             verify: true,
+            engine: Engine::default(),
         }
     }
 
@@ -79,6 +101,12 @@ impl PeArrayConfig {
     /// the simulator's own dynamic checks.
     pub fn no_verify(mut self) -> Self {
         self.verify = false;
+        self
+    }
+
+    /// Selects the execution engine, returning `self` for chaining.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -109,5 +137,12 @@ mod tests {
         assert_eq!(c.n_pes, 64);
         assert_eq!(c.mode, Mode::Int8x4);
         assert_eq!(c.luts.score_eq.as_i32(), 2);
+    }
+
+    #[test]
+    fn engine_defaults_to_decoded() {
+        assert_eq!(PeArrayConfig::new().engine, Engine::Decoded);
+        let c = PeArrayConfig::new().engine(Engine::Interpreted);
+        assert_eq!(c.engine, Engine::Interpreted);
     }
 }

@@ -90,6 +90,13 @@ impl Trace {
         }
     }
 
+    /// Discards all recorded events and the dropped count, keeping the
+    /// capacity (used by [`PeArray::reset`](crate::PeArray::reset)).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
     /// The recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

@@ -32,6 +32,7 @@
 
 mod compute;
 mod control;
+mod decoded;
 mod error;
 mod loc;
 mod program;
@@ -40,6 +41,10 @@ mod word;
 
 pub use compute::{ComputeOp, CuInst, Operand, TreeSlots, VliwInst, CU_PER_PE, TREE_ALUS};
 pub use control::{AddrReg, BranchCond, ControlInst, SetTarget};
+pub use decoded::{
+    DecodedComputeProgram, DecodedControlProgram, DecodedCtrlInst, DecodedCu, DecodedLoc,
+    DecodedOperand, DecodedTree, DecodedVliw,
+};
 pub use error::ParseInstError;
 pub use loc::{Addr, Loc, Space};
 pub use program::{ComputeProgram, ControlProgram};

@@ -265,10 +265,18 @@ pub fn apply(op: ComputeOp, mode: Mode, ins: &[Word], luts: &Luts) -> Word {
         op.arity(),
         ins.len()
     );
+    // ALU steps run once per compute slot per cycle: the input conversions
+    // stay on the stack (no op reads more than MAX_INS inputs), keeping
+    // the simulation loop allocation-free.
+    const MAX_INS: usize = 8;
+    let n = ins.len().min(MAX_INS);
     match mode {
         Mode::Int32 => {
-            let iv: Vec<i32> = ins.iter().map(|w| w.as_i32()).collect();
-            Word::from_i32(apply_i32(op, &iv, luts))
+            let mut iv = [0i32; MAX_INS];
+            for (slot, w) in iv.iter_mut().zip(ins) {
+                *slot = w.as_i32();
+            }
+            Word::from_i32(apply_i32(op, &iv[..n], luts))
         }
         Mode::Int8x4 => {
             if matches!(op, ComputeOp::Shl16 | ComputeOp::Shr16) {
@@ -280,11 +288,17 @@ pub fn apply(op: ComputeOp, mode: Mode, ins: &[Word], luts: &Luts) -> Word {
                     v >> 16
                 });
             }
-            let lanes: Vec<[i8; 4]> = ins.iter().map(|w| w.as_lanes()).collect();
+            let mut lanes = [[0i8; 4]; MAX_INS];
+            for (slot, w) in lanes.iter_mut().zip(ins) {
+                *slot = w.as_lanes();
+            }
             let mut out = [0i8; 4];
             for (lane, slot) in out.iter_mut().enumerate() {
-                let lv: Vec<i8> = lanes.iter().map(|l| l[lane]).collect();
-                *slot = apply_i8(op, &lv, luts);
+                let mut lv = [0i8; MAX_INS];
+                for (s, l) in lv.iter_mut().zip(&lanes[..n]) {
+                    *s = l[lane];
+                }
+                *slot = apply_i8(op, &lv[..n], luts);
             }
             Word::from_lanes(out)
         }
@@ -297,11 +311,17 @@ pub fn apply(op: ComputeOp, mode: Mode, ins: &[Word], luts: &Luts) -> Word {
                     v >> 16
                 });
             }
-            let halves: Vec<[i16; 2]> = ins.iter().map(|w| w.as_halves()).collect();
+            let mut halves = [[0i16; 2]; MAX_INS];
+            for (slot, w) in halves.iter_mut().zip(ins) {
+                *slot = w.as_halves();
+            }
             let mut out = [0i16; 2];
             for (lane, slot) in out.iter_mut().enumerate() {
-                let lv: Vec<i16> = halves.iter().map(|h| h[lane]).collect();
-                *slot = apply_i16(op, &lv, luts);
+                let mut lv = [0i16; MAX_INS];
+                for (s, h) in lv.iter_mut().zip(&halves[..n]) {
+                    *s = h[lane];
+                }
+                *slot = apply_i16(op, &lv[..n], luts);
             }
             Word::from_halves(out)
         }

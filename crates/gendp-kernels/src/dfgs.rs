@@ -947,7 +947,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn all_dfgs_are_mappable() {
         // Every kernel DFG must survive the full DPMap pipeline — this is
         // checked end-to-end in gendp-core; here we pin validity and size.
@@ -961,7 +960,8 @@ mod tests {
             lcs_dfg(),
         ];
         for g in &dfgs {
-            assert!(g.validate().is_empty(), "{}", g.name());
+            let report = gendp_verify::Verifier::default().verify_dfg(g);
+            assert!(report.is_clean(), "{}: {report:?}", g.name());
             assert!(g.len() >= 3, "{} suspiciously small", g.name());
             assert!(g.outputs().count() >= 1);
         }

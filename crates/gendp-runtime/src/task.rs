@@ -2,7 +2,8 @@
 
 use gendp_core::{
     bsw_score, bsw_semiglobal_score, bsw_simd_scores, dtw_banded_distance, pack_lanes,
-    pairhmm_float_lik, pairhmm_loglik, AcceleratorRun, GendpPipeline,
+    pairhmm_float_lik, pairhmm_loglik, AccelConfig, Accelerator, AcceleratorRun, BandSpec,
+    BellmanFordTask, ChainTask, GendpPipeline, PoaTask, WavefrontTask,
 };
 use gendp_dpax::{RunStats, SimError};
 use gendp_kernels::chain::ChainParams;
@@ -488,6 +489,37 @@ impl Task {
         n_pes: usize,
         budget_scale: u64,
     ) -> Result<(TaskValue, RunStats), SimError> {
+        self.execute_configured(n_pes, AccelConfig::new().budget_scale(budget_scale))
+    }
+
+    /// [`execute`](Self::execute) with full control over the
+    /// driver-independent configuration (cycle-budget multiplier and
+    /// simulator engine). Every task variant dispatches through the
+    /// unified [`Accelerator`] lifecycle: the kernel-specific constructor
+    /// picks the driver, [`Accelerator::configure`] applies `cfg`, and
+    /// [`Accelerator::run_task`] runs the borrowed task bundle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.budget_scale` is zero.
+    pub fn execute_configured(
+        &self,
+        n_pes: usize,
+        cfg: AccelConfig,
+    ) -> Result<(TaskValue, RunStats), SimError> {
+        /// One task through the unified lifecycle: configure, then run.
+        fn drive<'t, A: Accelerator>(
+            accel: A,
+            cfg: AccelConfig,
+            task: &A::Task<'t>,
+        ) -> Result<A::Output, SimError> {
+            accel.configure(cfg).run_task(task)
+        }
+
         match self {
             Task::Bsw {
                 query,
@@ -496,32 +528,34 @@ impl Task {
                 mode,
             } => {
                 let (rows, cols) = (codes(target), codes(query));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
                 let (out, score) = match (mode, scoring.gap) {
                     (AlignMode::Local, GapModel::Convex { .. }) => {
-                        let out = GendpPipeline::bsw_convex(scoring)
-                            .budget_scale(budget_scale)
-                            .run(&rows, &cols, n_pes)?;
+                        let out = drive(GendpPipeline::bsw_convex(scoring), cfg, &task)?;
                         let s = bsw_score(&out);
                         (out, s)
                     }
                     (AlignMode::Local, _) => {
-                        let out = GendpPipeline::bsw(scoring)
-                            .budget_scale(budget_scale)
-                            .run(&rows, &cols, n_pes)?;
+                        let out = drive(GendpPipeline::bsw(scoring), cfg, &task)?;
                         let s = bsw_score(&out);
                         (out, s)
                     }
                     (AlignMode::Global, _) => {
-                        let out = GendpPipeline::bsw_global(scoring)
-                            .budget_scale(budget_scale)
-                            .run(&rows, &cols, n_pes)?;
+                        let out = drive(GendpPipeline::bsw_global(scoring), cfg, &task)?;
                         let s = *out.last_row["h"].last().expect("corner cell");
                         (out, s)
                     }
                     (AlignMode::SemiGlobal, _) => {
-                        let out = GendpPipeline::bsw_semiglobal(scoring, query.len())
-                            .budget_scale(budget_scale)
-                            .run(&rows, &cols, n_pes)?;
+                        let out = drive(
+                            GendpPipeline::bsw_semiglobal(scoring, query.len()),
+                            cfg,
+                            &task,
+                        )?;
                         let s = bsw_semiglobal_score(&out);
                         (out, s)
                     }
@@ -534,9 +568,13 @@ impl Task {
                 let ts: Vec<Vec<u8>> = pairs.iter().map(|(_, t)| t.codes()).collect();
                 let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
                 let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
-                let out = GendpPipeline::bsw_simd(scoring)
-                    .budget_scale(budget_scale)
-                    .run(&rows, &cols, n_pes)?;
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                let out = drive(GendpPipeline::bsw_simd(scoring), cfg, &task)?;
                 let scores = bsw_simd_scores(&out).to_vec();
                 Ok((TaskValue::SimdScores(scores), out.stats))
             }
@@ -547,9 +585,18 @@ impl Task {
                 scale,
                 params,
             } => {
-                let out = GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len())
-                    .budget_scale(budget_scale)
-                    .run(&codes(read), &codes(haplotype), n_pes)?;
+                let (rows, cols) = (codes(read), codes(haplotype));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                let out = drive(
+                    GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len()),
+                    cfg,
+                    &task,
+                )?;
                 let loglik = pairhmm_loglik(&out, &pairhmm_luts(*qual, *scale));
                 Ok((TaskValue::LogLikelihood(loglik), out.stats))
             }
@@ -559,23 +606,43 @@ impl Task {
                 qual,
                 params,
             } => {
-                let out = GendpPipeline::pairhmm_float(params, *qual, haplotype.len())
-                    .budget_scale(budget_scale)
-                    .run(&codes(read), &codes(haplotype), n_pes)?;
+                let (rows, cols) = (codes(read), codes(haplotype));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                let out = drive(
+                    GendpPipeline::pairhmm_float(params, *qual, haplotype.len()),
+                    cfg,
+                    &task,
+                )?;
                 let lik = pairhmm_float_lik(&out);
                 Ok((TaskValue::Likelihood(lik), out.stats))
             }
             Task::Dtw { xs, ys } => {
-                let out = GendpPipeline::dtw()
-                    .budget_scale(budget_scale)
-                    .run(xs, ys, n_pes)?;
+                let task = WavefrontTask {
+                    rows: xs,
+                    cols: ys,
+                    n_pes,
+                    band: None,
+                };
+                let out = drive(GendpPipeline::dtw(), cfg, &task)?;
                 let d = *out.last_row["d"].last().expect("corner cell") as i64;
                 Ok((TaskValue::Distance(d), out.stats))
             }
             Task::DtwBanded { xs, ys, width } => {
-                let out = GendpPipeline::dtw_banded(ys.len())
-                    .budget_scale(budget_scale)
-                    .run_banded(xs, ys, *width, DTW_BAND_SENTINEL, n_pes)?;
+                let task = WavefrontTask {
+                    rows: xs,
+                    cols: ys,
+                    n_pes,
+                    band: Some(BandSpec {
+                        width: *width,
+                        sentinel: DTW_BAND_SENTINEL,
+                    }),
+                };
+                let out = drive(GendpPipeline::dtw_banded(ys.len()), cfg, &task)?;
                 let d = dtw_banded_distance(&out, xs.len()) as i64;
                 Ok((TaskValue::Distance(d), out.stats))
             }
@@ -583,9 +650,11 @@ impl Task {
             // one candidate predecessor, so the task fixes its own array
             // width from the objective.
             Task::Chain { anchors, params } => {
-                let run = GendpPipeline::chain(*params)
-                    .budget_scale(budget_scale)
-                    .run(anchors, params.n_prev)?;
+                let task = ChainTask {
+                    anchors,
+                    n_pes: params.n_prev,
+                };
+                let run = drive(GendpPipeline::chain(*params), cfg, &task)?;
                 Ok((TaskValue::ChainScores(run.scores), run.stats))
             }
             Task::Poa {
@@ -593,9 +662,12 @@ impl Task {
                 probe,
                 scoring,
             } => {
-                let run = GendpPipeline::poa(*scoring)
-                    .budget_scale(budget_scale)
-                    .run(graph, probe, n_pes)?;
+                let task = PoaTask {
+                    graph,
+                    seq: probe,
+                    n_pes,
+                };
+                let run = drive(GendpPipeline::poa(*scoring), cfg, &task)?;
                 Ok((TaskValue::Score(run.score), run.stats))
             }
             Task::BellmanFord {
@@ -603,9 +675,12 @@ impl Task {
                 source,
                 rounds,
             } => {
-                let run = GendpPipeline::bellman_ford()
-                    .budget_scale(budget_scale)
-                    .run(graph, *source, *rounds)?;
+                let task = BellmanFordTask {
+                    graph,
+                    source: *source,
+                    rounds: *rounds,
+                };
+                let run = drive(GendpPipeline::bellman_ford(), cfg, &task)?;
                 Ok((TaskValue::Distances(run.dist), run.stats))
             }
         }

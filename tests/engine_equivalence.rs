@@ -1,0 +1,212 @@
+//! Engine equivalence sweep: for every shipped kernel, the pre-decoded
+//! execution engine and the instruction-level interpreter must be
+//! **bit-identical** — same functional outputs *and* same
+//! [`RunStats`](gendp::dpax::RunStats) (cycles, instruction counts,
+//! port/FIFO/SPM traffic). The decoded engine is the default hot path;
+//! this suite is what entitles it to claim the interpreter's semantics.
+//!
+//! Task shapes mirror `verify_sweep.rs` so the equivalence evidence
+//! covers exactly the program set the verifier acceptance contract
+//! covers.
+
+use gendp::core::{pack_halves, pack_lanes, GendpPipeline, Wavefront2d};
+use gendp::dpax::Engine;
+use gendp::kernels::bellman_ford::random_roadmap;
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::poa::Poa;
+use gendp::kernels::{GapModel, Scoring};
+use gendp::seq::{DnaSeq, MutationProfile};
+use gendp::{AccelConfig, Accelerator, TaskOutput};
+use gendp_core::{BandSpec, BellmanFordTask, ChainTask, PoaTask, WavefrontTask};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn codes(s: &DnaSeq) -> Vec<i32> {
+    s.codes().iter().map(|&c| c as i32).collect()
+}
+
+fn convex_scoring() -> Scoring {
+    Scoring {
+        matches: 1,
+        mismatch: 4,
+        gap: GapModel::Convex {
+            open1: 4,
+            extend1: 2,
+            open2: 14,
+            extend2: 1,
+        },
+    }
+}
+
+/// Runs one task on both engines through the unified [`Accelerator`]
+/// lifecycle and asserts bit-identical outputs and statistics.
+fn assert_engines_agree<A, F>(name: &str, build: F, task: &A::Task<'_>)
+where
+    A: Accelerator,
+    A::Output: std::fmt::Debug + PartialEq,
+    F: Fn() -> A,
+{
+    let decoded = build()
+        .configure(AccelConfig::new().engine(Engine::Decoded))
+        .run_task(task)
+        .unwrap_or_else(|e| panic!("{name} (decoded): {e}"));
+    let interpreted = build()
+        .configure(AccelConfig::new().engine(Engine::Interpreted))
+        .run_task(task)
+        .unwrap_or_else(|e| panic!("{name} (interpreted): {e}"));
+    assert_eq!(decoded, interpreted, "{name}: functional outputs diverge");
+    assert_eq!(
+        decoded.stats(),
+        interpreted.stats(),
+        "{name}: statistics diverge"
+    );
+}
+
+fn wavefront_case(name: &str, build: impl Fn() -> Wavefront2d, rows: &[i32], cols: &[i32]) {
+    let task = WavefrontTask {
+        rows,
+        cols,
+        n_pes: 4,
+        band: None,
+    };
+    assert_engines_agree(name, build, &task);
+}
+
+/// Every wavefront kernel (BSW family, PairHMM, DTW, LCS): decoded ==
+/// interpreted, outputs and stats.
+#[test]
+fn wavefront_kernels_decode_equivalent() {
+    let mut rng = SmallRng::seed_from_u64(71);
+    let scoring = Scoring::bwa_mem();
+    let t = DnaSeq::random(24, &mut rng);
+    let q = MutationProfile::illumina().apply(&t.window(2, 18), &mut rng);
+    let (rows, cols) = (codes(&t), codes(&q));
+
+    wavefront_case("bsw", || GendpPipeline::bsw(&scoring), &rows, &cols);
+    wavefront_case(
+        "bsw_global",
+        || GendpPipeline::bsw_global(&scoring),
+        &rows,
+        &cols,
+    );
+    wavefront_case(
+        "bsw_semiglobal",
+        || GendpPipeline::bsw_semiglobal(&scoring, cols.len()),
+        &rows,
+        &cols,
+    );
+    wavefront_case(
+        "bsw_convex",
+        || GendpPipeline::bsw_convex(&convex_scoring()),
+        &rows,
+        &cols,
+    );
+    wavefront_case(
+        "pairhmm",
+        || GendpPipeline::pairhmm(&PairHmmParams::gatk(), 30, 1024, rows.len()),
+        &rows,
+        &cols,
+    );
+    wavefront_case(
+        "pairhmm_float",
+        || GendpPipeline::pairhmm_float(&PairHmmParams::gatk(), 30, rows.len()),
+        &rows,
+        &cols,
+    );
+    wavefront_case("lcs", GendpPipeline::lcs, &rows, &cols);
+
+    let xs: Vec<i32> = (0..15).map(|_| rng.gen_range(0..200)).collect();
+    let ys: Vec<i32> = (0..12).map(|_| rng.gen_range(0..200)).collect();
+    wavefront_case("dtw", GendpPipeline::dtw, &xs, &ys);
+    let banded = WavefrontTask {
+        rows: &ys,
+        cols: &xs,
+        n_pes: 4,
+        band: Some(BandSpec {
+            width: 5,
+            sentinel: 1 << 20,
+        }),
+    };
+    assert_engines_agree(
+        "dtw_banded",
+        || GendpPipeline::dtw_banded(xs.len()),
+        &banded,
+    );
+
+    let lanes: Vec<Vec<u8>> = (0..4)
+        .map(|_| DnaSeq::random(16, &mut rng).codes())
+        .collect();
+    let rows8 = pack_lanes([&lanes[0], &lanes[1], &lanes[2], &lanes[3]]);
+    let cols8 = pack_lanes([&lanes[1], &lanes[2], &lanes[3], &lanes[0]]);
+    wavefront_case(
+        "bsw_simd",
+        || GendpPipeline::bsw_simd(&scoring),
+        &rows8,
+        &cols8,
+    );
+    let h0: Vec<i16> = lanes[0].iter().map(|&c| c as i16).collect();
+    let h1: Vec<i16> = lanes[1].iter().map(|&c| c as i16).collect();
+    let rows16 = pack_halves([&h0, &h1]);
+    let cols16 = pack_halves([&h1, &h0]);
+    wavefront_case(
+        "bsw_simd16",
+        || GendpPipeline::bsw_simd16(&scoring),
+        &rows16,
+        &cols16,
+    );
+}
+
+/// Chain, POA and Bellman-Ford: decoded == interpreted on their own
+/// drivers (FIFO broadcast, graph-structured flow, scratchpad
+/// residency).
+#[test]
+fn chain_poa_bellman_ford_decode_equivalent() {
+    let mut rng = SmallRng::seed_from_u64(72);
+    let n_pes = 8;
+    let params = ChainParams {
+        n_prev: n_pes,
+        ..ChainParams::minimap2(15.0)
+    };
+    let anchors: Vec<gendp::seq::Anchor> = {
+        // Sorted synthetic anchors, the shape `verify_sweep` sizes for.
+        let mut pos = 0;
+        (0..30)
+            .map(|_| {
+                pos += rng.gen_range(1..6);
+                gendp::seq::Anchor {
+                    qpos: pos,
+                    rpos: pos + rng.gen_range(0..3),
+                    span: 15,
+                }
+            })
+            .collect()
+    };
+    let chain_task = ChainTask {
+        anchors: &anchors,
+        n_pes,
+    };
+    assert_engines_agree("chain", || GendpPipeline::chain(params), &chain_task);
+
+    let truth = DnaSeq::random(30, &mut rng);
+    let mut poa = Poa::new();
+    poa.add_sequence(&truth, &Scoring::racon());
+    poa.add_sequence(
+        &MutationProfile::nanopore().apply(&truth, &mut rng),
+        &Scoring::racon(),
+    );
+    let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+    let poa_task = PoaTask {
+        graph: &poa,
+        seq: &probe,
+        n_pes: 4,
+    };
+    assert_engines_agree("poa", || GendpPipeline::poa(Scoring::racon()), &poa_task);
+
+    let g = random_roadmap(20, 2, 5, &mut rng);
+    let bf_task = BellmanFordTask {
+        graph: &g,
+        source: 0,
+        rounds: g.vertex_count() - 1,
+    };
+    assert_engines_agree("bellman_ford", GendpPipeline::bellman_ford, &bf_task);
+}

@@ -185,7 +185,8 @@ fn generated_programs_round_trip_through_assembly() {
 fn simulator_budget_errors_are_reported_cleanly() {
     use gendp::dpax::{PeArray, PeArrayConfig, SimError};
     let mut a = PeArray::new(PeArrayConfig::with_pes(1));
-    a.load_pe_control(0, "li a[0] 0\nbeq a0 a0 0".parse().unwrap());
+    let prog: gendp::isa::ControlProgram = "li a[0] 0\nbeq a0 a0 0".parse().unwrap();
+    a.load_pe_control(0, prog);
     match a.run(25) {
         Err(SimError::Timeout { max_cycles }) => assert_eq!(max_cycles, 25),
         other => panic!("expected timeout, got {other:?}"),
