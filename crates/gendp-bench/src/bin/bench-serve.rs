@@ -1,0 +1,526 @@
+//! Sustained-load benchmark for the `gendp-serve` multi-tenant
+//! alignment service.
+//!
+//! Three tenants with distinct QoS contracts drive an open-loop arrival
+//! process (exponential inter-arrival times; arrivals never wait for
+//! completions, so queueing delay is visible in the latencies) against
+//! a sharded server under 5% deterministic fault injection:
+//!
+//! * `interactive` — latency-sensitive mapping traffic
+//!   ([`Priority::Interactive`], weight 2): local BSW, banded DTW,
+//!   anchor chaining.
+//! * `pipeline` — the default class: global/semi-global BSW, SIMD BSW,
+//!   fixed-point PairHMM.
+//! * `batch` — background polishing ([`Priority::Batch`]): POA,
+//!   Bellman-Ford, FP PairHMM, full DTW.
+//!
+//! Together the mix covers all evaluated kernels and both array
+//! classes. The report (`BENCH_serve.json`) carries per-tenant and
+//! total reads/sec, p50/p99/p999 latency, rejection/failure/loss
+//! counts, and the recovery counters aggregated across shards.
+//!
+//! Flags:
+//! * `--quick` — smaller task count (CI smoke).
+//! * `--out <path>` — where to write the JSON (default
+//!   `BENCH_serve.json`).
+//! * `--baseline <path>` — compare against a committed baseline: the
+//!   run must lose zero tasks, terminally fail zero tasks, and sustain
+//!   the baseline's mode-matched `reads_per_sec` floor.
+//!
+//! The binary always hard-fails (exit 1) on lost tasks, baseline or
+//! not — delivery is a correctness property, not a performance one.
+
+use std::thread;
+use std::time::Instant;
+
+use gendp::kernels::bellman_ford::Graph;
+use gendp::kernels::chain::ChainParams;
+use gendp::kernels::pairhmm::PairHmmParams;
+use gendp::kernels::poa::Poa;
+use gendp::kernels::Scoring;
+use gendp::runtime::{
+    silence_injected_panics, DeviceConfig, DispatchPolicy, FaultConfig, RetryPolicy, Task,
+};
+use gendp::seq::{Anchor, DnaSeq};
+use gendp::serve::{Priority, ServeConfig, Server, ServerStats, TenantConfig, Ticket};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Injected fault rate: 5% of execution attempts, split uniformly over
+/// deadlock / timeout / bad-access / worker-panic.
+const FAULT_PPM: u32 = 50_000;
+
+/// Per-tenant open-loop arrival rate, requests/sec. Far above one
+/// host core's service rate on the cycle-level simulator, so the run
+/// measures the service under saturation, not the arrival process.
+const ARRIVAL_RATE: f64 = 4000.0;
+
+struct TenantPlan {
+    name: &'static str,
+    priority: Priority,
+    weight: u32,
+    /// Builds the i-th task of this tenant's stream.
+    make: fn(&mut SmallRng, usize) -> Task,
+}
+
+fn seq(rng: &mut SmallRng, len: usize) -> DnaSeq {
+    DnaSeq::random(len, rng)
+}
+
+/// Latency-sensitive read-mapping mix: local BSW, banded DTW, chaining.
+fn interactive_task(rng: &mut SmallRng, i: usize) -> Task {
+    match i % 3 {
+        0 => Task::bsw_local(seq(rng, 24), seq(rng, 32), Scoring::bwa_mem()),
+        1 => {
+            let xs: Vec<i32> = (0..20).map(|_| rng.gen_range(0..200)).collect();
+            let ys: Vec<i32> = (0..24).map(|_| rng.gen_range(0..200)).collect();
+            Task::DtwBanded { xs, ys, width: 8 }
+        }
+        _ => {
+            let mut rpos = 0;
+            let anchors: Vec<Anchor> = (0..10)
+                .map(|_| {
+                    rpos += rng.gen_range(5..40);
+                    Anchor {
+                        rpos,
+                        qpos: rpos - rng.gen_range(0..5),
+                        span: 15,
+                    }
+                })
+                .collect();
+            Task::Chain {
+                anchors,
+                params: ChainParams {
+                    n_prev: 8,
+                    ..ChainParams::minimap2(15.0)
+                },
+            }
+        }
+    }
+}
+
+/// Default-priority alignment pipeline: global / semi-global BSW, SIMD
+/// BSW, fixed-point PairHMM.
+fn pipeline_task(rng: &mut SmallRng, i: usize) -> Task {
+    match i % 4 {
+        0 => Task::bsw_global(seq(rng, 24), seq(rng, 24), Scoring::bwa_mem()),
+        1 => Task::Bsw {
+            query: seq(rng, 24),
+            target: seq(rng, 32),
+            scoring: Scoring::bwa_mem(),
+            mode: gendp::kernels::AlignMode::SemiGlobal,
+        },
+        2 => Task::bsw_simd(
+            (0..4).map(|_| (seq(rng, 16), seq(rng, 16))).collect(),
+            Scoring::bwa_mem(),
+        ),
+        _ => Task::PairHmm {
+            read: seq(rng, 20),
+            haplotype: seq(rng, 28),
+            qual: 30,
+            scale: 1024,
+            params: PairHmmParams::gatk(),
+        },
+    }
+}
+
+/// Background polishing mix: POA, Bellman-Ford, FP PairHMM (the FP
+/// array), full DTW.
+fn batch_task(rng: &mut SmallRng, i: usize) -> Task {
+    match i % 4 {
+        0 => {
+            let truth = seq(rng, 24);
+            let mut graph = Poa::new();
+            graph.add_sequence(&truth, &Scoring::racon());
+            Task::Poa {
+                graph,
+                probe: seq(rng, 24),
+                scoring: Scoring::racon(),
+            }
+        }
+        1 => {
+            let n = 14;
+            let mut graph = Graph::new(n);
+            for v in 0..n - 1 {
+                graph.add_edge(v, v + 1, rng.gen_range(1..9));
+                let far = rng.gen_range(0..n);
+                if far != v {
+                    graph.add_edge(v, far, rng.gen_range(1..20));
+                }
+            }
+            Task::BellmanFord {
+                graph,
+                source: 0,
+                rounds: 4,
+            }
+        }
+        2 => Task::PairHmmFloat {
+            read: seq(rng, 16),
+            haplotype: seq(rng, 24),
+            qual: 30,
+            params: PairHmmParams::gatk(),
+        },
+        _ => {
+            let xs: Vec<i32> = (0..18).map(|_| rng.gen_range(0..200)).collect();
+            let ys: Vec<i32> = (0..18).map(|_| rng.gen_range(0..200)).collect();
+            Task::dtw(xs, ys)
+        }
+    }
+}
+
+const PLANS: [TenantPlan; 3] = [
+    TenantPlan {
+        name: "interactive",
+        priority: Priority::Interactive,
+        weight: 2,
+        make: interactive_task,
+    },
+    TenantPlan {
+        name: "pipeline",
+        priority: Priority::Normal,
+        weight: 1,
+        make: pipeline_task,
+    },
+    TenantPlan {
+        name: "batch",
+        priority: Priority::Batch,
+        weight: 1,
+        make: batch_task,
+    },
+];
+
+struct RunReport {
+    quick: bool,
+    wall_seconds: f64,
+    stats: ServerStats,
+    /// (tenant name, completed, failed, disconnected) tallied from the
+    /// tickets themselves — cross-checked against server counters.
+    ticket_tallies: Vec<(String, u64, u64, u64)>,
+}
+
+fn run_load(quick: bool) -> RunReport {
+    let tasks_per_tenant = if quick { 800 } else { 2500 };
+    let config = ServeConfig {
+        shards: 2,
+        shard_config: DeviceConfig {
+            int_arrays: 16,
+            float_arrays: 1,
+            workers: 2,
+            policy: DispatchPolicy::ShortestQueue,
+            retry: RetryPolicy {
+                max_attempts: 8,
+                ..RetryPolicy::default()
+            },
+            fault: Some(FaultConfig::uniform(2023, FAULT_PPM)),
+            ..DeviceConfig::default()
+        },
+        batch_max: 64,
+        quantum_cells: 2048,
+        dispatch_queue: 2,
+    };
+    let tenants: Vec<TenantConfig> = PLANS
+        .iter()
+        .map(|p| {
+            TenantConfig::new(p.name)
+                .priority(p.priority)
+                .weight(p.weight)
+                .quotas(1 << 14, 1 << 14)
+        })
+        .collect();
+    let mut server = Server::start(config, tenants).expect("server start");
+
+    let started = Instant::now();
+    let submitters: Vec<_> = PLANS
+        .iter()
+        .enumerate()
+        .map(|(t, plan)| {
+            let client = server.client(plan.name).expect("registered tenant");
+            let name = plan.name.to_string();
+            let make = plan.make;
+            thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(7 + t as u64);
+                let mut tickets: Vec<Ticket> = Vec::with_capacity(tasks_per_tenant);
+                let epoch = Instant::now();
+                let mut due = 0.0f64;
+                for i in 0..tasks_per_tenant {
+                    // Open loop: exponential inter-arrival, never
+                    // waiting for completions; when the process falls
+                    // behind schedule it submits immediately.
+                    due += -(1.0 - rng.gen::<f64>()).ln() / ARRIVAL_RATE;
+                    let ahead = due - epoch.elapsed().as_secs_f64();
+                    if ahead > 0.0 {
+                        thread::sleep(std::time::Duration::from_secs_f64(ahead));
+                    }
+                    match client.submit(make(&mut rng, i)) {
+                        Ok(ticket) => tickets.push(ticket),
+                        Err(e) => panic!("{name}: unexpected rejection: {e}"),
+                    }
+                }
+                let (mut completed, mut failed, mut disconnected) = (0u64, 0u64, 0u64);
+                for ticket in tickets {
+                    match ticket.wait() {
+                        Ok(_) => completed += 1,
+                        Err(gendp::serve::ServeError::Disconnected) => disconnected += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                (name, completed, failed, disconnected)
+            })
+        })
+        .collect();
+
+    let ticket_tallies: Vec<_> = submitters
+        .into_iter()
+        .map(|h| h.join().expect("submitter thread"))
+        .collect();
+    let wall_seconds = started.elapsed().as_secs_f64();
+    server.shutdown();
+    let stats = server.stats();
+    RunReport {
+        quick,
+        wall_seconds,
+        stats,
+        ticket_tallies,
+    }
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}
+
+fn render_json(r: &RunReport, floor: f64, quick_floor: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"gendp-bench-serve/v1\",\n");
+    s.push_str(&format!("  \"quick\": {},\n", r.quick));
+    s.push_str(&format!("  \"wall_seconds\": {:.3},\n", r.wall_seconds));
+    s.push_str(&format!(
+        "  \"total_reads_per_sec\": {:.1},\n",
+        r.stats.totals.completed as f64 / r.wall_seconds
+    ));
+    s.push_str("  \"tenants\": [\n");
+    let n = r.stats.tenants.len();
+    for (i, t) in r.stats.tenants.iter().enumerate() {
+        let c = &t.counters;
+        s.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"priority\": \"{}\",\n      \
+             \"weight\": {},\n      \"submitted\": {},\n      \"accepted\": {},\n      \
+             \"rejected\": {},\n      \"completed\": {},\n      \"failed\": {},\n      \
+             \"lost\": {},\n      \"cells\": {},\n      \"reads_per_sec\": {:.1},\n      \
+             \"p50_ms\": {:.3},\n      \"p99_ms\": {:.3},\n      \"p999_ms\": {:.3}\n    }}{}\n",
+            t.name,
+            t.priority,
+            t.weight,
+            c.submitted,
+            c.accepted,
+            c.rejected(),
+            c.completed,
+            c.failed,
+            c.outstanding(),
+            c.cells,
+            c.completed as f64 / r.wall_seconds,
+            ms(t.latency.quantile(0.50)),
+            ms(t.latency.quantile(0.99)),
+            ms(t.latency.quantile(0.999)),
+            if i + 1 < n { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    let rec = &r.stats.recovery;
+    s.push_str(&format!(
+        "  \"recovery\": {{ \"faults_injected\": {}, \"retries\": {}, \
+         \"redispatches\": {}, \"budget_escalations\": {}, \"panics_contained\": {}, \
+         \"quarantined_arrays\": {}, \"tasks_failed\": {} }},\n",
+        rec.faults_injected,
+        rec.retries,
+        rec.redispatches,
+        rec.budget_escalations,
+        rec.panics_contained,
+        rec.quarantined_arrays,
+        rec.tasks_failed,
+    ));
+    s.push_str(&format!(
+        "  \"floors\": {{ \"reads_per_sec\": {floor:.1}, \"quick_reads_per_sec\": {quick_floor:.1} }}\n"
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Extracts a top-level or nested `"key": <number>` by plain string
+/// scan — the file is machine-written by this binary.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = json.find(&tag)? + tag.len();
+    let num: String = json[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn check_baseline(baseline: &str, r: &RunReport) -> Result<(), String> {
+    let mut problems = Vec::new();
+    let floor_key = if r.quick {
+        "quick_reads_per_sec"
+    } else {
+        "reads_per_sec"
+    };
+    match extract_number(baseline, floor_key) {
+        None => problems.push(format!("baseline is missing floors.{floor_key}")),
+        Some(floor) => {
+            let fresh = r.stats.totals.completed as f64 / r.wall_seconds;
+            if fresh < floor {
+                problems.push(format!(
+                    "throughput {fresh:.1} reads/sec below the committed {floor:.1} floor"
+                ));
+            }
+        }
+    }
+    if r.stats.totals.failed > 0 {
+        problems.push(format!(
+            "{} tasks terminally failed (retry budget should absorb a 5% fault rate)",
+            r.stats.totals.failed
+        ));
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline_path = flag_value(&args, "--baseline");
+
+    // The 5% plan injects worker panics by design; keep their default
+    // stderr traces out of the report.
+    silence_injected_panics();
+
+    let report = run_load(quick);
+
+    println!(
+        "{:<13} {:>9} {:>9} {:>9} {:>6} {:>5} {:>11} {:>9} {:>9} {:>9}",
+        "tenant",
+        "submitted",
+        "accepted",
+        "completed",
+        "failed",
+        "lost",
+        "reads/sec",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms"
+    );
+    for t in &report.stats.tenants {
+        let c = &t.counters;
+        println!(
+            "{:<13} {:>9} {:>9} {:>9} {:>6} {:>5} {:>11.1} {:>9.3} {:>9.3} {:>9.3}",
+            t.name,
+            c.submitted,
+            c.accepted,
+            c.completed,
+            c.failed,
+            c.outstanding(),
+            c.completed as f64 / report.wall_seconds,
+            ms(t.latency.quantile(0.50)),
+            ms(t.latency.quantile(0.99)),
+            ms(t.latency.quantile(0.999)),
+        );
+    }
+    let totals = &report.stats.totals;
+    let throughput = totals.completed as f64 / report.wall_seconds;
+    println!(
+        "{:<13} {:>9} {:>9} {:>9} {:>6} {:>5} {:>11.1}  ({:.2}s wall)",
+        "TOTAL",
+        totals.submitted,
+        totals.accepted,
+        totals.completed,
+        totals.failed,
+        totals.outstanding(),
+        throughput,
+        report.wall_seconds,
+    );
+    let rec = &report.stats.recovery;
+    println!(
+        "recovery: {} faults injected, {} retries, {} redispatches, {} panics contained, \
+         {} arrays quarantined",
+        rec.faults_injected,
+        rec.retries,
+        rec.redispatches,
+        rec.panics_contained,
+        rec.quarantined_arrays
+    );
+
+    // Delivery is a hard invariant: every accepted task resolves, and
+    // the ticket tallies must agree with the server's own counters.
+    let mut lost = totals.outstanding();
+    for (name, completed, failed, disconnected) in &report.ticket_tallies {
+        lost += disconnected;
+        let server_side = report
+            .stats
+            .tenants
+            .iter()
+            .find(|t| &t.name == name)
+            .expect("tenant in stats");
+        if server_side.counters.completed != *completed || server_side.counters.failed != *failed {
+            eprintln!(
+                "{name}: ticket tallies ({completed} ok, {failed} failed) disagree with server \
+                 counters ({} ok, {} failed)",
+                server_side.counters.completed, server_side.counters.failed
+            );
+            std::process::exit(1);
+        }
+    }
+    if lost > 0 {
+        eprintln!("{lost} tasks were lost (admitted but never delivered)");
+        std::process::exit(1);
+    }
+
+    // Committed floors are ~1/3 of throughput observed on the reference
+    // single-core container — loose enough for noisy CI hosts, tight
+    // enough to catch the service collapsing.
+    let (floor, quick_floor) = match baseline_path
+        .as_ref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+    {
+        // Keep the committed floors stable when checking against a
+        // baseline; refresh them only on free runs.
+        Some(baseline) => (
+            extract_number(&baseline, "reads_per_sec").unwrap_or(throughput / 3.0),
+            extract_number(&baseline, "quick_reads_per_sec").unwrap_or(throughput / 3.0),
+        ),
+        None => {
+            let f = throughput / 3.0;
+            (f, f)
+        }
+    };
+    let json = render_json(&report, floor, quick_floor);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if !baseline.contains("\"schema\": \"gendp-bench-serve/v1\"") {
+            eprintln!("baseline {path} is not a gendp-bench-serve/v1 report");
+            std::process::exit(2);
+        }
+        match check_baseline(&baseline, &report) {
+            Ok(()) => println!("baseline check vs {path}: ok"),
+            Err(problems) => {
+                eprintln!("baseline check vs {path} FAILED:\n{problems}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

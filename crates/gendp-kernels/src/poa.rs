@@ -69,6 +69,50 @@ impl Poa {
         Poa::default()
     }
 
+    /// Rebuilds a graph from its serialized parts: the per-node bases
+    /// plus weighted `(from, to, weight)` edges — the inverse of walking
+    /// [`base`](Self::base) and [`preds`](Self::preds) over every node.
+    /// This is the constructor transport layers use to ship a POA graph
+    /// across a wire without replaying the sequence insertions that
+    /// built it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range endpoints, zero-weight edges, self-loops and
+    /// duplicate edges (each `(from, to)` pair carries its multiplicity
+    /// in `weight`). Cycles are *not* detected here — alignment entry
+    /// points assert acyclicity when they first order the graph.
+    pub fn from_parts(bases: Vec<Base>, edges: &[(usize, usize, u32)]) -> Result<Poa, String> {
+        let n = bases.len();
+        let mut poa = Poa {
+            nodes: bases
+                .into_iter()
+                .map(|base| Node {
+                    base,
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                })
+                .collect(),
+        };
+        for &(from, to, weight) in edges {
+            if from >= n || to >= n {
+                return Err(format!("edge ({from}, {to}) is outside the {n}-node graph"));
+            }
+            if from == to {
+                return Err(format!("self-loop on node {from}"));
+            }
+            if weight == 0 {
+                return Err(format!("edge ({from}, {to}) has zero weight"));
+            }
+            if poa.nodes[to].preds.iter().any(|(p, _)| *p == from) {
+                return Err(format!("duplicate edge ({from}, {to})"));
+            }
+            poa.nodes[to].preds.push((from, weight));
+            poa.nodes[from].succs.push(to);
+        }
+        Ok(poa)
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -391,6 +435,46 @@ mod tests {
 
     fn s(text: &str) -> DnaSeq {
         text.parse().unwrap()
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_built_graph() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let truth = DnaSeq::random(24, &mut rng);
+        let mut poa = Poa::new();
+        poa.add_sequence(&truth, &Scoring::racon());
+        poa.add_sequence(
+            &MutationProfile::nanopore().apply(&truth, &mut rng),
+            &Scoring::racon(),
+        );
+        // Serialize: bases per node, weighted edges per predecessor list.
+        let bases: Vec<Base> = (0..poa.node_count()).map(|v| poa.base(v)).collect();
+        let mut edges = Vec::new();
+        for v in 0..poa.node_count() {
+            for &(p, w) in poa.preds(v) {
+                edges.push((p, v, w));
+            }
+        }
+        let rebuilt = Poa::from_parts(bases, &edges).expect("valid parts");
+        assert_eq!(rebuilt.node_count(), poa.node_count());
+        assert_eq!(rebuilt.edge_count(), poa.edge_count());
+        // Alignment behaviour is preserved exactly.
+        let probe = MutationProfile::nanopore().apply(&truth, &mut rng);
+        let a = poa.align(&probe, &Scoring::racon());
+        let b = rebuilt.align(&probe, &Scoring::racon());
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(rebuilt.consensus(), poa.consensus());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_edges() {
+        let bases = vec![Base::A, Base::C, Base::G];
+        assert!(Poa::from_parts(bases.clone(), &[(0, 9, 1)]).is_err());
+        assert!(Poa::from_parts(bases.clone(), &[(1, 1, 1)]).is_err());
+        assert!(Poa::from_parts(bases.clone(), &[(0, 1, 0)]).is_err());
+        assert!(Poa::from_parts(bases.clone(), &[(0, 1, 1), (0, 1, 2)]).is_err());
+        assert!(Poa::from_parts(bases, &[(0, 1, 2), (1, 2, 1)]).is_ok());
     }
 
     #[test]

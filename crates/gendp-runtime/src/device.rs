@@ -206,9 +206,20 @@ impl BatchOutcome {
     /// [`FaultConfig::broken_slots`] is zero (broken slots are by design
     /// placement-dependent).
     pub fn fingerprint(&self) -> String {
+        self.fingerprint_from(0)
+    }
+
+    /// [`fingerprint`](Self::fingerprint) with task ids offset by `base`:
+    /// the shard-local half of a batch that was split across devices
+    /// fingerprints under its *global* ids, so per-shard fingerprints
+    /// concatenate into exactly the single-device fingerprint of the
+    /// whole batch. Placement independence carries over: how the work was
+    /// sharded never shows in the merged string.
+    pub fn fingerprint_from(&self, base: usize) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        for (i, r) in self.results.iter().enumerate() {
+        for (local, r) in self.results.iter().enumerate() {
+            let i = base + local;
             match r {
                 Ok(res) => {
                     let value = match &res.value {
@@ -231,6 +242,67 @@ impl BatchOutcome {
             .expect("writing to a String cannot fail");
         }
         out
+    }
+}
+
+/// Point-in-time observable state of one array slot — what a serving
+/// layer needs to make shard-aware placement and health decisions
+/// without reaching into the device's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slot index on the device.
+    pub index: usize,
+    /// Integer or floating-point array.
+    pub class: ArrayClass,
+    /// Tasks currently waiting in this slot's submission queue.
+    pub queue_depth: usize,
+    /// Highest queue occupancy observed since the last batch started.
+    pub queue_high_water: usize,
+    /// Estimated DP cells queued on this slot and not yet executed.
+    pub pending_cells: u64,
+    /// Failed execution attempts on this slot since the last batch
+    /// started ([`SlotHealth`] resets per batch).
+    pub failures: u64,
+    /// True if the quarantine state machine currently has this slot
+    /// offline.
+    pub quarantined: bool,
+}
+
+/// Point-in-time observable state of a [`Device`]: per-slot queue and
+/// health state plus recovery counters accumulated over every batch the
+/// device has run ([`RecoveryReport::merge`]d batch by batch). Cheap to
+/// take — a few atomic loads per slot — and safe to export from a
+/// monitoring or serving layer at any time between batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    /// One entry per array slot, in slot order.
+    pub slots: Vec<SlotSnapshot>,
+    /// Recovery counters summed over every batch this device has run.
+    pub recovery: RecoveryReport,
+    /// Batches the device has executed.
+    pub batches: u64,
+}
+
+impl DeviceSnapshot {
+    /// Slots of `class` currently accepting work (not quarantined).
+    pub fn healthy_slots(&self, class: ArrayClass) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.class == class && !s.quarantined)
+            .count()
+    }
+
+    /// Slots of `class` currently quarantined.
+    pub fn quarantined_slots(&self, class: ArrayClass) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.class == class && s.quarantined)
+            .count()
+    }
+
+    /// Estimated DP cells queued across all slots.
+    pub fn pending_cells(&self) -> u64 {
+        self.slots.iter().map(|s| s.pending_cells).sum()
     }
 }
 
@@ -351,6 +423,12 @@ struct ExecCtx<'a> {
 pub struct Device {
     config: DeviceConfig,
     slots: Vec<Arc<ArraySlot>>,
+    /// Recovery counters accumulated across every batch (the per-batch
+    /// [`RecoveryReport`]s merged in order), exposed via
+    /// [`Device::snapshot`].
+    recovery_total: RecoveryReport,
+    /// Batches executed so far.
+    batches: u64,
 }
 
 impl Device {
@@ -386,7 +464,12 @@ impl Device {
                 })
             })
             .collect();
-        Device { config, slots }
+        Device {
+            config,
+            slots,
+            recovery_total: RecoveryReport::default(),
+            batches: 0,
+        }
     }
 
     /// A device with the paper's shape (16 integer arrays + 1 FP array)
@@ -407,6 +490,35 @@ impl Device {
     /// Total array slots (integer + floating-point).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Observable state of the device: per-slot queue depth, pending
+    /// work, failure counts and quarantine status, plus recovery counters
+    /// accumulated over every batch run so far. This is the sanctioned
+    /// way for a serving or monitoring layer to export device health —
+    /// no internals, a handful of atomic loads.
+    ///
+    /// Taken between batches, slot queues are empty and the snapshot
+    /// reflects the final health state of the last batch (quarantine and
+    /// failure streaks reset when the *next* batch starts).
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotSnapshot {
+                    index: s.index,
+                    class: s.class,
+                    queue_depth: s.queue.len(),
+                    queue_high_water: s.queue.high_water(),
+                    pending_cells: s.pending_cells.load(Ordering::Relaxed),
+                    failures: s.health.failure_count(),
+                    quarantined: s.health.is_quarantined(),
+                })
+                .collect(),
+            recovery: self.recovery_total,
+            batches: self.batches,
+        }
     }
 
     /// Executes a batch of tasks and returns a per-task outcome in
@@ -523,6 +635,8 @@ impl Device {
             })
             .collect();
         let report = self.build_report(&results, workers, counters.snapshot());
+        self.recovery_total.merge(&report.recovery);
+        self.batches += 1;
         Ok(BatchOutcome { results, report })
     }
 
@@ -1199,6 +1313,105 @@ mod tests {
         clean.config.fault = None;
         let outcome = clean.run_batch(small_batch(6, 29)).expect("batch");
         assert!(outcome.is_complete());
+    }
+
+    #[test]
+    fn snapshot_exposes_health_and_accumulates_recovery() {
+        let fault = FaultConfig {
+            broken_slots: 0b10,
+            ..FaultConfig::disabled(31)
+        };
+        let mut device = Device::new(DeviceConfig {
+            int_arrays: 2,
+            float_arrays: 0,
+            workers: 1,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                quarantine_after: 1,
+                ..RetryPolicy::default()
+            },
+            fault: Some(fault),
+            ..DeviceConfig::default()
+        });
+        let fresh = device.snapshot();
+        assert_eq!(fresh.batches, 0);
+        assert!(fresh.recovery.is_clean());
+        assert_eq!(fresh.healthy_slots(ArrayClass::Int), 2);
+        assert_eq!(fresh.pending_cells(), 0);
+
+        let outcome = device.run_batch(small_batch(12, 31)).expect("batch");
+        assert!(outcome.is_complete());
+        let snap = device.snapshot();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.slots.len(), 2);
+        assert_eq!(snap.quarantined_slots(ArrayClass::Int), 1);
+        assert_eq!(snap.healthy_slots(ArrayClass::Int), 1);
+        assert!(snap.slots[1].quarantined, "broken slot 1 must be offline");
+        assert!(snap.slots[1].failures > 0);
+        assert_eq!(snap.slots[0].queue_depth, 0, "batches drain their queues");
+        assert_eq!(snap.recovery, outcome.report.recovery);
+
+        // A second batch accumulates: cumulative counters are the merge
+        // of both per-batch reports.
+        let outcome2 = device.run_batch(small_batch(8, 32)).expect("batch");
+        let snap2 = device.snapshot();
+        assert_eq!(snap2.batches, 2);
+        assert_eq!(
+            snap2.recovery,
+            RecoveryReport::merged([&outcome.report.recovery, &outcome2.report.recovery])
+        );
+    }
+
+    #[test]
+    fn merged_shard_fingerprints_are_placement_independent() {
+        let n = 24;
+        // Reference: the whole batch on one device, one worker.
+        let mut single = Device::new(DeviceConfig {
+            int_arrays: 4,
+            float_arrays: 0,
+            workers: 1,
+            ..DeviceConfig::default()
+        });
+        let whole = single
+            .run_batch(small_batch(n, 33))
+            .expect("batch")
+            .fingerprint();
+
+        // The same batch split across two device shards, under every
+        // policy and several worker counts: each shard fingerprints its
+        // half under global ids and the concatenation must be
+        // byte-identical to the single-device fingerprint — sharding is
+        // just another placement, and placements must not show.
+        for policy in DispatchPolicy::ALL {
+            for workers in [1, 2, 8] {
+                let tasks = small_batch(n, 33);
+                let cut = n / 2;
+                let mut halves: Vec<Vec<Task>> = vec![Vec::new(), Vec::new()];
+                for (i, t) in tasks.into_iter().enumerate() {
+                    halves[usize::from(i >= cut)].push(t);
+                }
+                let mut merged = String::new();
+                let mut recovery = RecoveryReport::default();
+                for (shard, half) in halves.into_iter().enumerate() {
+                    let mut device = Device::new(DeviceConfig {
+                        int_arrays: 3,
+                        float_arrays: 0,
+                        workers,
+                        policy,
+                        ..DeviceConfig::default()
+                    });
+                    let outcome = device.run_batch(half).expect("shard batch");
+                    merged.push_str(&outcome.fingerprint_from(shard * cut));
+                    recovery.merge(&outcome.report.recovery);
+                }
+                assert_eq!(
+                    merged, whole,
+                    "sharded fingerprint must match single-device under \
+                     {policy:?} x {workers} workers"
+                );
+                assert!(recovery.is_clean(), "fault-free shards stay clean");
+            }
+        }
     }
 
     #[test]

@@ -86,7 +86,9 @@ mod sync;
 mod task;
 
 pub use batch::{BatchAligner, BatchAlignment};
-pub use device::{BatchOutcome, BatchRun, Device, DeviceConfig, RuntimeError};
+pub use device::{
+    BatchOutcome, BatchRun, Device, DeviceConfig, DeviceSnapshot, RuntimeError, SlotSnapshot,
+};
 pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, InjectedFault, PPM};
 pub use policy::DispatchPolicy;
 pub use queue::BoundedQueue;

@@ -23,6 +23,17 @@ pub struct KernelStats {
     pub cycles: u64,
 }
 
+impl KernelStats {
+    /// Folds another aggregate of the same kernel into this one — the
+    /// cross-batch / cross-shard accumulation primitive.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.tasks += other.tasks;
+        self.cells += other.cells;
+        self.lane_cells += other.lane_cells;
+        self.cycles += other.cycles;
+    }
+}
+
 /// One array slot's aggregate over a batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrayReport {
@@ -81,6 +92,33 @@ impl RecoveryReport {
     /// True if nothing went wrong and nothing was injected.
     pub fn is_clean(&self) -> bool {
         *self == RecoveryReport::default()
+    }
+
+    /// Adds another report's counters into this one. A single report
+    /// only describes one `run_batch`; merging is how counters aggregate
+    /// across batches on one device, or across device shards in a
+    /// multi-shard service. Counter addition is commutative and
+    /// associative, so the merged totals are independent of shard count,
+    /// placement and merge order.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.faults_injected += other.faults_injected;
+        self.panics_contained += other.panics_contained;
+        self.retries += other.retries;
+        self.budget_escalations += other.budget_escalations;
+        self.redispatches += other.redispatches;
+        self.tasks_failed += other.tasks_failed;
+        self.quarantined_arrays += other.quarantined_arrays;
+        self.quarantine_refusals += other.quarantine_refusals;
+        self.worker_respawns += other.worker_respawns;
+    }
+
+    /// The merged total of many reports.
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a RecoveryReport>) -> RecoveryReport {
+        let mut total = RecoveryReport::default();
+        for r in reports {
+            total.merge(r);
+        }
+        total
     }
 }
 
@@ -165,6 +203,26 @@ impl DeviceReport {
     /// every array's statistics ([`RunStats::merged`]).
     pub fn aggregate_run(&self) -> AcceleratorRun {
         AcceleratorRun::from_stats(&RunStats::merged(self.arrays.iter().map(|a| &a.stats)))
+    }
+
+    /// Folds another device's report into this one, treating the other
+    /// device's arrays as additional slots (their indices are offset past
+    /// this report's) — the aggregation step a sharded service uses to
+    /// present N devices as one. Per-kernel statistics and recovery
+    /// counters add field-wise; `workers` sums. The dispatch policy kept
+    /// is this report's (shards of a mixed-policy fleet still merge, the
+    /// field is informational).
+    pub fn merge(&mut self, other: &DeviceReport) {
+        let base = self.arrays.len();
+        self.arrays.extend(other.arrays.iter().map(|a| ArrayReport {
+            index: base + a.index,
+            ..a.clone()
+        }));
+        for (kind, stats) in &other.per_kernel {
+            self.per_kernel.entry(*kind).or_default().merge(stats);
+        }
+        self.workers += other.workers;
+        self.recovery.merge(&other.recovery);
     }
 
     /// This batch's placement expressed as a `gendp-core`
@@ -306,6 +364,54 @@ mod tests {
         assert_eq!(r.aggregate_run().cells, 70);
         assert_eq!(r.aggregate_run().cycles, 300);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn merged_reports_add_counters_and_reindex_arrays() {
+        let mut a = report();
+        let b = report();
+        a.recovery.retries = 3;
+        a.merge(&b);
+        assert_eq!(a.arrays.len(), 4);
+        // The other shard's slots land after this one's, re-indexed.
+        assert_eq!(
+            a.arrays.iter().map(|x| x.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(a.tasks(), 6);
+        assert_eq!(a.total_cells(), 140);
+        assert_eq!(a.per_kernel[&KernelKind::Bsw].tasks, 6);
+        assert_eq!(a.per_kernel[&KernelKind::Bsw].cells, 140);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.recovery.retries, 3);
+        // Makespan is the max across all shards' arrays.
+        assert_eq!(a.makespan_cycles(), 200);
+    }
+
+    #[test]
+    fn recovery_merge_is_order_independent() {
+        let x = RecoveryReport {
+            retries: 2,
+            faults_injected: 5,
+            ..RecoveryReport::default()
+        };
+        let y = RecoveryReport {
+            retries: 1,
+            quarantined_arrays: 1,
+            ..RecoveryReport::default()
+        };
+        let z = RecoveryReport {
+            worker_respawns: 4,
+            ..RecoveryReport::default()
+        };
+        let ab = RecoveryReport::merged([&x, &y, &z]);
+        let ba = RecoveryReport::merged([&z, &y, &x]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.retries, 3);
+        assert_eq!(ab.faults_injected, 5);
+        assert_eq!(ab.quarantined_arrays, 1);
+        assert_eq!(ab.worker_respawns, 4);
+        assert!(!ab.is_clean());
     }
 
     #[test]

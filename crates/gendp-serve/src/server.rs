@@ -1,0 +1,662 @@
+//! The alignment server: tenants in, shards out.
+//!
+//! ```text
+//!   TenantClient::submit ──admission──▶ scheduler inbox
+//!                                          │ per-tenant queues
+//!                                          ▼ deficit round robin
+//!                                     assembled batch
+//!                                          │ pick_shard
+//!                      ┌───────────────────┴──────────────────┐
+//!                      ▼ bounded sync channel (backpressure)  ▼
+//!                shard 0 thread                         shard N thread
+//!                owns a Device                          owns a Device
+//!                (16 int + 1 FP arrays)                 ...
+//!                      │ run_batch, retries, quarantine       │
+//!                      └──────────── deliver ─────────────────┘
+//!                            ticket / connection reply
+//! ```
+//!
+//! Each *shard* is one simulated DPAx device (the paper's 16 integer +
+//! 1 floating-point PE arrays) owned by a dedicated thread — a fault
+//! domain: an array quarantined on one shard never affects another, and
+//! the dispatcher steers work away from degraded shards. The scheduler
+//! thread assembles batches with deficit round robin over the per-tenant
+//! queues and pushes them over a *bounded* channel per shard, so a slow
+//! device propagates backpressure to the scheduler instead of buffering
+//! unbounded work.
+//!
+//! Every admitted request is delivered exactly once: as a
+//! [`Completed`] value, a [`ServeError::Failed`] after the device's
+//! retry budget, or a [`ServeError::Runtime`]/[`Disconnected`]
+//! terminal error. Tickets never hang.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use gendp_dpax::RunStats;
+use gendp_runtime::{
+    ArrayClass, Device, DeviceConfig, DeviceSnapshot, KernelKind, RecoveryReport, RuntimeError,
+    Task, TaskFailure, TaskValue,
+};
+
+use crate::admission::{AdmissionError, TenantState};
+use crate::metrics::{LatencyHistogram, TenantCountersSnapshot};
+use crate::qos::{Costed, DrrState};
+use crate::tenant::{Priority, TenantConfig};
+
+/// Server-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of device shards (fault domains). Each shard owns one
+    /// [`Device`] built from `shard_config`.
+    pub shards: usize,
+    /// Per-shard device configuration. When it carries a
+    /// [`FaultConfig`](gendp_runtime::FaultConfig), shard `i` offsets
+    /// the fault seed by `i` so fault plans differ across shards.
+    pub shard_config: DeviceConfig,
+    /// Maximum requests per assembled batch.
+    pub batch_max: usize,
+    /// Base DRR quantum, in DP cells per tenant visit.
+    pub quantum_cells: u64,
+    /// Bound of each shard's dispatch channel, in batches. Small values
+    /// keep scheduling decisions late (better fairness and shard
+    /// steering); the scheduler blocks — backpressure — when every
+    /// shard's channel is full.
+    pub dispatch_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            shard_config: DeviceConfig::default(),
+            batch_max: 32,
+            quantum_cells: 512,
+            dispatch_queue: 2,
+        }
+    }
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// The kernel's functional output.
+    pub value: TaskValue,
+    /// Kernel identity.
+    pub kernel: KernelKind,
+    /// Simulator statistics of the successful run.
+    pub stats: RunStats,
+    /// Device execution attempts (1 = first try).
+    pub attempts: u32,
+    /// Shard the task ran on.
+    pub shard: usize,
+    /// Array slot within the shard.
+    pub array: usize,
+    /// End-to-end latency, submission to delivery.
+    pub latency: Duration,
+}
+
+/// Why a served request terminally failed after admission.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The device exhausted its retry budget on this task.
+    Failed(TaskFailure),
+    /// The shard's batch failed as a whole (e.g. no array of the
+    /// required class exists on any configured shard).
+    Runtime(RuntimeError),
+    /// The server went away before delivering — only possible for
+    /// submissions racing a shutdown.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Failed(failure) => write!(f, "task failed on device: {failure:?}"),
+            ServeError::Runtime(e) => write!(f, "batch runtime error: {e:?}"),
+            ServeError::Disconnected => f.write_str("server disconnected before delivery"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a ticket resolves to.
+pub type Delivery = Result<Completed, ServeError>;
+
+/// Where a delivery goes: a per-request one-shot channel (in-process
+/// clients) or a shared tagged channel (one per wire connection).
+#[derive(Debug)]
+pub(crate) enum Reply {
+    Oneshot(mpsc::Sender<Delivery>),
+    Tagged {
+        tx: mpsc::Sender<(u64, Delivery)>,
+        tag: u64,
+    },
+}
+
+impl Reply {
+    fn deliver(self, delivery: Delivery) {
+        // A send error means the submitter dropped its receiver — it no
+        // longer wants the answer, which is its right.
+        match self {
+            Reply::Oneshot(tx) => drop(tx.send(delivery)),
+            Reply::Tagged { tx, tag } => drop(tx.send((tag, delivery))),
+        }
+    }
+}
+
+/// One admitted request travelling from a client to the scheduler.
+pub(crate) struct Submitted {
+    pub tenant: usize,
+    pub task: Task,
+    pub cost: u64,
+    pub submitted_at: Instant,
+    pub reply: Reply,
+}
+
+/// Request metadata that rides along to the shard.
+struct JobMeta {
+    tenant: usize,
+    submitted_at: Instant,
+    cost: u64,
+    reply: Reply,
+}
+
+/// What sits in a tenant's scheduler queue.
+struct Pending {
+    task: Task,
+    meta: JobMeta,
+}
+
+struct Inner {
+    config: ServeConfig,
+    tenants: Vec<Arc<TenantState>>,
+    by_name: HashMap<String, usize>,
+    closed: AtomicBool,
+    /// Epoch for the monotone nanosecond clock fed to token buckets.
+    epoch: Instant,
+    /// DP cells dispatched to each shard and not yet delivered.
+    outstanding_cells: Vec<AtomicU64>,
+    /// Latest device snapshot per shard, refreshed after every batch.
+    shard_status: Vec<Mutex<DeviceSnapshot>>,
+}
+
+impl Inner {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A running multi-tenant alignment server. Dropping it (or calling
+/// [`Server::shutdown`]) stops admission, drains every already-admitted
+/// request through the shards, and joins all service threads.
+pub struct Server {
+    inner: Arc<Inner>,
+    submit_tx: mpsc::Sender<Submitted>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server with the given shard layout and tenant set.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a configuration with zero shards, zero tenants, or a
+    /// duplicate tenant name.
+    pub fn start(config: ServeConfig, tenants: Vec<TenantConfig>) -> Result<Server, String> {
+        if config.shards == 0 {
+            return Err("server needs at least one shard".into());
+        }
+        if tenants.is_empty() {
+            return Err("server needs at least one tenant".into());
+        }
+        let mut by_name = HashMap::new();
+        for (i, t) in tenants.iter().enumerate() {
+            if by_name.insert(t.name.clone(), i).is_some() {
+                return Err(format!("duplicate tenant name {:?}", t.name));
+            }
+        }
+        let states: Vec<Arc<TenantState>> = tenants
+            .into_iter()
+            .map(|t| Arc::new(TenantState::new(t)))
+            .collect();
+
+        // Build the shard devices up front so a bad DeviceConfig fails
+        // here, not on a service thread.
+        let mut devices = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let mut shard_config = config.shard_config;
+            if let Some(fault) = &mut shard_config.fault {
+                // Distinct fault plans per fault domain.
+                fault.seed = fault.seed.wrapping_add(shard as u64);
+            }
+            devices.push(Device::new(shard_config));
+        }
+
+        let inner = Arc::new(Inner {
+            outstanding_cells: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_status: devices.iter().map(|d| Mutex::new(d.snapshot())).collect(),
+            config,
+            tenants: states,
+            by_name,
+            closed: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+
+        let (submit_tx, submit_rx) = mpsc::channel::<Submitted>();
+        let scheduler = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("gendp-serve-sched".into())
+                .spawn(move || scheduler_loop(inner, submit_rx, devices))
+                .map_err(|e| format!("failed to spawn scheduler thread: {e}"))?
+        };
+
+        Ok(Server {
+            inner,
+            submit_tx,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// A submission handle for the named tenant, or `None` if no such
+    /// tenant is registered.
+    pub fn client(&self, tenant: &str) -> Option<TenantClient> {
+        let index = *self.inner.by_name.get(tenant)?;
+        Some(TenantClient {
+            inner: Arc::clone(&self.inner),
+            tenant: index,
+            submit_tx: self.submit_tx.clone(),
+        })
+    }
+
+    /// Point-in-time service statistics across all tenants and shards.
+    pub fn stats(&self) -> ServerStats {
+        let tenants: Vec<TenantStats> = self
+            .inner
+            .tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.config.name.clone(),
+                priority: t.config.priority,
+                weight: t.config.weight,
+                effective_weight: t.effective_weight,
+                counters: t.counters.snapshot(),
+                queued: t.queued.load(Ordering::Acquire),
+                in_flight: t.in_flight.load(Ordering::Acquire),
+                latency: t.latency.lock().expect("latency lock").clone(),
+            })
+            .collect();
+        let shards: Vec<ShardStats> = (0..self.inner.config.shards)
+            .map(|i| ShardStats {
+                shard: i,
+                outstanding_cells: self.inner.outstanding_cells[i].load(Ordering::Acquire),
+                device: self.inner.shard_status[i]
+                    .lock()
+                    .expect("status lock")
+                    .clone(),
+            })
+            .collect();
+        let recovery = RecoveryReport::merged(shards.iter().map(|s| &s.device.recovery));
+        let mut totals = TenantCountersSnapshot::default();
+        for t in &tenants {
+            totals.submitted += t.counters.submitted;
+            totals.accepted += t.counters.accepted;
+            totals.rejected_invalid += t.counters.rejected_invalid;
+            totals.rejected_rate += t.counters.rejected_rate;
+            totals.rejected_quota += t.counters.rejected_quota;
+            totals.completed += t.counters.completed;
+            totals.failed += t.counters.failed;
+            totals.cells += t.counters.cells;
+        }
+        ServerStats {
+            tenants,
+            shards,
+            recovery,
+            totals,
+        }
+    }
+
+    /// Stops admission, drains every admitted request, and joins all
+    /// service threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+        if let Some(handle) = self.scheduler.take() {
+            drop(handle.join());
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A tenant-scoped submission handle. Cheap to clone; safe to share
+/// across threads.
+#[derive(Clone)]
+pub struct TenantClient {
+    inner: Arc<Inner>,
+    tenant: usize,
+    submit_tx: mpsc::Sender<Submitted>,
+}
+
+impl TenantClient {
+    /// The tenant this handle submits as.
+    pub fn tenant_name(&self) -> &str {
+        &self.inner.tenants[self.tenant].config.name
+    }
+
+    /// Submits one task through admission control. On `Ok` the returned
+    /// ticket will always resolve — completion, device failure, or
+    /// disconnect — exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AdmissionError`]: preflight rejection, rate limit, quota,
+    /// or server shutdown.
+    pub fn submit(&self, task: Task) -> Result<Ticket, AdmissionError> {
+        let state = &self.inner.tenants[self.tenant];
+        let shutting_down = self.inner.closed.load(Ordering::Acquire);
+        state.admit(&task, self.inner.now_nanos(), shutting_down)?;
+        let cost = task.cells_estimate().max(1);
+        let (tx, rx) = mpsc::channel();
+        let submitted = Submitted {
+            tenant: self.tenant,
+            task,
+            cost,
+            submitted_at: Instant::now(),
+            reply: Reply::Oneshot(tx),
+        };
+        self.send_admitted(submitted)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Forwards an already-admitted request to the scheduler, undoing
+    /// the admission hold if the scheduler is gone.
+    pub(crate) fn send_admitted(&self, submitted: Submitted) -> Result<(), AdmissionError> {
+        let state = &self.inner.tenants[self.tenant];
+        if self.submit_tx.send(submitted).is_err() {
+            state.queued.fetch_sub(1, Ordering::AcqRel);
+            state.in_flight.fetch_sub(1, Ordering::AcqRel);
+            state.counters.accepted.fetch_sub(1, Ordering::Relaxed);
+            return Err(AdmissionError::ShuttingDown);
+        }
+        Ok(())
+    }
+
+    /// Runs admission for an externally built request (wire path) and
+    /// forwards it. The caller supplies the reply route.
+    pub(crate) fn submit_with_reply(&self, task: Task, reply: Reply) -> Result<(), AdmissionError> {
+        let state = &self.inner.tenants[self.tenant];
+        let shutting_down = self.inner.closed.load(Ordering::Acquire);
+        state.admit(&task, self.inner.now_nanos(), shutting_down)?;
+        let cost = task.cells_estimate().max(1);
+        self.send_admitted(Submitted {
+            tenant: self.tenant,
+            task,
+            cost,
+            submitted_at: Instant::now(),
+            reply,
+        })
+    }
+}
+
+/// A pending reply to one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Delivery>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves. Never hangs forever: a server
+    /// that dies resolves outstanding tickets with
+    /// [`ServeError::Disconnected`].
+    pub fn wait(self) -> Delivery {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Like [`Ticket::wait`] with a timeout; `None` means still
+    /// pending (the ticket is consumed).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Delivery> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(delivery) => Some(delivery),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+/// Per-tenant statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Priority class.
+    pub priority: Priority,
+    /// Configured weight.
+    pub weight: u32,
+    /// Weight × class multiplier, as scheduled.
+    pub effective_weight: u64,
+    /// Lifetime counters.
+    pub counters: TenantCountersSnapshot,
+    /// Requests currently queued in the scheduler.
+    pub queued: usize,
+    /// Requests admitted and not yet delivered.
+    pub in_flight: usize,
+    /// End-to-end latency distribution of delivered requests.
+    pub latency: LatencyHistogram,
+}
+
+/// Per-shard statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// DP cells dispatched and not yet delivered.
+    pub outstanding_cells: u64,
+    /// Device health after the shard's most recent batch.
+    pub device: DeviceSnapshot,
+}
+
+/// Whole-server statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// One entry per registered tenant.
+    pub tenants: Vec<TenantStats>,
+    /// One entry per shard.
+    pub shards: Vec<ShardStats>,
+    /// Recovery counters merged across all shards.
+    pub recovery: RecoveryReport,
+    /// Counters summed across tenants.
+    pub totals: TenantCountersSnapshot,
+}
+
+/// Picks the shard for a batch: fewest quarantined slots first (steer
+/// away from degraded fault domains), least outstanding work to break
+/// ties.
+fn pick_shard(inner: &Inner, class_mix: (bool, bool)) -> usize {
+    let (wants_int, wants_float) = class_mix;
+    let mut best = 0;
+    let mut best_key = (u64::MAX, u64::MAX);
+    for shard in 0..inner.config.shards {
+        let status = inner.shard_status[shard].lock().expect("status lock");
+        let mut quarantined = 0u64;
+        if wants_int {
+            quarantined += status.quarantined_slots(ArrayClass::Int) as u64;
+        }
+        if wants_float {
+            quarantined += status.quarantined_slots(ArrayClass::Float) as u64;
+        }
+        drop(status);
+        let load = inner.outstanding_cells[shard].load(Ordering::Acquire);
+        let key = (quarantined, load);
+        if key < best_key {
+            best_key = key;
+            best = shard;
+        }
+    }
+    best
+}
+
+fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>, devices: Vec<Device>) {
+    let tenant_count = inner.tenants.len();
+    let weights: Vec<u64> = inner.tenants.iter().map(|t| t.effective_weight).collect();
+    let mut queues: Vec<std::collections::VecDeque<Costed<Pending>>> =
+        (0..tenant_count).map(|_| Default::default()).collect();
+    let mut drr = DrrState::new(tenant_count, inner.config.quantum_cells);
+
+    // Shard threads, each owning its device behind a bounded channel.
+    let mut shard_txs: Vec<SyncSender<Vec<(JobMeta, Task)>>> = Vec::new();
+    let mut shard_handles = Vec::new();
+    for (shard, device) in devices.into_iter().enumerate() {
+        let (tx, rx) = mpsc::sync_channel::<Vec<(JobMeta, Task)>>(inner.config.dispatch_queue);
+        shard_txs.push(tx);
+        let inner = Arc::clone(&inner);
+        let handle = thread::Builder::new()
+            .name(format!("gendp-serve-shard{shard}"))
+            .spawn(move || shard_loop(shard, device, rx, inner))
+            .expect("spawn shard thread");
+        shard_handles.push(handle);
+    }
+
+    let enqueue = |queues: &mut Vec<std::collections::VecDeque<Costed<Pending>>>, s: Submitted| {
+        queues[s.tenant].push_back(Costed {
+            cost: s.cost,
+            item: Pending {
+                task: s.task,
+                meta: JobMeta {
+                    tenant: s.tenant,
+                    submitted_at: s.submitted_at,
+                    cost: s.cost,
+                    reply: s.reply,
+                },
+            },
+        });
+    };
+
+    let mut inbox_open = true;
+    loop {
+        // Drain whatever arrived since the last batch.
+        while inbox_open {
+            match submit_rx.try_recv() {
+                Ok(s) => enqueue(&mut queues, s),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => inbox_open = false,
+            }
+        }
+        if queues.iter().all(|q| q.is_empty()) {
+            if !inbox_open || inner.closed.load(Ordering::Acquire) {
+                break;
+            }
+            // Idle: block briefly for new work, re-checking `closed`
+            // at a 1 ms cadence.
+            match submit_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(s) => enqueue(&mut queues, s),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => inbox_open = false,
+            }
+            continue;
+        }
+
+        let batch = drr.assemble(&mut queues, &weights, inner.config.batch_max);
+        let mut wants_int = false;
+        let mut wants_float = false;
+        let mut cells = 0u64;
+        let mut jobs: Vec<(JobMeta, Task)> = Vec::with_capacity(batch.len());
+        for (tenant, costed) in batch {
+            inner.tenants[tenant].queued.fetch_sub(1, Ordering::AcqRel);
+            match costed.item.task.array_class() {
+                ArrayClass::Int => wants_int = true,
+                ArrayClass::Float => wants_float = true,
+            }
+            cells += costed.cost;
+            jobs.push((costed.item.meta, costed.item.task));
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+        let shard = pick_shard(&inner, (wants_int, wants_float));
+        inner.outstanding_cells[shard].fetch_add(cells, Ordering::AcqRel);
+        // Bounded send: blocks when the shard is `dispatch_queue`
+        // batches behind — the backpressure point.
+        if shard_txs[shard].send(jobs).is_err() {
+            // Shard thread died (can only happen on a panic inside the
+            // device). Nothing to deliver to — the metas went down with
+            // the send. Stop scheduling.
+            break;
+        }
+    }
+
+    // Closing the dispatch channels lets the shard loops drain and exit.
+    drop(shard_txs);
+    for handle in shard_handles {
+        drop(handle.join());
+    }
+}
+
+fn shard_loop(
+    shard: usize,
+    mut device: Device,
+    rx: Receiver<Vec<(JobMeta, Task)>>,
+    inner: Arc<Inner>,
+) {
+    while let Ok(jobs) = rx.recv() {
+        let batch_cells: u64 = jobs.iter().map(|(m, _)| m.cost).sum();
+        let (metas, tasks): (Vec<JobMeta>, Vec<Task>) = jobs.into_iter().unzip();
+        match device.run_batch(tasks) {
+            Ok(outcome) => {
+                for (meta, result) in metas.into_iter().zip(outcome.results) {
+                    let tenant = &inner.tenants[meta.tenant];
+                    tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    let latency = meta.submitted_at.elapsed();
+                    let delivery = match result {
+                        Ok(r) => {
+                            tenant.counters.completed.fetch_add(1, Ordering::Relaxed);
+                            tenant
+                                .counters
+                                .cells
+                                .fetch_add(meta.cost, Ordering::Relaxed);
+                            let mut hist = tenant.latency.lock().expect("latency lock");
+                            hist.record(latency.as_nanos() as u64);
+                            drop(hist);
+                            Ok(Completed {
+                                value: r.value,
+                                kernel: r.kernel,
+                                stats: r.stats,
+                                attempts: r.attempts,
+                                shard,
+                                array: r.array,
+                                latency,
+                            })
+                        }
+                        Err(failure) => {
+                            tenant.counters.failed.fetch_add(1, Ordering::Relaxed);
+                            Err(ServeError::Failed(failure))
+                        }
+                    };
+                    meta.reply.deliver(delivery);
+                }
+            }
+            Err(e) => {
+                // Whole-batch refusal (e.g. a class with no array on
+                // this device). Every request still gets its answer.
+                for meta in metas {
+                    let tenant = &inner.tenants[meta.tenant];
+                    tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    tenant.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    meta.reply.deliver(Err(ServeError::Runtime(e.clone())));
+                }
+            }
+        }
+        inner.outstanding_cells[shard].fetch_sub(batch_cells, Ordering::AcqRel);
+        *inner.shard_status[shard].lock().expect("status lock") = device.snapshot();
+    }
+}

@@ -1,0 +1,940 @@
+//! The framed wire protocol: a hand-rolled binary codec for submitting
+//! tasks to a server over any byte stream.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by the payload, capped at [`MAX_FRAME`]. Payloads are a
+//! fixed-layout binary encoding — explicit little-endian integers,
+//! floats as raw IEEE bits (`to_bits`/`from_bits`, so values round-trip
+//! exactly), DNA sequences as 2-bit base codes, one tag byte per enum.
+//! No external serialization crate, no schema negotiation: both ends
+//! are this crate.
+//!
+//! Requests carry a client-chosen `id`; responses echo it, so a client
+//! may pipeline any number of submissions over one connection and match
+//! answers as they arrive (completions are delivered in *completion*
+//! order, not submission order).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use gendp_kernels::bellman_ford::Graph;
+use gendp_kernels::chain::ChainParams;
+use gendp_kernels::pairhmm::PairHmmParams;
+use gendp_kernels::poa::Poa;
+use gendp_kernels::{AlignMode, GapModel, Scoring};
+use gendp_runtime::{Task, TaskValue};
+use gendp_seq::{Anchor, Base, DnaSeq};
+
+/// Largest accepted frame payload (16 MiB) — bounds per-connection
+/// memory against a malicious or broken peer.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A malformed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being decoded.
+    Truncated,
+    /// Bytes remained after the message was fully decoded.
+    Trailing(usize),
+    /// An enum tag byte had no meaning at this position.
+    BadTag(u8),
+    /// A structurally valid field carried an impossible value.
+    BadValue(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("payload truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadTag(tag) => write!(f, "unknown tag byte {tag:#04x}"),
+            WireError::BadValue(why) => write!(f, "bad value: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Writes one frame (length prefix plus payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at
+/// a frame boundary); EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects frames above [`MAX_FRAME`].
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Payload encoder.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn len(&mut self, v: usize) {
+        self.u32(v as u32);
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    fn seq(&mut self, v: &DnaSeq) {
+        self.bytes(&v.codes());
+    }
+    fn vec_i32(&mut self, v: &[i32]) {
+        self.len(v.len());
+        for &x in v {
+            self.i32(x);
+        }
+    }
+}
+
+/// Payload decoder.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        // A length can never exceed the remaining payload: cheap bound
+        // before any allocation.
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+    fn str(&mut self) -> Result<String, WireError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| WireError::BadValue("string is not utf-8".into()))
+    }
+    fn seq(&mut self) -> Result<DnaSeq, WireError> {
+        let codes = self.bytes()?;
+        codes
+            .iter()
+            .map(|&c| {
+                if c < 4 {
+                    Ok(Base::from_code(c))
+                } else {
+                    Err(WireError::BadValue(format!("base code {c} out of range")))
+                }
+            })
+            .collect()
+    }
+    fn vec_i32(&mut self) -> Result<Vec<i32>, WireError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.i32()).collect()
+    }
+    fn finish(self) -> Result<(), WireError> {
+        let rest = self.buf.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing(rest))
+        }
+    }
+}
+
+fn encode_scoring(e: &mut Enc, s: &Scoring) {
+    e.i32(s.matches);
+    e.i32(s.mismatch);
+    match s.gap {
+        GapModel::Linear { extend } => {
+            e.u8(0);
+            e.i32(extend);
+        }
+        GapModel::Affine { open, extend } => {
+            e.u8(1);
+            e.i32(open);
+            e.i32(extend);
+        }
+        GapModel::Convex {
+            open1,
+            extend1,
+            open2,
+            extend2,
+        } => {
+            e.u8(2);
+            e.i32(open1);
+            e.i32(extend1);
+            e.i32(open2);
+            e.i32(extend2);
+        }
+    }
+}
+
+fn decode_scoring(d: &mut Dec) -> Result<Scoring, WireError> {
+    let matches = d.i32()?;
+    let mismatch = d.i32()?;
+    let gap = match d.u8()? {
+        0 => GapModel::Linear { extend: d.i32()? },
+        1 => GapModel::Affine {
+            open: d.i32()?,
+            extend: d.i32()?,
+        },
+        2 => GapModel::Convex {
+            open1: d.i32()?,
+            extend1: d.i32()?,
+            open2: d.i32()?,
+            extend2: d.i32()?,
+        },
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    Ok(Scoring {
+        matches,
+        mismatch,
+        gap,
+    })
+}
+
+fn encode_mode(e: &mut Enc, mode: AlignMode) {
+    e.u8(match mode {
+        AlignMode::Local => 0,
+        AlignMode::Global => 1,
+        AlignMode::SemiGlobal => 2,
+    });
+}
+
+fn decode_mode(d: &mut Dec) -> Result<AlignMode, WireError> {
+    match d.u8()? {
+        0 => Ok(AlignMode::Local),
+        1 => Ok(AlignMode::Global),
+        2 => Ok(AlignMode::SemiGlobal),
+        tag => Err(WireError::BadTag(tag)),
+    }
+}
+
+/// Encodes a task into the payload.
+pub fn encode_task(task: &Task) -> Vec<u8> {
+    let mut e = Enc::default();
+    encode_task_into(&mut e, task);
+    e.buf
+}
+
+fn encode_task_into(e: &mut Enc, task: &Task) {
+    match task {
+        Task::Bsw {
+            query,
+            target,
+            scoring,
+            mode,
+        } => {
+            e.u8(0);
+            e.seq(query);
+            e.seq(target);
+            encode_scoring(e, scoring);
+            encode_mode(e, *mode);
+        }
+        Task::BswSimd { pairs, scoring } => {
+            e.u8(1);
+            e.len(pairs.len());
+            for (q, t) in pairs {
+                e.seq(q);
+                e.seq(t);
+            }
+            encode_scoring(e, scoring);
+        }
+        Task::PairHmm {
+            read,
+            haplotype,
+            qual,
+            scale,
+            params,
+        } => {
+            e.u8(2);
+            e.seq(read);
+            e.seq(haplotype);
+            e.u8(*qual);
+            e.i32(*scale);
+            e.f64(params.gap_open);
+            e.f64(params.gap_ext);
+        }
+        Task::PairHmmFloat {
+            read,
+            haplotype,
+            qual,
+            params,
+        } => {
+            e.u8(3);
+            e.seq(read);
+            e.seq(haplotype);
+            e.u8(*qual);
+            e.f64(params.gap_open);
+            e.f64(params.gap_ext);
+        }
+        Task::Dtw { xs, ys } => {
+            e.u8(4);
+            e.vec_i32(xs);
+            e.vec_i32(ys);
+        }
+        Task::DtwBanded { xs, ys, width } => {
+            e.u8(5);
+            e.vec_i32(xs);
+            e.vec_i32(ys);
+            e.u64(*width as u64);
+        }
+        Task::Chain { anchors, params } => {
+            e.u8(6);
+            e.len(anchors.len());
+            for a in anchors {
+                e.i32(a.rpos);
+                e.i32(a.qpos);
+                e.i32(a.span);
+            }
+            e.u64(params.n_prev as u64);
+            e.i32(params.max_dist);
+            e.i32(params.bandwidth);
+            e.f64(params.avg_qspan);
+        }
+        Task::Poa {
+            graph,
+            probe,
+            scoring,
+        } => {
+            e.u8(7);
+            let codes: Vec<u8> = (0..graph.node_count())
+                .map(|v| graph.base(v).code())
+                .collect();
+            e.bytes(&codes);
+            e.len(graph.edge_count());
+            for to in 0..graph.node_count() {
+                for &(from, weight) in graph.preds(to) {
+                    e.u64(from as u64);
+                    e.u64(to as u64);
+                    e.u32(weight);
+                }
+            }
+            e.seq(probe);
+            encode_scoring(e, scoring);
+        }
+        Task::BellmanFord {
+            graph,
+            source,
+            rounds,
+        } => {
+            e.u8(8);
+            e.u64(graph.vertex_count() as u64);
+            e.len(graph.edges().len());
+            for &(from, to, weight) in graph.edges() {
+                e.u64(from as u64);
+                e.u64(to as u64);
+                e.i64(weight);
+            }
+            e.u64(*source as u64);
+            e.u64(*rounds as u64);
+        }
+    }
+}
+
+/// Decodes a task from the payload.
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed bytes.
+pub fn decode_task(payload: &[u8]) -> Result<Task, WireError> {
+    let mut d = Dec::new(payload);
+    let task = decode_task_from(&mut d)?;
+    d.finish()?;
+    Ok(task)
+}
+
+fn decode_task_from(d: &mut Dec) -> Result<Task, WireError> {
+    Ok(match d.u8()? {
+        0 => Task::Bsw {
+            query: d.seq()?,
+            target: d.seq()?,
+            scoring: decode_scoring(d)?,
+            mode: decode_mode(d)?,
+        },
+        1 => {
+            let n = d.len()?;
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                pairs.push((d.seq()?, d.seq()?));
+            }
+            Task::BswSimd {
+                pairs,
+                scoring: decode_scoring(d)?,
+            }
+        }
+        2 => Task::PairHmm {
+            read: d.seq()?,
+            haplotype: d.seq()?,
+            qual: d.u8()?,
+            scale: d.i32()?,
+            params: PairHmmParams {
+                gap_open: d.f64()?,
+                gap_ext: d.f64()?,
+            },
+        },
+        3 => Task::PairHmmFloat {
+            read: d.seq()?,
+            haplotype: d.seq()?,
+            qual: d.u8()?,
+            params: PairHmmParams {
+                gap_open: d.f64()?,
+                gap_ext: d.f64()?,
+            },
+        },
+        4 => Task::Dtw {
+            xs: d.vec_i32()?,
+            ys: d.vec_i32()?,
+        },
+        5 => Task::DtwBanded {
+            xs: d.vec_i32()?,
+            ys: d.vec_i32()?,
+            width: d.u64()? as usize,
+        },
+        6 => {
+            let n = d.len()?;
+            let mut anchors = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                anchors.push(Anchor {
+                    rpos: d.i32()?,
+                    qpos: d.i32()?,
+                    span: d.i32()?,
+                });
+            }
+            Task::Chain {
+                anchors,
+                params: ChainParams {
+                    n_prev: d.u64()? as usize,
+                    max_dist: d.i32()?,
+                    bandwidth: d.i32()?,
+                    avg_qspan: d.f64()?,
+                },
+            }
+        }
+        7 => {
+            let codes = d.bytes()?.to_vec();
+            let mut bases = Vec::with_capacity(codes.len());
+            for c in codes {
+                if c >= 4 {
+                    return Err(WireError::BadValue(format!("base code {c} out of range")));
+                }
+                bases.push(Base::from_code(c));
+            }
+            let n_edges = d.len()?;
+            let mut edges = Vec::with_capacity(n_edges.min(4096));
+            for _ in 0..n_edges {
+                edges.push((d.u64()? as usize, d.u64()? as usize, d.u32()?));
+            }
+            let graph = Poa::from_parts(bases, &edges).map_err(WireError::BadValue)?;
+            Task::Poa {
+                graph,
+                probe: d.seq()?,
+                scoring: decode_scoring(d)?,
+            }
+        }
+        8 => {
+            let vertices = d.u64()? as usize;
+            if vertices > MAX_FRAME {
+                return Err(WireError::BadValue(format!(
+                    "graph of {vertices} vertices is implausibly large"
+                )));
+            }
+            let n_edges = d.len()?;
+            let mut graph = Graph::new(vertices);
+            for _ in 0..n_edges {
+                let (from, to, weight) = (d.u64()? as usize, d.u64()? as usize, d.i64()?);
+                if from >= vertices || to >= vertices {
+                    return Err(WireError::BadValue(format!(
+                        "edge ({from}, {to}) outside {vertices}-vertex graph"
+                    )));
+                }
+                graph.add_edge(from, to, weight);
+            }
+            Task::BellmanFord {
+                graph,
+                source: d.u64()? as usize,
+                rounds: d.u64()? as usize,
+            }
+        }
+        tag => return Err(WireError::BadTag(tag)),
+    })
+}
+
+fn encode_value(e: &mut Enc, value: &TaskValue) {
+    match value {
+        TaskValue::Score(s) => {
+            e.u8(0);
+            e.i32(*s);
+        }
+        TaskValue::SimdScores(scores) => {
+            e.u8(1);
+            e.bytes(&scores.iter().map(|&s| s as u8).collect::<Vec<u8>>());
+        }
+        TaskValue::LogLikelihood(l) => {
+            e.u8(2);
+            e.i32(*l);
+        }
+        TaskValue::Likelihood(l) => {
+            e.u8(3);
+            e.f32(*l);
+        }
+        TaskValue::Distance(dist) => {
+            e.u8(4);
+            e.i64(*dist);
+        }
+        TaskValue::ChainScores(scores) => {
+            e.u8(5);
+            e.vec_i32(scores);
+        }
+        TaskValue::Distances(dists) => {
+            e.u8(6);
+            e.vec_i32(dists);
+        }
+    }
+}
+
+fn decode_value(d: &mut Dec) -> Result<TaskValue, WireError> {
+    Ok(match d.u8()? {
+        0 => TaskValue::Score(d.i32()?),
+        1 => TaskValue::SimdScores(d.bytes()?.iter().map(|&b| b as i8).collect()),
+        2 => TaskValue::LogLikelihood(d.i32()?),
+        3 => TaskValue::Likelihood(d.f32()?),
+        4 => TaskValue::Distance(d.i64()?),
+        5 => TaskValue::ChainScores(d.vec_i32()?),
+        6 => TaskValue::Distances(d.vec_i32()?),
+        tag => return Err(WireError::BadTag(tag)),
+    })
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit one task as the named tenant; the response echoes `id`.
+    Submit {
+        /// Client-chosen correlation id.
+        id: u64,
+        /// Tenant to submit as.
+        tenant: String,
+        /// The task.
+        task: Task,
+    },
+    /// Liveness probe; answered with [`WireOutcome::Pong`].
+    Ping {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Encodes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Request::Submit { id, tenant, task } => {
+                e.u8(0);
+                e.u64(*id);
+                e.str(tenant);
+                encode_task_into(&mut e, task);
+            }
+            Request::Ping { id } => {
+                e.u8(1);
+                e.u64(*id);
+            }
+        }
+        e.buf
+    }
+
+    /// Decodes from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut d = Dec::new(payload);
+        let request = match d.u8()? {
+            0 => Request::Submit {
+                id: d.u64()?,
+                tenant: d.str()?,
+                task: decode_task_from(&mut d)?,
+            },
+            1 => Request::Ping { id: d.u64()? },
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        d.finish()?;
+        Ok(request)
+    }
+}
+
+/// How a wire submission resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// The task completed.
+    Ok {
+        /// Kernel output.
+        value: TaskValue,
+        /// Simulated cycles of the successful run.
+        cycles: u64,
+        /// Device execution attempts.
+        attempts: u32,
+    },
+    /// Admission rejected the submission.
+    Rejected {
+        /// Stable rejection code (`AdmissionError::code`).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The device terminally failed the task after admission.
+    Failed {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+}
+
+/// A server-to-client message, echoing the request's `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// How the request resolved.
+    pub outcome: WireOutcome,
+}
+
+impl Response {
+    /// Encodes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u64(self.id);
+        match &self.outcome {
+            WireOutcome::Ok {
+                value,
+                cycles,
+                attempts,
+            } => {
+                e.u8(0);
+                encode_value(&mut e, value);
+                e.u64(*cycles);
+                e.u32(*attempts);
+            }
+            WireOutcome::Rejected { code, detail } => {
+                e.u8(1);
+                e.str(code);
+                e.str(detail);
+            }
+            WireOutcome::Failed { detail } => {
+                e.u8(2);
+                e.str(detail);
+            }
+            WireOutcome::Pong => e.u8(3),
+        }
+        e.buf
+    }
+
+    /// Decodes from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut d = Dec::new(payload);
+        let id = d.u64()?;
+        let outcome = match d.u8()? {
+            0 => WireOutcome::Ok {
+                value: decode_value(&mut d)?,
+                cycles: d.u64()?,
+                attempts: d.u32()?,
+            },
+            1 => WireOutcome::Rejected {
+                code: d.str()?,
+                detail: d.str()?,
+            },
+            2 => WireOutcome::Failed { detail: d.str()? },
+            3 => WireOutcome::Pong,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        d.finish()?;
+        Ok(Response { id, outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gendp_seq::DnaSeq;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(task: &Task) -> Task {
+        decode_task(&encode_task(task)).expect("roundtrip decode")
+    }
+
+    /// Tasks don't implement PartialEq; compare by executing both sides
+    /// — the codec is correct iff the decoded task computes the same
+    /// value as the original.
+    fn assert_same_result(original: &Task, decoded: &Task) {
+        let a = original.execute(4).expect("original executes");
+        let b = decoded.execute(4).expect("decoded executes");
+        assert_eq!(a.0, b.0, "decoded task diverged");
+    }
+
+    #[test]
+    fn every_kernel_roundtrips() {
+        let scoring = Scoring::bwa_mem();
+        let mut graph = Poa::new();
+        graph.add_sequence(&seq("ACGTACGT"), &Scoring::racon());
+        graph.add_sequence(&seq("ACGGACGT"), &Scoring::racon());
+        let mut bf = Graph::new(5);
+        bf.add_edge(0, 1, 3);
+        bf.add_edge(1, 2, -1);
+        bf.add_edge(2, 4, 7);
+        let tasks = vec![
+            Task::Bsw {
+                query: seq("ACGTACGTAC"),
+                target: seq("ACGTTCGTAC"),
+                scoring,
+                mode: AlignMode::SemiGlobal,
+            },
+            Task::BswSimd {
+                pairs: (0..4).map(|_| (seq("ACGTAC"), seq("ACGGAC"))).collect(),
+                scoring,
+            },
+            Task::PairHmm {
+                read: seq("ACGTACGT"),
+                haplotype: seq("ACGTTCGT"),
+                qual: 30,
+                scale: 1000,
+                params: PairHmmParams::gatk(),
+            },
+            Task::PairHmmFloat {
+                read: seq("ACGTACGT"),
+                haplotype: seq("ACGTTCGT"),
+                qual: 30,
+                params: PairHmmParams::gatk(),
+            },
+            Task::Dtw {
+                xs: vec![1, 5, 3, 2],
+                ys: vec![1, 4, 4, 2],
+            },
+            Task::DtwBanded {
+                xs: vec![1, 5, 3, 2, 8],
+                ys: vec![1, 4, 4, 2, 8, 9],
+                width: 4,
+            },
+            Task::Chain {
+                anchors: vec![
+                    Anchor {
+                        rpos: 100,
+                        qpos: 50,
+                        span: 15,
+                    },
+                    Anchor {
+                        rpos: 140,
+                        qpos: 90,
+                        span: 15,
+                    },
+                ],
+                params: ChainParams::minimap2(15.0),
+            },
+            Task::Poa {
+                graph,
+                probe: seq("ACGTACGT"),
+                scoring: Scoring::racon(),
+            },
+            Task::BellmanFord {
+                graph: bf,
+                source: 0,
+                rounds: 4,
+            },
+        ];
+        for task in &tasks {
+            let decoded = roundtrip(task);
+            assert_eq!(decoded.kernel(), task.kernel());
+            assert_same_result(task, &decoded);
+        }
+    }
+
+    #[test]
+    fn requests_and_responses_roundtrip() {
+        let request = Request::Submit {
+            id: 42,
+            tenant: "pipeline".into(),
+            task: Task::Dtw {
+                xs: vec![1, 2, 3],
+                ys: vec![3, 2, 1],
+            },
+        };
+        match Request::decode(&request.encode()).unwrap() {
+            Request::Submit { id, tenant, .. } => {
+                assert_eq!(id, 42);
+                assert_eq!(tenant, "pipeline");
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        for outcome in [
+            WireOutcome::Ok {
+                value: TaskValue::Likelihood(0.25),
+                cycles: 1234,
+                attempts: 2,
+            },
+            WireOutcome::Rejected {
+                code: "rate-limited".into(),
+                detail: "rate limit exceeded".into(),
+            },
+            WireOutcome::Failed {
+                detail: "sim error".into(),
+            },
+            WireOutcome::Pong,
+        ] {
+            let response = Response { id: 7, outcome };
+            assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean eof");
+        // A frame header promising more than MAX_FRAME is rejected
+        // without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // EOF inside a header is an error, not a clean end.
+        assert!(read_frame(&mut &[1u8, 0][..]).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert_eq!(decode_task(&[]).err(), Some(WireError::Truncated));
+        assert_eq!(decode_task(&[99]).err(), Some(WireError::BadTag(99)));
+        // Bad base code inside a sequence.
+        let mut e = Enc::default();
+        e.u8(0); // Bsw
+        e.bytes(&[0, 1, 9]);
+        assert!(matches!(
+            decode_task(&e.buf),
+            Err(WireError::BadValue(_)) | Err(WireError::Truncated)
+        ));
+        // Trailing garbage after a valid task.
+        let mut payload = encode_task(&Task::Dtw {
+            xs: vec![1],
+            ys: vec![2],
+        });
+        payload.push(0);
+        assert_eq!(decode_task(&payload).err(), Some(WireError::Trailing(1)));
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`model`] | `gendp-model` | area/power/scaling models and the paper's recorded baselines |
 //! | [`core`] | `gendp-core` | the assembled framework: per-pattern control codegen and the end-to-end pipeline |
 //! | [`runtime`] | `gendp-runtime` | device-level batch execution: multi-array dispatch, worker threads, utilization reports |
+//! | [`serve`] | `gendp-serve` | multi-tenant alignment service: QoS scheduling, admission control, device shards, framed wire protocol |
 //!
 //! ## Quick start
 //!
@@ -59,4 +60,5 @@ pub use gendp_kernels as kernels;
 pub use gendp_model as model;
 pub use gendp_runtime as runtime;
 pub use gendp_seq as seq;
+pub use gendp_serve as serve;
 pub use gendp_verify as verify;
