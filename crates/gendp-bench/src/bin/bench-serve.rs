@@ -26,6 +26,11 @@
 //! * `--baseline <path>` — compare against a committed baseline: the
 //!   run must lose zero tasks, terminally fail zero tasks, and sustain
 //!   the baseline's mode-matched `reads_per_sec` floor.
+//! * `--kill-shard-at <n>` — chaos mode: abruptly kill shard 0 once
+//!   `n` tasks have been submitted, and report how long the pool takes
+//!   to heal (time from the kill until a respawned shard has served
+//!   work) as `recovery_ms` in the JSON. Informational — no floor
+//!   check — but the zero-loss invariant still applies.
 //!
 //! The binary always hard-fails (exit 1) on lost tasks, baseline or
 //! not — delivery is a correctness property, not a performance one.
@@ -195,12 +200,46 @@ struct RunReport {
     /// (tenant name, completed, failed, disconnected) tallied from the
     /// tickets themselves — cross-checked against server counters.
     ticket_tallies: Vec<(String, u64, u64, u64)>,
+    /// `--kill-shard-at` only: how long after the kill a respawned
+    /// shard first served completed work.
+    recovery_ms: Option<f64>,
 }
 
-fn run_load(quick: bool) -> RunReport {
+/// The chaos side-channel for `--kill-shard-at`: waits for the trigger
+/// submission count, kills shard 0, then polls until a respawned shard
+/// (spawn id past the initial pool) has completed work.
+fn kill_and_time_recovery(server: &Server, kill_at: u64, initial_shards: usize) -> f64 {
+    loop {
+        if server.stats().totals.submitted >= kill_at {
+            break;
+        }
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+    server.kill_shard(0).expect("shard 0 is alive to kill");
+    let killed_at = Instant::now();
+    let patience = killed_at + std::time::Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        if stats
+            .shards
+            .iter()
+            .any(|s| s.shard >= initial_shards && s.completed > 0)
+        {
+            return killed_at.elapsed().as_secs_f64() * 1e3;
+        }
+        if Instant::now() > patience {
+            eprintln!("chaos: no replacement shard served work within 60s of the kill");
+            std::process::exit(1);
+        }
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+fn run_load(quick: bool, kill_at: Option<u64>) -> RunReport {
     let tasks_per_tenant = if quick { 800 } else { 2500 };
+    let shards = 2;
     let config = ServeConfig {
-        shards: 2,
+        shards,
         shard_config: DeviceConfig {
             int_arrays: 16,
             float_arrays: 1,
@@ -216,6 +255,7 @@ fn run_load(quick: bool) -> RunReport {
         batch_max: 64,
         quantum_cells: 2048,
         dispatch_queue: 2,
+        ..ServeConfig::default()
     };
     let tenants: Vec<TenantConfig> = PLANS
         .iter()
@@ -229,49 +269,60 @@ fn run_load(quick: bool) -> RunReport {
     let mut server = Server::start(config, tenants).expect("server start");
 
     let started = Instant::now();
-    let submitters: Vec<_> = PLANS
-        .iter()
-        .enumerate()
-        .map(|(t, plan)| {
-            let client = server.client(plan.name).expect("registered tenant");
-            let name = plan.name.to_string();
-            let make = plan.make;
-            thread::spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(7 + t as u64);
-                let mut tickets: Vec<Ticket> = Vec::with_capacity(tasks_per_tenant);
-                let epoch = Instant::now();
-                let mut due = 0.0f64;
-                for i in 0..tasks_per_tenant {
-                    // Open loop: exponential inter-arrival, never
-                    // waiting for completions; when the process falls
-                    // behind schedule it submits immediately.
-                    due += -(1.0 - rng.gen::<f64>()).ln() / ARRIVAL_RATE;
-                    let ahead = due - epoch.elapsed().as_secs_f64();
-                    if ahead > 0.0 {
-                        thread::sleep(std::time::Duration::from_secs_f64(ahead));
+    let (ticket_tallies, recovery_ms) = thread::scope(|scope| {
+        let submitters: Vec<_> = PLANS
+            .iter()
+            .enumerate()
+            .map(|(t, plan)| {
+                let client = server.client(plan.name).expect("registered tenant");
+                let name = plan.name.to_string();
+                let make = plan.make;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(7 + t as u64);
+                    let mut tickets: Vec<Ticket> = Vec::with_capacity(tasks_per_tenant);
+                    let epoch = Instant::now();
+                    let mut due = 0.0f64;
+                    for i in 0..tasks_per_tenant {
+                        // Open loop: exponential inter-arrival, never
+                        // waiting for completions; when the process falls
+                        // behind schedule it submits immediately.
+                        due += -(1.0 - rng.gen::<f64>()).ln() / ARRIVAL_RATE;
+                        let ahead = due - epoch.elapsed().as_secs_f64();
+                        if ahead > 0.0 {
+                            thread::sleep(std::time::Duration::from_secs_f64(ahead));
+                        }
+                        match client.submit(make(&mut rng, i)) {
+                            Ok(ticket) => tickets.push(ticket),
+                            Err(e) => panic!("{name}: unexpected rejection: {e}"),
+                        }
                     }
-                    match client.submit(make(&mut rng, i)) {
-                        Ok(ticket) => tickets.push(ticket),
-                        Err(e) => panic!("{name}: unexpected rejection: {e}"),
+                    let (mut completed, mut failed, mut disconnected) = (0u64, 0u64, 0u64);
+                    for ticket in tickets {
+                        match ticket.wait() {
+                            Ok(_) => completed += 1,
+                            Err(gendp::serve::ServeError::Disconnected) => disconnected += 1,
+                            Err(_) => failed += 1,
+                        }
                     }
-                }
-                let (mut completed, mut failed, mut disconnected) = (0u64, 0u64, 0u64);
-                for ticket in tickets {
-                    match ticket.wait() {
-                        Ok(_) => completed += 1,
-                        Err(gendp::serve::ServeError::Disconnected) => disconnected += 1,
-                        Err(_) => failed += 1,
-                    }
-                }
-                (name, completed, failed, disconnected)
+                    (name, completed, failed, disconnected)
+                })
             })
-        })
-        .collect();
+            .collect();
+        let chaos = kill_at.map(|at| {
+            let server = &server;
+            // Clamp to half the stream so the kill always lands while
+            // there is traffic left for the replacement to serve.
+            let at = at.min((3 * tasks_per_tenant / 2) as u64);
+            scope.spawn(move || kill_and_time_recovery(server, at, shards))
+        });
 
-    let ticket_tallies: Vec<_> = submitters
-        .into_iter()
-        .map(|h| h.join().expect("submitter thread"))
-        .collect();
+        let tallies: Vec<_> = submitters
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .collect();
+        let recovery = chaos.map(|h| h.join().expect("chaos thread"));
+        (tallies, recovery)
+    });
     let wall_seconds = started.elapsed().as_secs_f64();
     server.shutdown();
     let stats = server.stats();
@@ -280,6 +331,7 @@ fn run_load(quick: bool) -> RunReport {
         wall_seconds,
         stats,
         ticket_tallies,
+        recovery_ms,
     }
 }
 
@@ -325,6 +377,27 @@ fn render_json(r: &RunReport, floor: f64, quick_floor: f64) -> String {
         ));
     }
     s.push_str("  ],\n");
+    let codes: Vec<String> = r
+        .stats
+        .totals
+        .by_code()
+        .iter()
+        .map(|(code, count)| format!("\"{code}\": {count}"))
+        .collect();
+    s.push_str(&format!(
+        "  \"rejections_by_code\": {{ {} }},\n",
+        codes.join(", ")
+    ));
+    let life = &r.stats.lifecycle;
+    s.push_str(&format!(
+        "  \"lifecycle\": {{ \"spawned\": {}, \"respawned\": {}, \"retired\": {}, \
+         \"died\": {}, \"requeued_tasks\": {} }},\n",
+        life.spawned, life.respawned, life.retired, life.died, life.requeued_tasks,
+    ));
+    match r.recovery_ms {
+        Some(ms) => s.push_str(&format!("  \"recovery_ms\": {ms:.1},\n")),
+        None => s.push_str("  \"recovery_ms\": null,\n"),
+    }
     let rec = &r.stats.recovery;
     s.push_str(&format!(
         "  \"recovery\": {{ \"faults_injected\": {}, \"retries\": {}, \
@@ -401,12 +474,16 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let baseline_path = flag_value(&args, "--baseline");
+    let kill_at = flag_value(&args, "--kill-shard-at").map(|v| {
+        v.parse::<u64>()
+            .unwrap_or_else(|e| panic!("--kill-shard-at {v}: {e}"))
+    });
 
     // The 5% plan injects worker panics by design; keep their default
     // stderr traces out of the report.
     silence_injected_panics();
 
-    let report = run_load(quick);
+    let report = run_load(quick, kill_at);
 
     println!(
         "{:<13} {:>9} {:>9} {:>9} {:>6} {:>5} {:>11} {:>9} {:>9} {:>9}",
@@ -460,6 +537,20 @@ fn main() {
         rec.panics_contained,
         rec.quarantined_arrays
     );
+    let codes: Vec<String> = totals
+        .by_code()
+        .iter()
+        .map(|(code, count)| format!("{code}={count}"))
+        .collect();
+    println!("rejections: {}", codes.join(" "));
+    if let Some(recovery) = report.recovery_ms {
+        let life = &report.stats.lifecycle;
+        println!(
+            "chaos: shard 0 killed under load; pool healed in {recovery:.1} ms \
+             ({} died, {} respawned, {} tasks requeued)",
+            life.died, life.respawned, life.requeued_tasks
+        );
+    }
 
     // Delivery is a hard invariant: every accepted task resolves, and
     // the ticket tallies must agree with the server's own counters.

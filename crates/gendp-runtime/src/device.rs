@@ -45,6 +45,18 @@ pub struct DeviceConfig {
     pub fault: Option<FaultConfig>,
 }
 
+impl DeviceConfig {
+    /// This config with its fault plan (if any) reseeded to `seed` —
+    /// how a serving layer gives a replacement device an independent
+    /// fault stream while keeping every other knob identical.
+    pub fn with_fault_seed(mut self, seed: u64) -> DeviceConfig {
+        if let Some(fault) = self.fault.as_mut() {
+            fault.seed = seed;
+        }
+        self
+    }
+}
+
 impl Default for DeviceConfig {
     fn default() -> Self {
         DeviceConfig {
@@ -303,6 +315,28 @@ impl DeviceSnapshot {
     /// Estimated DP cells queued across all slots.
     pub fn pending_cells(&self) -> u64 {
         self.slots.iter().map(|s| s.pending_cells).sum()
+    }
+
+    /// Total slots of `class` on the device, healthy or not.
+    pub fn total_slots(&self, class: ArrayClass) -> usize {
+        self.slots.iter().filter(|s| s.class == class).count()
+    }
+
+    /// All slots, across classes, currently quarantined.
+    pub fn quarantined_total(&self) -> usize {
+        self.slots.iter().filter(|s| s.quarantined).count()
+    }
+
+    /// True when some array class with more than one slot is down to at
+    /// most one healthy slot — the quarantine machine's terminal state,
+    /// since the last healthy slot of a class is never taken offline. A
+    /// crippled device still limps along on that one slot, but a serving
+    /// layer should treat it as a dying fault domain and replace it.
+    pub fn is_crippled(&self) -> bool {
+        [ArrayClass::Int, ArrayClass::Float].into_iter().any(|c| {
+            let total = self.total_slots(c);
+            total > 1 && self.healthy_slots(c) <= 1
+        })
     }
 }
 

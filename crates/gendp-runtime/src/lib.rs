@@ -92,7 +92,7 @@ pub use device::{
 pub use fault::{silence_injected_panics, FaultConfig, FaultInjector, InjectedFault, PPM};
 pub use policy::DispatchPolicy;
 pub use queue::BoundedQueue;
-pub use recovery::{RetryPolicy, SlotHealth};
+pub use recovery::{Heartbeat, RetryPolicy, SlotHealth};
 pub use report::{ArrayReport, DeviceReport, KernelStats, RecoveryReport};
 pub use task::{
     ArrayClass, KernelKind, Task, TaskFailure, TaskResult, TaskValue, DTW_BAND_SENTINEL,

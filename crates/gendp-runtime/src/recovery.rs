@@ -131,9 +131,63 @@ impl SlotHealth {
     }
 }
 
+/// A liveness beacon over a caller-supplied clock (nanoseconds from an
+/// arbitrary epoch, same convention as [`TokenBucket`-style] admission
+/// clocks elsewhere): workers call [`Heartbeat::beat`] when they make
+/// progress, and a monitor asks [`Heartbeat::silent_for`] how long the
+/// beacon has been quiet. Lock-free; monotone inputs assumed.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    last_nanos: AtomicU64,
+}
+
+impl Heartbeat {
+    /// A beacon that last beat at `now_nanos` (so a fresh worker is not
+    /// born already silent).
+    pub fn new(now_nanos: u64) -> Heartbeat {
+        Heartbeat {
+            last_nanos: AtomicU64::new(now_nanos),
+        }
+    }
+
+    /// Records progress at `now_nanos`. Racing beats keep the latest
+    /// time (stale stores can only make the beacon look quieter, never
+    /// livelier than it is).
+    pub fn beat(&self, now_nanos: u64) {
+        self.last_nanos.fetch_max(now_nanos, Ordering::Release);
+    }
+
+    /// The clock value of the most recent beat.
+    pub fn last(&self) -> u64 {
+        self.last_nanos.load(Ordering::Acquire)
+    }
+
+    /// Nanoseconds of silence as of `now_nanos` (zero if a beat raced
+    /// ahead of the monitor's clock read).
+    pub fn silent_for(&self, now_nanos: u64) -> u64 {
+        now_nanos.saturating_sub(self.last())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn heartbeat_tracks_latest_beat() {
+        let hb = Heartbeat::new(100);
+        assert_eq!(hb.silent_for(100), 0);
+        assert_eq!(hb.silent_for(350), 250);
+        hb.beat(400);
+        assert_eq!(hb.last(), 400);
+        // A stale beat never rewinds the beacon.
+        hb.beat(50);
+        assert_eq!(hb.last(), 400);
+        assert_eq!(hb.silent_for(1_000), 600);
+        // A beat ahead of the monitor's clock reads as zero silence.
+        hb.beat(2_000);
+        assert_eq!(hb.silent_for(1_500), 0);
+    }
 
     #[test]
     fn default_policy_retries_and_escalates() {

@@ -134,12 +134,18 @@ impl TenantState {
         if self.queued.fetch_add(1, Ordering::AcqRel) >= self.config.max_queued {
             self.queued.fetch_sub(1, Ordering::AcqRel);
             self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
             return Err(AdmissionError::QueueFull);
         }
         if self.in_flight.fetch_add(1, Ordering::AcqRel) >= self.config.max_in_flight {
             self.in_flight.fetch_sub(1, Ordering::AcqRel);
             self.queued.fetch_sub(1, Ordering::AcqRel);
             self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .rejected_over_quota
+                .fetch_add(1, Ordering::Relaxed);
             return Err(AdmissionError::OverQuota);
         }
         if let Some(bucket) = &self.bucket {

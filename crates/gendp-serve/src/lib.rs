@@ -73,6 +73,7 @@
 //! ```
 
 mod admission;
+mod lifecycle;
 mod metrics;
 mod qos;
 mod server;
@@ -81,6 +82,9 @@ mod transport;
 pub mod wire;
 
 pub use admission::{AdmissionError, TenantState};
+pub use lifecycle::{
+    assess, HealthSignal, LifecycleCounters, LifecyclePolicy, LifecycleSnapshot, ShardState,
+};
 pub use metrics::{LatencyHistogram, TenantCounters, TenantCountersSnapshot};
 pub use qos::{Costed, DrrState};
 pub use server::{
@@ -89,4 +93,6 @@ pub use server::{
 };
 pub use tenant::{Priority, RateLimit, TenantConfig, TokenBucket};
 pub use transport::{duplex, pipe, PipeReader, PipeWriter, WireClient};
-pub use wire::{Request, Response, WireError, WireOutcome, MAX_FRAME};
+pub use wire::{
+    Request, Response, ShardStatusFrame, WireError, WireOutcome, MAX_FRAME, WIRE_VERSION,
+};

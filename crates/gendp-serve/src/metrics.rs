@@ -124,12 +124,20 @@ pub struct TenantCounters {
     pub rejected_invalid: AtomicU64,
     /// Rejected by the token bucket.
     pub rejected_rate: AtomicU64,
-    /// Rejected by the in-flight or queued quota.
+    /// Rejected by the in-flight or queued quota (sum of the two
+    /// subdivisions below).
     pub rejected_quota: AtomicU64,
+    /// Subset of `rejected_quota`: the in-flight quota.
+    pub rejected_over_quota: AtomicU64,
+    /// Subset of `rejected_quota`: the queued quota (backpressure).
+    pub rejected_queue_full: AtomicU64,
     /// Delivered successfully.
     pub completed: AtomicU64,
     /// Delivered as a failure (retries exhausted or runtime error).
     pub failed: AtomicU64,
+    /// Delivered as `deadline-exceeded`: admitted, but the deadline
+    /// passed before the result could be produced.
+    pub deadline_expired: AtomicU64,
     /// DP cells of completed work.
     pub cells: AtomicU64,
 }
@@ -143,8 +151,11 @@ impl TenantCounters {
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
             rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
+            rejected_over_quota: self.rejected_over_quota.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             cells: self.cells.load(Ordering::Relaxed),
         }
     }
@@ -161,31 +172,55 @@ pub struct TenantCountersSnapshot {
     pub rejected_invalid: u64,
     /// Rejected by the token bucket.
     pub rejected_rate: u64,
-    /// Rejected by the in-flight or queued quota.
+    /// Rejected by the in-flight or queued quota (sum of the two
+    /// subdivisions below).
     pub rejected_quota: u64,
+    /// Subset of `rejected_quota`: the in-flight quota.
+    pub rejected_over_quota: u64,
+    /// Subset of `rejected_quota`: the queued quota (backpressure).
+    pub rejected_queue_full: u64,
     /// Delivered successfully.
     pub completed: u64,
     /// Delivered as a failure.
     pub failed: u64,
+    /// Delivered as `deadline-exceeded` after admission.
+    pub deadline_expired: u64,
     /// DP cells of completed work.
     pub cells: u64,
 }
 
 impl TenantCountersSnapshot {
-    /// Total rejections across all causes.
+    /// Total rejections across all causes (admission-time only;
+    /// post-admission deadline expiries are deliveries, not
+    /// rejections, and live in `deadline_expired`).
     pub fn rejected(&self) -> u64 {
         self.rejected_invalid + self.rejected_rate + self.rejected_quota
     }
 
-    /// Requests admitted but neither completed nor failed yet.
+    /// Shed and expired work broken out by stable rejection code — the
+    /// same codes the wire protocol reports — so `deadline-exceeded`
+    /// vs `over-quota` vs `rate-limited` shedding is distinguishable
+    /// in benchmark output.
+    pub fn by_code(&self) -> [(&'static str, u64); 5] {
+        [
+            ("invalid", self.rejected_invalid),
+            ("rate-limited", self.rejected_rate),
+            ("over-quota", self.rejected_over_quota),
+            ("queue-full", self.rejected_queue_full),
+            ("deadline-exceeded", self.deadline_expired),
+        ]
+    }
+
+    /// Requests admitted but not yet delivered one way or the other.
     pub fn outstanding(&self) -> u64 {
-        self.accepted - self.completed - self.failed
+        self.accepted - self.completed - self.failed - self.deadline_expired
     }
 
     /// True when every admitted request has been delivered one way or
-    /// the other — the "zero lost tasks" invariant.
+    /// the other — completed, failed, or expired — the "zero lost
+    /// tasks" invariant.
     pub fn drained(&self) -> bool {
-        self.accepted == self.completed + self.failed
+        self.accepted == self.completed + self.failed + self.deadline_expired
     }
 }
 

@@ -4,47 +4,60 @@
 //!   TenantClient::submit ──admission──▶ scheduler inbox
 //!                                          │ per-tenant queues
 //!                                          ▼ deficit round robin
-//!                                     assembled batch
-//!                                          │ pick_shard
+//!                              deadline gate · assembled batch
+//!                                          │ pick_shard (state-aware)
 //!                      ┌───────────────────┴──────────────────┐
-//!                      ▼ bounded sync channel (backpressure)  ▼
-//!                shard 0 thread                         shard N thread
-//!                owns a Device                          owns a Device
-//!                (16 int + 1 FP arrays)                 ...
+//!                      ▼ bounded shard queue (backpressure)   ▼
+//!                shard cell #0                          shard cell #N
+//!                thread owns a Device                   ...
+//!                (16 int + 1 FP arrays)                       │
 //!                      │ run_batch, retries, quarantine       │
 //!                      └──────────── deliver ─────────────────┘
 //!                            ticket / connection reply
+//!                                          ▲
+//!                 health monitor ──────────┘
+//!                 (heartbeats, quarantine streaks, drain,
+//!                  requeue, respawn with fresh fault seed)
 //! ```
 //!
 //! Each *shard* is one simulated DPAx device (the paper's 16 integer +
 //! 1 floating-point PE arrays) owned by a dedicated thread — a fault
-//! domain: an array quarantined on one shard never affects another, and
-//! the dispatcher steers work away from degraded shards. The scheduler
-//! thread assembles batches with deficit round robin over the per-tenant
-//! queues and pushes them over a *bounded* channel per shard, so a slow
-//! device propagates backpressure to the scheduler instead of buffering
-//! unbounded work.
+//! domain with a [`ShardState`] lifecycle. The shard pool is dynamic:
+//! [`Server::add_shard`] grows it under load, [`Server::retire_shard`]
+//! drains a shard and requeues its undispatched work onto survivors,
+//! and the health monitor (run by the scheduler thread between
+//! batches) detects crippled or heartbeat-silent shards, declares them
+//! [`ShardState::Dead`], reclaims their queues, and — when
+//! [`LifecyclePolicy::auto_respawn`] is on — spawns a replacement
+//! device with a fresh fault seed.
 //!
 //! Every admitted request is delivered exactly once: as a
 //! [`Completed`] value, a [`ServeError::Failed`] after the device's
-//! retry budget, or a [`ServeError::Runtime`]/[`Disconnected`]
-//! terminal error. Tickets never hang.
+//! retry budget, a [`ServeError::DeadlineExceeded`] when its deadline
+//! passes before a result exists, or a terminal
+//! [`ServeError::Runtime`]/[`Disconnected`]. Tickets never hang, and a
+//! dying shard loses nothing: its in-flight batch still delivers (the
+//! device call is synchronous on the shard thread), and its queued
+//! batches are requeued before anything else is scheduled.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use gendp_dpax::RunStats;
 use gendp_runtime::{
-    ArrayClass, Device, DeviceConfig, DeviceSnapshot, KernelKind, RecoveryReport, RuntimeError,
-    Task, TaskFailure, TaskValue,
+    ArrayClass, Device, DeviceConfig, DeviceSnapshot, Heartbeat, KernelKind, RecoveryReport,
+    RuntimeError, Task, TaskFailure, TaskValue,
 };
 
 use crate::admission::{AdmissionError, TenantState};
+use crate::lifecycle::{
+    assess, HealthSignal, LifecycleCounters, LifecyclePolicy, LifecycleSnapshot, ShardState,
+};
 use crate::metrics::{LatencyHistogram, TenantCountersSnapshot};
 use crate::qos::{Costed, DrrState};
 use crate::tenant::{Priority, TenantConfig};
@@ -52,22 +65,28 @@ use crate::tenant::{Priority, TenantConfig};
 /// Server-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Number of device shards (fault domains). Each shard owns one
-    /// [`Device`] built from `shard_config`.
+    /// Number of device shards (fault domains) at startup. Each owns
+    /// one [`Device`] built from `shard_config`; the pool can grow and
+    /// shrink afterwards via [`Server::add_shard`] /
+    /// [`Server::retire_shard`] and the self-healing monitor.
     pub shards: usize,
     /// Per-shard device configuration. When it carries a
-    /// [`FaultConfig`](gendp_runtime::FaultConfig), shard `i` offsets
-    /// the fault seed by `i` so fault plans differ across shards.
+    /// [`FaultConfig`](gendp_runtime::FaultConfig), every spawned shard
+    /// (initial, added, or respawned) gets a distinct fault seed so
+    /// fault plans differ across fault domains.
     pub shard_config: DeviceConfig,
     /// Maximum requests per assembled batch.
     pub batch_max: usize,
     /// Base DRR quantum, in DP cells per tenant visit.
     pub quantum_cells: u64,
-    /// Bound of each shard's dispatch channel, in batches. Small values
+    /// Bound of each shard's dispatch queue, in batches. Small values
     /// keep scheduling decisions late (better fairness and shard
-    /// steering); the scheduler blocks — backpressure — when every
-    /// shard's channel is full.
+    /// steering); the scheduler waits — backpressure — when every
+    /// dispatchable shard's queue is full.
     pub dispatch_queue: usize,
+    /// Health-monitor policy: degraded/dead thresholds, heartbeat
+    /// timeout, and whether dead shards respawn automatically.
+    pub lifecycle: LifecyclePolicy,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +97,7 @@ impl Default for ServeConfig {
             batch_max: 32,
             quantum_cells: 512,
             dispatch_queue: 2,
+            lifecycle: LifecyclePolicy::default(),
         }
     }
 }
@@ -93,7 +113,9 @@ pub struct Completed {
     pub stats: RunStats,
     /// Device execution attempts (1 = first try).
     pub attempts: u32,
-    /// Shard the task ran on.
+    /// Id of the shard the task ran on. Shard ids are assigned at
+    /// spawn and never reused, so a replacement shard is
+    /// distinguishable from the shard it replaced.
     pub shard: usize,
     /// Array slot within the shard.
     pub array: usize,
@@ -109,9 +131,25 @@ pub enum ServeError {
     /// The shard's batch failed as a whole (e.g. no array of the
     /// required class exists on any configured shard).
     Runtime(RuntimeError),
+    /// The request's deadline passed before a result could be
+    /// produced; it was dropped at the dispatch gate, at requeue, or
+    /// its late result was suppressed at completion.
+    DeadlineExceeded,
     /// The server went away before delivering — only possible for
     /// submissions racing a shutdown.
     Disconnected,
+}
+
+impl ServeError {
+    /// Stable short code for metrics and the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Failed(_) => "failed",
+            ServeError::Runtime(_) => "runtime",
+            ServeError::DeadlineExceeded => "deadline-exceeded",
+            ServeError::Disconnected => "disconnected",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +157,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Failed(failure) => write!(f, "task failed on device: {failure:?}"),
             ServeError::Runtime(e) => write!(f, "batch runtime error: {e:?}"),
+            ServeError::DeadlineExceeded => f.write_str("deadline exceeded before delivery"),
             ServeError::Disconnected => f.write_str("server disconnected before delivery"),
         }
     }
@@ -157,6 +196,7 @@ pub(crate) struct Submitted {
     pub task: Task,
     pub cost: u64,
     pub submitted_at: Instant,
+    pub deadline: Option<Instant>,
     pub reply: Reply,
 }
 
@@ -164,8 +204,15 @@ pub(crate) struct Submitted {
 struct JobMeta {
     tenant: usize,
     submitted_at: Instant,
+    deadline: Option<Instant>,
     cost: u64,
     reply: Reply,
+}
+
+impl JobMeta {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
 }
 
 /// What sits in a tenant's scheduler queue.
@@ -174,23 +221,222 @@ struct Pending {
     meta: JobMeta,
 }
 
+/// A batch on its way to one shard.
+type DispatchBatch = Vec<(JobMeta, Task)>;
+
+/// Outcome of a blocking pop on a shard queue.
+enum Pop {
+    Batch(DispatchBatch),
+    Closed,
+}
+
+struct QueueState {
+    batches: VecDeque<DispatchBatch>,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish dispatch queue (in practice single-producer: only
+/// the scheduler pushes). Unlike `mpsc::sync_channel`, it supports
+/// *reclaim*: the monitor can close the queue and take back every
+/// undispatched batch — the primitive behind drain-and-requeue.
+struct ShardQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> ShardQueue {
+        ShardQueue {
+            state: Mutex::new(QueueState {
+                batches: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// True when a push would neither block nor bounce.
+    fn has_room(&self) -> bool {
+        let state = self.state.lock().expect("shard queue lock");
+        !state.closed && state.batches.len() < self.capacity
+    }
+
+    /// Blocking bounded push; returns the batch on a closed queue so
+    /// the caller can requeue it.
+    fn push(&self, batch: DispatchBatch) -> Result<(), DispatchBatch> {
+        let mut state = self.state.lock().expect("shard queue lock");
+        loop {
+            if state.closed {
+                return Err(batch);
+            }
+            if state.batches.len() < self.capacity {
+                state.batches.push_back(batch);
+                self.cv.notify_all();
+                return Ok(());
+            }
+            state = self.cv.wait(state).expect("shard queue lock");
+        }
+    }
+
+    /// Blocks until a batch arrives or the queue is closed *and*
+    /// empty — a closed queue still drains what it holds, so a
+    /// graceful shutdown never drops accepted work.
+    fn pop(&self) -> Pop {
+        let mut state = self.state.lock().expect("shard queue lock");
+        loop {
+            if let Some(batch) = state.batches.pop_front() {
+                self.cv.notify_all();
+                return Pop::Batch(batch);
+            }
+            if state.closed {
+                return Pop::Closed;
+            }
+            state = self.cv.wait(state).expect("shard queue lock");
+        }
+    }
+
+    /// Closes the queue (push bounces, pop drains then reports closed).
+    fn close(&self) {
+        let mut state = self.state.lock().expect("shard queue lock");
+        state.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Closes the queue and takes back every undispatched batch.
+    fn reclaim(&self) -> Vec<DispatchBatch> {
+        let mut state = self.state.lock().expect("shard queue lock");
+        state.closed = true;
+        let reclaimed = state.batches.drain(..).collect();
+        self.cv.notify_all();
+        reclaimed
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().expect("shard queue lock").closed
+    }
+}
+
+/// One live (or once-live) shard: the scheduler-facing half of a shard
+/// thread. Dead cells stay in the table so ids stay stable and stats
+/// keep their history.
+struct ShardCell {
+    /// Spawn-ordered id, never reused.
+    id: usize,
+    queue: ShardQueue,
+    state: AtomicU8,
+    /// DP cells dispatched to this shard and not yet delivered.
+    outstanding_cells: AtomicU64,
+    /// Tasks this shard delivered successfully (drives the
+    /// `Joining → Healthy` promotion).
+    completed: AtomicU64,
+    /// Latest device snapshot, refreshed after every batch.
+    status: Mutex<DeviceSnapshot>,
+    /// Progress beacon: beats when the shard picks up or finishes a
+    /// batch.
+    beat: Heartbeat,
+    /// Consecutive fresh snapshots that read crippled.
+    crippled_streak: AtomicU32,
+    /// `snapshot.batches` high-water mark of the last assessment, so
+    /// streaks count *new* evidence only (slot quarantine resets per
+    /// batch).
+    last_assessed_batch: AtomicU64,
+    /// Chaos hook: the monitor treats the shard as abruptly lost.
+    killed: AtomicBool,
+}
+
+impl ShardCell {
+    fn state(&self) -> ShardState {
+        ShardState::from_wire(self.state.load(Ordering::Acquire)).unwrap_or(ShardState::Dead)
+    }
+
+    fn set_state(&self, to: ShardState) {
+        self.state.store(to.to_wire(), Ordering::Release);
+    }
+
+    /// CAS transition; false when the state moved under us.
+    fn transition(&self, from: ShardState, to: ShardState) -> bool {
+        self.state
+            .compare_exchange(
+                from.to_wire(),
+                to.to_wire(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+}
+
 struct Inner {
     config: ServeConfig,
     tenants: Vec<Arc<TenantState>>,
     by_name: HashMap<String, usize>,
     closed: AtomicBool,
-    /// Epoch for the monotone nanosecond clock fed to token buckets.
+    /// Epoch for the monotone nanosecond clock fed to token buckets
+    /// and heartbeats.
     epoch: Instant,
-    /// DP cells dispatched to each shard and not yet delivered.
-    outstanding_cells: Vec<AtomicU64>,
-    /// Latest device snapshot per shard, refreshed after every batch.
-    shard_status: Vec<Mutex<DeviceSnapshot>>,
+    /// Every shard ever spawned, in id order; dead cells included.
+    shards: Mutex<Vec<Arc<ShardCell>>>,
+    /// Shard threads awaiting their join at shutdown.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_shard_id: AtomicUsize,
+    /// Next fault seed handed to a spawned device, so replacements get
+    /// fault plans distinct from every shard before them.
+    next_fault_seed: AtomicU64,
+    lifecycle: LifecycleCounters,
 }
 
 impl Inner {
     fn now_nanos(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
+
+    /// Snapshot of the shard table (cheap: clones the `Arc`s).
+    fn shard_cells(&self) -> Vec<Arc<ShardCell>> {
+        self.shards.lock().expect("shard table lock").clone()
+    }
+}
+
+/// Builds and registers one shard: device, cell, thread. Runs on the
+/// caller's thread so a panicking `DeviceConfig` fails at the call
+/// site, not on a service thread.
+fn spawn_shard(inner: &Arc<Inner>, config: DeviceConfig, respawn: bool) -> Result<usize, String> {
+    let device = Device::new(config);
+    let id = inner.next_shard_id.fetch_add(1, Ordering::AcqRel);
+    let cell = Arc::new(ShardCell {
+        id,
+        queue: ShardQueue::new(inner.config.dispatch_queue),
+        state: AtomicU8::new(ShardState::Joining.to_wire()),
+        outstanding_cells: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        status: Mutex::new(device.snapshot()),
+        beat: Heartbeat::new(inner.now_nanos()),
+        crippled_streak: AtomicU32::new(0),
+        last_assessed_batch: AtomicU64::new(0),
+        killed: AtomicBool::new(false),
+    });
+    let handle = {
+        let cell = Arc::clone(&cell);
+        let inner = Arc::clone(inner);
+        thread::Builder::new()
+            .name(format!("gendp-serve-shard{id}"))
+            .spawn(move || shard_loop(cell, device, inner))
+            .map_err(|e| format!("failed to spawn shard thread: {e}"))?
+    };
+    inner.shards.lock().expect("shard table lock").push(cell);
+    inner.threads.lock().expect("thread list lock").push(handle);
+    inner.lifecycle.spawned.fetch_add(1, Ordering::Relaxed);
+    if respawn {
+        inner.lifecycle.respawned.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(id)
+}
+
+/// The next fault seed, distinct from every seed handed out so far.
+fn fresh_fault_config(inner: &Inner) -> DeviceConfig {
+    let seed = inner.next_fault_seed.fetch_add(1, Ordering::AcqRel);
+    inner.config.shard_config.with_fault_seed(seed)
 }
 
 /// A running multi-tenant alignment server. Dropping it (or calling
@@ -227,34 +473,36 @@ impl Server {
             .map(|t| Arc::new(TenantState::new(t)))
             .collect();
 
-        // Build the shard devices up front so a bad DeviceConfig fails
-        // here, not on a service thread.
-        let mut devices = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let mut shard_config = config.shard_config;
-            if let Some(fault) = &mut shard_config.fault {
-                // Distinct fault plans per fault domain.
-                fault.seed = fault.seed.wrapping_add(shard as u64);
-            }
-            devices.push(Device::new(shard_config));
-        }
-
+        let base_seed = config.shard_config.fault.map(|f| f.seed).unwrap_or(0);
         let inner = Arc::new(Inner {
-            outstanding_cells: (0..config.shards).map(|_| AtomicU64::new(0)).collect(),
-            shard_status: devices.iter().map(|d| Mutex::new(d.snapshot())).collect(),
             config,
             tenants: states,
             by_name,
             closed: AtomicBool::new(false),
             epoch: Instant::now(),
+            shards: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            next_shard_id: AtomicUsize::new(0),
+            // Initial shards take seeds base..base+shards (matching the
+            // historical per-shard offset); replacements continue from
+            // there.
+            next_fault_seed: AtomicU64::new(base_seed),
+            lifecycle: LifecycleCounters::default(),
         });
+
+        // Spawn the initial pool up front so a bad DeviceConfig fails
+        // here, not on a service thread.
+        for _ in 0..config.shards {
+            let shard_config = fresh_fault_config(&inner);
+            spawn_shard(&inner, shard_config, false)?;
+        }
 
         let (submit_tx, submit_rx) = mpsc::channel::<Submitted>();
         let scheduler = {
             let inner = Arc::clone(&inner);
             thread::Builder::new()
                 .name("gendp-serve-sched".into())
-                .spawn(move || scheduler_loop(inner, submit_rx, devices))
+                .spawn(move || scheduler_loop(inner, submit_rx))
                 .map_err(|e| format!("failed to spawn scheduler thread: {e}"))?
         };
 
@@ -276,7 +524,121 @@ impl Server {
         })
     }
 
-    /// Point-in-time service statistics across all tenants and shards.
+    /// Grows the pool by one shard built from the configured
+    /// `shard_config` with a fresh fault seed. The shard starts
+    /// [`ShardState::Joining`] and begins taking traffic immediately.
+    /// Returns the new shard's id.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the server is shutting down or the shard thread
+    /// cannot be spawned.
+    pub fn add_shard(&self) -> Result<usize, String> {
+        let config = fresh_fault_config(&self.inner);
+        self.add_shard_with(config)
+    }
+
+    /// Like [`Server::add_shard`] with an explicit device
+    /// configuration (the chaos-testing hook for joining deliberately
+    /// broken shards). Panics if `config` is invalid, like
+    /// [`Device::new`].
+    pub fn add_shard_with(&self, config: DeviceConfig) -> Result<usize, String> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err("server is shutting down".into());
+        }
+        spawn_shard(&self.inner, config, false)
+    }
+
+    /// Begins retiring the shard: it stops receiving new batches, its
+    /// undispatched queue is reclaimed and requeued onto surviving
+    /// shards (exactly-once delivery preserved), its in-flight batch
+    /// finishes and delivers, and once drained it goes
+    /// [`ShardState::Dead`]. Safe under load; returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown id, a shard already draining or dead, or
+    /// when the shard is the last dispatchable one (the pool never
+    /// retires itself to zero).
+    pub fn retire_shard(&self, id: usize) -> Result<(), String> {
+        let shards = self.inner.shards.lock().expect("shard table lock");
+        let cell = shards
+            .iter()
+            .find(|c| c.id == id)
+            .ok_or_else(|| format!("no shard with id {id}"))?;
+        // Under the table lock, concurrent retirements serialize — the
+        // dispatchable count can only be stale in the safe direction
+        // (a monitor death would only lower it, and the monitor holds
+        // this lock via shard_cells()).
+        let dispatchable = shards
+            .iter()
+            .filter(|c| c.state().is_dispatchable())
+            .count();
+        let state = cell.state();
+        if !state.is_dispatchable() {
+            return Err(format!("shard {id} is already {state}"));
+        }
+        if dispatchable <= 1 {
+            return Err(format!(
+                "refusing to retire shard {id}: it is the last dispatchable shard"
+            ));
+        }
+        if !cell.transition(state, ShardState::Draining) {
+            return Err(format!("shard {id} changed state during retirement"));
+        }
+        Ok(())
+    }
+
+    /// Chaos hook: simulates abrupt shard loss. The monitor declares
+    /// the shard dead on its next pass, requeues its undispatched
+    /// work, and (policy permitting) respawns a replacement. The
+    /// in-flight batch still delivers — the "device" is simulated on
+    /// the shard thread, which survives.
+    ///
+    /// # Errors
+    ///
+    /// Fails for an unknown id or a shard already dead.
+    pub fn kill_shard(&self, id: usize) -> Result<(), String> {
+        let shards = self.inner.shards.lock().expect("shard table lock");
+        let cell = shards
+            .iter()
+            .find(|c| c.id == id)
+            .ok_or_else(|| format!("no shard with id {id}"))?;
+        if cell.state() == ShardState::Dead {
+            return Err(format!("shard {id} is already dead"));
+        }
+        cell.killed.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Lightweight shard pool status, one frame per shard ever
+    /// spawned, in id order — the payload behind the wire protocol's
+    /// shard-status probe, also usable directly in-process.
+    pub fn shard_status(&self) -> Vec<crate::wire::ShardStatusFrame> {
+        self.inner
+            .shard_cells()
+            .iter()
+            .map(|cell| {
+                let status = cell.status.lock().expect("status lock");
+                let healthy =
+                    status.healthy_slots(ArrayClass::Int) + status.healthy_slots(ArrayClass::Float);
+                let quarantined = status.quarantined_slots(ArrayClass::Int)
+                    + status.quarantined_slots(ArrayClass::Float);
+                drop(status);
+                crate::wire::ShardStatusFrame {
+                    id: cell.id as u64,
+                    state: cell.state(),
+                    healthy_slots: healthy as u32,
+                    quarantined_slots: quarantined as u32,
+                    outstanding_cells: cell.outstanding_cells.load(Ordering::Acquire),
+                    completed: cell.completed.load(Ordering::Acquire),
+                }
+            })
+            .collect()
+    }
+
+    /// Point-in-time service statistics across all tenants and shards
+    /// (dead shards included, for post-mortems).
     pub fn stats(&self) -> ServerStats {
         let tenants: Vec<TenantStats> = self
             .inner
@@ -293,14 +655,16 @@ impl Server {
                 latency: t.latency.lock().expect("latency lock").clone(),
             })
             .collect();
-        let shards: Vec<ShardStats> = (0..self.inner.config.shards)
-            .map(|i| ShardStats {
-                shard: i,
-                outstanding_cells: self.inner.outstanding_cells[i].load(Ordering::Acquire),
-                device: self.inner.shard_status[i]
-                    .lock()
-                    .expect("status lock")
-                    .clone(),
+        let shards: Vec<ShardStats> = self
+            .inner
+            .shard_cells()
+            .iter()
+            .map(|cell| ShardStats {
+                shard: cell.id,
+                state: cell.state(),
+                outstanding_cells: cell.outstanding_cells.load(Ordering::Acquire),
+                completed: cell.completed.load(Ordering::Acquire),
+                device: cell.status.lock().expect("status lock").clone(),
             })
             .collect();
         let recovery = RecoveryReport::merged(shards.iter().map(|s| &s.device.recovery));
@@ -311,8 +675,11 @@ impl Server {
             totals.rejected_invalid += t.counters.rejected_invalid;
             totals.rejected_rate += t.counters.rejected_rate;
             totals.rejected_quota += t.counters.rejected_quota;
+            totals.rejected_over_quota += t.counters.rejected_over_quota;
+            totals.rejected_queue_full += t.counters.rejected_queue_full;
             totals.completed += t.counters.completed;
             totals.failed += t.counters.failed;
+            totals.deadline_expired += t.counters.deadline_expired;
             totals.cells += t.counters.cells;
         }
         ServerStats {
@@ -320,6 +687,7 @@ impl Server {
             shards,
             recovery,
             totals,
+            lifecycle: self.inner.lifecycle.snapshot(),
         }
     }
 
@@ -354,25 +722,48 @@ impl TenantClient {
         &self.inner.tenants[self.tenant].config.name
     }
 
-    /// Submits one task through admission control. On `Ok` the returned
-    /// ticket will always resolve — completion, device failure, or
-    /// disconnect — exactly once.
+    /// Submits one task through admission control, with the tenant's
+    /// configured default deadline (if any). On `Ok` the returned
+    /// ticket will always resolve — completion, device failure,
+    /// deadline expiry, or disconnect — exactly once.
     ///
     /// # Errors
     ///
     /// Any [`AdmissionError`]: preflight rejection, rate limit, quota,
     /// or server shutdown.
     pub fn submit(&self, task: Task) -> Result<Ticket, AdmissionError> {
+        let deadline = self.inner.tenants[self.tenant].config.deadline;
+        self.submit_inner(task, deadline)
+    }
+
+    /// Like [`TenantClient::submit`] with an explicit per-request
+    /// deadline overriding the tenant default. The deadline clock
+    /// starts at admission.
+    pub fn submit_with_deadline(
+        &self,
+        task: Task,
+        deadline: Duration,
+    ) -> Result<Ticket, AdmissionError> {
+        self.submit_inner(task, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        task: Task,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, AdmissionError> {
         let state = &self.inner.tenants[self.tenant];
         let shutting_down = self.inner.closed.load(Ordering::Acquire);
         state.admit(&task, self.inner.now_nanos(), shutting_down)?;
         let cost = task.cells_estimate().max(1);
         let (tx, rx) = mpsc::channel();
+        let submitted_at = Instant::now();
         let submitted = Submitted {
             tenant: self.tenant,
             task,
             cost,
-            submitted_at: Instant::now(),
+            submitted_at,
+            deadline: deadline.map(|d| submitted_at + d),
             reply: Reply::Oneshot(tx),
         };
         self.send_admitted(submitted)?;
@@ -393,17 +784,20 @@ impl TenantClient {
     }
 
     /// Runs admission for an externally built request (wire path) and
-    /// forwards it. The caller supplies the reply route.
+    /// forwards it. The caller supplies the reply route; the tenant's
+    /// default deadline applies.
     pub(crate) fn submit_with_reply(&self, task: Task, reply: Reply) -> Result<(), AdmissionError> {
         let state = &self.inner.tenants[self.tenant];
         let shutting_down = self.inner.closed.load(Ordering::Acquire);
         state.admit(&task, self.inner.now_nanos(), shutting_down)?;
         let cost = task.cells_estimate().max(1);
+        let submitted_at = Instant::now();
         self.send_admitted(Submitted {
             tenant: self.tenant,
             task,
             cost,
-            submitted_at: Instant::now(),
+            submitted_at,
+            deadline: state.config.deadline.map(|d| submitted_at + d),
             reply,
         })
     }
@@ -458,10 +852,14 @@ pub struct TenantStats {
 /// Per-shard statistics snapshot.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
-    /// Shard index.
+    /// Shard id (spawn-ordered, never reused).
     pub shard: usize,
+    /// Lifecycle state.
+    pub state: ShardState,
     /// DP cells dispatched and not yet delivered.
     pub outstanding_cells: u64,
+    /// Tasks this shard delivered successfully.
+    pub completed: u64,
     /// Device health after the shard's most recent batch.
     pub device: DeviceSnapshot,
 }
@@ -471,63 +869,198 @@ pub struct ShardStats {
 pub struct ServerStats {
     /// One entry per registered tenant.
     pub tenants: Vec<TenantStats>,
-    /// One entry per shard.
+    /// One entry per shard ever spawned, in id order (dead included).
     pub shards: Vec<ShardStats>,
     /// Recovery counters merged across all shards.
     pub recovery: RecoveryReport,
     /// Counters summed across tenants.
     pub totals: TenantCountersSnapshot,
+    /// Shard lifecycle event counters.
+    pub lifecycle: LifecycleSnapshot,
 }
 
-/// Picks the shard for a batch: fewest quarantined slots first (steer
-/// away from degraded fault domains), least outstanding work to break
-/// ties.
-fn pick_shard(inner: &Inner, class_mix: (bool, bool)) -> usize {
+/// Picks a shard for a batch among dispatchable shards with queue
+/// room: best lifecycle rank first, then fewest quarantined slots in
+/// the classes the batch needs, then least outstanding work.
+fn pick_shard(shards: &[Arc<ShardCell>], class_mix: (bool, bool)) -> Option<Arc<ShardCell>> {
     let (wants_int, wants_float) = class_mix;
-    let mut best = 0;
-    let mut best_key = (u64::MAX, u64::MAX);
-    for shard in 0..inner.config.shards {
-        let status = inner.shard_status[shard].lock().expect("status lock");
-        let mut quarantined = 0u64;
-        if wants_int {
-            quarantined += status.quarantined_slots(ArrayClass::Int) as u64;
-        }
-        if wants_float {
-            quarantined += status.quarantined_slots(ArrayClass::Float) as u64;
-        }
-        drop(status);
-        let load = inner.outstanding_cells[shard].load(Ordering::Acquire);
-        let key = (quarantined, load);
-        if key < best_key {
-            best_key = key;
-            best = shard;
+    shards
+        .iter()
+        .filter(|cell| cell.state().is_dispatchable() && cell.queue.has_room())
+        .min_by_key(|cell| {
+            let status = cell.status.lock().expect("status lock");
+            let mut quarantined = 0u64;
+            if wants_int {
+                quarantined += status.quarantined_slots(ArrayClass::Int) as u64;
+            }
+            if wants_float {
+                quarantined += status.quarantined_slots(ArrayClass::Float) as u64;
+            }
+            drop(status);
+            (
+                cell.state().dispatch_rank(),
+                quarantined,
+                cell.outstanding_cells.load(Ordering::Acquire),
+            )
+        })
+        .cloned()
+}
+
+/// Delivers a post-admission deadline expiry: the tenant's in-flight
+/// hold is released and the ticket resolves `DeadlineExceeded`. The
+/// caller has already accounted for the `queued` gauge.
+fn expire(inner: &Inner, meta: JobMeta) {
+    let tenant = &inner.tenants[meta.tenant];
+    tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    tenant
+        .counters
+        .deadline_expired
+        .fetch_add(1, Ordering::Relaxed);
+    meta.reply.deliver(Err(ServeError::DeadlineExceeded));
+}
+
+/// Requeues reclaimed batches onto the tenant queues (deadline-gated:
+/// expired work resolves immediately instead of riding along).
+fn requeue_batches(
+    inner: &Inner,
+    queues: &mut [VecDeque<Costed<Pending>>],
+    batches: Vec<DispatchBatch>,
+) {
+    let now = Instant::now();
+    for batch in batches {
+        for (meta, task) in batch {
+            if meta.expired(now) {
+                expire(inner, meta);
+                continue;
+            }
+            inner.tenants[meta.tenant]
+                .queued
+                .fetch_add(1, Ordering::AcqRel);
+            inner
+                .lifecycle
+                .requeued_tasks
+                .fetch_add(1, Ordering::Relaxed);
+            queues[meta.tenant].push_back(Costed {
+                cost: meta.cost,
+                item: Pending { task, meta },
+            });
         }
     }
-    best
 }
 
-fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>, devices: Vec<Device>) {
+/// Declares a shard dead: reclaims and requeues its undispatched
+/// queue, releases its outstanding-cell accounting for that queue, and
+/// (policy permitting, outside shutdown) spawns a replacement with a
+/// fresh fault seed. The in-flight batch, if any, still delivers from
+/// the shard thread.
+fn declare_dead(
+    inner: &Arc<Inner>,
+    queues: &mut [VecDeque<Costed<Pending>>],
+    cell: &Arc<ShardCell>,
+) {
+    let reclaimed = cell.queue.reclaim();
+    let reclaimed_cells: u64 = reclaimed
+        .iter()
+        .flat_map(|batch| batch.iter())
+        .map(|(meta, _)| meta.cost)
+        .sum();
+    cell.outstanding_cells
+        .fetch_sub(reclaimed_cells, Ordering::AcqRel);
+    cell.set_state(ShardState::Dead);
+    inner.lifecycle.died.fetch_add(1, Ordering::Relaxed);
+    requeue_batches(inner, queues, reclaimed);
+    if inner.config.lifecycle.auto_respawn && !inner.closed.load(Ordering::Acquire) {
+        let config = fresh_fault_config(inner);
+        // A failed respawn (thread limit) leaves the pool smaller;
+        // dispatch keeps working on the survivors.
+        drop(spawn_shard(inner, config, true));
+    }
+}
+
+/// One monitor pass over the shard table: drive lifecycle transitions
+/// from kill flags, heartbeats, and quarantine streaks; finish drains;
+/// respawn the dead. Runs on the scheduler thread between batches, so
+/// every queue mutation here is ordered with dispatch.
+fn monitor_shards(inner: &Arc<Inner>, queues: &mut [VecDeque<Costed<Pending>>]) {
+    let policy = inner.config.lifecycle;
+    for cell in inner.shard_cells() {
+        let state = cell.state();
+        match state {
+            ShardState::Dead => {}
+            ShardState::Draining => {
+                if !cell.queue.is_closed() {
+                    let reclaimed = cell.queue.reclaim();
+                    let cells: u64 = reclaimed
+                        .iter()
+                        .flat_map(|b| b.iter())
+                        .map(|(m, _)| m.cost)
+                        .sum();
+                    cell.outstanding_cells.fetch_sub(cells, Ordering::AcqRel);
+                    requeue_batches(inner, queues, reclaimed);
+                }
+                if cell.outstanding_cells.load(Ordering::Acquire) == 0 {
+                    cell.set_state(ShardState::Dead);
+                    inner.lifecycle.retired.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ShardState::Joining | ShardState::Healthy | ShardState::Degraded => {
+                if cell.killed.load(Ordering::Acquire) {
+                    declare_dead(inner, queues, &cell);
+                    continue;
+                }
+                let silent = cell.beat.silent_for(inner.now_nanos());
+                if cell.outstanding_cells.load(Ordering::Acquire) > 0
+                    && silent > policy.heartbeat_timeout.as_nanos() as u64
+                {
+                    declare_dead(inner, queues, &cell);
+                    continue;
+                }
+                // Assess only snapshots from batches we haven't seen:
+                // quarantine resets per batch, so a streak must count
+                // fresh evidence, not re-read one bad batch forever.
+                let snapshot = cell.status.lock().expect("status lock").clone();
+                if snapshot.batches > cell.last_assessed_batch.load(Ordering::Acquire) {
+                    cell.last_assessed_batch
+                        .store(snapshot.batches, Ordering::Release);
+                    match assess(&snapshot, &policy) {
+                        HealthSignal::Crippled => {
+                            let streak = cell.crippled_streak.fetch_add(1, Ordering::AcqRel) + 1;
+                            if streak >= policy.dead_after_crippled {
+                                declare_dead(inner, queues, &cell);
+                                continue;
+                            }
+                            cell.transition(state, ShardState::Degraded);
+                        }
+                        HealthSignal::Degraded => {
+                            cell.crippled_streak.store(0, Ordering::Release);
+                            cell.transition(state, ShardState::Degraded);
+                        }
+                        HealthSignal::Healthy => {
+                            cell.crippled_streak.store(0, Ordering::Release);
+                            if state == ShardState::Degraded {
+                                cell.transition(state, ShardState::Healthy);
+                            }
+                        }
+                    }
+                }
+                // A joining shard that has delivered work is proven.
+                if cell.state() == ShardState::Joining && cell.completed.load(Ordering::Acquire) > 0
+                {
+                    cell.transition(ShardState::Joining, ShardState::Healthy);
+                }
+            }
+        }
+    }
+}
+
+fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>) {
     let tenant_count = inner.tenants.len();
     let weights: Vec<u64> = inner.tenants.iter().map(|t| t.effective_weight).collect();
-    let mut queues: Vec<std::collections::VecDeque<Costed<Pending>>> =
+    let mut queues: Vec<VecDeque<Costed<Pending>>> =
         (0..tenant_count).map(|_| Default::default()).collect();
     let mut drr = DrrState::new(tenant_count, inner.config.quantum_cells);
 
-    // Shard threads, each owning its device behind a bounded channel.
-    let mut shard_txs: Vec<SyncSender<Vec<(JobMeta, Task)>>> = Vec::new();
-    let mut shard_handles = Vec::new();
-    for (shard, device) in devices.into_iter().enumerate() {
-        let (tx, rx) = mpsc::sync_channel::<Vec<(JobMeta, Task)>>(inner.config.dispatch_queue);
-        shard_txs.push(tx);
-        let inner = Arc::clone(&inner);
-        let handle = thread::Builder::new()
-            .name(format!("gendp-serve-shard{shard}"))
-            .spawn(move || shard_loop(shard, device, rx, inner))
-            .expect("spawn shard thread");
-        shard_handles.push(handle);
-    }
-
-    let enqueue = |queues: &mut Vec<std::collections::VecDeque<Costed<Pending>>>, s: Submitted| {
+    let enqueue = |queues: &mut Vec<VecDeque<Costed<Pending>>>, s: Submitted| {
         queues[s.tenant].push_back(Costed {
             cost: s.cost,
             item: Pending {
@@ -535,6 +1068,7 @@ fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>, devices: Ve
                 meta: JobMeta {
                     tenant: s.tenant,
                     submitted_at: s.submitted_at,
+                    deadline: s.deadline,
                     cost: s.cost,
                     reply: s.reply,
                 },
@@ -552,6 +1086,10 @@ fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>, devices: Ve
                 Err(TryRecvError::Disconnected) => inbox_open = false,
             }
         }
+
+        // Lifecycle pass: may requeue reclaimed work into `queues`.
+        monitor_shards(&inner, &mut queues);
+
         if queues.iter().all(|q| q.is_empty()) {
             if !inbox_open || inner.closed.load(Ordering::Acquire) {
                 break;
@@ -566,54 +1104,118 @@ fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>, devices: Ve
             continue;
         }
 
+        // Backpressure / outage gate: hold the queued work until some
+        // dispatchable shard can take a batch.
+        let cells = inner.shard_cells();
+        let dispatchable = cells.iter().filter(|c| c.state().is_dispatchable());
+        if !dispatchable.clone().any(|c| c.queue.has_room()) {
+            if dispatchable.count() == 0 && inner.closed.load(Ordering::Acquire) {
+                // Shutting down with nowhere to run: resolve what's
+                // left instead of hanging tickets.
+                for queue in &mut queues {
+                    for costed in queue.drain(..) {
+                        let meta = costed.item.meta;
+                        let tenant = &inner.tenants[meta.tenant];
+                        tenant.queued.fetch_sub(1, Ordering::AcqRel);
+                        tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+                        tenant.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        meta.reply.deliver(Err(ServeError::Disconnected));
+                    }
+                }
+                break;
+            }
+            match submit_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(s) => enqueue(&mut queues, s),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => inbox_open = false,
+            }
+            continue;
+        }
+
         let batch = drr.assemble(&mut queues, &weights, inner.config.batch_max);
+        let now = Instant::now();
         let mut wants_int = false;
         let mut wants_float = false;
-        let mut cells = 0u64;
-        let mut jobs: Vec<(JobMeta, Task)> = Vec::with_capacity(batch.len());
+        let mut cells_cost = 0u64;
+        let mut jobs: DispatchBatch = Vec::with_capacity(batch.len());
         for (tenant, costed) in batch {
             inner.tenants[tenant].queued.fetch_sub(1, Ordering::AcqRel);
+            // The dispatch-time deadline gate: expired work never
+            // occupies a dispatch slot.
+            if costed.item.meta.expired(now) {
+                expire(&inner, costed.item.meta);
+                continue;
+            }
             match costed.item.task.array_class() {
                 ArrayClass::Int => wants_int = true,
                 ArrayClass::Float => wants_float = true,
             }
-            cells += costed.cost;
+            cells_cost += costed.cost;
             jobs.push((costed.item.meta, costed.item.task));
         }
         if jobs.is_empty() {
             continue;
         }
-        let shard = pick_shard(&inner, (wants_int, wants_float));
-        inner.outstanding_cells[shard].fetch_add(cells, Ordering::AcqRel);
-        // Bounded send: blocks when the shard is `dispatch_queue`
-        // batches behind — the backpressure point.
-        if shard_txs[shard].send(jobs).is_err() {
-            // Shard thread died (can only happen on a panic inside the
-            // device). Nothing to deliver to — the metas went down with
-            // the send. Stop scheduling.
-            break;
+        let Some(target) = pick_shard(&cells, (wants_int, wants_float)) else {
+            // A retire/kill raced between the room check and here; put
+            // the work back and re-run the monitor.
+            requeue_batches(&inner, &mut queues, vec![jobs]);
+            // requeue_batches re-counts these as lifecycle requeues and
+            // re-increments `queued`; both are accurate — the work did
+            // bounce off a dying pool.
+            continue;
+        };
+        target
+            .outstanding_cells
+            .fetch_add(cells_cost, Ordering::AcqRel);
+        // Bounded push: blocks when the shard is `dispatch_queue`
+        // batches behind — the backpressure point. Only the monitor
+        // (this thread) closes queues of non-dead shards, so a bounce
+        // can only come from a shutdown race; requeue and retry.
+        if let Err(bounced) = target.queue.push(jobs) {
+            target
+                .outstanding_cells
+                .fetch_sub(cells_cost, Ordering::AcqRel);
+            requeue_batches(&inner, &mut queues, vec![bounced]);
         }
     }
 
-    // Closing the dispatch channels lets the shard loops drain and exit.
-    drop(shard_txs);
-    for handle in shard_handles {
-        drop(handle.join());
+    // Shutdown: close every queue (they drain what they hold), then
+    // join shard threads. Loop because add_shard may race the close
+    // pass; every later-spawned thread still lands in `threads`.
+    loop {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = inner.threads.lock().expect("thread list lock");
+            threads.drain(..).collect()
+        };
+        if handles.is_empty() {
+            break;
+        }
+        for cell in inner.shard_cells() {
+            cell.queue.close();
+        }
+        for handle in handles {
+            drop(handle.join());
+        }
     }
 }
 
-fn shard_loop(
-    shard: usize,
-    mut device: Device,
-    rx: Receiver<Vec<(JobMeta, Task)>>,
-    inner: Arc<Inner>,
-) {
-    while let Ok(jobs) = rx.recv() {
+fn shard_loop(cell: Arc<ShardCell>, mut device: Device, inner: Arc<Inner>) {
+    while let Pop::Batch(jobs) = cell.queue.pop() {
+        cell.beat.beat(inner.now_nanos());
         let batch_cells: u64 = jobs.iter().map(|(m, _)| m.cost).sum();
         let (metas, tasks): (Vec<JobMeta>, Vec<Task>) = jobs.into_iter().unzip();
         match device.run_batch(tasks) {
             Ok(outcome) => {
+                let now = Instant::now();
                 for (meta, result) in metas.into_iter().zip(outcome.results) {
+                    // Completion-time deadline gate: a late result is
+                    // suppressed so callers can trust that an `Ok`
+                    // arrived inside its deadline.
+                    if meta.expired(now) {
+                        expire(&inner, meta);
+                        continue;
+                    }
                     let tenant = &inner.tenants[meta.tenant];
                     tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
                     let latency = meta.submitted_at.elapsed();
@@ -624,6 +1226,7 @@ fn shard_loop(
                                 .counters
                                 .cells
                                 .fetch_add(meta.cost, Ordering::Relaxed);
+                            cell.completed.fetch_add(1, Ordering::AcqRel);
                             let mut hist = tenant.latency.lock().expect("latency lock");
                             hist.record(latency.as_nanos() as u64);
                             drop(hist);
@@ -632,7 +1235,7 @@ fn shard_loop(
                                 kernel: r.kernel,
                                 stats: r.stats,
                                 attempts: r.attempts,
-                                shard,
+                                shard: cell.id,
                                 array: r.array,
                                 latency,
                             })
@@ -656,7 +1259,9 @@ fn shard_loop(
                 }
             }
         }
-        inner.outstanding_cells[shard].fetch_sub(batch_cells, Ordering::AcqRel);
-        *inner.shard_status[shard].lock().expect("status lock") = device.snapshot();
+        cell.outstanding_cells
+            .fetch_sub(batch_cells, Ordering::AcqRel);
+        *cell.status.lock().expect("status lock") = device.snapshot();
+        cell.beat.beat(inner.now_nanos());
     }
 }

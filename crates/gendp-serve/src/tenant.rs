@@ -9,6 +9,7 @@
 //! occupy (queued and in-flight requests).
 
 use std::fmt;
+use std::time::Duration;
 
 /// Priority class of a tenant's traffic. Classes are *weighted*, not
 /// strict: a higher class gets a proportionally larger share of device
@@ -96,6 +97,13 @@ pub struct TenantConfig {
     /// [`AdmissionError::QueueFull`](crate::AdmissionError::QueueFull) —
     /// the backpressure signal an open-loop client sees.
     pub max_queued: usize,
+    /// Default per-request deadline, assigned at admission
+    /// (`submitted_at + deadline`). A request past its deadline is
+    /// delivered as `deadline-exceeded` instead of occupying a dispatch
+    /// slot or returning a stale result; `None` (the default) never
+    /// expires work. Per-request overrides via
+    /// [`TenantClient::submit_with_deadline`](crate::TenantClient::submit_with_deadline).
+    pub deadline: Option<Duration>,
 }
 
 impl TenantConfig {
@@ -109,6 +117,7 @@ impl TenantConfig {
             rate: None,
             max_in_flight: 4096,
             max_queued: 2048,
+            deadline: None,
         }
     }
 
@@ -134,6 +143,12 @@ impl TenantConfig {
     pub fn quotas(mut self, max_in_flight: usize, max_queued: usize) -> TenantConfig {
         self.max_in_flight = max_in_flight.max(1);
         self.max_queued = max_queued.max(1);
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn deadline(mut self, deadline: Duration) -> TenantConfig {
+        self.deadline = Some(deadline);
         self
     }
 

@@ -17,8 +17,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 use crate::admission::AdmissionError;
-use crate::server::{Completed, Delivery, Reply, Server, TenantClient};
-use crate::wire::{read_frame, write_frame, Request, Response, WireOutcome};
+use crate::server::{Completed, Delivery, Reply, ServeError, Server, TenantClient};
+use crate::wire::{read_frame, write_frame, Request, Response, WireOutcome, WIRE_VERSION};
 
 impl From<Delivery> for WireOutcome {
     fn from(delivery: Delivery) -> WireOutcome {
@@ -32,6 +32,12 @@ impl From<Delivery> for WireOutcome {
                 value,
                 cycles: stats.cycles,
                 attempts,
+            },
+            // A deadline expiry is a rejection with a stable code, not
+            // a device failure: the task never (usefully) ran.
+            Err(e @ ServeError::DeadlineExceeded) => WireOutcome::Rejected {
+                code: e.code().into(),
+                detail: e.to_string(),
             },
             Err(e) => WireOutcome::Failed {
                 detail: e.to_string(),
@@ -92,19 +98,48 @@ impl Server {
         };
 
         let served = loop {
-            let payload = match read_frame(&mut reader) {
-                Ok(Some(payload)) => payload,
+            let (version, payload) = match read_frame(&mut reader) {
+                Ok(Some(frame)) => frame,
                 Ok(None) => break Ok(()),
                 Err(e) => break Err(e),
             };
+            // Unknown versions and undecodable payloads get a
+            // structured error frame and keep the connection open: the
+            // frame layout (length prefix) is version-invariant, so we
+            // can always resynchronize at the next frame boundary.
+            if version != WIRE_VERSION {
+                respond_now(Response {
+                    id: 0,
+                    outcome: WireOutcome::Error {
+                        code: "unsupported-version".into(),
+                        detail: format!(
+                            "frame version {version}, this server speaks {WIRE_VERSION}"
+                        ),
+                    },
+                })?;
+                continue;
+            }
             let request = match Request::decode(&payload) {
                 Ok(request) => request,
-                Err(e) => break Err(e.into()),
+                Err(e) => {
+                    respond_now(Response {
+                        id: 0,
+                        outcome: WireOutcome::Error {
+                            code: "bad-frame".into(),
+                            detail: e.to_string(),
+                        },
+                    })?;
+                    continue;
+                }
             };
             match request {
                 Request::Ping { id } => respond_now(Response {
                     id,
                     outcome: WireOutcome::Pong,
+                })?,
+                Request::ShardStatus { id } => respond_now(Response {
+                    id,
+                    outcome: WireOutcome::ShardStatus(self.shard_status()),
                 })?,
                 Request::Submit { id, tenant, task } => {
                     // Resolve each tenant name once per connection;
@@ -303,11 +338,41 @@ impl<R: Read, W: Write> WireClient<R, W> {
     ///
     /// # Errors
     ///
-    /// I/O errors, and protocol errors as `InvalidData`.
+    /// I/O errors, and protocol errors (malformed frames or a frame
+    /// version this client does not speak) as `InvalidData`.
     pub fn recv(&mut self) -> io::Result<Option<Response>> {
         match read_frame(&mut self.reader)? {
             None => Ok(None),
-            Some(payload) => Ok(Some(Response::decode(&payload)?)),
+            Some((version, payload)) => {
+                if version != WIRE_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame version {version}, this client speaks {WIRE_VERSION}"),
+                    ));
+                }
+                Ok(Some(Response::decode(&payload)?))
+            }
+        }
+    }
+
+    /// Round-trips a shard-status probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol errors, including an unexpected response type.
+    pub fn shard_status(&mut self) -> io::Result<Vec<crate::wire::ShardStatusFrame>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::ShardStatus { id })?;
+        match self.recv()? {
+            Some(Response {
+                id: got,
+                outcome: WireOutcome::ShardStatus(shards),
+            }) if got == id => Ok(shards),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected shard status for {id}, got {other:?}"),
+            )),
         }
     }
 

@@ -1,13 +1,17 @@
 //! The framed wire protocol: a hand-rolled binary codec for submitting
 //! tasks to a server over any byte stream.
 //!
-//! Every message is one *frame*: a little-endian `u32` payload length
-//! followed by the payload, capped at [`MAX_FRAME`]. Payloads are a
-//! fixed-layout binary encoding — explicit little-endian integers,
-//! floats as raw IEEE bits (`to_bits`/`from_bits`, so values round-trip
-//! exactly), DNA sequences as 2-bit base codes, one tag byte per enum.
-//! No external serialization crate, no schema negotiation: both ends
-//! are this crate.
+//! Every message is one *frame*: a little-endian `u32` payload length,
+//! a protocol version byte ([`WIRE_VERSION`]), then the payload, capped
+//! at [`MAX_FRAME`]. Payloads are a fixed-layout binary encoding —
+//! explicit little-endian integers, floats as raw IEEE bits
+//! (`to_bits`/`from_bits`, so values round-trip exactly), DNA sequences
+//! as 2-bit base codes, one tag byte per enum. No external
+//! serialization crate, no schema negotiation beyond the version byte:
+//! both ends are this crate. A server receiving a frame with an
+//! unknown version or an undecodable payload answers with a structured
+//! [`WireOutcome::Error`] frame instead of dropping the connection, so
+//! a newer client degrades loudly rather than silently.
 //!
 //! Requests carry a client-chosen `id`; responses echo it, so a client
 //! may pipeline any number of submissions over one connection and match
@@ -25,9 +29,17 @@ use gendp_kernels::{AlignMode, GapModel, Scoring};
 use gendp_runtime::{Task, TaskValue};
 use gendp_seq::{Anchor, Base, DnaSeq};
 
+use crate::lifecycle::ShardState;
+
 /// Largest accepted frame payload (16 MiB) — bounds per-connection
 /// memory against a malicious or broken peer.
 pub const MAX_FRAME: usize = 16 << 20;
+
+/// Protocol version carried in every frame header. Bump when the
+/// payload encoding changes incompatibly; a server answers frames with
+/// any other version with a structured `unsupported-version` error
+/// frame (itself written at this version).
+pub const WIRE_VERSION: u8 = 1;
 
 /// A malformed payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,12 +73,27 @@ impl From<WireError> for io::Error {
     }
 }
 
-/// Writes one frame (length prefix plus payload).
+/// Writes one frame (length prefix, [`WIRE_VERSION`], payload).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
 pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    write_frame_versioned(w, WIRE_VERSION, payload)
+}
+
+/// [`write_frame`] with an explicit version byte — how tests (and a
+/// future protocol revision) produce frames the other side may not
+/// speak.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
+pub fn write_frame_versioned<W: Write + ?Sized>(
+    w: &mut W,
+    version: u8,
+    payload: &[u8],
+) -> io::Result<()> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -74,20 +101,24 @@ pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<(
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&[version])?;
     w.write_all(payload)
 }
 
-/// Reads one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at
-/// a frame boundary); EOF mid-frame is an error.
+/// Reads one frame as `(version, payload)`. `Ok(None)` is a clean
+/// end-of-stream (EOF exactly at a frame boundary); EOF mid-frame is an
+/// error. The version byte is returned, not validated — the caller
+/// decides whether an unknown version is an error or an
+/// `unsupported-version` reply.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects frames above [`MAX_FRAME`].
-pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut len_bytes = [0u8; 4];
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; 5];
     let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_bytes[filled..])? {
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
             0 if filled == 0 => return Ok(None),
             0 => {
                 return Err(io::Error::new(
@@ -98,7 +129,8 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
             n => filled += n,
         }
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let version = header[4];
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -107,7 +139,7 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    Ok(Some((version, payload)))
 }
 
 /// Payload encoder.
@@ -626,6 +658,12 @@ pub enum Request {
         /// Client-chosen correlation id.
         id: u64,
     },
+    /// Shard pool status probe; answered with
+    /// [`WireOutcome::ShardStatus`].
+    ShardStatus {
+        /// Client-chosen correlation id.
+        id: u64,
+    },
 }
 
 impl Request {
@@ -641,6 +679,10 @@ impl Request {
             }
             Request::Ping { id } => {
                 e.u8(1);
+                e.u64(*id);
+            }
+            Request::ShardStatus { id } => {
+                e.u8(2);
                 e.u64(*id);
             }
         }
@@ -661,11 +703,30 @@ impl Request {
                 task: decode_task_from(&mut d)?,
             },
             1 => Request::Ping { id: d.u64()? },
+            2 => Request::ShardStatus { id: d.u64()? },
             tag => return Err(WireError::BadTag(tag)),
         };
         d.finish()?;
         Ok(request)
     }
+}
+
+/// One shard's lifecycle and health, as reported over the wire in
+/// answer to [`Request::ShardStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatusFrame {
+    /// Shard id (spawn-ordered, never reused).
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: ShardState,
+    /// Array slots currently accepting work, all classes.
+    pub healthy_slots: u32,
+    /// Array slots currently quarantined, all classes.
+    pub quarantined_slots: u32,
+    /// DP cells dispatched to the shard and not yet delivered.
+    pub outstanding_cells: u64,
+    /// Tasks the shard has delivered successfully.
+    pub completed: u64,
 }
 
 /// How a wire submission resolved.
@@ -694,6 +755,19 @@ pub enum WireOutcome {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// A connection-level protocol error: the server could not make
+    /// sense of a frame (unknown version, undecodable payload) but
+    /// keeps the connection open. `id` is 0 when the offending frame's
+    /// id could not be recovered.
+    Error {
+        /// Stable error code (`unsupported-version`, `bad-frame`).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Answer to [`Request::ShardStatus`]: one entry per shard ever
+    /// spawned, in id order (dead shards included).
+    ShardStatus(Vec<ShardStatusFrame>),
 }
 
 /// A server-to-client message, echoing the request's `id`.
@@ -731,6 +805,23 @@ impl Response {
                 e.str(detail);
             }
             WireOutcome::Pong => e.u8(3),
+            WireOutcome::Error { code, detail } => {
+                e.u8(4);
+                e.str(code);
+                e.str(detail);
+            }
+            WireOutcome::ShardStatus(shards) => {
+                e.u8(5);
+                e.len(shards.len());
+                for s in shards {
+                    e.u64(s.id);
+                    e.u8(s.state.to_wire());
+                    e.u32(s.healthy_slots);
+                    e.u32(s.quarantined_slots);
+                    e.u64(s.outstanding_cells);
+                    e.u64(s.completed);
+                }
+            }
         }
         e.buf
     }
@@ -755,6 +846,29 @@ impl Response {
             },
             2 => WireOutcome::Failed { detail: d.str()? },
             3 => WireOutcome::Pong,
+            4 => WireOutcome::Error {
+                code: d.str()?,
+                detail: d.str()?,
+            },
+            5 => {
+                let n = d.len()?;
+                let mut shards = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let id = d.u64()?;
+                    let state_byte = d.u8()?;
+                    let state =
+                        ShardState::from_wire(state_byte).ok_or(WireError::BadTag(state_byte))?;
+                    shards.push(ShardStatusFrame {
+                        id,
+                        state,
+                        healthy_slots: d.u32()?,
+                        quarantined_slots: d.u32()?,
+                        outstanding_cells: d.u64()?,
+                        completed: d.u64()?,
+                    });
+                }
+                WireOutcome::ShardStatus(shards)
+            }
             tag => return Err(WireError::BadTag(tag)),
         };
         d.finish()?;
@@ -891,9 +1005,35 @@ mod tests {
                 detail: "sim error".into(),
             },
             WireOutcome::Pong,
+            WireOutcome::Error {
+                code: "unsupported-version".into(),
+                detail: "frame version 9, this server speaks 1".into(),
+            },
+            WireOutcome::ShardStatus(vec![
+                ShardStatusFrame {
+                    id: 0,
+                    state: ShardState::Dead,
+                    healthy_slots: 0,
+                    quarantined_slots: 17,
+                    outstanding_cells: 0,
+                    completed: 4096,
+                },
+                ShardStatusFrame {
+                    id: 3,
+                    state: ShardState::Joining,
+                    healthy_slots: 17,
+                    quarantined_slots: 0,
+                    outstanding_cells: 512,
+                    completed: 0,
+                },
+            ]),
         ] {
             let response = Response { id: 7, outcome };
             assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+        }
+        match Request::decode(&Request::ShardStatus { id: 9 }.encode()).unwrap() {
+            Request::ShardStatus { id } => assert_eq!(id, 9),
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 
@@ -902,19 +1042,32 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
         write_frame(&mut buf, b"").unwrap();
+        write_frame_versioned(&mut buf, 9, b"future").unwrap();
         let mut cursor = &buf[..];
         assert_eq!(
-            read_frame(&mut cursor).unwrap().as_deref(),
-            Some(&b"hello"[..])
+            read_frame(&mut cursor).unwrap(),
+            Some((WIRE_VERSION, b"hello".to_vec()))
         );
-        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((WIRE_VERSION, Vec::new()))
+        );
+        // An unknown version still frames correctly: the length prefix
+        // lets the reader skip the payload and answer structurally.
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Some((9, b"future".to_vec()))
+        );
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean eof");
         // A frame header promising more than MAX_FRAME is rejected
         // without allocating.
-        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut huge = (MAX_FRAME as u32 + 1).to_le_bytes().to_vec();
+        huge.push(WIRE_VERSION);
         assert!(read_frame(&mut &huge[..]).is_err());
         // EOF inside a header is an error, not a clean end.
         assert!(read_frame(&mut &[1u8, 0][..]).is_err());
+        // EOF between length and version byte too.
+        assert!(read_frame(&mut &5u32.to_le_bytes()[..]).is_err());
     }
 
     #[test]

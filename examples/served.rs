@@ -1,0 +1,196 @@
+//! `gendp-serve` as a real daemon: a Unix-domain socket accept loop
+//! over [`Server::serve_unix_stream`], with SIGTERM-triggered graceful
+//! drain — stop accepting, let in-flight connections and batches
+//! finish, deliver every outstanding ticket, then exit.
+//!
+//! The example is self-driving: it spawns its own wire clients over
+//! the socket (one pipelining alignments, one probing shard status),
+//! then raises SIGTERM against itself to exercise the drain path —
+//! exactly what a process supervisor would do on redeploy.
+//!
+//! ```sh
+//! cargo run --release --example served
+//! ```
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    unix::run()
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("the served example needs Unix-domain sockets; use serve_demo instead");
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    use gendp::kernels::Scoring;
+    use gendp::runtime::{silence_injected_panics, DeviceConfig, FaultConfig, RetryPolicy, Task};
+    use gendp::seq::DnaSeq;
+    use gendp::serve::{
+        Priority, ServeConfig, Server, ShardState, TenantConfig, WireClient, WireOutcome,
+    };
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Set from the signal handler; the accept loop polls it.
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    unsafe extern "C" {
+        /// libc `signal(2)`: enough for flipping one atomic — no
+        /// sigaction niceties needed here.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        /// libc `raise(3)`: the demo terminates itself like a
+        /// supervisor would.
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_terminate(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+
+    /// One pipelined wire client over its own socket connection.
+    fn drive_client(path: &std::path::Path, tenant: &str, n: usize, seed: u64) -> io::Result<u64> {
+        let stream = UnixStream::connect(path)?;
+        let reader = stream.try_clone()?;
+        let mut client = WireClient::new(reader, stream);
+        client.ping()?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..n {
+            client.submit(
+                tenant,
+                Task::bsw_local(
+                    DnaSeq::random(24, &mut rng),
+                    DnaSeq::random(32, &mut rng),
+                    Scoring::bwa_mem(),
+                ),
+            )?;
+        }
+        let mut completed = 0u64;
+        for _ in 0..n {
+            match client.recv()? {
+                Some(response) => match response.outcome {
+                    WireOutcome::Ok { .. } => completed += 1,
+                    other => panic!("unexpected outcome: {other:?}"),
+                },
+                None => break,
+            }
+        }
+        Ok(completed)
+    }
+
+    pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+        silence_injected_panics();
+        unsafe {
+            signal(SIGTERM, on_terminate);
+            signal(SIGINT, on_terminate);
+        }
+
+        let config = ServeConfig {
+            shards: 2,
+            shard_config: DeviceConfig {
+                int_arrays: 8,
+                float_arrays: 1,
+                workers: 2,
+                retry: RetryPolicy {
+                    max_attempts: 6,
+                    ..RetryPolicy::default()
+                },
+                fault: Some(FaultConfig::uniform(3, 20_000)),
+                ..DeviceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let tenants = vec![
+            TenantConfig::new("mapper").priority(Priority::Interactive),
+            TenantConfig::new("polisher").priority(Priority::Batch),
+        ];
+        let mut server = Server::start(config, tenants)?;
+
+        let path = std::env::temp_dir().join(format!("gendp-served-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        // Non-blocking accepts so the loop can notice SIGTERM between
+        // connections.
+        listener.set_nonblocking(true)?;
+        println!("serving on {}", path.display());
+
+        let completed = thread::scope(|scope| -> io::Result<u64> {
+            // The self-driving clients; a real deployment would have
+            // these on other processes.
+            let mapper = {
+                let path = path.clone();
+                scope.spawn(move || drive_client(&path, "mapper", 120, 41))
+            };
+            let polisher = {
+                let path = path.clone();
+                scope.spawn(move || drive_client(&path, "polisher", 80, 42))
+            };
+            let prober = {
+                let path = path.clone();
+                scope.spawn(move || -> io::Result<()> {
+                    let stream = UnixStream::connect(&path)?;
+                    let reader = stream.try_clone()?;
+                    let mut client = WireClient::new(reader, stream);
+                    let shards = client.shard_status()?;
+                    assert!(shards.iter().all(|s| s.state != ShardState::Dead));
+                    println!("probe: {} shards up", shards.len());
+                    Ok(())
+                })
+            };
+
+            let mut conns = Vec::new();
+            while !SHUTDOWN.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false)?;
+                        let server = &server;
+                        conns.push(scope.spawn(move || server.serve_unix_stream(stream)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Once the demo clients are done, terminate
+                        // ourselves the way a supervisor would.
+                        if mapper.is_finished() && polisher.is_finished() && prober.is_finished() {
+                            unsafe { raise(SIGTERM) };
+                        }
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            println!("SIGTERM: draining {} connection(s)", conns.len());
+            // Graceful drain: no new accepts; every open connection
+            // runs until its client hangs up, with all of its
+            // responses delivered.
+            for conn in conns {
+                conn.join().expect("connection thread")?;
+            }
+            let total = mapper.join().expect("mapper client")?
+                + polisher.join().expect("polisher client")?;
+            prober.join().expect("probe client")?;
+            Ok(total)
+        })?;
+        let _ = std::fs::remove_file(&path);
+
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(completed, 200, "every pipelined submission answered");
+        assert!(stats.totals.drained(), "drain delivered everything");
+        assert_eq!(stats.totals.failed, 0);
+        println!(
+            "drained clean: {} completed across {} shards, {} faults absorbed",
+            stats.totals.completed,
+            stats.shards.len(),
+            stats.recovery.faults_injected,
+        );
+        Ok(())
+    }
+}

@@ -128,6 +128,7 @@ fn faulty_config() -> ServeConfig {
         batch_max: 16,
         quantum_cells: 256,
         dispatch_queue: 2,
+        ..ServeConfig::default()
     }
 }
 
