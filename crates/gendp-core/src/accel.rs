@@ -176,12 +176,39 @@ pub struct PreparedTask {
 }
 
 impl PreparedTask {
-    pub(crate) fn new(array: PeArray, inputs: Vec<Word>, budget: u64) -> Self {
+    pub(crate) fn new(mut array: PeArray, inputs: Vec<Word>, budget: u64) -> Self {
+        // Run the verification gate eagerly so the certificate — cycle
+        // bounds, certified DP-cell cost, safety — is readable *before*
+        // the first execution (schedulers admit on it). A verification
+        // failure is deferred: `execute` re-runs the gate and reports it
+        // exactly as the one-shot path always has.
+        let _ = array.ensure_verified();
         PreparedTask {
             array,
             inputs,
             budget,
         }
+    }
+
+    /// The safety/cost certificate of the loaded programs, once the
+    /// verification gate has run (always, except under `no_verify`).
+    pub fn certificate(&self) -> Option<&gendp_verify::Certificate> {
+        self.array.certificate()
+    }
+
+    /// True when executions run the certified-unchecked decoded access
+    /// path (the certificate proved every access in bounds).
+    pub fn is_certified(&self) -> bool {
+        self.array.is_certified()
+    }
+
+    /// Pins executions to the bounds-checked access path even though the
+    /// certificate may allow the unchecked one. The certificate stays
+    /// readable; only the path downgrade is sticky. This is how
+    /// `bench-kernels` measures checked against certified-unchecked from
+    /// the same prepared task.
+    pub fn force_checked(&mut self) {
+        self.array.force_checked();
     }
 
     /// Executes the task once: resets the array's architectural state,

@@ -115,6 +115,19 @@ impl Dfg {
         Input::Node(NodeId(self.nodes.len() - 1))
     }
 
+    /// Appends a node with **no** builder validation: wrong arities,
+    /// forward or dangling node references, and any operator are
+    /// accepted verbatim. For graph sources that bypass the checked
+    /// builders (deserializers, generated code); `gendp-verify`'s DFG
+    /// lints are the gate that reports what this method lets through.
+    pub fn push_raw(&mut self, op: ComputeOp, inputs: &[Input]) -> Input {
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        Input::Node(NodeId(self.nodes.len() - 1))
+    }
+
     /// `a + b`
     pub fn add(&mut self, a: Input, b: Input) -> Input {
         self.node(ComputeOp::Add, &[a, b])

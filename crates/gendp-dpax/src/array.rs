@@ -8,7 +8,7 @@ use gendp_isa::{
     ComputeProgram, ControlProgram, DecodedComputeProgram, DecodedControlProgram, Word,
 };
 
-use crate::config::PeArrayConfig;
+use crate::config::{Engine, PeArrayConfig};
 use crate::error::SimError;
 use crate::pe::{ExtView, Pe, Progress};
 use crate::stats::RunStats;
@@ -40,6 +40,14 @@ pub struct PeArray {
     /// [`reset`](Self::reset) so repeated executions of one loaded array
     /// pay the verifier exactly once. Cleared by every `load_*`.
     verified: bool,
+    /// The safety/cost certificate produced by the verification gate;
+    /// `None` until the gate has run (or with `no_verify`). Survives
+    /// [`reset`](Self::reset); cleared by every `load_*`.
+    certificate: Option<gendp_verify::Certificate>,
+    /// True when the certificate proves every access in bounds, the
+    /// engine is [`Engine::Decoded`] and no PE needs the interpreter
+    /// fallback: the PEs run the certified-unchecked access path.
+    certified: bool,
     trace: Option<Trace>,
 }
 
@@ -68,6 +76,8 @@ impl PeArray {
             cfg,
             cycles: 0,
             verified: false,
+            certificate: None,
+            certified: false,
             trace: None,
         }
     }
@@ -124,7 +134,7 @@ impl PeArray {
         let program = program.into();
         let decoded = Arc::new(DecodedControlProgram::decode(&program));
         self.pes[pe].load_control(program, decoded);
-        self.verified = false;
+        self.invalidate_verification();
     }
 
     /// Loads the compute program of PE `pe`. Accepts an owned program or a
@@ -137,7 +147,7 @@ impl PeArray {
         let program = program.into();
         let decoded = Arc::new(DecodedComputeProgram::decode(&program));
         self.pes[pe].load_compute(program, decoded);
-        self.verified = false;
+        self.invalidate_verification();
     }
 
     /// Loads the same compute program into every PE (the usual case: all
@@ -150,7 +160,19 @@ impl PeArray {
         for pe in &mut self.pes {
             pe.load_compute(Arc::clone(&program), Arc::clone(&decoded));
         }
+        self.invalidate_verification();
+    }
+
+    /// A program load obsoletes the verification status and its
+    /// certificate, so every PE falls back to the checked access path
+    /// until the gate runs again.
+    fn invalidate_verification(&mut self) {
         self.verified = false;
+        self.certified = false;
+        self.certificate = None;
+        for pe in &mut self.pes {
+            pe.set_unchecked(false);
+        }
     }
 
     /// Appends words to the input stream feeding the first PE.
@@ -172,6 +194,14 @@ impl PeArray {
     /// configuration. Returns the full report (including warnings); the
     /// pre-run gate in [`run`](Self::run) only rejects on errors.
     pub fn verify_programs(&self) -> gendp_verify::Report {
+        self.certify_programs().0
+    }
+
+    /// Statically verifies the loaded programs and keeps the proofs: the
+    /// returned [`Certificate`](gendp_verify::Certificate) carries the
+    /// bounds proofs, the static cycle model and the FIFO/footprint
+    /// bounds the fixpoint established alongside the diagnostics.
+    pub fn certify_programs(&self) -> (gendp_verify::Report, gendp_verify::Certificate) {
         let contract = gendp_verify::PeContract {
             n_pes: self.cfg.n_pes,
             rf_slots: self.cfg.rf_slots,
@@ -186,7 +216,66 @@ impl PeArray {
             .iter()
             .map(|pe| (pe.control_program(), pe.compute_program()))
             .collect();
-        gendp_verify::Verifier::new(contract).verify_array(&units)
+        gendp_verify::Verifier::new(contract).certify_array(&units)
+    }
+
+    /// Runs the pre-run verification gate now instead of at the first
+    /// [`run`](Self::run): verifies and certifies the loaded programs,
+    /// and switches the PEs to the certified-unchecked access path when
+    /// the certificate allows it. Idempotent until the next `load_*`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Verify`] if the programs fail static verification.
+    /// With [`PeArrayConfig::no_verify`] this is a no-op.
+    pub fn ensure_verified(&mut self) -> Result<(), SimError> {
+        if !self.cfg.verify || self.verified {
+            return Ok(());
+        }
+        let (report, cert) = self.certify_programs();
+        if report.has_errors() {
+            return Err(SimError::Verify(report));
+        }
+        self.verified = true;
+        // The unchecked path is legal only when the certificate proves
+        // every access in bounds AND the decoded engine can execute every
+        // instruction natively (the interpreter fallback re-checks at the
+        // assembly level, which is exactly what certification removes).
+        self.certified = self.cfg.certify
+            && cert.safe()
+            && self.cfg.engine == Engine::Decoded
+            && self.pes.iter().all(|pe| !pe.decoded_has_interp());
+        self.certificate = Some(cert);
+        for pe in &mut self.pes {
+            pe.set_unchecked(self.certified);
+        }
+        Ok(())
+    }
+
+    /// The certificate produced by the verification gate, once it has
+    /// run ([`run`](Self::run) or [`ensure_verified`](Self::ensure_verified)).
+    pub fn certificate(&self) -> Option<&gendp_verify::Certificate> {
+        self.certificate.as_ref()
+    }
+
+    /// True when the array is executing through the certified-unchecked
+    /// decoded access path.
+    pub fn is_certified(&self) -> bool {
+        self.certified
+    }
+
+    /// Drops the array back to the bounds-checked access path and keeps
+    /// it there (equivalent to [`PeArrayConfig::no_certify`], applied
+    /// after construction). Verification and the certificate itself are
+    /// untouched; only the execution path downgrade is sticky, so A/B
+    /// measurements can run checked and unchecked from the same loaded
+    /// programs.
+    pub fn force_checked(&mut self) {
+        self.cfg.certify = false;
+        self.certified = false;
+        for pe in &mut self.pes {
+            pe.set_unchecked(false);
+        }
     }
 
     /// Runs until every control and compute thread has halted.
@@ -199,13 +288,7 @@ impl PeArray {
     /// progress; [`SimError::Timeout`] if `max_cycles` elapse first;
     /// [`SimError::BadAccess`] on out-of-range addressing.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
-        if self.cfg.verify && !self.verified {
-            let report = self.verify_programs();
-            if report.has_errors() {
-                return Err(SimError::Verify(report));
-            }
-            self.verified = true;
-        }
+        self.ensure_verified()?;
         let n = self.cfg.n_pes;
         while !self.pes.iter().all(Pe::is_halted) {
             if self.cycles >= max_cycles {

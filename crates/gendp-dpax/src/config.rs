@@ -50,6 +50,11 @@ pub struct PeArrayConfig {
     /// first cycle; error diagnostics abort the run with
     /// [`SimError::Verify`](crate::SimError::Verify). On by default.
     pub verify: bool,
+    /// Let a safe certificate switch the decoded engine onto the
+    /// certified-unchecked access path. On by default; turning it off
+    /// keeps the bounds-checked path even for certified programs (A/B
+    /// measurement, debugging).
+    pub certify: bool,
     /// Execution engine for the per-cycle loop (decoded fast path by
     /// default; the interpreted reference engine produces bit-identical
     /// results and statistics).
@@ -74,6 +79,7 @@ impl PeArrayConfig {
             luts: Luts::default(),
             fifo_broadcast: false,
             verify: true,
+            certify: true,
             engine: Engine::default(),
         }
     }
@@ -101,6 +107,13 @@ impl PeArrayConfig {
     /// the simulator's own dynamic checks.
     pub fn no_verify(mut self) -> Self {
         self.verify = false;
+        self
+    }
+
+    /// Keeps the bounds-checked access path even when the certificate
+    /// would allow the unchecked one, returning `self` for chaining.
+    pub fn no_certify(mut self) -> Self {
+        self.certify = false;
         self
     }
 

@@ -73,8 +73,36 @@ pub(crate) struct Pe {
     dcompute: Arc<DecodedComputeProgram>,
     compute_pc: Option<usize>,
     engine: Engine,
+    /// Certified-unchecked mode: the array proved (via
+    /// [`gendp_verify::Certificate::safe`]) that every access is in
+    /// bounds, so the decoded engine runs with debug-assert-only bounds.
+    /// Cleared by every program load; set again by the array's
+    /// verification gate.
+    unchecked: bool,
     index: usize,
     pub stats: PeStats,
+}
+
+/// Indexes `mem` — checked normally, `get_unchecked` in the certified
+/// instantiation (the preceding [`Pe::bound_g`] already debug-asserted).
+#[inline(always)]
+fn read_at<const U: bool, T: Copy>(mem: &[T], idx: usize) -> T {
+    if U {
+        unsafe { *mem.get_unchecked(idx) }
+    } else {
+        mem[idx]
+    }
+}
+
+/// Writes `mem[idx]` — checked normally, `get_unchecked_mut` in the
+/// certified instantiation.
+#[inline(always)]
+fn write_at<const U: bool, T>(mem: &mut [T], idx: usize, v: T) {
+    if U {
+        unsafe { *mem.get_unchecked_mut(idx) = v }
+    } else {
+        mem[idx] = v;
+    }
 }
 
 /// Resolved source value plus its external cost.
@@ -99,9 +127,23 @@ impl Pe {
             dcompute: Arc::new(DecodedComputeProgram::default()),
             compute_pc: None,
             engine: cfg.engine,
+            unchecked: false,
             index,
             stats: PeStats::default(),
         }
+    }
+
+    /// Switches the decoded engine between the checked and the
+    /// certified-unchecked access path. Only the array's verification
+    /// gate may enable this, and only with a safety certificate in hand.
+    pub(crate) fn set_unchecked(&mut self, on: bool) {
+        self.unchecked = on;
+    }
+
+    /// Whether the decoded control program needed any per-instruction
+    /// interpreter fallback (which the unchecked path must not take).
+    pub(crate) fn decoded_has_interp(&self) -> bool {
+        self.dctrl.has_interp()
     }
 
     /// Loads a control program together with its pre-decoded form. The
@@ -116,6 +158,7 @@ impl Pe {
         self.ctrl = program;
         self.dctrl = decoded;
         self.ctrl_pc = 0;
+        self.unchecked = false;
     }
 
     /// Resets all architectural state — registers, scratchpad, address
@@ -143,6 +186,7 @@ impl Pe {
         self.compute = program;
         self.dcompute = decoded;
         self.compute_pc = None;
+        self.unchecked = false;
     }
 
     /// The loaded control program.
@@ -191,12 +235,33 @@ impl Pe {
             .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg {r}", self.index)))
     }
 
-    /// Decoded-path address-register read (same diagnostics as [`Self::areg`]).
-    fn areg_at(&self, r: u8) -> Result<i32, SimError> {
-        self.aregs
-            .get(r as usize)
-            .copied()
-            .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg a{r}", self.index)))
+    /// Decoded-path address-register read (same diagnostics as
+    /// [`Self::areg`]). The `U = true` instantiation is the certified
+    /// path: the bound is a debug assertion backed by the certificate.
+    fn areg_at_g<const U: bool>(&self, r: u8) -> Result<i32, SimError> {
+        if U {
+            debug_assert!(
+                (r as usize) < self.aregs.len(),
+                "certificate violated: areg a{r}"
+            );
+            Ok(read_at::<U, _>(&self.aregs, r as usize))
+        } else {
+            self.aregs
+                .get(r as usize)
+                .copied()
+                .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg a{r}", self.index)))
+        }
+    }
+
+    /// Bounds gate for the decoded path: a real check normally, a debug
+    /// assertion in the certified-unchecked instantiation.
+    fn bound_g<const U: bool, T>(&self, mem: &[T], idx: usize, what: &str) -> Result<(), SimError> {
+        if U {
+            debug_assert!(idx < mem.len(), "certificate violated: {what}[{idx}]");
+            Ok(())
+        } else {
+            self.bound(mem, idx, what)
+        }
     }
 
     fn resolve(&self, loc: Loc) -> Result<usize, SimError> {
@@ -220,15 +285,19 @@ impl Pe {
     }
 
     /// Decoded-path indirect resolution; reconstructs the assembly `Loc`
-    /// only on the cold error path.
-    fn dresolve(&self, areg: u8, offset: i16, space: Space) -> Result<usize, SimError> {
-        let base = self
-            .aregs
-            .get(areg as usize)
-            .copied()
-            .ok_or_else(|| SimError::BadAccess(format!("pe{}: areg a{areg}", self.index)))?;
+    /// only on the cold error path. The certified instantiation skips the
+    /// negative check (the certificate proves the interval non-negative).
+    fn dresolve_g<const U: bool>(
+        &self,
+        areg: u8,
+        offset: i16,
+        space: Space,
+    ) -> Result<usize, SimError> {
+        let base = self.areg_at_g::<U>(areg)?;
         let v = base as i64 + offset as i64;
-        if v < 0 {
+        if U {
+            debug_assert!(v >= 0, "certificate violated: negative address {v}");
+        } else if v < 0 {
             return Err(SimError::BadAccess(format!(
                 "pe{}: negative address {v} for {}",
                 self.index,
@@ -296,40 +365,54 @@ impl Pe {
     }
 
     /// Decoded-path read: one flat match, no space/addressing re-dispatch.
-    fn dtry_read(&self, loc: DecodedLoc, ext: &ExtView) -> Result<ReadOutcome, SimError> {
+    /// The `U = true` instantiation is the certified-unchecked path: all
+    /// bounds become debug assertions, while the semantic stall and
+    /// permission logic (RF interlock, port readiness, FIFO roles) is
+    /// retained verbatim.
+    fn dtry_read_g<const U: bool>(
+        &self,
+        loc: DecodedLoc,
+        ext: &ExtView,
+    ) -> Result<ReadOutcome, SimError> {
         match loc {
             DecodedLoc::RfDirect(i) => {
                 if self.compute_busy() {
                     return Ok(ReadOutcome::Stall); // RF interlock
                 }
-                self.bound(&self.rf, i, "rf")?;
-                Ok(ReadOutcome::Value(self.rf[i]))
+                self.bound_g::<U, _>(&self.rf, i, "rf")?;
+                Ok(ReadOutcome::Value(read_at::<U, _>(&self.rf, i)))
             }
             DecodedLoc::RfIndirect { areg, offset } => {
                 if self.compute_busy() {
                     return Ok(ReadOutcome::Stall);
                 }
-                let i = self.dresolve(areg, offset, Space::Rf)?;
-                self.bound(&self.rf, i, "rf")?;
-                Ok(ReadOutcome::Value(self.rf[i]))
+                let i = self.dresolve_g::<U>(areg, offset, Space::Rf)?;
+                self.bound_g::<U, _>(&self.rf, i, "rf")?;
+                Ok(ReadOutcome::Value(read_at::<U, _>(&self.rf, i)))
             }
             DecodedLoc::SpmDirect(i) => {
-                self.bound(&self.spm, i, "spm")?;
-                Ok(ReadOutcome::Value(self.spm[i]))
+                self.bound_g::<U, _>(&self.spm, i, "spm")?;
+                Ok(ReadOutcome::Value(read_at::<U, _>(&self.spm, i)))
             }
             DecodedLoc::SpmIndirect { areg, offset } => {
-                let i = self.dresolve(areg, offset, Space::Spm)?;
-                self.bound(&self.spm, i, "spm")?;
-                Ok(ReadOutcome::Value(self.spm[i]))
+                let i = self.dresolve_g::<U>(areg, offset, Space::Spm)?;
+                self.bound_g::<U, _>(&self.spm, i, "spm")?;
+                Ok(ReadOutcome::Value(read_at::<U, _>(&self.spm, i)))
             }
             DecodedLoc::AregDirect(i) => {
-                self.bound(&self.aregs, i, "areg")?;
-                Ok(ReadOutcome::Value(Word::from_i32(self.aregs[i])))
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                Ok(ReadOutcome::Value(Word::from_i32(read_at::<U, _>(
+                    &self.aregs,
+                    i,
+                ))))
             }
             DecodedLoc::AregIndirect { areg, offset } => {
-                let i = self.dresolve(areg, offset, Space::Areg)?;
-                self.bound(&self.aregs, i, "areg")?;
-                Ok(ReadOutcome::Value(Word::from_i32(self.aregs[i])))
+                let i = self.dresolve_g::<U>(areg, offset, Space::Areg)?;
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                Ok(ReadOutcome::Value(Word::from_i32(read_at::<U, _>(
+                    &self.aregs,
+                    i,
+                ))))
             }
             DecodedLoc::In => match ext.in_avail {
                 Some(w) => Ok(ReadOutcome::Value(w)),
@@ -427,38 +510,42 @@ impl Pe {
         Ok(eff)
     }
 
-    /// Decoded-path write commit.
-    fn dcommit_write(&mut self, loc: DecodedLoc, w: Word) -> Result<ExtEffect, SimError> {
+    /// Decoded-path write commit (`U` as in [`Self::dtry_read_g`]).
+    fn dcommit_write_g<const U: bool>(
+        &mut self,
+        loc: DecodedLoc,
+        w: Word,
+    ) -> Result<ExtEffect, SimError> {
         let mut eff = ExtEffect::default();
         match loc {
             DecodedLoc::RfDirect(i) => {
-                self.bound(&self.rf, i, "rf")?;
-                self.rf[i] = w;
+                self.bound_g::<U, _>(&self.rf, i, "rf")?;
+                write_at::<U, _>(&mut self.rf, i, w);
             }
             DecodedLoc::RfIndirect { areg, offset } => {
-                let i = self.dresolve(areg, offset, Space::Rf)?;
-                self.bound(&self.rf, i, "rf")?;
-                self.rf[i] = w;
+                let i = self.dresolve_g::<U>(areg, offset, Space::Rf)?;
+                self.bound_g::<U, _>(&self.rf, i, "rf")?;
+                write_at::<U, _>(&mut self.rf, i, w);
             }
             DecodedLoc::SpmDirect(i) => {
-                self.bound(&self.spm, i, "spm")?;
-                self.spm[i] = w;
+                self.bound_g::<U, _>(&self.spm, i, "spm")?;
+                write_at::<U, _>(&mut self.spm, i, w);
                 self.stats.spm_accesses += 1;
             }
             DecodedLoc::SpmIndirect { areg, offset } => {
-                let i = self.dresolve(areg, offset, Space::Spm)?;
-                self.bound(&self.spm, i, "spm")?;
-                self.spm[i] = w;
+                let i = self.dresolve_g::<U>(areg, offset, Space::Spm)?;
+                self.bound_g::<U, _>(&self.spm, i, "spm")?;
+                write_at::<U, _>(&mut self.spm, i, w);
                 self.stats.spm_accesses += 1;
             }
             DecodedLoc::AregDirect(i) => {
-                self.bound(&self.aregs, i, "areg")?;
-                self.aregs[i] = w.as_i32();
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                write_at::<U, _>(&mut self.aregs, i, w.as_i32());
             }
             DecodedLoc::AregIndirect { areg, offset } => {
-                let i = self.dresolve(areg, offset, Space::Areg)?;
-                self.bound(&self.aregs, i, "areg")?;
-                self.aregs[i] = w.as_i32();
+                let i = self.dresolve_g::<U>(areg, offset, Space::Areg)?;
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                write_at::<U, _>(&mut self.aregs, i, w.as_i32());
             }
             DecodedLoc::Out => {
                 eff.wrote_out = Some(w);
@@ -612,7 +699,20 @@ impl Pe {
 
     /// The decoded engine's control step: same semantics and statistics as
     /// [`Self::exec_ctrl_interp`], without re-decoding the encoding.
+    /// Dispatches once per step to the checked or the certified-unchecked
+    /// monomorphization.
     fn step_ctrl_decoded(&mut self, ext: &ExtView) -> Result<(Progress, ExtEffect), SimError> {
+        if self.unchecked {
+            self.step_ctrl_decoded_g::<true>(ext)
+        } else {
+            self.step_ctrl_decoded_g::<false>(ext)
+        }
+    }
+
+    fn step_ctrl_decoded_g<const U: bool>(
+        &mut self,
+        ext: &ExtView,
+    ) -> Result<(Progress, ExtEffect), SimError> {
         let inst = match self.dctrl.get(self.ctrl_pc) {
             Some(i) => *i,
             None => {
@@ -629,16 +729,18 @@ impl Pe {
                 return Ok((Progress::Halted, eff));
             }
             DecodedCtrlInst::Add { rd, rs1, rs2 } => {
-                let v = self.areg_at(rs1)?.wrapping_add(self.areg_at(rs2)?);
+                let v = self
+                    .areg_at_g::<U>(rs1)?
+                    .wrapping_add(self.areg_at_g::<U>(rs2)?);
                 let i = rd as usize;
-                self.bound(&self.aregs, i, "areg")?;
-                self.aregs[i] = v;
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                write_at::<U, _>(&mut self.aregs, i, v);
             }
             DecodedCtrlInst::Addi { rd, rs1, imm } => {
-                let v = self.areg_at(rs1)?.wrapping_add(imm);
+                let v = self.areg_at_g::<U>(rs1)?.wrapping_add(imm);
                 let i = rd as usize;
-                self.bound(&self.aregs, i, "areg")?;
-                self.aregs[i] = v;
+                self.bound_g::<U, _>(&self.aregs, i, "areg")?;
+                write_at::<U, _>(&mut self.aregs, i, v);
             }
             DecodedCtrlInst::Branch {
                 cond,
@@ -647,7 +749,7 @@ impl Pe {
                 target,
             } => {
                 self.stats.ctrl_insts += 1;
-                if cond.eval(self.areg_at(rs1)?, self.areg_at(rs2)?) {
+                if cond.eval(self.areg_at_g::<U>(rs1)?, self.areg_at_g::<U>(rs2)?) {
                     if target < 0 {
                         return Err(SimError::BadAccess(format!(
                             "pe{}: branch to negative pc {target}",
@@ -665,10 +767,10 @@ impl Pe {
                     self.stats.ctrl_stalls += 1;
                     return Ok((Progress::Stalled, eff));
                 }
-                eff = self.dcommit_write(dest, word)?;
+                eff = self.dcommit_write_g::<U>(dest, word)?;
             }
             DecodedCtrlInst::Mv { dest, src } => {
-                let value = match self.dtry_read(src, ext)? {
+                let value = match self.dtry_read_g::<U>(src, ext)? {
                     ReadOutcome::Stall => {
                         self.stats.ctrl_stalls += 1;
                         return Ok((Progress::Stalled, eff));
@@ -691,7 +793,7 @@ impl Pe {
                     }
                     _ => {}
                 }
-                let weff = self.dcommit_write(dest, value)?;
+                let weff = self.dcommit_write_g::<U>(dest, value)?;
                 eff.wrote_out = weff.wrote_out;
                 eff.pushed_fifo = weff.pushed_fifo;
             }
@@ -717,6 +819,7 @@ impl Pe {
                 self.stats.cells += 1;
             }
             DecodedCtrlInst::Interp => {
+                debug_assert!(!U, "certified arrays exclude interpreter-fallback programs");
                 let orig = *self
                     .ctrl
                     .get(self.ctrl_pc)
@@ -800,6 +903,14 @@ impl Pe {
     /// ALU input scratch live on the stack), with per-instruction
     /// statistics read from the decoded word instead of recounted.
     fn step_compute_decoded(&mut self) -> Result<bool, SimError> {
+        if self.unchecked {
+            self.step_compute_decoded_g::<true>()
+        } else {
+            self.step_compute_decoded_g::<false>()
+        }
+    }
+
+    fn step_compute_decoded_g<const U: bool>(&mut self) -> Result<bool, SimError> {
         let pc = match self.compute_pc {
             Some(pc) => pc,
             None => return Ok(false),
@@ -813,8 +924,8 @@ impl Pe {
             match slot {
                 DecodedCu::Nop => {}
                 DecodedCu::Mul { a, b, dest } => {
-                    let av = self.doperand(*a)?;
-                    let bv = self.doperand(*b)?;
+                    let av = self.doperand_g::<U>(*a)?;
+                    let bv = self.doperand_g::<U>(*b)?;
                     let r = apply(ComputeOp::Mul, self.mode, &[av, bv], &self.luts);
                     writes[n_writes] = (*dest, r);
                     n_writes += 1;
@@ -823,7 +934,7 @@ impl Pe {
                     let wn = t.wide_n as usize;
                     let mut wide = [Word::ZERO; 4];
                     for (k, o) in t.wide_ins[..wn].iter().enumerate() {
-                        wide[k] = self.doperand(*o)?;
+                        wide[k] = self.doperand_g::<U>(*o)?;
                     }
                     let a_out = if t.wide_op == ComputeOp::Nop {
                         Word::ZERO
@@ -833,7 +944,7 @@ impl Pe {
                     let nn = t.narrow_n as usize;
                     let mut narrow = [Word::ZERO; 2];
                     for (k, o) in t.narrow_ins[..nn].iter().enumerate() {
-                        narrow[k] = self.doperand(*o)?;
+                        narrow[k] = self.doperand_g::<U>(*o)?;
                     }
                     let b_out = if t.narrow_op == ComputeOp::Nop {
                         Word::ZERO
@@ -850,8 +961,8 @@ impl Pe {
         self.stats.rf_accesses += rf_accesses as u64;
         for &(d, w) in &writes[..n_writes] {
             let i = d as usize;
-            self.bound(&self.rf, i, "rf")?;
-            self.rf[i] = w;
+            self.bound_g::<U, _>(&self.rf, i, "rf")?;
+            write_at::<U, _>(&mut self.rf, i, w);
         }
         self.stats.vliw_issued += 1;
         self.stats.cu_slots_active += active_slots as u64;
@@ -875,12 +986,12 @@ impl Pe {
         }
     }
 
-    fn doperand(&self, o: DecodedOperand) -> Result<Word, SimError> {
+    fn doperand_g<const U: bool>(&self, o: DecodedOperand) -> Result<Word, SimError> {
         match o {
             DecodedOperand::Reg(r) => {
                 let i = r as usize;
-                self.bound(&self.rf, i, "rf")?;
-                Ok(self.rf[i])
+                self.bound_g::<U, _>(&self.rf, i, "rf")?;
+                Ok(read_at::<U, _>(&self.rf, i))
             }
             DecodedOperand::Imm(w) => Ok(w),
         }

@@ -95,5 +95,6 @@ pub use queue::BoundedQueue;
 pub use recovery::{Heartbeat, RetryPolicy, SlotHealth};
 pub use report::{ArrayReport, DeviceReport, KernelStats, RecoveryReport};
 pub use task::{
-    ArrayClass, KernelKind, Task, TaskFailure, TaskResult, TaskValue, DTW_BAND_SENTINEL,
+    ArrayClass, CertifiedCost, KernelKind, Task, TaskFailure, TaskResult, TaskValue,
+    DTW_BAND_SENTINEL,
 };

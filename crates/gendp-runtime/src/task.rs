@@ -282,6 +282,37 @@ fn codes(s: &DnaSeq) -> Vec<i32> {
     s.codes().iter().map(|&c| c as i32).collect()
 }
 
+/// Certified cost of one task, distilled from the
+/// [`Certificate`](gendp_verify::Certificate) its prepared array carries:
+/// what a scheduler may charge and promise without running anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedCost {
+    /// Certified DP-cell count (total `set cu` executions): the proven
+    /// upper bound on what the run's `stats.cells()` will report.
+    pub cost_cells: u64,
+    /// Proven lower bound on simulated cycles: no successful run finishes
+    /// in fewer. The deadline-infeasibility gate.
+    pub cycle_floor: u64,
+    /// Proven upper bound on simulated cycles, when the control programs
+    /// are loop-bounded (`None` after widening).
+    pub cycle_bound: Option<u64>,
+    /// True when `cost_cells` is exact on every path, not just a bound.
+    pub exact: bool,
+}
+
+impl CertifiedCost {
+    /// Distills a certificate into scheduler-facing numbers; `None` when
+    /// the cell cost is unbounded (widened loops around `set cu`).
+    pub fn from_certificate(cert: &gendp_verify::Certificate) -> Option<CertifiedCost> {
+        Some(CertifiedCost {
+            cost_cells: cert.cost_cells()?,
+            cycle_floor: cert.cycle_floor(),
+            cycle_bound: cert.cycle_bound(),
+            exact: cert.cells_exact(),
+        })
+    }
+}
+
 impl Task {
     /// A local-alignment BSW task (the read-mapping default).
     pub fn bsw_local(query: DnaSeq, target: DnaSeq, scoring: Scoring) -> Task {
@@ -457,6 +488,158 @@ impl Task {
             }
         }
         report
+    }
+
+    /// The certified cost of this task on an `n_pes`-wide array: prepares
+    /// the task (program generation + the verify/certify gate, no
+    /// simulation) and distills the resulting certificate. `None` when
+    /// certification could not bound the cost — schedulers then fall back
+    /// to [`cells_estimate`](Self::cells_estimate).
+    pub fn certified_cost(&self, n_pes: usize) -> Option<CertifiedCost> {
+        /// One task through configure + prepare, harvesting the
+        /// certificate the prepared array carries.
+        fn harvest<'t, A: Accelerator>(accel: A, task: &A::Task<'t>) -> Option<CertifiedCost> {
+            let prep = accel.configure(AccelConfig::new()).prepare(task);
+            CertifiedCost::from_certificate(prep.certificate()?)
+        }
+
+        // A shape preflight would reject can't be prepared, let alone
+        // certified; keep this method total on arbitrary inputs.
+        if self.preflight().has_errors() {
+            return None;
+        }
+
+        match self {
+            Task::Bsw {
+                query,
+                target,
+                scoring,
+                mode,
+            } => {
+                let (rows, cols) = (codes(target), codes(query));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                match (mode, scoring.gap) {
+                    (AlignMode::Local, GapModel::Convex { .. }) => {
+                        harvest(GendpPipeline::bsw_convex(scoring), &task)
+                    }
+                    (AlignMode::Local, _) => harvest(GendpPipeline::bsw(scoring), &task),
+                    (AlignMode::Global, _) => harvest(GendpPipeline::bsw_global(scoring), &task),
+                    (AlignMode::SemiGlobal, _) => {
+                        harvest(GendpPipeline::bsw_semiglobal(scoring, query.len()), &task)
+                    }
+                }
+            }
+            Task::BswSimd { pairs, scoring } => {
+                if pairs.len() != 4 {
+                    return None; // preflight rejects; nothing to certify
+                }
+                let qs: Vec<Vec<u8>> = pairs.iter().map(|(q, _)| q.codes()).collect();
+                let ts: Vec<Vec<u8>> = pairs.iter().map(|(_, t)| t.codes()).collect();
+                let cols = pack_lanes([&qs[0], &qs[1], &qs[2], &qs[3]]);
+                let rows = pack_lanes([&ts[0], &ts[1], &ts[2], &ts[3]]);
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                harvest(GendpPipeline::bsw_simd(scoring), &task)
+            }
+            Task::PairHmm {
+                read,
+                haplotype,
+                qual,
+                scale,
+                params,
+            } => {
+                let (rows, cols) = (codes(read), codes(haplotype));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                harvest(
+                    GendpPipeline::pairhmm(params, *qual, *scale, haplotype.len()),
+                    &task,
+                )
+            }
+            Task::PairHmmFloat {
+                read,
+                haplotype,
+                qual,
+                params,
+            } => {
+                let (rows, cols) = (codes(read), codes(haplotype));
+                let task = WavefrontTask {
+                    rows: &rows,
+                    cols: &cols,
+                    n_pes,
+                    band: None,
+                };
+                harvest(
+                    GendpPipeline::pairhmm_float(params, *qual, haplotype.len()),
+                    &task,
+                )
+            }
+            Task::Dtw { xs, ys } => {
+                let task = WavefrontTask {
+                    rows: xs,
+                    cols: ys,
+                    n_pes,
+                    band: None,
+                };
+                harvest(GendpPipeline::dtw(), &task)
+            }
+            Task::DtwBanded { xs, ys, width } => {
+                let task = WavefrontTask {
+                    rows: xs,
+                    cols: ys,
+                    n_pes,
+                    band: Some(BandSpec {
+                        width: *width,
+                        sentinel: DTW_BAND_SENTINEL,
+                    }),
+                };
+                harvest(GendpPipeline::dtw_banded(ys.len()), &task)
+            }
+            Task::Chain { anchors, params } => {
+                let task = ChainTask {
+                    anchors,
+                    n_pes: params.n_prev,
+                };
+                harvest(GendpPipeline::chain(*params), &task)
+            }
+            Task::Poa {
+                graph,
+                probe,
+                scoring,
+            } => {
+                let task = PoaTask {
+                    graph,
+                    seq: probe,
+                    n_pes,
+                };
+                harvest(GendpPipeline::poa(*scoring), &task)
+            }
+            Task::BellmanFord {
+                graph,
+                source,
+                rounds,
+            } => {
+                let task = BellmanFordTask {
+                    graph,
+                    source: *source,
+                    rounds: *rounds,
+                };
+                harvest(GendpPipeline::bellman_ford(), &task)
+            }
+        }
     }
 
     /// Runs this task on one simulated PE array with `n_pes` processing

@@ -9,10 +9,14 @@
 //!    `gendp-verify` gate the device applies, so a malformed request is
 //!    rejected with a diagnostic instead of occupying a slot and
 //!    failing later;
-//! 3. **queued quota**, then **in-flight quota** — bounded per-tenant
+//! 3. **deadline feasibility** — when the server has a cycle-rate
+//!    budget and the task carries a certificate, a request whose
+//!    certified cycle *lower bound* already exceeds its deadline is
+//!    rejected up front instead of being admitted only to expire;
+//! 4. **queued quota**, then **in-flight quota** — bounded per-tenant
 //!    memory; both use optimistic increment-check-undo so concurrent
 //!    submitters never overshoot;
-//! 4. **rate limit** — the token bucket runs *last* so a request that
+//! 5. **rate limit** — the token bucket runs *last* so a request that
 //!    would be rejected anyway never spends a token.
 
 use std::fmt;
@@ -40,6 +44,11 @@ pub enum AdmissionError {
     /// The tenant's scheduler queue is at `max_queued` — the
     /// backpressure signal.
     QueueFull,
+    /// The certificate's cycle lower bound already exceeds the request
+    /// deadline at the configured shard cycle rate, so the request
+    /// provably cannot finish in time. Only raised when
+    /// `ServeConfig::cycle_rate` is set and the task certifies.
+    DeadlineInfeasible,
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -53,6 +62,7 @@ impl AdmissionError {
             AdmissionError::RateLimited => "rate-limited",
             AdmissionError::OverQuota => "over-quota",
             AdmissionError::QueueFull => "queue-full",
+            AdmissionError::DeadlineInfeasible => "deadline-infeasible",
             AdmissionError::ShuttingDown => "shutting-down",
         }
     }
@@ -66,6 +76,9 @@ impl fmt::Display for AdmissionError {
             AdmissionError::RateLimited => f.write_str("rate limit exceeded"),
             AdmissionError::OverQuota => f.write_str("in-flight quota exceeded"),
             AdmissionError::QueueFull => f.write_str("tenant queue full"),
+            AdmissionError::DeadlineInfeasible => {
+                f.write_str("certified cycle bound cannot meet the deadline")
+            }
             AdmissionError::ShuttingDown => f.write_str("server is shutting down"),
         }
     }
@@ -112,11 +125,18 @@ impl TenantState {
     /// `queued` and `in_flight` counts have both been incremented; the
     /// scheduler decrements `queued` at dispatch and the shard
     /// decrements `in_flight` at delivery. On `Err` nothing is held.
+    ///
+    /// `infeasible` is the caller's deadline-infeasibility verdict
+    /// (certified cycle lower bound exceeds the remaining deadline); it
+    /// is checked after preflight — a malformed task reports its
+    /// diagnostics — but before the quotas and the token bucket, so a
+    /// provably-late request never spends a token.
     pub fn admit(
         &self,
         task: &Task,
         now_nanos: u64,
         shutting_down: bool,
+        infeasible: bool,
     ) -> Result<(), AdmissionError> {
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         if shutting_down {
@@ -128,6 +148,12 @@ impl TenantState {
                 .rejected_invalid
                 .fetch_add(1, Ordering::Relaxed);
             return Err(AdmissionError::Invalid(report.to_string()));
+        }
+        if infeasible {
+            self.counters
+                .rejected_infeasible
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::DeadlineInfeasible);
         }
         // Optimistic increment, undo on overshoot: never lets a burst of
         // concurrent submitters exceed the quota.
@@ -180,16 +206,16 @@ mod tests {
     #[test]
     fn admit_holds_quota_and_rejects_at_limits() {
         let state = TenantState::new(TenantConfig::new("t").quotas(2, 2));
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
         assert_eq!(
-            state.admit(&small_task(), 0, false),
+            state.admit(&small_task(), 0, false, false),
             Err(AdmissionError::QueueFull)
         );
         // Dispatch frees a queue slot but not the in-flight slot.
         state.queued.fetch_sub(1, Ordering::AcqRel);
         assert_eq!(
-            state.admit(&small_task(), 0, false),
+            state.admit(&small_task(), 0, false, false),
             Err(AdmissionError::OverQuota)
         );
         assert_eq!(
@@ -199,7 +225,7 @@ mod tests {
         );
         // Delivery frees the in-flight slot too.
         state.in_flight.fetch_sub(1, Ordering::AcqRel);
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
         let snap = state.counters.snapshot();
         assert_eq!(snap.accepted, 3);
         assert_eq!(snap.rejected_quota, 2);
@@ -212,7 +238,7 @@ mod tests {
             burst: 1.0,
         }));
         let bad = Task::bsw_local(DnaSeq::default(), DnaSeq::default(), Scoring::bwa_mem());
-        match state.admit(&bad, 0, false) {
+        match state.admit(&bad, 0, false, false) {
             Err(AdmissionError::Invalid(report)) => {
                 assert!(report.contains("empty"), "report: {report}");
             }
@@ -220,7 +246,7 @@ mod tests {
         }
         assert_eq!(state.queued.load(Ordering::Acquire), 0);
         // The single burst token is still there for a valid request.
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
     }
 
     #[test]
@@ -229,23 +255,26 @@ mod tests {
             requests_per_sec: 2.0,
             burst: 2.0,
         }));
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
-        assert_eq!(state.admit(&small_task(), 0, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
+        assert_eq!(state.admit(&small_task(), 0, false, false), Ok(()));
         assert_eq!(
-            state.admit(&small_task(), 0, false),
+            state.admit(&small_task(), 0, false, false),
             Err(AdmissionError::RateLimited)
         );
         assert_eq!(state.queued.load(Ordering::Acquire), 2, "rejected undo");
         assert_eq!(state.in_flight.load(Ordering::Acquire), 2);
         // Half a second refills one token at 2/s.
-        assert_eq!(state.admit(&small_task(), 500_000_000, false), Ok(()));
+        assert_eq!(
+            state.admit(&small_task(), 500_000_000, false, false),
+            Ok(())
+        );
     }
 
     #[test]
     fn shutdown_rejects_everything() {
         let state = TenantState::new(TenantConfig::new("t"));
         assert_eq!(
-            state.admit(&small_task(), 0, true),
+            state.admit(&small_task(), 0, true, false),
             Err(AdmissionError::ShuttingDown)
         );
         assert_eq!(state.counters.snapshot().accepted, 0);

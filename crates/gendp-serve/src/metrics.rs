@@ -131,6 +131,9 @@ pub struct TenantCounters {
     pub rejected_over_quota: AtomicU64,
     /// Subset of `rejected_quota`: the queued quota (backpressure).
     pub rejected_queue_full: AtomicU64,
+    /// Rejected because the certified cycle lower bound cannot meet the
+    /// request deadline at the configured shard cycle rate.
+    pub rejected_infeasible: AtomicU64,
     /// Delivered successfully.
     pub completed: AtomicU64,
     /// Delivered as a failure (retries exhausted or runtime error).
@@ -153,6 +156,7 @@ impl TenantCounters {
             rejected_quota: self.rejected_quota.load(Ordering::Relaxed),
             rejected_over_quota: self.rejected_over_quota.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_infeasible: self.rejected_infeasible.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
@@ -179,6 +183,9 @@ pub struct TenantCountersSnapshot {
     pub rejected_over_quota: u64,
     /// Subset of `rejected_quota`: the queued quota (backpressure).
     pub rejected_queue_full: u64,
+    /// Rejected because the certified cycle lower bound cannot meet the
+    /// request deadline at the configured shard cycle rate.
+    pub rejected_infeasible: u64,
     /// Delivered successfully.
     pub completed: u64,
     /// Delivered as a failure.
@@ -194,19 +201,20 @@ impl TenantCountersSnapshot {
     /// post-admission deadline expiries are deliveries, not
     /// rejections, and live in `deadline_expired`).
     pub fn rejected(&self) -> u64 {
-        self.rejected_invalid + self.rejected_rate + self.rejected_quota
+        self.rejected_invalid + self.rejected_rate + self.rejected_quota + self.rejected_infeasible
     }
 
     /// Shed and expired work broken out by stable rejection code — the
     /// same codes the wire protocol reports — so `deadline-exceeded`
     /// vs `over-quota` vs `rate-limited` shedding is distinguishable
     /// in benchmark output.
-    pub fn by_code(&self) -> [(&'static str, u64); 5] {
+    pub fn by_code(&self) -> [(&'static str, u64); 6] {
         [
             ("invalid", self.rejected_invalid),
             ("rate-limited", self.rejected_rate),
             ("over-quota", self.rejected_over_quota),
             ("queue-full", self.rejected_queue_full),
+            ("deadline-infeasible", self.rejected_infeasible),
             ("deadline-exceeded", self.deadline_expired),
         ]
     }

@@ -27,10 +27,23 @@ use std::collections::VecDeque;
 /// One schedulable request: an opaque payload plus its cost in DP cells.
 #[derive(Debug)]
 pub struct Costed<T> {
-    /// Scheduler cost (DP cell estimate, min 1).
+    /// Scheduler cost (DP cells, min 1 — clamped once at construction).
     pub cost: u64,
     /// The payload.
     pub item: T,
+}
+
+impl<T> Costed<T> {
+    /// Wraps a payload with its scheduling cost, clamping a zero cost
+    /// to 1 so a free-riding request can never stall DRR progress. The
+    /// clamp lives here, at the single construction point, rather than
+    /// being re-applied on every deficit comparison.
+    pub fn new(cost: u64, item: T) -> Costed<T> {
+        Costed {
+            cost: cost.max(1),
+            item,
+        }
+    }
 }
 
 /// Rotating DRR bookkeeping: one deficit counter per tenant plus the
@@ -93,10 +106,10 @@ impl DrrState {
                 self.deficit[i] =
                     self.deficit[i].saturating_add(self.quantum.saturating_mul(weights[i].max(1)));
                 while let Some(front) = queues[i].front() {
-                    if front.cost.max(1) > self.deficit[i] {
+                    if front.cost > self.deficit[i] {
                         break;
                     }
-                    self.deficit[i] -= front.cost.max(1);
+                    self.deficit[i] -= front.cost;
                     let req = queues[i].pop_front().expect("front exists");
                     batch.push((i, req));
                     if batch.len() >= batch_max {
@@ -125,10 +138,7 @@ mod tests {
         costs
             .iter()
             .enumerate()
-            .map(|(i, &cost)| Costed {
-                cost,
-                item: i as u64,
-            })
+            .map(|(i, &cost)| Costed::new(cost, i as u64))
             .collect()
     }
 
@@ -244,5 +254,31 @@ mod tests {
         let mut queues: [VecDeque<Costed<u64>>; 2] = [VecDeque::new(), VecDeque::new()];
         let mut state = DrrState::new(2, 10);
         assert!(state.assemble(&mut queues, &[1, 1], 8).is_empty());
+    }
+
+    #[test]
+    fn zero_cost_requests_clamp_to_one_and_drain() {
+        // `Costed::new` is the only clamp: a burst of zero-cost
+        // requests must still charge one cell each and drain without
+        // spinning, and must not let one tenant monopolize a batch
+        // beyond its deficit.
+        let mut queues = [queue_of(&[0; 8]), queue_of(&[4; 2])];
+        assert!(
+            queues[0].iter().all(|c| c.cost == 1),
+            "construction clamps zero cost to 1"
+        );
+        let mut state = DrrState::new(2, 4);
+        let mut emitted = [0usize; 2];
+        loop {
+            let batch = state.assemble(&mut queues, &[1, 1], 16);
+            if batch.is_empty() {
+                break;
+            }
+            for (tenant, req) in batch {
+                assert!(req.cost >= 1);
+                emitted[tenant] += 1;
+            }
+        }
+        assert_eq!(emitted, [8, 2], "everything drains exactly once");
     }
 }

@@ -50,8 +50,8 @@ use std::time::{Duration, Instant};
 
 use gendp_dpax::RunStats;
 use gendp_runtime::{
-    ArrayClass, Device, DeviceConfig, DeviceSnapshot, Heartbeat, KernelKind, RecoveryReport,
-    RuntimeError, Task, TaskFailure, TaskValue,
+    ArrayClass, CertifiedCost, Device, DeviceConfig, DeviceSnapshot, Heartbeat, KernelKind,
+    RecoveryReport, RuntimeError, Task, TaskFailure, TaskValue,
 };
 
 use crate::admission::{AdmissionError, TenantState};
@@ -87,6 +87,12 @@ pub struct ServeConfig {
     /// Health-monitor policy: degraded/dead thresholds, heartbeat
     /// timeout, and whether dead shards respawn automatically.
     pub lifecycle: LifecyclePolicy,
+    /// Simulated cycles per wall-clock second a shard is assumed to
+    /// sustain, used by the deadline-infeasibility admission gate: a
+    /// request whose certified cycle lower bound needs more time than
+    /// its deadline allows at this rate is rejected with
+    /// `deadline-infeasible`. `None` (the default) disables the gate.
+    pub cycle_rate: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +104,7 @@ impl Default for ServeConfig {
             quantum_cells: 512,
             dispatch_queue: 2,
             lifecycle: LifecyclePolicy::default(),
+            cycle_rate: None,
         }
     }
 }
@@ -385,11 +392,88 @@ struct Inner {
     /// fault plans distinct from every shard before them.
     next_fault_seed: AtomicU64,
     lifecycle: LifecycleCounters,
+    /// Certified-cost memo keyed by task shape (see [`shape_key`]), so
+    /// the admission path certifies each distinct shape once instead of
+    /// running program generation plus the verifier fixpoint per
+    /// request.
+    cost_cache: Mutex<HashMap<u64, Option<CertifiedCost>>>,
+}
+
+/// Bound on [`Inner::cost_cache`]; a pathological shape churn clears
+/// the memo rather than growing without limit.
+const COST_CACHE_MAX: usize = 4096;
+
+/// Hashes the task shape — kernel, dimensions, and the structural
+/// parameters program generation depends on — that fully determines the
+/// generated PE programs and therefore the certificate. Sequence
+/// *content* deliberately stays out of the key: it flows through the
+/// input FIFOs and never changes the programs. Returns `None` for the
+/// graph kernels (POA, Bellman-Ford), whose programs follow the input
+/// topology and are certified per request.
+fn shape_key(task: &Task) -> Option<u64> {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match task {
+        Task::Bsw {
+            query,
+            target,
+            scoring,
+            mode,
+        } => (0u8, query.len(), target.len(), scoring, mode).hash(&mut h),
+        Task::BswSimd { pairs, scoring } => {
+            1u8.hash(&mut h);
+            scoring.hash(&mut h);
+            for (q, t) in pairs {
+                (q.len(), t.len()).hash(&mut h);
+            }
+        }
+        Task::PairHmm {
+            read,
+            haplotype,
+            qual,
+            scale,
+            ..
+        } => (2u8, read.len(), haplotype.len(), qual, scale).hash(&mut h),
+        Task::PairHmmFloat {
+            read,
+            haplotype,
+            qual,
+            ..
+        } => (3u8, read.len(), haplotype.len(), qual).hash(&mut h),
+        Task::Dtw { xs, ys } => (4u8, xs.len(), ys.len()).hash(&mut h),
+        Task::DtwBanded { xs, ys, width } => (5u8, xs.len(), ys.len(), width).hash(&mut h),
+        Task::Chain { anchors, params } => {
+            (6u8, anchors.len(), params.n_prev).hash(&mut h);
+        }
+        Task::Poa { .. } | Task::BellmanFord { .. } => return None,
+    }
+    Some(h.finish())
 }
 
 impl Inner {
     fn now_nanos(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Certified cost of one task on this server's array width,
+    /// memoized by [`shape_key`]. `None` means the task doesn't certify
+    /// (malformed, unbounded, or a shape the certifier can't price) —
+    /// callers fall back to the heuristic estimate.
+    fn certified_cost(&self, task: &Task) -> Option<CertifiedCost> {
+        let n_pes = self.config.shard_config.pes_per_array;
+        let Some(key) = shape_key(task) else {
+            return task.certified_cost(n_pes);
+        };
+        if let Some(hit) = self.cost_cache.lock().expect("cost cache").get(&key) {
+            return *hit;
+        }
+        let cost = task.certified_cost(n_pes);
+        let mut cache = self.cost_cache.lock().expect("cost cache");
+        if cache.len() >= COST_CACHE_MAX {
+            cache.clear();
+        }
+        cache.insert(key, cost);
+        cost
     }
 
     /// Snapshot of the shard table (cheap: clones the `Arc`s).
@@ -488,6 +572,7 @@ impl Server {
             // there.
             next_fault_seed: AtomicU64::new(base_seed),
             lifecycle: LifecycleCounters::default(),
+            cost_cache: Mutex::new(HashMap::new()),
         });
 
         // Spawn the initial pool up front so a bad DeviceConfig fails
@@ -677,6 +762,7 @@ impl Server {
             totals.rejected_quota += t.counters.rejected_quota;
             totals.rejected_over_quota += t.counters.rejected_over_quota;
             totals.rejected_queue_full += t.counters.rejected_queue_full;
+            totals.rejected_infeasible += t.counters.rejected_infeasible;
             totals.completed += t.counters.completed;
             totals.failed += t.counters.failed;
             totals.deadline_expired += t.counters.deadline_expired;
@@ -747,6 +833,29 @@ impl TenantClient {
         self.submit_inner(task, Some(deadline))
     }
 
+    /// Prices one task for DRR scheduling and the deadline gate.
+    ///
+    /// The charge is the *certified* DP-cell cost from the task's
+    /// `gendp-verify` certificate when one exists, falling back to the
+    /// heuristic `cells_estimate` for shapes that don't certify. The
+    /// second value is the infeasibility verdict: with a configured
+    /// [`ServeConfig::cycle_rate`], a certified cycle lower bound that
+    /// needs more wall-clock than the deadline allows is provably late.
+    fn price(&self, task: &Task, deadline: Option<Duration>) -> (u64, bool) {
+        let certified = self.inner.certified_cost(task);
+        let cost = certified
+            .map(|c| c.cost_cells)
+            .unwrap_or_else(|| task.cells_estimate())
+            .max(1);
+        let infeasible = match (self.inner.config.cycle_rate, deadline, certified) {
+            (Some(rate), Some(d), Some(c)) if rate > 0 => {
+                c.cycle_floor as u128 * 1_000_000_000 > d.as_nanos() * rate as u128
+            }
+            _ => false,
+        };
+        (cost, infeasible)
+    }
+
     fn submit_inner(
         &self,
         task: Task,
@@ -754,8 +863,8 @@ impl TenantClient {
     ) -> Result<Ticket, AdmissionError> {
         let state = &self.inner.tenants[self.tenant];
         let shutting_down = self.inner.closed.load(Ordering::Acquire);
-        state.admit(&task, self.inner.now_nanos(), shutting_down)?;
-        let cost = task.cells_estimate().max(1);
+        let (cost, infeasible) = self.price(&task, deadline);
+        state.admit(&task, self.inner.now_nanos(), shutting_down, infeasible)?;
         let (tx, rx) = mpsc::channel();
         let submitted_at = Instant::now();
         let submitted = Submitted {
@@ -789,8 +898,8 @@ impl TenantClient {
     pub(crate) fn submit_with_reply(&self, task: Task, reply: Reply) -> Result<(), AdmissionError> {
         let state = &self.inner.tenants[self.tenant];
         let shutting_down = self.inner.closed.load(Ordering::Acquire);
-        state.admit(&task, self.inner.now_nanos(), shutting_down)?;
-        let cost = task.cells_estimate().max(1);
+        let (cost, infeasible) = self.price(&task, state.config.deadline);
+        state.admit(&task, self.inner.now_nanos(), shutting_down, infeasible)?;
         let submitted_at = Instant::now();
         self.send_admitted(Submitted {
             tenant: self.tenant,
@@ -940,10 +1049,7 @@ fn requeue_batches(
                 .lifecycle
                 .requeued_tasks
                 .fetch_add(1, Ordering::Relaxed);
-            queues[meta.tenant].push_back(Costed {
-                cost: meta.cost,
-                item: Pending { task, meta },
-            });
+            queues[meta.tenant].push_back(Costed::new(meta.cost, Pending { task, meta }));
         }
     }
 }
@@ -1061,9 +1167,9 @@ fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>) {
     let mut drr = DrrState::new(tenant_count, inner.config.quantum_cells);
 
     let enqueue = |queues: &mut Vec<VecDeque<Costed<Pending>>>, s: Submitted| {
-        queues[s.tenant].push_back(Costed {
-            cost: s.cost,
-            item: Pending {
+        queues[s.tenant].push_back(Costed::new(
+            s.cost,
+            Pending {
                 task: s.task,
                 meta: JobMeta {
                     tenant: s.tenant,
@@ -1073,7 +1179,7 @@ fn scheduler_loop(inner: Arc<Inner>, submit_rx: Receiver<Submitted>) {
                     reply: s.reply,
                 },
             },
-        });
+        ));
     };
 
     let mut inbox_open = true;

@@ -34,6 +34,15 @@ struct AState {
     pushes: Interval,
     /// FIFO words popped so far along this path.
     pops: Interval,
+    /// Active control-thread cycles along this path: one per retired
+    /// instruction (including `halt`), plus one for the silent-halt
+    /// discovery cycle when the pc runs off the program end.
+    cycles: Interval,
+    /// Compute-unit steps triggered along this path (each `set cu t`
+    /// contributes `compute_len - t` steps, when the length is known).
+    compute: Interval,
+    /// `set cu` executions along this path — one DP cell each.
+    cu_sets: Interval,
 }
 
 impl AState {
@@ -43,6 +52,9 @@ impl AState {
             vals: vec![Interval::TOP; aregs.min(128)],
             pushes: Interval::exact(0),
             pops: Interval::exact(0),
+            cycles: Interval::exact(0),
+            compute: Interval::exact(0),
+            cu_sets: Interval::exact(0),
         }
     }
 
@@ -57,6 +69,9 @@ impl AState {
                 .collect(),
             pushes: self.pushes.join(other.pushes),
             pops: self.pops.join(other.pops),
+            cycles: self.cycles.join(other.cycles),
+            compute: self.compute.join(other.compute),
+            cu_sets: self.cu_sets.join(other.cu_sets),
         }
     }
 
@@ -71,6 +86,9 @@ impl AState {
                 .collect(),
             pushes: self.pushes.widen(newer.pushes),
             pops: self.pops.widen(newer.pops),
+            cycles: self.cycles.widen(newer.cycles),
+            compute: self.compute.widen(newer.compute),
+            cu_sets: self.cu_sets.widen(newer.cu_sets),
         }
     }
 }
@@ -107,12 +125,68 @@ pub(crate) struct ControlAnalysis<'a> {
     compute_len: Option<usize>,
 }
 
+/// Cycle-model summary over all reachable exits of one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ExitSummary {
+    /// Active control-thread cycles (retired instructions plus the
+    /// silent-halt discovery cycle on fall-off-the-end paths).
+    pub issue: Interval,
+    /// Compute-unit steps triggered (`set cu` targets to program end).
+    pub compute: Interval,
+    /// `set cu` executions — one DP cell each.
+    pub cu_sets: Interval,
+}
+
+/// Bounds proofs and address footprints collected during the reporting
+/// pass, the raw material of a [`crate::Certificate`].
+#[derive(Debug, Clone)]
+pub(crate) struct CertScan {
+    /// Every checked address (direct and indirect, all sized spaces)
+    /// resolved to an interval provably inside its space.
+    pub all_in_bounds: bool,
+    /// Hull of register-file addresses accessed by the control thread.
+    pub rf: Option<Interval>,
+    /// Hull of scratchpad addresses accessed by the control thread.
+    pub spm: Option<Interval>,
+}
+
+impl Default for CertScan {
+    fn default() -> Self {
+        CertScan {
+            all_in_bounds: true,
+            rf: None,
+            spm: None,
+        }
+    }
+}
+
+impl CertScan {
+    fn record(&mut self, space: Space, addr: Interval, in_bounds: bool) {
+        if !in_bounds {
+            self.all_in_bounds = false;
+        }
+        let slot = match space {
+            Space::Rf => &mut self.rf,
+            Space::Spm => &mut self.spm,
+            _ => return,
+        };
+        *slot = Some(match *slot {
+            Some(prev) => prev.join(addr),
+            None => addr,
+        });
+    }
+}
+
 /// Result of analyzing one program.
 pub(crate) struct ControlOutcome {
     pub report: Report,
     /// FIFO traffic over all reachable exits; `None` when no exit is
     /// reachable (the program can only loop forever).
     pub fifo: Option<FifoTraffic>,
+    /// Cycle-model summary over all reachable exits; `None` like `fifo`.
+    pub exit: Option<ExitSummary>,
+    /// Bounds proofs and footprints from the reporting pass.
+    pub scan: CertScan,
 }
 
 struct Successors {
@@ -156,13 +230,20 @@ impl<'a> ControlAnalysis<'a> {
         let len = program.len();
         if len == 0 {
             // An empty program is a PE that starts halted — legal (idle
-            // PEs in a short chain are loaded with nothing).
+            // PEs in a short chain are loaded with nothing). It costs
+            // zero cycles: the array sees it halted before the first step.
             return ControlOutcome {
                 report: Report::new(),
                 fifo: Some(FifoTraffic {
                     pushes: Interval::exact(0),
                     pops: Interval::exact(0),
                 }),
+                exit: Some(ExitSummary {
+                    issue: Interval::exact(0),
+                    compute: Interval::exact(0),
+                    cu_sets: Interval::exact(0),
+                }),
+                scan: CertScan::default(),
             };
         }
 
@@ -180,6 +261,7 @@ impl<'a> ControlAnalysis<'a> {
                 program.get(pc).expect("pc in range"),
                 &mut st,
                 None,
+                None,
             );
             if succs.exits {
                 exit_state = Some(match exit_state {
@@ -190,10 +272,13 @@ impl<'a> ControlAnalysis<'a> {
             for edge in succs.next {
                 let s = edge.target;
                 if s >= len {
-                    // Running past the end halts the thread silently.
+                    // Running past the end halts the thread silently; the
+                    // discovery cycle still counts in the simulator.
+                    let mut fallen = st.clone();
+                    fallen.cycles = fallen.cycles.add_const(1);
                     exit_state = Some(match exit_state.take() {
-                        Some(prev) => prev.join(&st),
-                        None => st.clone(),
+                        Some(prev) => prev.join(&fallen),
+                        None => fallen,
                     });
                     continue;
                 }
@@ -223,23 +308,38 @@ impl<'a> ControlAnalysis<'a> {
             }
         }
 
-        // Reporting pass over the converged entry states.
+        // Reporting pass over the converged entry states, which doubles
+        // as the certificate scan (footprints, bounds proofs).
         let mut report = Report::new();
+        let mut scan = CertScan::default();
         for (pc, state) in entry.iter().enumerate() {
             if let Some(state) = state {
                 let mut st = state.clone();
                 let inst = program.get(pc).expect("pc in range");
-                self.transfer(pc, len, inst, &mut st, Some(&mut report));
+                self.transfer(pc, len, inst, &mut st, Some(&mut report), Some(&mut scan));
                 self.check_loop_termination(pc, inst, program, &mut report);
             }
         }
 
+        let (fifo, exit) = match exit_state {
+            Some(st) => (
+                Some(FifoTraffic {
+                    pushes: st.pushes,
+                    pops: st.pops,
+                }),
+                Some(ExitSummary {
+                    issue: st.cycles,
+                    compute: st.compute,
+                    cu_sets: st.cu_sets,
+                }),
+            ),
+            None => (None, None),
+        };
         ControlOutcome {
             report,
-            fifo: exit_state.map(|st| FifoTraffic {
-                pushes: st.pushes,
-                pops: st.pops,
-            }),
+            fifo,
+            exit,
+            scan,
         }
     }
 
@@ -303,15 +403,46 @@ impl<'a> ControlAnalysis<'a> {
         }
     }
 
+    /// Checks the destination register of `add`/`addi`, which writes the
+    /// areg file directly rather than through a `Loc`.
+    fn check_areg_dest(&self, reg: AddrReg, pc: usize, sink: &mut Option<&mut Report>) {
+        let i = reg.0 as usize;
+        if i >= self.contract.aregs {
+            if let Some(report) = sink {
+                report.push(Diagnostic::new(
+                    Rule::AddrBounds,
+                    self.loc(pc),
+                    format!(
+                        "a{i} is out of bounds for {} address registers",
+                        self.contract.aregs
+                    ),
+                ));
+            }
+        }
+    }
+
     /// Checks a direct or indirect address against its space, emitting
     /// addr-bounds diagnostics; reads the base register of indirect forms.
-    fn check_addr(&self, loc: &Loc, state: &AState, pc: usize, sink: &mut Option<&mut Report>) {
+    /// With a `cert` scan, also records the access footprint and whether
+    /// the address is provably in bounds.
+    fn check_addr(
+        &self,
+        loc: &Loc,
+        state: &AState,
+        pc: usize,
+        sink: &mut Option<&mut Report>,
+        cert: &mut Option<&mut CertScan>,
+    ) {
         let Some(size) = self.space_size(loc.space()) else {
             return;
         };
         match loc.addr() {
             Addr::Direct(d) => {
-                if d as usize >= size {
+                let in_bounds = (d as usize) < size;
+                if let Some(scan) = cert.as_deref_mut() {
+                    scan.record(loc.space(), Interval::exact(d as i64), in_bounds);
+                }
+                if !in_bounds {
                     if let Some(report) = sink {
                         report.push(Diagnostic::new(
                             Rule::AddrBounds,
@@ -327,8 +458,12 @@ impl<'a> ControlAnalysis<'a> {
             Addr::Indirect { areg, offset } => {
                 let base = self.read_areg(AddrReg(areg), state, pc, sink);
                 let addr = base.add_const(offset as i64);
+                let verdict = addr.bounds_check(size);
+                if let Some(scan) = cert.as_deref_mut() {
+                    scan.record(loc.space(), addr, verdict == BoundsVerdict::In);
+                }
                 if let Some(report) = sink {
-                    match addr.bounds_check(size) {
+                    match verdict {
                         BoundsVerdict::AlwaysOut => report.push(Diagnostic::new(
                             Rule::AddrBounds,
                             self.loc(pc),
@@ -370,14 +505,15 @@ impl<'a> ControlAnalysis<'a> {
         state: &mut AState,
         pc: usize,
         sink: &mut Option<&mut Report>,
+        cert: &mut Option<&mut CertScan>,
     ) -> Interval {
         match loc.space() {
             Space::Rf | Space::Spm => {
-                self.check_addr(loc, state, pc, sink);
+                self.check_addr(loc, state, pc, sink, cert);
                 Interval::TOP
             }
             Space::Areg => {
-                self.check_addr(loc, state, pc, sink);
+                self.check_addr(loc, state, pc, sink, cert);
                 match loc.addr() {
                     Addr::Direct(d) => self.read_areg(AddrReg(d as u8), state, pc, sink),
                     _ => Interval::TOP,
@@ -434,14 +570,15 @@ impl<'a> ControlAnalysis<'a> {
         state: &mut AState,
         pc: usize,
         sink: &mut Option<&mut Report>,
+        cert: &mut Option<&mut CertScan>,
     ) -> Option<usize> {
         match loc.space() {
             Space::Rf | Space::Spm => {
-                self.check_addr(loc, state, pc, sink);
+                self.check_addr(loc, state, pc, sink, cert);
                 None
             }
             Space::Areg => {
-                self.check_addr(loc, state, pc, sink);
+                self.check_addr(loc, state, pc, sink, cert);
                 match loc.addr() {
                     Addr::Direct(d) => Some(d as usize),
                     Addr::Indirect { .. } => {
@@ -511,7 +648,12 @@ impl<'a> ControlAnalysis<'a> {
         inst: &ControlInst,
         state: &mut AState,
         mut sink: Option<&mut Report>,
+        mut cert: Option<&mut CertScan>,
     ) -> Successors {
+        // Every retired instruction (including `halt`) occupies one
+        // issue cycle.
+        state.cycles = state.cycles.add_const(1);
+        let cert = &mut cert;
         let fallthrough = Successors {
             next: vec![Edge::plain(pc + 1)],
             exits: false,
@@ -525,23 +667,25 @@ impl<'a> ControlAnalysis<'a> {
             ControlInst::Add { rd, rs1, rs2 } => {
                 let a = self.read_areg(*rs1, state, pc, &mut sink);
                 let b = self.read_areg(*rs2, state, pc, &mut sink);
+                self.check_areg_dest(*rd, pc, &mut sink);
                 self.write_areg(rd.0 as usize, a + b, state);
                 fallthrough
             }
             ControlInst::Addi { rd, rs1, imm } => {
                 let a = self.read_areg(*rs1, state, pc, &mut sink);
+                self.check_areg_dest(*rd, pc, &mut sink);
                 self.write_areg(rd.0 as usize, a.add_const(*imm as i64), state);
                 fallthrough
             }
             ControlInst::Li { dest, imm } => {
-                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink) {
+                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink, cert) {
                     self.write_areg(idx, Interval::exact(*imm as i64), state);
                 }
                 fallthrough
             }
             ControlInst::Mv { dest, src } => {
-                let value = self.read_loc(src, state, pc, &mut sink);
-                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink) {
+                let value = self.read_loc(src, state, pc, &mut sink, cert);
+                if let Some(idx) = self.write_loc(dest, state, pc, &mut sink, cert) {
                     self.write_areg(idx, value, state);
                 }
                 fallthrough
@@ -602,6 +746,15 @@ impl<'a> ControlAnalysis<'a> {
                 Successors { next, exits: false }
             }
             ControlInst::Set { target, pc: tpc } => {
+                if let SetTarget::Compute = target {
+                    // One DP cell; the compute unit then steps from the
+                    // target to the program end.
+                    state.cu_sets = state.cu_sets.add_const(1);
+                    if let Some(clen) = self.compute_len {
+                        let steps = clen.saturating_sub(*tpc as usize) as i64;
+                        state.compute = state.compute.add_const(steps);
+                    }
+                }
                 if let Some(report) = sink {
                     match target {
                         SetTarget::Compute => {

@@ -54,6 +54,7 @@
 //! assert_eq!(report.of_rule(Rule::AddrBounds).count(), 1);
 //! ```
 
+mod certificate;
 mod compute;
 mod contract;
 mod control;
@@ -62,6 +63,7 @@ mod diag;
 mod interval;
 mod render;
 
+pub use certificate::{Certificate, PeCertificate};
 pub use contract::PeContract;
 pub use diag::{DiagLoc, Diagnostic, Report, Rule, Severity};
 pub use interval::{BoundsVerdict, Interval};
@@ -124,6 +126,17 @@ impl Verifier {
         let analysis = ControlAnalysis::new(&self.contract, None, self.contract.n_pes, None);
         let outcome = analysis.run(program);
         let mut report = outcome.report;
+        if program.is_empty() {
+            report.push(
+                Diagnostic::new(
+                    Rule::EmptyInput,
+                    DiagLoc::Program,
+                    "the control program has no instructions; the PE halts immediately",
+                )
+                .warning()
+                .suggest("write at least one instruction, or drop the program"),
+            );
+        }
         if let Some(fifo) = outcome.fifo {
             if let (Some(pushes), Some(pops)) = (fifo.exact_pushes(), fifo.exact_pops()) {
                 if pushes > 0 && pops > 0 && pushes != pops {
@@ -177,6 +190,22 @@ impl Verifier {
     /// contract's `n_pes` for position checks), shared compute programs
     /// only once, plus array-wide FIFO push/pop balance.
     pub fn verify_array(&self, units: &[(&ControlProgram, &ComputeProgram)]) -> Report {
+        self.certify_array(units).0
+    }
+
+    /// Like [`verify_array`](Self::verify_array), but keeps the proofs:
+    /// returns the report together with a [`Certificate`] carrying
+    /// per-space bounds proofs and footprints, a static cycle model
+    /// (floor, upper bound, and exact count where the model permits),
+    /// certified DP-cell cost, and FIFO traffic bounds.
+    ///
+    /// The certificate's [`safe`](Certificate::safe) flag is computed
+    /// from the *unfiltered* report — `allow`-suppressed errors never
+    /// certify a program as safe.
+    pub fn certify_array(
+        &self,
+        units: &[(&ControlProgram, &ComputeProgram)],
+    ) -> (Report, Certificate) {
         let n = units.len();
         let mut positional = Verifier {
             contract: self.contract.clone(),
@@ -189,6 +218,7 @@ impl Verifier {
         let mut total_pops = Some(0i64);
         let mut per_pe_pops: Vec<Option<i64>> = Vec::with_capacity(n);
         let mut computes_seen: Vec<&ComputeProgram> = Vec::new();
+        let mut per_pe_cert: Vec<PeCertificate> = Vec::with_capacity(n);
 
         for (pe, (control, compute)) in units.iter().enumerate() {
             let analysis =
@@ -212,6 +242,23 @@ impl Verifier {
                 report.merge(compute::check_compute(&positional.contract, compute));
             }
             report.merge(joint_rf_check(control, compute));
+
+            let rf_footprint = match (outcome.scan.rf, certificate::compute_rf_hull(compute)) {
+                (Some(a), Some(b)) => Some(a.join(b)),
+                (a, b) => a.or(b),
+            };
+            per_pe_cert.push(PeCertificate {
+                issue: outcome.exit.map_or(Interval::TOP, |e| e.issue),
+                compute: outcome.exit.map_or(Interval::TOP, |e| e.compute),
+                cu_sets: outcome.exit.map_or(Interval::TOP, |e| e.cu_sets),
+                pushes: outcome.fifo.map_or(Interval::TOP, |f| f.pushes),
+                pops: outcome.fifo.map_or(Interval::TOP, |f| f.pops),
+                rf_footprint,
+                spm_footprint: outcome.scan.spm,
+                bounds_proven: outcome.scan.all_in_bounds,
+                terminates: outcome.exit.is_some(),
+                stall_free: certificate::is_stall_free(control),
+            });
         }
 
         if self.contract.fifo_broadcast {
@@ -254,7 +301,10 @@ impl Verifier {
                 );
             }
         }
-        self.filtered(report)
+        // Safety is judged on the unfiltered report: `allow` hides
+        // diagnostics from the caller, never from the certificate.
+        let cert = Certificate::assemble(per_pe_cert, !report.has_errors());
+        (self.filtered(report), cert)
     }
 
     /// Lints a data-flow graph (the typed replacement of

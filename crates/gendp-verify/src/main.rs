@@ -1,20 +1,25 @@
 //! `gendp-verify` — lint GenDP control-program files.
 //!
 //! ```text
-//! gendp-verify [--rules] <file.gdp>...
+//! gendp-verify [--rules] [--format text|json] [--deny warning|error] <file.gdp>...
 //! ```
 //!
 //! Each file is parsed as a control program (the `ControlProgram` textual
 //! assembly; `;` starts a comment) and verified against the default PE
 //! contract. A comment of the form `; allow(rule-id)` anywhere in the
-//! file suppresses that rule for the whole file. Exits non-zero if any
-//! file has error-severity diagnostics (warnings do not fail the run).
+//! file suppresses that rule for the whole file.
+//!
+//! `--format json` emits one machine-readable document on stdout instead
+//! of the rustc-style rendering (parse failures become `rule: "parse"`
+//! diagnostics). `--deny <severity>` sets the exit-code threshold:
+//! `--deny error` (the default) fails only on errors, `--deny warning`
+//! fails on warnings too.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use gendp_isa::{ControlInst, ControlProgram};
-use gendp_verify::{render_source_diagnostics, Rule, Verifier};
+use gendp_verify::{render_source_diagnostics, Report, Rule, Severity, Verifier};
 
 /// Writes to stdout, ignoring a closed pipe (`gendp-verify ... | head`
 /// must not panic when the reader goes away).
@@ -22,11 +27,23 @@ fn emit(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() {
+    eprintln!(
+        "usage: gendp-verify [--rules] [--format text|json] [--deny warning|error] <file.gdp>..."
+    );
+    eprintln!("lints GenDP control-program files against the PE contract");
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: gendp-verify [--rules] <file.gdp>...");
-        eprintln!("lints GenDP control-program files against the PE contract");
+        usage();
         return if args.is_empty() {
             ExitCode::from(2)
         } else {
@@ -45,29 +62,108 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let mut format = Format::Text;
+    let mut deny = Severity::Error;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "error: --format expects `text` or `json`, got {}",
+                        other.map_or_else(|| "nothing".into(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => match it.next().as_deref() {
+                Some("warning") => deny = Severity::Warning,
+                Some("error") => deny = Severity::Error,
+                other => {
+                    eprintln!(
+                        "error: --deny expects `warning` or `error`, got {}",
+                        other.map_or_else(|| "nothing".into(), |o| format!("`{o}`"))
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            _ if arg.starts_with("--") => {
+                eprintln!("error: unknown flag {arg}");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    for path in &args {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                errors += 1;
-                continue;
-            }
-        };
-        match lint_file(path, &source) {
-            Ok((e, w)) => {
-                errors += e;
-                warnings += w;
+    let mut json_diags: Vec<String> = Vec::new();
+    for path in &files {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|source| lint_file(path, &source, format));
+        match outcome {
+            Ok(lint) => {
+                errors += lint.report.error_count();
+                warnings += lint.report.warning_count();
+                if format == Format::Json {
+                    for diag in lint.report.diagnostics() {
+                        let line = match diag.loc {
+                            gendp_verify::DiagLoc::Ctrl { pc, .. } => {
+                                lint.line_of_pc.get(pc).copied()
+                            }
+                            _ => None,
+                        };
+                        json_diags.push(json_diag(
+                            path,
+                            line,
+                            diag.rule.id(),
+                            &diag.severity.to_string(),
+                            &diag.loc.to_string(),
+                            &diag.message,
+                            diag.suggestion.as_deref(),
+                        ));
+                    }
+                }
             }
             Err(message) => {
-                eprintln!("{message}");
                 errors += 1;
+                if format == Format::Json {
+                    json_diags.push(json_diag(
+                        path, None, "parse", "error", "program", &message, None,
+                    ));
+                } else {
+                    eprintln!("error: {message}");
+                }
             }
         }
     }
-    if errors > 0 || warnings > 0 {
+
+    if format == Format::Json {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"gendp-verify/v1\",\n");
+        out.push_str(&format!("  \"errors\": {errors},\n"));
+        out.push_str(&format!("  \"warnings\": {warnings},\n"));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in json_diags.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            out.push_str(d);
+        }
+        if !json_diags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        emit(&out);
+    } else if errors > 0 || warnings > 0 {
         eprintln!(
             "{} error{}, {} warning{}",
             errors,
@@ -76,15 +172,71 @@ fn main() -> ExitCode {
             if warnings == 1 { "" } else { "s" }
         );
     }
-    if errors > 0 {
+
+    let denied = errors > 0 || (deny == Severity::Warning && warnings > 0);
+    if denied {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-/// Lints one file; returns (errors, warnings) or a parse-failure message.
-fn lint_file(path: &str, source: &str) -> Result<(usize, usize), String> {
+/// One JSON diagnostic object (hand-rolled; the workspace has no serde).
+fn json_diag(
+    file: &str,
+    line: Option<usize>,
+    rule: &str,
+    severity: &str,
+    loc: &str,
+    message: &str,
+    suggestion: Option<&str>,
+) -> String {
+    let mut obj = String::from("{");
+    obj.push_str(&format!("\"file\": {}", json_str(file)));
+    match line {
+        Some(line) => obj.push_str(&format!(", \"line\": {line}")),
+        None => obj.push_str(", \"line\": null"),
+    }
+    obj.push_str(&format!(", \"rule\": {}", json_str(rule)));
+    obj.push_str(&format!(", \"severity\": {}", json_str(severity)));
+    obj.push_str(&format!(", \"loc\": {}", json_str(loc)));
+    obj.push_str(&format!(", \"message\": {}", json_str(message)));
+    match suggestion {
+        Some(s) => obj.push_str(&format!(", \"suggestion\": {}", json_str(s))),
+        None => obj.push_str(", \"suggestion\": null"),
+    }
+    obj.push('}');
+    obj
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One linted file: its report plus the pc → source-line map.
+struct FileLint {
+    report: Report,
+    line_of_pc: Vec<usize>,
+}
+
+/// Lints one file; returns the report or a parse-failure message. In
+/// text mode the rustc-style rendering is emitted here.
+fn lint_file(path: &str, source: &str, format: Format) -> Result<FileLint, String> {
     // Parse line by line (mirroring `ControlProgram::FromStr`'s comment
     // and blank filtering) so each instruction keeps its source line, and
     // collect `; allow(rule)` suppression directives on the way.
@@ -102,7 +254,7 @@ fn lint_file(path: &str, source: &str) -> Result<(usize, usize), String> {
                 Some(rule) => verifier = verifier.allow(rule),
                 None => {
                     return Err(format!(
-                        "error: {path}:{line_no}: unknown rule `{directive}` in allow(...)"
+                        "{path}:{line_no}: unknown rule `{directive}` in allow(...)"
                     ))
                 }
             }
@@ -111,16 +263,14 @@ fn lint_file(path: &str, source: &str) -> Result<(usize, usize), String> {
         if code.is_empty() {
             continue;
         }
-        let inst: ControlInst = code
-            .parse()
-            .map_err(|e| format!("error: {path}:{line_no}: {e}"))?;
+        let inst: ControlInst = code.parse().map_err(|e| format!("{path}:{line_no}: {e}"))?;
         insts.push(inst);
         line_of_pc.push(line_no);
     }
 
     let program: ControlProgram = insts.into_iter().collect();
     let report = verifier.verify_control(&program);
-    if !report.is_clean() {
+    if format == Format::Text && !report.is_clean() {
         emit(&render_source_diagnostics(
             path,
             source,
@@ -128,7 +278,7 @@ fn lint_file(path: &str, source: &str) -> Result<(usize, usize), String> {
             &line_of_pc,
         ));
     }
-    Ok((report.error_count(), report.warning_count()))
+    Ok(FileLint { report, line_of_pc })
 }
 
 /// Extracts `rule-id` from a comment of the form `allow(rule-id)`.

@@ -319,6 +319,164 @@ fn dfg_lints_fire() {
 }
 
 #[test]
+fn empty_control_program_warns_once() {
+    let report = Verifier::default().verify_control(&ControlProgram::new());
+    assert_fires_once(&report, Rule::EmptyInput);
+    assert!(!report.has_errors(), "an empty program runs, it just idles");
+}
+
+#[test]
+fn dfg_arity_fires_once() {
+    use gendp_dfg::Dfg;
+    // `push_raw` bypasses the builder asserts, standing in for a graph
+    // source (deserializer, generator) that the lints must backstop.
+    let mut g = Dfg::new("bad-arity");
+    let a = g.ext("a");
+    let lone = g.push_raw(gendp_isa::ComputeOp::Add, &[a]);
+    g.set_output("h", lone);
+    let report = Verifier::default().verify_dfg(&g);
+    assert_fires_once(&report, Rule::DfgArity);
+}
+
+#[test]
+fn dfg_order_fires_once() {
+    use gendp_dfg::{Dfg, Input, NodeId};
+    // Node v0 reads v1: a forward reference the checked builders refuse.
+    let mut g = Dfg::new("bad-order");
+    let a = g.ext("a");
+    let fwd = g.push_raw(gendp_isa::ComputeOp::Add, &[Input::Node(NodeId(1)), a]);
+    g.add(a, a); // v1, so the forward reference resolves and reachability walks it
+    g.set_output("h", fwd);
+    let report = Verifier::default().verify_dfg(&g);
+    assert_fires_once(&report, Rule::DfgOrder);
+}
+
+/// The registry meta-test: one broken fixture per rule, so a new rule
+/// cannot land without a regression fixture that triggers it. Each arm
+/// returns a report in which exactly that rule must appear.
+#[test]
+fn every_rule_has_a_triggering_fixture() {
+    use gendp_dfg::{Dfg, Input, NodeId};
+
+    for rule in Rule::ALL {
+        let v = Verifier::default();
+        let report = match rule {
+            Rule::BranchTarget => {
+                v.verify_control(&ctrl("li a[0] 0\nli a[1] 1\nblt a0 a1 -5\nhalt"))
+            }
+            Rule::DefBeforeUse => v.verify_control(&ctrl("li a[0] 0\naddi a0 a1 1\nhalt")),
+            Rule::AddrBounds => v.verify_control(&ctrl("mv rf[0] spm[5000]\nhalt")),
+            Rule::FifoDiscipline => {
+                let first = ctrl("li a[0] 1\nmv fifo a[0]\nmv rf[0] fifo\nhalt");
+                let last = ctrl("halt");
+                let empty = ComputeProgram::new();
+                v.verify_array(&[(&first, &empty), (&last, &empty)])
+            }
+            Rule::FifoBalance => v.verify_control(&ctrl(
+                "li a[0] 7\nmv fifo a[0]\nmv fifo a[0]\nmv rf[0] fifo\nhalt",
+            )),
+            Rule::LoopTermination => {
+                v.verify_control(&ctrl("li a[0] 0\nli a[1] 3\nnop\nblt a0 a1 -1\nhalt"))
+            }
+            Rule::SlotConflict => {
+                let mut p = ComputeProgram::new();
+                p.push(VliwInst::pair(
+                    CuInst::Mul {
+                        a: Operand::Reg(0),
+                        b: Operand::Reg(1),
+                        dest: 7,
+                    },
+                    tree(
+                        ComputeOp::Add,
+                        [
+                            Operand::Reg(2),
+                            Operand::Reg(3),
+                            Operand::Imm(0),
+                            Operand::Imm(0),
+                        ],
+                        7,
+                    ),
+                ));
+                p.finish();
+                v.verify_compute(&p)
+            }
+            Rule::SpaceLegality => v.verify_control(&ctrl("mv rf[0] out\nhalt")),
+            Rule::SimdWidth => {
+                let mut p = ComputeProgram::new();
+                p.push(VliwInst::single(tree(
+                    ComputeOp::Add,
+                    [
+                        Operand::Reg(0),
+                        Operand::Imm(300),
+                        Operand::Imm(0),
+                        Operand::Imm(0),
+                    ],
+                    1,
+                )));
+                p.finish();
+                Verifier::new(PeContract::new().mode(Mode::Int8x4)).verify_compute(&p)
+            }
+            Rule::RfBounds => {
+                let mut p = ComputeProgram::new();
+                p.push(VliwInst::single(CuInst::Mul {
+                    a: Operand::Reg(999),
+                    b: Operand::Imm(2),
+                    dest: 1,
+                }));
+                p.finish();
+                v.verify_compute(&p)
+            }
+            Rule::EmptyInput => v.verify_control(&ControlProgram::new()),
+            Rule::DfgArity => {
+                let mut g = Dfg::new("bad-arity");
+                let a = g.ext("a");
+                let lone = g.push_raw(gendp_isa::ComputeOp::Add, &[a]);
+                g.set_output("h", lone);
+                v.verify_dfg(&g)
+            }
+            Rule::DfgOrder => {
+                let mut g = Dfg::new("bad-order");
+                let a = g.ext("a");
+                let fwd = g.push_raw(gendp_isa::ComputeOp::Add, &[Input::Node(NodeId(1)), a]);
+                g.add(a, a);
+                g.set_output("h", fwd);
+                v.verify_dfg(&g)
+            }
+            Rule::DfgOutput => {
+                let mut g = Dfg::new("no-out");
+                let a = g.ext("a");
+                let b = g.ext("b");
+                g.add(a, b);
+                v.verify_dfg(&g)
+            }
+            Rule::DfgUnreachable => {
+                let mut g = Dfg::new("dead");
+                let a = g.ext("a");
+                let b = g.ext("b");
+                let live = g.add(a, b);
+                g.sub(a, b);
+                g.set_output("h", live);
+                v.verify_dfg(&g)
+            }
+            Rule::DfgMulPressure => {
+                let mut g = Dfg::new("muls");
+                let a = g.ext("a");
+                let mut acc = g.mul(a, a);
+                for _ in 0..3 {
+                    acc = g.mul(acc, acc);
+                }
+                g.set_output("m", acc);
+                v.verify_dfg(&g)
+            }
+        };
+        assert!(
+            report.of_rule(rule).count() >= 1,
+            "rule {rule} has no fixture that triggers it; report: {report}"
+        );
+    }
+}
+
+#[test]
 fn reports_are_deterministic() {
     let p =
         ctrl("addi a0 a1 1\nmv rf[0] spm[5000]\nmv fifo a[0]\nmv fifo a[0]\nmv rf[1] fifo\nhalt");

@@ -240,6 +240,52 @@ fn admission_rejects_invalid_rate_limited_and_shutdown() {
     assert_eq!(stats.totals.rejected_rate, 1);
 }
 
+/// With a configured shard cycle rate, a request whose certified cycle
+/// lower bound cannot fit its deadline is rejected at admission with
+/// the stable `deadline-infeasible` code, instead of being admitted
+/// only to expire in the queue.
+#[test]
+fn certified_deadline_infeasible_rejects_at_admission() {
+    let config = ServeConfig {
+        // 1k simulated cycles per wall-second: a deliberately glacial
+        // budget so small tasks are still provably late on tight
+        // deadlines.
+        cycle_rate: Some(1_000),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(config, vec![TenantConfig::new("t")]).expect("server start");
+    let client = server.client("t").expect("tenant");
+    let task = || {
+        Task::bsw_local(
+            "ACGTACGTACGT".parse().unwrap(),
+            "ACGTTCGTACGTTCGT".parse().unwrap(),
+            Scoring::bwa_mem(),
+        )
+    };
+
+    // A BSW pair certifies to a cycle floor in the hundreds; at 1k
+    // cycles/sec a 1 ms deadline is provably unreachable.
+    let err = client
+        .submit_with_deadline(task(), Duration::from_millis(1))
+        .unwrap_err();
+    assert_eq!(err, AdmissionError::DeadlineInfeasible);
+    assert_eq!(err.code(), "deadline-infeasible");
+
+    // The same task with a roomy deadline admits and completes, and a
+    // deadline-free submit never trips the gate.
+    let ticket = client
+        .submit_with_deadline(task(), Duration::from_secs(60))
+        .expect("feasible deadline");
+    assert!(ticket.wait().is_ok());
+    assert!(client.submit(task()).expect("no deadline").wait().is_ok());
+
+    server.shutdown();
+    let stats = server.stats();
+    assert!(stats.totals.drained());
+    assert_eq!(stats.totals.rejected_infeasible, 1);
+    assert_eq!(stats.totals.rejected(), 1);
+}
+
 #[test]
 fn in_flight_quota_sheds_the_open_loop_excess() {
     let tenants = vec![TenantConfig::new("t").quotas(4, 4)];

@@ -503,6 +503,7 @@ fn fully_quarantined_shard_dies_and_is_replaced() {
             dead_after_crippled: 1,
             ..LifecyclePolicy::default()
         },
+        cycle_rate: None,
     };
     let mut server = Server::start(config, vec![TenantConfig::new("t")]).expect("server start");
     let client = server.client("t").expect("tenant");
