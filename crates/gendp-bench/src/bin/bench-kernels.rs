@@ -1,38 +1,53 @@
 //! Hot-path benchmark: the six evaluated kernels (BSW, PairHMM, POA,
-//! Chain, DTW, Bellman-Ford) at fixed task sizes, each measured on both
-//! execution paths through the unified [`Accelerator`] lifecycle:
+//! Chain, DTW, Bellman-Ford) at fixed task sizes, each measured across
+//! the execution tiers of the unified [`Accelerator`] lifecycle. Tier
+//! selection goes exclusively through [`TierPolicy`]; each measured row
+//! records the tier the policy *resolved* to, read back from the
+//! [`RunStats`](gendp::dpax::RunStats) provenance the run stamps.
 //!
 //! * **interpreted** (the *before* side): the per-run path the crate had
 //!   before the decoded engine — every repetition regenerates, verifies
-//!   and interprets the programs (`run_task` on
-//!   [`Engine::Interpreted`]).
-//! * **decoded** (the *after* side): the pre-decoded hot path — programs
-//!   are generated, lowered and verified once ([`Accelerator::prepare`]),
-//!   and each repetition pays only `PreparedTask::execute`, i.e. the
-//!   alloc-free simulation loop itself — pinned to the bounds-checked
-//!   access path (`PreparedTask::force_checked`).
+//!   and interprets the programs (`run_task` under
+//!   `TierPolicy::interpreted()`).
+//! * **decoded**: the pre-decoded hot path — programs are generated,
+//!   lowered and verified once ([`Accelerator::prepare`]), and each
+//!   repetition pays only `PreparedTask::execute`, i.e. the alloc-free
+//!   simulation loop itself — pinned to the bounds-checked access path
+//!   (`PreparedTask::force_checked`).
 //! * **certified** (the certificate dividend): the same prepared task on
 //!   the certified-unchecked access path — the verifier's certificate
 //!   proved every access in bounds, so the decoded loop skips its
 //!   bounds checks.
+//! * **functional** (where the driver lowers one): the batched
+//!   wavefront sweep that skips per-cycle simulation entirely. Outputs
+//!   and DP-cell counts are bit-identical to the simulated tiers
+//!   (asserted here); cycles come from the certificate's analytic model
+//!   and are reported separately. Kernels whose dependency pattern has
+//!   no functional lowering yet fall back down the tier chain and emit
+//!   no functional row.
 //!
-//! All paths produce bit- and cycle-identical results (asserted here and
+//! All tiers produce bit-identical functional results (asserted here and
 //! covered by the engine-equivalence and certificate-soundness suites);
-//! only the host-side cost differs.
+//! only the host-side cost — and, for the functional tier, the cycle
+//! provenance — differs.
 //!
-//! Emits `BENCH_kernels.json` with, per kernel: DP cells, simulated
-//! cycles, cells/cycle (machine-independent), and per path the host wall
+//! Emits `BENCH_kernels.json` (schema `gendp-bench-kernels/v2`) with,
+//! per kernel: DP cells, simulated cycles, cells/cycle
+//! (machine-independent), and per tier the resolved-tier tag, host wall
 //! time, host cells/sec and heap allocations per simulated cycle.
 //! `speedup` is interpreted-wall / decoded-wall; `certified_speedup` is
-//! decoded-wall / certified-wall.
+//! decoded-wall / certified-wall; `functional_speedup` is decoded-wall /
+//! functional-wall (absent when the tier does not engage).
 //!
 //! Flags:
-//! * `--quick` — reduced task sizes and one repetition (CI smoke).
+//! * `--quick` — reduced task sizes and fewer repetitions (CI smoke).
 //! * `--out <path>` — where to write the JSON (default
 //!   `BENCH_kernels.json`).
 //! * `--baseline <path>` — compare against a committed baseline and exit
-//!   non-zero if any kernel's simulated cells/cycle drifts, or its
-//!   decoded-vs-interpreted speedup falls below an absolute 1.5x floor.
+//!   non-zero if any kernel's simulated cells/cycle drifts, its
+//!   decoded-vs-interpreted speedup falls below an absolute 1.5x floor,
+//!   or the functional tier misses its floors (10x over decoded on the
+//!   gated kernels, parity anywhere it engages).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,7 +55,7 @@ use std::time::Instant;
 
 use gendp::core::{BellmanFordTask, ChainTask, PoaTask, WavefrontTask};
 use gendp::core::{GendpPipeline, Wavefront2d};
-use gendp::dpax::Engine;
+use gendp::dpax::{Tier, TierPolicy};
 use gendp::kernels::bellman_ford::random_roadmap;
 use gendp::kernels::chain::ChainParams;
 use gendp::kernels::pairhmm::PairHmmParams;
@@ -76,11 +91,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// One engine's host-side measurement of a fixed task.
-struct EngineSide {
+/// One tier's host-side measurement of a fixed task. `tier` is the
+/// resolved execution tier read back from the run's provenance, not the
+/// requested one — the measured row names what actually ran.
+struct TierSide {
+    tier: Tier,
     wall_seconds: f64,
     cells_per_sec: f64,
     allocs_per_cycle: f64,
+}
+
+/// The functional tier's extra cycle provenance: its cycles come from
+/// the certificate's analytic model, not a simulation.
+struct FunctionalCycles {
+    cycles: u64,
+    estimated: bool,
 }
 
 /// One kernel's benchmark row.
@@ -89,89 +114,192 @@ struct KernelBench {
     cells: u64,
     cycles: u64,
     cells_per_cycle: f64,
-    decoded: EngineSide,
-    certified: EngineSide,
-    interpreted: EngineSide,
+    decoded: TierSide,
+    certified: TierSide,
+    interpreted: TierSide,
+    /// Present only when the functional tier engages for this kernel.
+    functional: Option<(TierSide, FunctionalCycles)>,
     speedup: f64,
     certified_speedup: f64,
+    functional_speedup: Option<f64>,
 }
 
-/// Times `reps` runs of one closure that executes the task and returns
-/// (cells, cycles); all repetitions are identical by construction. Each
-/// repetition is timed on its own and the *minimum* is reported: the
-/// fastest repetition is the one least perturbed by scheduler noise, and
-/// since every repetition does identical work it is the best estimate of
-/// the true cost.
-fn time_engine(reps: u32, mut run: impl FnMut() -> (u64, u64)) -> (EngineSide, u64, u64) {
-    // Warm-up run outside the timed window (first-touch page faults,
-    // lazily initialized LUTs).
-    let (cells, cycles) = run();
-    let allocs_before = ALLOCS.load(Ordering::Relaxed);
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let again = run();
-        best = best.min(start.elapsed().as_secs_f64());
-        assert_eq!(again, (cells, cycles), "non-deterministic benchmark task");
+/// One measured side of a kernel: a repeatable runner plus its
+/// accumulated timing. All repetitions are identical by construction;
+/// the *minimum* wall time is reported — the repetition least perturbed
+/// by scheduler noise is the best estimate of the true cost.
+struct Runner<'a> {
+    run: Box<dyn FnMut() -> (Tier, u64, u64) + 'a>,
+    tier: Tier,
+    cells: u64,
+    cycles: u64,
+    best: f64,
+    allocs: u64,
+}
+
+impl<'a> Runner<'a> {
+    /// Wraps a runner, executing it once as warm-up outside the timed
+    /// window (first-touch page faults, lazily initialized LUTs) and
+    /// recording the invariants every later repetition must reproduce.
+    fn new(mut run: Box<dyn FnMut() -> (Tier, u64, u64) + 'a>) -> Self {
+        let (tier, cells, cycles) = run();
+        Runner {
+            run,
+            tier,
+            cells,
+            cycles,
+            best: f64::INFINITY,
+            allocs: 0,
+        }
     }
-    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
-    (
-        EngineSide {
-            wall_seconds: best,
-            cells_per_sec: if best > 0.0 { cells as f64 / best } else { 0.0 },
-            allocs_per_cycle: allocs as f64 / (cycles as f64 * reps as f64),
-        },
-        cells,
-        cycles,
-    )
+
+    fn side(&self, reps: u32) -> TierSide {
+        TierSide {
+            tier: self.tier,
+            wall_seconds: self.best,
+            cells_per_sec: if self.best > 0.0 {
+                self.cells as f64 / self.best
+            } else {
+                0.0
+            },
+            allocs_per_cycle: self.allocs as f64 / (self.cycles as f64 * reps as f64),
+        }
+    }
 }
 
-/// Benchmarks one accelerator+task on both execution paths: the prepared
-/// decoded hot loop against the full per-run interpreted path.
+/// Times every side round-robin — rep 1 of each side, then rep 2 of
+/// each, … — instead of finishing one side before starting the next.
+/// The report's headline numbers are *ratios between sides*, and
+/// sequential timing feeds systematic drift (CPU frequency scaling,
+/// background load arriving mid-suite) entirely into one side of a
+/// ratio; interleaving spreads it evenly so the min-of-reps ratios
+/// converge even on a noisy host.
+fn time_interleaved(reps: u32, runners: &mut [Runner]) {
+    for _ in 0..reps {
+        for r in runners.iter_mut() {
+            let allocs_before = ALLOCS.load(Ordering::Relaxed);
+            let start = Instant::now();
+            let again = (r.run)();
+            let elapsed = start.elapsed().as_secs_f64();
+            r.allocs += ALLOCS.load(Ordering::Relaxed) - allocs_before;
+            r.best = r.best.min(elapsed);
+            assert_eq!(
+                again,
+                (r.tier, r.cells, r.cycles),
+                "non-deterministic benchmark task"
+            );
+        }
+    }
+}
+
+/// Benchmarks one accelerator+task across every tier that engages: the
+/// prepared decoded hot loop (checked and certified-unchecked) and the
+/// functional sweep against the full per-run interpreted path.
 fn bench<A, F>(name: &'static str, reps: u32, build: F, task: &A::Task<'_>) -> KernelBench
 where
     A: Accelerator,
     F: Fn() -> A,
 {
-    // After: prepare once (codegen + lowering, untimed), time execute on
-    // the bounds-checked decoded path.
-    let accel = build().configure(AccelConfig::new().engine(Engine::Decoded));
-    let mut prep = accel.prepare(task);
-    prep.force_checked();
-    let (decoded, cells, cycles) = time_engine(reps, move || {
-        let stats = prep.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
-        (stats.cells(), stats.cycles)
-    });
+    // Prepare once per side (codegen + lowering, untimed); the timed
+    // windows cover only the per-repetition execution.
+    // Decoded: the bounds-checked decoded hot loop.
+    let accel = build().configure(AccelConfig::new().tiers(TierPolicy::decoded()));
+    let mut prep_dec = accel.prepare(task);
+    prep_dec.force_checked();
     // Certificate dividend: the same prepared task, bounds checks proven
-    // away by gendp-verify's certificate.
-    let accel = build().configure(AccelConfig::new().engine(Engine::Decoded));
-    let mut prep = accel.prepare(task);
+    // away by gendp-verify's certificate (the default policy).
+    let accel = build().configure(AccelConfig::new().tiers(TierPolicy::decoded_certified()));
+    let mut prep_cert = accel.prepare(task);
     assert!(
-        prep.is_certified(),
+        prep_cert.is_certified(),
         "{name}: kernel programs must certify for the unchecked path"
     );
-    let (certified, c_cells, c_cycles) = time_engine(reps, move || {
-        let stats = prep.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
-        (stats.cells(), stats.cycles)
+    // Functional fast path, where the driver lowers one. Falls back down
+    // the chain otherwise — detected through the resolved provenance, so
+    // this harness stays engine-generic.
+    let accel = build().configure(AccelConfig::new().tiers(TierPolicy::functional()));
+    let mut prep_fun = accel.prepare(task);
+    let fun_engages = prep_fun.resolved_tier() == Tier::Functional;
+    let fcycles = fun_engages.then(|| {
+        let probe = prep_fun.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
+        FunctionalCycles {
+            cycles: probe.cycles,
+            estimated: probe.cycles_estimated,
+        }
     });
     // Before: the one-shot path, regenerating and re-verifying per run.
-    let accel = build().configure(AccelConfig::new().engine(Engine::Interpreted));
-    let (interpreted, i_cells, i_cycles) = time_engine(reps, move || {
-        let out = accel
+    let accel_int = build().configure(AccelConfig::new().tiers(TierPolicy::interpreted()));
+
+    let mut runners = Vec::new();
+    runners.push(Runner::new(Box::new(move || {
+        let stats = prep_dec.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
+        (stats.tier, stats.cells(), stats.cycles)
+    })));
+    runners.push(Runner::new(Box::new(move || {
+        let stats = prep_cert
+            .execute()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        (stats.tier, stats.cells(), stats.cycles)
+    })));
+    if fun_engages {
+        runners.push(Runner::new(Box::new(move || {
+            let stats = prep_fun.execute().unwrap_or_else(|e| panic!("{name}: {e}"));
+            (stats.tier, stats.cells(), stats.cycles)
+        })));
+    }
+    runners.push(Runner::new(Box::new(move || {
+        let out = accel_int
             .run_task(task)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let stats = out.stats();
-        (stats.cells(), stats.cycles)
-    });
+        (stats.tier, stats.cells(), stats.cycles)
+    })));
+    time_interleaved(reps, &mut runners);
+
+    let mut sides = runners.into_iter();
+    let decoded_r = sides.next().expect("decoded side");
+    let certified_r = sides.next().expect("certified side");
+    let functional_r = fun_engages.then(|| sides.next().expect("functional side"));
+    let interpreted_r = sides.next().expect("interpreted side");
+
+    let (cells, cycles) = (decoded_r.cells, decoded_r.cycles);
     assert_eq!(
         (cells, cycles),
-        (i_cells, i_cycles),
-        "{name}: engines disagree on simulated work"
+        (interpreted_r.cells, interpreted_r.cycles),
+        "{name}: tiers disagree on simulated work"
     );
     assert_eq!(
         (cells, cycles),
-        (c_cells, c_cycles),
+        (certified_r.cells, certified_r.cycles),
         "{name}: the certified path disagrees on simulated work"
+    );
+    // Cells-only cross-check: the functional tier reports analytic
+    // cycles, so simulated-cycle equality is not expected.
+    if let Some(f) = &functional_r {
+        assert_eq!(
+            cells, f.cells,
+            "{name}: the functional tier disagrees on DP cells"
+        );
+    }
+    let decoded = decoded_r.side(reps);
+    let certified = certified_r.side(reps);
+    let interpreted = interpreted_r.side(reps);
+    let functional = functional_r.map(|f| {
+        (
+            f.side(reps),
+            fcycles.expect("probe ran when the tier engages"),
+        )
+    });
+    assert_eq!(decoded.tier, Tier::Decoded, "{name}: decoded provenance");
+    assert_eq!(
+        certified.tier,
+        Tier::DecodedCertified,
+        "{name}: certified provenance"
+    );
+    assert_eq!(
+        interpreted.tier,
+        Tier::Interpreted,
+        "{name}: interpreted provenance"
     );
     KernelBench {
         name,
@@ -180,9 +308,13 @@ where
         cells_per_cycle: cells as f64 / cycles as f64,
         speedup: interpreted.wall_seconds / decoded.wall_seconds,
         certified_speedup: decoded.wall_seconds / certified.wall_seconds,
+        functional_speedup: functional
+            .as_ref()
+            .map(|(f, _)| decoded.wall_seconds / f.wall_seconds),
         decoded,
         certified,
         interpreted,
+        functional,
     }
 }
 
@@ -191,7 +323,9 @@ fn codes(s: &DnaSeq) -> Vec<i32> {
 }
 
 fn run_suite(quick: bool) -> Vec<KernelBench> {
-    let reps = if quick { 1 } else { 10 };
+    // Even the smoke run takes min-of-5: a single repetition of the tiny
+    // quick tasks is pure scheduler noise against the ratio floors.
+    let reps = if quick { 5 } else { 10 };
     let mut rng = SmallRng::seed_from_u64(2023);
     let mut out = Vec::new();
 
@@ -309,25 +443,44 @@ fn run_suite(quick: bool) -> Vec<KernelBench> {
 }
 
 fn render_json(quick: bool, rows: &[KernelBench]) -> String {
+    let side = |e: &TierSide| {
+        format!(
+            "{{ \"tier\": \"{}\", \"wall_seconds\": {:.6}, \"cells_per_sec\": {:.1}, \
+             \"allocs_per_cycle\": {:.4} }}",
+            e.tier, e.wall_seconds, e.cells_per_sec, e.allocs_per_cycle
+        )
+    };
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gendp-bench-kernels/v1\",\n");
+    s.push_str("  \"schema\": \"gendp-bench-kernels/v2\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        let side = |e: &EngineSide| {
-            format!(
-                "{{ \"wall_seconds\": {:.6}, \"cells_per_sec\": {:.1}, \
+        let functional = match &r.functional {
+            Some((f, fc)) => format!(
+                "{{ \"tier\": \"{}\", \"cycles\": {}, \"cycles_estimated\": {}, \
+                 \"wall_seconds\": {:.6}, \"cells_per_sec\": {:.1}, \
                  \"allocs_per_cycle\": {:.4} }}",
-                e.wall_seconds, e.cells_per_sec, e.allocs_per_cycle
-            )
+                f.tier,
+                fc.cycles,
+                fc.estimated,
+                f.wall_seconds,
+                f.cells_per_sec,
+                f.allocs_per_cycle
+            ),
+            None => "null".to_string(),
+        };
+        let functional_speedup = match r.functional_speedup {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
         };
         s.push_str(&format!(
             "    {{\n      \"name\": \"{}\",\n      \"cells\": {},\n      \
              \"cycles\": {},\n      \"cells_per_cycle\": {:.6},\n      \
              \"decoded\": {},\n      \"certified\": {},\n      \
-             \"interpreted\": {},\n      \
-             \"speedup\": {:.3},\n      \"certified_speedup\": {:.3}\n    }}{}\n",
+             \"interpreted\": {},\n      \"functional\": {},\n      \
+             \"speedup\": {:.3},\n      \"certified_speedup\": {:.3},\n      \
+             \"functional_speedup\": {}\n    }}{}\n",
             r.name,
             r.cells,
             r.cycles,
@@ -335,8 +488,10 @@ fn render_json(quick: bool, rows: &[KernelBench]) -> String {
             side(&r.decoded),
             side(&r.certified),
             side(&r.interpreted),
+            functional,
             r.speedup,
             r.certified_speedup,
+            functional_speedup,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -377,9 +532,20 @@ const MIN_SPEEDUP: f64 = 1.5;
 /// slowdown.
 const MIN_CERTIFIED_RATIO: f64 = 0.9;
 
+/// The functional tier must beat the decoded simulation by at least this
+/// factor on the gated kernels ([`FUNCTIONAL_GATED`]). Skipping the
+/// per-cycle machinery is worth orders of magnitude; a 10x floor leaves
+/// room for host noise while catching the fast path degenerating into a
+/// reimplementation of the simulator.
+const MIN_FUNCTIONAL_RATIO: f64 = 10.0;
+
+/// Kernels whose functional speedup is gated at [`MIN_FUNCTIONAL_RATIO`].
+/// Everywhere else the tier engages it only has to clear parity (1x).
+const FUNCTIONAL_GATED: [&str; 2] = ["bsw", "dtw"];
+
 /// Compares the fresh report against a committed baseline. The simulated
-/// cells/cycle is deterministic and must match; the decoded-engine
-/// speedup is host-measured and only has to clear [`MIN_SPEEDUP`].
+/// cells/cycle is deterministic and must match; the host-measured ratios
+/// only have to clear their absolute floors.
 fn check_baseline(baseline: &str, rows: &[KernelBench]) -> Result<(), String> {
     let mut problems = Vec::new();
     for r in rows {
@@ -409,6 +575,23 @@ fn check_baseline(baseline: &str, rows: &[KernelBench]) -> Result<(), String> {
                 r.name, r.certified_speedup
             ));
         }
+        let gated = FUNCTIONAL_GATED.contains(&r.name);
+        match r.functional_speedup {
+            Some(f) if gated && f < MIN_FUNCTIONAL_RATIO => problems.push(format!(
+                "{}: functional speedup {:.2}x below the {MIN_FUNCTIONAL_RATIO}x \
+                 floor vs decoded",
+                r.name, f
+            )),
+            Some(f) if !gated && f < 1.0 => problems.push(format!(
+                "{}: functional tier engaged but ran {:.2}x decoded (sub-parity)",
+                r.name, f
+            )),
+            None if gated => problems.push(format!(
+                "{}: functional tier did not engage on a gated kernel",
+                r.name
+            )),
+            _ => {}
+        }
     }
     if problems.is_empty() {
         Ok(())
@@ -433,7 +616,7 @@ fn main() {
     let rows = run_suite(quick);
 
     println!(
-        "{:<13} {:>9} {:>9} {:>11} {:>13} {:>13} {:>13} {:>8} {:>9}",
+        "{:<13} {:>9} {:>9} {:>11} {:>13} {:>13} {:>13} {:>13} {:>8} {:>9} {:>9}",
         "kernel",
         "cells",
         "cycles",
@@ -441,12 +624,20 @@ fn main() {
         "int cells/s",
         "dec cells/s",
         "cert cells/s",
+        "func cells/s",
         "speedup",
-        "cert/dec"
+        "cert/dec",
+        "func/dec"
     );
     for r in &rows {
+        let (func_rate, func_ratio) = match (&r.functional, r.functional_speedup) {
+            (Some((f, _)), Some(ratio)) => {
+                (format!("{:.0}", f.cells_per_sec), format!("{ratio:.1}x"))
+            }
+            _ => ("-".to_string(), "-".to_string()),
+        };
         println!(
-            "{:<13} {:>9} {:>9} {:>11.4} {:>13.0} {:>13.0} {:>13.0} {:>7.2}x {:>8.2}x",
+            "{:<13} {:>9} {:>9} {:>11.4} {:>13.0} {:>13.0} {:>13.0} {:>13} {:>7.2}x {:>8.2}x {:>9}",
             r.name,
             r.cells,
             r.cycles,
@@ -454,8 +645,10 @@ fn main() {
             r.interpreted.cells_per_sec,
             r.decoded.cells_per_sec,
             r.certified.cells_per_sec,
+            func_rate,
             r.speedup,
             r.certified_speedup,
+            func_ratio,
         );
     }
 
@@ -467,8 +660,8 @@ fn main() {
         let baseline =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
         // Schema sanity: the baseline must be a bench-kernels report.
-        if !baseline.contains("\"schema\": \"gendp-bench-kernels/v1\"") {
-            eprintln!("baseline {path} is not a gendp-bench-kernels/v1 report");
+        if !baseline.contains("\"schema\": \"gendp-bench-kernels/v2\"") {
+            eprintln!("baseline {path} is not a gendp-bench-kernels/v2 report");
             std::process::exit(2);
         }
         match check_baseline(&baseline, &rows) {

@@ -6,7 +6,7 @@
 //! drive any kernel through one code path.
 //!
 //! * [`AccelConfig`] carries the driver-independent knobs: the cycle-budget
-//!   multiplier and the simulator [`Engine`].
+//!   multiplier and the execution [`TierPolicy`].
 //! * A driver's task type (e.g. [`WavefrontTask`]) is a plain borrow of the
 //!   per-task inputs, so a batch of tasks can be swept without cloning
 //!   sequences.
@@ -17,13 +17,14 @@
 //! [`crate::parallel::run_batch`] builds on this trait to sweep a task
 //! batch across host threads.
 
-use gendp_dpax::{Engine, PeArray, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, RunStats, SimError, Tier, TierPolicy};
 use gendp_dpmap::Mapping;
 use gendp_isa::Word;
 use gendp_kernels::bellman_ford::Graph;
 use gendp_kernels::poa::Poa;
 use gendp_seq::{Anchor, DnaSeq};
 
+use crate::functional::FunctionalPlan;
 use crate::graph2d::{PoaAccelerator, PoaRun};
 use crate::linear1d::{ChainAccelerator, ChainRun};
 use crate::pipeline::AcceleratorRun;
@@ -31,27 +32,27 @@ use crate::spm1d::{BellmanFordAccelerator, BellmanFordRun};
 use crate::wavefront2d::{Wavefront2d, Wavefront2dOutput};
 
 /// Driver-independent configuration applied by [`Accelerator::configure`]:
-/// the retry-escalation budget multiplier and the simulator engine.
+/// the retry-escalation budget multiplier and the execution-tier policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccelConfig {
     /// Multiplier on the internally derived cycle budget (a cutoff only;
     /// never a result change). Must be positive.
     pub budget_scale: u64,
-    /// Execution engine for the simulated arrays.
-    pub engine: Engine,
+    /// Execution-tier selection for task runs.
+    pub tiers: TierPolicy,
 }
 
 impl Default for AccelConfig {
     fn default() -> Self {
         AccelConfig {
             budget_scale: 1,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 }
 
 impl AccelConfig {
-    /// The default configuration (budget scale 1, decoded engine).
+    /// The default configuration (budget scale 1, default tier policy).
     pub fn new() -> Self {
         Self::default()
     }
@@ -62,10 +63,20 @@ impl AccelConfig {
         self
     }
 
-    /// Sets the simulator engine, returning `self` for chaining.
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Sets the execution-tier policy, returning `self` for chaining.
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Sets the simulator engine, returning `self` for chaining.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tiers(TierPolicy::...)`; raw engines no longer select the execution path"
+    )]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 }
 
@@ -173,10 +184,26 @@ pub struct PreparedTask {
     array: PeArray,
     inputs: Vec<Word>,
     budget: u64,
+    /// Functional lowering of the task, present only when the driver built
+    /// one (the policy requested [`Tier::Functional`] and the pattern
+    /// supports the batched sweep).
+    plan: Option<FunctionalPlan>,
+    /// Whether the most recent `execute` ran the functional tier (routes
+    /// `output()` to the plan's buffer instead of the array's).
+    functional_ran: bool,
 }
 
 impl PreparedTask {
-    pub(crate) fn new(mut array: PeArray, inputs: Vec<Word>, budget: u64) -> Self {
+    pub(crate) fn new(array: PeArray, inputs: Vec<Word>, budget: u64) -> Self {
+        Self::with_plan(array, inputs, budget, None)
+    }
+
+    pub(crate) fn with_plan(
+        mut array: PeArray,
+        inputs: Vec<Word>,
+        budget: u64,
+        plan: Option<FunctionalPlan>,
+    ) -> Self {
         // Run the verification gate eagerly so the certificate — cycle
         // bounds, certified DP-cell cost, safety — is readable *before*
         // the first execution (schedulers admit on it). A verification
@@ -187,6 +214,27 @@ impl PreparedTask {
             array,
             inputs,
             budget,
+            plan,
+            functional_ran: false,
+        }
+    }
+
+    /// True when `execute` will take the functional fast path: the driver
+    /// lowered a plan, the policy requested the functional tier, and the
+    /// certificate proved the programs safe.
+    fn functional_available(&self) -> bool {
+        self.plan.is_some()
+            && self.array.config().tiers.requested() == Tier::Functional
+            && self.array.certificate().is_some_and(|c| c.safe())
+    }
+
+    /// The execution tier `execute` resolves to under the configured
+    /// [`TierPolicy`], after fallback.
+    pub fn resolved_tier(&self) -> Tier {
+        if self.functional_available() {
+            Tier::Functional
+        } else {
+            self.array.resolved_tier()
         }
     }
 
@@ -206,19 +254,43 @@ impl PreparedTask {
     /// certificate may allow the unchecked one. The certificate stays
     /// readable; only the path downgrade is sticky. This is how
     /// `bench-kernels` measures checked against certified-unchecked from
-    /// the same prepared task.
+    /// the same prepared task. The functional fast path is also disabled —
+    /// it has no bounds-checked variant to pin to.
     pub fn force_checked(&mut self) {
+        self.plan = None;
         self.array.force_checked();
     }
 
-    /// Executes the task once: resets the array's architectural state,
-    /// feeds the staged inputs and runs to completion.
+    /// Executes the task once under the configured [`TierPolicy`].
+    ///
+    /// On the functional tier this replays the prepared lowering directly
+    /// — batched wavefront loops over flat buffers, no per-cycle
+    /// simulation — with cycles reported from the certificate's analytic
+    /// model. On the simulated tiers it resets the array's architectural
+    /// state, feeds the staged inputs and runs to completion.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors ([`SimError`]), exactly as
-    /// [`Accelerator::run_task`] does.
+    /// [`Accelerator::run_task`] does. A strict policy whose requested
+    /// tier is unavailable fails with [`SimError::TierUnavailable`].
     pub fn execute(&mut self) -> Result<RunStats, SimError> {
+        if self.functional_available() {
+            self.functional_ran = true;
+            // Disjoint borrows: the certificate lives on the array, the
+            // plan's execute mutates only the plan.
+            let cert = self.array.certificate();
+            let plan = self.plan.as_mut().expect("functional_available checked");
+            return Ok(plan.execute(cert));
+        }
+        let tiers = self.array.config().tiers;
+        if tiers.is_strict() && tiers.requested() == Tier::Functional {
+            return Err(SimError::TierUnavailable {
+                requested: Tier::Functional,
+                available: self.array.resolved_tier(),
+            });
+        }
+        self.functional_ran = false;
         self.array.reset();
         self.array.feed_input(self.inputs.iter().copied());
         self.array.run(self.budget)
@@ -226,7 +298,11 @@ impl PreparedTask {
 
     /// The output words of the most recent [`execute`](Self::execute).
     pub fn output(&self) -> &[Word] {
-        self.array.output()
+        if self.functional_ran {
+            self.plan.as_ref().expect("functional ran").output()
+        } else {
+            self.array.output()
+        }
     }
 
     /// The derived cycle budget an execution runs under.
@@ -294,7 +370,7 @@ impl Accelerator for Wavefront2d {
     }
 
     fn configure(self, cfg: AccelConfig) -> Self {
-        self.budget_scale(cfg.budget_scale).engine(cfg.engine)
+        self.budget_scale(cfg.budget_scale).tiers(cfg.tiers)
     }
 
     fn mapping(&self) -> &Mapping {
@@ -338,7 +414,7 @@ impl Accelerator for ChainAccelerator {
     }
 
     fn configure(self, cfg: AccelConfig) -> Self {
-        self.budget_scale(cfg.budget_scale).engine(cfg.engine)
+        self.budget_scale(cfg.budget_scale).tiers(cfg.tiers)
     }
 
     fn mapping(&self) -> &Mapping {
@@ -367,7 +443,7 @@ impl Accelerator for PoaAccelerator {
     }
 
     fn configure(self, cfg: AccelConfig) -> Self {
-        self.budget_scale(cfg.budget_scale).engine(cfg.engine)
+        self.budget_scale(cfg.budget_scale).tiers(cfg.tiers)
     }
 
     fn mapping(&self) -> &Mapping {
@@ -396,7 +472,7 @@ impl Accelerator for BellmanFordAccelerator {
     }
 
     fn configure(self, cfg: AccelConfig) -> Self {
-        self.budget_scale(cfg.budget_scale).engine(cfg.engine)
+        self.budget_scale(cfg.budget_scale).tiers(cfg.tiers)
     }
 
     fn mapping(&self) -> &Mapping {
@@ -466,11 +542,11 @@ mod tests {
             band: None,
         };
         let decoded = GendpPipeline::bsw(&scoring)
-            .configure(AccelConfig::new().engine(Engine::Decoded))
+            .configure(AccelConfig::new().tiers(TierPolicy::decoded()))
             .run_task(&task)
             .expect("decoded");
         let interp = GendpPipeline::bsw(&scoring)
-            .configure(AccelConfig::new().engine(Engine::Interpreted))
+            .configure(AccelConfig::new().tiers(TierPolicy::interpreted()))
             .run_task(&task)
             .expect("interpreted");
         assert_eq!(decoded.last_row, interp.last_row);

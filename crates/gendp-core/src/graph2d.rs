@@ -12,7 +12,7 @@
 //! each cell" (§7.3). End-node scores park in the scratchpad until the
 //! final drain.
 
-use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError, TierPolicy};
 
 use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
@@ -32,8 +32,8 @@ pub struct PoaAccelerator {
     scoring: Scoring,
     gap: i32,
     budget_scale: u64,
-    /// Execution engine for the simulated arrays.
-    engine: Engine,
+    /// Execution-tier selection for task runs.
+    tiers: TierPolicy,
 }
 
 /// Functional result of aligning one sequence to the graph on DPAx.
@@ -75,7 +75,7 @@ impl PoaAccelerator {
             scoring,
             gap,
             budget_scale: 1,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 
@@ -92,11 +92,21 @@ impl PoaAccelerator {
         self
     }
 
-    /// Selects the simulator execution engine (decoded fast path by
-    /// default; both engines are bit- and cycle-identical).
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Selects the execution-tier policy (certified decoded simulation
+    /// with automatic fallback by default; all tiers are bit-identical).
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Selects the simulator execution engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tiers(TierPolicy::...)`; raw engines no longer select the execution path"
+    )]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 
     /// The DPMap result for the objective function.
@@ -409,7 +419,7 @@ impl PoaAccelerator {
                 self.scoring.matches,
                 -self.scoring.mismatch,
             ))
-            .engine(self.engine);
+            .tiers(self.tiers);
         cfg.rf_slots = (scratch_base as usize + 2 * max_live + 2).max(cfg.rf_slots);
         cfg.fifo_capacity = ((max_live + 2) * (n + 2)).max(cfg.fifo_capacity);
         cfg.spm_words = cfg

@@ -27,6 +27,7 @@
 //! algorithm).
 
 pub mod accel;
+pub mod functional;
 pub mod graph2d;
 pub mod linear1d;
 pub mod parallel;
@@ -38,6 +39,7 @@ pub use accel::{
     AccelConfig, Accelerator, BandSpec, BellmanFordTask, ChainTask, PoaTask, PreparedTask,
     TaskOutput, WavefrontTask,
 };
+pub use functional::FunctionalPlan;
 pub use parallel::run_batch;
 pub use pipeline::{
     bsw_score, bsw_semiglobal_score, bsw_simd16_scores, bsw_simd_scores, dtw_banded_distance,

@@ -12,7 +12,7 @@
 //! recurrence with the same window — validated against
 //! [`gendp_kernels::chain::chain_reordered`].
 
-use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError, TierPolicy};
 
 use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
@@ -27,8 +27,8 @@ pub struct ChainAccelerator {
     mapping: Mapping,
     params: ChainParams,
     budget_scale: u64,
-    /// Execution engine for the simulated arrays.
-    engine: Engine,
+    /// Execution-tier selection for task runs.
+    tiers: TierPolicy,
 }
 
 /// Functional result of one chaining task on DPAx.
@@ -51,7 +51,7 @@ impl ChainAccelerator {
             mapping: map_dfg(&chain_dfg(&params)),
             params,
             budget_scale: 1,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 
@@ -68,11 +68,21 @@ impl ChainAccelerator {
         self
     }
 
-    /// Selects the simulator execution engine (decoded fast path by
-    /// default; both engines are bit- and cycle-identical).
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Selects the execution-tier policy (certified decoded simulation
+    /// with automatic fallback by default; all tiers are bit-identical).
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Selects the simulator execution engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tiers(TierPolicy::...)`; raw engines no longer select the execution path"
+    )]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 
     /// The chaining parameters (window = the PE count passed to
@@ -239,7 +249,7 @@ impl ChainAccelerator {
             .mode(Mode::Int32)
             .luts(Luts::default())
             .fifo_broadcast()
-            .engine(self.engine);
+            .tiers(self.tiers);
         cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
         cfg.fifo_capacity = cfg.fifo_capacity.max(3 * (n_pes + 4));
         let mut array = PeArray::new(cfg);

@@ -4,7 +4,7 @@
 //! vertex set) are exactly the scratchpad-served access pattern of §3.1;
 //! graphs larger than the scratchpad would spill to DRAM (§7.6.1).
 
-use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError, TierPolicy};
 
 use crate::accel::PreparedTask;
 use gendp_dpmap::{map_dfg, Mapping};
@@ -21,8 +21,8 @@ pub const INF: i32 = 1 << 28;
 pub struct BellmanFordAccelerator {
     mapping: Mapping,
     budget_scale: u64,
-    /// Execution engine for the simulated arrays.
-    engine: Engine,
+    /// Execution-tier selection for task runs.
+    tiers: TierPolicy,
 }
 
 /// Functional result of one shortest-path task on DPAx.
@@ -46,7 +46,7 @@ impl BellmanFordAccelerator {
         BellmanFordAccelerator {
             mapping: map_dfg(&bellman_ford_dfg()),
             budget_scale: 1,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 
@@ -63,11 +63,21 @@ impl BellmanFordAccelerator {
         self
     }
 
-    /// Selects the simulator execution engine (decoded fast path by
-    /// default; both engines are bit- and cycle-identical).
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Selects the execution-tier policy (certified decoded simulation
+    /// with automatic fallback by default; all tiers are bit-identical).
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Selects the simulator execution engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `tiers(TierPolicy::...)`; raw engines no longer select the execution path"
+    )]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 
     /// The DPMap result for the relaxation.
@@ -138,7 +148,7 @@ impl BellmanFordAccelerator {
         let mut cfg = PeArrayConfig::with_pes(1)
             .mode(Mode::Int32)
             .luts(Luts::default())
-            .engine(self.engine);
+            .tiers(self.tiers);
         cfg.rf_slots = cfg.rf_slots.max(self.mapping.layout.slot_count() as usize);
         assert!(n <= cfg.spm_words, "graph exceeds the scratchpad");
 

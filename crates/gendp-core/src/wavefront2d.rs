@@ -10,9 +10,10 @@
 use std::collections::BTreeMap;
 
 use gendp_dfg::Dfg;
-use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError};
+use gendp_dpax::{Engine, PeArray, PeArrayConfig, RunStats, SimError, Tier, TierPolicy};
 
 use crate::accel::PreparedTask;
+use crate::functional::{FunctionalPlan, PlanDiag, PlanLeft, PlanStream};
 use gendp_dpmap::{map_dfg, Mapping};
 use gendp_isa::{ControlInst, ControlProgram, Loc, Luts, Mode, Space, Word};
 
@@ -125,8 +126,10 @@ pub struct Wavefront2d {
     /// escalation); never changes results, only the [`SimError::Timeout`]
     /// cutoff.
     budget_scale: u64,
-    /// Execution engine for the simulated arrays.
-    engine: Engine,
+    /// Execution-tier policy. A functional request lowers the task to a
+    /// [`FunctionalPlan`] at `prepare` time; the chain degrades to the
+    /// simulated tiers when the kernel cannot run functionally.
+    tiers: TierPolicy,
 }
 
 /// Functional results of one accelerator task.
@@ -176,7 +179,7 @@ impl Wavefront2d {
             landing: BTreeMap::new(),
             rf_slots,
             budget_scale: 1,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 
@@ -194,11 +197,18 @@ impl Wavefront2d {
         self
     }
 
-    /// Selects the simulator execution engine (decoded fast path by
-    /// default; both engines are bit- and cycle-identical).
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Sets the execution-tier policy (all tiers produce bit-identical
+    /// outputs; the functional tier reports analytic cycles).
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Selects the simulator execution engine.
+    #[deprecated(since = "0.2.0", note = "use `tiers(TierPolicy::...)`")]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 
     fn ext_slot(&self, name: &str) -> u16 {
@@ -712,7 +722,7 @@ impl Wavefront2d {
         let mut cfg = PeArrayConfig::with_pes(n_pes)
             .mode(self.mode)
             .luts(self.luts.clone())
-            .engine(self.engine);
+            .tiers(self.tiers);
         cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
         cfg.fifo_capacity = ((self.streamed.len() + 2) * (n + 2)).max(cfg.fifo_capacity);
         let mut array = PeArray::new(cfg);
@@ -739,7 +749,7 @@ impl Wavefront2d {
         let mut cfg = PeArrayConfig::with_pes(n_pes)
             .mode(self.mode)
             .luts(self.luts.clone())
-            .engine(self.engine);
+            .tiers(self.tiers);
         cfg.rf_slots = self.rf_slots.max(cfg.rf_slots);
         cfg.fifo_capacity = ((self.streamed.len() + 2) * (width + 2)).max(cfg.fifo_capacity);
         let mut array = PeArray::new(cfg);
@@ -750,10 +760,86 @@ impl Wavefront2d {
         array
     }
 
+    /// Lowers one task shape to a [`FunctionalPlan`]: role names resolved
+    /// to slots, compute program pre-decoded, statistic weights pre-summed.
+    /// `rf_slots` must match the built array's so the per-PE register
+    /// files agree.
+    fn functional_plan(
+        &self,
+        rows: &[i32],
+        cols: Vec<i32>,
+        band: Option<usize>,
+        n_pes: usize,
+        rf_slots: usize,
+    ) -> FunctionalPlan {
+        let streams = self
+            .streamed
+            .iter()
+            .map(|v| PlanStream {
+                landing: self.landing[v] as usize,
+                out: self.out_slot(v) as usize,
+                row0: self.row0[v],
+                col0: self.col0[v],
+            })
+            .collect();
+        let diags = self
+            .diag
+            .iter()
+            .map(|d| PlanDiag {
+                ext: self.ext_slot(&d.ext) as usize,
+                src: self
+                    .streamed
+                    .iter()
+                    .position(|s| *s == d.src)
+                    .expect("diag sources are streamed"),
+            })
+            .collect();
+        let lefts = self
+            .left
+            .iter()
+            .map(|l| PlanLeft {
+                ext: self.ext_slot(&l.ext) as usize,
+                out: self.out_slot(&l.src) as usize,
+                col0: l.col0,
+                per_row: l.per_row,
+            })
+            .collect();
+        FunctionalPlan {
+            program: (&self.mapping.program).into(),
+            mode: self.mode,
+            luts: self.luts.clone(),
+            rf_slots,
+            n_pes,
+            rows: rows.to_vec(),
+            cols,
+            band,
+            row_char: self.ext_slot(&self.row_char) as usize,
+            col_char: self.ext_slot(&self.col_char) as usize,
+            streams,
+            diags,
+            lefts,
+            col_index: self.col_index.as_ref().map(|j| self.ext_slot(j) as usize),
+            collects: self
+                .collect
+                .iter()
+                .map(|c| self.out_slot(c) as usize)
+                .collect(),
+            drains: self
+                .drain
+                .iter()
+                .map(|d| self.ext_slot(d) as usize)
+                .collect(),
+            weights: gendp_isa::cell_stat_weights(&self.mapping.program),
+            ws: Default::default(),
+        }
+    }
+
     /// Binds one streamed task to a loaded array — programs generated,
     /// lowered and loaded, column stream staged, budget derived — for
     /// repeated [`PreparedTask::execute`] replays. [`run`](Self::run) is
-    /// `prepare` + one execute + output parsing.
+    /// `prepare` + one execute + output parsing. When the tier policy
+    /// requests [`Tier::Functional`], the task is additionally lowered to
+    /// a [`FunctionalPlan`] and `execute` skips the simulator entirely.
     ///
     /// # Panics
     ///
@@ -770,7 +856,10 @@ impl Wavefront2d {
             + 10_000)
             .saturating_mul(self.budget_scale);
         let inputs = cols.iter().map(|&c| Word::from_i32(c)).collect();
-        PreparedTask::new(array, inputs, budget)
+        let plan = (self.tiers.requested() == Tier::Functional).then(|| {
+            self.functional_plan(rows, cols.to_vec(), None, n_pes, array.config().rf_slots)
+        });
+        PreparedTask::with_plan(array, inputs, budget, plan)
     }
 
     /// Binds one banded task to a loaded array (the band's column windows
@@ -799,7 +888,13 @@ impl Wavefront2d {
             * 4
             + 10_000)
             .saturating_mul(self.budget_scale);
-        PreparedTask::new(array, Vec::new(), budget)
+        let plan = (self.tiers.requested() == Tier::Functional).then(|| {
+            // Same padding rule as `build_array_banded`.
+            let mut padded: Vec<i32> = cols.to_vec();
+            padded.resize(cols.len().max(m + width) + 1, sentinel);
+            self.functional_plan(rows, padded, Some(width), n_pes, array.config().rf_slots)
+        });
+        PreparedTask::with_plan(array, Vec::new(), budget, plan)
     }
 
     /// Runs one task on a `n_pes`-PE array; returns functional outputs and

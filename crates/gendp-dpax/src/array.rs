@@ -8,7 +8,7 @@ use gendp_isa::{
     ComputeProgram, ControlProgram, DecodedComputeProgram, DecodedControlProgram, Word,
 };
 
-use crate::config::{Engine, PeArrayConfig};
+use crate::config::{Engine, PeArrayConfig, Tier};
 use crate::error::SimError;
 use crate::pe::{ExtView, Pe, Progress};
 use crate::stats::RunStats;
@@ -237,13 +237,15 @@ impl PeArray {
             return Err(SimError::Verify(report));
         }
         self.verified = true;
-        // The unchecked path is legal only when the certificate proves
-        // every access in bounds AND the decoded engine can execute every
-        // instruction natively (the interpreter fallback re-checks at the
-        // assembly level, which is exactly what certification removes).
+        // The unchecked path is legal only when the tier policy admits it,
+        // the certificate proves every access in bounds AND the decoded
+        // engine can execute every instruction natively (the interpreter
+        // fallback re-checks at the assembly level, which is exactly what
+        // certification removes).
         self.certified = self.cfg.certify
             && cert.safe()
-            && self.cfg.engine == Engine::Decoded
+            && self.cfg.tiers.admits(Tier::DecodedCertified)
+            && self.cfg.tiers.sim_engine() == Engine::Decoded
             && self.pes.iter().all(|pe| !pe.decoded_has_interp());
         self.certificate = Some(cert);
         for pe in &mut self.pes {
@@ -262,6 +264,22 @@ impl PeArray {
     /// decoded access path.
     pub fn is_certified(&self) -> bool {
         self.certified
+    }
+
+    /// The execution tier this array resolves to under its
+    /// [`TierPolicy`](crate::TierPolicy), once verification has run. A raw
+    /// array can only simulate, so [`Tier::Functional`] never resolves
+    /// here — a functional request degrades along the chain (kernel
+    /// drivers in `gendp-core` intercept the functional tier above the
+    /// array level).
+    pub fn resolved_tier(&self) -> Tier {
+        if self.certified {
+            Tier::DecodedCertified
+        } else if self.cfg.tiers.sim_engine() == Engine::Interpreted {
+            Tier::Interpreted
+        } else {
+            Tier::Decoded
+        }
     }
 
     /// Drops the array back to the bounds-checked access path and keeps
@@ -289,6 +307,13 @@ impl PeArray {
     /// [`SimError::BadAccess`] on out-of-range addressing.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunStats, SimError> {
         self.ensure_verified()?;
+        let resolved = self.resolved_tier();
+        if self.cfg.tiers.is_strict() && resolved != self.cfg.tiers.requested() {
+            return Err(SimError::TierUnavailable {
+                requested: self.cfg.tiers.requested(),
+                available: resolved,
+            });
+        }
         let n = self.cfg.n_pes;
         while !self.pes.iter().all(Pe::is_halted) {
             if self.cycles >= max_cycles {
@@ -417,7 +442,8 @@ impl PeArray {
         Ok(self.stats())
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot, stamped with the resolved tier.
+    /// Simulated cycles are always exact.
     pub fn stats(&self) -> RunStats {
         RunStats {
             cycles: self.cycles,
@@ -425,6 +451,8 @@ impl PeArray {
             fifo_pops: self.fifo_pops,
             fifo_high_water: self.fifo_high_water,
             per_pe: self.pes.iter().map(|p| p.stats).collect(),
+            tier: self.resolved_tier(),
+            cycles_estimated: false,
         }
     }
 }

@@ -2,12 +2,21 @@ use gendp_isa::{Luts, Mode};
 
 /// Which execution engine the simulator's per-cycle loop uses.
 ///
-/// Both engines are cycle- and statistics-exact with respect to each other;
-/// the decoded engine is the fast path (programs are lowered once at load
-/// via [`gendp_isa::DecodedControlProgram`] /
+/// The decoded and interpreted engines are cycle- and statistics-exact
+/// with respect to each other; the decoded engine is the fast path
+/// (programs are lowered once at load via
+/// [`gendp_isa::DecodedControlProgram`] /
 /// [`gendp_isa::DecodedComputeProgram`]), while the interpreted engine
 /// executes the assembly-level encoding directly and is kept as the
-/// reference for equivalence testing and benchmarking.
+/// reference for equivalence testing and benchmarking. The functional
+/// engine does not simulate cycles at all: it executes the kernel's
+/// semantics as batched native loops and reports cycles from the static
+/// certificate's analytic model.
+///
+/// `Engine` is no longer how execution is selected: configure a
+/// [`TierPolicy`] instead, which adds certification awareness and an
+/// automatic fallback chain. The raw-`Engine` builder entry points are
+/// kept one release as `#[deprecated]` shims.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// Execute pre-decoded programs (the default fast path).
@@ -15,6 +24,179 @@ pub enum Engine {
     Decoded,
     /// Interpret the assembly-level encoding every cycle (reference).
     Interpreted,
+    /// Execute the kernel's semantics directly as batched native loops,
+    /// skipping per-cycle simulation; cycles are reported from the
+    /// certificate's analytic model. Only available through drivers that
+    /// can lower their kernel functionally (see `gendp-core`); a raw
+    /// [`PeArray`](crate::PeArray) degrades to the decoded engine.
+    Functional,
+}
+
+/// An execution tier: one rung of the fallback chain
+/// `Functional → DecodedCertified → Decoded → Interpreted`.
+///
+/// Tiers are ordered fastest-first; each is bit-identical to the ones
+/// below it on the outputs of any successful run. [`RunStats::tier`]
+/// (crate::RunStats::tier) records which tier actually executed.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// Batched native execution of the kernel semantics with analytic
+    /// cycle reporting (no per-cycle simulation).
+    Functional,
+    /// Decoded engine on the certified-unchecked access path (requires a
+    /// `safe()` certificate and no interpreter-fallback instructions).
+    DecodedCertified,
+    /// Decoded engine on the bounds-checked access path.
+    #[default]
+    Decoded,
+    /// The interpreted reference engine.
+    Interpreted,
+}
+
+impl Tier {
+    /// The full fallback chain, fastest first.
+    pub const CHAIN: [Tier; 4] = [
+        Tier::Functional,
+        Tier::DecodedCertified,
+        Tier::Decoded,
+        Tier::Interpreted,
+    ];
+
+    /// Stable lowercase name, used by benchmark schemas and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Functional => "functional",
+            Tier::DecodedCertified => "decoded_certified",
+            Tier::Decoded => "decoded",
+            Tier::Interpreted => "interpreted",
+        }
+    }
+
+    fn rank(self) -> usize {
+        match self {
+            Tier::Functional => 0,
+            Tier::DecodedCertified => 1,
+            Tier::Decoded => 2,
+            Tier::Interpreted => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How execution tiers are selected: a requested tier plus whether the
+/// runtime may degrade along the chain
+/// `Functional → DecodedCertified → Decoded → Interpreted` when the
+/// requested tier is unavailable (kernel not functionally lowerable,
+/// certificate not `safe()`, …).
+///
+/// This replaces scattering raw [`Engine`] values through configs. The
+/// default policy is [`TierPolicy::decoded_certified`] — the decoded
+/// engine, promoted to the certified-unchecked path when the certificate
+/// allows — which is exactly the pre-`TierPolicy` default behavior.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct TierPolicy {
+    requested: Tier,
+    fallback: bool,
+}
+
+impl TierPolicy {
+    /// Requests `tier`, degrading along the chain when unavailable.
+    pub fn request(tier: Tier) -> Self {
+        TierPolicy {
+            requested: tier,
+            fallback: true,
+        }
+    }
+
+    /// Requests the functional tier (batched native execution).
+    pub fn functional() -> Self {
+        Self::request(Tier::Functional)
+    }
+
+    /// Requests the decoded engine with certificate-gated promotion to
+    /// the unchecked access path (the default).
+    pub fn decoded_certified() -> Self {
+        Self::request(Tier::DecodedCertified)
+    }
+
+    /// Requests the decoded engine on the always-bounds-checked path.
+    pub fn decoded() -> Self {
+        Self::request(Tier::Decoded)
+    }
+
+    /// Requests the interpreted reference engine.
+    pub fn interpreted() -> Self {
+        Self::request(Tier::Interpreted)
+    }
+
+    /// Disables fallback: execution fails with
+    /// [`SimError::TierUnavailable`](crate::SimError::TierUnavailable)
+    /// instead of degrading when the requested tier cannot run.
+    pub fn strict(mut self) -> Self {
+        self.fallback = false;
+        self
+    }
+
+    /// The tier this policy asks for.
+    pub fn requested(&self) -> Tier {
+        self.requested
+    }
+
+    /// True when the policy refuses to degrade below the requested tier.
+    pub fn is_strict(&self) -> bool {
+        !self.fallback
+    }
+
+    /// The tiers this policy may run, fastest first: the chain suffix
+    /// starting at the requested tier, or just the requested tier when
+    /// [`strict`](Self::strict).
+    pub fn chain(&self) -> &'static [Tier] {
+        let from = self.requested.rank();
+        if self.fallback {
+            &Tier::CHAIN[from..]
+        } else {
+            &Tier::CHAIN[from..=from]
+        }
+    }
+
+    /// True when this policy may execute on `tier`.
+    pub fn admits(&self, tier: Tier) -> bool {
+        self.chain().contains(&tier)
+    }
+
+    /// The per-cycle simulation engine backing this policy when the
+    /// functional tier does not engage: interpreted only when explicitly
+    /// requested, decoded otherwise (a raw array cannot run functionally,
+    /// so `Functional` degrades to its decoded fallback here).
+    pub fn sim_engine(&self) -> Engine {
+        match self.requested {
+            Tier::Interpreted => Engine::Interpreted,
+            _ => Engine::Decoded,
+        }
+    }
+
+    /// Shim translating the old raw-`Engine` selection into the policy it
+    /// historically meant: `Decoded` certified when possible,
+    /// `Interpreted` exact, `Functional` with fallback.
+    #[deprecated(since = "0.2.0", note = "construct a TierPolicy directly")]
+    pub fn from_engine(engine: Engine) -> Self {
+        match engine {
+            Engine::Decoded => Self::decoded_certified(),
+            Engine::Interpreted => Self::interpreted(),
+            Engine::Functional => Self::functional(),
+        }
+    }
+}
+
+impl Default for TierPolicy {
+    fn default() -> Self {
+        Self::decoded_certified()
+    }
 }
 
 /// Configuration of one simulated PE array.
@@ -53,12 +235,15 @@ pub struct PeArrayConfig {
     /// Let a safe certificate switch the decoded engine onto the
     /// certified-unchecked access path. On by default; turning it off
     /// keeps the bounds-checked path even for certified programs (A/B
-    /// measurement, debugging).
+    /// measurement, debugging). Redundant with requesting
+    /// [`Tier::Decoded`], kept for `force_checked`-style toggling after
+    /// construction.
     pub certify: bool,
-    /// Execution engine for the per-cycle loop (decoded fast path by
-    /// default; the interpreted reference engine produces bit-identical
-    /// results and statistics).
-    pub engine: Engine,
+    /// Execution-tier selection policy. A raw `PeArray` resolves among
+    /// the simulated tiers (a functional request degrades to its decoded
+    /// fallback here — only kernel drivers in `gendp-core` can lower
+    /// functionally).
+    pub tiers: TierPolicy,
 }
 
 impl PeArrayConfig {
@@ -80,7 +265,7 @@ impl PeArrayConfig {
             fifo_broadcast: false,
             verify: true,
             certify: true,
-            engine: Engine::default(),
+            tiers: TierPolicy::default(),
         }
     }
 
@@ -117,10 +302,17 @@ impl PeArrayConfig {
         self
     }
 
-    /// Selects the execution engine, returning `self` for chaining.
-    pub fn engine(mut self, engine: Engine) -> Self {
-        self.engine = engine;
+    /// Sets the execution-tier policy, returning `self` for chaining.
+    pub fn tiers(mut self, tiers: TierPolicy) -> Self {
+        self.tiers = tiers;
         self
+    }
+
+    /// Selects the execution engine, returning `self` for chaining.
+    #[deprecated(since = "0.2.0", note = "use `tiers(TierPolicy::...)`")]
+    #[allow(deprecated)] // shim body is the one sanctioned from_engine caller
+    pub fn engine(self, engine: Engine) -> Self {
+        self.tiers(TierPolicy::from_engine(engine))
     }
 }
 
@@ -153,9 +345,76 @@ mod tests {
     }
 
     #[test]
-    fn engine_defaults_to_decoded() {
-        assert_eq!(PeArrayConfig::new().engine, Engine::Decoded);
-        let c = PeArrayConfig::new().engine(Engine::Interpreted);
-        assert_eq!(c.engine, Engine::Interpreted);
+    fn default_policy_is_certified_decoded_with_fallback() {
+        let c = PeArrayConfig::new();
+        assert_eq!(c.tiers.requested(), Tier::DecodedCertified);
+        assert!(!c.tiers.is_strict());
+        assert_eq!(c.tiers.sim_engine(), Engine::Decoded);
+    }
+
+    #[test]
+    fn chains_are_suffixes_of_the_full_chain() {
+        assert_eq!(TierPolicy::functional().chain(), &Tier::CHAIN[..]);
+        assert_eq!(
+            TierPolicy::decoded_certified().chain(),
+            &[Tier::DecodedCertified, Tier::Decoded, Tier::Interpreted]
+        );
+        assert_eq!(
+            TierPolicy::decoded().chain(),
+            &[Tier::Decoded, Tier::Interpreted]
+        );
+        assert_eq!(TierPolicy::interpreted().chain(), &[Tier::Interpreted]);
+        assert_eq!(
+            TierPolicy::functional().strict().chain(),
+            &[Tier::Functional]
+        );
+    }
+
+    #[test]
+    fn admits_follows_the_chain() {
+        let p = TierPolicy::functional();
+        assert!(p.admits(Tier::Functional));
+        assert!(p.admits(Tier::DecodedCertified));
+        assert!(p.admits(Tier::Interpreted));
+        let strict = TierPolicy::decoded().strict();
+        assert!(strict.admits(Tier::Decoded));
+        assert!(!strict.admits(Tier::Interpreted));
+        assert!(!strict.admits(Tier::DecodedCertified));
+    }
+
+    #[test]
+    fn sim_engine_resolution() {
+        assert_eq!(TierPolicy::functional().sim_engine(), Engine::Decoded);
+        assert_eq!(
+            TierPolicy::decoded_certified().sim_engine(),
+            Engine::Decoded
+        );
+        assert_eq!(TierPolicy::decoded().sim_engine(), Engine::Decoded);
+        assert_eq!(TierPolicy::interpreted().sim_engine(), Engine::Interpreted);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn engine_shim_maps_to_historical_policies() {
+        assert_eq!(
+            PeArrayConfig::new().engine(Engine::Decoded).tiers,
+            TierPolicy::decoded_certified()
+        );
+        assert_eq!(
+            PeArrayConfig::new().engine(Engine::Interpreted).tiers,
+            TierPolicy::interpreted()
+        );
+        assert_eq!(
+            PeArrayConfig::new().engine(Engine::Functional).tiers,
+            TierPolicy::functional()
+        );
+    }
+
+    #[test]
+    fn tier_names_are_stable() {
+        for t in Tier::CHAIN {
+            assert_eq!(t.to_string(), t.name());
+        }
+        assert_eq!(Tier::DecodedCertified.name(), "decoded_certified");
     }
 }

@@ -53,7 +53,7 @@ mod stats;
 mod trace;
 
 pub use array::PeArray;
-pub use config::{Engine, PeArrayConfig};
+pub use config::{Engine, PeArrayConfig, Tier, TierPolicy};
 pub use error::{Retryability, SimError};
 pub use stats::{PeStats, RunStats};
 pub use trace::{Trace, TraceEvent};

@@ -126,7 +126,7 @@ impl Pe {
             compute: Arc::new(ComputeProgram::new()),
             dcompute: Arc::new(DecodedComputeProgram::default()),
             compute_pc: None,
-            engine: cfg.engine,
+            engine: cfg.tiers.sim_engine(),
             unchecked: false,
             index,
             stats: PeStats::default(),
@@ -565,7 +565,10 @@ impl Pe {
             return Ok((Progress::Halted, ExtEffect::default()));
         }
         match self.engine {
-            Engine::Decoded => self.step_ctrl_decoded(ext),
+            // A PE never runs "functionally" — the functional tier executes
+            // above the array; if the variant ever reaches a PE it means
+            // the fallback already resolved to the decoded engine.
+            Engine::Decoded | Engine::Functional => self.step_ctrl_decoded(ext),
             Engine::Interpreted => self.step_ctrl_interp(ext),
         }
     }
@@ -836,7 +839,7 @@ impl Pe {
     /// Returns true if an instruction was issued.
     pub fn step_compute(&mut self) -> Result<bool, SimError> {
         match self.engine {
-            Engine::Decoded => self.step_compute_decoded(),
+            Engine::Decoded | Engine::Functional => self.step_compute_decoded(),
             Engine::Interpreted => self.step_compute_interp(),
         }
     }
@@ -1025,7 +1028,11 @@ mod tests {
     }
 
     fn pe_with_engine(prog: &str, engine: Engine) -> Pe {
-        let mut pe = Pe::new(&PeArrayConfig::with_pes(1).engine(engine), 0);
+        let tiers = match engine {
+            Engine::Interpreted => crate::TierPolicy::interpreted(),
+            Engine::Decoded | Engine::Functional => crate::TierPolicy::decoded(),
+        };
+        let mut pe = Pe::new(&PeArrayConfig::with_pes(1).tiers(tiers), 0);
         load_ctrl(&mut pe, prog.parse().unwrap());
         pe
     }

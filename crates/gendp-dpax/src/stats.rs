@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::config::Tier;
+
 /// Per-PE execution counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PeStats {
@@ -23,9 +25,17 @@ pub struct PeStats {
 }
 
 /// Aggregate result of one [`PeArray::run`](crate::PeArray::run).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Equality compares the *counters* only — the provenance fields
+/// ([`tier`](Self::tier), [`cycles_estimated`](Self::cycles_estimated))
+/// describe *how* the run executed, not *what* it computed, and two tiers
+/// that agree on every counter are considered equal runs.
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
-    /// Total simulated cycles until every thread halted.
+    /// Total simulated cycles until every thread halted. For the
+    /// functional tier this is the certificate's analytic count (exact
+    /// when the model proves exactness, otherwise the proven upper bound
+    /// with [`cycles_estimated`](Self::cycles_estimated) set).
     pub cycles: u64,
     /// FIFO pushes (last PE → FIFO).
     pub fifo_pushes: u64,
@@ -35,7 +45,28 @@ pub struct RunStats {
     pub fifo_high_water: usize,
     /// Per-PE counters, indexed by position in the chain.
     pub per_pe: Vec<PeStats>,
+    /// Which execution tier actually ran (engine provenance). Callers that
+    /// request a tier through a [`TierPolicy`](crate::TierPolicy) with
+    /// fallback enabled read this to learn what they really got.
+    pub tier: Tier,
+    /// True when [`cycles`](Self::cycles) is an analytic *bound* rather
+    /// than an exact count — the functional tier on a kernel whose
+    /// certificate has `cycle_exact == None`. Simulated tiers always
+    /// report exact cycles and leave this false.
+    pub cycles_estimated: bool,
 }
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.fifo_pushes == other.fifo_pushes
+            && self.fifo_pops == other.fifo_pops
+            && self.fifo_high_water == other.fifo_high_water
+            && self.per_pe == other.per_pe
+    }
+}
+
+impl Eq for RunStats {}
 
 impl PeStats {
     /// Adds another PE's counters into this one.
@@ -57,7 +88,16 @@ impl RunStats {
     /// counters add position-wise, and the FIFO high-water mark is the
     /// maximum of the two. Used by the `gendp-runtime` workers to keep one
     /// aggregate per simulated array across a whole batch.
+    ///
+    /// Provenance: an empty aggregate adopts the first run's tier and a
+    /// mixed-tier aggregate keeps the first tier it saw (the per-run tier
+    /// is the meaningful signal); `cycles_estimated` is sticky — an
+    /// aggregate containing any estimated run is itself estimated.
     pub fn absorb(&mut self, other: &RunStats) {
+        if self.per_pe.is_empty() && self.cycles == 0 {
+            self.tier = other.tier;
+        }
+        self.cycles_estimated |= other.cycles_estimated;
         self.cycles += other.cycles;
         self.fifo_pushes += other.fifo_pushes;
         self.fifo_pops += other.fifo_pops;
@@ -209,6 +249,7 @@ mod tests {
                 cells: 2,
                 ..PeStats::default()
             }],
+            ..RunStats::default()
         };
         let b = RunStats {
             cycles: 50,
@@ -227,6 +268,8 @@ mod tests {
                     ..PeStats::default()
                 },
             ],
+            tier: Tier::Functional,
+            cycles_estimated: true,
         };
         let total = RunStats::merged([&a, &b]);
         assert_eq!(total.cycles, 150);
@@ -236,6 +279,34 @@ mod tests {
         assert_eq!(total.per_pe[0].ctrl_insts, 14);
         assert_eq!(total.per_pe[1].ctrl_insts, 6);
         assert_eq!(total.cells(), 6);
+        // Provenance: first run's tier sticks, estimation is sticky.
+        assert_eq!(total.tier, Tier::Decoded);
+        assert!(total.cycles_estimated);
+        assert_eq!(
+            RunStats::merged([&b]).tier,
+            Tier::Functional,
+            "empty aggregate adopts the first run's tier"
+        );
+    }
+
+    #[test]
+    fn equality_ignores_provenance() {
+        let a = RunStats {
+            cycles: 10,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            cycles: 10,
+            tier: Tier::Functional,
+            cycles_estimated: true,
+            ..RunStats::default()
+        };
+        assert_eq!(a, b);
+        let c = RunStats {
+            cycles: 11,
+            ..RunStats::default()
+        };
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -1,17 +1,25 @@
 //! Property: for **random valid programs** — not just the shipped
-//! kernels — the pre-decoded engine and the instruction-level interpreter
-//! are indistinguishable: same output words, same statistics, and on
-//! erroring or non-terminating programs the *same* error at the *same*
-//! cycle. Programs are drawn over the full control ISA (direct and
-//! indirect addressing across RF/SPM/areg spaces, ports, FIFO, branches,
-//! compute launches) plus random 2-way VLIW compute programs, including
-//! out-of-bounds addresses, so the comparison exercises the dynamic error
-//! paths as well as the happy path.
+//! kernels — the execution tiers are indistinguishable: same output
+//! words, same statistics, and on erroring or non-terminating programs
+//! the *same* error at the *same* cycle. Programs are drawn over the
+//! full control ISA (direct and indirect addressing across RF/SPM/areg
+//! spaces, ports, FIFO, branches, compute launches) plus random 2-way
+//! VLIW compute programs, including out-of-bounds addresses, so the
+//! comparison exercises the dynamic error paths as well as the happy
+//! path. A second property pins the functional tier's cell evaluator to
+//! the simulators: for random *in-bounds* compute programs, one
+//! simulated compute activation commits exactly the register file
+//! [`eval_cell`] computes (checked and certified-unchecked variants
+//! both), which is the arithmetic bit-identity the batched wavefront
+//! sweep in `gendp-core` is built on. Tier selection goes through
+//! [`TierPolicy`]; the raw-`Engine` fallback chain is covered by the
+//! resolution tests at the bottom.
 
-use gendp_dpax::{Engine, PeArray, PeArrayConfig};
+use gendp_dpax::{PeArray, PeArrayConfig, SimError, Tier, TierPolicy};
 use gendp_isa::{
-    AddrReg, BranchCond, ComputeOp, ComputeProgram, ControlInst, ControlProgram, CuInst, Loc,
-    Operand, Space, TreeSlots, VliwInst, Word,
+    eval_cell, eval_cell_certified, AddrReg, BranchCond, ComputeOp, ComputeProgram, ControlInst,
+    ControlProgram, CuInst, DecodedComputeProgram, Loc, Luts, Mode, Operand, Space, TreeSlots,
+    VliwInst, Word,
 };
 use proptest::prelude::*;
 
@@ -157,15 +165,15 @@ fn control_program() -> impl Strategy<Value = ControlProgram> {
     })
 }
 
-fn run_engine(
-    engine: Engine,
+fn run_tier(
+    tiers: TierPolicy,
     ctrl: &ControlProgram,
     compute: &ComputeProgram,
 ) -> (
     Result<gendp_dpax::RunStats, gendp_dpax::SimError>,
     Vec<Word>,
 ) {
-    let mut cfg = PeArrayConfig::with_pes(1).no_verify().engine(engine);
+    let mut cfg = PeArrayConfig::with_pes(1).no_verify().tiers(tiers);
     cfg.rf_slots = RF_SLOTS;
     cfg.spm_words = SPM_WORDS;
     cfg.aregs = AREGS;
@@ -179,6 +187,81 @@ fn run_engine(
     (outcome, output)
 }
 
+/// An operand that stays inside the register file — the functional cell
+/// evaluator is only defined over in-bounds programs (out-of-bounds
+/// accesses are the simulators' dynamic-diagnostic territory, covered by
+/// the random-program property above).
+fn valid_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0..RF_SLOTS as u16).prop_map(Operand::Reg),
+        (-4..=20i32).prop_map(Operand::Imm),
+    ]
+}
+
+fn valid_cu_inst() -> impl Strategy<Value = CuInst> {
+    let mul = (valid_operand(), valid_operand(), 0..RF_SLOTS as u16)
+        .prop_map(|(a, b, dest)| CuInst::Mul { a, b, dest });
+    let tree = (
+        alu_op(),
+        proptest::array::uniform4(valid_operand()),
+        alu_op(),
+        proptest::array::uniform2(valid_operand()),
+        prop_oneof![
+            Just(ComputeOp::Add),
+            Just(ComputeOp::Max),
+            Just(ComputeOp::Copy)
+        ],
+        0..RF_SLOTS as u16,
+    )
+        .prop_map(
+            |(wide_op, wide_ins, narrow_op, narrow_ins, root_op, dest)| {
+                CuInst::Tree(TreeSlots {
+                    wide_op,
+                    wide_ins,
+                    narrow_op,
+                    narrow_ins,
+                    root_op,
+                    dest,
+                })
+            },
+        );
+    prop_oneof![Just(CuInst::Nop), mul, tree]
+}
+
+fn valid_compute_program() -> impl Strategy<Value = ComputeProgram> {
+    proptest::collection::vec((valid_cu_inst(), valid_cu_inst()), 1..4).prop_map(|insts| {
+        let mut prog = ComputeProgram::new();
+        for (a, b) in insts {
+            prog.push(VliwInst::pair(a, b));
+        }
+        prog.finish();
+        prog
+    })
+}
+
+/// A control program that stages `vals` into the register file, runs one
+/// compute activation, and streams the whole register file out (the RF
+/// reads stall until the compute thread retires, so the output is the
+/// post-activation file).
+fn activation_program(vals: &[i32]) -> ControlProgram {
+    let mut prog = ControlProgram::new();
+    for (i, &v) in vals.iter().enumerate() {
+        prog.push(ControlInst::Li {
+            dest: Loc::direct(Space::Rf, i as u16),
+            imm: v,
+        });
+    }
+    prog.push(ControlInst::set_compute(0));
+    for i in 0..vals.len() {
+        prog.push(ControlInst::Mv {
+            dest: Loc::port(Space::Out),
+            src: Loc::direct(Space::Rf, i as u16),
+        });
+    }
+    prog.push(ControlInst::Halt);
+    prog
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -190,9 +273,84 @@ proptest! {
         ctrl in control_program(),
         compute in compute_program(),
     ) {
-        let (decoded, out_decoded) = run_engine(Engine::Decoded, &ctrl, &compute);
-        let (interpreted, out_interpreted) = run_engine(Engine::Interpreted, &ctrl, &compute);
+        let (decoded, out_decoded) = run_tier(TierPolicy::decoded().strict(), &ctrl, &compute);
+        let (interpreted, out_interpreted) =
+            run_tier(TierPolicy::interpreted(), &ctrl, &compute);
         prop_assert_eq!(decoded, interpreted, "run outcomes diverge for:\n{}", ctrl);
         prop_assert_eq!(out_decoded, out_interpreted, "outputs diverge for:\n{}", ctrl);
     }
+
+    /// Three-way bit-identity at the activation level: for random
+    /// in-bounds compute programs over random register files, the
+    /// interpreted engine, the decoded engine and the functional cell
+    /// evaluator (checked *and* certified-unchecked) commit exactly the
+    /// same register file.
+    #[test]
+    fn compute_activation_matches_functional_eval(
+        compute in valid_compute_program(),
+        vals in proptest::collection::vec(-50..=100i32, RF_SLOTS),
+    ) {
+        let ctrl = activation_program(&vals);
+        let (decoded, out_decoded) = run_tier(TierPolicy::decoded().strict(), &ctrl, &compute);
+        let (interpreted, out_interpreted) =
+            run_tier(TierPolicy::interpreted(), &ctrl, &compute);
+        prop_assert!(decoded.is_ok(), "staged activation failed: {:?}", decoded);
+        prop_assert_eq!(decoded, interpreted);
+        prop_assert_eq!(&out_decoded, &out_interpreted);
+
+        let program = DecodedComputeProgram::decode(&compute);
+        let luts = Luts::default();
+        let mut rf: Vec<Word> = vals.iter().map(|&v| Word::from_i32(v)).collect();
+        let mut rf_certified = rf.clone();
+        eval_cell(&program, Mode::Int32, &luts, &mut rf);
+        eval_cell_certified(&program, Mode::Int32, &luts, &mut rf_certified);
+        prop_assert_eq!(&rf, &rf_certified, "certified evaluator diverges for:\n{}", &compute);
+        prop_assert_eq!(&rf, &out_decoded, "functional evaluator diverges for:\n{}", &compute);
+    }
+}
+
+/// Fallback-chain resolution at the raw-array level: a PE array has no
+/// functional lowering (that exists only for prepared wavefront tasks in
+/// `gendp-core`), so a functional request must degrade down the chain —
+/// with the resolved tier recorded in the run's provenance — and a
+/// *strict* functional request must be refused rather than silently
+/// simulated.
+#[test]
+fn tier_requests_resolve_down_the_chain() {
+    let run = |tiers: TierPolicy| {
+        let mut prog = ControlProgram::new();
+        prog.push(ControlInst::Li {
+            dest: Loc::direct(Space::Rf, 0),
+            imm: 7,
+        });
+        prog.push(ControlInst::Mv {
+            dest: Loc::port(Space::Out),
+            src: Loc::direct(Space::Rf, 0),
+        });
+        prog.push(ControlInst::Halt);
+        let cfg = PeArrayConfig::with_pes(1).no_verify().tiers(tiers);
+        let mut array = PeArray::new(cfg);
+        array.load_pe_control(0, prog);
+        array.run(BUDGET)
+    };
+    // Unverified array: no certificate, so the chain bottoms out at the
+    // plain decoded engine.
+    let stats = run(TierPolicy::functional()).expect("fallback chain must run");
+    assert_eq!(stats.tier, Tier::Decoded);
+    let stats = run(TierPolicy::decoded_certified()).expect("fallback chain must run");
+    assert_eq!(stats.tier, Tier::Decoded);
+    // Strict requests refuse to degrade.
+    match run(TierPolicy::functional().strict()) {
+        Err(SimError::TierUnavailable {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, Tier::Functional);
+            assert_eq!(available, Tier::Decoded);
+        }
+        other => panic!("strict functional on a raw array must be refused, got {other:?}"),
+    }
+    // A strict request the array *can* satisfy still runs.
+    let stats = run(TierPolicy::interpreted().strict()).expect("interpreted is always available");
+    assert_eq!(stats.tier, Tier::Interpreted);
 }

@@ -376,6 +376,12 @@ impl DecodedComputeProgram {
         self.insts.get(pc)
     }
 
+    /// All decoded words in program order (straight-line evaluation).
+    #[inline]
+    pub fn words(&self) -> &[DecodedVliw] {
+        &self.insts
+    }
+
     /// Number of VLIW words (equal to the source program's).
     pub fn len(&self) -> usize {
         self.insts.len()

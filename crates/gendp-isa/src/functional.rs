@@ -1,0 +1,372 @@
+//! Functional evaluation of compute programs: the arithmetic of one DP
+//! cell, without the simulator.
+//!
+//! The per-cycle engines in `gendp-dpax` charge every VLIW word a cycle,
+//! track program counters and interlocks, and thread statistics through
+//! each step. The functional tier needs none of that: a kernel's compute
+//! program is a straight-line sequence of VLIW words whose only
+//! architectural effect is a set of register-file writes, so evaluating a
+//! cell is just running every word once over a register file slice.
+//!
+//! [`eval_cell`] is that evaluation, bit-identical to one full
+//! compute-thread activation (`set cu 0` through program end) of the
+//! simulated engines: within each VLIW word all operand reads happen
+//! before any write commits, `Nop` first-level ALUs contribute zero to the
+//! root, and all arithmetic goes through the same [`apply`] semantics the
+//! simulators use.
+//!
+//! Callers are expected to run statically verified programs (the RF slot
+//! bounds are proven by `gendp-verify` before a driver lowers
+//! functionally); an out-of-range slot panics via normal slice indexing
+//! rather than reproducing the simulator's `BadAccess` error.
+
+use crate::decoded::{DecodedComputeProgram, DecodedCu, DecodedOperand, DecodedVliw};
+use crate::sem::{apply, apply_i32, Luts};
+use crate::word::{Mode, Word};
+use crate::ComputeOp;
+
+#[inline]
+fn operand(rf: &[Word], o: DecodedOperand) -> Word {
+    match o {
+        DecodedOperand::Reg(r) => rf[r as usize],
+        DecodedOperand::Imm(w) => w,
+    }
+}
+
+#[inline]
+fn eval_vliw(inst: &DecodedVliw, mode: Mode, luts: &Luts, rf: &mut [Word]) {
+    // Reads before writes within the word, exactly like the simulators'
+    // compute step. Each slot writes at most one register.
+    let mut writes = [(0u16, Word::ZERO); crate::CU_PER_PE];
+    let mut n_writes = 0usize;
+    for slot in &inst.slots {
+        match slot {
+            DecodedCu::Nop => {}
+            DecodedCu::Mul { a, b, dest } => {
+                let av = operand(rf, *a);
+                let bv = operand(rf, *b);
+                writes[n_writes] = (*dest, apply(ComputeOp::Mul, mode, &[av, bv], luts));
+                n_writes += 1;
+            }
+            DecodedCu::Tree(t) => {
+                let wn = t.wide_n as usize;
+                let mut wide = [Word::ZERO; 4];
+                for (k, o) in t.wide_ins[..wn].iter().enumerate() {
+                    wide[k] = operand(rf, *o);
+                }
+                let a_out = if t.wide_op == ComputeOp::Nop {
+                    Word::ZERO
+                } else {
+                    apply(t.wide_op, mode, &wide[..wn], luts)
+                };
+                let nn = t.narrow_n as usize;
+                let mut narrow = [Word::ZERO; 2];
+                for (k, o) in t.narrow_ins[..nn].iter().enumerate() {
+                    narrow[k] = operand(rf, *o);
+                }
+                let b_out = if t.narrow_op == ComputeOp::Nop {
+                    Word::ZERO
+                } else {
+                    apply(t.narrow_op, mode, &narrow[..nn], luts)
+                };
+                writes[n_writes] = (t.dest, apply(t.root_op, mode, &[a_out, b_out], luts));
+                n_writes += 1;
+            }
+        }
+    }
+    for &(d, w) in &writes[..n_writes] {
+        rf[d as usize] = w;
+    }
+}
+
+/// Reads one operand — checked normally, `get_unchecked` in the
+/// certified variant (a safe certificate proved every register index in
+/// bounds, the same entitlement the decoded engine's unchecked access
+/// path runs on).
+#[inline]
+fn operand_i32<const U: bool>(rf: &[Word], o: DecodedOperand) -> i32 {
+    match o {
+        DecodedOperand::Reg(r) if U => unsafe { rf.get_unchecked(r as usize).as_i32() },
+        DecodedOperand::Reg(r) => rf[r as usize].as_i32(),
+        DecodedOperand::Imm(w) => w.as_i32(),
+    }
+}
+
+/// [`apply_i32`] for the ≤2-input case, on scalars: no operand slice to
+/// build, no bounds checks to re-prove. Unary ops ignore `b`. The 4-ary
+/// selects route back through the slice path so a malformed program
+/// (arity exceeding the supplied inputs) panics exactly like the generic
+/// evaluation would.
+#[inline]
+fn apply2_i32(op: ComputeOp, a: i32, b: i32, luts: &Luts) -> i32 {
+    match op {
+        ComputeOp::Add => a.wrapping_add(b),
+        ComputeOp::Sub => a.wrapping_sub(b),
+        ComputeOp::Mul => a.wrapping_mul(b),
+        ComputeOp::Carry => (((a as u32 as u64) + (b as u32 as u64)) >> 32) as i32,
+        ComputeOp::Borrow => i32::from(a < b),
+        ComputeOp::Max => a.max(b),
+        ComputeOp::Min => a.min(b),
+        ComputeOp::Shl16 => a << 16,
+        ComputeOp::Shr16 => a >> 16,
+        ComputeOp::Copy => a,
+        ComputeOp::MatchScore => {
+            if a == b {
+                luts.score_eq.as_i32()
+            } else {
+                luts.score_ne.as_i32()
+            }
+        }
+        ComputeOp::Log2Lut => crate::sem::ilog2_half(a),
+        ComputeOp::LogSumLut => luts.logsum_correction(a),
+        ComputeOp::SelectGt | ComputeOp::SelectEq => apply_i32(op, &[a, b], luts),
+        ComputeOp::Nop | ComputeOp::Halt => 0,
+    }
+}
+
+/// Evaluates one compute-unit slot against the pre-write register file,
+/// returning its `(dest, value)` write (`None` for a `nop` slot).
+#[inline(always)]
+fn eval_slot_i32<const U: bool>(slot: &DecodedCu, luts: &Luts, rf: &[Word]) -> Option<(u16, i32)> {
+    match slot {
+        DecodedCu::Nop => None,
+        DecodedCu::Mul { a, b, dest } => {
+            let av = operand_i32::<U>(rf, *a);
+            let bv = operand_i32::<U>(rf, *b);
+            Some((*dest, av.wrapping_mul(bv)))
+        }
+        DecodedCu::Tree(t) => {
+            let a_out = match (t.wide_op, t.wide_n) {
+                (ComputeOp::Nop, _) => 0,
+                (op, 1) => apply2_i32(op, operand_i32::<U>(rf, t.wide_ins[0]), 0, luts),
+                (op, 2) => apply2_i32(
+                    op,
+                    operand_i32::<U>(rf, t.wide_ins[0]),
+                    operand_i32::<U>(rf, t.wide_ins[1]),
+                    luts,
+                ),
+                (op, wn) => {
+                    let wn = wn as usize;
+                    let mut wide = [0i32; 4];
+                    for (k, o) in t.wide_ins[..wn].iter().enumerate() {
+                        wide[k] = operand_i32::<U>(rf, *o);
+                    }
+                    apply_i32(op, &wide[..wn], luts)
+                }
+            };
+            let b_out = match (t.narrow_op, t.narrow_n) {
+                (ComputeOp::Nop, _) => 0,
+                (op, 1) => apply2_i32(op, operand_i32::<U>(rf, t.narrow_ins[0]), 0, luts),
+                (op, _) => apply2_i32(
+                    op,
+                    operand_i32::<U>(rf, t.narrow_ins[0]),
+                    operand_i32::<U>(rf, t.narrow_ins[1]),
+                    luts,
+                ),
+            };
+            Some((t.dest, apply2_i32(t.root_op, a_out, b_out, luts)))
+        }
+    }
+}
+
+/// Commits one register-file write — checked, or `get_unchecked` on the
+/// certified path (the certificate proved every destination in bounds).
+#[inline(always)]
+fn commit_i32<const U: bool>(rf: &mut [Word], d: u16, w: i32) {
+    if U {
+        unsafe { *rf.get_unchecked_mut(d as usize) = Word::from_i32(w) };
+    } else {
+        rf[d as usize] = Word::from_i32(w);
+    }
+}
+
+/// [`eval_vliw`] specialized to scalar [`Mode::Int32`] arithmetic: the
+/// operands go straight to the `i32` ALU step, skipping the per-`apply`
+/// mode dispatch, arity assertion and word-array conversions the generic
+/// path pays three times per reduction tree, and ≤2-input ALUs (every op
+/// except the 4-ary selects) evaluate on scalars without an operand
+/// slice. A word with one active slot commits its write directly — the
+/// slot's reads all happen before its single write by construction — so
+/// only genuinely dual-issue words pay the read-before-write buffering.
+/// `Word::from_i32` / `Word::as_i32` are free casts, so the results are
+/// bit-identical to the generic evaluation by construction.
+#[inline]
+fn eval_vliw_i32<const U: bool>(inst: &DecodedVliw, luts: &Luts, rf: &mut [Word]) {
+    let [s0, s1] = &inst.slots;
+    if matches!(s1, DecodedCu::Nop) {
+        if let Some((d, w)) = eval_slot_i32::<U>(s0, luts, rf) {
+            commit_i32::<U>(rf, d, w);
+        }
+        return;
+    }
+    let w0 = eval_slot_i32::<U>(s0, luts, rf);
+    let w1 = eval_slot_i32::<U>(s1, luts, rf);
+    if let Some((d, w)) = w0 {
+        commit_i32::<U>(rf, d, w);
+    }
+    if let Some((d, w)) = w1 {
+        commit_i32::<U>(rf, d, w);
+    }
+}
+
+#[inline]
+fn eval_cell_g<const U: bool>(
+    program: &DecodedComputeProgram,
+    mode: Mode,
+    luts: &Luts,
+    rf: &mut [Word],
+) {
+    if mode == Mode::Int32 {
+        for inst in program.words() {
+            eval_vliw_i32::<U>(inst, luts, rf);
+        }
+        return;
+    }
+    for inst in program.words() {
+        eval_vliw(inst, mode, luts, rf);
+    }
+}
+
+/// Runs one full compute-thread activation over `rf`: every VLIW word of
+/// `program`, in order, with read-before-write semantics inside each word.
+/// Bit-identical to the simulated engines' `set cu 0` → halt sequence.
+/// Scalar [`Mode::Int32`] programs take the specialized ALU path; the
+/// SIMD modes evaluate through the same [`apply`] the simulators use.
+#[inline]
+pub fn eval_cell(program: &DecodedComputeProgram, mode: Mode, luts: &Luts, rf: &mut [Word]) {
+    eval_cell_g::<false>(program, mode, luts, rf)
+}
+
+/// [`eval_cell`] on the certified-unchecked register-file access path:
+/// scalar `Int32` operand reads and writes skip their bounds checks.
+///
+/// Callers must hold a *safe* certificate for the loaded programs (every
+/// register access proven in bounds over a register file of the
+/// certified size) — the same entitlement that unlocks the decoded
+/// engine's unchecked access path. With a certificate this is
+/// bit-identical to [`eval_cell`]; without one, an out-of-range slot is
+/// undefined behavior, which is why the functional tier only engages
+/// when `Certificate::safe()` holds.
+#[inline]
+pub fn eval_cell_certified(
+    program: &DecodedComputeProgram,
+    mode: Mode,
+    luts: &Luts,
+    rf: &mut [Word],
+) {
+    eval_cell_g::<true>(program, mode, luts, rf)
+}
+
+/// Per-activation statistic weights of a compute program, pre-summed so
+/// the functional tier can report the same compute-side counters the
+/// simulators count per step: `(vliw_issued, cu_slots_active,
+/// rf_accesses)` for one full activation.
+pub fn cell_stat_weights(program: &crate::ComputeProgram) -> (u64, u64, u64) {
+    let mut vliw = 0u64;
+    let mut slots = 0u64;
+    let mut rf = 0u64;
+    for inst in program.iter() {
+        vliw += 1;
+        slots += inst.active_slots() as u64;
+        rf += inst.rf_accesses() as u64;
+    }
+    (vliw, slots, rf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::{CuInst, Operand, TreeSlots, VliwInst};
+    use crate::ComputeProgram;
+
+    fn w(v: i32) -> Word {
+        Word::from_i32(v)
+    }
+
+    #[test]
+    fn straight_line_program_matches_hand_evaluation() {
+        // rf[2] = rf[0] * rf[1]; rf[3] = max(rf[2], 10) in one word each.
+        let mut p = ComputeProgram::new();
+        p.push(VliwInst::single(CuInst::Mul {
+            a: Operand::Reg(0),
+            b: Operand::Reg(1),
+            dest: 2,
+        }));
+        p.push(VliwInst::single(CuInst::Tree(TreeSlots {
+            wide_op: ComputeOp::Max,
+            wide_ins: [
+                Operand::Reg(2),
+                Operand::Imm(10),
+                Operand::Imm(0),
+                Operand::Imm(0),
+            ],
+            narrow_op: ComputeOp::Nop,
+            narrow_ins: [Operand::Imm(0), Operand::Imm(0)],
+            root_op: ComputeOp::Max,
+            dest: 3,
+        })));
+        p.finish();
+        let d = DecodedComputeProgram::decode(&p);
+        let luts = Luts::default();
+        let mut rf = vec![w(0); 8];
+        rf[0] = w(6);
+        rf[1] = w(7);
+        eval_cell(&d, Mode::Int32, &luts, &mut rf);
+        assert_eq!(rf[2], w(42));
+        assert_eq!(rf[3], w(42));
+        rf[0] = w(-1);
+        eval_cell(&d, Mode::Int32, &luts, &mut rf);
+        assert_eq!(rf[2], w(-7));
+        assert_eq!(rf[3], w(10), "max against the 10 immediate");
+    }
+
+    #[test]
+    fn reads_happen_before_writes_within_a_word() {
+        // Both slots of one word read rf[0] and rf[1] and then swap them;
+        // with read-before-write the swap is clean.
+        let copy = |src: u16, dest: u16| {
+            CuInst::Tree(TreeSlots {
+                wide_op: ComputeOp::Copy,
+                wide_ins: [
+                    Operand::Reg(src),
+                    Operand::Imm(0),
+                    Operand::Imm(0),
+                    Operand::Imm(0),
+                ],
+                narrow_op: ComputeOp::Nop,
+                narrow_ins: [Operand::Imm(0), Operand::Imm(0)],
+                root_op: ComputeOp::Max,
+                dest,
+            })
+        };
+        let mut p = ComputeProgram::new();
+        p.push(VliwInst::pair(copy(0, 1), copy(1, 0)));
+        p.finish();
+        let d = DecodedComputeProgram::decode(&p);
+        let mut rf = vec![w(11), w(22)];
+        eval_cell(&d, Mode::Int32, &luts_zero(), &mut rf);
+        assert_eq!(rf, vec![w(22), w(11)]);
+    }
+
+    fn luts_zero() -> Luts {
+        Luts::default()
+    }
+
+    #[test]
+    fn stat_weights_sum_per_activation() {
+        let mut p = ComputeProgram::new();
+        let mul = CuInst::Mul {
+            a: Operand::Reg(0),
+            b: Operand::Imm(3),
+            dest: 1,
+        };
+        p.push(VliwInst::single(mul));
+        p.push(VliwInst::pair(mul, mul));
+        p.finish();
+        let (vliw, slots, rf) = cell_stat_weights(&p);
+        assert_eq!(vliw, 2);
+        assert_eq!(slots, 3);
+        let per_mul = VliwInst::single(mul).rf_accesses() as u64;
+        assert_eq!(rf, 3 * per_mul);
+    }
+}

@@ -34,6 +34,7 @@ mod compute;
 mod control;
 mod decoded;
 mod error;
+mod functional;
 mod loc;
 mod program;
 mod sem;
@@ -46,6 +47,7 @@ pub use decoded::{
     DecodedOperand, DecodedTree, DecodedVliw,
 };
 pub use error::ParseInstError;
+pub use functional::{cell_stat_weights, eval_cell, eval_cell_certified};
 pub use loc::{Addr, Loc, Space};
 pub use program::{ComputeProgram, ControlProgram};
 pub use sem::{apply, ilog2_half, Luts};

@@ -124,7 +124,7 @@ fn apply_i16(op: ComputeOp, ins: &[i16], luts: &Luts) -> i16 {
     }
 }
 
-fn apply_i32(op: ComputeOp, ins: &[i32], luts: &Luts) -> i32 {
+pub(crate) fn apply_i32(op: ComputeOp, ins: &[i32], luts: &Luts) -> i32 {
     match op {
         ComputeOp::Add => ins[0].wrapping_add(ins[1]),
         ComputeOp::Sub => ins[0].wrapping_sub(ins[1]),

@@ -11,7 +11,8 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
 use std::time::Duration;
 
-use gendp_dpax::{SimError, INT_ARRAYS, PES_PER_ARRAY};
+use gendp_core::AccelConfig;
+use gendp_dpax::{SimError, TierPolicy, INT_ARRAYS, PES_PER_ARRAY};
 
 use crate::fault::{FaultConfig, FaultInjector};
 use crate::policy::DispatchPolicy;
@@ -43,6 +44,10 @@ pub struct DeviceConfig {
     /// Deterministic fault injection for chaos testing; `None` (the
     /// default) injects nothing and costs nothing.
     pub fault: Option<FaultConfig>,
+    /// Execution-tier selection applied to every task the device runs.
+    /// All tiers are bit-identical, so results never depend on this; the
+    /// functional tier reports analytic cycles instead of simulated ones.
+    pub tiers: TierPolicy,
 }
 
 impl DeviceConfig {
@@ -71,6 +76,7 @@ impl Default for DeviceConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             fault: None,
+            tiers: TierPolicy::default(),
         }
     }
 }
@@ -955,7 +961,12 @@ fn run_task(
                 Some(error) => Err(error),
                 None => panic!("injected panic: task {id} attempt {attempt}"),
             },
-            None => task.execute_scaled(ctx.config.pes_per_array, scale),
+            None => task.execute_configured(
+                ctx.config.pes_per_array,
+                AccelConfig::new()
+                    .budget_scale(scale)
+                    .tiers(ctx.config.tiers),
+            ),
         }));
         let slot = &ctx.slots[exec];
         let failure = match executed {

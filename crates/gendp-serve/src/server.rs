@@ -407,12 +407,17 @@ const COST_CACHE_MAX: usize = 4096;
 /// parameters program generation depends on — that fully determines the
 /// generated PE programs and therefore the certificate. Sequence
 /// *content* deliberately stays out of the key: it flows through the
-/// input FIFOs and never changes the programs. Returns `None` for the
-/// graph kernels (POA, Bellman-Ford), whose programs follow the input
-/// topology and are certified per request.
-fn shape_key(task: &Task) -> Option<u64> {
+/// input FIFOs and never changes the programs. The shard's execution
+/// [`TierPolicy`](gendp_dpax::TierPolicy) is mixed in too, so a server
+/// reconfigured onto a different tier (or a mixed-tier deployment
+/// sharing a process) never reuses a memo entry certified under another
+/// policy. Returns `None` for the graph kernels (POA, Bellman-Ford),
+/// whose programs follow the input topology and are certified per
+/// request.
+fn shape_key(task: &Task, tiers: gendp_dpax::TierPolicy) -> Option<u64> {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
+    tiers.hash(&mut h);
     match task {
         Task::Bsw {
             query,
@@ -461,7 +466,7 @@ impl Inner {
     /// callers fall back to the heuristic estimate.
     fn certified_cost(&self, task: &Task) -> Option<CertifiedCost> {
         let n_pes = self.config.shard_config.pes_per_array;
-        let Some(key) = shape_key(task) else {
+        let Some(key) = shape_key(task, self.config.shard_config.tiers) else {
             return task.certified_cost(n_pes);
         };
         if let Some(hit) = self.cost_cache.lock().expect("cost cache").get(&key) {

@@ -7,6 +7,7 @@
 //! cargo run --release --example batch_alignment
 //! ```
 
+use gendp::dpax::TierPolicy;
 use gendp::kernels::Scoring;
 use gendp::runtime::{BatchAligner, DeviceConfig, DispatchPolicy};
 use gendp::seq::{Genome, ShortReadProfile};
@@ -31,6 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 float_arrays: 0,
                 workers: 4,
                 policy,
+                // Functional tier where a task lowers to one (2-D
+                // wavefronts do), automatic fallback everywhere else;
+                // results are bit-identical on every tier.
+                tiers: TierPolicy::functional(),
                 ..DeviceConfig::default()
             },
         );

@@ -7,6 +7,7 @@
 //! ```
 
 use gendp::core::{bsw_score, AcceleratorRun, GendpPipeline};
+use gendp::dpax::TierPolicy;
 use gendp::dpmap::map_dfg;
 use gendp::kernels::dfgs::bsw_dfg;
 use gendp::kernels::{bsw_i32, AlignMode, Scoring};
@@ -61,6 +62,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "one DPAx tile (16 arrays) at 2 GHz ~= {:.1} GCUPS on this kernel",
         run.gcups(16, 1)
+    );
+
+    // 5. The functional fast path: the same task through the tier policy,
+    //    skipping per-cycle simulation. Outputs are bit-identical; cycles
+    //    come from the certificate's analytic model, and the run's
+    //    provenance records which tier actually executed.
+    let fast = GendpPipeline::bsw(&scoring).tiers(TierPolicy::functional());
+    let fout = fast.run(&rows, &cols, 4)?;
+    assert_eq!(bsw_score(&fout), reference.score);
+    println!(
+        "\nfunctional tier: score {} on the `{}` tier, {} cycles ({})",
+        bsw_score(&fout),
+        fout.stats.tier,
+        fout.stats.cycles,
+        if fout.stats.cycles_estimated {
+            "analytic bound"
+        } else {
+            "exact"
+        }
     );
     Ok(())
 }

@@ -17,7 +17,7 @@
 //!   must produce output words bit-identical to the checked interpreter.
 
 use gendp::core::{GendpPipeline, Wavefront2d};
-use gendp::dpax::{Engine, PeArray, PeArrayConfig};
+use gendp::dpax::{PeArray, PeArrayConfig, Tier, TierPolicy};
 use gendp::isa::{ControlProgram, Word};
 use gendp::kernels::bellman_ford::random_roadmap;
 use gendp::kernels::chain::ChainParams;
@@ -43,7 +43,7 @@ where
     F: Fn() -> A,
 {
     let mut prepared = build()
-        .configure(AccelConfig::new().engine(Engine::Decoded))
+        .configure(AccelConfig::new().tiers(TierPolicy::decoded_certified()))
         .prepare(task);
     let cert = prepared
         .certificate()
@@ -103,7 +103,7 @@ where
     // The checked interpreter is the semantic reference; the certified
     // bounds-check-free path must be bit-identical to it.
     let mut checked = build()
-        .configure(AccelConfig::new().engine(Engine::Interpreted))
+        .configure(AccelConfig::new().tiers(TierPolicy::interpreted()))
         .prepare(task);
     assert!(
         !checked.is_certified(),
@@ -279,8 +279,8 @@ proptest! {
         steps in prop::collection::vec((0u8..3, 0u8..2, 0i16..64), 0..24),
     ) {
         let program = straight_line_program(&steps);
-        for engine in [Engine::Decoded, Engine::Interpreted] {
-            let mut array = PeArray::new(PeArrayConfig::with_pes(1).engine(engine));
+        for tiers in [TierPolicy::decoded_certified(), TierPolicy::interpreted()] {
+            let mut array = PeArray::new(PeArrayConfig::with_pes(1).tiers(tiers));
             array.load_pe_control(0, program.clone());
             let stats = array.run(100_000).expect("straight line runs");
             let cert = array.certificate().expect("verified run").clone();
@@ -291,7 +291,7 @@ proptest! {
                 Some(stats.cycles),
                 "stall-free straight-line programs promise exact cycles"
             );
-            prop_assert_eq!(array.is_certified(), matches!(engine, Engine::Decoded));
+            prop_assert_eq!(array.is_certified(), tiers.requested() == Tier::DecodedCertified);
         }
     }
 

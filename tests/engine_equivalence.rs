@@ -1,16 +1,22 @@
-//! Engine equivalence sweep: for every shipped kernel, the pre-decoded
-//! execution engine and the instruction-level interpreter must be
-//! **bit-identical** — same functional outputs *and* same
-//! [`RunStats`](gendp::dpax::RunStats) (cycles, instruction counts,
-//! port/FIFO/SPM traffic). The decoded engine is the default hot path;
-//! this suite is what entitles it to claim the interpreter's semantics.
+//! Execution-tier equivalence sweep: for every shipped kernel, the
+//! pre-decoded execution engine, the instruction-level interpreter and —
+//! where it engages — the functional fast-path tier must be
+//! **bit-identical** on functional outputs. Decoded and interpreted must
+//! additionally agree on every
+//! [`RunStats`](gendp::dpax::RunStats) counter (cycles, instruction
+//! counts, port/FIFO/SPM traffic); the functional tier must agree on DP
+//! cells and carries its cycles from the certificate's analytic model
+//! instead.
 //!
 //! Task shapes mirror `verify_sweep.rs` so the equivalence evidence
 //! covers exactly the program set the verifier acceptance contract
-//! covers.
+//! covers. Tier selection goes exclusively through
+//! [`TierPolicy`](gendp::dpax::TierPolicy); the fallback-chain tests at
+//! the bottom pin the resolution rules (strict vs. fallback, provenance
+//! stamping) the redesigned API promises.
 
 use gendp::core::{pack_halves, pack_lanes, GendpPipeline, Wavefront2d};
-use gendp::dpax::Engine;
+use gendp::dpax::{SimError, Tier, TierPolicy};
 use gendp::kernels::bellman_ford::random_roadmap;
 use gendp::kernels::chain::ChainParams;
 use gendp::kernels::pairhmm::PairHmmParams;
@@ -38,20 +44,25 @@ fn convex_scoring() -> Scoring {
     }
 }
 
-/// Runs one task on both engines through the unified [`Accelerator`]
-/// lifecycle and asserts bit-identical outputs and statistics.
-fn assert_engines_agree<A, F>(name: &str, build: F, task: &A::Task<'_>)
+fn with_tiers<A: Accelerator>(accel: A, tiers: TierPolicy) -> A {
+    accel.configure(AccelConfig::new().tiers(tiers))
+}
+
+/// Runs one task on every execution tier through the unified
+/// [`Accelerator`] lifecycle and asserts bit-identical outputs: decoded
+/// vs. interpreted on outputs *and* statistics, then the functional tier
+/// (when the driver lowers one) vs. the prepared decoded reference on
+/// output words and DP-cell counts.
+fn assert_tiers_agree<A, F>(name: &str, build: F, task: &A::Task<'_>, expect_functional: bool)
 where
     A: Accelerator,
     A::Output: std::fmt::Debug + PartialEq,
     F: Fn() -> A,
 {
-    let decoded = build()
-        .configure(AccelConfig::new().engine(Engine::Decoded))
+    let decoded = with_tiers(build(), TierPolicy::decoded())
         .run_task(task)
         .unwrap_or_else(|e| panic!("{name} (decoded): {e}"));
-    let interpreted = build()
-        .configure(AccelConfig::new().engine(Engine::Interpreted))
+    let interpreted = with_tiers(build(), TierPolicy::interpreted())
         .run_task(task)
         .unwrap_or_else(|e| panic!("{name} (interpreted): {e}"));
     assert_eq!(decoded, interpreted, "{name}: functional outputs diverge");
@@ -60,6 +71,65 @@ where
         interpreted.stats(),
         "{name}: statistics diverge"
     );
+    assert_eq!(
+        decoded.stats().tier,
+        Tier::Decoded,
+        "{name}: decoded provenance"
+    );
+    assert_eq!(
+        interpreted.stats().tier,
+        Tier::Interpreted,
+        "{name}: interpreted provenance"
+    );
+
+    // Prepared decoded-certified reference: the output words the
+    // functional tier must reproduce bit-exactly.
+    let mut reference = Accelerator::prepare(&with_tiers(build(), TierPolicy::default()), task);
+    let ref_stats = reference
+        .execute()
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let ref_out = reference.output().to_vec();
+
+    let mut func = Accelerator::prepare(&with_tiers(build(), TierPolicy::functional()), task);
+    let func_stats = func
+        .execute()
+        .unwrap_or_else(|e| panic!("{name} (functional): {e}"));
+    if expect_functional {
+        assert_eq!(
+            func.resolved_tier(),
+            Tier::Functional,
+            "{name}: functional tier did not engage"
+        );
+        assert_eq!(
+            func_stats.tier,
+            Tier::Functional,
+            "{name}: functional provenance"
+        );
+        assert_eq!(
+            func.output(),
+            &ref_out[..],
+            "{name}: functional output words diverge from decoded"
+        );
+        assert_eq!(
+            func_stats.cells(),
+            ref_stats.cells(),
+            "{name}: functional DP-cell count diverges"
+        );
+    } else {
+        // Drivers without a functional lowering fall back down the chain:
+        // identical results, simulated provenance.
+        assert_ne!(
+            func.resolved_tier(),
+            Tier::Functional,
+            "{name}: unexpected functional engagement"
+        );
+        assert_eq!(
+            func.output(),
+            &ref_out[..],
+            "{name}: fallback output diverges"
+        );
+        assert_eq!(func_stats, ref_stats, "{name}: fallback statistics diverge");
+    }
 }
 
 fn wavefront_case(name: &str, build: impl Fn() -> Wavefront2d, rows: &[i32], cols: &[i32]) {
@@ -69,13 +139,13 @@ fn wavefront_case(name: &str, build: impl Fn() -> Wavefront2d, rows: &[i32], col
         n_pes: 4,
         band: None,
     };
-    assert_engines_agree(name, build, &task);
+    assert_tiers_agree(name, build, &task, true);
 }
 
 /// Every wavefront kernel (BSW family, PairHMM, DTW, LCS): decoded ==
-/// interpreted, outputs and stats.
+/// interpreted == functional, outputs and stats.
 #[test]
-fn wavefront_kernels_decode_equivalent() {
+fn wavefront_kernels_tier_equivalent() {
     let mut rng = SmallRng::seed_from_u64(71);
     let scoring = Scoring::bwa_mem();
     let t = DnaSeq::random(24, &mut rng);
@@ -127,10 +197,11 @@ fn wavefront_kernels_decode_equivalent() {
             sentinel: 1 << 20,
         }),
     };
-    assert_engines_agree(
+    assert_tiers_agree(
         "dtw_banded",
         || GendpPipeline::dtw_banded(xs.len()),
         &banded,
+        true,
     );
 
     let lanes: Vec<Vec<u8>> = (0..4)
@@ -158,9 +229,10 @@ fn wavefront_kernels_decode_equivalent() {
 
 /// Chain, POA and Bellman-Ford: decoded == interpreted on their own
 /// drivers (FIFO broadcast, graph-structured flow, scratchpad
-/// residency).
+/// residency). These patterns have no functional lowering yet, so a
+/// functional request falls back down the chain bit-identically.
 #[test]
-fn chain_poa_bellman_ford_decode_equivalent() {
+fn chain_poa_bellman_ford_tier_equivalent() {
     let mut rng = SmallRng::seed_from_u64(72);
     let n_pes = 8;
     let params = ChainParams {
@@ -185,7 +257,7 @@ fn chain_poa_bellman_ford_decode_equivalent() {
         anchors: &anchors,
         n_pes,
     };
-    assert_engines_agree("chain", || GendpPipeline::chain(params), &chain_task);
+    assert_tiers_agree("chain", || GendpPipeline::chain(params), &chain_task, false);
 
     let truth = DnaSeq::random(30, &mut rng);
     let mut poa = Poa::new();
@@ -200,7 +272,12 @@ fn chain_poa_bellman_ford_decode_equivalent() {
         seq: &probe,
         n_pes: 4,
     };
-    assert_engines_agree("poa", || GendpPipeline::poa(Scoring::racon()), &poa_task);
+    assert_tiers_agree(
+        "poa",
+        || GendpPipeline::poa(Scoring::racon()),
+        &poa_task,
+        false,
+    );
 
     let g = random_roadmap(20, 2, 5, &mut rng);
     let bf_task = BellmanFordTask {
@@ -208,5 +285,94 @@ fn chain_poa_bellman_ford_decode_equivalent() {
         source: 0,
         rounds: g.vertex_count() - 1,
     };
-    assert_engines_agree("bellman_ford", GendpPipeline::bellman_ford, &bf_task);
+    assert_tiers_agree("bellman_ford", GendpPipeline::bellman_ford, &bf_task, false);
+}
+
+/// The redesigned selection API's resolution rules: fallback chains
+/// resolve to the best available tier and stamp provenance; strict
+/// policies fail loudly instead of falling back.
+#[test]
+fn tier_policy_resolution_and_provenance() {
+    let scoring = Scoring::bwa_mem();
+    let mut rng = SmallRng::seed_from_u64(73);
+    let t = DnaSeq::random(16, &mut rng);
+    let q = DnaSeq::random(12, &mut rng);
+    let (rows, cols) = (codes(&t), codes(&q));
+    let task = WavefrontTask {
+        rows: &rows,
+        cols: &cols,
+        n_pes: 4,
+        band: None,
+    };
+
+    // Functional requested with fallback on a wavefront kernel: engages,
+    // and reports analytic (estimated) cycles because wavefront
+    // certificates are never stall-free.
+    let accel = with_tiers(GendpPipeline::bsw(&scoring), TierPolicy::functional());
+    let mut prep = Accelerator::prepare(&accel, &task);
+    let stats = prep.execute().expect("functional execution");
+    assert_eq!(prep.resolved_tier(), Tier::Functional);
+    assert_eq!(stats.tier, Tier::Functional);
+    assert!(
+        stats.cycles_estimated,
+        "wavefront kernels stall, so functional cycles come from the bound"
+    );
+    assert!(stats.cycles > 0, "analytic cycle model must be populated");
+
+    // The default policy resolves to the certified decoded tier.
+    let mut prep = Accelerator::prepare(
+        &with_tiers(GendpPipeline::bsw(&scoring), TierPolicy::default()),
+        &task,
+    );
+    let stats = prep.execute().expect("certified decoded execution");
+    assert_eq!(prep.resolved_tier(), Tier::DecodedCertified);
+    assert_eq!(stats.tier, Tier::DecodedCertified);
+    assert!(!stats.cycles_estimated, "simulated cycles are exact");
+
+    // force_checked drops both the certified access path and the
+    // functional plan: the run degrades to plain decoded simulation.
+    let mut prep = Accelerator::prepare(
+        &with_tiers(GendpPipeline::bsw(&scoring), TierPolicy::functional()),
+        &task,
+    );
+    prep.force_checked();
+    let stats = prep.execute().expect("checked decoded execution");
+    assert_ne!(prep.resolved_tier(), Tier::Functional);
+    assert_eq!(stats.tier, Tier::Decoded);
+
+    // Strict functional on a driver with no functional lowering fails
+    // with the tier-unavailability error instead of silently falling
+    // back.
+    let chain_params = ChainParams::minimap2(15.0);
+    let anchors = [gendp::seq::Anchor {
+        qpos: 5,
+        rpos: 6,
+        span: 15,
+    }];
+    let chain_task = ChainTask {
+        anchors: &anchors,
+        n_pes: 4,
+    };
+    let accel = with_tiers(
+        GendpPipeline::chain(chain_params),
+        TierPolicy::functional().strict(),
+    );
+    let mut prep = Accelerator::prepare(&accel, &chain_task);
+    match prep.execute() {
+        Err(SimError::TierUnavailable {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, Tier::Functional);
+            assert_ne!(available, Tier::Functional);
+        }
+        other => panic!("strict functional on chain should fail, got {other:?}"),
+    }
+
+    // Strict decoded on a wavefront kernel succeeds (the tier is
+    // available) and stamps its provenance.
+    let accel = with_tiers(GendpPipeline::bsw(&scoring), TierPolicy::decoded().strict());
+    let mut prep = Accelerator::prepare(&accel, &task);
+    let stats = prep.execute().expect("strict decoded");
+    assert_eq!(stats.tier, Tier::Decoded);
 }
